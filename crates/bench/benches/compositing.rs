@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the compositing algorithms: direct-send versus
+//! binary swap versus 2-3 swap at growing node counts (the §II-A trade-off
+//! that motivates the swap family).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vizsched_compositing::{composite, CompositeAlgo};
+use vizsched_render::{Layer, RgbaImage};
+
+fn layers(count: usize, width: usize, height: usize) -> Vec<Layer> {
+    (0..count)
+        .map(|i| {
+            let mut image = RgbaImage::transparent(width, height);
+            for (j, px) in image.pixels.iter_mut().enumerate() {
+                let a = 0.1 + 0.8 * (((i * 13 + j * 7) % 89) as f32 / 88.0);
+                *px = [a * 0.5, a * 0.3, a * 0.2, a];
+            }
+            Layer { image, depth: i as f32 }
+        })
+        .collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compositing_256x256");
+    for &p in &[4usize, 8, 16] {
+        for (name, algo) in [
+            ("direct", CompositeAlgo::DirectSend),
+            ("binary-swap", CompositeAlgo::BinarySwap),
+            ("swap23", CompositeAlgo::Swap23),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |b, &p| {
+                let input = layers(p, 256, 256);
+                b.iter_batched(
+                    || input.clone(),
+                    |l| black_box(composite(l, algo)),
+                    criterion::BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    // 2-3 swap's raison d'être: non-power-of-two counts.
+    for &p in &[6usize, 12] {
+        group.bench_with_input(BenchmarkId::new("swap23", p), &p, |b, &p| {
+            let input = layers(p, 256, 256);
+            b.iter_batched(
+                || input.clone(),
+                |l| black_box(composite(l, CompositeAlgo::Swap23)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithms
+}
+criterion_main!(benches);

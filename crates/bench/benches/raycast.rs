@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the ray-casting renderer: sequential versus
+//! rayon-parallel integration, and the cost of shading and early ray
+//! termination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vizsched_render::raycast::{render, render_parallel};
+use vizsched_render::{Camera, RenderSettings, TransferFunction};
+use vizsched_volume::{Field, Volume};
+
+fn settings(width: usize) -> RenderSettings {
+    RenderSettings { width, height: width, ..RenderSettings::default() }
+}
+
+fn bench_seq_vs_parallel(c: &mut Criterion) {
+    let volume: Volume<f32> = Field::Supernova.sample([48, 48, 48]);
+    let camera = Camera::orbit(volume.dims, 0.5, 0.3, 2.3);
+    let tf = TransferFunction::preset(0);
+    let mut group = c.benchmark_group("raycast_128px");
+    let s = settings(128);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(render(&volume, &camera, &tf, &s)))
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| black_box(render_parallel(&volume, &camera, &tf, &s)))
+    });
+    group.finish();
+}
+
+fn bench_features(c: &mut Criterion) {
+    let volume: Volume<f32> = Field::Plume.sample([48, 48, 48]);
+    let camera = Camera::orbit(volume.dims, 0.5, 0.3, 2.3);
+    let tf = TransferFunction::preset(0);
+    let mut group = c.benchmark_group("raycast_features_96px");
+    for (name, shading, early) in [
+        ("full", true, 0.99f32),
+        ("no-shading", false, 0.99),
+        ("no-early-term", true, 2.0),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            let s = RenderSettings {
+                width: 96,
+                height: 96,
+                shading,
+                early_termination: early,
+                ..RenderSettings::default()
+            };
+            b.iter(|| black_box(render_parallel(&volume, &camera, &tf, &s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_seq_vs_parallel, bench_features
+}
+criterion_main!(benches);

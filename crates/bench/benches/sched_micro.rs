@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks of raw scheduling cost — the engine behind
+//! Table III's "avg. cost" column and the growth trends of Figs. 8-9:
+//! per-invocation cost of each policy versus cluster size and versus the
+//! number of jobs per cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vizsched_core::cluster::ClusterSpec;
+use vizsched_core::cost::CostParams;
+use vizsched_core::data::{uniform_datasets, Catalog, DecompositionPolicy};
+use vizsched_core::ids::{ActionId, DatasetId, JobId, UserId};
+use vizsched_core::job::{FrameParams, Job, JobKind};
+use vizsched_core::sched::{ScheduleCtx, SchedulerKind};
+use vizsched_core::tables::HeadTables;
+use vizsched_core::time::{SimDuration, SimTime};
+
+const GIB: u64 = 1 << 30;
+
+fn make_jobs(count: usize, datasets: u32) -> Vec<Job> {
+    (0..count)
+        .map(|i| Job {
+            id: JobId(i as u64),
+            kind: JobKind::Interactive {
+                user: UserId((i % 8) as u32),
+                action: ActionId((i % 8) as u64),
+            },
+            dataset: DatasetId(i as u32 % datasets),
+            issue_time: SimTime::ZERO,
+            frame: FrameParams::default(),
+        })
+        .collect()
+}
+
+/// One schedule() invocation on a fresh head state.
+fn bench_policies_vs_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_per_cycle_vs_nodes");
+    for &nodes in &[8usize, 16, 32, 64] {
+        for kind in [SchedulerKind::Ours, SchedulerKind::Fcfsl, SchedulerKind::Fs] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), nodes),
+                &nodes,
+                |b, &nodes| {
+                    let cluster = ClusterSpec::homogeneous(nodes, 8 * GIB);
+                    let policy = DecompositionPolicy::MaxChunkSize { max_bytes: 512 << 20 };
+                    let catalog = Catalog::new(uniform_datasets(16, 4 * GIB), policy);
+                    let cost = CostParams::anl_gpu_cluster();
+                    let jobs = make_jobs(32, 16);
+                    b.iter_batched(
+                        || (HeadTables::new(&cluster), kind.build(SimDuration::from_millis(30))),
+                        |(mut tables, mut sched)| {
+                            let mut ctx = ScheduleCtx {
+                                now: SimTime::ZERO,
+                                tables: &mut tables,
+                                catalog: &catalog,
+                                cost: &cost,
+                            };
+                            black_box(sched.schedule(&mut ctx, jobs.clone()))
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// OURS cycle cost versus jobs per cycle (the Fig. 8 amortization).
+fn bench_ours_vs_jobs_per_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ours_cycle_vs_jobs");
+    for &jobs_per_cycle in &[8usize, 32, 128, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(jobs_per_cycle),
+            &jobs_per_cycle,
+            |b, &n| {
+                let cluster = ClusterSpec::homogeneous(32, 8 * GIB);
+                let policy = DecompositionPolicy::MaxChunkSize { max_bytes: 512 << 20 };
+                let catalog = Catalog::new(uniform_datasets(16, 4 * GIB), policy);
+                let cost = CostParams::anl_gpu_cluster();
+                let jobs = make_jobs(n, 16);
+                b.iter_batched(
+                    || {
+                        (
+                            HeadTables::new(&cluster),
+                            SchedulerKind::Ours.build(SimDuration::from_millis(30)),
+                        )
+                    },
+                    |(mut tables, mut sched)| {
+                        let mut ctx = ScheduleCtx {
+                            now: SimTime::ZERO,
+                            tables: &mut tables,
+                            catalog: &catalog,
+                            cost: &cost,
+                        };
+                        black_box(sched.schedule(&mut ctx, jobs.clone()))
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_policies_vs_cluster, bench_ours_vs_jobs_per_cycle
+}
+criterion_main!(benches);

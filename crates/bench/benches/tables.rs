@@ -1,0 +1,89 @@
+//! Criterion benchmarks of the head-node table operations — the inner loop
+//! of every scheduling decision (cache probe, load prediction with LRU
+//! eviction, availability argmin).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vizsched_core::cluster::ClusterSpec;
+use vizsched_core::ids::{ChunkId, DatasetId, NodeId};
+use vizsched_core::memory::NodeMemory;
+use vizsched_core::tables::HeadTables;
+use vizsched_core::time::{SimDuration, SimTime};
+
+const GIB: u64 = 1 << 30;
+
+fn bench_cache_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_table");
+    for &nodes in &[8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("probe", nodes), &nodes, |b, &nodes| {
+            let cluster = ClusterSpec::homogeneous(nodes, 8 * GIB);
+            let mut tables = HeadTables::new(&cluster);
+            // Populate: 16 chunks per node.
+            for k in 0..nodes {
+                for i in 0..16u32 {
+                    let chunk = ChunkId::new(DatasetId(k as u32), i);
+                    tables.cache.record_load(NodeId(k as u32), chunk, 512 << 20);
+                }
+            }
+            let probes: Vec<ChunkId> = (0..64u32)
+                .map(|i| ChunkId::new(DatasetId(i % nodes as u32), i % 16))
+                .collect();
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &chunk in &probes {
+                    hits += usize::from(black_box(tables.cache.is_cached_anywhere(chunk)));
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lru_churn(c: &mut Criterion) {
+    c.bench_function("node_memory_lru_churn", |b| {
+        b.iter_batched(
+            || NodeMemory::new((16 * 512) << 20),
+            |mut mem| {
+                // 64 distinct chunks through a 16-slot cache: constant
+                // eviction pressure.
+                for i in 0..256u32 {
+                    let chunk = ChunkId::new(DatasetId(0), i % 64);
+                    if mem.contains(chunk) {
+                        mem.touch(chunk);
+                    } else {
+                        black_box(mem.load(chunk, 512 << 20));
+                    }
+                }
+                mem
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_available_argmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("available_table");
+    for &nodes in &[8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("argmin", nodes), &nodes, |b, &nodes| {
+            let cluster = ClusterSpec::homogeneous(nodes, 8 * GIB);
+            let mut tables = HeadTables::new(&cluster);
+            for k in 0..nodes {
+                tables.available.push_work(
+                    NodeId(k as u32),
+                    SimTime::ZERO,
+                    SimDuration::from_micros((k as u64 * 37) % 1000),
+                );
+            }
+            b.iter(|| black_box(tables.available.min_node()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cache_probe, bench_lru_churn, bench_available_argmin
+}
+criterion_main!(benches);

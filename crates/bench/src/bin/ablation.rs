@@ -1,0 +1,157 @@
+//! Ablations of the design choices DESIGN.md calls out, all on a shortened
+//! Scenario 2 (the mixed interactive + batch workload where every
+//! mechanism matters):
+//!
+//! * scheduling cycle `ω` — responsiveness vs. amortized cost (§V-A);
+//! * batch deferral + idle threshold `ε` on/off (heuristics 2 & 4);
+//! * `Chk_max` — the decomposition granularity trade-off (§III-C);
+//! * cache eviction policy — LRU vs. FIFO vs. random (§V-B).
+//!
+//! ```text
+//! cargo run --release -p vizsched-bench --bin ablation [-- --length 30]
+//! ```
+
+use vizsched_bench::experiments::simulation_for;
+use vizsched_core::memory::EvictionPolicy;
+use vizsched_core::sched::{OursParams, OursScheduler};
+use vizsched_core::time::SimDuration;
+use vizsched_metrics::SchedulerReport;
+use vizsched_workload::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let length: u64 = args
+        .iter()
+        .position(|a| a == "--length")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let base = Scenario::table2(2).shortened(SimDuration::from_secs(length));
+    let jobs = base.jobs();
+
+    println!("== Ablation studies (shortened scenario 2, {length} s) ==");
+
+    println!("\n-- scheduling cycle ω --");
+    println!(
+        "{:>8} {:>10} {:>13} {:>13} {:>14}",
+        "ω", "fps", "int lat avg", "bat lat avg", "cost us/cycle"
+    );
+    for cycle_ms in [10u64, 30, 100, 300, 1000] {
+        let mut scenario = base.clone();
+        scenario.label = format!("omega-{cycle_ms}ms");
+        let mut sim = simulation_for(&scenario);
+        let sched = Box::new(OursScheduler::new(OursParams {
+            cycle: SimDuration::from_millis(cycle_ms),
+            ..OursParams::default()
+        }));
+        // The engine tick follows the scheduler's own cycle; configure both.
+        let mut config = sim.config().clone();
+        config.cycle = SimDuration::from_millis(cycle_ms);
+        sim = vizsched_sim::Simulation::new(config, scenario.datasets());
+        let outcome = sim.run_with(sched, jobs.clone(), &scenario.label);
+        let r = SchedulerReport::from_run(&outcome.record);
+        let per_cycle = outcome.record.sched_wall_micros as f64
+            / outcome.record.sched_invocations.max(1) as f64;
+        println!(
+            "{:>6}ms {:>10.2} {:>12.3}s {:>12.3}s {:>14.2}",
+            cycle_ms, r.fps.mean, r.interactive_latency.mean, r.batch_latency.mean, per_cycle
+        );
+    }
+
+    println!("\n-- batch deferral (heuristics 2 & 4) --");
+    println!(
+        "{:>12} {:>10} {:>13} {:>13} {:>8}",
+        "deferral", "fps", "int lat avg", "bat lat avg", "hit %"
+    );
+    for defer in [true, false] {
+        let mut scenario = base.clone();
+        scenario.label = format!("defer-{defer}");
+        let sim = simulation_for(&scenario);
+        let sched = Box::new(OursScheduler::new(OursParams {
+            defer_batch: defer,
+            ..OursParams::default()
+        }));
+        let outcome = sim.run_with(sched, jobs.clone(), &scenario.label);
+        let r = SchedulerReport::from_run(&outcome.record);
+        println!(
+            "{:>12} {:>10.2} {:>12.3}s {:>12.3}s {:>7.2}%",
+            if defer { "on (paper)" } else { "off" },
+            r.fps.mean,
+            r.interactive_latency.mean,
+            r.batch_latency.mean,
+            r.hit_rate * 100.0
+        );
+    }
+
+    println!("\n-- chunk size Chk_max --");
+    println!(
+        "{:>10} {:>12} {:>10} {:>13} {:>8}",
+        "Chk_max", "tasks/job", "fps", "int lat avg", "hit %"
+    );
+    for chunk_mib in [128u64, 256, 512, 1024, 2048] {
+        let mut scenario = base.clone();
+        scenario.chunk_max = chunk_mib << 20;
+        scenario.label = format!("chunk-{chunk_mib}");
+        let sim = simulation_for(&scenario);
+        let outcome =
+            sim.run(vizsched_core::sched::SchedulerKind::Ours, jobs.clone(), &scenario.label);
+        let r = SchedulerReport::from_run(&outcome.record);
+        let tasks_per_job = scenario.dataset_bytes.div_ceil(scenario.chunk_max);
+        println!(
+            "{:>6} MiB {:>12} {:>10.2} {:>12.3}s {:>7.2}%",
+            chunk_mib, tasks_per_job, r.fps.mean, r.interactive_latency.mean,
+            r.hit_rate * 100.0
+        );
+    }
+
+    println!("\n-- locality mechanisms: FS vs FS+delay-scheduling vs OURS --");
+    println!(
+        "{:>8} {:>10} {:>13} {:>8} {:>10}",
+        "policy", "fps", "int lat avg", "hit %", "fairness"
+    );
+    for kind in [
+        vizsched_core::sched::SchedulerKind::Fs,
+        vizsched_core::sched::SchedulerKind::FsDelay,
+        vizsched_core::sched::SchedulerKind::Ours,
+    ] {
+        let mut scenario = base.clone();
+        scenario.label = format!("locality-{}", kind.name());
+        let sim = simulation_for(&scenario);
+        let outcome = sim.run(kind, jobs.clone(), &scenario.label);
+        let r = SchedulerReport::from_run(&outcome.record);
+        println!(
+            "{:>8} {:>10.2} {:>12.3}s {:>7.2}% {:>10.3}",
+            kind.name(),
+            r.fps.mean,
+            r.interactive_latency.mean,
+            r.hit_rate * 100.0,
+            r.fairness
+        );
+    }
+
+    println!("\n-- eviction policy --");
+    println!("{:>10} {:>10} {:>13} {:>8} {:>11}", "policy", "fps", "int lat avg", "hit %", "evictions");
+    for (name, policy) in [
+        ("LRU", EvictionPolicy::Lru),
+        ("FIFO", EvictionPolicy::Fifo),
+        ("random", EvictionPolicy::Random { seed: 99 }),
+    ] {
+        let mut scenario = base.clone();
+        scenario.label = format!("evict-{name}");
+        let sim0 = simulation_for(&scenario);
+        let mut config = sim0.config().clone();
+        config.eviction = policy;
+        let sim = vizsched_sim::Simulation::new(config, scenario.datasets());
+        let outcome =
+            sim.run(vizsched_core::sched::SchedulerKind::Ours, jobs.clone(), &scenario.label);
+        let r = SchedulerReport::from_run(&outcome.record);
+        println!(
+            "{:>10} {:>10.2} {:>12.3}s {:>7.2}% {:>11}",
+            name,
+            r.fps.mean,
+            r.interactive_latency.mean,
+            r.hit_rate * 100.0,
+            outcome.record.evictions
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates Fig. 8: scheduling cost versus the number of simultaneous
+//! user actions, for OURS, FCFSL and FCFSU on 32 nodes with 16 datasets of
+//! 4 GB each.
+//!
+//! The FCFS-family policies schedule once per job, so their per-job cost is
+//! flat in the number of actions (and linear in cluster size); OURS
+//! amortizes one cycle over every job that arrived in it, so its per-job
+//! cost *falls* as actions multiply.
+//!
+//! ```text
+//! cargo run --release -p vizsched-bench --bin fig8_actions [-- --length 20]
+//! ```
+
+use vizsched_bench::experiments::simulation_for;
+use vizsched_core::sched::SchedulerKind;
+use vizsched_core::time::SimDuration;
+use vizsched_workload::Scenario;
+
+const GIB: u64 = 1 << 30;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let length: u64 = args
+        .iter()
+        .position(|a| a == "--length")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    println!(
+        "== Fig. 8: scheduling cost vs. simultaneous user actions ==\n\
+         32 nodes, 16 x 4 GB datasets, {length} s of arrivals per point\n"
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}   {:>14}",
+        "actions", "OURS us/job", "FCFSL us/job", "FCFSU us/job", "OURS us/cycle"
+    );
+
+    for actions in [8u32, 16, 32, 64, 96, 128] {
+        let scenario = Scenario::sweep(
+            &format!("fig8-{actions}"),
+            32,
+            8 * GIB,
+            16,
+            4 * GIB,
+            actions,
+            SimDuration::from_secs(length),
+            0,
+            2012,
+        );
+        let sim = simulation_for(&scenario);
+        let jobs = scenario.jobs();
+        let mut row = Vec::new();
+        let mut ours_per_cycle = 0.0;
+        for kind in [SchedulerKind::Ours, SchedulerKind::Fcfsl, SchedulerKind::Fcfsu] {
+            let outcome = sim.run(kind, jobs.clone(), &scenario.label);
+            row.push(outcome.record.sched_cost_per_job_micros());
+            if kind == SchedulerKind::Ours {
+                ours_per_cycle = outcome.record.sched_wall_micros as f64
+                    / outcome.record.sched_invocations.max(1) as f64;
+            }
+        }
+        println!(
+            "{:>8} {:>14.3} {:>14.3} {:>14.3}   {:>14.2}",
+            actions, row[0], row[1], row[2], ours_per_cycle
+        );
+    }
+    println!(
+        "\nExpected shape: OURS per-job cost decreases as more actions share \
+         each cycle; the per-arrival policies stay flat."
+    );
+}

@@ -1,0 +1,108 @@
+//! Regenerates Figs. 4–7 and Table III: run one (or all) of the Table II
+//! scenarios under the six scheduling policies and print the interactive
+//! frame rates / latencies, batch latencies / working times, hit rates and
+//! scheduling costs.
+//!
+//! ```text
+//! cargo run --release -p vizsched-bench --bin scenario -- 1        # Fig. 4
+//! cargo run --release -p vizsched-bench --bin scenario -- 2        # Fig. 5
+//! cargo run --release -p vizsched-bench --bin scenario -- 3        # Fig. 6
+//! cargo run --release -p vizsched-bench --bin scenario -- 4        # Fig. 7
+//! cargo run --release -p vizsched-bench --bin scenario -- all      # + Table III
+//! cargo run --release -p vizsched-bench --bin scenario -- 1 --short 10
+//! ```
+//!
+//! `--short <secs>` shrinks the arrival window (same rates) for quick runs.
+//! `--timeline` additionally prints a 10 s-bucketed completion series for
+//! OURS (warm-up transients, batch stalls).
+
+use std::env;
+use vizsched_bench::experiments::{run_scenario, simulation_for, ScenarioResults};
+use vizsched_core::sched::SchedulerKind;
+use vizsched_core::time::SimDuration;
+use vizsched_metrics::{format_comparison, format_figure, format_table3_block, reports_to_csv, Timeline};
+use vizsched_workload::Scenario;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("1");
+    let short: Option<u64> = args
+        .iter()
+        .position(|a| a == "--short")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+
+    let timeline = args.iter().any(|a| a == "--timeline");
+    let csv_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let numbers: Vec<u8> = match which {
+        "all" => vec![1, 2, 3, 4],
+        n => vec![n.parse().expect("scenario number 1-4 or 'all'")],
+    };
+
+    let mut table3: Vec<(String, ScenarioResults)> = Vec::new();
+    for n in numbers {
+        let mut scenario = Scenario::table2(n);
+        if let Some(secs) = short {
+            scenario = scenario.shortened(SimDuration::from_secs(secs));
+        }
+        banner(&scenario);
+        let results = run_scenario(&scenario, &SchedulerKind::ALL);
+        println!("{}", format_comparison(&results.reports));
+        println!("{}", format_figure(&results.reports, scenario.target_fps));
+        if timeline {
+            let sim = simulation_for(&scenario);
+            let outcome = sim.run(SchedulerKind::Ours, scenario.jobs(), &scenario.label);
+            println!(
+                "-- OURS completion timeline (10 s buckets) --\n{}",
+                Timeline::of(&outcome.record, SimDuration::from_secs(10)).format()
+            );
+        }
+        table3.push((scenario.label.clone(), results));
+    }
+
+    if let Some(path) = csv_path {
+        let all: Vec<_> =
+            table3.iter().flat_map(|(_, r)| r.reports.iter().cloned()).collect();
+        std::fs::write(&path, reports_to_csv(&all)).expect("write csv");
+        println!("(wrote {} report rows to {path})", all.len());
+    }
+
+    if which == "all" {
+        println!("== Table III: data reuse hit rates and average scheduling costs ==");
+        for (label, results) in &table3 {
+            let block: Vec<_> = results
+                .reports
+                .iter()
+                .filter(|r| {
+                    SchedulerKind::TABLE3.iter().any(|k| k.name() == r.scheduler)
+                })
+                .cloned()
+                .collect();
+            println!("{}", format_table3_block(label, &block));
+        }
+    }
+}
+
+fn banner(s: &Scenario) {
+    let jobs = s.jobs();
+    let interactive = jobs.iter().filter(|j| j.kind.is_interactive()).count();
+    let batch = jobs.len() - interactive;
+    println!(
+        "== {} == nodes={} mem={} GiB data={}x{} GiB chunk={} MiB length={} \
+         interactive={} batch={} target={:.2} fps",
+        s.label,
+        s.cluster.len(),
+        s.cluster.total_memory() >> 30,
+        s.dataset_count,
+        s.dataset_bytes >> 30,
+        s.chunk_max >> 20,
+        s.workload.length,
+        interactive,
+        batch,
+        s.target_fps,
+    );
+}

@@ -1,0 +1,73 @@
+//! Extension experiment: dataset-popularity skew. The paper's scenarios
+//! draw datasets uniformly; real archives are Zipf-skewed — a handful of
+//! datasets receive most of the exploration. Skew concentrates the hot
+//! working set, which changes how much locality awareness is worth and how
+//! contended the hot chunks' nodes become.
+//!
+//! ```text
+//! cargo run --release -p vizsched-bench --bin skew [-- --length 20]
+//! ```
+
+use vizsched_bench::experiments::simulation_for;
+use vizsched_core::sched::SchedulerKind;
+use vizsched_core::time::SimDuration;
+use vizsched_metrics::SchedulerReport;
+use vizsched_workload::{DatasetChoice, Scenario};
+
+const GIB: u64 = 1 << 30;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let length: u64 = args
+        .iter()
+        .position(|a| a == "--length")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    println!(
+        "== Dataset-popularity skew (Zipf) sweep: 8 nodes, 12 x 2 GiB datasets \
+         (1.5x memory), 6 actions, {length} s ==\n"
+    );
+    println!(
+        "{:>8} | {:>10} {:>9} | {:>10} {:>9} | {:>10} {:>9}",
+        "zipf s", "OURS fps", "hit %", "FCFSL fps", "hit %", "FS fps", "hit %"
+    );
+
+    for s_exp in [0.0f64, 0.6, 1.0, 1.5] {
+        let mut scenario = Scenario::sweep(
+            &format!("skew-{s_exp}"),
+            8,
+            2 * GIB,
+            12,
+            2 * GIB,
+            6,
+            SimDuration::from_secs(length),
+            2,
+            2012,
+        );
+        scenario.cost = vizsched_core::cost::CostParams::eight_node_cluster();
+        scenario.workload.dataset_choice = if s_exp == 0.0 {
+            DatasetChoice::Uniform
+        } else {
+            DatasetChoice::Zipf { s: s_exp }
+        };
+        let sim = simulation_for(&scenario);
+        let jobs = scenario.jobs();
+        let mut cells = Vec::new();
+        for kind in [SchedulerKind::Ours, SchedulerKind::Fcfsl, SchedulerKind::Fs] {
+            let outcome = sim.run(kind, jobs.clone(), &scenario.label);
+            let r = SchedulerReport::from_run(&outcome.record);
+            cells.push((r.fps.mean, r.hit_rate * 100.0));
+        }
+        println!(
+            "{:>8.1} | {:>10.2} {:>8.2}% | {:>10.2} {:>8.2}% | {:>10.2} {:>8.2}%",
+            s_exp, cells[0].0, cells[0].1, cells[1].0, cells[1].1, cells[2].0, cells[2].1
+        );
+    }
+    println!(
+        "\nExpected shape: skew shrinks the hot working set, so every policy's \
+         hit rate rises with s — but the locality-aware schedulers convert it \
+         into frame rate while the blind ones remain I/O-bound."
+    );
+}

@@ -1,0 +1,40 @@
+//! Shared experiment plumbing: run a scenario under a set of schedulers and
+//! collect per-scheduler reports.
+
+use vizsched_core::sched::SchedulerKind;
+use vizsched_metrics::SchedulerReport;
+use vizsched_sim::{SimConfig, Simulation};
+use vizsched_workload::Scenario;
+
+/// The reports for one scenario, in the scheduler order requested.
+#[derive(Clone, Debug)]
+pub struct ScenarioResults {
+    /// One aggregated report per scheduler.
+    pub reports: Vec<SchedulerReport>,
+    /// Jobs left incomplete per scheduler (should be all zero).
+    pub incomplete: Vec<usize>,
+}
+
+/// Build the simulation for a scenario.
+pub fn simulation_for(scenario: &Scenario) -> Simulation {
+    let mut config =
+        SimConfig::new(scenario.cluster.clone(), scenario.cost, scenario.chunk_max);
+    config.cycle = vizsched_core::time::SimDuration::from_millis(30);
+    config.exec_jitter = 0.05;
+    config.warm_start = true;
+    Simulation::new(config, scenario.datasets())
+}
+
+/// Run `schedulers` over `scenario` and aggregate each run.
+pub fn run_scenario(scenario: &Scenario, schedulers: &[SchedulerKind]) -> ScenarioResults {
+    let sim = simulation_for(scenario);
+    let jobs = scenario.jobs();
+    let mut reports = Vec::with_capacity(schedulers.len());
+    let mut incomplete = Vec::with_capacity(schedulers.len());
+    for &kind in schedulers {
+        let outcome = sim.run(kind, jobs.clone(), &scenario.label);
+        reports.push(SchedulerReport::from_run(&outcome.record));
+        incomplete.push(outcome.incomplete_jobs);
+    }
+    ScenarioResults { reports, incomplete }
+}

@@ -1,0 +1,200 @@
+//! Sort-last compositing algorithms (§II-A): the reference sequential
+//! *over* fold, serial direct-send gather, and the swap family — binary
+//! swap (Ma et al.) and 2-3 swap (Yu et al.) — implemented as one
+//! mixed-radix exchange where every round uses a group size of 2 or 3.
+//!
+//! All algorithms require the participating layers to be supplied in
+//! **visibility order** (front-most first); [`crate::order`] produces that
+//! order from layer depths.
+
+use crate::comm::{Communicator, ImagePart};
+use vizsched_render::image::over;
+use vizsched_render::{Rgba, RgbaImage};
+
+/// Reference: fold the layers front-to-back sequentially. Ground truth for
+/// every other algorithm and the correctness oracle in tests.
+pub fn composite_reference(layers_front_first: &[RgbaImage]) -> RgbaImage {
+    assert!(!layers_front_first.is_empty(), "need at least one layer");
+    let mut it = layers_front_first.iter();
+    let mut acc = it.next().expect("non-empty").clone();
+    for layer in it {
+        // acc is in front of layer: layer goes under.
+        acc = {
+            let mut below = layer.clone();
+            below.under(&acc);
+            below
+        };
+    }
+    acc
+}
+
+/// Factor `p` into rounds of 2 and 3, or `None` if `p` has another prime
+/// factor (the classic 2-3 swap constraint; other counts fall back to
+/// direct-send in the driver).
+pub fn factor_23(p: usize) -> Option<Vec<usize>> {
+    assert!(p > 0, "group must be non-empty");
+    let mut rest = p;
+    let mut factors = Vec::new();
+    while rest % 3 == 0 {
+        factors.push(3);
+        rest /= 3;
+    }
+    while rest % 2 == 0 {
+        factors.push(2);
+        rest /= 2;
+    }
+    if rest == 1 {
+        Some(factors)
+    } else {
+        None
+    }
+}
+
+/// One rank's role in a mixed-radix swap compositing: exchanges pieces with
+/// its group partners round by round, ending with the root (rank 0) holding
+/// the fully composited image. `factors` must multiply to `comm.size()` and
+/// contain only 2s and 3s; ranks must be arranged in visibility order
+/// (rank 0 front-most). Returns `Some(image)` on rank 0, `None` elsewhere.
+pub fn swap_compositing<C: Communicator>(
+    comm: &mut C,
+    mine: RgbaImage,
+    factors: &[usize],
+) -> Option<RgbaImage> {
+    let p = comm.size();
+    let check: usize = factors.iter().product();
+    assert_eq!(check, p, "factors {factors:?} do not multiply to {p}");
+    assert!(factors.iter().all(|&f| f == 2 || f == 3), "factors must be 2 or 3");
+
+    let rank = comm.rank();
+    let (width, height) = (mine.width, mine.height);
+    // The region of the full image this rank currently owns, as a pixel
+    // index range.
+    let mut lo = 0usize;
+    let mut hi = mine.len();
+    let mut buffer: Vec<Rgba> = mine.pixels;
+
+    let mut stride = 1usize;
+    for (round, &f) in factors.iter().enumerate() {
+        let digit = (rank / stride) % f;
+        let group_base = rank - digit * stride;
+        // Split [lo, hi) into f near-equal parts.
+        let len = hi - lo;
+        let part_bounds: Vec<(usize, usize)> = (0..f)
+            .map(|j| {
+                let a = lo + len * j / f;
+                let b = lo + len * (j + 1) / f;
+                (a, b)
+            })
+            .collect();
+
+        // Send every part except mine to its owner.
+        for (j, &(a, b)) in part_bounds.iter().enumerate() {
+            if j == digit {
+                continue;
+            }
+            let peer = group_base + j * stride;
+            comm.send(
+                peer,
+                round as u32,
+                ImagePart { start: a, pixels: buffer[a..b].to_vec() },
+            );
+        }
+
+        // Receive the other members' contributions for my part and blend
+        // in visibility order (lower digit = lower rank = in front).
+        let (keep_lo, keep_hi) = part_bounds[digit];
+        let mut pieces: Vec<(usize, Vec<Rgba>)> = Vec::with_capacity(f);
+        pieces.push((digit, buffer[keep_lo..keep_hi].to_vec()));
+        for j in 0..f {
+            if j == digit {
+                continue;
+            }
+            let peer = group_base + j * stride;
+            let part = comm.recv_from(peer, round as u32);
+            assert_eq!(part.start, keep_lo, "peer sent the wrong region");
+            assert_eq!(part.pixels.len(), keep_hi - keep_lo, "region length mismatch");
+            pieces.push((j, part.pixels));
+        }
+        pieces.sort_by_key(|&(j, _)| j);
+
+        // Fold front-to-back into the kept region.
+        let mut acc = pieces[0].1.clone();
+        for (_, piece) in &pieces[1..] {
+            for (a, &b) in acc.iter_mut().zip(piece.iter()) {
+                *a = over(*a, b);
+            }
+        }
+        buffer[keep_lo..keep_hi].copy_from_slice(&acc);
+        lo = keep_lo;
+        hi = keep_hi;
+        stride *= f;
+    }
+
+    // Gather the 1/p regions at the root.
+    const GATHER: u32 = u32::MAX;
+    if rank == 0 {
+        let mut assembled = vec![[0.0f32; 4]; width * height];
+        assembled[lo..hi].copy_from_slice(&buffer[lo..hi]);
+        for from in 1..p {
+            let part = comm.recv_from(from, GATHER);
+            assembled[part.start..part.start + part.pixels.len()]
+                .copy_from_slice(&part.pixels);
+        }
+        Some(RgbaImage { width, height, pixels: assembled })
+    } else {
+        comm.send(0, GATHER, ImagePart { start: lo, pixels: buffer[lo..hi].to_vec() });
+        None
+    }
+}
+
+/// Binary swap: the all-2 factorization. `comm.size()` must be a power of
+/// two.
+pub fn binary_swap<C: Communicator>(comm: &mut C, mine: RgbaImage) -> Option<RgbaImage> {
+    let p = comm.size();
+    assert!(p.is_power_of_two(), "binary swap requires a power-of-two group, got {p}");
+    let rounds = p.trailing_zeros() as usize;
+    let factors = vec![2usize; rounds];
+    swap_compositing(comm, mine, &factors)
+}
+
+/// 2-3 swap: mixed radix for any `p = 2^a · 3^b` (Yu et al.'s scheme for
+/// non-power-of-two processor counts).
+pub fn swap23<C: Communicator>(comm: &mut C, mine: RgbaImage) -> Option<RgbaImage> {
+    let p = comm.size();
+    let factors = factor_23(p)
+        .unwrap_or_else(|| panic!("2-3 swap requires p = 2^a * 3^b, got {p}"));
+    swap_compositing(comm, mine, &factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorization_covers_2_3_mixes() {
+        assert_eq!(factor_23(1), Some(vec![]));
+        assert_eq!(factor_23(2), Some(vec![2]));
+        assert_eq!(factor_23(6), Some(vec![3, 2]));
+        assert_eq!(factor_23(12), Some(vec![3, 2, 2]));
+        assert_eq!(factor_23(5), None);
+        assert_eq!(factor_23(7), None);
+    }
+
+    #[test]
+    fn reference_fold_matches_manual_over() {
+        let mut a = RgbaImage::transparent(1, 1);
+        a.pixels[0] = [0.5, 0.0, 0.0, 0.5];
+        let mut b = RgbaImage::transparent(1, 1);
+        b.pixels[0] = [0.0, 0.5, 0.0, 0.5];
+        let out = composite_reference(&[a.clone(), b.clone()]);
+        assert_eq!(out.pixels[0], over(a.pixels[0], b.pixels[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn binary_swap_rejects_non_power_of_two() {
+        let mut comms = crate::comm::InProcComm::create(3);
+        let img = RgbaImage::transparent(2, 2);
+        binary_swap(&mut comms[0], img);
+    }
+}

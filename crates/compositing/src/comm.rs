@@ -1,0 +1,148 @@
+//! The communication layer for parallel image compositing: a minimal
+//! rank-addressed message-passing interface (the role MPI plays in the
+//! paper's implementation) with an in-process channel transport.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use vizsched_render::Rgba;
+
+/// A contiguous piece of an image, addressed by its starting pixel index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImagePart {
+    /// Index of the first pixel in the full image.
+    pub start: usize,
+    /// The pixels (premultiplied RGBA).
+    pub pixels: Vec<Rgba>,
+}
+
+/// A tagged point-to-point message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message {
+    /// Sender rank.
+    pub from: usize,
+    /// Round/tag discriminator (compositing rounds run lock-step but
+    /// messages can arrive early).
+    pub tag: u32,
+    /// Payload.
+    pub part: ImagePart,
+}
+
+/// Rank-addressed messaging, enough for swap compositing.
+pub trait Communicator {
+    /// This process's rank, `0..size`.
+    fn rank(&self) -> usize;
+    /// Number of participants.
+    fn size(&self) -> usize;
+    /// Send to a peer (non-blocking).
+    fn send(&mut self, to: usize, tag: u32, part: ImagePart);
+    /// Receive the message with the given source and tag, buffering any
+    /// other messages that arrive first (blocking).
+    fn recv_from(&mut self, from: usize, tag: u32) -> ImagePart;
+}
+
+/// An in-process transport over crossbeam channels; `create(n)` returns one
+/// endpoint per rank, to be moved into `n` threads.
+pub struct InProcComm {
+    rank: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Early arrivals awaiting their matching `recv_from`.
+    stash: Vec<Message>,
+}
+
+impl InProcComm {
+    /// Build a fully-connected group of `n` endpoints.
+    pub fn create(n: usize) -> Vec<InProcComm> {
+        assert!(n > 0, "communicator needs at least one rank");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| InProcComm {
+                rank,
+                senders: senders.clone(),
+                receiver,
+                stash: Vec::new(),
+            })
+            .collect()
+    }
+}
+
+impl Communicator for InProcComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&mut self, to: usize, tag: u32, part: ImagePart) {
+        let msg = Message { from: self.rank, tag, part };
+        self.senders[to].send(msg).expect("peer endpoint dropped before completion");
+    }
+
+    fn recv_from(&mut self, from: usize, tag: u32) -> ImagePart {
+        if let Some(i) = self.stash.iter().position(|m| m.from == from && m.tag == tag) {
+            return self.stash.swap_remove(i).part;
+        }
+        loop {
+            let msg = self.receiver.recv().expect("all peers disconnected");
+            if msg.from == from && msg.tag == tag {
+                return msg.part;
+            }
+            self.stash.push(msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(start: usize, n: usize) -> ImagePart {
+        ImagePart { start, pixels: vec![[start as f32; 4]; n] }
+    }
+
+    #[test]
+    fn ping_pong_between_threads() {
+        let mut comms = InProcComm::create(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            let got = c1.recv_from(0, 7);
+            c1.send(0, 8, got.clone());
+            got
+        });
+        c0.send(1, 7, part(3, 4));
+        let back = c0.recv_from(1, 8);
+        assert_eq!(back, part(3, 4));
+        assert_eq!(t.join().unwrap(), part(3, 4));
+    }
+
+    #[test]
+    fn out_of_order_messages_are_stashed() {
+        let mut comms = InProcComm::create(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        c0.send(1, 2, part(2, 1));
+        c0.send(1, 1, part(1, 1));
+        // Receive tag 1 first although tag 2 arrived first.
+        assert_eq!(c1.recv_from(0, 1), part(1, 1));
+        assert_eq!(c1.recv_from(0, 2), part(2, 1));
+    }
+
+    #[test]
+    fn rank_and_size_are_consistent() {
+        let comms = InProcComm::create(5);
+        for (i, c) in comms.iter().enumerate() {
+            assert_eq!(c.rank(), i);
+            assert_eq!(c.size(), 5);
+        }
+    }
+}

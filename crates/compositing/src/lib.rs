@@ -1,0 +1,22 @@
+//! # vizsched-compositing
+//!
+//! Sort-last image compositing for distributed volume rendering (§II-A):
+//! the binary-swap algorithm of Ma et al., the 2-3 swap generalization of
+//! Yu et al. used by the paper's system, and a direct-send baseline — all
+//! over a pluggable rank-addressed [`comm::Communicator`] whose in-process
+//! implementation stands in for MPI.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithms;
+pub mod comm;
+pub mod driver;
+pub mod modelled;
+pub mod order;
+
+pub use algorithms::{binary_swap, composite_reference, factor_23, swap23, swap_compositing};
+pub use comm::{Communicator, ImagePart, InProcComm, Message};
+pub use modelled::{LinkModel, ModelledComm};
+pub use driver::{composite, CompositeAlgo};
+pub use order::{sort_by_visibility, visibility_order};

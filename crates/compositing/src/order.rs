@@ -1,0 +1,51 @@
+//! Visibility ordering: swap compositing requires rank order to equal
+//! front-to-back order, so layers are permuted by depth before the
+//! exchange. For convex, non-overlapping bricks (the z-slab decomposition)
+//! sorting by brick-center distance to the eye yields a correct ordering.
+
+use vizsched_render::Layer;
+
+/// Indices of `layers` sorted front-most (smallest depth) first, ties
+/// broken by index for determinism.
+pub fn visibility_order(layers: &[Layer]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..layers.len()).collect();
+    order.sort_by(|&a, &b| {
+        layers[a]
+            .depth
+            .partial_cmp(&layers[b].depth)
+            .expect("finite depths")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Reorder layers front-to-back, consuming the input.
+pub fn sort_by_visibility(mut layers: Vec<Layer>) -> Vec<Layer> {
+    layers.sort_by(|a, b| a.depth.partial_cmp(&b.depth).expect("finite depths"));
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizsched_render::RgbaImage;
+
+    fn layer(depth: f32) -> Layer {
+        Layer { image: RgbaImage::transparent(1, 1), depth }
+    }
+
+    #[test]
+    fn orders_front_first() {
+        let layers = vec![layer(5.0), layer(1.0), layer(3.0)];
+        assert_eq!(visibility_order(&layers), vec![1, 2, 0]);
+        let sorted = sort_by_visibility(layers);
+        assert_eq!(sorted[0].depth, 1.0);
+        assert_eq!(sorted[2].depth, 5.0);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let layers = vec![layer(2.0), layer(2.0), layer(1.0)];
+        assert_eq!(visibility_order(&layers), vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,100 @@
+//! First-Come-First-Serve (FCFS).
+//!
+//! Jobs are scheduled in arrival order, one job at a time, the moment they
+//! enter the queue. The policy "maintains an available-time table and
+//! applies the greedy strategy to assign tasks to nodes with the smallest
+//! values of available time" (§VI-B) — it ignores data locality entirely,
+//! so a hot chunk drifts across nodes and gets reloaded from disk whenever
+//! its previous host has evicted it.
+
+use super::{Assignment, ScheduleCtx, Scheduler, Trigger};
+use crate::job::Job;
+
+/// The FCFS baseline.
+#[derive(Debug, Default)]
+pub struct FcfsScheduler {
+    _private: (),
+}
+
+impl FcfsScheduler {
+    /// Create the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FcfsScheduler {
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+
+    fn trigger(&self) -> Trigger {
+        Trigger::OnArrival
+    }
+
+    fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        for job in incoming {
+            let group = ctx.group_size(job.dataset);
+            for task in job.decompose(ctx.catalog) {
+                let node = ctx.earliest_node();
+                out.push(ctx.commit_blind(task, node, group));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::sched::testutil::{assert_complete_assignment, Fixture};
+    use crate::time::SimTime;
+
+    #[test]
+    fn schedules_every_task() {
+        let mut fx = Fixture::standard(4, 2);
+        let jobs =
+            vec![fx.interactive_job(0, 0, SimTime::ZERO), fx.interactive_job(1, 1, SimTime::ZERO)];
+        let mut sched = FcfsScheduler::new();
+        let mut ctx = fx.ctx(SimTime::ZERO);
+        let out = sched.schedule(&mut ctx, jobs.clone());
+        assert_complete_assignment(&jobs, &fx.catalog, &out);
+    }
+
+    #[test]
+    fn balances_across_idle_nodes() {
+        // One 4-task job on 4 idle nodes: greedy min-available spreads it,
+        // one task per node.
+        let mut fx = Fixture::standard(4, 1);
+        let job = fx.interactive_job(0, 0, SimTime::ZERO);
+        let mut sched = FcfsScheduler::new();
+        let mut ctx = fx.ctx(SimTime::ZERO);
+        let out = sched.schedule(&mut ctx, vec![job]);
+        let mut nodes: Vec<NodeId> = out.iter().map(|a| a.node).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn ignores_locality() {
+        // Chunk 0 of dataset 0 is cached on node 3, which is mildly busy.
+        // FCFS must still pick the *least available* node, not node 3.
+        let mut fx = Fixture::standard(4, 1);
+        let warm = fx.interactive_job(0, 0, SimTime::ZERO);
+        let task0 = warm.decompose(&fx.catalog)[0];
+        {
+            let mut ctx = fx.ctx(SimTime::ZERO);
+            ctx.commit(task0, NodeId(3), 4);
+        }
+        // Node 3 now has the largest available time; a new job's first task
+        // (same chunk) should go to node 0 despite the cache on node 3.
+        let job = fx.interactive_job(0, 1, SimTime::ZERO);
+        let mut sched = FcfsScheduler::new();
+        let mut ctx = fx.ctx(SimTime::ZERO);
+        let out = sched.schedule(&mut ctx, vec![job]);
+        assert_eq!(out[0].task.chunk, task0.chunk);
+        assert_ne!(out[0].node, NodeId(3));
+    }
+}

@@ -1,0 +1,122 @@
+//! First-Come-First-Serve with uniform data partition and distribution
+//! (FCFSU).
+//!
+//! The conventional parallel-volume-rendering arrangement (§III-C, first
+//! strategy): every dataset is split into exactly `p` chunks and chunk `j`
+//! always runs on node `j`, so every job occupies the whole cluster and
+//! every chunk has a fixed home. Data reuse is perfect as long as the
+//! working set fits, but each frame pays `p` tasks' worth of fixed
+//! dispatch/transmission overhead and compositing spans all `p` nodes —
+//! the redundant-processing overhead that caps it at roughly half the
+//! target frame rate in Scenario 1 and 11 fps in Scenario 3.
+
+use super::{Assignment, ScheduleCtx, Scheduler, Trigger};
+use crate::data::DecompositionPolicy;
+use crate::ids::NodeId;
+use crate::job::Job;
+
+/// The FCFSU baseline.
+#[derive(Debug, Default)]
+pub struct FcfsuScheduler {
+    _private: (),
+}
+
+impl FcfsuScheduler {
+    /// Create the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FcfsuScheduler {
+    fn name(&self) -> &'static str {
+        "FCFSU"
+    }
+
+    fn trigger(&self) -> Trigger {
+        Trigger::OnArrival
+    }
+
+    fn decomposition(&self, _chunk_max: u64, nodes: u32) -> DecompositionPolicy {
+        DecompositionPolicy::Uniform { nodes }
+    }
+
+    fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment> {
+        let p = ctx.tables.node_count() as u32;
+        let mut out = Vec::new();
+        for job in incoming {
+            let group = ctx.group_size(job.dataset);
+            for task in job.decompose(ctx.catalog) {
+                // Fixed mapping: chunk j lives on node j. If that node is
+                // down, fall back to the next live node so rendering can
+                // continue from a reload.
+                let home = NodeId(task.chunk.index % p);
+                let node = if ctx.tables.down[home.index()] {
+                    ctx.earliest_node()
+                } else {
+                    home
+                };
+                out.push(ctx.commit(task, node, group));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{uniform_datasets, Catalog};
+    use crate::sched::testutil::{assert_complete_assignment, Fixture, GIB};
+    use crate::time::SimTime;
+
+    fn uniform_fixture(p: usize, d: u32) -> Fixture {
+        let mut fx = Fixture::standard(p, d);
+        // Rebuild the catalog the way the engine would for FCFSU.
+        let policy = FcfsuScheduler::new().decomposition(512 << 20, p as u32);
+        fx.catalog = Catalog::new(uniform_datasets(d, 2 * GIB), policy);
+        fx
+    }
+
+    #[test]
+    fn every_job_spans_all_nodes() {
+        let mut fx = uniform_fixture(8, 1);
+        let job = fx.interactive_job(0, 0, SimTime::ZERO);
+        let mut sched = FcfsuScheduler::new();
+        let mut ctx = fx.ctx(SimTime::ZERO);
+        let out = sched.schedule(&mut ctx, vec![job.clone()]);
+        assert_complete_assignment(&[job], &fx.catalog, &out);
+        assert_eq!(out.len(), 8);
+        for a in &out {
+            assert_eq!(a.node, NodeId(a.task.chunk.index));
+        }
+    }
+
+    #[test]
+    fn fixed_mapping_gives_perfect_reuse() {
+        let mut fx = uniform_fixture(4, 1);
+        let mut sched = FcfsuScheduler::new();
+        let j1 = fx.interactive_job(0, 0, SimTime::ZERO);
+        let j2 = fx.interactive_job(0, 0, SimTime::ZERO);
+        let mut ctx = fx.ctx(SimTime::ZERO);
+        sched.schedule(&mut ctx, vec![j1]);
+        let out = sched.schedule(&mut ctx, vec![j2]);
+        // Second frame: every chunk is already resident on its home node.
+        let alpha = fx.cost.alpha(512 * (1 << 20), 4);
+        for a in &out {
+            assert_eq!(a.predicted_exec, alpha, "second frame must be all cache hits");
+        }
+    }
+
+    #[test]
+    fn crashed_home_falls_back_to_live_node() {
+        let mut fx = uniform_fixture(4, 1);
+        fx.tables.mark_down(NodeId(2));
+        let job = fx.interactive_job(0, 0, SimTime::ZERO);
+        let mut sched = FcfsuScheduler::new();
+        let mut ctx = fx.ctx(SimTime::ZERO);
+        let out = sched.schedule(&mut ctx, vec![job]);
+        assert!(out.iter().all(|a| a.node != NodeId(2)));
+        assert_eq!(out.len(), 4);
+    }
+}

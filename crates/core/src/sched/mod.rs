@@ -1,0 +1,481 @@
+//! The scheduling framework: the [`Scheduler`] trait, its invocation
+//! context, and the six policies evaluated in the paper.
+//!
+//! | Policy | Module | Locality | Trigger | Decomposition |
+//! |--------|--------|----------|---------|---------------|
+//! | FCFS   | [`fcfs`]  | no  | per arrival | `Chk_max` |
+//! | FCFSL  | [`fcfsl`] | yes | per arrival | `Chk_max` |
+//! | FCFSU  | [`fcfsu`] | implicit (fixed mapping) | per arrival | uniform (`m = p`) |
+//! | SF     | [`sf`]    | no  | cycle window | `Chk_max` |
+//! | FS     | [`fs`]    | no  | cycle | `Chk_max` |
+//! | OURS   | [`ours`]  | yes + batch deferral | cycle | `Chk_max` |
+//! | FSD    | [`fsd`]   | delay scheduling (extension) | cycle | `Chk_max` |
+//!
+//! A scheduler maps queued jobs to per-node task assignments, updating the
+//! head tables optimistically as it goes; the execution substrate (the
+//! discrete-event simulator or the live service) later corrects the tables
+//! with observed reality.
+
+pub mod fcfs;
+pub mod fcfsl;
+pub mod fcfsu;
+pub mod fs;
+pub mod fsd;
+pub mod ours;
+pub mod sf;
+
+use crate::cost::CostParams;
+use crate::data::{Catalog, DecompositionPolicy};
+use crate::ids::{ChunkId, NodeId};
+use crate::job::{Job, Task};
+use crate::tables::HeadTables;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+pub use fcfs::FcfsScheduler;
+pub use fcfsl::FcfslScheduler;
+pub use fcfsu::FcfsuScheduler;
+pub use fs::FsScheduler;
+pub use fsd::FsdScheduler;
+pub use ours::{OursParams, OursScheduler};
+pub use sf::SfScheduler;
+
+/// When the dispatching thread invokes a scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// Immediately, once per arriving job (the FCFS family).
+    OnArrival,
+    /// Periodically, every `ω` (OURS, FS, SF) — amortizing scheduling work
+    /// over all jobs that arrived during the cycle.
+    Cycle(SimDuration),
+}
+
+/// One task pinned to one rendering node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// The task being placed.
+    pub task: Task,
+    /// The node it will run on.
+    pub node: NodeId,
+    /// Predicted start time (from the `Available` table at commit time).
+    pub predicted_start: SimTime,
+    /// Predicted execution time used to push the `Available` table.
+    pub predicted_exec: SimDuration,
+    /// Render-group size assumed for the compositing cost.
+    pub group: u32,
+}
+
+/// Everything a scheduler sees when invoked.
+pub struct ScheduleCtx<'a> {
+    /// Current time (virtual or wall).
+    pub now: SimTime,
+    /// The head node's tables (mutated optimistically during scheduling).
+    pub tables: &'a mut HeadTables,
+    /// Dataset/chunk registry under this run's decomposition policy.
+    pub catalog: &'a Catalog,
+    /// Cost-model constants.
+    pub cost: &'a CostParams,
+}
+
+impl ScheduleCtx<'_> {
+    /// Render-group size for a job over `dataset`: its tasks spread over at
+    /// most `min(t_i, live nodes)` nodes.
+    pub fn group_size(&self, dataset: crate::ids::DatasetId) -> u32 {
+        let live = self.tables.live_nodes().count().max(1) as u32;
+        self.catalog.task_count(dataset).min(live)
+    }
+
+    /// Predicted I/O cost of placing `chunk` on `node` right now: zero on a
+    /// predicted cache hit, otherwise the `Estimate` table value.
+    pub fn io_estimate(&self, node: NodeId, chunk: ChunkId, bytes: u64) -> SimDuration {
+        if self.tables.cache.contains(node, chunk) {
+            SimDuration::ZERO
+        } else {
+            self.tables.estimate.get(chunk, bytes, self.cost)
+        }
+    }
+
+    /// The live node with the earliest predicted availability; ties broken
+    /// by node index (deterministic).
+    pub fn earliest_node(&self) -> NodeId {
+        self.tables
+            .live_nodes()
+            .min_by_key(|&k| (self.tables.available.ready_at(k, self.now), k))
+            .expect("at least one live node")
+    }
+
+    /// The live node minimizing `ready_at + io_estimate` for `chunk` — the
+    /// locality-aware greedy choice (Algorithm 1, line 11).
+    pub fn earliest_node_with_locality(&self, chunk: ChunkId, bytes: u64) -> NodeId {
+        self.tables
+            .live_nodes()
+            .min_by_key(|&k| {
+                (
+                    self.tables.available.ready_at(k, self.now) + self.io_estimate(k, chunk, bytes),
+                    k,
+                )
+            })
+            .expect("at least one live node")
+    }
+
+    /// Predicted *data movement* cost of placing `chunk` on `node`: disk
+    /// I/O plus upload on a full miss, just the PCIe upload on a host hit
+    /// that is not GPU-resident, zero on a GPU hit. Reduces to
+    /// [`ScheduleCtx::io_estimate`] when the two-tier extension is off.
+    pub fn movement_estimate(&self, node: NodeId, chunk: ChunkId, bytes: u64) -> SimDuration {
+        if !self.tables.cache.contains(node, chunk) {
+            let io = self.tables.estimate.get(chunk, bytes, self.cost);
+            return if self.tables.gpu_cache.is_some() {
+                io + self.cost.upload_time(bytes)
+            } else {
+                io
+            };
+        }
+        if self.tables.gpu_resident(node, chunk) {
+            SimDuration::ZERO
+        } else {
+            self.cost.upload_time(bytes)
+        }
+    }
+
+    /// The live node minimizing predicted completion *including the PCIe
+    /// upload* — the GPU-residency-aware refinement of Algorithm 1 line 11
+    /// (§VII future work).
+    pub fn earliest_node_with_gpu_locality(&self, chunk: ChunkId, bytes: u64) -> NodeId {
+        self.tables
+            .live_nodes()
+            .min_by_key(|&k| {
+                (
+                    self.tables.available.ready_at(k, self.now)
+                        + self.movement_estimate(k, chunk, bytes),
+                    k,
+                )
+            })
+            .expect("at least one live node")
+    }
+
+    /// Commit `task` to `node`: push the `Available` table, update the
+    /// `Cache` prediction (load + predicted evictions on a miss, recency
+    /// touch on a hit), and stamp the node's interactive-idle clock.
+    pub fn commit(&mut self, task: Task, node: NodeId, group: u32) -> Assignment {
+        let cached = self.tables.cache.contains(node, task.chunk);
+        let io = if cached {
+            SimDuration::ZERO
+        } else {
+            self.tables.estimate.get(task.chunk, task.bytes, self.cost)
+        };
+        self.commit_with_prediction(task, node, group, io)
+    }
+
+    /// Commit for a locality-*blind* policy (FCFS, SF, FS): the predicted
+    /// execution time charges the chunk's `Estimate` regardless of where
+    /// the chunk is cached, because these policies do not track per-node
+    /// residency. Without this, the availability feedback loop would leak
+    /// cache knowledge into policies the paper defines as locality-unaware,
+    /// letting them self-organize into placements no such scheduler finds
+    /// in practice.
+    pub fn commit_blind(&mut self, task: Task, node: NodeId, group: u32) -> Assignment {
+        let io = self.tables.estimate.get(task.chunk, task.bytes, self.cost);
+        self.commit_with_prediction(task, node, group, io)
+    }
+
+    /// Commit for the GPU-residency-aware scheduler: the prediction charges
+    /// the full data-movement estimate (disk and/or upload) and the GPU
+    /// mirror is updated alongside the host mirror.
+    pub fn commit_gpu_aware(&mut self, task: Task, node: NodeId, group: u32) -> Assignment {
+        let movement = self.movement_estimate(node, task.chunk, task.bytes);
+        let assignment = self.commit_with_prediction(task, node, group, movement);
+        if let Some(gpu) = &mut self.tables.gpu_cache {
+            gpu.record_load(node, task.chunk, task.bytes);
+        }
+        assignment
+    }
+
+    fn commit_with_prediction(
+        &mut self,
+        task: Task,
+        node: NodeId,
+        group: u32,
+        predicted_io: SimDuration,
+    ) -> Assignment {
+        let cached = self.tables.cache.contains(node, task.chunk);
+        let exec = predicted_io + self.cost.alpha(task.bytes, group);
+        let predicted_start = self.tables.available.push_work(node, self.now, exec);
+        if cached {
+            self.tables.cache.touch(node, task.chunk);
+        } else {
+            self.tables.cache.record_load(node, task.chunk, task.bytes);
+        }
+        if task.interactive {
+            self.tables.note_interactive(node, self.now);
+        }
+        Assignment { task, node, predicted_start, predicted_exec: exec, group }
+    }
+}
+
+/// A job-scheduling policy. Implementations must be deterministic: the same
+/// context and job sequence must produce the same assignments.
+pub trait Scheduler: Send {
+    /// Short policy name as used in the paper's figures ("OURS", "FCFSL", …).
+    fn name(&self) -> &'static str;
+
+    /// How the dispatcher should invoke this policy.
+    fn trigger(&self) -> Trigger;
+
+    /// The data decomposition this policy assumes. Everything uses
+    /// `Chk_max` except FCFSU, which partitions uniformly across nodes.
+    fn decomposition(&self, chunk_max: u64, nodes: u32) -> DecompositionPolicy {
+        let _ = nodes;
+        DecompositionPolicy::MaxChunkSize { max_bytes: chunk_max }
+    }
+
+    /// Map the queued jobs to assignments. `incoming` holds every job that
+    /// arrived since the previous invocation, in arrival order. A policy may
+    /// defer work (OURS holds batch tasks back); deferred tasks are emitted
+    /// by later invocations.
+    fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment>;
+
+    /// True while the policy still holds deferred tasks, so the dispatcher
+    /// keeps invoking it even with an empty queue.
+    fn has_deferred(&self) -> bool {
+        false
+    }
+}
+
+/// Which policy to run — the x-axis of every comparison figure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// First-Come-First-Serve.
+    Fcfs,
+    /// FCFS with data locality.
+    Fcfsl,
+    /// FCFS with uniform data partition and distribution.
+    Fcfsu,
+    /// Shortest-First.
+    Sf,
+    /// Fair-Sharing.
+    Fs,
+    /// Fair-Sharing with delay scheduling (extension baseline; the
+    /// technique of the paper's citation [26], not part of its own
+    /// evaluation — excluded from [`SchedulerKind::ALL`]).
+    FsDelay,
+    /// The paper's proposed scheduler.
+    Ours,
+}
+
+impl SchedulerKind {
+    /// All six policies in the paper's figure order.
+    pub const ALL: [SchedulerKind; 6] = [
+        SchedulerKind::Fs,
+        SchedulerKind::Sf,
+        SchedulerKind::Fcfs,
+        SchedulerKind::Fcfsu,
+        SchedulerKind::Fcfsl,
+        SchedulerKind::Ours,
+    ];
+
+    /// The four policies of Table III.
+    pub const TABLE3: [SchedulerKind; 4] =
+        [SchedulerKind::Fs, SchedulerKind::Fcfsu, SchedulerKind::Fcfsl, SchedulerKind::Ours];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "FCFS",
+            SchedulerKind::Fcfsl => "FCFSL",
+            SchedulerKind::Fcfsu => "FCFSU",
+            SchedulerKind::Sf => "SF",
+            SchedulerKind::Fs => "FS",
+            SchedulerKind::FsDelay => "FSD",
+            SchedulerKind::Ours => "OURS",
+        }
+    }
+
+    /// Instantiate the policy. `cycle` is the scheduling cycle `ω` for the
+    /// cycle-based policies (ignored by the FCFS family).
+    pub fn build(&self, cycle: SimDuration) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Fcfs => Box::new(FcfsScheduler::new()),
+            SchedulerKind::Fcfsl => Box::new(FcfslScheduler::new()),
+            SchedulerKind::Fcfsu => Box::new(FcfsuScheduler::new()),
+            SchedulerKind::Sf => Box::new(SfScheduler::new(cycle)),
+            SchedulerKind::Fs => Box::new(FsScheduler::new(cycle)),
+            SchedulerKind::FsDelay => Box::new(FsdScheduler::new(cycle, 3)),
+            SchedulerKind::Ours => Box::new(OursScheduler::new(OursParams {
+                cycle,
+                ..OursParams::default()
+            })),
+        }
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "FCFS" => Ok(SchedulerKind::Fcfs),
+            "FCFSL" => Ok(SchedulerKind::Fcfsl),
+            "FCFSU" => Ok(SchedulerKind::Fcfsu),
+            "SF" => Ok(SchedulerKind::Sf),
+            "FS" => Ok(SchedulerKind::Fs),
+            "FSD" => Ok(SchedulerKind::FsDelay),
+            "OURS" => Ok(SchedulerKind::Ours),
+            other => Err(format!("unknown scheduler '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::data::{uniform_datasets, Catalog};
+    use crate::ids::{ActionId, BatchId, DatasetId, JobId, UserId};
+    use crate::job::{FrameParams, JobKind};
+
+    pub const GIB: u64 = 1 << 30;
+    pub const MIB: u64 = 1 << 20;
+
+    /// A small fixture: `p` nodes with 2 GiB quota, `d` datasets of 2 GiB,
+    /// 512 MiB chunks (4 tasks per job), under `policy`.
+    pub struct Fixture {
+        #[allow(dead_code)]
+        pub cluster: ClusterSpec,
+        pub tables: HeadTables,
+        pub catalog: Catalog,
+        pub cost: CostParams,
+        next_job: u64,
+    }
+
+    impl Fixture {
+        pub fn new(p: usize, d: u32, policy: DecompositionPolicy) -> Self {
+            let cluster = ClusterSpec::homogeneous(p, 2 * GIB);
+            let tables = HeadTables::new(&cluster);
+            let catalog = Catalog::new(uniform_datasets(d, 2 * GIB), policy);
+            Fixture { cluster, tables, catalog, cost: CostParams::default(), next_job: 0 }
+        }
+
+        pub fn standard(p: usize, d: u32) -> Self {
+            Self::new(p, d, DecompositionPolicy::MaxChunkSize { max_bytes: 512 * MIB })
+        }
+
+        pub fn ctx(&mut self, now: SimTime) -> ScheduleCtx<'_> {
+            ScheduleCtx { now, tables: &mut self.tables, catalog: &self.catalog, cost: &self.cost }
+        }
+
+        pub fn interactive_job(&mut self, dataset: u32, action: u64, at: SimTime) -> Job {
+            self.next_job += 1;
+            Job {
+                id: JobId(self.next_job),
+                kind: JobKind::Interactive { user: UserId(action as u32), action: ActionId(action) },
+                dataset: DatasetId(dataset),
+                issue_time: at,
+                frame: FrameParams::default(),
+            }
+        }
+
+        pub fn batch_job(&mut self, dataset: u32, request: u64, at: SimTime) -> Job {
+            self.next_job += 1;
+            Job {
+                id: JobId(self.next_job),
+                kind: JobKind::Batch { user: UserId(1000), request: BatchId(request), frame: 0 },
+                dataset: DatasetId(dataset),
+                issue_time: at,
+                frame: FrameParams::default(),
+            }
+        }
+    }
+
+    /// Every task of every job appears in the output exactly once.
+    pub fn assert_complete_assignment(jobs: &[Job], catalog: &Catalog, out: &[Assignment]) {
+        let mut expected: Vec<(JobId, u32)> = jobs
+            .iter()
+            .flat_map(|j| {
+                (0..catalog.task_count(j.dataset)).map(move |t| (j.id, t))
+            })
+            .collect();
+        let mut got: Vec<(JobId, u32)> = out.iter().map(|a| (a.task.job, a.task.index)).collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(expected, got, "assignment must cover every task exactly once");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_from_str() {
+        for kind in SchedulerKind::ALL {
+            let parsed: SchedulerKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("nope".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for kind in SchedulerKind::ALL {
+            let s = kind.build(SimDuration::from_millis(30));
+            assert_eq!(s.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn commit_pushes_available_and_caches() {
+        let mut fx = Fixture::standard(4, 2);
+        let job = fx.interactive_job(0, 0, SimTime::ZERO);
+        let task = job.decompose(&fx.catalog)[0];
+        let mut ctx = fx.ctx(SimTime::ZERO);
+        let group = ctx.group_size(job.dataset);
+        let a = ctx.commit(task, NodeId(2), group);
+        assert_eq!(a.node, NodeId(2));
+        assert_eq!(a.predicted_start, SimTime::ZERO);
+        // Cold commit: exec includes the I/O estimate.
+        let cost = CostParams::default();
+        assert_eq!(a.predicted_exec, cost.io_time(task.bytes) + cost.alpha(task.bytes, group));
+        assert!(fx.tables.cache.contains(NodeId(2), task.chunk));
+        assert_eq!(fx.tables.available.get(NodeId(2)), SimTime::ZERO + a.predicted_exec);
+    }
+
+    #[test]
+    fn commit_on_cached_chunk_skips_io() {
+        let mut fx = Fixture::standard(4, 2);
+        let job = fx.interactive_job(0, 0, SimTime::ZERO);
+        let task = job.decompose(&fx.catalog)[0];
+        {
+            let mut ctx = fx.ctx(SimTime::ZERO);
+            ctx.commit(task, NodeId(0), 4);
+        }
+        let mut ctx = fx.ctx(SimTime::ZERO);
+        let a = ctx.commit(task, NodeId(0), 4);
+        assert_eq!(a.predicted_exec, CostParams::default().alpha(task.bytes, 4));
+    }
+
+    #[test]
+    fn earliest_node_with_locality_prefers_cached() {
+        let mut fx = Fixture::standard(4, 2);
+        let job = fx.interactive_job(0, 0, SimTime::ZERO);
+        let task = job.decompose(&fx.catalog)[0];
+        {
+            let mut ctx = fx.ctx(SimTime::ZERO);
+            ctx.commit(task, NodeId(3), 4);
+        }
+        // The load has completed: node 3 is free again and holds the chunk.
+        fx.tables.available.correct(NodeId(3), SimTime::ZERO);
+        let ctx = fx.ctx(SimTime::ZERO);
+        assert_eq!(ctx.earliest_node_with_locality(task.chunk, task.bytes), NodeId(3));
+        // Without locality the tie goes to the lowest index.
+        assert_eq!(ctx.earliest_node(), NodeId(0));
+    }
+
+    #[test]
+    fn group_size_capped_by_cluster() {
+        let mut fx = Fixture::standard(2, 1); // 4 chunks, 2 nodes
+        let ctx = fx.ctx(SimTime::ZERO);
+        assert_eq!(ctx.group_size(crate::ids::DatasetId(0)), 2);
+    }
+}

@@ -1,0 +1,453 @@
+//! The three head-node tables of §V-A and their run-time correction (§V-B).
+//!
+//! * `Available[R_k]` — predicted time at which node `R_k` finishes its
+//!   current and scheduled workload. Updated optimistically every time a
+//!   task is scheduled; corrected when tasks complete and predictions
+//!   diverge from reality.
+//! * `Cache[c]` — the set of nodes predicted to hold chunk `c` in main
+//!   memory, mirrored per node as an LRU under the node's quota. Updated
+//!   during scheduling when a node is told to load a chunk (or predicted to
+//!   evict one) and reconciled against the node's authoritative state when
+//!   tasks complete.
+//! * `Estimate[c]` — the latest measured I/O time for chunk `c`, initialized
+//!   from the cost model (standing in for the paper's "test run") and
+//!   refreshed with each observed load.
+//!
+//! The tables additionally track, per node, the last time an interactive
+//! task was assigned — the input to the idle-threshold test `ε` that gates
+//! non-cached batch work in Algorithm 1.
+
+use crate::cluster::ClusterSpec;
+use crate::cost::CostParams;
+use crate::fxhash::FxHashMap;
+use crate::ids::{ChunkId, NodeId};
+use crate::memory::{EvictionPolicy, NodeMemory};
+use crate::time::{SimDuration, SimTime};
+
+/// `Available[R_k]`: per-node predicted available time.
+#[derive(Clone, Debug)]
+pub struct AvailableTable {
+    times: Vec<SimTime>,
+}
+
+impl AvailableTable {
+    fn new(p: usize) -> Self {
+        AvailableTable { times: vec![SimTime::ZERO; p] }
+    }
+
+    /// Predicted available time of `node`.
+    pub fn get(&self, node: NodeId) -> SimTime {
+        self.times[node.index()]
+    }
+
+    /// Effective start time for work scheduled on `node` at `now`.
+    pub fn ready_at(&self, node: NodeId, now: SimTime) -> SimTime {
+        self.times[node.index()].max(now)
+    }
+
+    /// Push the node's availability forward by `exec` starting no earlier
+    /// than `now`; returns the predicted task start time.
+    pub fn push_work(&mut self, node: NodeId, now: SimTime, exec: SimDuration) -> SimTime {
+        let start = self.ready_at(node, now);
+        self.times[node.index()] = start + exec;
+        start
+    }
+
+    /// Correction: replace the prediction with a recomputed value.
+    pub fn correct(&mut self, node: NodeId, t: SimTime) {
+        self.times[node.index()] = t;
+    }
+
+    /// The node with the smallest predicted available time (ties broken by
+    /// lowest index, so runs are deterministic).
+    pub fn min_node(&self) -> NodeId {
+        let (k, _) = self
+            .times
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, t)| (*t, i))
+            .expect("cluster is non-empty");
+        NodeId(k as u32)
+    }
+
+    /// Iterate `(node, available)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, SimTime)> + '_ {
+        self.times.iter().enumerate().map(|(i, &t)| (NodeId(i as u32), t))
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Always false for a valid cluster.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+/// `Cache[c]`: chunk-to-nodes map plus per-node LRU mirrors.
+#[derive(Clone, Debug)]
+pub struct CacheTable {
+    /// For each chunk, the (sorted) nodes predicted to hold it.
+    chunk_nodes: FxHashMap<ChunkId, Vec<NodeId>>,
+    /// Per-node predicted memory contents.
+    node_mem: Vec<NodeMemory>,
+}
+
+impl CacheTable {
+    fn new(cluster: &ClusterSpec, eviction: EvictionPolicy) -> Self {
+        let quotas: Vec<u64> = cluster.nodes.iter().map(|n| n.mem_quota).collect();
+        Self::with_quotas(&quotas, eviction)
+    }
+
+    /// Build mirrors with explicit per-node quotas (used for the GPU-tier
+    /// mirror of the two-tier extension).
+    pub fn with_quotas(quotas: &[u64], eviction: EvictionPolicy) -> Self {
+        let node_mem = quotas
+            .iter()
+            .enumerate()
+            .map(|(k, &quota)| {
+                let policy = match eviction {
+                    // Distinct seeds per node keep random eviction
+                    // decorrelated across nodes yet reproducible.
+                    EvictionPolicy::Random { seed } => {
+                        EvictionPolicy::Random { seed: seed.wrapping_add(k as u64) }
+                    }
+                    other => other,
+                };
+                NodeMemory::with_policy(quota, policy)
+            })
+            .collect();
+        CacheTable { chunk_nodes: FxHashMap::default(), node_mem }
+    }
+
+    /// Nodes predicted to hold `chunk` (`Cache[c]`); empty slice if none.
+    pub fn nodes_with(&self, chunk: ChunkId) -> &[NodeId] {
+        self.chunk_nodes.get(&chunk).map_or(&[], Vec::as_slice)
+    }
+
+    /// True if `chunk` is predicted resident on `node`.
+    pub fn contains(&self, node: NodeId, chunk: ChunkId) -> bool {
+        self.node_mem[node.index()].contains(chunk)
+    }
+
+    /// True if any node holds `chunk` (`Cache[c] ≠ ∅`).
+    pub fn is_cached_anywhere(&self, chunk: ChunkId) -> bool {
+        self.chunk_nodes.get(&chunk).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Number of nodes holding `chunk` (`|Cache[c]|`, the sort key for
+    /// non-cached batch scheduling).
+    pub fn replica_count(&self, chunk: ChunkId) -> usize {
+        self.chunk_nodes.get(&chunk).map_or(0, Vec::len)
+    }
+
+    /// Refresh recency of a predicted cache hit.
+    pub fn touch(&mut self, node: NodeId, chunk: ChunkId) {
+        self.node_mem[node.index()].touch(chunk);
+    }
+
+    /// Predict a load of `chunk` onto `node`, evicting per the node's
+    /// policy. Returns the predicted evictions.
+    pub fn record_load(&mut self, node: NodeId, chunk: ChunkId, bytes: u64) -> Vec<ChunkId> {
+        if self.contains(node, chunk) {
+            self.touch(node, chunk);
+            return Vec::new();
+        }
+        let evicted = self.node_mem[node.index()].load(chunk, bytes);
+        for &victim in &evicted {
+            self.unlink(node, victim);
+        }
+        self.link(node, chunk);
+        evicted
+    }
+
+    /// Reconciliation (§V-B "tables update and correction"): a node reports
+    /// the load and evictions it actually performed; make the prediction
+    /// match reality exactly.
+    pub fn reconcile_load(
+        &mut self,
+        node: NodeId,
+        loaded: ChunkId,
+        bytes: u64,
+        evicted: &[ChunkId],
+    ) {
+        for &victim in evicted {
+            if self.node_mem[node.index()].remove(victim) {
+                self.unlink(node, victim);
+            }
+        }
+        if !self.contains(node, loaded) {
+            self.node_mem[node.index()].force_insert(loaded, bytes);
+            self.link(node, loaded);
+        } else {
+            self.touch(node, loaded);
+        }
+    }
+
+    /// Drop every prediction for `node` (crash handling: the node's memory
+    /// is gone).
+    pub fn clear_node(&mut self, node: NodeId) {
+        let resident: Vec<ChunkId> = self.node_mem[node.index()].chunks().collect();
+        for chunk in resident {
+            self.node_mem[node.index()].remove(chunk);
+            self.unlink(node, chunk);
+        }
+    }
+
+    /// Predicted memory mirror of one node.
+    pub fn node_memory(&self, node: NodeId) -> &NodeMemory {
+        &self.node_mem[node.index()]
+    }
+
+    fn link(&mut self, node: NodeId, chunk: ChunkId) {
+        let nodes = self.chunk_nodes.entry(chunk).or_default();
+        if let Err(pos) = nodes.binary_search(&node) {
+            nodes.insert(pos, node);
+        }
+    }
+
+    fn unlink(&mut self, node: NodeId, chunk: ChunkId) {
+        if let Some(nodes) = self.chunk_nodes.get_mut(&chunk) {
+            if let Ok(pos) = nodes.binary_search(&node) {
+                nodes.remove(pos);
+            }
+            if nodes.is_empty() {
+                self.chunk_nodes.remove(&chunk);
+            }
+        }
+    }
+}
+
+/// `Estimate[c]`: latest measured I/O time per chunk, with a cost-model
+/// fallback for never-loaded chunks (the paper initializes it via a test
+/// run).
+#[derive(Clone, Debug, Default)]
+pub struct EstimateTable {
+    measured: FxHashMap<ChunkId, SimDuration>,
+}
+
+impl EstimateTable {
+    /// Estimated I/O time for `chunk` of `bytes`.
+    pub fn get(&self, chunk: ChunkId, bytes: u64, cost: &CostParams) -> SimDuration {
+        self.measured.get(&chunk).copied().unwrap_or_else(|| cost.io_time(bytes))
+    }
+
+    /// Record a measured I/O time (run-time refresh).
+    pub fn record(&mut self, chunk: ChunkId, io: SimDuration) {
+        self.measured.insert(chunk, io);
+    }
+
+    /// Number of chunks with at least one measurement.
+    pub fn measured_count(&self) -> usize {
+        self.measured.len()
+    }
+}
+
+/// All head-node scheduling state bundled together.
+#[derive(Clone, Debug)]
+pub struct HeadTables {
+    /// `Available[R_k]`.
+    pub available: AvailableTable,
+    /// `Cache[c]` plus per-node mirrors.
+    pub cache: CacheTable,
+    /// `Estimate[c]`.
+    pub estimate: EstimateTable,
+    /// Per node: when an interactive task was last assigned to it (drives
+    /// the idle threshold `ε`). `None` means "never".
+    pub last_interactive: Vec<Option<SimTime>>,
+    /// Nodes currently believed crashed (excluded from scheduling).
+    pub down: Vec<bool>,
+    /// Predicted *GPU-tier* residency per node — present only when the
+    /// two-tier memory extension (§VII future work) is enabled.
+    pub gpu_cache: Option<CacheTable>,
+}
+
+impl HeadTables {
+    /// Fresh tables for a cluster, LRU eviction.
+    pub fn new(cluster: &ClusterSpec) -> Self {
+        Self::with_eviction(cluster, EvictionPolicy::Lru)
+    }
+
+    /// Fresh tables with an explicit eviction policy (ablation hook).
+    pub fn with_eviction(cluster: &ClusterSpec, eviction: EvictionPolicy) -> Self {
+        HeadTables {
+            available: AvailableTable::new(cluster.len()),
+            cache: CacheTable::new(cluster, eviction),
+            estimate: EstimateTable::default(),
+            last_interactive: vec![None; cluster.len()],
+            down: vec![false; cluster.len()],
+            gpu_cache: None,
+        }
+    }
+
+    /// Enable the two-tier extension: also predict GPU residency, with
+    /// `gpu_quota` bytes of video memory per node.
+    pub fn with_gpu_tier(cluster: &ClusterSpec, gpu_quota: u64, eviction: EvictionPolicy) -> Self {
+        let mut tables = Self::with_eviction(cluster, eviction);
+        let quotas = vec![gpu_quota; cluster.len()];
+        tables.gpu_cache = Some(CacheTable::with_quotas(&quotas, eviction));
+        tables
+    }
+
+    /// True if `chunk` is predicted GPU-resident on `node`. Without the
+    /// extension, host residency is render-ready.
+    pub fn gpu_resident(&self, node: NodeId, chunk: ChunkId) -> bool {
+        match &self.gpu_cache {
+            Some(gpu) => gpu.contains(node, chunk),
+            None => self.cache.contains(node, chunk),
+        }
+    }
+
+    /// Number of rendering nodes.
+    pub fn node_count(&self) -> usize {
+        self.available.len()
+    }
+
+    /// Iterate the ids of nodes currently believed alive.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.down
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| !d)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Mark a node as crashed: its cache predictions are dropped and it is
+    /// excluded from future scheduling until revived.
+    pub fn mark_down(&mut self, node: NodeId) {
+        self.down[node.index()] = true;
+        self.cache.clear_node(node);
+        if let Some(gpu) = &mut self.gpu_cache {
+            gpu.clear_node(node);
+        }
+        self.available.correct(node, SimTime::MAX);
+    }
+
+    /// Bring a node back (empty-cached) at time `now`.
+    pub fn mark_up(&mut self, node: NodeId, now: SimTime) {
+        self.down[node.index()] = false;
+        self.available.correct(node, now);
+    }
+
+    /// How long `node` has gone without an interactive assignment, as of
+    /// `now`; [`SimDuration::MAX`] if it never had one.
+    pub fn interactive_idle(&self, node: NodeId, now: SimTime) -> SimDuration {
+        match self.last_interactive[node.index()] {
+            Some(t) => now.saturating_since(t),
+            None => SimDuration::MAX,
+        }
+    }
+
+    /// Record an interactive assignment on `node` at `now`.
+    pub fn note_interactive(&mut self, node: NodeId, now: SimTime) {
+        let slot = &mut self.last_interactive[node.index()];
+        *slot = Some(slot.map_or(now, |t| t.max(now)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::DatasetId;
+
+    const GIB: u64 = 1 << 30;
+
+    fn chunk(i: u32) -> ChunkId {
+        ChunkId::new(DatasetId(0), i)
+    }
+
+    fn tables() -> HeadTables {
+        HeadTables::new(&ClusterSpec::homogeneous(4, 2 * GIB))
+    }
+
+    #[test]
+    fn push_work_serializes_on_a_node() {
+        let mut t = tables();
+        let now = SimTime::from_secs(1);
+        let s1 = t.available.push_work(NodeId(0), now, SimDuration::from_secs(2));
+        assert_eq!(s1, now);
+        let s2 = t.available.push_work(NodeId(0), now, SimDuration::from_secs(3));
+        assert_eq!(s2, SimTime::from_secs(3));
+        assert_eq!(t.available.get(NodeId(0)), SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn min_node_breaks_ties_deterministically() {
+        let mut t = tables();
+        assert_eq!(t.available.min_node(), NodeId(0));
+        t.available.push_work(NodeId(0), SimTime::ZERO, SimDuration::from_secs(1));
+        assert_eq!(t.available.min_node(), NodeId(1));
+    }
+
+    #[test]
+    fn cache_table_links_and_unlinks() {
+        let mut t = tables();
+        t.cache.record_load(NodeId(1), chunk(0), GIB);
+        t.cache.record_load(NodeId(2), chunk(0), GIB);
+        assert_eq!(t.cache.nodes_with(chunk(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(t.cache.replica_count(chunk(0)), 2);
+        assert!(t.cache.is_cached_anywhere(chunk(0)));
+        assert!(!t.cache.is_cached_anywhere(chunk(9)));
+    }
+
+    #[test]
+    fn record_load_evictions_unlink() {
+        let mut t = tables();
+        // Quota 2 GiB: two 1 GiB chunks fit, third evicts the LRU.
+        t.cache.record_load(NodeId(0), chunk(0), GIB);
+        t.cache.record_load(NodeId(0), chunk(1), GIB);
+        let evicted = t.cache.record_load(NodeId(0), chunk(2), GIB);
+        assert_eq!(evicted, vec![chunk(0)]);
+        assert!(t.cache.nodes_with(chunk(0)).is_empty());
+        assert!(t.cache.contains(NodeId(0), chunk(2)));
+    }
+
+    #[test]
+    fn reconcile_load_overrides_prediction() {
+        let mut t = tables();
+        t.cache.record_load(NodeId(0), chunk(0), GIB);
+        // The node actually evicted chunk 0 while loading chunk 5.
+        t.cache.reconcile_load(NodeId(0), chunk(5), GIB, &[chunk(0)]);
+        assert!(!t.cache.contains(NodeId(0), chunk(0)));
+        assert!(t.cache.contains(NodeId(0), chunk(5)));
+        assert_eq!(t.cache.nodes_with(chunk(5)), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn estimate_falls_back_to_cost_model() {
+        let mut t = tables();
+        let cost = CostParams::default();
+        let fallback = t.estimate.get(chunk(0), 512 << 20, &cost);
+        assert_eq!(fallback, cost.io_time(512 << 20));
+        t.estimate.record(chunk(0), SimDuration::from_secs(9));
+        assert_eq!(t.estimate.get(chunk(0), 512 << 20, &cost), SimDuration::from_secs(9));
+        assert_eq!(t.estimate.measured_count(), 1);
+    }
+
+    #[test]
+    fn interactive_idle_tracks_assignments() {
+        let mut t = tables();
+        let now = SimTime::from_secs(10);
+        assert_eq!(t.interactive_idle(NodeId(0), now), SimDuration::MAX);
+        t.note_interactive(NodeId(0), SimTime::from_secs(8));
+        assert_eq!(t.interactive_idle(NodeId(0), now), SimDuration::from_secs(2));
+        // Older assignments never move the stamp backwards.
+        t.note_interactive(NodeId(0), SimTime::from_secs(3));
+        assert_eq!(t.interactive_idle(NodeId(0), now), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn crash_clears_cache_and_excludes_node() {
+        let mut t = tables();
+        t.cache.record_load(NodeId(1), chunk(0), GIB);
+        t.mark_down(NodeId(1));
+        assert!(t.cache.nodes_with(chunk(0)).is_empty());
+        assert_eq!(t.live_nodes().count(), 3);
+        assert_eq!(t.available.get(NodeId(1)), SimTime::MAX);
+        t.mark_up(NodeId(1), SimTime::from_secs(5));
+        assert_eq!(t.live_nodes().count(), 4);
+        assert_eq!(t.available.get(NodeId(1)), SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration-test and example host crate.

@@ -1,0 +1,98 @@
+//! Terminal bar charts: an ASCII rendition of the paper's figure style,
+//! so experiment binaries can show Fig. 4–7's bar-and-line layout without
+//! a plotting stack.
+
+use crate::report::SchedulerReport;
+
+/// Render a horizontal bar chart of one numeric column.
+///
+/// `rows` pairs a label with a value; bars are scaled to `width` columns
+/// against the maximum value (or `scale_max` when given, e.g. the target
+/// frame rate).
+pub fn bar_chart(
+    title: &str,
+    rows: &[(String, f64)],
+    width: usize,
+    scale_max: Option<f64>,
+) -> String {
+    assert!(width >= 4, "chart needs some width");
+    let max = scale_max
+        .unwrap_or_else(|| rows.iter().map(|r| r.1).fold(0.0, f64::max))
+        .max(1e-12);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0).max(5);
+    let mut out = format!("{title}\n");
+    for (label, value) in rows {
+        let frac = (value / max).clamp(0.0, 1.0);
+        let filled = (frac * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {label:<label_w$} |{}{}| {value:.2}\n",
+            "█".repeat(filled),
+            " ".repeat(width - filled),
+        ));
+    }
+    out
+}
+
+/// The Fig. 4-style view of a scenario: frame-rate bars (scaled to the
+/// target) and latency annotations per scheduler.
+pub fn format_figure(reports: &[SchedulerReport], target_fps: f64) -> String {
+    let rows: Vec<(String, f64)> =
+        reports.iter().map(|r| (r.scheduler.clone(), r.fps.mean)).collect();
+    let mut out = bar_chart(
+        &format!("interactive frame rate (target {target_fps:.2} fps)"),
+        &rows,
+        40,
+        Some(target_fps.max(rows.iter().map(|r| r.1).fold(0.0, f64::max))),
+    );
+    out.push_str("latencies:");
+    for r in reports {
+        out.push_str(&format!(
+            " {}={:.3}s",
+            r.scheduler, r.interactive_latency.mean
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RunRecord;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let rows = vec![("A".to_string(), 10.0), ("B".to_string(), 5.0)];
+        let chart = bar_chart("t", &rows, 10, None);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1].matches('█').count(), 10);
+        assert_eq!(lines[2].matches('█').count(), 5);
+    }
+
+    #[test]
+    fn explicit_scale_clamps_overshoot() {
+        let rows = vec![("x".to_string(), 50.0)];
+        let chart = bar_chart("t", &rows, 8, Some(25.0));
+        assert_eq!(chart.lines().nth(1).unwrap().matches('█').count(), 8);
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let rows = vec![("z".to_string(), 0.0)];
+        let chart = bar_chart("t", &rows, 6, Some(10.0));
+        assert_eq!(chart.lines().nth(1).unwrap().matches('█').count(), 0);
+    }
+
+    #[test]
+    fn figure_includes_every_scheduler() {
+        let mk = |name: &str| {
+            let run = RunRecord { scheduler: name.to_string(), ..Default::default() };
+            SchedulerReport::from_run(&run)
+        };
+        let fig = format_figure(&[mk("OURS"), mk("FCFS")], 33.33);
+        assert!(fig.contains("OURS"));
+        assert!(fig.contains("FCFS"));
+        assert!(fig.contains("latencies:"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # vizsched-metrics
+//!
+//! Result records and aggregation for vizsched experiments: job records,
+//! per-action frame rates (Definition 4), latency summaries, data-reuse hit
+//! rates, and wall-clock scheduling costs — the quantities behind every
+//! figure and table in the paper's evaluation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bars;
+pub mod record;
+pub mod report;
+pub mod stats;
+pub mod timeline;
+
+pub use bars::{bar_chart, format_figure};
+pub use record::{JobRecord, RunRecord};
+pub use report::{format_comparison, format_table3_block, jain_index, reports_to_csv, SchedulerReport};
+pub use stats::Summary;
+pub use timeline::{Timeline, TimelinePoint};

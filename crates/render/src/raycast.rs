@@ -1,0 +1,427 @@
+//! Front-to-back ray-casting integration (§II-A): for each pixel a ray
+//! marches through the volume; at every sample a transfer function maps
+//! the interpolated scalar to color and opacity, which accumulate with the
+//! *over* operator until the ray leaves the volume or saturates (early ray
+//! termination). A gradient-based headlight Phong term is applied where
+//! the field has structure.
+//!
+//! The integrator is generic over a [`VolumeSampler`] so a full volume and
+//! a distributed brick share the same code path — the brick case simply
+//! restricts the box to the brick's core region (sort-last task
+//! decomposition).
+
+use crate::camera::{vec3, Camera};
+use crate::image::{over, Rgba, RgbaImage};
+use crate::ray::{Aabb, Ray};
+use crate::transfer::TransferFunction;
+use vizsched_volume::brick::Brick;
+use vizsched_volume::grid::{Scalar, Volume};
+
+/// Anything a ray can march through.
+pub trait VolumeSampler: Sync {
+    /// The world-space (voxel-coordinate) box to march within.
+    fn bounds(&self) -> Aabb;
+    /// Scalar value at a world-space point.
+    fn value(&self, p: [f32; 3]) -> f32;
+
+    /// Gradient at a world-space point (central differences by default).
+    fn gradient(&self, p: [f32; 3]) -> [f32; 3] {
+        const H: f32 = 0.5;
+        [
+            self.value([p[0] + H, p[1], p[2]]) - self.value([p[0] - H, p[1], p[2]]),
+            self.value([p[0], p[1] + H, p[2]]) - self.value([p[0], p[1] - H, p[2]]),
+            self.value([p[0], p[1], p[2] + H]) - self.value([p[0], p[1], p[2] - H]),
+        ]
+    }
+}
+
+impl<T: Scalar> VolumeSampler for Volume<T> {
+    fn bounds(&self) -> Aabb {
+        Aabb::of_grid(self.dims)
+    }
+
+    fn value(&self, p: [f32; 3]) -> f32 {
+        self.sample(p[0], p[1], p[2])
+    }
+}
+
+/// A brick restricted to its core region, sampling with ghost support.
+pub struct BrickSampler<'a, T> {
+    brick: &'a Brick<T>,
+}
+
+impl<'a, T: Scalar> BrickSampler<'a, T> {
+    /// Wrap a brick.
+    pub fn new(brick: &'a Brick<T>) -> Self {
+        BrickSampler { brick }
+    }
+}
+
+impl<T: Scalar> VolumeSampler for BrickSampler<'_, T> {
+    fn bounds(&self) -> Aabb {
+        let (lo, hi) = self.brick.core_bounds();
+        Aabb {
+            min: [lo[0] as f32, lo[1] as f32, lo[2] as f32],
+            max: [hi[0] as f32, hi[1] as f32, hi[2] as f32],
+        }
+    }
+
+    fn value(&self, p: [f32; 3]) -> f32 {
+        self.brick.sample_global(p[0], p[1], p[2])
+    }
+}
+
+/// Integration and shading parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RenderSettings {
+    /// Output image width.
+    pub width: usize,
+    /// Output image height.
+    pub height: usize,
+    /// Ray step in voxels.
+    pub step: f32,
+    /// Reference step for opacity correction.
+    pub base_step: f32,
+    /// Stop marching once accumulated alpha exceeds this.
+    pub early_termination: f32,
+    /// Apply gradient headlight shading.
+    pub shading: bool,
+    /// Ambient term for shading.
+    pub ambient: f32,
+}
+
+impl Default for RenderSettings {
+    fn default() -> Self {
+        RenderSettings {
+            width: 256,
+            height: 256,
+            step: 0.5,
+            base_step: 1.0,
+            early_termination: 0.99,
+            shading: true,
+            ambient: 0.35,
+        }
+    }
+}
+
+/// March one ray, returning the premultiplied pixel color.
+pub fn integrate<S: VolumeSampler>(
+    sampler: &S,
+    ray: &Ray,
+    tf: &TransferFunction,
+    settings: &RenderSettings,
+) -> Rgba {
+    let Some((t0, t1)) = sampler.bounds().intersect(ray) else {
+        return [0.0; 4];
+    };
+    let mut acc: Rgba = [0.0; 4];
+    let mut t = t0;
+    while t <= t1 {
+        let p = ray.at(t);
+        let v = sampler.value(p);
+        let mut s = tf.sample(v, settings.step, settings.base_step);
+        if s[3] > 0.0 && settings.shading {
+            if let Some(n) = normalize(sampler.gradient(p)) {
+                // Headlight: light comes from the eye.
+                let diffuse = vec3::dot(n, ray.dir).abs();
+                let shade = settings.ambient + (1.0 - settings.ambient) * diffuse;
+                s[0] *= shade;
+                s[1] *= shade;
+                s[2] *= shade;
+            }
+        }
+        acc = over(acc, s);
+        if acc[3] >= settings.early_termination {
+            break;
+        }
+        t += settings.step;
+    }
+    acc
+}
+
+fn normalize(g: [f32; 3]) -> Option<[f32; 3]> {
+    let len = vec3::length(g);
+    if len < 1e-6 {
+        return None;
+    }
+    Some(vec3::scale(g, 1.0 / len))
+}
+
+/// Render single-threaded (reference implementation).
+pub fn render<S: VolumeSampler>(
+    sampler: &S,
+    camera: &Camera,
+    tf: &TransferFunction,
+    settings: &RenderSettings,
+) -> RgbaImage {
+    let mut img = RgbaImage::transparent(settings.width, settings.height);
+    for y in 0..settings.height {
+        for x in 0..settings.width {
+            let ray = camera.ray(x, y, settings.width, settings.height);
+            *img.at_mut(x, y) = integrate(sampler, &ray, tf, settings);
+        }
+    }
+    img
+}
+
+/// Render with rayon, one task per row — the stand-in for the paper's GPU
+/// fragment-parallel ray casting.
+pub fn render_parallel<S: VolumeSampler>(
+    sampler: &S,
+    camera: &Camera,
+    tf: &TransferFunction,
+    settings: &RenderSettings,
+) -> RgbaImage {
+    use rayon::prelude::*;
+    let width = settings.width;
+    let rows: Vec<Vec<Rgba>> = (0..settings.height)
+        .into_par_iter()
+        .map(|y| {
+            (0..width)
+                .map(|x| {
+                    let ray = camera.ray(x, y, width, settings.height);
+                    integrate(sampler, &ray, tf, settings)
+                })
+                .collect()
+        })
+        .collect();
+    let mut img = RgbaImage::transparent(width, settings.height);
+    for (y, row) in rows.into_iter().enumerate() {
+        for (x, px) in row.into_iter().enumerate() {
+            *img.at_mut(x, y) = px;
+        }
+    }
+    img
+}
+
+/// Integrate one ray with min–max empty-space skipping: block-sized leaps
+/// over regions the transfer function maps to zero opacity. Returns the
+/// pixel and the number of samples actually taken.
+pub fn integrate_skipping<S: VolumeSampler>(
+    sampler: &S,
+    ray: &Ray,
+    tf: &TransferFunction,
+    settings: &RenderSettings,
+    skip: &crate::skip::MinMaxGrid,
+) -> (Rgba, u32) {
+    let Some((t0, t1)) = sampler.bounds().intersect(ray) else {
+        return ([0.0; 4], 0);
+    };
+    let mut acc: Rgba = [0.0; 4];
+    let mut samples = 0u32;
+    let mut t = t0;
+    while t <= t1 {
+        let p = ray.at(t);
+        if skip.is_empty_at(p[0], p[1], p[2], tf) {
+            // Leap to the exit of the current (empty) block.
+            t += block_exit_distance(p, ray.dir, skip.block) + settings.step * 0.01;
+            continue;
+        }
+        let v = sampler.value(p);
+        samples += 1;
+        let mut s = tf.sample(v, settings.step, settings.base_step);
+        if s[3] > 0.0 && settings.shading {
+            if let Some(n) = normalize(sampler.gradient(p)) {
+                let diffuse = vec3::dot(n, ray.dir).abs();
+                let shade = settings.ambient + (1.0 - settings.ambient) * diffuse;
+                s[0] *= shade;
+                s[1] *= shade;
+                s[2] *= shade;
+            }
+        }
+        acc = over(acc, s);
+        if acc[3] >= settings.early_termination {
+            break;
+        }
+        t += settings.step;
+    }
+    (acc, samples)
+}
+
+/// Distance along `dir` (unit) from `p` to the exit face of the
+/// `block`-sized grid cell containing `p`.
+fn block_exit_distance(p: [f32; 3], dir: [f32; 3], block: usize) -> f32 {
+    let b = block as f32;
+    let mut exit = f32::INFINITY;
+    for axis in 0..3 {
+        if dir[axis].abs() < 1e-12 {
+            continue;
+        }
+        let cell = (p[axis] / b).floor();
+        let bound = if dir[axis] > 0.0 { (cell + 1.0) * b } else { cell * b };
+        let t = (bound - p[axis]) / dir[axis];
+        if t > 0.0 {
+            exit = exit.min(t);
+        }
+    }
+    if exit.is_finite() {
+        exit.max(1e-3)
+    } else {
+        1e-3
+    }
+}
+
+/// Render with empty-space skipping; returns the image and the total
+/// samples taken (compare with `width * height * rays * steps` without
+/// skipping).
+pub fn render_with_skip<S: VolumeSampler>(
+    sampler: &S,
+    camera: &Camera,
+    tf: &TransferFunction,
+    settings: &RenderSettings,
+    skip: &crate::skip::MinMaxGrid,
+) -> (RgbaImage, u64) {
+    let mut img = RgbaImage::transparent(settings.width, settings.height);
+    let mut samples = 0u64;
+    for y in 0..settings.height {
+        for x in 0..settings.width {
+            let ray = camera.ray(x, y, settings.width, settings.height);
+            let (px, n) = integrate_skipping(sampler, &ray, tf, settings, skip);
+            *img.at_mut(x, y) = px;
+            samples += u64::from(n);
+        }
+    }
+    (img, samples)
+}
+
+/// Count the samples the plain integrator takes (for skip-speedup tests).
+pub fn count_samples<S: VolumeSampler>(
+    sampler: &S,
+    camera: &Camera,
+    tf: &TransferFunction,
+    settings: &RenderSettings,
+) -> u64 {
+    let mut samples = 0u64;
+    for y in 0..settings.height {
+        for x in 0..settings.width {
+            let ray = camera.ray(x, y, settings.width, settings.height);
+            if let Some((t0, t1)) = sampler.bounds().intersect(&ray) {
+                let mut acc = 0.0f32;
+                let mut t = t0;
+                while t <= t1 {
+                    samples += 1;
+                    let v = sampler.value(ray.at(t));
+                    let s = tf.sample(v, settings.step, settings.base_step);
+                    acc = s[3] + acc * (1.0 - s[3]);
+                    if acc >= settings.early_termination {
+                        break;
+                    }
+                    t += settings.step;
+                }
+            }
+        }
+    }
+    samples
+}
+
+/// A rendered sub-image tagged with its view depth, the unit sort-last
+/// compositing works on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Layer {
+    /// The rendered sub-image (full frame size, transparent outside the
+    /// brick's footprint).
+    pub image: RgbaImage,
+    /// Distance from the eye to the brick center — the visibility sort key.
+    pub depth: f32,
+}
+
+/// Render one brick of a distributed volume into a depth-tagged layer.
+pub fn render_brick<T: Scalar>(
+    brick: &Brick<T>,
+    camera: &Camera,
+    tf: &TransferFunction,
+    settings: &RenderSettings,
+) -> Layer {
+    let sampler = BrickSampler::new(brick);
+    let image = render_parallel(&sampler, camera, tf, settings);
+    let center = sampler.bounds().center();
+    let depth = vec3::length(vec3::sub(center, camera.eye));
+    Layer { image, depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizsched_volume::synth::Field;
+
+    fn small_settings() -> RenderSettings {
+        RenderSettings { width: 32, height: 32, ..RenderSettings::default() }
+    }
+
+    #[test]
+    fn empty_volume_renders_transparent() {
+        let v: Volume<f32> = Volume::zeros([8, 8, 8]);
+        let cam = Camera::orbit(v.dims, 0.4, 0.3, 2.5);
+        let tf = TransferFunction::preset(0);
+        let img = render(&v, &cam, &tf, &small_settings());
+        assert_eq!(img.coverage(), 0.0);
+    }
+
+    #[test]
+    fn dense_volume_renders_something() {
+        let v: Volume<f32> = Field::Shells.sample([16, 16, 16]);
+        let cam = Camera::orbit(v.dims, 0.4, 0.3, 2.5);
+        let tf = TransferFunction::preset(0);
+        let img = render(&v, &cam, &tf, &small_settings());
+        assert!(img.coverage() > 0.02, "coverage = {}", img.coverage());
+        assert!(img.pixels.iter().all(|p| p.iter().all(|c| c.is_finite())));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let v: Volume<f32> = Field::Plume.sample([12, 12, 12]);
+        let cam = Camera::orbit(v.dims, 1.0, 0.2, 2.0);
+        let tf = TransferFunction::preset(0);
+        let s = small_settings();
+        let seq = render(&v, &cam, &tf, &s);
+        let par = render_parallel(&v, &cam, &tf, &s);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn early_termination_caps_alpha() {
+        // A fully opaque TF saturates immediately.
+        let v: Volume<f32> = Volume::from_fn([8, 8, 8], |_, _, _| 1.0);
+        let tf = TransferFunction::from_points(vec![
+            crate::transfer::ControlPoint { value: 0.0, color: [1.0, 0.0, 0.0, 1.0] },
+            crate::transfer::ControlPoint { value: 1.0, color: [1.0, 0.0, 0.0, 1.0] },
+        ]);
+        let cam = Camera::orbit(v.dims, 0.0, 0.0, 2.5);
+        let img = render(&v, &cam, &tf, &small_settings());
+        let center = img.at(16, 16);
+        assert!(center[3] >= 0.99, "center alpha = {}", center[3]);
+        assert!(center[3] <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn brick_layers_have_monotone_depths_along_view() {
+        let v: Volume<f32> = Field::Shells.sample([8, 8, 16]);
+        let bricks = vizsched_volume::split_z(&v, 4);
+        let cam = Camera::orbit(v.dims, 0.0, 0.0, 2.5); // eye on the +z side
+        let tf = TransferFunction::preset(0);
+        let layers: Vec<Layer> =
+            bricks.iter().map(|b| render_brick(b, &cam, &tf, &small_settings())).collect();
+        // With the eye on +z, brick 3 (highest z) is nearest.
+        for w in layers.windows(2) {
+            assert!(w[0].depth > w[1].depth, "depths must decrease toward the eye");
+        }
+    }
+
+    #[test]
+    fn shading_darkens_grazing_surfaces() {
+        let v: Volume<f32> = Field::Shells.sample([16, 16, 16]);
+        let cam = Camera::orbit(v.dims, 0.4, 0.3, 2.5);
+        let tf = TransferFunction::preset(0);
+        let mut s = small_settings();
+        s.shading = false;
+        let unshaded = render(&v, &cam, &tf, &s);
+        s.shading = true;
+        let shaded = render(&v, &cam, &tf, &s);
+        let sum = |img: &RgbaImage| -> f64 {
+            img.pixels.iter().map(|p| (p[0] + p[1] + p[2]) as f64).sum()
+        };
+        assert!(sum(&shaded) < sum(&unshaded), "shading should remove some light");
+        // Alpha is unaffected by shading.
+        assert!((shaded.coverage() - unshaded.coverage()).abs() < 1e-9);
+    }
+}

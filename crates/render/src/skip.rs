@@ -1,0 +1,141 @@
+//! Empty-space skipping: the second classic acceleration of GPU ray
+//! casting (Krüger & Westermann propose both early ray termination and
+//! empty-space skipping; §II-A). A coarse min–max block grid over the
+//! volume lets the integrator leap over regions whose value range
+//! classifies to zero opacity under the active transfer function.
+
+use crate::transfer::TransferFunction;
+use vizsched_volume::grid::{Scalar, Volume};
+
+/// A coarse grid storing the min and max scalar value of each block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinMaxGrid {
+    /// Blocks per axis.
+    pub dims: [usize; 3],
+    /// Voxels per block edge.
+    pub block: usize,
+    ranges: Vec<(f32, f32)>,
+}
+
+impl MinMaxGrid {
+    /// Build over `volume` with cubic blocks of `block` voxels per edge.
+    /// Block ranges are padded by one voxel on each side so trilinear
+    /// samples near block faces are covered.
+    pub fn build<T: Scalar>(volume: &Volume<T>, block: usize) -> MinMaxGrid {
+        assert!(block >= 2, "blocks of at least 2 voxels");
+        let dims = [
+            volume.dims[0].div_ceil(block),
+            volume.dims[1].div_ceil(block),
+            volume.dims[2].div_ceil(block),
+        ];
+        let mut ranges = Vec::with_capacity(dims[0] * dims[1] * dims[2]);
+        for bz in 0..dims[2] {
+            for by in 0..dims[1] {
+                for bx in 0..dims[0] {
+                    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+                    let x0 = (bx * block).saturating_sub(1);
+                    let y0 = (by * block).saturating_sub(1);
+                    let z0 = (bz * block).saturating_sub(1);
+                    let x1 = ((bx + 1) * block + 1).min(volume.dims[0]);
+                    let y1 = ((by + 1) * block + 1).min(volume.dims[1]);
+                    let z1 = ((bz + 1) * block + 1).min(volume.dims[2]);
+                    for z in z0..z1 {
+                        for y in y0..y1 {
+                            for x in x0..x1 {
+                                let v = volume.at(x, y, z).to_f32();
+                                lo = lo.min(v);
+                                hi = hi.max(v);
+                            }
+                        }
+                    }
+                    ranges.push((lo, hi));
+                }
+            }
+        }
+        MinMaxGrid { dims, block, ranges }
+    }
+
+    /// The `(min, max)` range of the block containing voxel coordinates
+    /// `(x, y, z)` (clamped to the grid).
+    pub fn range_at(&self, x: f32, y: f32, z: f32) -> (f32, f32) {
+        let bx = ((x.max(0.0) as usize) / self.block).min(self.dims[0] - 1);
+        let by = ((y.max(0.0) as usize) / self.block).min(self.dims[1] - 1);
+        let bz = ((z.max(0.0) as usize) / self.block).min(self.dims[2] - 1);
+        self.ranges[(bz * self.dims[1] + by) * self.dims[0] + bx]
+    }
+
+    /// True if the block containing the point is fully transparent under
+    /// `tf`: every value in `[min, max]` classifies to zero opacity.
+    pub fn is_empty_at(&self, x: f32, y: f32, z: f32, tf: &TransferFunction) -> bool {
+        let (lo, hi) = self.range_at(x, y, z);
+        if !lo.is_finite() || !hi.is_finite() {
+            return true;
+        }
+        tf.max_opacity_between(lo, hi) <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::ControlPoint;
+
+    fn half_empty_volume() -> Volume<f32> {
+        // Left half zeros, right half dense.
+        Volume::from_fn([16, 8, 8], |x, _, _| if x < 0.5 { 0.0 } else { 0.9 })
+    }
+
+    fn tf_opaque_above_half() -> TransferFunction {
+        TransferFunction::from_points(vec![
+            ControlPoint { value: 0.0, color: [0.0; 4] },
+            ControlPoint { value: 0.5, color: [0.0; 4] },
+            ControlPoint { value: 0.6, color: [1.0, 1.0, 1.0, 0.8] },
+            ControlPoint { value: 1.0, color: [1.0, 1.0, 1.0, 0.8] },
+        ])
+    }
+
+    #[test]
+    fn grid_covers_volume() {
+        let v = half_empty_volume();
+        let g = MinMaxGrid::build(&v, 4);
+        assert_eq!(g.dims, [4, 2, 2]);
+        assert_eq!(g.ranges.len(), 16);
+    }
+
+    #[test]
+    fn ranges_bracket_block_values() {
+        let v = half_empty_volume();
+        let g = MinMaxGrid::build(&v, 4);
+        let (lo, hi) = g.range_at(1.0, 1.0, 1.0); // deep in the empty half
+        assert_eq!((lo, hi), (0.0, 0.0));
+        let (lo, hi) = g.range_at(14.0, 1.0, 1.0); // dense half
+        assert_eq!((lo, hi), (0.9, 0.9));
+    }
+
+    #[test]
+    fn emptiness_depends_on_the_transfer_function() {
+        let v = half_empty_volume();
+        let g = MinMaxGrid::build(&v, 4);
+        let tf = tf_opaque_above_half();
+        assert!(g.is_empty_at(1.0, 1.0, 1.0, &tf), "zero-valued block is empty");
+        assert!(!g.is_empty_at(14.0, 1.0, 1.0, &tf), "dense block is not");
+        // A TF that maps *low* values to opacity flips the verdict.
+        let tf_low = TransferFunction::from_points(vec![
+            ControlPoint { value: 0.0, color: [1.0, 0.0, 0.0, 0.5] },
+            ControlPoint { value: 0.3, color: [0.0; 4] },
+            ControlPoint { value: 1.0, color: [0.0; 4] },
+        ]);
+        assert!(!g.is_empty_at(1.0, 1.0, 1.0, &tf_low));
+    }
+
+    #[test]
+    fn boundary_blocks_are_padded() {
+        // The voxel at the block boundary contributes to both neighbors'
+        // ranges, so interpolation across the face is safe.
+        let v: Volume<f32> =
+            Volume::from_fn([8, 4, 4], |x, _, _| if x >= 0.49 { 1.0 } else { 0.0 });
+        let g = MinMaxGrid::build(&v, 4);
+        let (_, hi_left) = g.range_at(1.0, 1.0, 1.0);
+        assert_eq!(hi_left, 1.0, "padding pulls the neighbor's boundary voxel in");
+    }
+}

@@ -1,0 +1,209 @@
+//! Transfer functions: the mapping from scalar value to color and opacity
+//! applied at every sample point during ray casting (§II-A).
+
+use crate::image::Rgba;
+use serde::{Deserialize, Serialize};
+
+/// One control point: scalar value in `[0, 1]` to straight (not
+/// premultiplied) RGBA.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControlPoint {
+    /// Scalar value.
+    pub value: f32,
+    /// Straight RGBA color at this value.
+    pub color: [f32; 4],
+}
+
+/// A piecewise-linear transfer function, sampled into a lookup table.
+///
+/// ```
+/// use vizsched_render::{ControlPoint, TransferFunction};
+///
+/// let tf = TransferFunction::from_points(vec![
+///     ControlPoint { value: 0.0, color: [0.0, 0.0, 0.0, 0.0] },
+///     ControlPoint { value: 1.0, color: [1.0, 0.5, 0.2, 0.8] },
+/// ]);
+/// let mid = tf.classify(0.5);
+/// assert!((mid[3] - 0.4).abs() < 0.01); // opacity interpolates linearly
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransferFunction {
+    table: Vec<[f32; 4]>,
+}
+
+impl TransferFunction {
+    /// Resolution of the lookup table.
+    pub const RESOLUTION: usize = 256;
+
+    /// Build from control points (sorted by value internally). At least
+    /// two points are required; values outside the first/last point clamp.
+    pub fn from_points(mut points: Vec<ControlPoint>) -> Self {
+        assert!(points.len() >= 2, "need at least two control points");
+        points.sort_by(|a, b| a.value.partial_cmp(&b.value).expect("finite values"));
+        let mut table = Vec::with_capacity(Self::RESOLUTION);
+        for i in 0..Self::RESOLUTION {
+            let v = i as f32 / (Self::RESOLUTION - 1) as f32;
+            table.push(Self::interp(&points, v));
+        }
+        TransferFunction { table }
+    }
+
+    fn interp(points: &[ControlPoint], v: f32) -> [f32; 4] {
+        if v <= points[0].value {
+            return points[0].color;
+        }
+        if v >= points[points.len() - 1].value {
+            return points[points.len() - 1].color;
+        }
+        let hi = points.iter().position(|p| p.value >= v).expect("v below last point");
+        let (a, b) = (&points[hi - 1], &points[hi]);
+        let span = (b.value - a.value).max(1e-9);
+        let t = (v - a.value) / span;
+        let mut c = [0.0; 4];
+        for (i, slot) in c.iter_mut().enumerate() {
+            *slot = a.color[i] + (b.color[i] - a.color[i]) * t;
+        }
+        c
+    }
+
+    /// Classify a scalar: straight RGBA.
+    #[inline]
+    pub fn classify(&self, value: f32) -> [f32; 4] {
+        let i = (value.clamp(0.0, 1.0) * (Self::RESOLUTION - 1) as f32).round() as usize;
+        self.table[i]
+    }
+
+    /// Classify and convert to a premultiplied sample with opacity
+    /// corrected for the integration `step` relative to `base_step` —
+    /// the standard `1 - (1 - α)^(step/base)` correction, so image opacity
+    /// is step-size invariant.
+    #[inline]
+    pub fn sample(&self, value: f32, step: f32, base_step: f32) -> Rgba {
+        let c = self.classify(value);
+        let alpha = 1.0 - (1.0 - c[3]).powf(step / base_step);
+        [c[0] * alpha, c[1] * alpha, c[2] * alpha, alpha]
+    }
+
+    /// The maximum opacity the function assigns anywhere in `[lo, hi]` —
+    /// the emptiness test behind min–max empty-space skipping.
+    pub fn max_opacity_between(&self, lo: f32, hi: f32) -> f32 {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let a = (lo.clamp(0.0, 1.0) * (Self::RESOLUTION - 1) as f32).floor() as usize;
+        let b = (hi.clamp(0.0, 1.0) * (Self::RESOLUTION - 1) as f32).ceil() as usize;
+        self.table[a..=b.min(Self::RESOLUTION - 1)]
+            .iter()
+            .map(|c| c[3])
+            .fold(0.0, f32::max)
+    }
+
+    /// The paper's presets, indexed by `FrameParams::transfer_fn`.
+    pub fn preset(index: u32) -> TransferFunction {
+        match index % 3 {
+            // 0: "bone and tissue" — low values transparent blue haze,
+            // high values opaque warm.
+            0 => TransferFunction::from_points(vec![
+                ControlPoint { value: 0.0, color: [0.0, 0.0, 0.0, 0.0] },
+                ControlPoint { value: 0.15, color: [0.1, 0.2, 0.5, 0.0] },
+                ControlPoint { value: 0.4, color: [0.2, 0.5, 0.9, 0.15] },
+                ControlPoint { value: 0.7, color: [0.9, 0.6, 0.2, 0.5] },
+                ControlPoint { value: 1.0, color: [1.0, 0.95, 0.9, 0.95] },
+            ]),
+            // 1: iso-surface-ish ridge around 0.5.
+            1 => TransferFunction::from_points(vec![
+                ControlPoint { value: 0.0, color: [0.0, 0.0, 0.0, 0.0] },
+                ControlPoint { value: 0.42, color: [0.1, 0.8, 0.3, 0.0] },
+                ControlPoint { value: 0.5, color: [0.2, 0.9, 0.4, 0.8] },
+                ControlPoint { value: 0.58, color: [0.1, 0.8, 0.3, 0.0] },
+                ControlPoint { value: 1.0, color: [0.0, 0.0, 0.0, 0.0] },
+            ]),
+            // 2: smoke — monotone density.
+            _ => TransferFunction::from_points(vec![
+                ControlPoint { value: 0.0, color: [0.0, 0.0, 0.0, 0.0] },
+                ControlPoint { value: 1.0, color: [0.9, 0.9, 0.95, 0.6] },
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_tf() -> TransferFunction {
+        TransferFunction::from_points(vec![
+            ControlPoint { value: 0.0, color: [0.0, 0.0, 0.0, 0.0] },
+            ControlPoint { value: 1.0, color: [1.0, 1.0, 1.0, 1.0] },
+        ])
+    }
+
+    #[test]
+    fn classify_interpolates_linearly() {
+        let tf = ramp_tf();
+        let mid = tf.classify(0.5);
+        for c in mid {
+            assert!((c - 0.5).abs() < 0.01);
+        }
+        assert_eq!(tf.classify(0.0), [0.0; 4]);
+        assert_eq!(tf.classify(1.0), [1.0; 4]);
+    }
+
+    #[test]
+    fn classify_clamps_out_of_range() {
+        let tf = ramp_tf();
+        assert_eq!(tf.classify(-2.0), [0.0; 4]);
+        assert_eq!(tf.classify(5.0), [1.0; 4]);
+    }
+
+    #[test]
+    fn opacity_correction_is_step_invariant() {
+        let tf = ramp_tf();
+        // Two half-steps composited should equal one full step.
+        let full = tf.sample(0.6, 1.0, 1.0);
+        let half = tf.sample(0.6, 0.5, 1.0);
+        let two_halves = crate::image::over(half, half);
+        for i in 0..4 {
+            assert!(
+                (two_halves[i] - full[i]).abs() < 0.02,
+                "channel {i}: {} vs {}",
+                two_halves[i],
+                full[i]
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_control_points_are_sorted() {
+        let tf = TransferFunction::from_points(vec![
+            ControlPoint { value: 1.0, color: [1.0; 4] },
+            ControlPoint { value: 0.0, color: [0.0; 4] },
+        ]);
+        assert!(tf.classify(0.75)[0] > tf.classify(0.25)[0]);
+    }
+
+    #[test]
+    fn presets_build_and_differ() {
+        let a = TransferFunction::preset(0);
+        let b = TransferFunction::preset(1);
+        let c = TransferFunction::preset(2);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        // Index wraps.
+        assert_eq!(TransferFunction::preset(3), a);
+    }
+
+    #[test]
+    fn max_opacity_between_scans_the_range() {
+        let tf = ramp_tf();
+        assert!((tf.max_opacity_between(0.0, 1.0) - 1.0).abs() < 1e-6);
+        assert!((tf.max_opacity_between(0.0, 0.5) - 0.5).abs() < 0.01);
+        assert!(tf.max_opacity_between(0.0, 0.0) < 0.01);
+        // Order-insensitive.
+        assert_eq!(tf.max_opacity_between(0.8, 0.2), tf.max_opacity_between(0.2, 0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "two control points")]
+    fn single_point_rejected() {
+        TransferFunction::from_points(vec![ControlPoint { value: 0.5, color: [1.0; 4] }]);
+    }
+}

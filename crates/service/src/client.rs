@@ -1,0 +1,68 @@
+//! The client-side API: submit interactive or batch rendering requests and
+//! receive composited frames.
+
+use crate::protocol::{FrameResult, RenderRequest};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use vizsched_core::ids::{ActionId, BatchId, DatasetId, UserId};
+use vizsched_core::job::{FrameParams, JobKind};
+
+/// A handle one user holds on the service.
+#[derive(Clone)]
+pub struct ServiceClient {
+    user: UserId,
+    requests: Sender<RenderRequest>,
+}
+
+impl ServiceClient {
+    /// Build a client for `user` over the service's request endpoint.
+    pub fn new(user: UserId, requests: Sender<RenderRequest>) -> Self {
+        ServiceClient { user, requests }
+    }
+
+    /// The client's user id.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Submit one interactive frame (one step of a camera drag). Returns
+    /// the channel on which the finished frame arrives.
+    pub fn render_interactive(
+        &self,
+        action: ActionId,
+        dataset: DatasetId,
+        frame: FrameParams,
+    ) -> Receiver<FrameResult> {
+        let (tx, rx) = unbounded();
+        let req = RenderRequest {
+            user: self.user,
+            kind: JobKind::Interactive { user: self.user, action },
+            dataset,
+            frame,
+            reply: tx,
+        };
+        self.requests.send(req).expect("service stopped");
+        rx
+    }
+
+    /// Submit a batch animation: all frames are queued at once; results
+    /// arrive on one channel in completion order.
+    pub fn render_batch(
+        &self,
+        request: BatchId,
+        dataset: DatasetId,
+        frames: &[FrameParams],
+    ) -> Receiver<FrameResult> {
+        let (tx, rx) = unbounded();
+        for (i, &frame) in frames.iter().enumerate() {
+            let req = RenderRequest {
+                user: self.user,
+                kind: JobKind::Batch { user: self.user, request, frame: i as u32 },
+                dataset,
+                frame,
+                reply: tx.clone(),
+            };
+            self.requests.send(req).expect("service stopped");
+        }
+        rx
+    }
+}

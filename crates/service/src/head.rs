@@ -1,0 +1,390 @@
+//! The head node and service assembly (§III-A): a listening side (the
+//! request channel), a dispatching loop that runs the scheduler every
+//! cycle `ω` and ships tasks to render nodes, table correction from task
+//! completions (§V-B), per-job layer collection, image compositing, and
+//! final-frame delivery to clients.
+
+use crate::node::{run_node, NodeConfig};
+use crate::protocol::{FrameResult, RenderRequest, RenderTask, TaskDone, ToHead, ToNode};
+use crate::storage::ChunkStore;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use vizsched_compositing::{composite, CompositeAlgo};
+use vizsched_core::cluster::ClusterSpec;
+use vizsched_core::cost::CostParams;
+use vizsched_core::fxhash::FxHashMap;
+use vizsched_core::ids::{JobId, NodeId};
+use vizsched_core::job::Job;
+use vizsched_core::sched::{Assignment, ScheduleCtx, Scheduler, SchedulerKind, Trigger};
+use vizsched_core::tables::HeadTables;
+use vizsched_core::time::{SimDuration, SimTime};
+use vizsched_metrics::{JobRecord, RunRecord};
+use vizsched_render::Layer;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of rendering nodes (worker threads).
+    pub nodes: usize,
+    /// Per-node chunk-cache quota in bytes.
+    pub mem_quota: u64,
+    /// Rendered frame size.
+    pub image_size: (usize, usize),
+    /// The scheduling policy (OURS by default).
+    pub scheduler: SchedulerKind,
+    /// Scheduling cycle `ω`.
+    pub cycle: SimDuration,
+    /// Cost model used for predictions.
+    pub cost: CostParams,
+    /// Compositing strategy for assembled frames.
+    pub composite: CompositeAlgo,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            nodes: 4,
+            mem_quota: 256 << 20,
+            image_size: (128, 128),
+            scheduler: SchedulerKind::Ours,
+            cycle: SimDuration::from_millis(30),
+            cost: CostParams::default(),
+            composite: CompositeAlgo::Auto,
+        }
+    }
+}
+
+/// Aggregate statistics returned at shutdown.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Jobs fully rendered and delivered.
+    pub jobs_completed: u64,
+    /// Tasks served from node caches.
+    pub cache_hits: u64,
+    /// Tasks that read from the chunk store.
+    pub cache_misses: u64,
+    /// Mean end-to-end latency over completed jobs, seconds.
+    pub mean_latency_secs: f64,
+    /// The full run record (per-job timings, scheduling cost), directly
+    /// consumable by `vizsched_metrics::SchedulerReport::from_run` — live
+    /// service runs report through the same pipeline as simulations.
+    pub record: RunRecord,
+    /// Per-node `(tasks, hits, misses)` counters — the load-balance view.
+    pub per_node: Vec<(u64, u64, u64)>,
+}
+
+/// Shutdown modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Control {
+    /// Stop immediately; in-flight jobs are abandoned.
+    Stop,
+    /// Finish every accepted job, then stop.
+    Drain,
+}
+
+/// A running visualization service.
+pub struct VizService {
+    requests: Sender<RenderRequest>,
+    control: Sender<Control>,
+    head: Option<JoinHandle<ServiceStats>>,
+}
+
+impl VizService {
+    /// Start the service over an existing chunk store.
+    pub fn start(config: ServiceConfig, store: Arc<ChunkStore>) -> VizService {
+        assert!(config.nodes > 0, "service needs at least one render node");
+        let (req_tx, req_rx) = unbounded::<RenderRequest>();
+        let (ctl_tx, ctl_rx) = bounded::<Control>(1);
+        let (to_head_tx, to_head_rx) = unbounded::<ToHead>();
+
+        let mut node_txs = Vec::with_capacity(config.nodes);
+        let mut node_handles = Vec::with_capacity(config.nodes);
+        for k in 0..config.nodes {
+            let (tx, rx) = unbounded::<ToNode>();
+            node_txs.push(tx);
+            let node_config = NodeConfig {
+                id: NodeId(k as u32),
+                mem_quota: config.mem_quota,
+                image_size: config.image_size,
+            };
+            let store = store.clone();
+            let to_head = to_head_tx.clone();
+            node_handles.push(std::thread::spawn(move || {
+                run_node(node_config, store, rx, to_head);
+            }));
+        }
+
+        let head = std::thread::spawn(move || {
+            let stats = head_loop(&config, &store, req_rx, ctl_rx, to_head_rx, &node_txs);
+            for tx in &node_txs {
+                let _ = tx.send(ToNode::Shutdown);
+            }
+            for handle in node_handles {
+                let _ = handle.join();
+            }
+            stats
+        });
+
+        VizService { requests: req_tx, control: ctl_tx, head: Some(head) }
+    }
+
+    /// The request endpoint for building clients.
+    pub fn request_sender(&self) -> Sender<RenderRequest> {
+        self.requests.clone()
+    }
+
+    /// Stop the service (in-flight jobs are abandoned) and collect stats.
+    pub fn shutdown(mut self) -> ServiceStats {
+        let _ = self.control.send(Control::Stop);
+        self.head.take().expect("shutdown called once").join().expect("head thread panicked")
+    }
+
+    /// Graceful shutdown: complete every job accepted so far (including
+    /// deferred batch work), then stop and collect stats. Callers should
+    /// stop submitting first; requests racing the drain may be dropped.
+    pub fn drain_and_shutdown(mut self) -> ServiceStats {
+        let _ = self.control.send(Control::Drain);
+        self.head.take().expect("shutdown called once").join().expect("head thread panicked")
+    }
+}
+
+struct PendingJob {
+    reply: Sender<FrameResult>,
+    issued: SimTime,
+    frame: vizsched_core::job::FrameParams,
+    remaining: u32,
+    misses: u32,
+    layers: Vec<Layer>,
+    /// Index of this job's entry in the run record.
+    record_index: usize,
+}
+
+#[allow(clippy::too_many_lines)]
+fn head_loop(
+    config: &ServiceConfig,
+    store: &ChunkStore,
+    requests: Receiver<RenderRequest>,
+    control: Receiver<Control>,
+    from_nodes: Receiver<ToHead>,
+    node_txs: &[Sender<ToNode>],
+) -> ServiceStats {
+    let mut draining = false;
+    let start = Instant::now();
+    let now = || SimTime::from_micros(start.elapsed().as_micros() as u64);
+
+    let cluster = ClusterSpec::homogeneous(config.nodes, config.mem_quota);
+    let mut tables = HeadTables::new(&cluster);
+    let mut scheduler: Box<dyn Scheduler> = config.scheduler.build(config.cycle);
+    let catalog = store.catalog().clone();
+
+    let mut buffer: Vec<Job> = Vec::new();
+    let mut pending: FxHashMap<JobId, PendingJob> = FxHashMap::default();
+    let mut next_job = 0u64;
+    // Predicted exec of not-yet-completed assignments per node, for the
+    // Available-table correction.
+    let mut outstanding: Vec<Vec<SimDuration>> = vec![Vec::new(); config.nodes];
+
+    let mut stats = ServiceStats {
+        record: RunRecord {
+            scheduler: config.scheduler.name().to_string(),
+            scenario: "live-service".to_string(),
+            ..Default::default()
+        },
+        per_node: vec![(0, 0, 0); config.nodes],
+        ..Default::default()
+    };
+    let mut latency_total = 0.0f64;
+
+    let ticker = crossbeam::channel::tick(std::time::Duration::from_micros(
+        config.cycle.as_micros().max(1),
+    ));
+
+    loop {
+        if draining
+            && pending.is_empty()
+            && buffer.is_empty()
+            && requests.is_empty()
+            && !scheduler.has_deferred()
+        {
+            break;
+        }
+        crossbeam::channel::select! {
+            recv(control) -> msg => match msg {
+                Ok(Control::Stop) | Err(_) => break,
+                Ok(Control::Drain) => draining = true,
+            },
+            recv(requests) -> msg => {
+                let Ok(req) = msg else { break };
+                let job = Job {
+                    id: JobId(next_job),
+                    kind: req.kind,
+                    dataset: req.dataset,
+                    issue_time: now(),
+                    frame: req.frame,
+                };
+                next_job += 1;
+                let record_index = stats.record.jobs.len();
+                stats.record.jobs.push(JobRecord {
+                    id: job.id,
+                    kind: job.kind,
+                    dataset: job.dataset,
+                    timing: vizsched_core::cost::JobTiming::issued_at(job.issue_time),
+                    tasks: catalog.task_count(job.dataset),
+                    misses: 0,
+                });
+                pending.insert(job.id, PendingJob {
+                    reply: req.reply,
+                    issued: job.issue_time,
+                    frame: job.frame,
+                    remaining: catalog.task_count(job.dataset),
+                    misses: 0,
+                    layers: Vec::new(),
+                    record_index,
+                });
+                let immediate = matches!(scheduler.trigger(), Trigger::OnArrival);
+                buffer.push(job);
+                if immediate {
+                    let t = now();
+                    run_scheduler(&mut scheduler, &mut tables, &catalog, config,
+                                  t, &mut buffer, node_txs, &mut outstanding, &pending,
+                                  &mut stats.record);
+                }
+            }
+            recv(from_nodes) -> msg => {
+                let Ok(ToHead::TaskDone(done)) = msg else { continue };
+                handle_task_done(done, &mut tables, &mut pending, &mut outstanding,
+                                 &mut stats, &mut latency_total, config, now(), store);
+            }
+            recv(ticker) -> _ => {
+                let t = now();
+                if !buffer.is_empty() || scheduler.has_deferred() {
+                    run_scheduler(&mut scheduler, &mut tables, &catalog, config,
+                                  t, &mut buffer, node_txs, &mut outstanding, &pending,
+                                  &mut stats.record);
+                }
+            }
+        }
+    }
+
+    if stats.jobs_completed > 0 {
+        stats.mean_latency_secs = latency_total / stats.jobs_completed as f64;
+    }
+    stats.record.cache_hits = stats.cache_hits;
+    stats.record.cache_misses = stats.cache_misses;
+    stats
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scheduler(
+    scheduler: &mut Box<dyn Scheduler>,
+    tables: &mut HeadTables,
+    catalog: &vizsched_core::data::Catalog,
+    config: &ServiceConfig,
+    now: SimTime,
+    buffer: &mut Vec<Job>,
+    node_txs: &[Sender<ToNode>],
+    outstanding: &mut [Vec<SimDuration>],
+    pending: &FxHashMap<JobId, PendingJob>,
+    record: &mut RunRecord,
+) {
+    let jobs = std::mem::take(buffer);
+    record.jobs_scheduled += jobs.len() as u64;
+    record.sched_invocations += 1;
+    let t0 = Instant::now();
+    let assignments = {
+        let mut ctx = ScheduleCtx { now, tables, catalog, cost: &config.cost };
+        scheduler.schedule(&mut ctx, jobs)
+    };
+    record.sched_wall_micros += t0.elapsed().as_micros() as u64;
+    for a in assignments {
+        dispatch(&a, pending, node_txs, outstanding);
+    }
+}
+
+fn dispatch(
+    a: &Assignment,
+    pending: &FxHashMap<JobId, PendingJob>,
+    node_txs: &[Sender<ToNode>],
+    outstanding: &mut [Vec<SimDuration>],
+) {
+    // Deferred batch tasks surface in later cycles; their frame params
+    // live on the pending entry (dropped jobs are skipped).
+    let Some(job) = pending.get(&a.task.job) else { return };
+    let frame = job.frame;
+    outstanding[a.node.index()].push(a.predicted_exec);
+    let msg = ToNode::Render(RenderTask {
+        job: a.task.job,
+        index: a.task.index,
+        chunk: a.task.chunk,
+        frame,
+        group: a.group,
+        interactive: a.task.interactive,
+    });
+    let _ = node_txs[a.node.index()].send(msg);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_task_done(
+    done: TaskDone,
+    tables: &mut HeadTables,
+    pending: &mut FxHashMap<JobId, PendingJob>,
+    outstanding: &mut [Vec<SimDuration>],
+    stats: &mut ServiceStats,
+    latency_total: &mut f64,
+    config: &ServiceConfig,
+    now: SimTime,
+    store: &ChunkStore,
+) {
+    let node = NodeId(done.node);
+    let counters = &mut stats.per_node[node.index()];
+    counters.0 += 1;
+    if done.miss {
+        counters.2 += 1;
+    } else {
+        counters.1 += 1;
+    }
+    // §V-B corrections.
+    if done.miss {
+        stats.cache_misses += 1;
+        tables.estimate.record(done.chunk, done.io);
+        tables
+            .cache
+            .reconcile_load(node, done.chunk, store.chunk_bytes(done.chunk), &done.evicted);
+    } else {
+        stats.cache_hits += 1;
+    }
+    let queue = &mut outstanding[node.index()];
+    if !queue.is_empty() {
+        queue.remove(0);
+    }
+    let backlog =
+        queue.iter().fold(SimDuration::ZERO, |acc, &d| acc + d);
+    tables.available.correct(node, now + backlog);
+
+    let Some(job) = pending.get_mut(&done.job) else { return };
+    job.layers.push(done.layer);
+    job.misses += u32::from(done.miss);
+    job.remaining -= 1;
+    let record = &mut stats.record.jobs[job.record_index];
+    record.misses += u32::from(done.miss);
+    // The node reports how long the task executed; its start is therefore
+    // `now - elapsed` on the head's clock (minus message latency, which is
+    // microseconds in-process).
+    record.timing.record_start(now - done.elapsed);
+    record.timing.record_finish(now);
+    if job.remaining == 0 {
+        let job = pending.remove(&done.job).expect("entry exists");
+        let image = composite(job.layers, config.composite);
+        stats.jobs_completed += 1;
+        let latency = now.saturating_since(job.issued);
+        *latency_total += latency.as_secs_f64();
+        let _ = job.reply.send(FrameResult {
+            job: done.job,
+            image: Arc::new(image),
+            latency,
+            cache_misses: job.misses,
+        });
+    }
+}

@@ -1,0 +1,28 @@
+//! # vizsched-service
+//!
+//! The live visualization service (§III-A): a head node with listening and
+//! dispatching roles, render-node worker threads with brick caches over a
+//! disk chunk store, the locality-aware scheduler driving task placement,
+//! sort-last compositing of the returned layers, and a client API —
+//! crossbeam channels standing in for MPI.
+//!
+//! The discrete-event simulator (`vizsched-sim`) answers "how do the
+//! policies compare at cluster scale"; this crate answers "does the whole
+//! pipeline actually render frames end-to-end".
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod head;
+pub mod node;
+pub mod protocol;
+pub mod storage;
+pub mod tcp;
+pub mod wire;
+
+pub use client::ServiceClient;
+pub use head::{ServiceConfig, ServiceStats, VizService};
+pub use protocol::{FrameResult, RenderRequest};
+pub use storage::{ChunkStore, StoreDataset};
+pub use tcp::{RemoteClient, TcpServer};

@@ -1,0 +1,108 @@
+//! The rendering-node worker: one thread per node, processing render tasks
+//! FIFO over an in-memory brick cache backed by the chunk store —
+//! the live counterpart of the simulator's `SimNode`.
+
+use crate::protocol::{RenderTask, TaskDone, ToHead, ToNode};
+use crate::storage::ChunkStore;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use vizsched_core::ids::{ChunkId, NodeId};
+use vizsched_core::memory::NodeMemory;
+use vizsched_core::time::SimDuration;
+use vizsched_render::raycast::render_brick;
+use vizsched_render::{Camera, RenderSettings, TransferFunction};
+use vizsched_volume::brick::Brick;
+
+/// Configuration for one render node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This node's id.
+    pub id: NodeId,
+    /// Main-memory chunk-cache quota in bytes.
+    pub mem_quota: u64,
+    /// Output image size (width, height).
+    pub image_size: (usize, usize),
+}
+
+/// Run a render node until `Shutdown` arrives. Intended to be spawned on
+/// its own thread; processes tasks strictly FIFO (§III-A).
+pub fn run_node(
+    config: NodeConfig,
+    store: Arc<ChunkStore>,
+    tasks: Receiver<ToNode>,
+    to_head: Sender<ToHead>,
+) {
+    let mut cache = NodeMemory::new(config.mem_quota);
+    let mut bricks: HashMap<ChunkId, Arc<Brick<f32>>> = HashMap::new();
+    while let Ok(msg) = tasks.recv() {
+        match msg {
+            ToNode::Shutdown => break,
+            ToNode::Render(task) => {
+                let done = execute(&config, &store, &mut cache, &mut bricks, task);
+                if to_head.send(ToHead::TaskDone(done)).is_err() {
+                    break; // head gone; shut down quietly
+                }
+            }
+        }
+    }
+    let _ = to_head.send(ToHead::Stopped { node: config.id.0 });
+}
+
+fn execute(
+    config: &NodeConfig,
+    store: &ChunkStore,
+    cache: &mut NodeMemory,
+    bricks: &mut HashMap<ChunkId, Arc<Brick<f32>>>,
+    task: RenderTask,
+) -> TaskDone {
+    let t0 = std::time::Instant::now();
+    // Fetch: the data I/O stage of the pipeline (Fig. 2).
+    let (brick, io, miss, evicted) = if cache.contains(task.chunk) {
+        cache.touch(task.chunk);
+        (bricks[&task.chunk].clone(), SimDuration::ZERO, false, Vec::new())
+    } else {
+        let (brick, took) =
+            store.load(task.chunk).expect("chunk store lost a brick file");
+        let bytes = store.chunk_bytes(task.chunk);
+        let evicted = cache.load(task.chunk, bytes);
+        for victim in &evicted {
+            bricks.remove(victim);
+        }
+        bricks.insert(task.chunk, brick.clone());
+        (brick, SimDuration::from_micros(took.as_micros() as u64), true, evicted)
+    };
+
+    // Render: ray-cast the brick into a depth-tagged layer.
+    let dims = store
+        .catalog()
+        .dataset(task.chunk.dataset)
+        .dims
+        .expect("store datasets always carry dims");
+    let full_dims = [dims[0] as usize, dims[1] as usize, dims[2] as usize];
+    let camera = Camera::orbit(
+        full_dims,
+        task.frame.azimuth,
+        task.frame.elevation,
+        task.frame.distance,
+    );
+    let tf = TransferFunction::preset(task.frame.transfer_fn);
+    let settings = RenderSettings {
+        width: config.image_size.0,
+        height: config.image_size.1,
+        ..RenderSettings::default()
+    };
+    let layer = render_brick(brick.as_ref(), &camera, &tf, &settings);
+
+    TaskDone {
+        node: config.id.0,
+        job: task.job,
+        index: task.index,
+        chunk: task.chunk,
+        layer,
+        io,
+        elapsed: SimDuration::from_micros(t0.elapsed().as_micros() as u64),
+        miss,
+        evicted,
+    }
+}

@@ -1,0 +1,102 @@
+//! Messages exchanged between the head node, the rendering nodes, and
+//! clients. Crossbeam channels stand in for the paper's MPI transport;
+//! the message shapes mirror §III-A: rendering requests in, per-chunk
+//! render tasks out, sub-image layers back, final frames to the user.
+
+use std::sync::Arc;
+use vizsched_core::ids::{ChunkId, DatasetId, JobId, UserId};
+use vizsched_core::job::{FrameParams, JobKind};
+use vizsched_core::time::SimDuration;
+use vizsched_render::Layer;
+
+/// A client's rendering request, converted to a `Job` by the listening
+/// thread.
+#[derive(Clone, Debug)]
+pub struct RenderRequest {
+    /// Requesting user.
+    pub user: UserId,
+    /// Interactive or batch provenance.
+    pub kind: JobKind,
+    /// Dataset to render.
+    pub dataset: DatasetId,
+    /// Camera / transfer function.
+    pub frame: FrameParams,
+    /// Where the final frame goes.
+    pub reply: crossbeam::channel::Sender<FrameResult>,
+}
+
+/// The finished frame returned to a client.
+#[derive(Clone, Debug)]
+pub struct FrameResult {
+    /// The job that produced this frame.
+    pub job: JobId,
+    /// The composited image.
+    pub image: Arc<vizsched_render::RgbaImage>,
+    /// End-to-end latency observed by the service (Definition 3).
+    pub latency: SimDuration,
+    /// How many of the job's tasks missed the cache.
+    pub cache_misses: u32,
+}
+
+/// Head → render node.
+#[derive(Clone, Debug)]
+pub enum ToNode {
+    /// Render one chunk of one job.
+    Render(RenderTask),
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// One render task as shipped to a node.
+#[derive(Clone, Debug)]
+pub struct RenderTask {
+    /// Owning job.
+    pub job: JobId,
+    /// Task index within the job.
+    pub index: u32,
+    /// The chunk (brick) to render.
+    pub chunk: ChunkId,
+    /// Camera / transfer function.
+    pub frame: FrameParams,
+    /// Render-group size (compositing cost context).
+    pub group: u32,
+    /// Whether the owning job is interactive (for node-side accounting).
+    pub interactive: bool,
+}
+
+/// Render node → head.
+#[derive(Clone, Debug)]
+pub enum ToHead {
+    /// A task finished; the layer is ready for compositing.
+    TaskDone(TaskDone),
+    /// The node exited.
+    Stopped {
+        /// Which node.
+        node: u32,
+    },
+}
+
+/// Completion report for one task.
+#[derive(Clone, Debug)]
+pub struct TaskDone {
+    /// Reporting node.
+    pub node: u32,
+    /// Owning job.
+    pub job: JobId,
+    /// Task index.
+    pub index: u32,
+    /// The chunk rendered.
+    pub chunk: ChunkId,
+    /// The rendered, depth-tagged sub-image.
+    pub layer: Layer,
+    /// Measured I/O time (zero on a cache hit) — feeds the `Estimate`
+    /// table correction of §V-B.
+    pub io: SimDuration,
+    /// Total task execution time on the node (I/O + render), for job
+    /// timing reconstruction at the head.
+    pub elapsed: SimDuration,
+    /// True if the chunk was fetched from the store.
+    pub miss: bool,
+    /// Chunks evicted to make room.
+    pub evicted: Vec<ChunkId>,
+}

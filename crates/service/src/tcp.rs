@@ -1,0 +1,211 @@
+//! Remote access over TCP: a thin network front on the visualization
+//! service, plus the matching client. This is the paper's deployment shape
+//! — users at workstations, the rendering cluster elsewhere — with the
+//! wire protocol of [`crate::wire`].
+//!
+//! The server accepts any number of connections; each connection may
+//! pipeline any number of requests, correlated by client-chosen request
+//! ids. Responses return in completion order.
+
+use crate::protocol::{FrameResult, RenderRequest};
+use crate::wire::{read_message, write_message, WireMessage, WireRequest, WireResponse};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vizsched_core::ids::{ActionId, BatchId, DatasetId, UserId};
+use vizsched_core::job::{FrameParams, JobKind};
+
+/// A TCP front on a running service.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve requests
+    /// into the given service endpoint.
+    pub fn start(addr: &str, requests: Sender<RenderRequest>) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let requests = requests.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, requests);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(TcpServer { addr: local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (for clients).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections (existing connections drain on their own
+    /// when clients disconnect).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, requests: Sender<RenderRequest>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = stream.try_clone()?;
+    let writer = Arc::new(Mutex::new(stream));
+
+    // Completed frames from any in-flight request funnel through one
+    // channel so a single writer owns the socket's send side.
+    let (done_tx, done_rx) = unbounded::<(u64, FrameResult)>();
+    let writer2 = writer.clone();
+    let write_thread = std::thread::spawn(move || {
+        while let Ok((request_id, result)) = done_rx.recv() {
+            let response = WireResponse::from_image(
+                request_id,
+                result.job,
+                result.latency,
+                result.cache_misses,
+                &result.image,
+            );
+            let mut socket = writer2.lock();
+            if write_message(&mut *socket, &WireMessage::Response(Box::new(response))).is_err() {
+                break; // client went away
+            }
+        }
+    });
+
+    loop {
+        match read_message(&mut reader)? {
+            None => break, // clean disconnect
+            Some(WireMessage::Response(_)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "client sent a response frame",
+                ));
+            }
+            Some(WireMessage::Request(req)) => {
+                let (tx, rx) = unbounded::<FrameResult>();
+                let render = RenderRequest {
+                    user: req.user,
+                    kind: req.kind,
+                    dataset: req.dataset,
+                    frame: req.frame,
+                    reply: tx,
+                };
+                if requests.send(render).is_err() {
+                    break; // service shut down
+                }
+                // Forward the (single) result into the connection's writer.
+                let done = done_tx.clone();
+                let request_id = req.request_id;
+                std::thread::spawn(move || {
+                    if let Ok(result) = rx.recv() {
+                        let _ = done.send((request_id, result));
+                    }
+                });
+            }
+        }
+    }
+    drop(done_tx);
+    let _ = write_thread.join();
+    Ok(())
+}
+
+/// A remote client: connects over TCP and renders frames.
+pub struct RemoteClient {
+    user: UserId,
+    writer: Mutex<TcpStream>,
+    next_id: AtomicU64,
+    pending: Arc<Mutex<HashMap<u64, Sender<WireResponse>>>>,
+    _reader: JoinHandle<()>,
+}
+
+impl RemoteClient {
+    /// Connect to a [`TcpServer`].
+    pub fn connect(addr: SocketAddr, user: UserId) -> io::Result<RemoteClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut read_side = stream.try_clone()?;
+        let pending: Arc<Mutex<HashMap<u64, Sender<WireResponse>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let pending2 = pending.clone();
+        let reader = std::thread::spawn(move || {
+            while let Ok(Some(msg)) = read_message(&mut read_side) {
+                if let WireMessage::Response(resp) = msg {
+                    let waiter = pending2.lock().remove(&resp.request_id);
+                    if let Some(tx) = waiter {
+                        let _ = tx.send(*resp);
+                    }
+                }
+            }
+            // Socket closed: wake every waiter by dropping their senders.
+            pending2.lock().clear();
+        });
+        Ok(RemoteClient {
+            user,
+            writer: Mutex::new(stream),
+            next_id: AtomicU64::new(1),
+            pending,
+            _reader: reader,
+        })
+    }
+
+    fn submit(&self, kind: JobKind, dataset: DatasetId, frame: FrameParams)
+        -> io::Result<Receiver<WireResponse>> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        self.pending.lock().insert(request_id, tx);
+        let req = WireRequest { request_id, user: self.user, kind, dataset, frame };
+        let mut socket = self.writer.lock();
+        write_message(&mut *socket, &WireMessage::Request(req))?;
+        Ok(rx)
+    }
+
+    /// Render one interactive frame; the response arrives on the returned
+    /// channel (a closed channel means the connection dropped).
+    pub fn render_interactive(
+        &self,
+        action: ActionId,
+        dataset: DatasetId,
+        frame: FrameParams,
+    ) -> io::Result<Receiver<WireResponse>> {
+        self.submit(JobKind::Interactive { user: self.user, action }, dataset, frame)
+    }
+
+    /// Submit one batch frame.
+    pub fn render_batch_frame(
+        &self,
+        request: BatchId,
+        frame_index: u32,
+        dataset: DatasetId,
+        frame: FrameParams,
+    ) -> io::Result<Receiver<WireResponse>> {
+        self.submit(
+            JobKind::Batch { user: self.user, request, frame: frame_index },
+            dataset,
+            frame,
+        )
+    }
+}

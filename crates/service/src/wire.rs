@@ -1,0 +1,341 @@
+//! The wire protocol for remote clients: a compact length-prefixed binary
+//! framing over TCP. Remote visualization is the paper's application
+//! domain (§II-A, "remote parallel rendering servers utilize remote
+//! computational resources to visualize full-resolution datasets"); this
+//! module is the boundary between the in-process service and the network.
+//!
+//! Frame layout: `u32 payload length (LE) | u8 message tag | payload`.
+//! Pixels travel as RGBA8 (quantized from the renderer's f32, premultiplied
+//! alpha preserved), a 4× saving over raw floats before any compression.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, Read, Write};
+use vizsched_core::ids::{ActionId, BatchId, DatasetId, JobId, UserId};
+use vizsched_core::job::{FrameParams, JobKind};
+use vizsched_core::time::SimDuration;
+use vizsched_render::RgbaImage;
+
+/// Message tags.
+const TAG_REQUEST: u8 = 1;
+const TAG_RESPONSE: u8 = 2;
+
+/// Upper bound on accepted payloads (a 4096² RGBA8 frame plus headers).
+pub const MAX_PAYLOAD: usize = 4096 * 4096 * 4 + 1024;
+
+/// A client's render request as it travels over the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub request_id: u64,
+    /// Requesting user.
+    pub user: UserId,
+    /// Interactive (`action`) or batch (`request`/`frame`) provenance.
+    pub kind: JobKind,
+    /// Dataset to render.
+    pub dataset: DatasetId,
+    /// Camera / transfer function.
+    pub frame: FrameParams,
+}
+
+/// A finished frame as it travels back.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireResponse {
+    /// Echo of the request's correlation id.
+    pub request_id: u64,
+    /// The job id the service assigned.
+    pub job: JobId,
+    /// End-to-end latency observed at the head node.
+    pub latency: SimDuration,
+    /// Cache misses among the job's tasks.
+    pub cache_misses: u32,
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// RGBA8 pixels, premultiplied, row-major.
+    pub pixels: Bytes,
+}
+
+impl WireResponse {
+    /// Quantize a rendered image into a response.
+    pub fn from_image(
+        request_id: u64,
+        job: JobId,
+        latency: SimDuration,
+        cache_misses: u32,
+        image: &RgbaImage,
+    ) -> WireResponse {
+        let mut pixels = BytesMut::with_capacity(image.len() * 4);
+        for px in &image.pixels {
+            for &c in px {
+                pixels.put_u8((c.clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+        }
+        WireResponse {
+            request_id,
+            job,
+            latency,
+            cache_misses,
+            width: image.width as u32,
+            height: image.height as u32,
+            pixels: pixels.freeze(),
+        }
+    }
+
+    /// Reconstruct a float image (lossy: 8 bits per channel).
+    pub fn to_image(&self) -> RgbaImage {
+        let mut image = RgbaImage::transparent(self.width as usize, self.height as usize);
+        for (i, px) in image.pixels.iter_mut().enumerate() {
+            for (c, slot) in px.iter_mut().enumerate() {
+                *slot = self.pixels[i * 4 + c] as f32 / 255.0;
+            }
+        }
+        image
+    }
+}
+
+/// Either message, as decoded off a stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireMessage {
+    /// Client → server.
+    Request(WireRequest),
+    /// Server → client.
+    Response(Box<WireResponse>),
+}
+
+fn encode_kind(buf: &mut BytesMut, kind: &JobKind) {
+    match *kind {
+        JobKind::Interactive { user, action } => {
+            buf.put_u8(0);
+            buf.put_u32_le(user.0);
+            buf.put_u64_le(action.0);
+            buf.put_u32_le(0);
+        }
+        JobKind::Batch { user, request, frame } => {
+            buf.put_u8(1);
+            buf.put_u32_le(user.0);
+            buf.put_u64_le(request.0);
+            buf.put_u32_le(frame);
+        }
+    }
+}
+
+fn decode_kind(buf: &mut impl Buf) -> io::Result<JobKind> {
+    let tag = buf.get_u8();
+    let user = UserId(buf.get_u32_le());
+    let id = buf.get_u64_le();
+    let frame = buf.get_u32_le();
+    match tag {
+        0 => Ok(JobKind::Interactive { user, action: ActionId(id) }),
+        1 => Ok(JobKind::Batch { user, request: BatchId(id), frame }),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown job-kind tag {other}"),
+        )),
+    }
+}
+
+/// Serialize a message into a framed byte buffer.
+pub fn encode(msg: &WireMessage) -> Bytes {
+    let mut payload = BytesMut::new();
+    let tag = match msg {
+        WireMessage::Request(r) => {
+            payload.put_u64_le(r.request_id);
+            payload.put_u32_le(r.user.0);
+            encode_kind(&mut payload, &r.kind);
+            payload.put_u32_le(r.dataset.0);
+            payload.put_f32_le(r.frame.azimuth);
+            payload.put_f32_le(r.frame.elevation);
+            payload.put_f32_le(r.frame.distance);
+            payload.put_u32_le(r.frame.transfer_fn);
+            TAG_REQUEST
+        }
+        WireMessage::Response(r) => {
+            payload.put_u64_le(r.request_id);
+            payload.put_u64_le(r.job.0);
+            payload.put_u64_le(r.latency.as_micros());
+            payload.put_u32_le(r.cache_misses);
+            payload.put_u32_le(r.width);
+            payload.put_u32_le(r.height);
+            payload.extend_from_slice(&r.pixels);
+            TAG_RESPONSE
+        }
+    };
+    let mut framed = BytesMut::with_capacity(payload.len() + 5);
+    framed.put_u32_le(payload.len() as u32 + 1);
+    framed.put_u8(tag);
+    framed.extend_from_slice(&payload);
+    framed.freeze()
+}
+
+/// Write one framed message to a stream.
+pub fn write_message(w: &mut impl Write, msg: &WireMessage) -> io::Result<()> {
+    w.write_all(&encode(msg))?;
+    w.flush()
+}
+
+/// Read one framed message from a stream. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary.
+pub fn read_message(r: &mut impl Read) -> io::Result<Option<WireMessage>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} out of bounds"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut buf = Bytes::from(payload);
+    let tag = buf.get_u8();
+    match tag {
+        TAG_REQUEST => {
+            let request_id = buf.get_u64_le();
+            let user = UserId(buf.get_u32_le());
+            let kind = decode_kind(&mut buf)?;
+            let dataset = DatasetId(buf.get_u32_le());
+            let frame = FrameParams {
+                azimuth: buf.get_f32_le(),
+                elevation: buf.get_f32_le(),
+                distance: buf.get_f32_le(),
+                transfer_fn: buf.get_u32_le(),
+            };
+            Ok(Some(WireMessage::Request(WireRequest {
+                request_id,
+                user,
+                kind,
+                dataset,
+                frame,
+            })))
+        }
+        TAG_RESPONSE => {
+            let request_id = buf.get_u64_le();
+            let job = JobId(buf.get_u64_le());
+            let latency = SimDuration::from_micros(buf.get_u64_le());
+            let cache_misses = buf.get_u32_le();
+            let width = buf.get_u32_le();
+            let height = buf.get_u32_le();
+            let expect = width as usize * height as usize * 4;
+            if buf.remaining() != expect {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("pixel payload {} != {expect}", buf.remaining()),
+                ));
+            }
+            Ok(Some(WireMessage::Response(Box::new(WireResponse {
+                request_id,
+                job,
+                latency,
+                cache_misses,
+                width,
+                height,
+                pixels: buf,
+            }))))
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown message tag {other}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> WireRequest {
+        WireRequest {
+            request_id: 7,
+            user: UserId(3),
+            kind: JobKind::Interactive { user: UserId(3), action: ActionId(9) },
+            dataset: DatasetId(2),
+            frame: FrameParams { azimuth: 0.5, elevation: -0.25, distance: 2.5, transfer_fn: 1 },
+        }
+    }
+
+    fn round_trip(msg: WireMessage) -> WireMessage {
+        let bytes = encode(&msg);
+        let mut cursor = std::io::Cursor::new(bytes.to_vec());
+        read_message(&mut cursor).unwrap().expect("one message")
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let msg = WireMessage::Request(sample_request());
+        assert_eq!(round_trip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn batch_request_round_trips() {
+        let mut req = sample_request();
+        req.kind = JobKind::Batch { user: UserId(3), request: BatchId(4), frame: 17 };
+        let msg = WireMessage::Request(req);
+        assert_eq!(round_trip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn response_round_trips_with_pixels() {
+        let mut image = RgbaImage::transparent(3, 2);
+        *image.at_mut(1, 0) = [0.25, 0.5, 0.75, 1.0];
+        let resp = WireResponse::from_image(
+            42,
+            JobId(5),
+            SimDuration::from_millis(12),
+            3,
+            &image,
+        );
+        let msg = WireMessage::Response(Box::new(resp.clone()));
+        let back = round_trip(msg);
+        let WireMessage::Response(back) = back else { panic!("wrong tag") };
+        assert_eq!(*back, resp);
+        // Quantization round-trip is within 1/255 per channel.
+        let reconstructed = back.to_image();
+        assert!(reconstructed.max_abs_diff(&image) <= 1.0 / 255.0 + 1e-6);
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(read_message(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.push(TAG_REQUEST);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(read_message(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn garbage_tags_are_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.push(99);
+        bytes.push(0);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(read_message(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn multiple_messages_stream_back_to_back() {
+        let a = WireMessage::Request(sample_request());
+        let mut req2 = sample_request();
+        req2.request_id = 8;
+        let b = WireMessage::Request(req2);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode(&a));
+        stream.extend_from_slice(&encode(&b));
+        let mut cursor = std::io::Cursor::new(stream);
+        assert_eq!(read_message(&mut cursor).unwrap().unwrap(), a);
+        assert_eq!(read_message(&mut cursor).unwrap().unwrap(), b);
+        assert!(read_message(&mut cursor).unwrap().is_none());
+    }
+}

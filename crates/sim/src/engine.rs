@@ -1,0 +1,589 @@
+//! The discrete-event engine: replays a workload through a simulated
+//! cluster under one scheduling policy and records the outcome.
+//!
+//! This is the execution substrate standing in for the paper's two physical
+//! testbeds. The paper itself evaluates the schedulers "using simulation as
+//! the means for the performance evaluation" (§VI-B); this engine gives the
+//! same semantics with a virtual clock:
+//!
+//! * jobs arrive at their issue times and enter the head node's queue;
+//! * the dispatcher invokes the policy on arrival (FCFS family) or every
+//!   cycle `ω` (OURS, FS, SF);
+//! * assigned tasks queue FIFO on their node; execution time comes from the
+//!   cost model against the node's *authoritative* cache (so optimistic
+//!   predictions can be wrong);
+//! * on every task completion the head tables are corrected (§V-B):
+//!   `Estimate[c]` gets the measured I/O time, `Cache` is reconciled with
+//!   the real load/evictions, and `Available` is recomputed from the node's
+//!   actual backlog;
+//! * scheduling cost is measured in *host* wall-clock time around each
+//!   `schedule` call — the quantity Table III reports in microseconds.
+//!
+//! Fault injection (node crash/recovery) exercises the §VI-D claim that
+//! rendering continues as long as replicas or reloads are possible.
+
+use crate::event::{EventKind, EventQueue};
+use crate::node::SimNode;
+use std::time::Instant;
+use vizsched_core::cluster::ClusterSpec;
+use vizsched_core::cost::{CostParams, JobTiming};
+use vizsched_core::data::{Catalog, DatasetDesc};
+use vizsched_core::fxhash::FxHashMap;
+use vizsched_core::ids::{JobId, NodeId};
+use vizsched_core::job::Job;
+use vizsched_core::memory::EvictionPolicy;
+use vizsched_core::sched::{Assignment, ScheduleCtx, Scheduler, SchedulerKind, Trigger};
+use vizsched_core::time::{SimDuration, SimTime};
+use vizsched_metrics::{JobRecord, RunRecord};
+
+/// A fault-injection event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// When it happens.
+    pub time: SimTime,
+    /// The affected node.
+    pub node: NodeId,
+    /// True for a crash, false for a recovery.
+    pub crash: bool,
+}
+
+/// Static configuration of one simulation.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The cluster being simulated.
+    pub cluster: ClusterSpec,
+    /// Cost-model constants.
+    pub cost: CostParams,
+    /// `Chk_max` for the max-chunk-size decomposition.
+    pub chunk_max: u64,
+    /// Scheduling cycle `ω` for cycle-based policies.
+    pub cycle: SimDuration,
+    /// Cache eviction policy on every node (LRU in the paper).
+    pub eviction: EvictionPolicy,
+    /// Fault injections, if any.
+    pub faults: Vec<Fault>,
+    /// Record a per-task trace (memory-hungry; tests only).
+    pub record_trace: bool,
+    /// Amplitude of the deterministic per-task execution-time perturbation
+    /// (0.0 = exact cost model; the scenario experiments use 0.05 to model
+    /// real render/disk variance).
+    pub exec_jitter: f64,
+    /// Pre-load chunks round-robin across nodes (up to each quota) before
+    /// the run, mirroring the paper's initialization "test run" that also
+    /// populates the `Estimate` table. Scenario 1's stated premise is that
+    /// "total data ... can be completely cached".
+    pub warm_start: bool,
+    /// Enable the two-tier memory extension (§VII future work): per-node
+    /// video-memory quota in bytes. `None` folds the GPU into the render
+    /// constant, as the paper's base model does.
+    pub gpu_quota: Option<u64>,
+    /// Shared file-server contention: when set, a load that starts while
+    /// `k` other loads are in flight cluster-wide runs at `1/(1 + k/c)` of
+    /// nominal bandwidth, where `c` is this concurrency capacity (the
+    /// number of streams the parallel FS serves at full speed). `None`
+    /// models independent per-node disks. The slowdown is fixed at load
+    /// start — a first-order approximation of fair-shared bandwidth.
+    pub shared_fs_capacity: Option<u32>,
+}
+
+impl SimConfig {
+    /// A configuration with no faults and no tracing.
+    pub fn new(cluster: ClusterSpec, cost: CostParams, chunk_max: u64) -> Self {
+        SimConfig {
+            cluster,
+            cost,
+            chunk_max,
+            cycle: SimDuration::from_millis(30),
+            eviction: EvictionPolicy::Lru,
+            faults: Vec::new(),
+            record_trace: false,
+            exec_jitter: 0.0,
+            warm_start: false,
+            gpu_quota: None,
+            shared_fs_capacity: None,
+        }
+    }
+}
+
+/// One executed task, as recorded when `record_trace` is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskTrace {
+    /// Owning job.
+    pub job: JobId,
+    /// Task index within the job.
+    pub index: u32,
+    /// Node that executed it.
+    pub node: NodeId,
+    /// Start time.
+    pub start: SimTime,
+    /// Finish time.
+    pub finish: SimTime,
+    /// True if the chunk was fetched from disk.
+    pub miss: bool,
+}
+
+/// Per-node execution counters for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NodeStats {
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Tasks served from main memory.
+    pub hits: u64,
+    /// Tasks that read from disk.
+    pub misses: u64,
+    /// Hits that were GPU-resident (two-tier extension).
+    pub gpu_hits: u64,
+    /// Total busy time.
+    pub busy: SimDuration,
+    /// Busy fraction of the makespan, 0–1.
+    pub utilization: f64,
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// The aggregate record consumed by `vizsched-metrics`.
+    pub record: RunRecord,
+    /// Per-task trace (empty unless `record_trace`).
+    pub trace: Vec<TaskTrace>,
+    /// Per-node execution counters (load-balance view).
+    pub node_stats: Vec<NodeStats>,
+    /// Jobs that never completed (should be zero unless nodes stayed down).
+    pub incomplete_jobs: usize,
+}
+
+/// A workload replayer for one configuration.
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    datasets: Vec<DatasetDesc>,
+}
+
+impl Simulation {
+    /// Create a simulation over `datasets`.
+    pub fn new(config: SimConfig, datasets: Vec<DatasetDesc>) -> Self {
+        Simulation { config, datasets }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Run `kind` over `jobs` (must be sorted by issue time).
+    pub fn run(&self, kind: SchedulerKind, jobs: Vec<Job>, scenario: &str) -> SimOutcome {
+        let scheduler = kind.build(self.config.cycle);
+        self.run_with(scheduler, jobs, scenario)
+    }
+
+    /// Run an explicit scheduler instance (for parameter ablations).
+    pub fn run_with(
+        &self,
+        scheduler: Box<dyn Scheduler>,
+        jobs: Vec<Job>,
+        scenario: &str,
+    ) -> SimOutcome {
+        let policy =
+            scheduler.decomposition(self.config.chunk_max, self.config.cluster.len() as u32);
+        let catalog = Catalog::new(self.datasets.clone(), policy);
+        let mut engine = Engine::new(&self.config, catalog, scheduler, scenario);
+        engine.run(jobs)
+    }
+}
+
+struct JobState {
+    record: JobRecord,
+    remaining: u32,
+    max_finish: SimTime,
+}
+
+struct Engine<'a> {
+    config: &'a SimConfig,
+    catalog: Catalog,
+    scheduler: Box<dyn Scheduler>,
+    scenario: String,
+    tables: vizsched_core::tables::HeadTables,
+    nodes: Vec<SimNode>,
+    events: EventQueue,
+    /// Arrival buffer for cycle-triggered policies.
+    buffer: Vec<Job>,
+    tick_armed: bool,
+    now: SimTime,
+    jobs: FxHashMap<JobId, JobState>,
+    job_order: Vec<JobId>,
+    trace: Vec<TaskTrace>,
+    sched_wall_micros: u64,
+    sched_invocations: u64,
+    jobs_scheduled: u64,
+    makespan: SimTime,
+    /// Disk loads currently in flight (shared-FS contention input).
+    loads_in_flight: u32,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        config: &'a SimConfig,
+        catalog: Catalog,
+        scheduler: Box<dyn Scheduler>,
+        scenario: &str,
+    ) -> Self {
+        let tables = match config.gpu_quota {
+            Some(gpu) => vizsched_core::tables::HeadTables::with_gpu_tier(
+                &config.cluster,
+                gpu,
+                config.eviction,
+            ),
+            None => vizsched_core::tables::HeadTables::with_eviction(
+                &config.cluster,
+                config.eviction,
+            ),
+        };
+        let nodes = config
+            .cluster
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(k, spec)| {
+                SimNode::new(
+                    NodeId(k as u32),
+                    spec.mem_quota,
+                    config.eviction,
+                    spec.disk_scale,
+                    config.gpu_quota,
+                )
+            })
+            .collect();
+        Engine {
+            config,
+            catalog,
+            scheduler,
+            scenario: scenario.to_string(),
+            tables,
+            nodes,
+            events: EventQueue::new(),
+            buffer: Vec::new(),
+            tick_armed: false,
+            now: SimTime::ZERO,
+            jobs: FxHashMap::default(),
+            job_order: Vec::new(),
+            trace: Vec::new(),
+            sched_wall_micros: 0,
+            sched_invocations: 0,
+            jobs_scheduled: 0,
+            makespan: SimTime::ZERO,
+            loads_in_flight: 0,
+        }
+    }
+
+    fn run(&mut self, jobs: Vec<Job>) -> SimOutcome {
+        if self.config.warm_start {
+            self.warm_start();
+        }
+        // Seed the event queue with arrivals and faults.
+        let mut last = SimTime::ZERO;
+        for job in jobs {
+            assert!(job.issue_time >= last, "jobs must be sorted by issue time");
+            last = job.issue_time;
+            self.events.push(job.issue_time, EventKind::Arrival(job));
+        }
+        for fault in &self.config.faults {
+            let kind = if fault.crash {
+                EventKind::NodeCrash(fault.node)
+            } else {
+                EventKind::NodeRecover(fault.node)
+            };
+            self.events.push(fault.time, kind);
+        }
+
+        while let Some(event) = self.events.pop() {
+            self.now = event.time;
+            match event.kind {
+                EventKind::Arrival(job) => self.on_arrival(job),
+                EventKind::Tick => self.on_tick(),
+                EventKind::TaskDone { node, generation } => self.on_task_done(node, generation),
+                EventKind::NodeCrash(node) => self.on_crash(node),
+                EventKind::NodeRecover(node) => self.on_recover(node),
+            }
+        }
+
+        self.finish()
+    }
+
+    /// The paper's initialization "test run": chunks are distributed
+    /// round-robin over the nodes until each node's quota is full, and the
+    /// head node's `Cache` table reflects the placement. (The `Estimate`
+    /// table needs no seeding — its cost-model fallback is the test-run
+    /// estimate.)
+    fn warm_start(&mut self) {
+        let p = self.nodes.len();
+        let mut i = 0usize;
+        for dataset in self.catalog.datasets() {
+            for chunk in self.catalog.chunks_of(dataset.id) {
+                let node = NodeId((i % p) as u32);
+                i += 1;
+                let mem = &mut self.nodes[node.index()].memory;
+                let host = mem.host();
+                if host.used() + chunk.bytes <= host.quota() && !mem.host_resident(chunk.id) {
+                    mem.access(chunk.id, chunk.bytes);
+                    self.tables.cache.record_load(node, chunk.id, chunk.bytes);
+                    if let Some(gpu) = &mut self.tables.gpu_cache {
+                        gpu.record_load(node, chunk.id, chunk.bytes);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, job: Job) {
+        let state = JobState {
+            record: JobRecord {
+                id: job.id,
+                kind: job.kind,
+                dataset: job.dataset,
+                timing: JobTiming::issued_at(job.issue_time),
+                tasks: self.catalog.task_count(job.dataset),
+                misses: 0,
+            },
+            remaining: self.catalog.task_count(job.dataset),
+            max_finish: SimTime::ZERO,
+        };
+        self.jobs.insert(job.id, state);
+        self.job_order.push(job.id);
+
+        match self.scheduler.trigger() {
+            Trigger::OnArrival => self.invoke(vec![job]),
+            Trigger::Cycle(_) => {
+                self.buffer.push(job);
+                self.arm_tick();
+            }
+        }
+    }
+
+    fn on_tick(&mut self) {
+        self.tick_armed = false;
+        let jobs = std::mem::take(&mut self.buffer);
+        self.invoke(jobs);
+        if self.scheduler.has_deferred() {
+            self.arm_tick_after();
+        }
+    }
+
+    fn on_task_done(&mut self, node: NodeId, generation: u32) {
+        {
+            let n = &mut self.nodes[node.index()];
+            if n.crashed || n.generation != generation {
+                return; // stale completion from before a crash
+            }
+        }
+        let done = self.nodes[node.index()].complete();
+        if done.miss {
+            self.loads_in_flight = self.loads_in_flight.saturating_sub(1);
+        }
+        self.makespan = self.makespan.max(done.finish);
+
+        // Job bookkeeping.
+        let task = done.assignment.task;
+        if let Some(state) = self.jobs.get_mut(&task.job) {
+            state.remaining -= 1;
+            state.max_finish = state.max_finish.max(done.finish);
+            if done.miss {
+                state.record.misses += 1;
+            }
+            if state.remaining == 0 {
+                state.record.timing.record_finish(state.max_finish);
+            }
+        }
+        if self.config.record_trace {
+            self.trace.push(TaskTrace {
+                job: task.job,
+                index: task.index,
+                node,
+                start: done.started,
+                finish: done.finish,
+                miss: done.miss,
+            });
+        }
+
+        // §V-B corrections: estimate from the measurement, cache from the
+        // node's authoritative load/evictions, available from the real
+        // backlog.
+        if done.miss {
+            self.tables.estimate.record(task.chunk, done.io);
+            self.tables.cache.reconcile_load(node, task.chunk, task.bytes, &done.evicted);
+        }
+        if let Some(gpu) = &mut self.tables.gpu_cache {
+            if done.tier != vizsched_core::tiered::Tier::Gpu {
+                // The node pulled the chunk onto its GPU; mirror it.
+                let mut evicted = done.gpu_evicted.clone();
+                evicted.extend_from_slice(&done.evicted);
+                gpu.reconcile_load(node, task.chunk, task.bytes, &evicted);
+            }
+        }
+        let backlog = self.nodes[node.index()].predicted_backlog;
+        self.tables.available.correct(node, self.now + backlog);
+
+        self.start_node(node);
+
+        // Deferred work may now fit: make sure a cycle is coming.
+        if matches!(self.scheduler.trigger(), Trigger::Cycle(_)) && self.scheduler.has_deferred() {
+            self.arm_tick();
+        }
+    }
+
+    fn on_crash(&mut self, node: NodeId) {
+        let lost = self.nodes[node.index()].crash();
+        self.tables.mark_down(node);
+        if self.tables.live_nodes().next().is_none() {
+            // Whole cluster down: the lost work is gone for good.
+            return;
+        }
+        // Re-place the lost tasks on live nodes, locality-aware — the
+        // fault-tolerance path of §VI-D.
+        let mut ctx = ScheduleCtx {
+            now: self.now,
+            tables: &mut self.tables,
+            catalog: &self.catalog,
+            cost: &self.config.cost,
+        };
+        let reassigned: Vec<Assignment> = lost
+            .into_iter()
+            .map(|a| {
+                let node = ctx.earliest_node_with_locality(a.task.chunk, a.task.bytes);
+                ctx.commit(a.task, node, a.group)
+            })
+            .collect();
+        self.dispatch(reassigned);
+    }
+
+    fn on_recover(&mut self, node: NodeId) {
+        self.nodes[node.index()].recover();
+        self.tables.mark_up(node, self.now);
+    }
+
+    fn arm_tick(&mut self) {
+        if self.tick_armed {
+            return;
+        }
+        let Trigger::Cycle(cycle) = self.scheduler.trigger() else { return };
+        let omega = cycle.as_micros().max(1);
+        let next = self.now.as_micros().div_ceil(omega) * omega;
+        self.tick_armed = true;
+        self.events.push(SimTime::from_micros(next), EventKind::Tick);
+    }
+
+    /// Arm the *next* cycle boundary strictly after `now` (used from within
+    /// a tick so the chain advances).
+    fn arm_tick_after(&mut self) {
+        if self.tick_armed {
+            return;
+        }
+        let Trigger::Cycle(cycle) = self.scheduler.trigger() else { return };
+        let omega = cycle.as_micros().max(1);
+        let next = (self.now.as_micros() / omega + 1) * omega;
+        self.tick_armed = true;
+        self.events.push(SimTime::from_micros(next), EventKind::Tick);
+    }
+
+    fn invoke(&mut self, jobs: Vec<Job>) {
+        self.jobs_scheduled += jobs.len() as u64;
+        self.sched_invocations += 1;
+        let mut ctx = ScheduleCtx {
+            now: self.now,
+            tables: &mut self.tables,
+            catalog: &self.catalog,
+            cost: &self.config.cost,
+        };
+        let t0 = Instant::now();
+        let assignments = self.scheduler.schedule(&mut ctx, jobs);
+        self.sched_wall_micros += t0.elapsed().as_micros() as u64;
+        self.dispatch(assignments);
+    }
+
+    fn dispatch(&mut self, assignments: Vec<Assignment>) {
+        for a in assignments {
+            let node = a.node;
+            self.nodes[node.index()].enqueue(a);
+            if self.nodes[node.index()].is_idle() {
+                self.start_node(node);
+            }
+        }
+    }
+
+    fn start_node(&mut self, node: NodeId) {
+        // Shared-FS contention: loads starting now run slower the more
+        // loads are already streaming from the file server.
+        let contention = match self.config.shared_fs_capacity {
+            Some(capacity) if capacity > 0 => {
+                1.0 + self.loads_in_flight as f64 / capacity as f64
+            }
+            _ => 1.0,
+        };
+        let n = &mut self.nodes[node.index()];
+        if !n.is_idle() || n.crashed {
+            return;
+        }
+        let Some(running) =
+            n.start_next_contended(self.now, &self.config.cost, self.config.exec_jitter, contention)
+        else {
+            return;
+        };
+        if running.miss {
+            self.loads_in_flight += 1;
+        }
+        let (job, finish, generation) = (running.assignment.task.job, running.finish, n.generation);
+        self.events.push(finish, EventKind::TaskDone { node, generation });
+        if let Some(state) = self.jobs.get_mut(&job) {
+            state.record.timing.record_start(self.now);
+        }
+    }
+
+    fn finish(&mut self) -> SimOutcome {
+        let mut cache_hits = 0;
+        let mut cache_misses = 0;
+        let mut gpu_hits = 0;
+        let mut evictions = 0;
+        let span = self.makespan.as_secs_f64().max(1e-9);
+        let mut node_stats = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            cache_hits += n.hits;
+            cache_misses += n.misses;
+            gpu_hits += n.gpu_hits;
+            evictions += n.memory.host().evictions();
+            node_stats.push(NodeStats {
+                tasks: n.hits + n.misses,
+                hits: n.hits,
+                misses: n.misses,
+                gpu_hits: n.gpu_hits,
+                busy: n.busy,
+                utilization: (n.busy.as_secs_f64() / span).min(1.0),
+            });
+        }
+        let mut jobs = Vec::with_capacity(self.job_order.len());
+        let mut incomplete = 0;
+        for id in &self.job_order {
+            let state = &self.jobs[id];
+            if state.remaining > 0 {
+                incomplete += 1;
+            }
+            jobs.push(state.record);
+        }
+        SimOutcome {
+            record: RunRecord {
+                scheduler: self.scheduler.name().to_string(),
+                scenario: self.scenario.clone(),
+                jobs,
+                cache_hits,
+                cache_misses,
+                gpu_hits,
+                evictions,
+                sched_wall_micros: self.sched_wall_micros,
+                sched_invocations: self.sched_invocations,
+                jobs_scheduled: self.jobs_scheduled,
+                makespan: self.makespan,
+            },
+            trace: std::mem::take(&mut self.trace),
+            node_stats,
+            incomplete_jobs: incomplete,
+        }
+    }
+}

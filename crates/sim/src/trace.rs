@@ -1,0 +1,133 @@
+//! Trace post-processing: CSV export, per-node utilization, and a tiny
+//! ASCII Gantt view for debugging small schedules.
+
+use crate::engine::TaskTrace;
+use vizsched_core::time::{SimDuration, SimTime};
+
+/// Serialize a trace as CSV (`job,task,node,start_us,finish_us,miss`).
+pub fn trace_to_csv(trace: &[TaskTrace]) -> String {
+    let mut out = String::from("job,task,node,start_us,finish_us,miss\n");
+    for t in trace {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            t.job.0,
+            t.index,
+            t.node.0,
+            t.start.as_micros(),
+            t.finish.as_micros(),
+            u8::from(t.miss),
+        ));
+    }
+    out
+}
+
+/// Per-node execution statistics derived from a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NodeUtilization {
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Tasks that fetched from disk.
+    pub misses: u64,
+    /// Total busy time.
+    pub busy: SimDuration,
+    /// Busy fraction of the horizon (0–1).
+    pub utilization: f64,
+}
+
+/// Summarize a trace into per-node utilization over `[0, horizon]`.
+pub fn node_utilization(trace: &[TaskTrace], nodes: usize, horizon: SimTime) -> Vec<NodeUtilization> {
+    let mut stats = vec![NodeUtilization::default(); nodes];
+    for t in trace {
+        let s = &mut stats[t.node.index()];
+        s.tasks += 1;
+        s.misses += u64::from(t.miss);
+        s.busy += t.finish - t.start;
+    }
+    let span = horizon.as_secs_f64().max(1e-9);
+    for s in &mut stats {
+        s.utilization = (s.busy.as_secs_f64() / span).min(1.0);
+    }
+    stats
+}
+
+/// A coarse ASCII Gantt chart: one row per node, `width` columns over
+/// `[0, horizon]`; `#` = executing a hit, `X` = executing a miss (I/O),
+/// `.` = idle. Later tasks overwrite earlier ones within a cell.
+pub fn ascii_gantt(trace: &[TaskTrace], nodes: usize, horizon: SimTime, width: usize) -> String {
+    assert!(width > 0, "need at least one column");
+    let span = horizon.as_micros().max(1);
+    let mut rows = vec![vec![b'.'; width]; nodes];
+    for t in trace {
+        let a = (t.start.as_micros().min(span) as u128 * width as u128 / span as u128) as usize;
+        let b = (t.finish.as_micros().min(span) as u128 * width as u128 / span as u128) as usize;
+        let glyph = if t.miss { b'X' } else { b'#' };
+        for cell in &mut rows[t.node.index()][a..=(b.min(width - 1))] {
+            *cell = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (k, row) in rows.into_iter().enumerate() {
+        out.push_str(&format!("R{k:<3}|"));
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizsched_core::ids::{JobId, NodeId};
+
+    fn t(job: u64, node: u32, start_ms: u64, finish_ms: u64, miss: bool) -> TaskTrace {
+        TaskTrace {
+            job: JobId(job),
+            index: 0,
+            node: NodeId(node),
+            start: SimTime::from_millis(start_ms),
+            finish: SimTime::from_millis(finish_ms),
+            miss,
+        }
+    }
+
+    #[test]
+    fn csv_round_trips_fields() {
+        let csv = trace_to_csv(&[t(7, 1, 10, 25, true)]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("job,task,node,start_us,finish_us,miss"));
+        assert_eq!(lines.next(), Some("7,0,1,10000,25000,1"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn utilization_accumulates_busy_time() {
+        let trace = vec![t(0, 0, 0, 50, true), t(1, 0, 50, 75, false), t(2, 1, 0, 25, false)];
+        let stats = node_utilization(&trace, 2, SimTime::from_millis(100));
+        assert_eq!(stats[0].tasks, 2);
+        assert_eq!(stats[0].misses, 1);
+        assert!((stats[0].utilization - 0.75).abs() < 1e-9);
+        assert!((stats[1].utilization - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gantt_marks_busy_cells() {
+        let trace = vec![t(0, 0, 0, 50, true), t(1, 1, 50, 100, false)];
+        let chart = ascii_gantt(&trace, 2, SimTime::from_millis(100), 10);
+        let rows: Vec<&str> = chart.lines().collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains('X'));
+        // The finish boundary cell is painted inclusively, so at least the
+        // last four cells stay idle.
+        assert!(rows[0].ends_with("...."), "second half of node 0 idle: {}", rows[0]);
+        assert!(rows[1].contains('#'));
+        assert!(rows[1].starts_with("R1  |....."), "first half of node 1 idle: {}", rows[1]);
+    }
+
+    #[test]
+    fn empty_trace_is_all_idle() {
+        let stats = node_utilization(&[], 3, SimTime::from_secs(1));
+        assert!(stats.iter().all(|s| s.tasks == 0 && s.utilization == 0.0));
+        let chart = ascii_gantt(&[], 1, SimTime::from_secs(1), 5);
+        assert_eq!(chart, "R0  |.....\n");
+    }
+}

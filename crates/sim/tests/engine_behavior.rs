@@ -1,0 +1,284 @@
+//! Behavioural tests of the discrete-event engine: timing fidelity to the
+//! cost model, table correction, determinism, deferral draining, and fault
+//! tolerance.
+
+use vizsched_core::prelude::*;
+use vizsched_sim::{Fault, SimConfig, Simulation};
+
+const GIB: u64 = 1 << 30;
+const MIB: u64 = 1 << 20;
+
+fn interactive(id: u64, action: u64, dataset: u32, at: SimTime) -> Job {
+    Job {
+        id: JobId(id),
+        kind: JobKind::Interactive { user: UserId(action as u32), action: ActionId(action) },
+        dataset: DatasetId(dataset),
+        issue_time: at,
+        frame: FrameParams::default(),
+    }
+}
+
+fn batch(id: u64, request: u64, dataset: u32, at: SimTime) -> Job {
+    Job {
+        id: JobId(id),
+        kind: JobKind::Batch { user: UserId(900), request: BatchId(request), frame: 0 },
+        dataset: DatasetId(dataset),
+        issue_time: at,
+        frame: FrameParams::default(),
+    }
+}
+
+fn small_sim() -> Simulation {
+    let cluster = ClusterSpec::homogeneous(4, 2 * GIB);
+    let config = SimConfig::new(cluster, CostParams::default(), 512 * MIB);
+    Simulation::new(config, uniform_datasets(2, 2 * GIB))
+}
+
+#[test]
+fn single_cold_job_latency_matches_cost_model() {
+    let sim = small_sim();
+    let cost = sim.config().cost;
+    let outcome = sim.run(SchedulerKind::Fcfs, vec![interactive(0, 0, 0, SimTime::ZERO)], "t");
+    assert_eq!(outcome.incomplete_jobs, 0);
+    let job = &outcome.record.jobs[0];
+    // 4 cold tasks spread over 4 idle nodes run fully in parallel; the job
+    // finishes after exactly one cold task execution (group = 4).
+    let expected = cost.task_exec(512 * MIB, false, 4);
+    assert_eq!(job.timing.latency(), Some(expected));
+    assert_eq!(job.misses, 4);
+    assert_eq!(outcome.record.cache_misses, 4);
+    assert_eq!(outcome.record.cache_hits, 0);
+}
+
+#[test]
+fn warm_second_job_runs_in_milliseconds() {
+    let sim = small_sim();
+    let cost = sim.config().cost;
+    let io = cost.io_time(512 * MIB);
+    let j0 = interactive(0, 0, 0, SimTime::ZERO);
+    // Issue the second job well after the first completes.
+    let later = SimTime::ZERO + io * 2;
+    let j1 = interactive(1, 0, 0, later);
+    let outcome = sim.run(SchedulerKind::Fcfsl, vec![j0, j1], "t");
+    assert_eq!(outcome.incomplete_jobs, 0);
+    let warm = &outcome.record.jobs[1];
+    assert_eq!(warm.misses, 0, "second frame must be all cache hits");
+    let expected = cost.task_exec(512 * MIB, true, 4);
+    assert_eq!(warm.timing.latency(), Some(expected));
+    assert!(expected.as_millis_f64() < 50.0);
+}
+
+#[test]
+fn estimate_table_learns_from_measurements() {
+    // Run on a cluster whose node disks are 2x slower than the cost model
+    // claims; the engine must still finish and the measured I/O must exceed
+    // the a-priori estimate (visible through job latency).
+    let mut cluster = ClusterSpec::homogeneous(2, 2 * GIB);
+    for node in &mut cluster.nodes {
+        node.disk_scale = 0.5;
+    }
+    let cost = CostParams::default();
+    let config = SimConfig::new(cluster, cost, 512 * MIB);
+    let sim = Simulation::new(config, uniform_datasets(1, 2 * GIB));
+    let outcome = sim.run(SchedulerKind::Fcfsl, vec![interactive(0, 0, 0, SimTime::ZERO)], "t");
+    let lat = outcome.record.jobs[0].timing.latency().unwrap();
+    // Two chunks per node, each paying doubled I/O sequentially.
+    assert!(lat > cost.io_time(512 * MIB) * 3, "latency {lat} should reflect slow disks");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let jobs: Vec<Job> = (0..50)
+        .map(|i| interactive(i, i % 3, (i % 2) as u32, SimTime::from_millis(30 * i)))
+        .collect();
+    let run = || {
+        let sim = small_sim();
+        let outcome = sim.run(SchedulerKind::Ours, jobs.clone(), "det");
+        (
+            outcome.record.cache_hits,
+            outcome.record.cache_misses,
+            outcome.record.makespan,
+            outcome
+                .record
+                .jobs
+                .iter()
+                .map(|j| j.timing.finish)
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn ours_defers_batch_but_drains_it() {
+    let sim = small_sim();
+    let mut jobs = Vec::new();
+    // A steady interactive stream on dataset 0 for 3 seconds…
+    for i in 0..100u64 {
+        jobs.push(interactive(i, 0, 0, SimTime::from_millis(30 * i)));
+    }
+    // …and a burst of batch jobs on dataset 1 arriving early.
+    for b in 0..10u64 {
+        jobs.push(batch(100 + b, b, 1, SimTime::from_millis(100)));
+    }
+    jobs.sort_by_key(|j| j.issue_time);
+    let outcome = sim.run(SchedulerKind::Ours, jobs, "defer");
+    assert_eq!(outcome.incomplete_jobs, 0, "deferred batch must eventually drain");
+    let report = vizsched_metrics::SchedulerReport::from_run(&outcome.record);
+    assert_eq!(report.batch_jobs, 10);
+    assert!(report.batch_latency.mean > 0.0);
+}
+
+#[test]
+fn crash_mid_run_still_completes_jobs() {
+    let cluster = ClusterSpec::homogeneous(4, 2 * GIB);
+    let cost = CostParams::default();
+    let mut config = SimConfig::new(cluster, cost, 512 * MIB);
+    // Crash node 1 while the first job's cold loads are in flight; recover
+    // much later.
+    config.faults = vec![
+        Fault { time: SimTime::from_millis(500), node: NodeId(1), crash: true },
+        Fault { time: SimTime::from_secs(60), node: NodeId(1), crash: false },
+    ];
+    let sim = Simulation::new(config, uniform_datasets(2, 2 * GIB));
+    let jobs: Vec<Job> =
+        (0..20).map(|i| interactive(i, 0, 0, SimTime::from_millis(30 * i))).collect();
+    let outcome = sim.run(SchedulerKind::Ours, jobs, "crash");
+    assert_eq!(outcome.incomplete_jobs, 0, "work lost in the crash must be re-placed");
+    assert_eq!(outcome.record.jobs.len(), 20);
+    assert!(outcome.record.jobs.iter().all(|j| j.timing.finish.is_some()));
+}
+
+#[test]
+fn trace_records_every_task() {
+    let cluster = ClusterSpec::homogeneous(2, 2 * GIB);
+    let mut config = SimConfig::new(cluster, CostParams::default(), 512 * MIB);
+    config.record_trace = true;
+    let sim = Simulation::new(config, uniform_datasets(1, 2 * GIB));
+    let outcome = sim.run(SchedulerKind::Fcfs, vec![interactive(0, 0, 0, SimTime::ZERO)], "t");
+    assert_eq!(outcome.trace.len(), 4);
+    for t in &outcome.trace {
+        assert!(t.finish > t.start);
+        assert!(t.miss, "first touch of every chunk is a miss");
+    }
+}
+
+#[test]
+fn fcfsu_uses_uniform_decomposition() {
+    let sim = small_sim();
+    let outcome = sim.run(SchedulerKind::Fcfsu, vec![interactive(0, 0, 0, SimTime::ZERO)], "t");
+    // 4 nodes -> 4 uniform chunks -> 4 tasks; with MaxChunkSize it would
+    // also be 4 here, so check the byte size instead: 2 GiB / 4 = 512 MiB
+    // per uniform chunk on *this* cluster, but trace isn't on; use the
+    // record: every task missed, and tasks == node count.
+    assert_eq!(outcome.record.jobs[0].tasks, 4);
+    assert_eq!(outcome.record.jobs[0].misses, 4);
+}
+
+#[test]
+fn makespan_tracks_last_completion() {
+    let sim = small_sim();
+    let outcome = sim.run(SchedulerKind::Fcfs, vec![interactive(0, 0, 0, SimTime::ZERO)], "t");
+    let jf = outcome.record.jobs[0].timing.finish.unwrap();
+    assert_eq!(outcome.record.makespan, jf);
+}
+
+#[test]
+fn interleaved_users_all_finish() {
+    let sim = small_sim();
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    for step in 0..60u64 {
+        for user in 0..3u64 {
+            jobs.push(interactive(id, user, (user % 2) as u32, SimTime::from_millis(30 * step)));
+            id += 1;
+        }
+    }
+    for kind in [SchedulerKind::Fcfs, SchedulerKind::Fcfsl, SchedulerKind::Fs, SchedulerKind::Sf] {
+        let outcome = sim.run(kind, jobs.clone(), "mix");
+        assert_eq!(outcome.incomplete_jobs, 0, "{} left jobs unfinished", kind.name());
+        assert_eq!(outcome.record.jobs.len(), 180);
+    }
+}
+
+#[test]
+fn shared_fs_contention_slows_concurrent_loads() {
+    // Four cold tasks on four nodes, all loading at once.
+    let cluster = ClusterSpec::homogeneous(4, 2 * GIB);
+    let cost = CostParams::default();
+    let job = interactive(0, 0, 0, SimTime::ZERO);
+
+    let independent = {
+        let config = SimConfig::new(cluster.clone(), cost, 512 * MIB);
+        let sim = Simulation::new(config, uniform_datasets(1, 2 * GIB));
+        sim.run(SchedulerKind::Fcfs, vec![job.clone()], "indep")
+    };
+    let contended = {
+        let mut config = SimConfig::new(cluster, cost, 512 * MIB);
+        config.shared_fs_capacity = Some(1); // one full-speed stream
+        let sim = Simulation::new(config, uniform_datasets(1, 2 * GIB));
+        sim.run(SchedulerKind::Fcfs, vec![job], "shared")
+    };
+    let lat_i = independent.record.jobs[0].timing.latency().unwrap();
+    let lat_c = contended.record.jobs[0].timing.latency().unwrap();
+    assert!(
+        lat_c > lat_i.mul_f64(1.5),
+        "four concurrent loads through a capacity-1 server must be slower: {lat_c} vs {lat_i}"
+    );
+    // A solitary load (capacity 1, nothing else in flight) is unaffected:
+    // the first load starts alone, so its I/O portion is at full speed.
+    assert_eq!(independent.record.cache_misses, contended.record.cache_misses);
+}
+
+#[test]
+fn available_table_is_corrected_toward_reality() {
+    // Predictions start from the cost model; after completions the head's
+    // availability must reflect the node's actual (empty) backlog rather
+    // than stale optimistic pushes.
+    let sim = small_sim();
+    let job = interactive(0, 0, 0, SimTime::ZERO);
+    let outcome = sim.run(SchedulerKind::Fcfsl, vec![job], "corr");
+    // All tasks done; makespan equals the single cold task exec, meaning no
+    // phantom backlog lingered anywhere to delay the final completion.
+    let cost = sim.config().cost;
+    assert_eq!(outcome.record.makespan, SimTime::ZERO + cost.task_exec(512 * MIB, false, 4));
+}
+
+#[test]
+fn estimate_corrections_improve_later_predictions() {
+    // Slow disks: the first load measures ~2x the model estimate; later
+    // scheduling rounds should therefore *predict* longer execs, which we
+    // observe through assignments avoiding the slow path — here simply
+    // through completion: the run still drains with no incomplete jobs.
+    let mut cluster = ClusterSpec::homogeneous(2, 2 * GIB);
+    for node in &mut cluster.nodes {
+        node.disk_scale = 0.25;
+    }
+    let config = SimConfig::new(cluster, CostParams::default(), 512 * MIB);
+    let sim = Simulation::new(config, uniform_datasets(2, 2 * GIB));
+    let jobs: Vec<Job> = (0..30)
+        .map(|i| interactive(i, i % 2, (i % 2) as u32, SimTime::from_millis(200 * i)))
+        .collect();
+    let outcome = sim.run(SchedulerKind::Ours, jobs, "estimate");
+    assert_eq!(outcome.incomplete_jobs, 0);
+    // Hit rate should still be high: corrections do not destabilize
+    // placement.
+    assert!(outcome.record.hit_rate() > 0.8, "hit {}", outcome.record.hit_rate());
+}
+
+#[test]
+fn node_stats_reflect_load_balance() {
+    let sim = small_sim();
+    let jobs: Vec<Job> =
+        (0..80).map(|i| interactive(i, 0, 0, SimTime::from_millis(30 * i))).collect();
+    let outcome = sim.run(SchedulerKind::Ours, jobs, "balance");
+    assert_eq!(outcome.node_stats.len(), 4);
+    let total: u64 = outcome.node_stats.iter().map(|s| s.tasks).sum();
+    assert_eq!(total, outcome.record.cache_hits + outcome.record.cache_misses);
+    for s in &outcome.node_stats {
+        assert!(s.utilization >= 0.0 && s.utilization <= 1.0);
+        assert_eq!(s.tasks, s.hits + s.misses);
+    }
+    // One dataset over four nodes: every node carries work.
+    assert!(outcome.node_stats.iter().all(|s| s.tasks > 0));
+}

@@ -1,0 +1,80 @@
+//! Central-difference gradients, used for Phong shading during ray casting.
+
+use crate::grid::{Scalar, Volume};
+
+/// Central-difference gradient at integer voxel coordinates (clamped at the
+/// boundary). Returned unnormalized; the magnitude doubles as a
+/// surface-ness measure.
+pub fn gradient_at<T: Scalar>(v: &Volume<T>, x: usize, y: usize, z: usize) -> [f32; 3] {
+    let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+    [
+        (v.at_clamped(xi + 1, yi, zi).to_f32() - v.at_clamped(xi - 1, yi, zi).to_f32()) * 0.5,
+        (v.at_clamped(xi, yi + 1, zi).to_f32() - v.at_clamped(xi, yi - 1, zi).to_f32()) * 0.5,
+        (v.at_clamped(xi, yi, zi + 1).to_f32() - v.at_clamped(xi, yi, zi - 1).to_f32()) * 0.5,
+    ]
+}
+
+/// Gradient at continuous coordinates via trilinear central differences.
+pub fn gradient_sample<T: Scalar>(v: &Volume<T>, x: f32, y: f32, z: f32) -> [f32; 3] {
+    const H: f32 = 0.5;
+    [
+        (v.sample(x + H, y, z) - v.sample(x - H, y, z)),
+        (v.sample(x, y + H, z) - v.sample(x, y - H, z)),
+        (v.sample(x, y, z + H) - v.sample(x, y, z - H)),
+    ]
+}
+
+/// Normalize a vector; returns `None` for (near-)zero gradients so callers
+/// can skip shading in homogeneous regions.
+pub fn normalize(g: [f32; 3]) -> Option<[f32; 3]> {
+    let len = (g[0] * g[0] + g[1] * g[1] + g[2] * g[2]).sqrt();
+    if len < 1e-6 {
+        return None;
+    }
+    Some([g[0] / len, g[1] / len, g[2] / len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x_ramp() -> Volume<f32> {
+        Volume::from_fn([8, 8, 8], |x, _, _| x)
+    }
+
+    #[test]
+    fn gradient_of_x_ramp_points_along_x() {
+        let v = x_ramp();
+        let g = gradient_at(&v, 4, 4, 4);
+        assert!(g[0] > 0.0);
+        assert!(g[1].abs() < 1e-6);
+        assert!(g[2].abs() < 1e-6);
+        // Each voxel step in x raises the value by 1/8.
+        assert!((g[0] - 0.125).abs() < 1e-5);
+    }
+
+    #[test]
+    fn continuous_gradient_matches_discrete_in_interior() {
+        let v = x_ramp();
+        let gd = gradient_at(&v, 4, 4, 4);
+        let gc = gradient_sample(&v, 4.0, 4.0, 4.0);
+        for i in 0..3 {
+            assert!((gd[i] - gc[i]).abs() < 1e-4, "axis {i}: {} vs {}", gd[i], gc[i]);
+        }
+    }
+
+    #[test]
+    fn normalize_rejects_zero() {
+        assert!(normalize([0.0, 0.0, 0.0]).is_none());
+        let n = normalize([3.0, 0.0, 4.0]).unwrap();
+        assert!((n[0] - 0.6).abs() < 1e-6);
+        assert!((n[2] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boundary_gradients_are_finite() {
+        let v = x_ramp();
+        let g = gradient_at(&v, 0, 0, 0);
+        assert!(g.iter().all(|c| c.is_finite()));
+    }
+}

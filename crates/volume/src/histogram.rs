@@ -1,0 +1,102 @@
+//! Value histograms, used to design transfer functions and to sanity-check
+//! synthetic fields.
+
+use crate::grid::{Scalar, Volume};
+
+/// A fixed-bin histogram over `[0, 1]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Histogram of a volume's (normalized) values.
+    pub fn of<T: Scalar>(v: &Volume<T>, bins: usize) -> Histogram {
+        assert!(bins > 0, "need at least one bin");
+        let mut h = vec![0u64; bins];
+        for value in &v.data {
+            let f = value.to_f32().clamp(0.0, 1.0);
+            let i = ((f * bins as f32) as usize).min(bins - 1);
+            h[i] += 1;
+        }
+        Histogram { total: v.len() as u64, bins: h }
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of samples in bins covering `[lo, hi)` of the value range.
+    pub fn fraction_between(&self, lo: f32, hi: f32) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.bins.len() as f32;
+        let from = ((lo.clamp(0.0, 1.0) * n) as usize).min(self.bins.len());
+        let to = ((hi.clamp(0.0, 1.0) * n) as usize).min(self.bins.len());
+        let sum: u64 = self.bins[from..to].iter().sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// The value (bin center) below which `q` of the mass lies.
+    pub fn quantile(&self, q: f64) -> f32 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &count) in self.bins.iter().enumerate() {
+            acc += count;
+            if acc >= target {
+                return (i as f32 + 0.5) / self.bins.len() as f32;
+            }
+        }
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_total() {
+        let v: Volume<f32> = Volume::from_fn([10, 10, 10], |x, _, _| x);
+        let h = Histogram::of(&v, 16);
+        assert_eq!(h.bins().iter().sum::<u64>(), 1000);
+        assert_eq!(h.total(), 1000);
+    }
+
+    #[test]
+    fn uniform_ramp_fills_bins_evenly() {
+        let v: Volume<f32> = Volume::from_fn([100, 10, 1], |x, _, _| x);
+        let h = Histogram::of(&v, 10);
+        for &count in h.bins() {
+            assert_eq!(count, 100);
+        }
+        assert!((h.fraction_between(0.0, 0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_of_ramp_is_linear() {
+        let v: Volume<f32> = Volume::from_fn([1000, 1, 1], |x, _, _| x);
+        let h = Histogram::of(&v, 100);
+        assert!((h.quantile(0.5) - 0.5).abs() < 0.02);
+        assert!((h.quantile(0.9) - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_edge_bins() {
+        let mut v: Volume<f32> = Volume::zeros([2, 1, 1]);
+        *v.at_mut(0, 0, 0) = -3.0;
+        *v.at_mut(1, 0, 0) = 42.0;
+        let h = Histogram::of(&v, 4);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[3], 1);
+    }
+}

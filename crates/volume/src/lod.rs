@@ -1,0 +1,107 @@
+//! Level-of-detail: box-filtered downsampling and mip-style pyramids.
+//! Subsampling is one of the three remote-visualization strategies the
+//! paper's related work weighs (Freitag & Loy); a service can serve coarse
+//! levels during interaction and refine when the camera rests.
+
+use crate::grid::{Scalar, Volume};
+
+/// Downsample by 2 along every axis with a box filter (odd extents keep
+/// their trailing slice by clamping).
+pub fn downsample_by_2<T: Scalar>(v: &Volume<T>) -> Volume<T> {
+    let dims = [
+        v.dims[0].div_ceil(2).max(1),
+        v.dims[1].div_ceil(2).max(1),
+        v.dims[2].div_ceil(2).max(1),
+    ];
+    let mut out = Volume::zeros(dims);
+    for z in 0..dims[2] {
+        for y in 0..dims[1] {
+            for x in 0..dims[0] {
+                let mut sum = 0.0f32;
+                for dz in 0..2usize {
+                    for dy in 0..2usize {
+                        for dx in 0..2usize {
+                            let sx = (2 * x + dx).min(v.dims[0] - 1);
+                            let sy = (2 * y + dy).min(v.dims[1] - 1);
+                            let sz = (2 * z + dz).min(v.dims[2] - 1);
+                            sum += v.at(sx, sy, sz).to_f32();
+                        }
+                    }
+                }
+                *out.at_mut(x, y, z) = T::from_f32(sum / 8.0);
+            }
+        }
+    }
+    out.spacing = [v.spacing[0] * 2.0, v.spacing[1] * 2.0, v.spacing[2] * 2.0];
+    out
+}
+
+/// A mip pyramid: level 0 is the full resolution, each further level halves
+/// every axis, down to (and including) the first level where the largest
+/// axis is at most `min_extent`.
+pub fn build_pyramid<T: Scalar>(base: Volume<T>, min_extent: usize) -> Vec<Volume<T>> {
+    assert!(min_extent >= 1, "min extent must be at least 1");
+    let mut levels = vec![base];
+    loop {
+        let last = levels.last().expect("non-empty");
+        if last.dims.iter().copied().max().unwrap_or(1) <= min_extent {
+            break;
+        }
+        let next = downsample_by_2(last);
+        levels.push(next);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Field;
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let v: Volume<f32> = Field::Shells.sample([16, 8, 4]);
+        let d = downsample_by_2(&v);
+        assert_eq!(d.dims, [8, 4, 2]);
+        assert_eq!(d.spacing, [2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn downsample_preserves_constant_fields() {
+        let v: Volume<f32> = Volume::from_fn([8, 8, 8], |_, _, _| 0.7);
+        let d = downsample_by_2(&v);
+        assert!(d.data.iter().all(|&x| (x - 0.7).abs() < 1e-6));
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let mut v: Volume<f32> = Volume::zeros([2, 2, 2]);
+        *v.at_mut(0, 0, 0) = 1.0; // one of eight voxels
+        let d = downsample_by_2(&v);
+        assert_eq!(d.dims, [1, 1, 1]);
+        assert!((d.at(0, 0, 0) - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn odd_extents_clamp() {
+        let v: Volume<f32> = Volume::from_fn([3, 3, 3], |x, _, _| x);
+        let d = downsample_by_2(&v);
+        assert_eq!(d.dims, [2, 2, 2]);
+        assert!(d.data.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn pyramid_descends_to_min_extent() {
+        let v: Volume<f32> = Field::Plume.sample([32, 32, 64]);
+        let pyramid = build_pyramid(v, 4);
+        let dims: Vec<[usize; 3]> = pyramid.iter().map(|l| l.dims).collect();
+        assert_eq!(dims[0], [32, 32, 64]);
+        assert_eq!(*dims.last().unwrap(), [2, 2, 4]);
+        assert_eq!(dims.len(), 5);
+        // Mean is roughly preserved through the levels (box filter).
+        let mean = |v: &Volume<f32>| v.data.iter().sum::<f32>() / v.len() as f32;
+        let m0 = mean(&pyramid[0]);
+        let m_last = mean(pyramid.last().unwrap());
+        assert!((m0 - m_last).abs() < 0.1, "{m0} vs {m_last}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Synthetic analytic scalar fields standing in for the paper's simulation
+//! datasets (Fig. 10 renders a plume, a combustion, and a supernova
+//! simulation). The fields are smooth, feature internal structure that a
+//! transfer function can peel apart, and can be sampled at any resolution —
+//! so experiments scale from unit tests (16³) to multi-gigabyte stress data
+//! without shipping restricted simulation outputs.
+
+use crate::grid::{Scalar, Volume};
+
+/// The built-in field catalog.
+///
+/// ```
+/// use vizsched_volume::{Field, Volume};
+///
+/// let volume: Volume<f32> = Field::Supernova.sample([32, 32, 32]);
+/// let (lo, hi) = volume.value_range();
+/// assert!(lo >= 0.0 && hi <= 1.0 && hi > lo);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Field {
+    /// Rising thermal plume: a buoyant column with side vortices
+    /// (stand-in for the 252×252×1024 plume run in Fig. 10).
+    Plume,
+    /// Sheared flame sheets with pockets, reminiscent of a turbulent
+    /// combustion slab (stand-in for the 2025×1600×400 run).
+    Combustion,
+    /// An expanding shell with angular lobes around a dense core
+    /// (stand-in for the 864³ supernova run).
+    Supernova,
+    /// The Marschner–Lobb test signal: the classic resampling benchmark.
+    MarschnerLobb,
+    /// Nested density shells — cheap and exactly analyzable, used by tests.
+    Shells,
+}
+
+impl Field {
+    /// All fields.
+    pub const ALL: [Field; 5] =
+        [Field::Plume, Field::Combustion, Field::Supernova, Field::MarschnerLobb, Field::Shells];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Field::Plume => "plume",
+            Field::Combustion => "combustion",
+            Field::Supernova => "supernova",
+            Field::MarschnerLobb => "marschner-lobb",
+            Field::Shells => "shells",
+        }
+    }
+
+    /// Evaluate the field at normalized coordinates in `[0, 1]^3`,
+    /// returning a density in `[0, 1]`.
+    pub fn eval(&self, x: f32, y: f32, z: f32) -> f32 {
+        match self {
+            Field::Plume => plume(x, y, z),
+            Field::Combustion => combustion(x, y, z),
+            Field::Supernova => supernova(x, y, z),
+            Field::MarschnerLobb => marschner_lobb(x, y, z),
+            Field::Shells => shells(x, y, z),
+        }
+    }
+
+    /// Sample the field into a volume of the given dimensions.
+    pub fn sample<T: Scalar>(&self, dims: [usize; 3]) -> Volume<T> {
+        Volume::from_fn(dims, |x, y, z| self.eval(x, y, z))
+    }
+}
+
+impl std::str::FromStr for Field {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Field::ALL
+            .into_iter()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| format!("unknown field '{s}'"))
+    }
+}
+
+fn smoothstep(e0: f32, e1: f32, x: f32) -> f32 {
+    let t = ((x - e0) / (e1 - e0)).clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// A buoyant column along +y with a mushroom head and swirling flanks.
+fn plume(x: f32, y: f32, z: f32) -> f32 {
+    let (cx, cz) = (x - 0.5, z - 0.5);
+    // The column meanders sinusoidally with height.
+    let sway = 0.08 * (y * 9.0).sin();
+    let r = ((cx - sway).powi(2) + (cz + sway * 0.5).powi(2)).sqrt();
+    // Column radius widens toward the head.
+    let radius = 0.08 + 0.22 * smoothstep(0.35, 0.95, y);
+    let column = smoothstep(radius, radius * 0.4, r) * smoothstep(0.02, 0.25, y);
+    // Vortex ring near the head.
+    let head_r = ((y - 0.8).powi(2) + (r - 0.22).powi(2)).sqrt();
+    let ring = 0.7 * smoothstep(0.10, 0.02, head_r);
+    // Fine turbulence.
+    let turb = 0.12 * ((x * 37.0).sin() * (y * 23.0).cos() * (z * 31.0).sin());
+    (column + ring + turb * column).clamp(0.0, 1.0)
+}
+
+/// Wrinkled flame sheets: a slab with folded iso-surfaces and hot pockets.
+fn combustion(x: f32, y: f32, z: f32) -> f32 {
+    // A flame front surface around y = 0.5, folded by low-frequency waves.
+    let fold = 0.12 * (x * 7.0).sin() + 0.08 * (z * 11.0).cos()
+        + 0.05 * ((x * 17.0 + z * 13.0).sin());
+    let front = (y - 0.5 - fold).abs();
+    let sheet = smoothstep(0.10, 0.01, front);
+    // Burnt pockets behind the front.
+    let pocket = 0.5
+        * smoothstep(0.0, 0.4, y)
+        * ((x * 29.0).sin() * (y * 19.0).sin() * (z * 23.0).cos()).max(0.0);
+    (sheet + pocket * (1.0 - sheet)).clamp(0.0, 1.0)
+}
+
+/// An expanding shell with angular density lobes around a collapsing core.
+fn supernova(x: f32, y: f32, z: f32) -> f32 {
+    let (dx, dy, dz) = (x - 0.5, y - 0.5, z - 0.5);
+    let r = (dx * dx + dy * dy + dz * dz).sqrt() * 2.0; // 0 at core, ~1 at faces
+    // Angular modulation (spherical-harmonic-ish lobes).
+    let theta = dy.atan2((dx * dx + dz * dz).sqrt());
+    let phi = dz.atan2(dx);
+    let lobes = 0.15 * ((3.0 * phi).cos() * (2.0 * theta).sin());
+    // Dense core + bright shock shell.
+    let core = smoothstep(0.25, 0.02, r);
+    let shell_r = 0.62 + lobes;
+    let shell = 0.8 * smoothstep(0.10, 0.015, (r - shell_r).abs());
+    let wisps =
+        0.1 * ((r * 40.0).sin().abs() * smoothstep(0.9, 0.4, r) * smoothstep(0.2, 0.4, r));
+    (core + shell + wisps).clamp(0.0, 1.0)
+}
+
+/// Marschner & Lobb's ρ(x, y, z) test function, normalized to [0, 1].
+fn marschner_lobb(x: f32, y: f32, z: f32) -> f32 {
+    const FM: f32 = 6.0;
+    const ALPHA: f32 = 0.25;
+    // Map [0,1]^3 to [-1,1]^3.
+    let (x, y, z) = (2.0 * x - 1.0, 2.0 * y - 1.0, 2.0 * z - 1.0);
+    let r = (x * x + y * y).sqrt();
+    let pr = (std::f32::consts::PI * FM * (std::f32::consts::FRAC_PI_2 * r).cos()).cos();
+    let rho = (1.0 - (std::f32::consts::PI * z * 0.5).sin() + ALPHA * (1.0 + pr))
+        / (2.0 * (1.0 + ALPHA));
+    rho.clamp(0.0, 1.0)
+}
+
+/// Concentric shells: density = sin²(6πr) damped away from the center.
+fn shells(x: f32, y: f32, z: f32) -> f32 {
+    let (dx, dy, dz) = (x - 0.5, y - 0.5, z - 0.5);
+    let r = (dx * dx + dy * dy + dz * dz).sqrt() * 2.0;
+    let s = (6.0 * std::f32::consts::PI * r).sin();
+    (s * s * (1.0 - r).max(0.0)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fields_are_bounded() {
+        for field in Field::ALL {
+            let v: Volume<f32> = field.sample([17, 13, 11]);
+            let (lo, hi) = v.value_range();
+            assert!(lo >= 0.0, "{}: lo = {lo}", field.name());
+            assert!(hi <= 1.0, "{}: hi = {hi}", field.name());
+            assert!(hi > lo, "{} must not be constant", field.name());
+        }
+    }
+
+    #[test]
+    fn fields_have_internal_structure() {
+        // A useful simulation stand-in must have substantial variation: at
+        // least 10% of voxels below 0.1 and at least 2% above 0.5.
+        // (Marschner–Lobb is a resampling benchmark, not a sparse field —
+        // its signal is deliberately dense, so the empty-space requirement
+        // does not apply.)
+        for field in Field::ALL {
+            let v: Volume<f32> = field.sample([32, 32, 32]);
+            let low = v.data.iter().filter(|&&d| d < 0.1).count();
+            let high = v.data.iter().filter(|&&d| d > 0.3).count();
+            let n = v.len();
+            if field != Field::MarschnerLobb {
+                assert!(low * 10 >= n, "{}: too little empty space", field.name());
+            }
+            assert!(high * 50 >= n, "{}: too little dense material", field.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for field in Field::ALL {
+            let parsed: Field = field.name().parse().unwrap();
+            assert_eq!(parsed, field);
+        }
+        assert!("warp-core".parse::<Field>().is_err());
+    }
+
+    #[test]
+    fn shells_peak_on_first_shell() {
+        // r = 1/12 ·... the first maximum of sin²(6πr) is at r = 1/12.
+        let r = 1.0f32 / 12.0;
+        let v = shells(0.5 + r / 2.0, 0.5, 0.5);
+        assert!(v > 0.8, "first shell should be dense, got {v}");
+        // The very center is empty.
+        assert!(shells(0.5, 0.5, 0.5) < 0.05);
+    }
+
+    #[test]
+    fn supernova_has_core_and_shell() {
+        assert!(supernova(0.5, 0.5, 0.5) > 0.9, "core must be dense");
+        // Well outside the shell the field fades.
+        assert!(supernova(0.02, 0.02, 0.02) < 0.3);
+    }
+
+    #[test]
+    fn sampling_into_u8_quantizes() {
+        let v: Volume<u8> = Field::Shells.sample([8, 8, 8]);
+        assert_eq!(v.len(), 512);
+        let (lo, hi) = v.value_range();
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+}

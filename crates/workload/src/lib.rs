@@ -1,0 +1,16 @@
+//! # vizsched-workload
+//!
+//! Seeded multi-user workload generation for vizsched experiments:
+//! interactive action streams (a render request every 30 ms per active
+//! user) mixed with batch submissions, and the four scenario
+//! configurations of the paper's Table II.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arrival;
+pub mod generator;
+pub mod scenario;
+
+pub use generator::{ActionBehavior, BatchModel, DatasetChoice, InteractiveModel, WorkloadSpec};
+pub use scenario::Scenario;

@@ -1,0 +1,57 @@
+//! Compare all six scheduling policies on a miniature mixed workload — the
+//! §I motivation in one binary: several users exploring interactively
+//! while batch animations stream in, on a cluster whose memory cannot hold
+//! every dataset.
+//!
+//! ```text
+//! cargo run --release -p vizsched-integration --example scheduler_comparison
+//! ```
+
+use vizsched_core::sched::SchedulerKind;
+use vizsched_core::time::SimDuration;
+use vizsched_metrics::{format_comparison, SchedulerReport};
+use vizsched_sim::{SimConfig, Simulation};
+use vizsched_workload::Scenario;
+
+const GIB: u64 = 1 << 30;
+
+fn main() {
+    // 8 nodes x 2 GiB of cache; 6 datasets x 4 GiB = 24 GiB > 16 GiB memory.
+    let scenario = Scenario::sweep(
+        "comparison",
+        8,
+        2 * GIB,
+        6,
+        4 * GIB,
+        4,                                // four concurrent users
+        SimDuration::from_secs(20),
+        3,                                // three batch submissions
+        7,
+    );
+    let mut config =
+        SimConfig::new(scenario.cluster.clone(), scenario.cost, scenario.chunk_max);
+    config.exec_jitter = 0.05;
+    config.warm_start = true;
+    let sim = Simulation::new(config, scenario.datasets());
+    let jobs = scenario.jobs();
+    println!(
+        "{} jobs ({} interactive / {} batch) on 8 nodes, data 1.5x memory\n",
+        jobs.len(),
+        jobs.iter().filter(|j| j.kind.is_interactive()).count(),
+        jobs.iter().filter(|j| !j.kind.is_interactive()).count(),
+    );
+
+    let mut reports = Vec::new();
+    for kind in SchedulerKind::ALL {
+        let outcome = sim.run(kind, jobs.clone(), "comparison");
+        assert_eq!(outcome.incomplete_jobs, 0, "{} left work behind", kind.name());
+        reports.push(SchedulerReport::from_run(&outcome.record));
+    }
+    println!("{}", format_comparison(&reports));
+    println!(
+        "Watch for: the locality-blind policies (FS/SF/FCFS) collapse to \
+         sub-1 fps; FCFSU burns whole-cluster overhead per frame; FCFSL is \
+         dragged down by batch-induced swaps; OURS defers batch work and \
+         stays near the 33.33 fps target."
+    );
+}

@@ -1,0 +1,78 @@
+//! Property-based equivalence of the swap compositing algorithms against
+//! the sequential front-to-back fold, over random layer stacks.
+
+use proptest::prelude::*;
+use vizsched_compositing::{composite, composite_reference, sort_by_visibility, CompositeAlgo};
+use vizsched_render::{Layer, RgbaImage};
+
+fn arbitrary_layers(
+    counts: &'static [usize],
+) -> impl Strategy<Value = Vec<Layer>> {
+    (prop::sample::select(counts), 1usize..12, 1usize..12, any::<u64>()).prop_map(
+        |(count, w, h, seed)| {
+            // Deterministic pseudo-random pixels from the seed.
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f32 / (1u64 << 53) as f32
+            };
+            (0..count)
+                .map(|i| {
+                    let mut image = RgbaImage::transparent(w, h);
+                    for px in &mut image.pixels {
+                        let a = next().clamp(0.0, 1.0);
+                        *px = [a * next(), a * next(), a * next(), a];
+                    }
+                    Layer { image, depth: next() * 100.0 + i as f32 * 1e-3 }
+                })
+                .collect()
+        },
+    )
+}
+
+fn reference(layers: &[Layer]) -> RgbaImage {
+    let sorted = sort_by_visibility(layers.to_vec());
+    let images: Vec<RgbaImage> = sorted.into_iter().map(|l| l.image).collect();
+    composite_reference(&images)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Binary swap equals the sequential fold for power-of-two stacks.
+    #[test]
+    fn binary_swap_equivalent(layers in arbitrary_layers(&[2, 4, 8, 16])) {
+        let expect = reference(&layers);
+        let got = composite(layers, CompositeAlgo::BinarySwap);
+        prop_assert!(got.max_abs_diff(&expect) < 1e-4);
+    }
+
+    /// 2-3 swap equals the sequential fold for 2^a * 3^b stacks.
+    #[test]
+    fn swap23_equivalent(layers in arbitrary_layers(&[2, 3, 4, 6, 8, 9, 12, 18])) {
+        let expect = reference(&layers);
+        let got = composite(layers, CompositeAlgo::Swap23);
+        prop_assert!(got.max_abs_diff(&expect) < 1e-4);
+    }
+
+    /// Auto always produces the reference result, whatever the count.
+    #[test]
+    fn auto_equivalent(layers in arbitrary_layers(&[1, 2, 3, 5, 6, 7, 10, 11])) {
+        let expect = reference(&layers);
+        let got = composite(layers, CompositeAlgo::Auto);
+        prop_assert!(got.max_abs_diff(&expect) < 1e-4);
+    }
+
+    /// Compositing is invariant to the input order of the layers (the
+    /// depth sort normalizes it).
+    #[test]
+    fn input_order_invariant(layers in arbitrary_layers(&[4, 6, 8])) {
+        let mut shuffled = layers.clone();
+        shuffled.reverse();
+        let a = composite(layers, CompositeAlgo::Swap23);
+        let b = composite(shuffled, CompositeAlgo::Swap23);
+        prop_assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+}

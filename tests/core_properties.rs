@@ -1,0 +1,120 @@
+//! Property-based tests of the core invariants: cost-model monotonicity,
+//! data decomposition, node-memory bookkeeping, and Definition 4.
+
+use proptest::prelude::*;
+use vizsched_core::cost::{framerate, CostParams};
+use vizsched_core::data::{DatasetDesc, DecompositionPolicy};
+use vizsched_core::ids::{ChunkId, DatasetId};
+use vizsched_core::memory::{EvictionPolicy, NodeMemory};
+use vizsched_core::time::SimTime;
+
+proptest! {
+    /// I/O time is monotone in bytes and strictly positive.
+    #[test]
+    fn io_time_monotone(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let cost = CostParams::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(cost.io_time(lo) <= cost.io_time(hi));
+        prop_assert!(cost.io_time(lo).as_micros() >= 1);
+    }
+
+    /// A cached task is never slower than a cold one, and the difference is
+    /// exactly the I/O time.
+    #[test]
+    fn cached_never_slower(bytes in 1u64..1 << 36, group in 1u32..129) {
+        let cost = CostParams::default();
+        let warm = cost.task_exec(bytes, true, group);
+        let cold = cost.task_exec(bytes, false, group);
+        prop_assert!(warm <= cold);
+        prop_assert_eq!(cold - warm, cost.io_time(bytes));
+    }
+
+    /// Decomposition covers the dataset exactly: chunk sizes sum to the
+    /// total, no chunk exceeds Chk_max, and the count is minimal.
+    #[test]
+    fn decomposition_covers(bytes in 1u64..1 << 38, max in 1u64..1 << 32) {
+        let policy = DecompositionPolicy::MaxChunkSize { max_bytes: max };
+        let dataset = DatasetDesc::sized(DatasetId(0), bytes);
+        let chunks = policy.decompose(&dataset);
+        let total: u64 = chunks.iter().map(|c| c.bytes).sum();
+        prop_assert_eq!(total, bytes);
+        prop_assert!(chunks.iter().all(|c| c.bytes <= max));
+        // Minimality: one fewer chunk would overflow Chk_max.
+        if chunks.len() > 1 {
+            prop_assert!((chunks.len() as u64 - 1) * max < bytes);
+        }
+    }
+
+    /// Uniform decomposition always yields exactly `nodes` chunks summing
+    /// to the total.
+    #[test]
+    fn uniform_decomposition(bytes in 1u64..1 << 38, nodes in 1u32..256) {
+        let policy = DecompositionPolicy::Uniform { nodes };
+        let dataset = DatasetDesc::sized(DatasetId(0), bytes);
+        let chunks = policy.decompose(&dataset);
+        prop_assert_eq!(chunks.len(), nodes as usize);
+        prop_assert_eq!(chunks.iter().map(|c| c.bytes).sum::<u64>(), bytes);
+    }
+
+    /// NodeMemory never exceeds its quota (except for a single oversized
+    /// chunk), `used` always equals the sum of resident chunk sizes, and
+    /// every reported eviction was resident beforehand.
+    #[test]
+    fn node_memory_invariants(
+        ops in prop::collection::vec((0u32..40, 1u64..400), 1..120),
+        quota in 100u64..2000,
+        policy_pick in 0u8..3,
+    ) {
+        let policy = match policy_pick {
+            0 => EvictionPolicy::Lru,
+            1 => EvictionPolicy::Fifo,
+            _ => EvictionPolicy::Random { seed: 5 },
+        };
+        let mut mem = NodeMemory::with_policy(quota, policy);
+        let mut resident: std::collections::HashMap<ChunkId, u64> =
+            std::collections::HashMap::new();
+        for (idx, bytes) in ops {
+            let chunk = ChunkId::new(DatasetId(0), idx);
+            if mem.contains(chunk) {
+                mem.touch(chunk);
+            } else {
+                let evicted = mem.load(chunk, bytes);
+                for victim in evicted {
+                    prop_assert!(resident.remove(&victim).is_some(),
+                        "evicted chunk {victim} was not resident");
+                }
+                resident.insert(chunk, bytes);
+            }
+            let model_used: u64 = resident.values().sum();
+            prop_assert_eq!(mem.used(), model_used);
+            prop_assert_eq!(mem.len(), resident.len());
+            // Quota can only be exceeded by a lone oversized chunk.
+            if mem.used() > quota {
+                prop_assert_eq!(mem.len(), 1);
+            }
+        }
+    }
+
+    /// Definition 4 is invariant to the order finish times are recorded
+    /// and bounded by the reciprocal of the smallest gap.
+    #[test]
+    fn framerate_properties(mut finishes in prop::collection::vec(0u64..10_000_000u64, 2..50)) {
+        let times: Vec<SimTime> = finishes.iter().map(|&t| SimTime::from_micros(t)).collect();
+        let forward = framerate(&times);
+        finishes.reverse();
+        let reversed: Vec<SimTime> =
+            finishes.iter().map(|&t| SimTime::from_micros(t)).collect();
+        let backward = framerate(&reversed);
+        prop_assert_eq!(forward, backward);
+        let fps = forward.unwrap();
+        prop_assert!(fps > 0.0);
+    }
+}
+
+#[test]
+fn framerate_of_steady_completions_matches_rate() {
+    // 100 frames, one every 25 ms -> 40 fps exactly.
+    let times: Vec<SimTime> = (0..100).map(|i| SimTime::from_millis(25 * i)).collect();
+    let fps = framerate(&times).unwrap();
+    assert!((fps - 40.0).abs() < 1e-6);
+}

@@ -1,0 +1,168 @@
+//! Property-based tests over all six scheduling policies: completeness
+//! (every task assigned exactly once, eventually), validity (live nodes
+//! only), and determinism.
+
+use proptest::prelude::*;
+use vizsched_core::cluster::ClusterSpec;
+use vizsched_core::cost::CostParams;
+use vizsched_core::data::{uniform_datasets, Catalog};
+use vizsched_core::ids::{ActionId, BatchId, DatasetId, JobId, UserId};
+use vizsched_core::job::{FrameParams, Job, JobKind};
+use vizsched_core::sched::{Assignment, ScheduleCtx, SchedulerKind};
+use vizsched_core::tables::HeadTables;
+use vizsched_core::time::{SimDuration, SimTime};
+
+const GIB: u64 = 1 << 30;
+
+#[derive(Clone, Debug)]
+struct JobSpec {
+    dataset: u32,
+    interactive: bool,
+    user: u32,
+}
+
+fn job_specs() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (0u32..4, any::<bool>(), 0u32..5).prop_map(|(dataset, interactive, user)| JobSpec {
+            dataset,
+            interactive,
+            user,
+        }),
+        1..25,
+    )
+}
+
+fn build_jobs(specs: &[JobSpec]) -> Vec<Job> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Job {
+            id: JobId(i as u64),
+            kind: if s.interactive {
+                JobKind::Interactive { user: UserId(s.user), action: ActionId(s.user as u64) }
+            } else {
+                JobKind::Batch { user: UserId(s.user), request: BatchId(i as u64), frame: 0 }
+            },
+            dataset: DatasetId(s.dataset),
+            issue_time: SimTime::ZERO,
+            frame: FrameParams::default(),
+        })
+        .collect()
+}
+
+/// Drive a scheduler to quiescence: invoke with the jobs, then keep
+/// invoking with empty input (advancing time and freeing nodes) until
+/// nothing is deferred.
+fn drain(kind: SchedulerKind, nodes: usize, jobs: Vec<Job>) -> Vec<Assignment> {
+    let cluster = ClusterSpec::homogeneous(nodes, 2 * GIB);
+    let mut tables = HeadTables::new(&cluster);
+    let mut sched = kind.build(SimDuration::from_millis(30));
+    let catalog = Catalog::new(
+        uniform_datasets(4, 2 * GIB),
+        sched.decomposition(512 << 20, nodes as u32),
+    );
+    let cost = CostParams::default();
+
+    let mut out = Vec::new();
+    let mut now = SimTime::ZERO;
+    {
+        let mut ctx = ScheduleCtx { now, tables: &mut tables, catalog: &catalog, cost: &cost };
+        out.extend(sched.schedule(&mut ctx, jobs));
+    }
+    let mut rounds = 0;
+    while sched.has_deferred() {
+        rounds += 1;
+        assert!(rounds < 10_000, "{} failed to drain", kind.name());
+        now += SimDuration::from_secs(30);
+        // All nodes idle again.
+        for k in 0..nodes {
+            tables.available.correct(vizsched_core::ids::NodeId(k as u32), now);
+        }
+        let mut ctx = ScheduleCtx { now, tables: &mut tables, catalog: &catalog, cost: &cost };
+        out.extend(sched.schedule(&mut ctx, Vec::new()));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every policy eventually assigns every task of every job exactly
+    /// once, and only to valid nodes.
+    #[test]
+    fn all_tasks_assigned_exactly_once(
+        specs in job_specs(),
+        nodes in 1usize..9,
+        kind_pick in 0usize..6,
+    ) {
+        let kind = SchedulerKind::ALL[kind_pick];
+        let jobs = build_jobs(&specs);
+        let sched = kind.build(SimDuration::from_millis(30));
+        let catalog = Catalog::new(
+            uniform_datasets(4, 2 * GIB),
+            sched.decomposition(512 << 20, nodes as u32),
+        );
+        drop(sched);
+        let mut expected: Vec<(JobId, u32)> = jobs
+            .iter()
+            .flat_map(|j| (0..catalog.task_count(j.dataset)).map(move |t| (j.id, t)))
+            .collect();
+        let out = drain(kind, nodes, jobs);
+        let mut got: Vec<(JobId, u32)> =
+            out.iter().map(|a| (a.task.job, a.task.index)).collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(expected, got, "policy {}", kind.name());
+        prop_assert!(out.iter().all(|a| a.node.index() < nodes));
+    }
+
+    /// Scheduling is deterministic: identical inputs, identical outputs.
+    #[test]
+    fn scheduling_is_deterministic(
+        specs in job_specs(),
+        nodes in 1usize..9,
+        kind_pick in 0usize..6,
+    ) {
+        let kind = SchedulerKind::ALL[kind_pick];
+        let a = drain(kind, nodes, build_jobs(&specs));
+        let b = drain(kind, nodes, build_jobs(&specs));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Predicted start times never precede `now`, and the Available table
+    /// is pushed by exactly the predicted execution.
+    #[test]
+    fn predictions_are_consistent(specs in job_specs(), nodes in 1usize..9) {
+        let jobs = build_jobs(&specs);
+        let cluster = ClusterSpec::homogeneous(nodes, 2 * GIB);
+        let mut tables = HeadTables::new(&cluster);
+        let mut sched = SchedulerKind::Ours.build(SimDuration::from_millis(30));
+        let catalog = Catalog::new(
+            uniform_datasets(4, 2 * GIB),
+            sched.decomposition(512 << 20, nodes as u32),
+        );
+        let cost = CostParams::default();
+        let now = SimTime::from_secs(5);
+        let mut ctx = ScheduleCtx { now, tables: &mut tables, catalog: &catalog, cost: &cost };
+        let out = sched.schedule(&mut ctx, jobs);
+        for a in &out {
+            prop_assert!(a.predicted_start >= now);
+            prop_assert!(a.predicted_exec > SimDuration::ZERO);
+        }
+        // Each node's final Available equals the sum of its assignments'
+        // predicted execs on top of `now` (nodes started idle).
+        for k in 0..nodes {
+            let node = vizsched_core::ids::NodeId(k as u32);
+            let sum = out
+                .iter()
+                .filter(|a| a.node == node)
+                .fold(SimDuration::ZERO, |acc, a| acc + a.predicted_exec);
+            if sum > SimDuration::ZERO {
+                prop_assert_eq!(tables.available.get(node), now + sum);
+            } else {
+                // Untouched nodes keep their initial availability.
+                prop_assert_eq!(tables.available.get(node), SimTime::ZERO);
+            }
+        }
+    }
+}
