@@ -15,7 +15,10 @@ fn layers(count: usize, width: usize, height: usize) -> Vec<Layer> {
                 let a = 0.1 + 0.8 * (((i * 13 + j * 7) % 89) as f32 / 88.0);
                 *px = [a * 0.5, a * 0.3, a * 0.2, a];
             }
-            Layer { image, depth: i as f32 }
+            Layer {
+                image,
+                depth: i as f32,
+            }
         })
         .collect()
 }

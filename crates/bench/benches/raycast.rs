@@ -9,7 +9,11 @@ use vizsched_render::{Camera, RenderSettings, TransferFunction};
 use vizsched_volume::{Field, Volume};
 
 fn settings(width: usize) -> RenderSettings {
-    RenderSettings { width, height: width, ..RenderSettings::default() }
+    RenderSettings {
+        width,
+        height: width,
+        ..RenderSettings::default()
+    }
 }
 
 fn bench_seq_vs_parallel(c: &mut Criterion) {

@@ -36,30 +36,33 @@ fn bench_policies_vs_cluster(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_per_cycle_vs_nodes");
     for &nodes in &[8usize, 16, 32, 64] {
         for kind in [SchedulerKind::Ours, SchedulerKind::Fcfsl, SchedulerKind::Fs] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), nodes),
-                &nodes,
-                |b, &nodes| {
-                    let cluster = ClusterSpec::homogeneous(nodes, 8 * GIB);
-                    let policy = DecompositionPolicy::MaxChunkSize { max_bytes: 512 << 20 };
-                    let catalog = Catalog::new(uniform_datasets(16, 4 * GIB), policy);
-                    let cost = CostParams::anl_gpu_cluster();
-                    let jobs = make_jobs(32, 16);
-                    b.iter_batched(
-                        || (HeadTables::new(&cluster), kind.build(SimDuration::from_millis(30))),
-                        |(mut tables, mut sched)| {
-                            let mut ctx = ScheduleCtx {
-                                now: SimTime::ZERO,
-                                tables: &mut tables,
-                                catalog: &catalog,
-                                cost: &cost,
-                            };
-                            black_box(sched.schedule(&mut ctx, jobs.clone()))
-                        },
-                        criterion::BatchSize::SmallInput,
-                    );
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), nodes), &nodes, |b, &nodes| {
+                let cluster = ClusterSpec::homogeneous(nodes, 8 * GIB);
+                let policy = DecompositionPolicy::MaxChunkSize {
+                    max_bytes: 512 << 20,
+                };
+                let catalog = Catalog::new(uniform_datasets(16, 4 * GIB), policy);
+                let cost = CostParams::anl_gpu_cluster();
+                let jobs = make_jobs(32, 16);
+                b.iter_batched(
+                    || {
+                        (
+                            HeadTables::new(&cluster),
+                            kind.build(SimDuration::from_millis(30)),
+                        )
+                    },
+                    |(mut tables, mut sched)| {
+                        let mut ctx = ScheduleCtx {
+                            now: SimTime::ZERO,
+                            tables: &mut tables,
+                            catalog: &catalog,
+                            cost: &cost,
+                        };
+                        black_box(sched.schedule(&mut ctx, jobs.clone()))
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            });
         }
     }
     group.finish();
@@ -74,7 +77,9 @@ fn bench_ours_vs_jobs_per_cycle(c: &mut Criterion) {
             &jobs_per_cycle,
             |b, &n| {
                 let cluster = ClusterSpec::homogeneous(32, 8 * GIB);
-                let policy = DecompositionPolicy::MaxChunkSize { max_bytes: 512 << 20 };
+                let policy = DecompositionPolicy::MaxChunkSize {
+                    max_bytes: 512 << 20,
+                };
                 let catalog = Catalog::new(uniform_datasets(16, 4 * GIB), policy);
                 let cost = CostParams::anl_gpu_cluster();
                 let jobs = make_jobs(n, 16);

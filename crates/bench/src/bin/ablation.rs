@@ -16,6 +16,7 @@ use vizsched_core::memory::EvictionPolicy;
 use vizsched_core::sched::{OursParams, OursScheduler};
 use vizsched_core::time::SimDuration;
 use vizsched_metrics::SchedulerReport;
+use vizsched_sim::RunOptions;
 use vizsched_workload::Scenario;
 
 fn main() {
@@ -48,7 +49,10 @@ fn main() {
         let mut config = sim.config().clone();
         config.cycle = SimDuration::from_millis(cycle_ms);
         sim = vizsched_sim::Simulation::new(config, scenario.datasets());
-        let outcome = sim.run_with(sched, jobs.clone(), &scenario.label);
+        let outcome = sim.run_opts(
+            jobs.clone(),
+            RunOptions::with_scheduler(sched).label(&scenario.label),
+        );
         let r = SchedulerReport::from_run(&outcome.record);
         let per_cycle = outcome.record.sched_wall_micros as f64
             / outcome.record.sched_invocations.max(1) as f64;
@@ -71,7 +75,10 @@ fn main() {
             defer_batch: defer,
             ..OursParams::default()
         }));
-        let outcome = sim.run_with(sched, jobs.clone(), &scenario.label);
+        let outcome = sim.run_opts(
+            jobs.clone(),
+            RunOptions::with_scheduler(sched).label(&scenario.label),
+        );
         let r = SchedulerReport::from_run(&outcome.record);
         println!(
             "{:>12} {:>10.2} {:>12.3}s {:>12.3}s {:>7.2}%",
@@ -93,13 +100,18 @@ fn main() {
         scenario.chunk_max = chunk_mib << 20;
         scenario.label = format!("chunk-{chunk_mib}");
         let sim = simulation_for(&scenario);
-        let outcome =
-            sim.run(vizsched_core::sched::SchedulerKind::Ours, jobs.clone(), &scenario.label);
+        let outcome = sim.run_opts(
+            jobs.clone(),
+            RunOptions::new(vizsched_core::sched::SchedulerKind::Ours).label(&scenario.label),
+        );
         let r = SchedulerReport::from_run(&outcome.record);
         let tasks_per_job = scenario.dataset_bytes.div_ceil(scenario.chunk_max);
         println!(
             "{:>6} MiB {:>12} {:>10.2} {:>12.3}s {:>7.2}%",
-            chunk_mib, tasks_per_job, r.fps.mean, r.interactive_latency.mean,
+            chunk_mib,
+            tasks_per_job,
+            r.fps.mean,
+            r.interactive_latency.mean,
             r.hit_rate * 100.0
         );
     }
@@ -117,7 +129,7 @@ fn main() {
         let mut scenario = base.clone();
         scenario.label = format!("locality-{}", kind.name());
         let sim = simulation_for(&scenario);
-        let outcome = sim.run(kind, jobs.clone(), &scenario.label);
+        let outcome = sim.run_opts(jobs.clone(), RunOptions::new(kind).label(&scenario.label));
         let r = SchedulerReport::from_run(&outcome.record);
         println!(
             "{:>8} {:>10.2} {:>12.3}s {:>7.2}% {:>10.3}",
@@ -130,7 +142,10 @@ fn main() {
     }
 
     println!("\n-- eviction policy --");
-    println!("{:>10} {:>10} {:>13} {:>8} {:>11}", "policy", "fps", "int lat avg", "hit %", "evictions");
+    println!(
+        "{:>10} {:>10} {:>13} {:>8} {:>11}",
+        "policy", "fps", "int lat avg", "hit %", "evictions"
+    );
     for (name, policy) in [
         ("LRU", EvictionPolicy::Lru),
         ("FIFO", EvictionPolicy::Fifo),
@@ -142,8 +157,10 @@ fn main() {
         let mut config = sim0.config().clone();
         config.eviction = policy;
         let sim = vizsched_sim::Simulation::new(config, scenario.datasets());
-        let outcome =
-            sim.run(vizsched_core::sched::SchedulerKind::Ours, jobs.clone(), &scenario.label);
+        let outcome = sim.run_opts(
+            jobs.clone(),
+            RunOptions::new(vizsched_core::sched::SchedulerKind::Ours).label(&scenario.label),
+        );
         let r = SchedulerReport::from_run(&outcome.record);
         println!(
             "{:>10} {:>10.2} {:>12.3}s {:>7.2}% {:>11}",

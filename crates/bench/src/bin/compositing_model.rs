@@ -64,18 +64,30 @@ fn direct_send(comm: &mut ModelledComm<InProcComm>, image: RgbaImage) -> Option<
         let mut acc = image;
         for from in 1..comm.size() {
             let part = comm.recv_from(from, TAG);
-            let front = RgbaImage { width: acc.width, height: acc.height, pixels: part.pixels };
+            let front = RgbaImage {
+                width: acc.width,
+                height: acc.height,
+                pixels: part.pixels,
+            };
             // Order is wrong in general; for cost measurement it is moot.
             acc.under(&front);
         }
         Some(acc)
     } else {
-        comm.send(0, TAG, ImagePart { start: 0, pixels: image.pixels });
+        comm.send(
+            0,
+            TAG,
+            ImagePart {
+                start: 0,
+                pixels: image.pixels,
+            },
+        );
         None
     }
 }
 
-type Algo = Box<dyn Fn(&mut ModelledComm<InProcComm>, RgbaImage) -> Option<RgbaImage> + Send + Sync>;
+type Algo =
+    Box<dyn Fn(&mut ModelledComm<InProcComm>, RgbaImage) -> Option<RgbaImage> + Send + Sync>;
 
 fn main() {
     let (w, h) = (1024usize, 1024usize);
@@ -90,8 +102,14 @@ fn main() {
     for p in [4usize, 8, 16, 64] {
         let algos: Vec<(&str, Algo)> = vec![
             ("direct", Box::new(direct_send)),
-            ("binary-swap", Box::new(|c: &mut ModelledComm<InProcComm>, i| binary_swap(c, i))),
-            ("2-3 swap", Box::new(|c: &mut ModelledComm<InProcComm>, i| swap23(c, i))),
+            (
+                "binary-swap",
+                Box::new(|c: &mut ModelledComm<InProcComm>, i| binary_swap(c, i)),
+            ),
+            (
+                "2-3 swap",
+                Box::new(|c: &mut ModelledComm<InProcComm>, i| swap23(c, i)),
+            ),
         ];
         for (name, algo) in algos {
             let (gige, bytes) = measure(layers(p, w, h), LinkModel::gigabit(), &algo);

@@ -25,8 +25,18 @@ fn main() {
     // Paper grids scaled by 1/4 (or 1/2 with --full-ish), aspect preserved.
     let runs: [(Field, [usize; 3], u32, f32); 3] = [
         (Field::Plume, [63 * scale, 63 * scale, 256 * scale], 0, 0.6),
-        (Field::Combustion, [506 * scale / 2, 400 * scale / 2, 100 * scale / 2], 0, 0.2),
-        (Field::Supernova, [216 * scale, 216 * scale, 216 * scale], 0, 0.8),
+        (
+            Field::Combustion,
+            [506 * scale / 2, 400 * scale / 2, 100 * scale / 2],
+            0,
+            0.2,
+        ),
+        (
+            Field::Supernova,
+            [216 * scale, 216 * scale, 216 * scale],
+            0,
+            0.8,
+        ),
     ];
 
     for (field, dims, tf_index, azimuth) in runs {
@@ -41,8 +51,10 @@ fn main() {
             step: 0.75,
             ..RenderSettings::default()
         };
-        let layers: Vec<_> =
-            bricks.iter().map(|b| render_brick(b, &camera, &tf, &settings)).collect();
+        let layers: Vec<_> = bricks
+            .iter()
+            .map(|b| render_brick(b, &camera, &tf, &settings))
+            .collect();
         let image = composite(layers, CompositeAlgo::Swap23);
         let path = std::path::PathBuf::from(format!("fig10-{}.ppm", field.name()));
         image.save_ppm(&path).expect("write ppm");

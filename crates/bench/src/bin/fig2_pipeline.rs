@@ -49,7 +49,11 @@ fn main() {
     let bricks = 4usize;
     let mut store = ChunkStore::create(
         &root,
-        &[StoreDataset { field: Field::Supernova, dims, bricks }],
+        &[StoreDataset {
+            field: Field::Supernova,
+            dims,
+            bricks,
+        }],
     )
     .expect("store creation");
     // Throttle reads so the tiny test volume behaves like the paper's
@@ -60,17 +64,25 @@ fn main() {
     let t0 = Instant::now();
     let mut loaded = Vec::new();
     for c in 0..bricks as u32 {
-        let (brick, _) = store.load(ChunkId::new(DatasetId(0), c)).expect("load brick");
+        let (brick, _) = store
+            .load(ChunkId::new(DatasetId(0), c))
+            .expect("load brick");
         loaded.push(brick);
     }
     let io_time = t0.elapsed();
 
     let camera = Camera::orbit(dims, 0.5, 0.3, 2.2);
     let tf = TransferFunction::preset(0);
-    let settings = RenderSettings { width: 256, height: 256, ..RenderSettings::default() };
+    let settings = RenderSettings {
+        width: 256,
+        height: 256,
+        ..RenderSettings::default()
+    };
     let t1 = Instant::now();
-    let layers: Vec<_> =
-        loaded.iter().map(|b| render_brick(b.as_ref(), &camera, &tf, &settings)).collect();
+    let layers: Vec<_> = loaded
+        .iter()
+        .map(|b| render_brick(b.as_ref(), &camera, &tf, &settings))
+        .collect();
     let render_time = t1.elapsed();
 
     let t2 = Instant::now();

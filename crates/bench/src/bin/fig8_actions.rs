@@ -14,6 +14,7 @@
 use vizsched_bench::experiments::simulation_for;
 use vizsched_core::sched::SchedulerKind;
 use vizsched_core::time::SimDuration;
+use vizsched_sim::RunOptions;
 use vizsched_workload::Scenario;
 
 const GIB: u64 = 1 << 30;
@@ -52,8 +53,12 @@ fn main() {
         let jobs = scenario.jobs();
         let mut row = Vec::new();
         let mut ours_per_cycle = 0.0;
-        for kind in [SchedulerKind::Ours, SchedulerKind::Fcfsl, SchedulerKind::Fcfsu] {
-            let outcome = sim.run(kind, jobs.clone(), &scenario.label);
+        for kind in [
+            SchedulerKind::Ours,
+            SchedulerKind::Fcfsl,
+            SchedulerKind::Fcfsu,
+        ] {
+            let outcome = sim.run_opts(jobs.clone(), RunOptions::new(kind).label(&scenario.label));
             row.push(outcome.record.sched_cost_per_job_micros());
             if kind == SchedulerKind::Ours {
                 ours_per_cycle = outcome.record.sched_wall_micros as f64

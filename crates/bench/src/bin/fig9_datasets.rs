@@ -15,6 +15,7 @@ use vizsched_bench::experiments::simulation_for;
 use vizsched_core::sched::SchedulerKind;
 use vizsched_core::time::SimDuration;
 use vizsched_metrics::SchedulerReport;
+use vizsched_sim::RunOptions;
 use vizsched_workload::Scenario;
 
 const GIB: u64 = 1 << 30;
@@ -52,7 +53,10 @@ fn main() {
         );
         let sim = simulation_for(&scenario);
         let jobs = scenario.jobs();
-        let outcome = sim.run(SchedulerKind::Ours, jobs, &scenario.label);
+        let outcome = sim.run_opts(
+            jobs,
+            RunOptions::new(SchedulerKind::Ours).label(&scenario.label),
+        );
         let report = SchedulerReport::from_run(&outcome.record);
         println!(
             "{:>9} {:>8} GB {:>16.3} {:>12.2} {:>12.3}s {:>9.2}%",

@@ -15,7 +15,7 @@
 use vizsched_core::sched::{OursParams, OursScheduler};
 use vizsched_core::time::SimDuration;
 use vizsched_metrics::SchedulerReport;
-use vizsched_sim::{SimConfig, Simulation};
+use vizsched_sim::{RunOptions, SimConfig, Simulation};
 use vizsched_workload::Scenario;
 
 const GIB: u64 = 1 << 30;
@@ -52,8 +52,14 @@ fn main() {
     );
     println!(
         "{:>10} {:>11} | {:>9} {:>12} {:>10} | {:>9} {:>12} {:>10}",
-        "gpu quota", "chunks fit", "base fps", "base gpu-hit", "base lat",
-        "aware fps", "aware gpu-hit", "aware lat"
+        "gpu quota",
+        "chunks fit",
+        "base fps",
+        "base gpu-hit",
+        "base lat",
+        "aware fps",
+        "aware gpu-hit",
+        "aware lat"
     );
 
     for gpu_mib in [512u64, 1024, 1536, 2048] {
@@ -69,9 +75,16 @@ fn main() {
                 gpu_aware,
                 ..OursParams::default()
             }));
-            let outcome = sim.run_with(sched, jobs.clone(), &scenario.label);
+            let outcome = sim.run_opts(
+                jobs.clone(),
+                RunOptions::with_scheduler(sched).label(&scenario.label),
+            );
             let report = SchedulerReport::from_run(&outcome.record);
-            row.push((report.fps.mean, outcome.record.gpu_hit_rate(), report.interactive_latency.mean));
+            row.push((
+                report.fps.mean,
+                outcome.record.gpu_hit_rate(),
+                report.interactive_latency.mean,
+            ));
         }
         println!(
             "{:>6} MiB {:>11} | {:>9.2} {:>11.2}% {:>9.3}s | {:>9.2} {:>11.2}% {:>9.3}s",

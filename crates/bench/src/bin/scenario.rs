@@ -15,12 +15,21 @@
 //! `--short <secs>` shrinks the arrival window (same rates) for quick runs.
 //! `--timeline` additionally prints a 10 s-bucketed completion series for
 //! OURS (warm-up transients, batch stalls).
+//! `--trace <path>` re-runs OURS with a probe attached, writes the full
+//! event stream to `<path>` as JSONL, and prints the per-cycle prediction
+//! accuracy and per-node activity reports derived from it.
 
 use std::env;
+use std::sync::Arc;
 use vizsched_bench::experiments::{run_scenario, simulation_for, ScenarioResults};
 use vizsched_core::sched::SchedulerKind;
 use vizsched_core::time::SimDuration;
-use vizsched_metrics::{format_comparison, format_figure, format_table3_block, reports_to_csv, Timeline};
+use vizsched_metrics::{
+    estimate_trajectory, events_to_jsonl, format_comparison, format_figure, format_node_activity,
+    format_prediction_report, format_table3_block, node_activity, prediction_by_cycle,
+    reports_to_csv, CollectingProbe, Timeline, TraceEvent,
+};
+use vizsched_sim::RunOptions;
 use vizsched_workload::Scenario;
 
 fn main() {
@@ -36,6 +45,11 @@ fn main() {
     let csv_path: Option<String> = args
         .iter()
         .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let trace_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .cloned();
     let numbers: Vec<u8> = match which {
@@ -55,18 +69,26 @@ fn main() {
         println!("{}", format_figure(&results.reports, scenario.target_fps));
         if timeline {
             let sim = simulation_for(&scenario);
-            let outcome = sim.run(SchedulerKind::Ours, scenario.jobs(), &scenario.label);
+            let outcome = sim.run_opts(
+                scenario.jobs(),
+                RunOptions::new(SchedulerKind::Ours).label(&scenario.label),
+            );
             println!(
                 "-- OURS completion timeline (10 s buckets) --\n{}",
                 Timeline::of(&outcome.record, SimDuration::from_secs(10)).format()
             );
         }
+        if let Some(path) = &trace_path {
+            trace_ours(&scenario, path);
+        }
         table3.push((scenario.label.clone(), results));
     }
 
     if let Some(path) = csv_path {
-        let all: Vec<_> =
-            table3.iter().flat_map(|(_, r)| r.reports.iter().cloned()).collect();
+        let all: Vec<_> = table3
+            .iter()
+            .flat_map(|(_, r)| r.reports.iter().cloned())
+            .collect();
         std::fs::write(&path, reports_to_csv(&all)).expect("write csv");
         println!("(wrote {} report rows to {path})", all.len());
     }
@@ -78,13 +100,65 @@ fn main() {
                 .reports
                 .iter()
                 .filter(|r| {
-                    SchedulerKind::TABLE3.iter().any(|k| k.name() == r.scheduler)
+                    SchedulerKind::TABLE3
+                        .iter()
+                        .any(|k| k.name() == r.scheduler)
                 })
                 .cloned()
                 .collect();
             println!("{}", format_table3_block(label, &block));
         }
     }
+}
+
+/// Re-run OURS with a probe attached, dump the event stream as JSONL, and
+/// print the derived prediction-accuracy and node-activity reports.
+///
+/// The traced run starts cold (no cache pre-population): the §V-B
+/// correction feedback — `Estimate[c]` learned from observed I/O, the
+/// prediction error shrinking as the tables converge — only exists when
+/// chunks actually miss.
+fn trace_ours(scenario: &Scenario, path: &str) {
+    let probe = Arc::new(CollectingProbe::new());
+    let sim = simulation_for(scenario);
+    let outcome = sim.run_opts(
+        scenario.jobs(),
+        RunOptions::new(SchedulerKind::Ours)
+            .label(&scenario.label)
+            .warm_start(false)
+            .probe(probe.clone()),
+    );
+    let events = probe.take();
+    std::fs::write(path, events_to_jsonl(&events)).expect("write trace");
+    println!(
+        "(wrote {} trace events to {path}; completed {} jobs, cold start)",
+        events.len(),
+        outcome.record.jobs.len() - outcome.incomplete_jobs
+    );
+    let horizon = events.last().map(TraceEvent::time).unwrap_or_default();
+    println!("-- OURS prediction accuracy by cycle (cold start) --");
+    println!(
+        "{}",
+        format_prediction_report(&prediction_by_cycle(&events), 12)
+    );
+    let trajectory = estimate_trajectory(&events);
+    if trajectory.len() >= 2 {
+        let (early, late) = trajectory.split_at(trajectory.len() / 2);
+        let mean = |points: &[vizsched_metrics::EstimatePoint]| {
+            points.iter().map(|p| p.error.as_micros()).sum::<u64>() / points.len() as u64
+        };
+        println!(
+            "-- Estimate[c] corrections: {} total, mean |old-new| {}us early -> {}us late --\n",
+            trajectory.len(),
+            mean(early),
+            mean(late)
+        );
+    }
+    println!("-- OURS per-node activity --");
+    println!(
+        "{}",
+        format_node_activity(&node_activity(&events, scenario.cluster.len(), horizon))
+    );
 }
 
 fn banner(s: &Scenario) {

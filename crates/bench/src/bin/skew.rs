@@ -12,6 +12,7 @@ use vizsched_bench::experiments::simulation_for;
 use vizsched_core::sched::SchedulerKind;
 use vizsched_core::time::SimDuration;
 use vizsched_metrics::SchedulerReport;
+use vizsched_sim::RunOptions;
 use vizsched_workload::{DatasetChoice, Scenario};
 
 const GIB: u64 = 1 << 30;
@@ -56,7 +57,7 @@ fn main() {
         let jobs = scenario.jobs();
         let mut cells = Vec::new();
         for kind in [SchedulerKind::Ours, SchedulerKind::Fcfsl, SchedulerKind::Fs] {
-            let outcome = sim.run(kind, jobs.clone(), &scenario.label);
+            let outcome = sim.run_opts(jobs.clone(), RunOptions::new(kind).label(&scenario.label));
             let r = SchedulerReport::from_run(&outcome.record);
             cells.push((r.fps.mean, r.hit_rate * 100.0));
         }

@@ -12,7 +12,15 @@ fn main() {
     println!("== Table II: experiment scenarios ==\n");
     println!(
         "{:<4} {:>7} {:>12} {:>10} {:>11} {:>8} {:>12} {:>14} {:>8}",
-        "no.", "nodes", "total mem", "datasets", "total size", "length", "batch jobs", "interactive", "target"
+        "no.",
+        "nodes",
+        "total mem",
+        "datasets",
+        "total size",
+        "length",
+        "batch jobs",
+        "interactive",
+        "target"
     );
     let paper = [
         (1u8, 0u64, 12_006u64),

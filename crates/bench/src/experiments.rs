@@ -3,7 +3,7 @@
 
 use vizsched_core::sched::SchedulerKind;
 use vizsched_metrics::SchedulerReport;
-use vizsched_sim::{SimConfig, Simulation};
+use vizsched_sim::{RunOptions, SimConfig, Simulation};
 use vizsched_workload::Scenario;
 
 /// The reports for one scenario, in the scheduler order requested.
@@ -17,8 +17,7 @@ pub struct ScenarioResults {
 
 /// Build the simulation for a scenario.
 pub fn simulation_for(scenario: &Scenario) -> Simulation {
-    let mut config =
-        SimConfig::new(scenario.cluster.clone(), scenario.cost, scenario.chunk_max);
+    let mut config = SimConfig::new(scenario.cluster.clone(), scenario.cost, scenario.chunk_max);
     config.cycle = vizsched_core::time::SimDuration::from_millis(30);
     config.exec_jitter = 0.05;
     config.warm_start = true;
@@ -32,9 +31,12 @@ pub fn run_scenario(scenario: &Scenario, schedulers: &[SchedulerKind]) -> Scenar
     let mut reports = Vec::with_capacity(schedulers.len());
     let mut incomplete = Vec::with_capacity(schedulers.len());
     for &kind in schedulers {
-        let outcome = sim.run(kind, jobs.clone(), &scenario.label);
+        let outcome = sim.run_opts(jobs.clone(), RunOptions::new(kind).label(&scenario.label));
         reports.push(SchedulerReport::from_run(&outcome.record));
         incomplete.push(outcome.incomplete_jobs);
     }
-    ScenarioResults { reports, incomplete }
+    ScenarioResults {
+        reports,
+        incomplete,
+    }
 }

@@ -63,7 +63,10 @@ pub fn swap_compositing<C: Communicator>(
     let p = comm.size();
     let check: usize = factors.iter().product();
     assert_eq!(check, p, "factors {factors:?} do not multiply to {p}");
-    assert!(factors.iter().all(|&f| f == 2 || f == 3), "factors must be 2 or 3");
+    assert!(
+        factors.iter().all(|&f| f == 2 || f == 3),
+        "factors must be 2 or 3"
+    );
 
     let rank = comm.rank();
     let (width, height) = (mine.width, mine.height);
@@ -96,7 +99,10 @@ pub fn swap_compositing<C: Communicator>(
             comm.send(
                 peer,
                 round as u32,
-                ImagePart { start: a, pixels: buffer[a..b].to_vec() },
+                ImagePart {
+                    start: a,
+                    pixels: buffer[a..b].to_vec(),
+                },
             );
         }
 
@@ -112,7 +118,11 @@ pub fn swap_compositing<C: Communicator>(
             let peer = group_base + j * stride;
             let part = comm.recv_from(peer, round as u32);
             assert_eq!(part.start, keep_lo, "peer sent the wrong region");
-            assert_eq!(part.pixels.len(), keep_hi - keep_lo, "region length mismatch");
+            assert_eq!(
+                part.pixels.len(),
+                keep_hi - keep_lo,
+                "region length mismatch"
+            );
             pieces.push((j, part.pixels));
         }
         pieces.sort_by_key(|&(j, _)| j);
@@ -137,12 +147,22 @@ pub fn swap_compositing<C: Communicator>(
         assembled[lo..hi].copy_from_slice(&buffer[lo..hi]);
         for from in 1..p {
             let part = comm.recv_from(from, GATHER);
-            assembled[part.start..part.start + part.pixels.len()]
-                .copy_from_slice(&part.pixels);
+            assembled[part.start..part.start + part.pixels.len()].copy_from_slice(&part.pixels);
         }
-        Some(RgbaImage { width, height, pixels: assembled })
+        Some(RgbaImage {
+            width,
+            height,
+            pixels: assembled,
+        })
     } else {
-        comm.send(0, GATHER, ImagePart { start: lo, pixels: buffer[lo..hi].to_vec() });
+        comm.send(
+            0,
+            GATHER,
+            ImagePart {
+                start: lo,
+                pixels: buffer[lo..hi].to_vec(),
+            },
+        );
         None
     }
 }
@@ -151,7 +171,10 @@ pub fn swap_compositing<C: Communicator>(
 /// two.
 pub fn binary_swap<C: Communicator>(comm: &mut C, mine: RgbaImage) -> Option<RgbaImage> {
     let p = comm.size();
-    assert!(p.is_power_of_two(), "binary swap requires a power-of-two group, got {p}");
+    assert!(
+        p.is_power_of_two(),
+        "binary swap requires a power-of-two group, got {p}"
+    );
     let rounds = p.trailing_zeros() as usize;
     let factors = vec![2usize; rounds];
     swap_compositing(comm, mine, &factors)
@@ -161,8 +184,8 @@ pub fn binary_swap<C: Communicator>(comm: &mut C, mine: RgbaImage) -> Option<Rgb
 /// non-power-of-two processor counts).
 pub fn swap23<C: Communicator>(comm: &mut C, mine: RgbaImage) -> Option<RgbaImage> {
     let p = comm.size();
-    let factors = factor_23(p)
-        .unwrap_or_else(|| panic!("2-3 swap requires p = 2^a * 3^b, got {p}"));
+    let factors =
+        factor_23(p).unwrap_or_else(|| panic!("2-3 swap requires p = 2^a * 3^b, got {p}"));
     swap_compositing(comm, mine, &factors)
 }
 

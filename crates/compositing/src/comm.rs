@@ -83,12 +83,22 @@ impl Communicator for InProcComm {
     }
 
     fn send(&mut self, to: usize, tag: u32, part: ImagePart) {
-        let msg = Message { from: self.rank, tag, part };
-        self.senders[to].send(msg).expect("peer endpoint dropped before completion");
+        let msg = Message {
+            from: self.rank,
+            tag,
+            part,
+        };
+        self.senders[to]
+            .send(msg)
+            .expect("peer endpoint dropped before completion");
     }
 
     fn recv_from(&mut self, from: usize, tag: u32) -> ImagePart {
-        if let Some(i) = self.stash.iter().position(|m| m.from == from && m.tag == tag) {
+        if let Some(i) = self
+            .stash
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
             return self.stash.swap_remove(i).part;
         }
         loop {
@@ -106,7 +116,10 @@ mod tests {
     use super::*;
 
     fn part(start: usize, n: usize) -> ImagePart {
-        ImagePart { start, pixels: vec![[start as f32; 4]; n] }
+        ImagePart {
+            start,
+            pixels: vec![[start as f32; 4]; n],
+        }
     }
 
     #[test]

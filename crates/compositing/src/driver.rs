@@ -3,9 +3,7 @@
 //! service uses the per-rank functions directly; this driver serves the
 //! single-process examples, tests, and benches.
 
-use crate::algorithms::{
-    binary_swap, composite_reference, factor_23, swap_compositing,
-};
+use crate::algorithms::{binary_swap, composite_reference, factor_23, swap_compositing};
 use crate::comm::InProcComm;
 use crate::order::sort_by_visibility;
 use vizsched_render::{Layer, RgbaImage};
@@ -115,7 +113,10 @@ mod tests {
                     ];
                 }
                 // Shuffled depths so visibility order != input order.
-                Layer { image, depth: ((i * 7) % count) as f32 + 0.5 }
+                Layer {
+                    image,
+                    depth: ((i * 7) % count) as f32 + 0.5,
+                }
             })
             .collect()
     }
@@ -179,8 +180,14 @@ mod tests {
         back.pixels[0] = [0.0, 1.0, 0.0, 1.0];
         // Given in back-to-front order; depths say otherwise.
         let layers = vec![
-            Layer { image: back, depth: 9.0 },
-            Layer { image: front.clone(), depth: 1.0 },
+            Layer {
+                image: back,
+                depth: 9.0,
+            },
+            Layer {
+                image: front.clone(),
+                depth: 1.0,
+            },
         ];
         let out = composite(layers, CompositeAlgo::BinarySwap);
         assert_eq!(out.pixels[0], front.pixels[0]);

@@ -17,6 +17,6 @@ pub mod order;
 
 pub use algorithms::{binary_swap, composite_reference, factor_23, swap23, swap_compositing};
 pub use comm::{Communicator, ImagePart, InProcComm, Message};
-pub use modelled::{LinkModel, ModelledComm};
 pub use driver::{composite, CompositeAlgo};
+pub use modelled::{LinkModel, ModelledComm};
 pub use order::{sort_by_visibility, visibility_order};

@@ -21,7 +21,10 @@ pub struct LinkModel {
 impl LinkModel {
     /// Gigabit Ethernet: ~50 µs latency, ~110 MB/s effective.
     pub fn gigabit() -> Self {
-        LinkModel { latency: SimDuration::from_micros(50), bandwidth: 110 * (1 << 20) }
+        LinkModel {
+            latency: SimDuration::from_micros(50),
+            bandwidth: 110 * (1 << 20),
+        }
     }
 
     /// DDR InfiniBand of the paper's era: ~2 µs latency, ~1.5 GB/s.
@@ -213,7 +216,10 @@ mod tests {
 
     #[test]
     fn transfer_time_is_latency_plus_bandwidth() {
-        let link = LinkModel { latency: SimDuration::from_micros(10), bandwidth: 1 << 20 };
+        let link = LinkModel {
+            latency: SimDuration::from_micros(10),
+            bandwidth: 1 << 20,
+        };
         assert_eq!(link.transfer_time(0), SimDuration::from_micros(10));
         assert_eq!(
             link.transfer_time(1 << 20),

@@ -31,7 +31,10 @@ mod tests {
     use vizsched_render::RgbaImage;
 
     fn layer(depth: f32) -> Layer {
-        Layer { image: RgbaImage::transparent(1, 1), depth }
+        Layer {
+            image: RgbaImage::transparent(1, 1),
+            depth,
+        }
     }
 
     #[test]

@@ -18,7 +18,11 @@ impl NodeSpec {
     /// A node with the given memory quota, 1.5 GiB of GPU memory, and
     /// nominal disk speed.
     pub fn with_quota(mem_quota: u64) -> Self {
-        NodeSpec { mem_quota, gpu_mem: 1536 << 20, disk_scale: 1.0 }
+        NodeSpec {
+            mem_quota,
+            gpu_mem: 1536 << 20,
+            disk_scale: 1.0,
+        }
     }
 }
 
@@ -34,7 +38,9 @@ impl ClusterSpec {
     /// `p` identical nodes, each with `mem_quota` bytes of cache.
     pub fn homogeneous(p: usize, mem_quota: u64) -> Self {
         assert!(p > 0, "cluster needs at least one rendering node");
-        ClusterSpec { nodes: vec![NodeSpec::with_quota(mem_quota); p] }
+        ClusterSpec {
+            nodes: vec![NodeSpec::with_quota(mem_quota); p],
+        }
     }
 
     /// Number of rendering nodes `p = |ϕ|`.

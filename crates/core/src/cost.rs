@@ -116,8 +116,7 @@ impl CostParams {
 
     /// `t_render`: ray-casting time for a chunk of `bytes`.
     pub fn render_time(&self, bytes: u64) -> SimDuration {
-        let per_byte =
-            (self.render_per_gib.as_micros() as u128 * bytes as u128) >> 30;
+        let per_byte = (self.render_per_gib.as_micros() as u128 * bytes as u128) >> 30;
         self.render_fixed + SimDuration::from_micros(per_byte as u64)
     }
 
@@ -130,7 +129,11 @@ impl CostParams {
     /// Full task execution time (Definition 1): I/O (if the chunk is not
     /// cached) plus rendering plus compositing.
     pub fn task_exec(&self, bytes: u64, cached: bool, group: u32) -> SimDuration {
-        let io = if cached { SimDuration::ZERO } else { self.io_time(bytes) };
+        let io = if cached {
+            SimDuration::ZERO
+        } else {
+            self.io_time(bytes)
+        };
         io + self.render_time(bytes) + self.composite_time(group)
     }
 
@@ -174,7 +177,11 @@ pub struct JobTiming {
 impl JobTiming {
     /// Timing for a job issued at `issue`, with nothing started yet.
     pub fn issued_at(issue: SimTime) -> Self {
-        JobTiming { issue, start: None, finish: None }
+        JobTiming {
+            issue,
+            start: None,
+            finish: None,
+        }
     }
 
     /// Record a task start: `JS(i) = min TS(i,j,k)`.
@@ -297,8 +304,7 @@ mod tests {
     #[test]
     fn framerate_matches_definition_four() {
         // Frames finishing every 30 ms -> 33.33 fps.
-        let finishes: Vec<SimTime> =
-            (0..100).map(|i| SimTime::from_millis(30 * i)).collect();
+        let finishes: Vec<SimTime> = (0..100).map(|i| SimTime::from_millis(30 * i)).collect();
         let fps = framerate(&finishes).unwrap();
         assert!((fps - 33.333).abs() < 0.01, "fps = {fps}");
     }

@@ -31,7 +31,12 @@ pub struct DatasetDesc {
 impl DatasetDesc {
     /// A dataset with a synthetic name and no grid information.
     pub fn sized(id: DatasetId, bytes: u64) -> Self {
-        DatasetDesc { id, name: format!("dataset-{}", id.0), bytes, dims: None }
+        DatasetDesc {
+            id,
+            name: format!("dataset-{}", id.0),
+            bytes,
+            dims: None,
+        }
     }
 }
 
@@ -125,7 +130,11 @@ impl Catalog {
             );
         }
         let chunks = datasets.iter().map(|d| policy.decompose(d)).collect();
-        Catalog { datasets, chunks, policy }
+        Catalog {
+            datasets,
+            chunks,
+            policy,
+        }
     }
 
     /// Build from explicit per-dataset chunk lists — for substrates whose
@@ -140,11 +149,21 @@ impl Catalog {
             assert_eq!(d.id.index(), i, "dataset ids must be dense and in order");
             assert!(!list.is_empty(), "dataset {} has no chunks", d.id);
             for (j, c) in list.iter().enumerate() {
-                assert_eq!(c.id, ChunkId::new(d.id, j as u32), "chunk ids must be dense");
+                assert_eq!(
+                    c.id,
+                    ChunkId::new(d.id, j as u32),
+                    "chunk ids must be dense"
+                );
                 max_chunk = max_chunk.max(c.bytes);
             }
         }
-        Catalog { datasets, chunks, policy: DecompositionPolicy::MaxChunkSize { max_bytes: max_chunk } }
+        Catalog {
+            datasets,
+            chunks,
+            policy: DecompositionPolicy::MaxChunkSize {
+                max_bytes: max_chunk,
+            },
+        }
     }
 
     /// The decomposition policy this catalog was built with.
@@ -191,7 +210,9 @@ impl Catalog {
 
 /// Convenience: `count` identical datasets of `bytes` each.
 pub fn uniform_datasets(count: u32, bytes: u64) -> Vec<DatasetDesc> {
-    (0..count).map(|i| DatasetDesc::sized(DatasetId(i), bytes)).collect()
+    (0..count)
+        .map(|i| DatasetDesc::sized(DatasetId(i), bytes))
+        .collect()
 }
 
 #[cfg(test)]
@@ -204,7 +225,9 @@ mod tests {
     #[test]
     fn max_chunk_size_matches_paper_scenarios() {
         // Scenario 1: 2 GB datasets, Chk_max = 512 MB -> 4 tasks per job.
-        let policy = DecompositionPolicy::MaxChunkSize { max_bytes: 512 * MIB };
+        let policy = DecompositionPolicy::MaxChunkSize {
+            max_bytes: 512 * MIB,
+        };
         assert_eq!(policy.chunk_count(2 * GIB), 4);
         // Scenario 3: 8 GB datasets, Chk_max = 512 MB -> 16 tasks per job.
         assert_eq!(policy.chunk_count(8 * GIB), 16);
@@ -241,11 +264,18 @@ mod tests {
     #[test]
     fn catalog_lookup() {
         let datasets = uniform_datasets(3, 2 * GIB);
-        let catalog =
-            Catalog::new(datasets, DecompositionPolicy::MaxChunkSize { max_bytes: 512 * MIB });
+        let catalog = Catalog::new(
+            datasets,
+            DecompositionPolicy::MaxChunkSize {
+                max_bytes: 512 * MIB,
+            },
+        );
         assert_eq!(catalog.task_count(DatasetId(1)), 4);
         assert_eq!(catalog.total_chunks(), 12);
-        assert_eq!(catalog.chunk_bytes(ChunkId::new(DatasetId(2), 3)), 512 * MIB);
+        assert_eq!(
+            catalog.chunk_bytes(ChunkId::new(DatasetId(2), 3)),
+            512 * MIB
+        );
         assert_eq!(catalog.total_bytes(), 6 * GIB);
     }
 
@@ -253,7 +283,10 @@ mod tests {
     #[should_panic(expected = "dense")]
     fn catalog_rejects_sparse_ids() {
         let datasets = vec![DatasetDesc::sized(DatasetId(5), GIB)];
-        Catalog::new(datasets, DecompositionPolicy::MaxChunkSize { max_bytes: GIB });
+        Catalog::new(
+            datasets,
+            DecompositionPolicy::MaxChunkSize { max_bytes: GIB },
+        );
     }
 
     #[test]
@@ -264,13 +297,28 @@ mod tests {
         ];
         let chunks = vec![
             vec![
-                ChunkDesc { id: ChunkId::new(DatasetId(0), 0), bytes: 60 },
-                ChunkDesc { id: ChunkId::new(DatasetId(0), 1), bytes: 40 },
+                ChunkDesc {
+                    id: ChunkId::new(DatasetId(0), 0),
+                    bytes: 60,
+                },
+                ChunkDesc {
+                    id: ChunkId::new(DatasetId(0), 1),
+                    bytes: 40,
+                },
             ],
             vec![
-                ChunkDesc { id: ChunkId::new(DatasetId(1), 0), bytes: 30 },
-                ChunkDesc { id: ChunkId::new(DatasetId(1), 1), bytes: 30 },
-                ChunkDesc { id: ChunkId::new(DatasetId(1), 2), bytes: 30 },
+                ChunkDesc {
+                    id: ChunkId::new(DatasetId(1), 0),
+                    bytes: 30,
+                },
+                ChunkDesc {
+                    id: ChunkId::new(DatasetId(1), 1),
+                    bytes: 30,
+                },
+                ChunkDesc {
+                    id: ChunkId::new(DatasetId(1), 2),
+                    bytes: 30,
+                },
             ],
         ];
         let catalog = Catalog::from_chunks(datasets, chunks);
@@ -284,7 +332,10 @@ mod tests {
     #[should_panic(expected = "dense")]
     fn from_chunks_rejects_sparse_chunk_ids() {
         let datasets = vec![DatasetDesc::sized(DatasetId(0), 10)];
-        let chunks = vec![vec![ChunkDesc { id: ChunkId::new(DatasetId(0), 5), bytes: 10 }]];
+        let chunks = vec![vec![ChunkDesc {
+            id: ChunkId::new(DatasetId(0), 5),
+            bytes: 10,
+        }]];
         Catalog::from_chunks(datasets, chunks);
     }
 

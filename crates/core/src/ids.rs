@@ -69,9 +69,7 @@ id_type!(
 /// A data chunk `c`: one piece of a decomposed dataset. Tasks are associated
 /// with exactly one chunk, and the head node's `Cache` and `Estimate` tables
 /// are keyed by chunk.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ChunkId {
     /// The dataset this chunk belongs to.
     pub dataset: DatasetId,

@@ -73,7 +73,12 @@ pub struct FrameParams {
 
 impl Default for FrameParams {
     fn default() -> Self {
-        FrameParams { azimuth: 0.0, elevation: 0.0, distance: 2.5, transfer_fn: 0 }
+        FrameParams {
+            azimuth: 0.0,
+            elevation: 0.0,
+            distance: 2.5,
+            transfer_fn: 0,
+        }
     }
 }
 
@@ -184,7 +189,10 @@ mod tests {
     fn interactive_job(id: u64, dataset: u32) -> Job {
         Job {
             id: JobId(id),
-            kind: JobKind::Interactive { user: UserId(0), action: ActionId(0) },
+            kind: JobKind::Interactive {
+                user: UserId(0),
+                action: ActionId(0),
+            },
             dataset: DatasetId(dataset),
             issue_time: SimTime::ZERO,
             frame: FrameParams::default(),
@@ -195,7 +203,9 @@ mod tests {
     fn decompose_produces_one_task_per_chunk() {
         let catalog = Catalog::new(
             uniform_datasets(2, 2 * GIB),
-            DecompositionPolicy::MaxChunkSize { max_bytes: 512 * MIB },
+            DecompositionPolicy::MaxChunkSize {
+                max_bytes: 512 * MIB,
+            },
         );
         let job = interactive_job(7, 1);
         let tasks = job.decompose(&catalog);
@@ -225,11 +235,18 @@ mod tests {
 
     #[test]
     fn kind_accessors() {
-        let k = JobKind::Interactive { user: UserId(4), action: ActionId(9) };
+        let k = JobKind::Interactive {
+            user: UserId(4),
+            action: ActionId(9),
+        };
         assert!(k.is_interactive());
         assert_eq!(k.user(), UserId(4));
         assert_eq!(k.action(), Some(ActionId(9)));
-        let b = JobKind::Batch { user: UserId(2), request: BatchId(1), frame: 3 };
+        let b = JobKind::Batch {
+            user: UserId(2),
+            request: BatchId(1),
+            frame: 3,
+        };
         assert!(!b.is_interactive());
         assert_eq!(b.user(), UserId(2));
         assert_eq!(b.action(), None);

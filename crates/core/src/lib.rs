@@ -82,16 +82,14 @@ pub mod time;
 pub mod prelude {
     pub use crate::cluster::{ClusterSpec, NodeSpec};
     pub use crate::cost::{framerate, CostParams, JobTiming};
-    pub use crate::data::{
-        uniform_datasets, Catalog, ChunkDesc, DatasetDesc, DecompositionPolicy,
-    };
+    pub use crate::data::{uniform_datasets, Catalog, ChunkDesc, DatasetDesc, DecompositionPolicy};
     pub use crate::ids::{ActionId, BatchId, ChunkId, DatasetId, JobId, NodeId, UserId};
     pub use crate::job::{FrameParams, Job, JobKind, JobQueue, Task};
     pub use crate::memory::{EvictionPolicy, NodeMemory};
-    pub use crate::tiered::{Tier, TierAccess, TieredMemory};
     pub use crate::sched::{
         Assignment, OursParams, OursScheduler, ScheduleCtx, Scheduler, SchedulerKind, Trigger,
     };
     pub use crate::tables::{AvailableTable, CacheTable, EstimateTable, HeadTables};
+    pub use crate::tiered::{Tier, TierAccess, TieredMemory};
     pub use crate::time::{SimDuration, SimTime};
 }

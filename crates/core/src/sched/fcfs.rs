@@ -55,8 +55,10 @@ mod tests {
     #[test]
     fn schedules_every_task() {
         let mut fx = Fixture::standard(4, 2);
-        let jobs =
-            vec![fx.interactive_job(0, 0, SimTime::ZERO), fx.interactive_job(1, 1, SimTime::ZERO)];
+        let jobs = vec![
+            fx.interactive_job(0, 0, SimTime::ZERO),
+            fx.interactive_job(1, 1, SimTime::ZERO),
+        ];
         let mut sched = FcfsScheduler::new();
         let mut ctx = fx.ctx(SimTime::ZERO);
         let out = sched.schedule(&mut ctx, jobs.clone());

@@ -56,8 +56,10 @@ mod tests {
     #[test]
     fn schedules_every_task() {
         let mut fx = Fixture::standard(4, 2);
-        let jobs =
-            vec![fx.interactive_job(0, 0, SimTime::ZERO), fx.batch_job(1, 0, SimTime::ZERO)];
+        let jobs = vec![
+            fx.interactive_job(0, 0, SimTime::ZERO),
+            fx.batch_job(1, 0, SimTime::ZERO),
+        ];
         let mut sched = FcfslScheduler::new();
         let mut ctx = fx.ctx(SimTime::ZERO);
         let out = sched.schedule(&mut ctx, jobs.clone());
@@ -78,7 +80,9 @@ mod tests {
             .collect();
         // All loads complete; nodes idle again.
         for k in 0..4 {
-            fx.tables.available.correct(NodeId(k), SimTime::from_secs(10));
+            fx.tables
+                .available
+                .correct(NodeId(k), SimTime::from_secs(10));
         }
         // Second job over the same dataset lands exactly where the data is.
         let second = fx.interactive_job(0, 0, SimTime::from_secs(10));

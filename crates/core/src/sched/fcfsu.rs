@@ -104,7 +104,10 @@ mod tests {
         // Second frame: every chunk is already resident on its home node.
         let alpha = fx.cost.alpha(512 * (1 << 20), 4);
         for a in &out {
-            assert_eq!(a.predicted_exec, alpha, "second frame must be all cache hits");
+            assert_eq!(
+                a.predicted_exec, alpha,
+                "second frame must be all cache hits"
+            );
         }
     }
 

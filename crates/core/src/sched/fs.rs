@@ -28,7 +28,10 @@ impl FsScheduler {
     /// FS with the given scheduling cycle.
     pub fn new(cycle: SimDuration) -> Self {
         assert!(!cycle.is_zero(), "scheduling cycle must be positive");
-        FsScheduler { cycle, served: FxHashMap::default() }
+        FsScheduler {
+            cycle,
+            served: FxHashMap::default(),
+        }
     }
 
     /// Cumulative service granted to `user` so far.
@@ -49,8 +52,7 @@ impl Scheduler for FsScheduler {
     fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment> {
         // Bucket the window's jobs per user, preserving arrival order
         // within a user.
-        let mut per_user: FxHashMap<UserId, std::collections::VecDeque<Job>> =
-            FxHashMap::default();
+        let mut per_user: FxHashMap<UserId, std::collections::VecDeque<Job>> = FxHashMap::default();
         for job in incoming {
             per_user.entry(job.kind.user()).or_default().push_back(job);
         }
@@ -119,7 +121,10 @@ mod tests {
         let out = sched.schedule(&mut ctx, vec![j0b, j1]);
         let first_u1 = out.iter().position(|a| a.task.job == id1).unwrap();
         let first_u0 = out.iter().position(|a| a.task.job == id0).unwrap();
-        assert!(first_u1 < first_u0, "least-served user must be granted first");
+        assert!(
+            first_u1 < first_u0,
+            "least-served user must be granted first"
+        );
     }
 
     #[test]

@@ -37,7 +37,12 @@ impl FsdScheduler {
     /// FSD with the given cycle and delay budget.
     pub fn new(cycle: SimDuration, max_delays: u32) -> Self {
         assert!(!cycle.is_zero(), "scheduling cycle must be positive");
-        FsdScheduler { cycle, max_delays, served: FxHashMap::default(), waiting: VecDeque::new() }
+        FsdScheduler {
+            cycle,
+            max_delays,
+            served: FxHashMap::default(),
+            waiting: VecDeque::new(),
+        }
     }
 
     fn served_of(&self, user: UserId) -> SimDuration {
@@ -49,13 +54,21 @@ impl FsdScheduler {
     /// actually free, the delay-scheduling condition.
     fn locally_placeable(&self, ctx: &ScheduleCtx<'_>, job: &Job) -> bool {
         ctx.catalog.chunks_of(job.dataset).iter().all(|chunk| {
-            ctx.tables.cache.nodes_with(chunk.id).iter().any(|&node| {
-                ctx.tables.available.ready_at(node, ctx.now) <= ctx.now + self.cycle
-            })
+            ctx.tables
+                .cache
+                .nodes_with(chunk.id)
+                .iter()
+                .any(|&node| ctx.tables.available.ready_at(node, ctx.now) <= ctx.now + self.cycle)
         })
     }
 
-    fn place(&mut self, ctx: &mut ScheduleCtx<'_>, job: Job, local: bool, out: &mut Vec<Assignment>) {
+    fn place(
+        &mut self,
+        ctx: &mut ScheduleCtx<'_>,
+        job: Job,
+        local: bool,
+        out: &mut Vec<Assignment>,
+    ) {
         let user = job.kind.user();
         let group = ctx.group_size(job.dataset);
         let mut charged = SimDuration::ZERO;
@@ -92,7 +105,8 @@ impl Scheduler for FsdScheduler {
         let mut queue: Vec<(Job, u32)> = self.waiting.drain(..).collect();
         queue.extend(incoming.into_iter().map(|j| (j, 0)));
         queue.sort_by(|a, b| {
-            (self.served_of(a.0.kind.user()), a.0.id).cmp(&(self.served_of(b.0.kind.user()), b.0.id))
+            (self.served_of(a.0.kind.user()), a.0.id)
+                .cmp(&(self.served_of(b.0.kind.user()), b.0.id))
         });
 
         let mut out = Vec::new();
@@ -164,8 +178,12 @@ mod tests {
             assert!(sched.has_deferred());
         }
         // Once the nodes free up, the waiting job lands on them.
-        fx.tables.available.correct(NodeId(0), SimTime::from_secs(10));
-        fx.tables.available.correct(NodeId(1), SimTime::from_secs(10));
+        fx.tables
+            .available
+            .correct(NodeId(0), SimTime::from_secs(10));
+        fx.tables
+            .available
+            .correct(NodeId(1), SimTime::from_secs(10));
         let mut ctx = fx.ctx(SimTime::from_secs(10));
         let out = sched.schedule(&mut ctx, vec![]);
         assert_eq!(out.len(), 4);
@@ -198,7 +216,10 @@ mod tests {
             placed = sched.schedule(&mut ctx, std::mem::take(&mut jobs)).len();
         }
         assert_eq!(placed, 4);
-        assert_eq!(cycles, 3, "submit cycle + one more delay, then the budget expires");
+        assert_eq!(
+            cycles, 3,
+            "submit cycle + one more delay, then the budget expires"
+        );
     }
 
     #[test]
@@ -217,7 +238,9 @@ mod tests {
         let (_ida, idb) = (a.id, b.id);
         let mut ctx = fx.ctx(SimTime::from_millis(30));
         let out = sched.schedule(&mut ctx, vec![a, b]);
-        let first = out.first().expect("dataset 1 is uncached: immediate placement");
+        let first = out
+            .first()
+            .expect("dataset 1 is uncached: immediate placement");
         assert_eq!(first.task.job, idb, "least-served user first");
     }
 }

@@ -95,12 +95,26 @@ impl ScheduleCtx<'_> {
         }
     }
 
-    /// The live node with the earliest predicted availability; ties broken
-    /// by node index (deterministic).
+    /// The live node with the earliest predicted availability.
+    ///
+    /// Ties — common whenever several nodes are idle — are broken by a
+    /// deterministic hash of `(now, node)` rather than by node index. On a
+    /// real head node, which idle worker "comes first" depends on heartbeat
+    /// arrival order, which is arbitrary; a fixed index tie-break lets a
+    /// locality-*blind* policy inherit a stable chunk→node mapping from job
+    /// order alone and score paper-defying cache hit rates on perfectly
+    /// periodic workloads. The hash keeps runs reproducible while denying
+    /// blind policies that accidental placement memory.
     pub fn earliest_node(&self) -> NodeId {
+        let now = self.now;
         self.tables
             .live_nodes()
-            .min_by_key(|&k| (self.tables.available.ready_at(k, self.now), k))
+            .min_by_key(|&k| {
+                (
+                    self.tables.available.ready_at(k, now),
+                    idle_tie_hash(now, k),
+                )
+            })
             .expect("at least one live node")
     }
 
@@ -209,8 +223,28 @@ impl ScheduleCtx<'_> {
         if task.interactive {
             self.tables.note_interactive(node, self.now);
         }
-        Assignment { task, node, predicted_start, predicted_exec: exec, group }
+        Assignment {
+            task,
+            node,
+            predicted_start,
+            predicted_exec: exec,
+            group,
+        }
     }
+}
+
+/// Splitmix-style mix of `(now, node)` used to order nodes whose predicted
+/// availability ties exactly (see [`ScheduleCtx::earliest_node`]): a pure
+/// function of its inputs, so runs stay reproducible, but different at every
+/// instant, so no placement pattern can persist across scheduling rounds.
+fn idle_tie_hash(now: SimTime, node: NodeId) -> u64 {
+    let mut z = now
+        .as_micros()
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((node.0 as u64) << 32 | 0x1d1e);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A job-scheduling policy. Implementations must be deterministic: the same
@@ -226,7 +260,9 @@ pub trait Scheduler: Send {
     /// `Chk_max` except FCFSU, which partitions uniformly across nodes.
     fn decomposition(&self, chunk_max: u64, nodes: u32) -> DecompositionPolicy {
         let _ = nodes;
-        DecompositionPolicy::MaxChunkSize { max_bytes: chunk_max }
+        DecompositionPolicy::MaxChunkSize {
+            max_bytes: chunk_max,
+        }
     }
 
     /// Map the queued jobs to assignments. `incoming` holds every job that
@@ -275,8 +311,12 @@ impl SchedulerKind {
     ];
 
     /// The four policies of Table III.
-    pub const TABLE3: [SchedulerKind; 4] =
-        [SchedulerKind::Fs, SchedulerKind::Fcfsu, SchedulerKind::Fcfsl, SchedulerKind::Ours];
+    pub const TABLE3: [SchedulerKind; 4] = [
+        SchedulerKind::Fs,
+        SchedulerKind::Fcfsu,
+        SchedulerKind::Fcfsl,
+        SchedulerKind::Ours,
+    ];
 
     /// Display name matching the paper.
     pub fn name(&self) -> &'static str {
@@ -353,22 +393,42 @@ pub(crate) mod testutil {
             let cluster = ClusterSpec::homogeneous(p, 2 * GIB);
             let tables = HeadTables::new(&cluster);
             let catalog = Catalog::new(uniform_datasets(d, 2 * GIB), policy);
-            Fixture { cluster, tables, catalog, cost: CostParams::default(), next_job: 0 }
+            Fixture {
+                cluster,
+                tables,
+                catalog,
+                cost: CostParams::default(),
+                next_job: 0,
+            }
         }
 
         pub fn standard(p: usize, d: u32) -> Self {
-            Self::new(p, d, DecompositionPolicy::MaxChunkSize { max_bytes: 512 * MIB })
+            Self::new(
+                p,
+                d,
+                DecompositionPolicy::MaxChunkSize {
+                    max_bytes: 512 * MIB,
+                },
+            )
         }
 
         pub fn ctx(&mut self, now: SimTime) -> ScheduleCtx<'_> {
-            ScheduleCtx { now, tables: &mut self.tables, catalog: &self.catalog, cost: &self.cost }
+            ScheduleCtx {
+                now,
+                tables: &mut self.tables,
+                catalog: &self.catalog,
+                cost: &self.cost,
+            }
         }
 
         pub fn interactive_job(&mut self, dataset: u32, action: u64, at: SimTime) -> Job {
             self.next_job += 1;
             Job {
                 id: JobId(self.next_job),
-                kind: JobKind::Interactive { user: UserId(action as u32), action: ActionId(action) },
+                kind: JobKind::Interactive {
+                    user: UserId(action as u32),
+                    action: ActionId(action),
+                },
                 dataset: DatasetId(dataset),
                 issue_time: at,
                 frame: FrameParams::default(),
@@ -379,7 +439,11 @@ pub(crate) mod testutil {
             self.next_job += 1;
             Job {
                 id: JobId(self.next_job),
-                kind: JobKind::Batch { user: UserId(1000), request: BatchId(request), frame: 0 },
+                kind: JobKind::Batch {
+                    user: UserId(1000),
+                    request: BatchId(request),
+                    frame: 0,
+                },
                 dataset: DatasetId(dataset),
                 issue_time: at,
                 frame: FrameParams::default(),
@@ -391,14 +455,15 @@ pub(crate) mod testutil {
     pub fn assert_complete_assignment(jobs: &[Job], catalog: &Catalog, out: &[Assignment]) {
         let mut expected: Vec<(JobId, u32)> = jobs
             .iter()
-            .flat_map(|j| {
-                (0..catalog.task_count(j.dataset)).map(move |t| (j.id, t))
-            })
+            .flat_map(|j| (0..catalog.task_count(j.dataset)).map(move |t| (j.id, t)))
             .collect();
         let mut got: Vec<(JobId, u32)> = out.iter().map(|a| (a.task.job, a.task.index)).collect();
         expected.sort_unstable();
         got.sort_unstable();
-        assert_eq!(expected, got, "assignment must cover every task exactly once");
+        assert_eq!(
+            expected, got,
+            "assignment must cover every task exactly once"
+        );
     }
 }
 
@@ -436,9 +501,15 @@ mod tests {
         assert_eq!(a.predicted_start, SimTime::ZERO);
         // Cold commit: exec includes the I/O estimate.
         let cost = CostParams::default();
-        assert_eq!(a.predicted_exec, cost.io_time(task.bytes) + cost.alpha(task.bytes, group));
+        assert_eq!(
+            a.predicted_exec,
+            cost.io_time(task.bytes) + cost.alpha(task.bytes, group)
+        );
         assert!(fx.tables.cache.contains(NodeId(2), task.chunk));
-        assert_eq!(fx.tables.available.get(NodeId(2)), SimTime::ZERO + a.predicted_exec);
+        assert_eq!(
+            fx.tables.available.get(NodeId(2)),
+            SimTime::ZERO + a.predicted_exec
+        );
     }
 
     #[test]
@@ -467,9 +538,27 @@ mod tests {
         // The load has completed: node 3 is free again and holds the chunk.
         fx.tables.available.correct(NodeId(3), SimTime::ZERO);
         let ctx = fx.ctx(SimTime::ZERO);
-        assert_eq!(ctx.earliest_node_with_locality(task.chunk, task.bytes), NodeId(3));
-        // Without locality the tie goes to the lowest index.
-        assert_eq!(ctx.earliest_node(), NodeId(0));
+        assert_eq!(
+            ctx.earliest_node_with_locality(task.chunk, task.bytes),
+            NodeId(3)
+        );
+        // The blind pick still lands on *a* node tied at the minimum (the
+        // tie-break hash decides which), and is stable for a fixed instant.
+        let blind = ctx.earliest_node();
+        assert!(blind.0 < 4);
+        assert_eq!(ctx.earliest_node(), blind);
+    }
+
+    #[test]
+    fn blind_tie_break_varies_over_time() {
+        let mut fx = Fixture::standard(8, 2);
+        // All eight nodes idle: the winner must not be pinned to one index
+        // across scheduling instants, or blind policies inherit a stable
+        // placement from job order alone.
+        let winners: std::collections::HashSet<NodeId> = (0..50u64)
+            .map(|ms| fx.ctx(SimTime::from_millis(ms)).earliest_node())
+            .collect();
+        assert!(winners.len() > 1, "idle tie-break must vary with time");
     }
 
     #[test]

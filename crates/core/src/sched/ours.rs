@@ -75,7 +75,11 @@ impl OursScheduler {
             params.epsilon_frac >= 0.0 && params.epsilon_frac.is_finite(),
             "epsilon fraction must be finite and non-negative"
         );
-        OursScheduler { params, pending_batch: FxHashMap::default(), pending_count: 0 }
+        OursScheduler {
+            params,
+            pending_batch: FxHashMap::default(),
+            pending_count: 0,
+        }
     }
 
     /// The active parameters.
@@ -103,7 +107,10 @@ impl OursScheduler {
     }
 
     fn push_batch(&mut self, task: Task) {
-        self.pending_batch.entry(task.chunk).or_default().push_back(task);
+        self.pending_batch
+            .entry(task.chunk)
+            .or_default()
+            .push_back(task);
         self.pending_count += 1;
     }
 
@@ -130,7 +137,9 @@ impl OursScheduler {
         cached.sort_unstable();
         non_cached.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
 
-        let ordered = cached.into_iter().chain(non_cached.into_iter().map(|(_, c)| c));
+        let ordered = cached
+            .into_iter()
+            .chain(non_cached.into_iter().map(|(_, c)| c));
         let mut hi = hi;
         for chunk in ordered {
             let tasks = hi.remove(&chunk).expect("chunk key came from the map");
@@ -170,7 +179,10 @@ impl OursScheduler {
                     .filter(|c| self.pending_batch.contains_key(c))
                     .min();
                 let Some(chunk) = candidate else { break };
-                let queue = self.pending_batch.get_mut(&chunk).expect("candidate has work");
+                let queue = self
+                    .pending_batch
+                    .get_mut(&chunk)
+                    .expect("candidate has work");
                 let task = queue.pop_front().expect("queues are never left empty");
                 if queue.is_empty() {
                     self.pending_batch.remove(&chunk);
@@ -217,7 +229,10 @@ impl OursScheduler {
                     // it free (line 26) and move on.
                     break;
                 }
-                let queue = self.pending_batch.get_mut(&chunk).expect("cursor points at work");
+                let queue = self
+                    .pending_batch
+                    .get_mut(&chunk)
+                    .expect("cursor points at work");
                 let task = queue.pop_front().expect("queues are never left empty");
                 if queue.is_empty() {
                     self.pending_batch.remove(&chunk);
@@ -281,7 +296,9 @@ mod tests {
     #[test]
     fn interactive_jobs_fully_scheduled_in_cycle() {
         let mut fx = Fixture::standard(8, 6);
-        let jobs: Vec<_> = (0..6).map(|d| fx.interactive_job(d, d as u64, SimTime::ZERO)).collect();
+        let jobs: Vec<_> = (0..6)
+            .map(|d| fx.interactive_job(d, d as u64, SimTime::ZERO))
+            .collect();
         let mut sched = ours();
         let mut ctx = fx.ctx(SimTime::ZERO);
         let out = sched.schedule(&mut ctx, jobs.clone());
@@ -306,7 +323,10 @@ mod tests {
         }
         for (chunk, nodes) in by_chunk {
             assert_eq!(nodes.len(), 2);
-            assert_eq!(nodes[0], nodes[1], "chunk {chunk} split across nodes within a cycle");
+            assert_eq!(
+                nodes[0], nodes[1],
+                "chunk {chunk} split across nodes within a cycle"
+            );
         }
     }
 
@@ -314,8 +334,9 @@ mod tests {
     fn batch_jobs_are_deferred_until_nodes_idle() {
         let mut fx = Fixture::standard(2, 2);
         // Saturate both nodes with interactive work beyond the next cycle.
-        let interactive: Vec<_> =
-            (0..2).map(|d| fx.interactive_job(d, d as u64, SimTime::ZERO)).collect();
+        let interactive: Vec<_> = (0..2)
+            .map(|d| fx.interactive_job(d, d as u64, SimTime::ZERO))
+            .collect();
         let batch = fx.batch_job(1, 0, SimTime::ZERO);
         let mut sched = ours();
         let mut ctx = fx.ctx(SimTime::ZERO);
@@ -359,7 +380,9 @@ mod tests {
             sched.schedule(&mut ctx, vec![ij]);
         }
         // The node finishes everything; made available again.
-        fx.tables.available.correct(NodeId(0), SimTime::from_millis(100));
+        fx.tables
+            .available
+            .correct(NodeId(0), SimTime::from_millis(100));
         // Cycle 2 at t = 100 ms: a batch job over the *uncached* dataset 1
         // arrives. Interactive idle is 100 ms << ε (≈ 1.7 s for a 512 MiB
         // chunk), so the batch work must stay deferred.
@@ -395,7 +418,9 @@ mod tests {
             let mut ctx = fx.ctx(SimTime::ZERO);
             sched.schedule(&mut ctx, vec![ij]);
         }
-        fx.tables.available.correct(NodeId(0), SimTime::from_millis(50));
+        fx.tables
+            .available
+            .correct(NodeId(0), SimTime::from_millis(50));
         // A batch job over the same (cached) dataset: no disk I/O needed,
         // so the ε test does not apply (lines 16–22) and it schedules now.
         let bj = fx.batch_job(0, 0, SimTime::from_millis(50));
@@ -408,8 +433,10 @@ mod tests {
     fn ablation_defer_off_schedules_batch_immediately() {
         let mut fx = Fixture::standard(2, 2);
         let batch = fx.batch_job(1, 0, SimTime::ZERO);
-        let mut sched =
-            OursScheduler::new(OursParams { defer_batch: false, ..OursParams::default() });
+        let mut sched = OursScheduler::new(OursParams {
+            defer_batch: false,
+            ..OursParams::default()
+        });
         let mut ctx = fx.ctx(SimTime::ZERO);
         let out = sched.schedule(&mut ctx, vec![batch]);
         assert_eq!(out.len(), 4);
@@ -429,8 +456,12 @@ mod tests {
             let mut ctx = fx.ctx(SimTime::ZERO);
             sched.schedule(&mut ctx, vec![ij]);
         }
-        fx.tables.available.correct(NodeId(0), SimTime::from_secs(60));
-        fx.tables.available.correct(NodeId(1), SimTime::from_secs(60));
+        fx.tables
+            .available
+            .correct(NodeId(0), SimTime::from_secs(60));
+        fx.tables
+            .available
+            .correct(NodeId(1), SimTime::from_secs(60));
         // Batch jobs over both datasets queued while idle; dataset 1 (zero
         // replicas) should be first in the non-cached order on node 1.
         let b0 = fx.batch_job(0, 0, SimTime::from_secs(60));
@@ -449,7 +480,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_cycle_rejected() {
-        OursScheduler::new(OursParams { cycle: SimDuration::ZERO, ..OursParams::default() });
+        OursScheduler::new(OursParams {
+            cycle: SimDuration::ZERO,
+            ..OursParams::default()
+        });
     }
 }
 

@@ -56,8 +56,10 @@ impl Scheduler for SfScheduler {
     fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment> {
         // Shortest estimated execution first; job id breaks ties so the
         // order is total and deterministic.
-        let mut keyed: Vec<(SimDuration, Job)> =
-            incoming.into_iter().map(|j| (self.estimate_job(ctx, &j), j)).collect();
+        let mut keyed: Vec<(SimDuration, Job)> = incoming
+            .into_iter()
+            .map(|j| (self.estimate_job(ctx, &j), j))
+            .collect();
         keyed.sort_by_key(|a| (a.0, a.1.id));
 
         let mut out = Vec::new();
@@ -105,7 +107,9 @@ mod tests {
                 ctx.commit(task, crate::ids::NodeId((i % 2) as u32), 2);
             }
             for k in 0..2 {
-                ctx.tables.available.correct(crate::ids::NodeId(k), SimTime::ZERO);
+                ctx.tables
+                    .available
+                    .correct(crate::ids::NodeId(k), SimTime::ZERO);
             }
         }
         // A long (cold, dataset 0) job arrives before a short (warm,
@@ -118,7 +122,10 @@ mod tests {
         let out = sched.schedule(&mut ctx, vec![long, short]);
         let first_long = out.iter().position(|a| a.task.job == long_id).unwrap();
         let last_short = out.iter().rposition(|a| a.task.job == short_id).unwrap();
-        assert!(last_short < first_long, "short job must be fully scheduled first");
+        assert!(
+            last_short < first_long,
+            "short job must be fully scheduled first"
+        );
     }
 
     #[test]

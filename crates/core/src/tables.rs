@@ -32,7 +32,9 @@ pub struct AvailableTable {
 
 impl AvailableTable {
     fn new(p: usize) -> Self {
-        AvailableTable { times: vec![SimTime::ZERO; p] }
+        AvailableTable {
+            times: vec![SimTime::ZERO; p],
+        }
     }
 
     /// Predicted available time of `node`.
@@ -72,7 +74,10 @@ impl AvailableTable {
 
     /// Iterate `(node, available)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, SimTime)> + '_ {
-        self.times.iter().enumerate().map(|(i, &t)| (NodeId(i as u32), t))
+        self.times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (NodeId(i as u32), t))
     }
 
     /// Number of nodes.
@@ -111,15 +116,18 @@ impl CacheTable {
                 let policy = match eviction {
                     // Distinct seeds per node keep random eviction
                     // decorrelated across nodes yet reproducible.
-                    EvictionPolicy::Random { seed } => {
-                        EvictionPolicy::Random { seed: seed.wrapping_add(k as u64) }
-                    }
+                    EvictionPolicy::Random { seed } => EvictionPolicy::Random {
+                        seed: seed.wrapping_add(k as u64),
+                    },
                     other => other,
                 };
                 NodeMemory::with_policy(quota, policy)
             })
             .collect();
-        CacheTable { chunk_nodes: FxHashMap::default(), node_mem }
+        CacheTable {
+            chunk_nodes: FxHashMap::default(),
+            node_mem,
+        }
     }
 
     /// Nodes predicted to hold `chunk` (`Cache[c]`); empty slice if none.
@@ -231,7 +239,10 @@ pub struct EstimateTable {
 impl EstimateTable {
     /// Estimated I/O time for `chunk` of `bytes`.
     pub fn get(&self, chunk: ChunkId, bytes: u64, cost: &CostParams) -> SimDuration {
-        self.measured.get(&chunk).copied().unwrap_or_else(|| cost.io_time(bytes))
+        self.measured
+            .get(&chunk)
+            .copied()
+            .unwrap_or_else(|| cost.io_time(bytes))
     }
 
     /// Record a measured I/O time (run-time refresh).
@@ -366,9 +377,13 @@ mod tests {
     fn push_work_serializes_on_a_node() {
         let mut t = tables();
         let now = SimTime::from_secs(1);
-        let s1 = t.available.push_work(NodeId(0), now, SimDuration::from_secs(2));
+        let s1 = t
+            .available
+            .push_work(NodeId(0), now, SimDuration::from_secs(2));
         assert_eq!(s1, now);
-        let s2 = t.available.push_work(NodeId(0), now, SimDuration::from_secs(3));
+        let s2 = t
+            .available
+            .push_work(NodeId(0), now, SimDuration::from_secs(3));
         assert_eq!(s2, SimTime::from_secs(3));
         assert_eq!(t.available.get(NodeId(0)), SimTime::from_secs(6));
     }
@@ -377,7 +392,8 @@ mod tests {
     fn min_node_breaks_ties_deterministically() {
         let mut t = tables();
         assert_eq!(t.available.min_node(), NodeId(0));
-        t.available.push_work(NodeId(0), SimTime::ZERO, SimDuration::from_secs(1));
+        t.available
+            .push_work(NodeId(0), SimTime::ZERO, SimDuration::from_secs(1));
         assert_eq!(t.available.min_node(), NodeId(1));
     }
 
@@ -409,7 +425,8 @@ mod tests {
         let mut t = tables();
         t.cache.record_load(NodeId(0), chunk(0), GIB);
         // The node actually evicted chunk 0 while loading chunk 5.
-        t.cache.reconcile_load(NodeId(0), chunk(5), GIB, &[chunk(0)]);
+        t.cache
+            .reconcile_load(NodeId(0), chunk(5), GIB, &[chunk(0)]);
         assert!(!t.cache.contains(NodeId(0), chunk(0)));
         assert!(t.cache.contains(NodeId(0), chunk(5)));
         assert_eq!(t.cache.nodes_with(chunk(5)), &[NodeId(0)]);
@@ -422,7 +439,10 @@ mod tests {
         let fallback = t.estimate.get(chunk(0), 512 << 20, &cost);
         assert_eq!(fallback, cost.io_time(512 << 20));
         t.estimate.record(chunk(0), SimDuration::from_secs(9));
-        assert_eq!(t.estimate.get(chunk(0), 512 << 20, &cost), SimDuration::from_secs(9));
+        assert_eq!(
+            t.estimate.get(chunk(0), 512 << 20, &cost),
+            SimDuration::from_secs(9)
+        );
         assert_eq!(t.estimate.measured_count(), 1);
     }
 
@@ -432,10 +452,16 @@ mod tests {
         let now = SimTime::from_secs(10);
         assert_eq!(t.interactive_idle(NodeId(0), now), SimDuration::MAX);
         t.note_interactive(NodeId(0), SimTime::from_secs(8));
-        assert_eq!(t.interactive_idle(NodeId(0), now), SimDuration::from_secs(2));
+        assert_eq!(
+            t.interactive_idle(NodeId(0), now),
+            SimDuration::from_secs(2)
+        );
         // Older assignments never move the stamp backwards.
         t.note_interactive(NodeId(0), SimTime::from_secs(3));
-        assert_eq!(t.interactive_idle(NodeId(0), now), SimDuration::from_secs(2));
+        assert_eq!(
+            t.interactive_idle(NodeId(0), now),
+            SimDuration::from_secs(2)
+        );
     }
 
     #[test]

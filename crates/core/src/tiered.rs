@@ -63,7 +63,10 @@ pub struct TieredMemory {
 impl TieredMemory {
     /// Host-only cache (the paper's base model).
     pub fn host_only(host_quota: u64, eviction: EvictionPolicy) -> Self {
-        TieredMemory { host: NodeMemory::with_policy(host_quota, eviction), gpu: None }
+        TieredMemory {
+            host: NodeMemory::with_policy(host_quota, eviction),
+            gpu: None,
+        }
     }
 
     /// Two tiers: `host_quota` bytes of main memory, `gpu_quota` bytes of
@@ -147,7 +150,11 @@ impl TieredMemory {
                 }
             }
         }
-        TierAccess { found, host_evicted, gpu_evicted }
+        TierAccess {
+            found,
+            host_evicted,
+            gpu_evicted,
+        }
     }
 
     /// Drop everything (crash).
@@ -233,7 +240,11 @@ mod tests {
         assert!(!m.has_gpu_tier());
         m.access(chunk(0), 100);
         let a = m.access(chunk(0), 100);
-        assert_eq!(a.found, Tier::Gpu, "host hit counts as render-ready without a GPU tier");
+        assert_eq!(
+            a.found,
+            Tier::Gpu,
+            "host hit counts as render-ready without a GPU tier"
+        );
     }
 
     #[test]

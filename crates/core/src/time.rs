@@ -92,7 +92,10 @@ impl SimDuration {
 
     /// Construct from fractional seconds, rounding to the nearest microsecond.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 
@@ -133,7 +136,10 @@ impl SimDuration {
 
     /// Multiply by a non-negative float, rounding to the nearest microsecond.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor >= 0.0 && factor.is_finite(), "factor must be finite and non-negative");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -156,7 +162,10 @@ impl Sub<SimTime> for SimTime {
     /// Panics in debug builds if `rhs` is later than `self`; use
     /// [`SimTime::saturating_since`] when the ordering is not guaranteed.
     fn sub(self, rhs: SimTime) -> SimDuration {
-        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow: {self} - {rhs}");
+        debug_assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction underflow: {self} - {rhs}"
+        );
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 }
@@ -267,8 +276,14 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds() {
-        assert_eq!(SimDuration::from_secs_f64(0.0000015), SimDuration::from_micros(2));
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1_500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.0000015),
+            SimDuration::from_micros(2)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1_500)
+        );
     }
 
     #[test]

@@ -36,8 +36,10 @@ pub fn bar_chart(
 /// The Fig. 4-style view of a scenario: frame-rate bars (scaled to the
 /// target) and latency annotations per scheduler.
 pub fn format_figure(reports: &[SchedulerReport], target_fps: f64) -> String {
-    let rows: Vec<(String, f64)> =
-        reports.iter().map(|r| (r.scheduler.clone(), r.fps.mean)).collect();
+    let rows: Vec<(String, f64)> = reports
+        .iter()
+        .map(|r| (r.scheduler.clone(), r.fps.mean))
+        .collect();
     let mut out = bar_chart(
         &format!("interactive frame rate (target {target_fps:.2} fps)"),
         &rows,
@@ -87,7 +89,10 @@ mod tests {
     #[test]
     fn figure_includes_every_scheduler() {
         let mk = |name: &str| {
-            let run = RunRecord { scheduler: name.to_string(), ..Default::default() };
+            let run = RunRecord {
+                scheduler: name.to_string(),
+                ..Default::default()
+            };
             SchedulerReport::from_run(&run)
         };
         let fig = format_figure(&[mk("OURS"), mk("FCFS")], 33.33);

@@ -107,7 +107,11 @@ mod tests {
     use vizsched_core::ids::{ActionId, UserId};
 
     fn record(hits: u64, misses: u64) -> RunRecord {
-        RunRecord { cache_hits: hits, cache_misses: misses, ..RunRecord::default() }
+        RunRecord {
+            cache_hits: hits,
+            cache_misses: misses,
+            ..RunRecord::default()
+        }
     }
 
     #[test]
@@ -132,9 +136,16 @@ mod tests {
         let mk = |id: u64, interactive: bool| JobRecord {
             id: JobId(id),
             kind: if interactive {
-                JobKind::Interactive { user: UserId(0), action: ActionId(0) }
+                JobKind::Interactive {
+                    user: UserId(0),
+                    action: ActionId(0),
+                }
             } else {
-                JobKind::Batch { user: UserId(0), request: vizsched_core::ids::BatchId(0), frame: 0 }
+                JobKind::Batch {
+                    user: UserId(0),
+                    request: vizsched_core::ids::BatchId(0),
+                    frame: 0,
+                }
             },
             dataset: DatasetId(0),
             timing: JobTiming::issued_at(SimTime::ZERO),

@@ -61,8 +61,7 @@ impl SchedulerReport {
                 interactive_latency.push(lat.as_secs_f64());
             }
         }
-        let mut fps_samples: Vec<f64> =
-            by_action.values().filter_map(|f| framerate(f)).collect();
+        let mut fps_samples: Vec<f64> = by_action.values().filter_map(|f| framerate(f)).collect();
         fps_samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite fps"));
 
         let mut batch_latency = Vec::new();
@@ -129,7 +128,14 @@ pub fn format_comparison(reports: &[SchedulerReport]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<7} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>12}\n",
-        "sched", "fps(mean)", "int lat avg", "int lat p95", "bat lat avg", "bat work avg", "hit%", "cost us/job"
+        "sched",
+        "fps(mean)",
+        "int lat avg",
+        "int lat p95",
+        "bat lat avg",
+        "bat work avg",
+        "hit%",
+        "cost us/job"
     ));
     for r in reports {
         out.push_str(&format!(
@@ -214,7 +220,10 @@ mod tests {
         timing.record_finish(SimTime::from_millis(finish_ms));
         JobRecord {
             id: JobId(id),
-            kind: JobKind::Interactive { user: UserId(0), action: ActionId(action) },
+            kind: JobKind::Interactive {
+                user: UserId(0),
+                action: ActionId(action),
+            },
             dataset: DatasetId(0),
             timing,
             tasks: 4,
@@ -228,7 +237,11 @@ mod tests {
         timing.record_finish(SimTime::from_millis(finish_ms));
         JobRecord {
             id: JobId(id),
-            kind: JobKind::Batch { user: UserId(1), request: BatchId(0), frame: 0 },
+            kind: JobKind::Batch {
+                user: UserId(1),
+                request: BatchId(0),
+                frame: 0,
+            },
             dataset: DatasetId(0),
             timing,
             tasks: 4,
@@ -262,7 +275,11 @@ mod tests {
         let report = SchedulerReport::from_run(&sample_run());
         // Finishes at 10, 40, 70 ms -> gaps of 30 ms -> 33.33 fps.
         assert_eq!(report.fps.count, 1);
-        assert!((report.fps.mean - 33.333).abs() < 0.01, "fps = {}", report.fps.mean);
+        assert!(
+            (report.fps.mean - 33.333).abs() < 0.01,
+            "fps = {}",
+            report.fps.mean
+        );
         assert_eq!(report.interactive_jobs, 3);
         assert_eq!(report.batch_jobs, 1);
     }
@@ -297,7 +314,11 @@ mod tests {
         let report = SchedulerReport::from_run(&sample_run());
         // All interactive jobs belong to user 0 and the batch job to user
         // 1; shares are unequal but both positive.
-        assert!(report.fairness > 0.5 && report.fairness <= 1.0, "{}", report.fairness);
+        assert!(
+            report.fairness > 0.5 && report.fairness <= 1.0,
+            "{}",
+            report.fairness
+        );
     }
 
     #[test]

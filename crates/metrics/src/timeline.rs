@@ -44,9 +44,10 @@ impl Timeline {
             p.t_secs = (bucket * i as u64).as_secs_f64();
         }
         for job in &run.jobs {
-            let Some(finish) = job.timing.finish else { continue };
-            let idx =
-                ((finish.as_micros().saturating_sub(1)) / bucket.as_micros()) as usize;
+            let Some(finish) = job.timing.finish else {
+                continue;
+            };
+            let idx = ((finish.as_micros().saturating_sub(1)) / bucket.as_micros()) as usize;
             let idx = idx.min(n - 1);
             if job.kind.is_interactive() {
                 points[idx].interactive_completed += 1;
@@ -69,8 +70,10 @@ impl Timeline {
 
     /// Render as a small table (seconds, rate, latency).
     pub fn format(&self) -> String {
-        let mut out =
-            format!("{:>8} {:>12} {:>12} {:>12}\n", "t", "int jobs/s", "batch done", "lat avg");
+        let mut out = format!(
+            "{:>8} {:>12} {:>12} {:>12}\n",
+            "t", "int jobs/s", "batch done", "lat avg"
+        );
         for p in &self.points {
             out.push_str(&format!(
                 "{:>7.1}s {:>12.1} {:>12} {:>11.3}s\n",
@@ -95,7 +98,10 @@ mod tests {
         timing.record_finish(SimTime::from_millis(finish_ms));
         JobRecord {
             id: JobId(id),
-            kind: JobKind::Interactive { user: UserId(0), action: ActionId(0) },
+            kind: JobKind::Interactive {
+                user: UserId(0),
+                action: ActionId(0),
+            },
             dataset: DatasetId(0),
             timing,
             tasks: 1,
@@ -109,7 +115,11 @@ mod tests {
             .filter_map(|j| j.timing.finish)
             .max()
             .unwrap_or(SimTime::ZERO);
-        RunRecord { jobs, makespan, ..RunRecord::default() }
+        RunRecord {
+            jobs,
+            makespan,
+            ..RunRecord::default()
+        }
     }
 
     #[test]

@@ -78,7 +78,12 @@ impl Camera {
             center[1] + radius * sel,
             center[2] + radius * cel * caz,
         ];
-        Camera { eye, target: center, up: [0.0, 1.0, 0.0], fov_y: 45f32.to_radians() }
+        Camera {
+            eye,
+            target: center,
+            up: [0.0, 1.0, 0.0],
+            fov_y: 45f32.to_radians(),
+        }
     }
 
     /// Generate the view ray through pixel `(px, py)` of a `width`×`height`
@@ -99,7 +104,10 @@ impl Camera {
                 vec3::scale(up, ndc_y * tan_half),
             ),
         ));
-        Ray { origin: self.eye, dir }
+        Ray {
+            origin: self.eye,
+            dir,
+        }
     }
 }
 
@@ -151,7 +159,10 @@ mod tests {
 
     #[test]
     fn vec3_basics() {
-        assert_eq!(vec3::cross([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]), [0.0, 0.0, 1.0]);
+        assert_eq!(
+            vec3::cross([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]),
+            [0.0, 0.0, 1.0]
+        );
         assert_eq!(vec3::dot([1.0, 2.0, 3.0], [4.0, 5.0, 6.0]), 32.0);
         let n = vec3::normalize([0.0, 3.0, 4.0]);
         assert!((vec3::length(n) - 1.0).abs() < 1e-6);

@@ -32,7 +32,11 @@ pub struct RgbaImage {
 impl RgbaImage {
     /// A fully transparent image.
     pub fn transparent(width: usize, height: usize) -> Self {
-        RgbaImage { width, height, pixels: vec![[0.0; 4]; width * height] }
+        RgbaImage {
+            width,
+            height,
+            pixels: vec![[0.0; 4]; width * height],
+        }
     }
 
     /// Pixel count.

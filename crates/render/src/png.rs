@@ -129,7 +129,12 @@ mod tests {
         assert_eq!(z[2], 0);
         assert_eq!(u16::from_le_bytes([z[3], z[4]]), 65_535);
         // Trailer carries the adler of the raw data.
-        let trailer = u32::from_be_bytes([z[z.len() - 4], z[z.len() - 3], z[z.len() - 2], z[z.len() - 1]]);
+        let trailer = u32::from_be_bytes([
+            z[z.len() - 4],
+            z[z.len() - 3],
+            z[z.len() - 2],
+            z[z.len() - 1],
+        ]);
         assert_eq!(trailer, adler32(&data));
     }
 
@@ -164,7 +169,10 @@ mod tests {
             kinds.push(body[..4].to_vec());
             offset += 12 + len;
         }
-        assert_eq!(kinds, vec![b"IHDR".to_vec(), b"IDAT".to_vec(), b"IEND".to_vec()]);
+        assert_eq!(
+            kinds,
+            vec![b"IHDR".to_vec(), b"IDAT".to_vec(), b"IEND".to_vec()]
+        );
     }
 
     #[test]

@@ -79,12 +79,18 @@ mod tests {
     use super::*;
 
     fn unit_box() -> Aabb {
-        Aabb { min: [0.0; 3], max: [1.0; 3] }
+        Aabb {
+            min: [0.0; 3],
+            max: [1.0; 3],
+        }
     }
 
     #[test]
     fn ray_through_box_hits() {
-        let ray = Ray { origin: [-1.0, 0.5, 0.5], dir: [1.0, 0.0, 0.0] };
+        let ray = Ray {
+            origin: [-1.0, 0.5, 0.5],
+            dir: [1.0, 0.0, 0.0],
+        };
         let (t0, t1) = unit_box().intersect(&ray).unwrap();
         assert!((t0 - 1.0).abs() < 1e-6);
         assert!((t1 - 2.0).abs() < 1e-6);
@@ -93,13 +99,19 @@ mod tests {
 
     #[test]
     fn ray_missing_box_returns_none() {
-        let ray = Ray { origin: [-1.0, 2.0, 0.5], dir: [1.0, 0.0, 0.0] };
+        let ray = Ray {
+            origin: [-1.0, 2.0, 0.5],
+            dir: [1.0, 0.0, 0.0],
+        };
         assert!(unit_box().intersect(&ray).is_none());
     }
 
     #[test]
     fn ray_starting_inside_clamps_entry_to_zero() {
-        let ray = Ray { origin: [0.5, 0.5, 0.5], dir: [0.0, 0.0, 1.0] };
+        let ray = Ray {
+            origin: [0.5, 0.5, 0.5],
+            dir: [0.0, 0.0, 1.0],
+        };
         let (t0, t1) = unit_box().intersect(&ray).unwrap();
         assert_eq!(t0, 0.0);
         assert!((t1 - 0.5).abs() < 1e-6);
@@ -107,14 +119,20 @@ mod tests {
 
     #[test]
     fn box_behind_ray_misses() {
-        let ray = Ray { origin: [2.0, 0.5, 0.5], dir: [1.0, 0.0, 0.0] };
+        let ray = Ray {
+            origin: [2.0, 0.5, 0.5],
+            dir: [1.0, 0.0, 0.0],
+        };
         assert!(unit_box().intersect(&ray).is_none());
     }
 
     #[test]
     fn diagonal_ray_hits() {
         let dir = 1.0 / 3f32.sqrt();
-        let ray = Ray { origin: [-1.0, -1.0, -1.0], dir: [dir; 3] };
+        let ray = Ray {
+            origin: [-1.0, -1.0, -1.0],
+            dir: [dir; 3],
+        };
         assert!(unit_box().intersect(&ray).is_some());
     }
 

@@ -248,7 +248,11 @@ fn block_exit_distance(p: [f32; 3], dir: [f32; 3], block: usize) -> f32 {
             continue;
         }
         let cell = (p[axis] / b).floor();
-        let bound = if dir[axis] > 0.0 { (cell + 1.0) * b } else { cell * b };
+        let bound = if dir[axis] > 0.0 {
+            (cell + 1.0) * b
+        } else {
+            cell * b
+        };
         let t = (bound - p[axis]) / dir[axis];
         if t > 0.0 {
             exit = exit.min(t);
@@ -345,7 +349,11 @@ mod tests {
     use vizsched_volume::synth::Field;
 
     fn small_settings() -> RenderSettings {
-        RenderSettings { width: 32, height: 32, ..RenderSettings::default() }
+        RenderSettings {
+            width: 32,
+            height: 32,
+            ..RenderSettings::default()
+        }
     }
 
     #[test]
@@ -383,8 +391,14 @@ mod tests {
         // A fully opaque TF saturates immediately.
         let v: Volume<f32> = Volume::from_fn([8, 8, 8], |_, _, _| 1.0);
         let tf = TransferFunction::from_points(vec![
-            crate::transfer::ControlPoint { value: 0.0, color: [1.0, 0.0, 0.0, 1.0] },
-            crate::transfer::ControlPoint { value: 1.0, color: [1.0, 0.0, 0.0, 1.0] },
+            crate::transfer::ControlPoint {
+                value: 0.0,
+                color: [1.0, 0.0, 0.0, 1.0],
+            },
+            crate::transfer::ControlPoint {
+                value: 1.0,
+                color: [1.0, 0.0, 0.0, 1.0],
+            },
         ]);
         let cam = Camera::orbit(v.dims, 0.0, 0.0, 2.5);
         let img = render(&v, &cam, &tf, &small_settings());
@@ -399,11 +413,16 @@ mod tests {
         let bricks = vizsched_volume::split_z(&v, 4);
         let cam = Camera::orbit(v.dims, 0.0, 0.0, 2.5); // eye on the +z side
         let tf = TransferFunction::preset(0);
-        let layers: Vec<Layer> =
-            bricks.iter().map(|b| render_brick(b, &cam, &tf, &small_settings())).collect();
+        let layers: Vec<Layer> = bricks
+            .iter()
+            .map(|b| render_brick(b, &cam, &tf, &small_settings()))
+            .collect();
         // With the eye on +z, brick 3 (highest z) is nearest.
         for w in layers.windows(2) {
-            assert!(w[0].depth > w[1].depth, "depths must decrease toward the eye");
+            assert!(
+                w[0].depth > w[1].depth,
+                "depths must decrease toward the eye"
+            );
         }
     }
 
@@ -420,7 +439,10 @@ mod tests {
         let sum = |img: &RgbaImage| -> f64 {
             img.pixels.iter().map(|p| (p[0] + p[1] + p[2]) as f64).sum()
         };
-        assert!(sum(&shaded) < sum(&unshaded), "shading should remove some light");
+        assert!(
+            sum(&shaded) < sum(&unshaded),
+            "shading should remove some light"
+        );
         // Alpha is unaffected by shading.
         assert!((shaded.coverage() - unshaded.coverage()).abs() < 1e-9);
     }

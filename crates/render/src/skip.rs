@@ -52,7 +52,11 @@ impl MinMaxGrid {
                 }
             }
         }
-        MinMaxGrid { dims, block, ranges }
+        MinMaxGrid {
+            dims,
+            block,
+            ranges,
+        }
     }
 
     /// The `(min, max)` range of the block containing voxel coordinates
@@ -87,10 +91,22 @@ mod tests {
 
     fn tf_opaque_above_half() -> TransferFunction {
         TransferFunction::from_points(vec![
-            ControlPoint { value: 0.0, color: [0.0; 4] },
-            ControlPoint { value: 0.5, color: [0.0; 4] },
-            ControlPoint { value: 0.6, color: [1.0, 1.0, 1.0, 0.8] },
-            ControlPoint { value: 1.0, color: [1.0, 1.0, 1.0, 0.8] },
+            ControlPoint {
+                value: 0.0,
+                color: [0.0; 4],
+            },
+            ControlPoint {
+                value: 0.5,
+                color: [0.0; 4],
+            },
+            ControlPoint {
+                value: 0.6,
+                color: [1.0, 1.0, 1.0, 0.8],
+            },
+            ControlPoint {
+                value: 1.0,
+                color: [1.0, 1.0, 1.0, 0.8],
+            },
         ])
     }
 
@@ -117,13 +133,25 @@ mod tests {
         let v = half_empty_volume();
         let g = MinMaxGrid::build(&v, 4);
         let tf = tf_opaque_above_half();
-        assert!(g.is_empty_at(1.0, 1.0, 1.0, &tf), "zero-valued block is empty");
+        assert!(
+            g.is_empty_at(1.0, 1.0, 1.0, &tf),
+            "zero-valued block is empty"
+        );
         assert!(!g.is_empty_at(14.0, 1.0, 1.0, &tf), "dense block is not");
         // A TF that maps *low* values to opacity flips the verdict.
         let tf_low = TransferFunction::from_points(vec![
-            ControlPoint { value: 0.0, color: [1.0, 0.0, 0.0, 0.5] },
-            ControlPoint { value: 0.3, color: [0.0; 4] },
-            ControlPoint { value: 1.0, color: [0.0; 4] },
+            ControlPoint {
+                value: 0.0,
+                color: [1.0, 0.0, 0.0, 0.5],
+            },
+            ControlPoint {
+                value: 0.3,
+                color: [0.0; 4],
+            },
+            ControlPoint {
+                value: 1.0,
+                color: [0.0; 4],
+            },
         ]);
         assert!(!g.is_empty_at(1.0, 1.0, 1.0, &tf_low));
     }
@@ -136,6 +164,9 @@ mod tests {
             Volume::from_fn([8, 4, 4], |x, _, _| if x >= 0.49 { 1.0 } else { 0.0 });
         let g = MinMaxGrid::build(&v, 4);
         let (_, hi_left) = g.range_at(1.0, 1.0, 1.0);
-        assert_eq!(hi_left, 1.0, "padding pulls the neighbor's boundary voxel in");
+        assert_eq!(
+            hi_left, 1.0,
+            "padding pulls the neighbor's boundary voxel in"
+        );
     }
 }

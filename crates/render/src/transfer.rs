@@ -55,7 +55,10 @@ impl TransferFunction {
         if v >= points[points.len() - 1].value {
             return points[points.len() - 1].color;
         }
-        let hi = points.iter().position(|p| p.value >= v).expect("v below last point");
+        let hi = points
+            .iter()
+            .position(|p| p.value >= v)
+            .expect("v below last point");
         let (a, b) = (&points[hi - 1], &points[hi]);
         let span = (b.value - a.value).max(1e-9);
         let t = (v - a.value) / span;
@@ -102,24 +105,60 @@ impl TransferFunction {
             // 0: "bone and tissue" — low values transparent blue haze,
             // high values opaque warm.
             0 => TransferFunction::from_points(vec![
-                ControlPoint { value: 0.0, color: [0.0, 0.0, 0.0, 0.0] },
-                ControlPoint { value: 0.15, color: [0.1, 0.2, 0.5, 0.0] },
-                ControlPoint { value: 0.4, color: [0.2, 0.5, 0.9, 0.15] },
-                ControlPoint { value: 0.7, color: [0.9, 0.6, 0.2, 0.5] },
-                ControlPoint { value: 1.0, color: [1.0, 0.95, 0.9, 0.95] },
+                ControlPoint {
+                    value: 0.0,
+                    color: [0.0, 0.0, 0.0, 0.0],
+                },
+                ControlPoint {
+                    value: 0.15,
+                    color: [0.1, 0.2, 0.5, 0.0],
+                },
+                ControlPoint {
+                    value: 0.4,
+                    color: [0.2, 0.5, 0.9, 0.15],
+                },
+                ControlPoint {
+                    value: 0.7,
+                    color: [0.9, 0.6, 0.2, 0.5],
+                },
+                ControlPoint {
+                    value: 1.0,
+                    color: [1.0, 0.95, 0.9, 0.95],
+                },
             ]),
             // 1: iso-surface-ish ridge around 0.5.
             1 => TransferFunction::from_points(vec![
-                ControlPoint { value: 0.0, color: [0.0, 0.0, 0.0, 0.0] },
-                ControlPoint { value: 0.42, color: [0.1, 0.8, 0.3, 0.0] },
-                ControlPoint { value: 0.5, color: [0.2, 0.9, 0.4, 0.8] },
-                ControlPoint { value: 0.58, color: [0.1, 0.8, 0.3, 0.0] },
-                ControlPoint { value: 1.0, color: [0.0, 0.0, 0.0, 0.0] },
+                ControlPoint {
+                    value: 0.0,
+                    color: [0.0, 0.0, 0.0, 0.0],
+                },
+                ControlPoint {
+                    value: 0.42,
+                    color: [0.1, 0.8, 0.3, 0.0],
+                },
+                ControlPoint {
+                    value: 0.5,
+                    color: [0.2, 0.9, 0.4, 0.8],
+                },
+                ControlPoint {
+                    value: 0.58,
+                    color: [0.1, 0.8, 0.3, 0.0],
+                },
+                ControlPoint {
+                    value: 1.0,
+                    color: [0.0, 0.0, 0.0, 0.0],
+                },
             ]),
             // 2: smoke — monotone density.
             _ => TransferFunction::from_points(vec![
-                ControlPoint { value: 0.0, color: [0.0, 0.0, 0.0, 0.0] },
-                ControlPoint { value: 1.0, color: [0.9, 0.9, 0.95, 0.6] },
+                ControlPoint {
+                    value: 0.0,
+                    color: [0.0, 0.0, 0.0, 0.0],
+                },
+                ControlPoint {
+                    value: 1.0,
+                    color: [0.9, 0.9, 0.95, 0.6],
+                },
             ]),
         }
     }
@@ -131,8 +170,14 @@ mod tests {
 
     fn ramp_tf() -> TransferFunction {
         TransferFunction::from_points(vec![
-            ControlPoint { value: 0.0, color: [0.0, 0.0, 0.0, 0.0] },
-            ControlPoint { value: 1.0, color: [1.0, 1.0, 1.0, 1.0] },
+            ControlPoint {
+                value: 0.0,
+                color: [0.0, 0.0, 0.0, 0.0],
+            },
+            ControlPoint {
+                value: 1.0,
+                color: [1.0, 1.0, 1.0, 1.0],
+            },
         ])
     }
 
@@ -174,8 +219,14 @@ mod tests {
     #[test]
     fn unsorted_control_points_are_sorted() {
         let tf = TransferFunction::from_points(vec![
-            ControlPoint { value: 1.0, color: [1.0; 4] },
-            ControlPoint { value: 0.0, color: [0.0; 4] },
+            ControlPoint {
+                value: 1.0,
+                color: [1.0; 4],
+            },
+            ControlPoint {
+                value: 0.0,
+                color: [0.0; 4],
+            },
         ]);
         assert!(tf.classify(0.75)[0] > tf.classify(0.25)[0]);
     }
@@ -198,12 +249,18 @@ mod tests {
         assert!((tf.max_opacity_between(0.0, 0.5) - 0.5).abs() < 0.01);
         assert!(tf.max_opacity_between(0.0, 0.0) < 0.01);
         // Order-insensitive.
-        assert_eq!(tf.max_opacity_between(0.8, 0.2), tf.max_opacity_between(0.2, 0.8));
+        assert_eq!(
+            tf.max_opacity_between(0.8, 0.2),
+            tf.max_opacity_between(0.2, 0.8)
+        );
     }
 
     #[test]
     #[should_panic(expected = "two control points")]
     fn single_point_rejected() {
-        TransferFunction::from_points(vec![ControlPoint { value: 0.5, color: [1.0; 4] }]);
+        TransferFunction::from_points(vec![ControlPoint {
+            value: 0.5,
+            color: [1.0; 4],
+        }]);
     }
 }

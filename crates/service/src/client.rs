@@ -35,7 +35,10 @@ impl ServiceClient {
         let (tx, rx) = unbounded();
         let req = RenderRequest {
             user: self.user,
-            kind: JobKind::Interactive { user: self.user, action },
+            kind: JobKind::Interactive {
+                user: self.user,
+                action,
+            },
             dataset,
             frame,
             reply: tx,
@@ -56,7 +59,11 @@ impl ServiceClient {
         for (i, &frame) in frames.iter().enumerate() {
             let req = RenderRequest {
                 user: self.user,
-                kind: JobKind::Batch { user: self.user, request, frame: i as u32 },
+                kind: JobKind::Batch {
+                    user: self.user,
+                    request,
+                    frame: i as u32,
+                },
                 dataset,
                 frame,
                 reply: tx.clone(),

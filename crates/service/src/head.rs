@@ -20,11 +20,18 @@ use vizsched_core::job::Job;
 use vizsched_core::sched::{Assignment, ScheduleCtx, Scheduler, SchedulerKind, Trigger};
 use vizsched_core::tables::HeadTables;
 use vizsched_core::time::{SimDuration, SimTime};
-use vizsched_metrics::{JobRecord, RunRecord};
+use vizsched_metrics::{JobRecord, NoopProbe, Probe, RunRecord, TraceEvent};
 use vizsched_render::Layer;
 
-/// Service configuration.
-#[derive(Clone, Debug)]
+/// Service configuration, built up fluently:
+///
+/// ```
+/// use vizsched_core::sched::SchedulerKind;
+/// use vizsched_service::ServiceConfig;
+///
+/// let config = ServiceConfig::default().nodes(2).scheduler(SchedulerKind::Fcfsl);
+/// ```
+#[derive(Clone)]
 pub struct ServiceConfig {
     /// Number of rendering nodes (worker threads).
     pub nodes: usize,
@@ -40,6 +47,25 @@ pub struct ServiceConfig {
     pub cost: CostParams,
     /// Compositing strategy for assembled frames.
     pub composite: CompositeAlgo,
+    /// Observability sink: the head loop reports every scheduling decision,
+    /// completion, and §V-B table correction here. Defaults to
+    /// [`NoopProbe`] (free).
+    pub probe: Arc<dyn Probe>,
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("nodes", &self.nodes)
+            .field("mem_quota", &self.mem_quota)
+            .field("image_size", &self.image_size)
+            .field("scheduler", &self.scheduler)
+            .field("cycle", &self.cycle)
+            .field("cost", &self.cost)
+            .field("composite", &self.composite)
+            .field("probe_enabled", &self.probe.enabled())
+            .finish()
+    }
 }
 
 impl Default for ServiceConfig {
@@ -52,7 +78,58 @@ impl Default for ServiceConfig {
             cycle: SimDuration::from_millis(30),
             cost: CostParams::default(),
             composite: CompositeAlgo::Auto,
+            probe: Arc::new(NoopProbe),
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Set the number of rendering nodes.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Set the per-node cache quota in bytes.
+    pub fn mem_quota(mut self, bytes: u64) -> Self {
+        self.mem_quota = bytes;
+        self
+    }
+
+    /// Set the rendered frame size.
+    pub fn image_size(mut self, width: usize, height: usize) -> Self {
+        self.image_size = (width, height);
+        self
+    }
+
+    /// Set the scheduling policy.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Set the scheduling cycle `ω`.
+    pub fn cycle(mut self, cycle: SimDuration) -> Self {
+        self.cycle = cycle;
+        self
+    }
+
+    /// Set the cost model used for predictions.
+    pub fn cost(mut self, cost: CostParams) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Set the compositing strategy.
+    pub fn composite(mut self, composite: CompositeAlgo) -> Self {
+        self.composite = composite;
+        self
+    }
+
+    /// Attach an observability probe.
+    pub fn probe(mut self, probe: Arc<dyn Probe>) -> Self {
+        self.probe = probe;
+        self
     }
 }
 
@@ -127,7 +204,11 @@ impl VizService {
             stats
         });
 
-        VizService { requests: req_tx, control: ctl_tx, head: Some(head) }
+        VizService {
+            requests: req_tx,
+            control: ctl_tx,
+            head: Some(head),
+        }
     }
 
     /// The request endpoint for building clients.
@@ -138,7 +219,11 @@ impl VizService {
     /// Stop the service (in-flight jobs are abandoned) and collect stats.
     pub fn shutdown(mut self) -> ServiceStats {
         let _ = self.control.send(Control::Stop);
-        self.head.take().expect("shutdown called once").join().expect("head thread panicked")
+        self.head
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("head thread panicked")
     }
 
     /// Graceful shutdown: complete every job accepted so far (including
@@ -146,7 +231,11 @@ impl VizService {
     /// stop submitting first; requests racing the drain may be dropped.
     pub fn drain_and_shutdown(mut self) -> ServiceStats {
         let _ = self.control.send(Control::Drain);
-        self.head.take().expect("shutdown called once").join().expect("head thread panicked")
+        self.head
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("head thread panicked")
     }
 }
 
@@ -159,6 +248,14 @@ struct PendingJob {
     layers: Vec<Layer>,
     /// Index of this job's entry in the run record.
     record_index: usize,
+}
+
+/// One dispatched-but-unfinished assignment, as tracked per node.
+#[derive(Clone)]
+struct OutstandingTask {
+    job: JobId,
+    index: u32,
+    predicted_exec: SimDuration,
 }
 
 #[allow(clippy::too_many_lines)]
@@ -182,9 +279,10 @@ fn head_loop(
     let mut buffer: Vec<Job> = Vec::new();
     let mut pending: FxHashMap<JobId, PendingJob> = FxHashMap::default();
     let mut next_job = 0u64;
-    // Predicted exec of not-yet-completed assignments per node, for the
-    // Available-table correction.
-    let mut outstanding: Vec<Vec<SimDuration>> = vec![Vec::new(); config.nodes];
+    // Not-yet-completed assignments per node: their summed predicted exec
+    // drives the Available-table correction, and the per-task predictions
+    // let completions be matched back for the probe.
+    let mut outstanding: Vec<Vec<OutstandingTask>> = vec![Vec::new(); config.nodes];
 
     let mut stats = ServiceStats {
         record: RunRecord {
@@ -285,21 +383,57 @@ fn run_scheduler(
     now: SimTime,
     buffer: &mut Vec<Job>,
     node_txs: &[Sender<ToNode>],
-    outstanding: &mut [Vec<SimDuration>],
+    outstanding: &mut [Vec<OutstandingTask>],
     pending: &FxHashMap<JobId, PendingJob>,
     record: &mut RunRecord,
 ) {
     let jobs = std::mem::take(buffer);
+    let tracing = config.probe.enabled();
+    if tracing {
+        config.probe.on_event(&TraceEvent::CycleStart {
+            now,
+            queued: jobs.len(),
+        });
+    }
     record.jobs_scheduled += jobs.len() as u64;
     record.sched_invocations += 1;
     let t0 = Instant::now();
     let assignments = {
-        let mut ctx = ScheduleCtx { now, tables, catalog, cost: &config.cost };
+        let mut ctx = ScheduleCtx {
+            now,
+            tables,
+            catalog,
+            cost: &config.cost,
+        };
         scheduler.schedule(&mut ctx, jobs)
     };
-    record.sched_wall_micros += t0.elapsed().as_micros() as u64;
+    let wall_micros = t0.elapsed().as_micros() as u64;
+    record.sched_wall_micros += wall_micros;
+    let mut dispatched = 0usize;
     for a in assignments {
-        dispatch(&a, pending, node_txs, outstanding);
+        if !dispatch(&a, pending, node_txs, outstanding) {
+            continue;
+        }
+        dispatched += 1;
+        if tracing {
+            config.probe.on_event(&TraceEvent::Assignment {
+                now,
+                job: a.task.job,
+                task: a.task.index,
+                chunk: a.task.chunk,
+                node: a.node,
+                predicted_start: a.predicted_start,
+                predicted_exec: a.predicted_exec,
+                interactive: a.task.interactive,
+            });
+        }
+    }
+    if tracing {
+        config.probe.on_event(&TraceEvent::CycleEnd {
+            now,
+            assignments: dispatched,
+            wall_micros,
+        });
     }
 }
 
@@ -307,13 +441,19 @@ fn dispatch(
     a: &Assignment,
     pending: &FxHashMap<JobId, PendingJob>,
     node_txs: &[Sender<ToNode>],
-    outstanding: &mut [Vec<SimDuration>],
-) {
+    outstanding: &mut [Vec<OutstandingTask>],
+) -> bool {
     // Deferred batch tasks surface in later cycles; their frame params
     // live on the pending entry (dropped jobs are skipped).
-    let Some(job) = pending.get(&a.task.job) else { return };
+    let Some(job) = pending.get(&a.task.job) else {
+        return false;
+    };
     let frame = job.frame;
-    outstanding[a.node.index()].push(a.predicted_exec);
+    outstanding[a.node.index()].push(OutstandingTask {
+        job: a.task.job,
+        index: a.task.index,
+        predicted_exec: a.predicted_exec,
+    });
     let msg = ToNode::Render(RenderTask {
         job: a.task.job,
         index: a.task.index,
@@ -323,6 +463,7 @@ fn dispatch(
         interactive: a.task.interactive,
     });
     let _ = node_txs[a.node.index()].send(msg);
+    true
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -330,7 +471,7 @@ fn handle_task_done(
     done: TaskDone,
     tables: &mut HeadTables,
     pending: &mut FxHashMap<JobId, PendingJob>,
-    outstanding: &mut [Vec<SimDuration>],
+    outstanding: &mut [Vec<OutstandingTask>],
     stats: &mut ServiceStats,
     latency_total: &mut f64,
     config: &ServiceConfig,
@@ -338,6 +479,20 @@ fn handle_task_done(
     store: &ChunkStore,
 ) {
     let node = NodeId(done.node);
+    let tracing = config.probe.enabled();
+    if tracing {
+        config.probe.on_event(&TraceEvent::TaskDone {
+            now,
+            job: done.job,
+            task: done.index,
+            chunk: done.chunk,
+            node,
+            started: now - done.elapsed,
+            exec: done.elapsed,
+            io: done.io,
+            miss: done.miss,
+        });
+    }
     let counters = &mut stats.per_node[node.index()];
     counters.0 += 1;
     if done.miss {
@@ -348,22 +503,65 @@ fn handle_task_done(
     // §V-B corrections.
     if done.miss {
         stats.cache_misses += 1;
+        let bytes = store.chunk_bytes(done.chunk);
+        if tracing {
+            config.probe.on_event(&TraceEvent::EstimateCorrection {
+                now,
+                chunk: done.chunk,
+                old: tables.estimate.get(done.chunk, bytes, &config.cost),
+                new: done.io,
+            });
+            for &victim in &done.evicted {
+                config.probe.on_event(&TraceEvent::CacheEvict {
+                    now,
+                    node,
+                    chunk: victim,
+                });
+            }
+            config.probe.on_event(&TraceEvent::CacheLoad {
+                now,
+                node,
+                chunk: done.chunk,
+            });
+        }
         tables.estimate.record(done.chunk, done.io);
         tables
             .cache
-            .reconcile_load(node, done.chunk, store.chunk_bytes(done.chunk), &done.evicted);
+            .reconcile_load(node, done.chunk, bytes, &done.evicted);
     } else {
         stats.cache_hits += 1;
     }
     let queue = &mut outstanding[node.index()];
-    if !queue.is_empty() {
-        queue.remove(0);
+    // Completions normally return in dispatch order (nodes are FIFO), but
+    // match on identity to stay robust against reordered reports.
+    match queue
+        .iter()
+        .position(|t| t.job == done.job && t.index == done.index)
+    {
+        Some(i) => {
+            queue.remove(i);
+        }
+        None if !queue.is_empty() => {
+            queue.remove(0);
+        }
+        None => {}
     }
-    let backlog =
-        queue.iter().fold(SimDuration::ZERO, |acc, &d| acc + d);
+    let backlog = queue
+        .iter()
+        .fold(SimDuration::ZERO, |acc, t| acc + t.predicted_exec);
+    if tracing {
+        config.probe.on_event(&TraceEvent::AvailableCorrection {
+            now,
+            node,
+            old: tables.available.get(node),
+            new: now + backlog,
+        });
+    }
     tables.available.correct(node, now + backlog);
 
-    let Some(job) = pending.get_mut(&done.job) else { return };
+    let Some(job) = pending.get_mut(&done.job) else {
+        return;
+    };
     job.layers.push(done.layer);
     job.misses += u32::from(done.miss);
     job.remaining -= 1;
@@ -380,6 +578,13 @@ fn handle_task_done(
         stats.jobs_completed += 1;
         let latency = now.saturating_since(job.issued);
         *latency_total += latency.as_secs_f64();
+        if tracing {
+            config.probe.on_event(&TraceEvent::JobDone {
+                now,
+                job: done.job,
+                latency,
+            });
+        }
         let _ = job.reply.send(FrameResult {
             job: done.job,
             image: Arc::new(image),

@@ -23,6 +23,17 @@ pub mod wire;
 
 pub use client::ServiceClient;
 pub use head::{ServiceConfig, ServiceStats, VizService};
-pub use protocol::{FrameResult, RenderRequest};
+pub use protocol::{FrameResult, RenderRequest, RenderTask, TaskDone, ToHead, ToNode};
 pub use storage::{ChunkStore, StoreDataset};
 pub use tcp::{RemoteClient, TcpServer};
+
+/// The one-line import for service experiments: assembly, client, storage,
+/// the full protocol surface, and the probe machinery the head reports to.
+pub mod prelude {
+    pub use crate::client::ServiceClient;
+    pub use crate::head::{ServiceConfig, ServiceStats, VizService};
+    pub use crate::protocol::{FrameResult, RenderRequest, RenderTask, TaskDone, ToHead, ToNode};
+    pub use crate::storage::{ChunkStore, StoreDataset};
+    pub use crate::tcp::{RemoteClient, TcpServer};
+    pub use vizsched_metrics::{CollectingProbe, JsonlProbe, NoopProbe, Probe, TraceEvent};
+}

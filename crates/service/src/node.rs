@@ -60,17 +60,28 @@ fn execute(
     // Fetch: the data I/O stage of the pipeline (Fig. 2).
     let (brick, io, miss, evicted) = if cache.contains(task.chunk) {
         cache.touch(task.chunk);
-        (bricks[&task.chunk].clone(), SimDuration::ZERO, false, Vec::new())
+        (
+            bricks[&task.chunk].clone(),
+            SimDuration::ZERO,
+            false,
+            Vec::new(),
+        )
     } else {
-        let (brick, took) =
-            store.load(task.chunk).expect("chunk store lost a brick file");
+        let (brick, took) = store
+            .load(task.chunk)
+            .expect("chunk store lost a brick file");
         let bytes = store.chunk_bytes(task.chunk);
         let evicted = cache.load(task.chunk, bytes);
         for victim in &evicted {
             bricks.remove(victim);
         }
         bricks.insert(task.chunk, brick.clone());
-        (brick, SimDuration::from_micros(took.as_micros() as u64), true, evicted)
+        (
+            brick,
+            SimDuration::from_micros(took.as_micros() as u64),
+            true,
+            evicted,
+        )
     };
 
     // Render: ray-cast the brick into a depth-tagged layer.

@@ -88,14 +88,24 @@ impl ChunkStore {
                 id,
                 name: format!("{}-{}", spec.field.name(), d),
                 bytes: total_bytes,
-                dims: Some([spec.dims[0] as u32, spec.dims[1] as u32, spec.dims[2] as u32]),
+                dims: Some([
+                    spec.dims[0] as u32,
+                    spec.dims[1] as u32,
+                    spec.dims[2] as u32,
+                ]),
             });
             chunk_lists.push(chunk_list);
         }
         // The catalog mirrors the *physical* bricking exactly — per-brick
         // byte sizes and per-dataset brick counts.
         let catalog = Catalog::from_chunks(descs, chunk_lists);
-        Ok(ChunkStore { root: root.to_path_buf(), catalog, brick_meta, throttle: None, gate: Mutex::new(()) })
+        Ok(ChunkStore {
+            root: root.to_path_buf(),
+            catalog,
+            brick_meta,
+            throttle: None,
+            gate: Mutex::new(()),
+        })
     }
 
     /// Directory holding the brick files.
@@ -116,10 +126,9 @@ impl ChunkStore {
     /// Read one brick from disk, sleeping to honour the throttle. Returns
     /// the brick and the measured wall-clock read time.
     pub fn load(&self, chunk: ChunkId) -> std::io::Result<(Arc<Brick<f32>>, Duration)> {
-        let meta = self
-            .brick_meta
-            .get(&chunk)
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, format!("no chunk {chunk}")))?;
+        let meta = self.brick_meta.get(&chunk).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, format!("no chunk {chunk}"))
+        })?;
         let start = Instant::now();
         let volume = vizsched_volume::io::read_f32(&meta.path)?;
         assert_eq!(volume.dims, meta.dims, "brick file dims changed on disk");
@@ -161,8 +170,16 @@ mod tests {
         ChunkStore::create(
             &root,
             &[
-                StoreDataset { field: Field::Shells, dims: [16, 16, 32], bricks: 4 },
-                StoreDataset { field: Field::Plume, dims: [16, 16, 32], bricks: 4 },
+                StoreDataset {
+                    field: Field::Shells,
+                    dims: [16, 16, 32],
+                    bricks: 4,
+                },
+                StoreDataset {
+                    field: Field::Plume,
+                    dims: [16, 16, 32],
+                    bricks: 4,
+                },
             ],
         )
         .unwrap()

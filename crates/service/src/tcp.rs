@@ -53,7 +53,11 @@ impl TcpServer {
                 }
             }
         });
-        Ok(TcpServer { addr: local, stop, accept_thread: Some(accept_thread) })
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address (for clients).
@@ -172,12 +176,22 @@ impl RemoteClient {
         })
     }
 
-    fn submit(&self, kind: JobKind, dataset: DatasetId, frame: FrameParams)
-        -> io::Result<Receiver<WireResponse>> {
+    fn submit(
+        &self,
+        kind: JobKind,
+        dataset: DatasetId,
+        frame: FrameParams,
+    ) -> io::Result<Receiver<WireResponse>> {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded();
         self.pending.lock().insert(request_id, tx);
-        let req = WireRequest { request_id, user: self.user, kind, dataset, frame };
+        let req = WireRequest {
+            request_id,
+            user: self.user,
+            kind,
+            dataset,
+            frame,
+        };
         let mut socket = self.writer.lock();
         write_message(&mut *socket, &WireMessage::Request(req))?;
         Ok(rx)
@@ -191,7 +205,14 @@ impl RemoteClient {
         dataset: DatasetId,
         frame: FrameParams,
     ) -> io::Result<Receiver<WireResponse>> {
-        self.submit(JobKind::Interactive { user: self.user, action }, dataset, frame)
+        self.submit(
+            JobKind::Interactive {
+                user: self.user,
+                action,
+            },
+            dataset,
+            frame,
+        )
     }
 
     /// Submit one batch frame.
@@ -203,7 +224,11 @@ impl RemoteClient {
         frame: FrameParams,
     ) -> io::Result<Receiver<WireResponse>> {
         self.submit(
-            JobKind::Batch { user: self.user, request, frame: frame_index },
+            JobKind::Batch {
+                user: self.user,
+                request,
+                frame: frame_index,
+            },
             dataset,
             frame,
         )

@@ -111,7 +111,11 @@ fn encode_kind(buf: &mut BytesMut, kind: &JobKind) {
             buf.put_u64_le(action.0);
             buf.put_u32_le(0);
         }
-        JobKind::Batch { user, request, frame } => {
+        JobKind::Batch {
+            user,
+            request,
+            frame,
+        } => {
             buf.put_u8(1);
             buf.put_u32_le(user.0);
             buf.put_u64_le(request.0);
@@ -126,8 +130,15 @@ fn decode_kind(buf: &mut impl Buf) -> io::Result<JobKind> {
     let id = buf.get_u64_le();
     let frame = buf.get_u32_le();
     match tag {
-        0 => Ok(JobKind::Interactive { user, action: ActionId(id) }),
-        1 => Ok(JobKind::Batch { user, request: BatchId(id), frame }),
+        0 => Ok(JobKind::Interactive {
+            user,
+            action: ActionId(id),
+        }),
+        1 => Ok(JobKind::Batch {
+            user,
+            request: BatchId(id),
+            frame,
+        }),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unknown job-kind tag {other}"),
@@ -253,9 +264,17 @@ mod tests {
         WireRequest {
             request_id: 7,
             user: UserId(3),
-            kind: JobKind::Interactive { user: UserId(3), action: ActionId(9) },
+            kind: JobKind::Interactive {
+                user: UserId(3),
+                action: ActionId(9),
+            },
             dataset: DatasetId(2),
-            frame: FrameParams { azimuth: 0.5, elevation: -0.25, distance: 2.5, transfer_fn: 1 },
+            frame: FrameParams {
+                azimuth: 0.5,
+                elevation: -0.25,
+                distance: 2.5,
+                transfer_fn: 1,
+            },
         }
     }
 
@@ -274,7 +293,11 @@ mod tests {
     #[test]
     fn batch_request_round_trips() {
         let mut req = sample_request();
-        req.kind = JobKind::Batch { user: UserId(3), request: BatchId(4), frame: 17 };
+        req.kind = JobKind::Batch {
+            user: UserId(3),
+            request: BatchId(4),
+            frame: 17,
+        };
         let msg = WireMessage::Request(req);
         assert_eq!(round_trip(msg.clone()), msg);
     }
@@ -283,16 +306,12 @@ mod tests {
     fn response_round_trips_with_pixels() {
         let mut image = RgbaImage::transparent(3, 2);
         *image.at_mut(1, 0) = [0.25, 0.5, 0.75, 1.0];
-        let resp = WireResponse::from_image(
-            42,
-            JobId(5),
-            SimDuration::from_millis(12),
-            3,
-            &image,
-        );
+        let resp = WireResponse::from_image(42, JobId(5), SimDuration::from_millis(12), 3, &image);
         let msg = WireMessage::Response(Box::new(resp.clone()));
         let back = round_trip(msg);
-        let WireMessage::Response(back) = back else { panic!("wrong tag") };
+        let WireMessage::Response(back) = back else {
+            panic!("wrong tag")
+        };
         assert_eq!(*back, resp);
         // Quantization round-trip is within 1/255 per channel.
         let reconstructed = back.to_image();

@@ -18,8 +18,16 @@ fn small_service(tag: &str) -> (VizService, PathBuf) {
     let store = ChunkStore::create(
         &root,
         &[
-            StoreDataset { field: Field::Shells, dims: [24, 24, 32], bricks: 4 },
-            StoreDataset { field: Field::Plume, dims: [24, 24, 32], bricks: 4 },
+            StoreDataset {
+                field: Field::Shells,
+                dims: [24, 24, 32],
+                bricks: 4,
+            },
+            StoreDataset {
+                field: Field::Plume,
+                dims: [24, 24, 32],
+                bricks: 4,
+            },
         ],
     )
     .unwrap();
@@ -33,7 +41,10 @@ fn small_service(tag: &str) -> (VizService, PathBuf) {
 }
 
 fn frame(azimuth: f32) -> FrameParams {
-    FrameParams { azimuth, ..FrameParams::default() }
+    FrameParams {
+        azimuth,
+        ..FrameParams::default()
+    }
 }
 
 #[test]
@@ -41,16 +52,24 @@ fn interactive_frame_renders_end_to_end() {
     let (service, root) = small_service("interactive");
     let client = ServiceClient::new(UserId(0), service.request_sender());
     let rx = client.render_interactive(ActionId(0), DatasetId(0), frame(0.3));
-    let result = rx.recv_timeout(Duration::from_secs(30)).expect("frame arrives");
+    let result = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("frame arrives");
     assert_eq!(result.image.width, 64);
     assert_eq!(result.image.height, 64);
-    assert!(result.image.coverage() > 0.01, "coverage = {}", result.image.coverage());
+    assert!(
+        result.image.coverage() > 0.01,
+        "coverage = {}",
+        result.image.coverage()
+    );
     // First touch of a dataset is all cache misses (4 bricks).
     assert_eq!(result.cache_misses, 4);
 
     // Second frame over the same dataset: everything is cached.
     let rx = client.render_interactive(ActionId(0), DatasetId(0), frame(0.35));
-    let warm = rx.recv_timeout(Duration::from_secs(30)).expect("frame arrives");
+    let warm = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("frame arrives");
     assert_eq!(warm.cache_misses, 0, "second frame must be all hits");
 
     let stats = service.shutdown();
@@ -69,7 +88,9 @@ fn batch_animation_delivers_every_frame() {
     let rx = client.render_batch(BatchId(0), DatasetId(1), &frames);
     let mut received = 0;
     while received < 6 {
-        let result = rx.recv_timeout(Duration::from_secs(60)).expect("batch frame arrives");
+        let result = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("batch frame arrives");
         assert!(result.image.coverage() > 0.0);
         received += 1;
     }
@@ -89,8 +110,14 @@ fn concurrent_users_on_different_datasets() {
         rxs.push(b.render_interactive(ActionId(1), DatasetId(1), frame(-(i as f32) * 0.1)));
     }
     for rx in rxs {
-        let result = rx.recv_timeout(Duration::from_secs(60)).expect("frame arrives");
-        assert!(result.image.pixels.iter().all(|p| p.iter().all(|c| c.is_finite())));
+        let result = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("frame arrives");
+        assert!(result
+            .image
+            .pixels
+            .iter()
+            .all(|p| p.iter().all(|c| c.is_finite())));
     }
     let stats = service.shutdown();
     assert_eq!(stats.jobs_completed, 10);
@@ -111,7 +138,11 @@ fn rendered_frames_match_between_modes() {
     let img1 = rx1.recv_timeout(Duration::from_secs(30)).unwrap().image;
     let rx2 = client.render_batch(BatchId(1), DatasetId(0), &[f]);
     let img2 = rx2.recv_timeout(Duration::from_secs(60)).unwrap().image;
-    assert_eq!(img1.max_abs_diff(&img2), 0.0, "same frame params, same pixels");
+    assert_eq!(
+        img1.max_abs_diff(&img2),
+        0.0,
+        "same frame params, same pixels"
+    );
     std::fs::remove_dir_all(root).ok();
 }
 
@@ -124,7 +155,10 @@ fn drain_completes_all_accepted_work() {
     let frames: Vec<FrameParams> = (0..10).map(|i| frame(i as f32 * 0.1)).collect();
     let rx = client.render_batch(BatchId(5), DatasetId(0), &frames);
     let stats = service.drain_and_shutdown();
-    assert_eq!(stats.jobs_completed, 10, "drain must finish every accepted job");
+    assert_eq!(
+        stats.jobs_completed, 10,
+        "drain must finish every accepted job"
+    );
     // All results are sitting in the channel.
     let mut received = 0;
     while rx.try_recv().is_ok() {
@@ -182,7 +216,11 @@ fn every_scheduler_runs_the_live_service() {
         let root = temp_root(&format!("sched-{}", kind.name()));
         let store = ChunkStore::create(
             &root,
-            &[StoreDataset { field: Field::Shells, dims: [16, 16, 16], bricks: 4 }],
+            &[StoreDataset {
+                field: Field::Shells,
+                dims: [16, 16, 16],
+                bricks: 4,
+            }],
         )
         .unwrap();
         let config = ServiceConfig {
@@ -198,7 +236,11 @@ fn every_scheduler_runs_the_live_service() {
         let result = rx
             .recv_timeout(Duration::from_secs(30))
             .unwrap_or_else(|e| panic!("{} never delivered: {e}", kind.name()));
-        assert!(result.image.pixels.iter().all(|p| p.iter().all(|c| c.is_finite())));
+        assert!(result
+            .image
+            .pixels
+            .iter()
+            .all(|p| p.iter().all(|c| c.is_finite())));
         let stats = service.drain_and_shutdown();
         assert_eq!(stats.jobs_completed, 1, "{}", kind.name());
         std::fs::remove_dir_all(root).ok();
@@ -211,22 +253,45 @@ fn datasets_with_different_brick_counts_coexist() {
     let store = ChunkStore::create(
         &root,
         &[
-            StoreDataset { field: Field::Shells, dims: [16, 16, 16], bricks: 2 },
-            StoreDataset { field: Field::Plume, dims: [16, 16, 48], bricks: 6 },
+            StoreDataset {
+                field: Field::Shells,
+                dims: [16, 16, 16],
+                bricks: 2,
+            },
+            StoreDataset {
+                field: Field::Plume,
+                dims: [16, 16, 48],
+                bricks: 6,
+            },
         ],
     )
     .unwrap();
     assert_eq!(store.catalog().task_count(DatasetId(0)), 2);
     assert_eq!(store.catalog().task_count(DatasetId(1)), 6);
     let service = VizService::start(
-        ServiceConfig { nodes: 3, mem_quota: 1 << 20, image_size: (32, 32), ..ServiceConfig::default() },
+        ServiceConfig {
+            nodes: 3,
+            mem_quota: 1 << 20,
+            image_size: (32, 32),
+            ..ServiceConfig::default()
+        },
         Arc::new(store),
     );
     let client = ServiceClient::new(UserId(0), service.request_sender());
     let a = client.render_interactive(ActionId(0), DatasetId(0), frame(0.1));
     let b = client.render_interactive(ActionId(1), DatasetId(1), frame(0.2));
-    assert_eq!(a.recv_timeout(Duration::from_secs(30)).unwrap().cache_misses, 2);
-    assert_eq!(b.recv_timeout(Duration::from_secs(30)).unwrap().cache_misses, 6);
+    assert_eq!(
+        a.recv_timeout(Duration::from_secs(30))
+            .unwrap()
+            .cache_misses,
+        2
+    );
+    assert_eq!(
+        b.recv_timeout(Duration::from_secs(30))
+            .unwrap()
+            .cache_misses,
+        6
+    );
     let stats = service.drain_and_shutdown();
     assert_eq!(stats.jobs_completed, 2);
     std::fs::remove_dir_all(root).ok();
@@ -264,8 +329,12 @@ fn remote_client_renders_over_tcp() {
 
     let client = RemoteClient::connect(addr, UserId(5)).expect("connect");
     // Pipeline three frames before reading any response.
-    let rx1 = client.render_interactive(ActionId(0), DatasetId(0), frame(0.1)).unwrap();
-    let rx2 = client.render_interactive(ActionId(0), DatasetId(0), frame(0.2)).unwrap();
+    let rx1 = client
+        .render_interactive(ActionId(0), DatasetId(0), frame(0.1))
+        .unwrap();
+    let rx2 = client
+        .render_interactive(ActionId(0), DatasetId(0), frame(0.2))
+        .unwrap();
     let rx3 = client
         .render_batch_frame(BatchId(0), 0, DatasetId(1), frame(0.3))
         .unwrap();
@@ -282,12 +351,17 @@ fn remote_client_renders_over_tcp() {
     // pipelined frames straddle a scheduling cycle the scheduler may
     // replicate a chunk, so allow up to one extra load per brick.
     let loads = r1.cache_misses + r2.cache_misses;
-    assert!((4..=8).contains(&loads), "dataset 0 loads out of range: {loads}");
+    assert!(
+        (4..=8).contains(&loads),
+        "dataset 0 loads out of range: {loads}"
+    );
     assert_eq!(r3.cache_misses, 4, "dataset 1 cold");
 
     // A second client shares the warm service.
     let other = RemoteClient::connect(addr, UserId(6)).expect("connect");
-    let rx = other.render_interactive(ActionId(9), DatasetId(0), frame(0.15)).unwrap();
+    let rx = other
+        .render_interactive(ActionId(9), DatasetId(0), frame(0.15))
+        .unwrap();
     let warm = rx.recv_timeout(Duration::from_secs(60)).expect("frame");
     assert_eq!(warm.cache_misses, 0, "dataset 0 fully cached by now");
 
@@ -296,5 +370,67 @@ fn remote_client_renders_over_tcp() {
     server.stop();
     let stats = service.drain_and_shutdown();
     assert_eq!(stats.jobs_completed, 4);
+    std::fs::remove_dir_all(root).ok();
+}
+
+#[test]
+fn probe_observes_the_live_head_loop() {
+    use vizsched_metrics::{CollectingProbe, TraceEvent};
+
+    let root = temp_root("probe");
+    let store = ChunkStore::create(
+        &root,
+        &[StoreDataset {
+            field: Field::Shells,
+            dims: [24, 24, 32],
+            bricks: 4,
+        }],
+    )
+    .unwrap();
+    let probe = Arc::new(CollectingProbe::new());
+    let config = ServiceConfig::default()
+        .nodes(4)
+        .mem_quota(1 << 20)
+        .image_size(64, 64)
+        .probe(probe.clone());
+    let service = VizService::start(config, Arc::new(store));
+    let client = ServiceClient::new(UserId(0), service.request_sender());
+    for i in 0..3 {
+        let rx = client.render_interactive(ActionId(0), DatasetId(0), frame(i as f32 * 0.1));
+        rx.recv_timeout(Duration::from_secs(30)).expect("frame");
+    }
+    let stats = service.drain_and_shutdown();
+    assert_eq!(stats.jobs_completed, 3);
+
+    // The live head loop reports through the same event schema as the
+    // simulator, and the stream must be internally consistent.
+    let events = probe.take();
+    let count = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count();
+    let starts = count(&|e| matches!(e, TraceEvent::CycleStart { .. }));
+    let ends = count(&|e| matches!(e, TraceEvent::CycleEnd { .. }));
+    let assigns = count(&|e| matches!(e, TraceEvent::Assignment { .. }));
+    let dones = count(&|e| matches!(e, TraceEvent::TaskDone { .. }));
+    let jobs_done = count(&|e| matches!(e, TraceEvent::JobDone { .. }));
+    let loads = count(&|e| matches!(e, TraceEvent::CacheLoad { .. }));
+    let estimates = count(&|e| matches!(e, TraceEvent::EstimateCorrection { .. }));
+    assert_eq!(starts, ends, "every cycle start has a matching end");
+    assert_eq!(assigns, 12, "3 jobs x 4 bricks dispatched");
+    assert_eq!(dones, 12, "every dispatched task reports back");
+    assert_eq!(jobs_done, 3);
+    assert_eq!(loads, 4, "first frame cold-loads each brick once");
+    assert_eq!(estimates, 4, "each miss corrects Estimate[c]");
+    // Observed timings are sane: start + exec never precede the report.
+    for e in &events {
+        if let TraceEvent::TaskDone {
+            now, started, exec, ..
+        } = e
+        {
+            assert!(*started <= *now, "task started before it finished");
+            assert!(*started + *exec <= *now + vizsched_core::time::SimDuration::from_millis(1));
+        }
+    }
+    // The JSONL serialization of a live stream parses line-per-event.
+    let jsonl = vizsched_metrics::events_to_jsonl(&events);
+    assert_eq!(jsonl.lines().count(), events.len());
     std::fs::remove_dir_all(root).ok();
 }

@@ -24,6 +24,8 @@
 
 use crate::event::{EventKind, EventQueue};
 use crate::node::SimNode;
+use crate::options::{RunOptions, SchedulerChoice};
+use std::sync::Arc;
 use std::time::Instant;
 use vizsched_core::cluster::ClusterSpec;
 use vizsched_core::cost::{CostParams, JobTiming};
@@ -34,7 +36,7 @@ use vizsched_core::job::Job;
 use vizsched_core::memory::EvictionPolicy;
 use vizsched_core::sched::{Assignment, ScheduleCtx, Scheduler, SchedulerKind, Trigger};
 use vizsched_core::time::{SimDuration, SimTime};
-use vizsched_metrics::{JobRecord, RunRecord};
+use vizsched_metrics::{JobRecord, Probe, RunRecord, TraceEvent};
 
 /// A fault-injection event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,6 +86,11 @@ pub struct SimConfig {
     /// models independent per-node disks. The slowdown is fixed at load
     /// start — a first-order approximation of fair-shared bandwidth.
     pub shared_fs_capacity: Option<u32>,
+    /// Perturbation seed folded into the per-task execution-jitter hash;
+    /// two runs differing only in seed see independent (but each fully
+    /// reproducible) noise realizations. Usually set per run via
+    /// [`RunOptions::seed`].
+    pub jitter_seed: u64,
 }
 
 impl SimConfig {
@@ -101,6 +108,7 @@ impl SimConfig {
             warm_start: false,
             gpu_quota: None,
             shared_fs_capacity: None,
+            jitter_seed: 0,
         }
     }
 }
@@ -170,24 +178,68 @@ impl Simulation {
         &self.config
     }
 
+    /// Run one policy over `jobs` (must be sorted by issue time) under
+    /// [`RunOptions`]: label, probe, per-run overrides, `Estimate[c]`
+    /// pre-seeding.
+    pub fn run_opts(&self, jobs: Vec<Job>, opts: RunOptions) -> SimOutcome {
+        let mut config = self.config.clone();
+        if let Some(cost) = opts.cost {
+            config.cost = cost;
+        }
+        if let Some(cycle) = opts.cycle {
+            config.cycle = cycle;
+        }
+        if let Some(eviction) = opts.eviction {
+            config.eviction = eviction;
+        }
+        if let Some(faults) = opts.faults {
+            config.faults = faults;
+        }
+        if let Some(jitter) = opts.exec_jitter {
+            config.exec_jitter = jitter;
+        }
+        if let Some(warm) = opts.warm_start {
+            config.warm_start = warm;
+        }
+        if let Some(trace) = opts.record_trace {
+            config.record_trace = trace;
+        }
+        if let Some(seed) = opts.seed {
+            config.jitter_seed = seed;
+            if let EvictionPolicy::Random { seed: base } = config.eviction {
+                config.eviction = EvictionPolicy::Random {
+                    seed: base.wrapping_add(seed),
+                };
+            }
+        }
+        let scheduler = match opts.scheduler {
+            SchedulerChoice::Kind(kind) => kind.build(config.cycle),
+            SchedulerChoice::Instance(instance) => instance,
+        };
+        let policy = scheduler.decomposition(config.chunk_max, config.cluster.len() as u32);
+        let catalog = Catalog::new(self.datasets.clone(), policy);
+        let mut engine = Engine::new(&config, catalog, scheduler, &opts.label, opts.probe);
+        for (chunk, estimate) in opts.initial_estimates {
+            engine.tables.estimate.record(chunk, estimate);
+        }
+        engine.run(jobs)
+    }
+
     /// Run `kind` over `jobs` (must be sorted by issue time).
+    #[deprecated(note = "use `run_opts(jobs, RunOptions::new(kind).label(scenario))`")]
     pub fn run(&self, kind: SchedulerKind, jobs: Vec<Job>, scenario: &str) -> SimOutcome {
-        let scheduler = kind.build(self.config.cycle);
-        self.run_with(scheduler, jobs, scenario)
+        self.run_opts(jobs, RunOptions::new(kind).label(scenario))
     }
 
     /// Run an explicit scheduler instance (for parameter ablations).
+    #[deprecated(note = "use `run_opts(jobs, RunOptions::with_scheduler(s).label(scenario))`")]
     pub fn run_with(
         &self,
         scheduler: Box<dyn Scheduler>,
         jobs: Vec<Job>,
         scenario: &str,
     ) -> SimOutcome {
-        let policy =
-            scheduler.decomposition(self.config.chunk_max, self.config.cluster.len() as u32);
-        let catalog = Catalog::new(self.datasets.clone(), policy);
-        let mut engine = Engine::new(&self.config, catalog, scheduler, scenario);
-        engine.run(jobs)
+        self.run_opts(jobs, RunOptions::with_scheduler(scheduler).label(scenario))
     }
 }
 
@@ -195,6 +247,21 @@ struct JobState {
     record: JobRecord,
     remaining: u32,
     max_finish: SimTime,
+}
+
+/// The probe view of one commitment: the placement plus the predictions it
+/// was based on.
+fn assignment_event(now: SimTime, a: &Assignment) -> TraceEvent {
+    TraceEvent::Assignment {
+        now,
+        job: a.task.job,
+        task: a.task.index,
+        chunk: a.task.chunk,
+        node: a.node,
+        predicted_start: a.predicted_start,
+        predicted_exec: a.predicted_exec,
+        interactive: a.task.interactive,
+    }
 }
 
 struct Engine<'a> {
@@ -218,6 +285,7 @@ struct Engine<'a> {
     makespan: SimTime,
     /// Disk loads currently in flight (shared-FS contention input).
     loads_in_flight: u32,
+    probe: Arc<dyn Probe>,
 }
 
 impl<'a> Engine<'a> {
@@ -226,6 +294,7 @@ impl<'a> Engine<'a> {
         catalog: Catalog,
         scheduler: Box<dyn Scheduler>,
         scenario: &str,
+        probe: Arc<dyn Probe>,
     ) -> Self {
         let tables = match config.gpu_quota {
             Some(gpu) => vizsched_core::tables::HeadTables::with_gpu_tier(
@@ -233,10 +302,9 @@ impl<'a> Engine<'a> {
                 gpu,
                 config.eviction,
             ),
-            None => vizsched_core::tables::HeadTables::with_eviction(
-                &config.cluster,
-                config.eviction,
-            ),
+            None => {
+                vizsched_core::tables::HeadTables::with_eviction(&config.cluster, config.eviction)
+            }
         };
         let nodes = config
             .cluster
@@ -244,13 +312,15 @@ impl<'a> Engine<'a> {
             .iter()
             .enumerate()
             .map(|(k, spec)| {
-                SimNode::new(
+                let mut node = SimNode::new(
                     NodeId(k as u32),
                     spec.mem_quota,
                     config.eviction,
                     spec.disk_scale,
                     config.gpu_quota,
-                )
+                );
+                node.jitter_seed = config.jitter_seed;
+                node
             })
             .collect();
         Engine {
@@ -272,6 +342,7 @@ impl<'a> Engine<'a> {
             jobs_scheduled: 0,
             makespan: SimTime::ZERO,
             loads_in_flight: 0,
+            probe,
         }
     }
 
@@ -329,6 +400,13 @@ impl<'a> Engine<'a> {
                     if let Some(gpu) = &mut self.tables.gpu_cache {
                         gpu.record_load(node, chunk.id, chunk.bytes);
                     }
+                    if self.probe.enabled() {
+                        self.probe.on_event(&TraceEvent::CacheLoad {
+                            now: SimTime::ZERO,
+                            node,
+                            chunk: chunk.id,
+                        });
+                    }
                 }
             }
         }
@@ -380,9 +458,23 @@ impl<'a> Engine<'a> {
             self.loads_in_flight = self.loads_in_flight.saturating_sub(1);
         }
         self.makespan = self.makespan.max(done.finish);
+        let tracing = self.probe.enabled();
 
         // Job bookkeeping.
         let task = done.assignment.task;
+        if tracing {
+            self.probe.on_event(&TraceEvent::TaskDone {
+                now: self.now,
+                job: task.job,
+                task: task.index,
+                chunk: task.chunk,
+                node,
+                started: done.started,
+                exec: done.finish.saturating_since(done.started),
+                io: done.io,
+                miss: done.miss,
+            });
+        }
         if let Some(state) = self.jobs.get_mut(&task.job) {
             state.remaining -= 1;
             state.max_finish = state.max_finish.max(done.finish);
@@ -391,6 +483,13 @@ impl<'a> Engine<'a> {
             }
             if state.remaining == 0 {
                 state.record.timing.record_finish(state.max_finish);
+                if tracing {
+                    self.probe.on_event(&TraceEvent::JobDone {
+                        now: self.now,
+                        job: task.job,
+                        latency: state.max_finish.saturating_since(state.record.timing.issue),
+                    });
+                }
             }
         }
         if self.config.record_trace {
@@ -408,8 +507,34 @@ impl<'a> Engine<'a> {
         // node's authoritative load/evictions, available from the real
         // backlog.
         if done.miss {
+            if tracing {
+                let old = self
+                    .tables
+                    .estimate
+                    .get(task.chunk, task.bytes, &self.config.cost);
+                self.probe.on_event(&TraceEvent::EstimateCorrection {
+                    now: self.now,
+                    chunk: task.chunk,
+                    old,
+                    new: done.io,
+                });
+                for &victim in &done.evicted {
+                    self.probe.on_event(&TraceEvent::CacheEvict {
+                        now: self.now,
+                        node,
+                        chunk: victim,
+                    });
+                }
+                self.probe.on_event(&TraceEvent::CacheLoad {
+                    now: self.now,
+                    node,
+                    chunk: task.chunk,
+                });
+            }
             self.tables.estimate.record(task.chunk, done.io);
-            self.tables.cache.reconcile_load(node, task.chunk, task.bytes, &done.evicted);
+            self.tables
+                .cache
+                .reconcile_load(node, task.chunk, task.bytes, &done.evicted);
         }
         if let Some(gpu) = &mut self.tables.gpu_cache {
             if done.tier != vizsched_core::tiered::Tier::Gpu {
@@ -420,6 +545,14 @@ impl<'a> Engine<'a> {
             }
         }
         let backlog = self.nodes[node.index()].predicted_backlog;
+        if tracing {
+            self.probe.on_event(&TraceEvent::AvailableCorrection {
+                now: self.now,
+                node,
+                old: self.tables.available.get(node),
+                new: self.now + backlog,
+            });
+        }
         self.tables.available.correct(node, self.now + backlog);
 
         self.start_node(node);
@@ -433,6 +566,13 @@ impl<'a> Engine<'a> {
     fn on_crash(&mut self, node: NodeId) {
         let lost = self.nodes[node.index()].crash();
         self.tables.mark_down(node);
+        if self.probe.enabled() {
+            self.probe.on_event(&TraceEvent::NodeDown {
+                now: self.now,
+                node,
+                lost_tasks: lost.len(),
+            });
+        }
         if self.tables.live_nodes().next().is_none() {
             // Whole cluster down: the lost work is gone for good.
             return;
@@ -452,23 +592,37 @@ impl<'a> Engine<'a> {
                 ctx.commit(a.task, node, a.group)
             })
             .collect();
+        if self.probe.enabled() {
+            for a in &reassigned {
+                self.probe.on_event(&assignment_event(self.now, a));
+            }
+        }
         self.dispatch(reassigned);
     }
 
     fn on_recover(&mut self, node: NodeId) {
         self.nodes[node.index()].recover();
         self.tables.mark_up(node, self.now);
+        if self.probe.enabled() {
+            self.probe.on_event(&TraceEvent::NodeUp {
+                now: self.now,
+                node,
+            });
+        }
     }
 
     fn arm_tick(&mut self) {
         if self.tick_armed {
             return;
         }
-        let Trigger::Cycle(cycle) = self.scheduler.trigger() else { return };
+        let Trigger::Cycle(cycle) = self.scheduler.trigger() else {
+            return;
+        };
         let omega = cycle.as_micros().max(1);
         let next = self.now.as_micros().div_ceil(omega) * omega;
         self.tick_armed = true;
-        self.events.push(SimTime::from_micros(next), EventKind::Tick);
+        self.events
+            .push(SimTime::from_micros(next), EventKind::Tick);
     }
 
     /// Arm the *next* cycle boundary strictly after `now` (used from within
@@ -477,14 +631,24 @@ impl<'a> Engine<'a> {
         if self.tick_armed {
             return;
         }
-        let Trigger::Cycle(cycle) = self.scheduler.trigger() else { return };
+        let Trigger::Cycle(cycle) = self.scheduler.trigger() else {
+            return;
+        };
         let omega = cycle.as_micros().max(1);
         let next = (self.now.as_micros() / omega + 1) * omega;
         self.tick_armed = true;
-        self.events.push(SimTime::from_micros(next), EventKind::Tick);
+        self.events
+            .push(SimTime::from_micros(next), EventKind::Tick);
     }
 
     fn invoke(&mut self, jobs: Vec<Job>) {
+        let tracing = self.probe.enabled();
+        if tracing {
+            self.probe.on_event(&TraceEvent::CycleStart {
+                now: self.now,
+                queued: jobs.len(),
+            });
+        }
         self.jobs_scheduled += jobs.len() as u64;
         self.sched_invocations += 1;
         let mut ctx = ScheduleCtx {
@@ -495,7 +659,18 @@ impl<'a> Engine<'a> {
         };
         let t0 = Instant::now();
         let assignments = self.scheduler.schedule(&mut ctx, jobs);
-        self.sched_wall_micros += t0.elapsed().as_micros() as u64;
+        let wall_micros = t0.elapsed().as_micros() as u64;
+        self.sched_wall_micros += wall_micros;
+        if tracing {
+            for a in &assignments {
+                self.probe.on_event(&assignment_event(self.now, a));
+            }
+            self.probe.on_event(&TraceEvent::CycleEnd {
+                now: self.now,
+                assignments: assignments.len(),
+                wall_micros,
+            });
+        }
         self.dispatch(assignments);
     }
 
@@ -513,25 +688,27 @@ impl<'a> Engine<'a> {
         // Shared-FS contention: loads starting now run slower the more
         // loads are already streaming from the file server.
         let contention = match self.config.shared_fs_capacity {
-            Some(capacity) if capacity > 0 => {
-                1.0 + self.loads_in_flight as f64 / capacity as f64
-            }
+            Some(capacity) if capacity > 0 => 1.0 + self.loads_in_flight as f64 / capacity as f64,
             _ => 1.0,
         };
         let n = &mut self.nodes[node.index()];
         if !n.is_idle() || n.crashed {
             return;
         }
-        let Some(running) =
-            n.start_next_contended(self.now, &self.config.cost, self.config.exec_jitter, contention)
-        else {
+        let Some(running) = n.start_next_contended(
+            self.now,
+            &self.config.cost,
+            self.config.exec_jitter,
+            contention,
+        ) else {
             return;
         };
         if running.miss {
             self.loads_in_flight += 1;
         }
         let (job, finish, generation) = (running.assignment.task.job, running.finish, n.generation);
-        self.events.push(finish, EventKind::TaskDone { node, generation });
+        self.events
+            .push(finish, EventKind::TaskDone { node, generation });
         if let Some(state) = self.jobs.get_mut(&job) {
             state.record.timing.record_start(self.now);
         }

@@ -8,9 +8,14 @@
 //! recoveries can be injected to exercise the fault-tolerance claim of
 //! §VI-D.
 //!
+//! Runs are configured through the builder-style [`RunOptions`]: the
+//! policy, a scenario label, per-run overrides (cycle, eviction, faults,
+//! jitter seed), and an optional [`vizsched_metrics::Probe`] receiving
+//! every scheduling decision, completion, and §V-B table correction.
+//!
 //! ```
 //! use vizsched_core::prelude::*;
-//! use vizsched_sim::{SimConfig, Simulation};
+//! use vizsched_sim::{RunOptions, SimConfig, Simulation};
 //!
 //! let cluster = ClusterSpec::homogeneous(4, 2 << 30);
 //! let config = SimConfig::new(cluster, CostParams::default(), 512 << 20);
@@ -23,7 +28,7 @@
 //!     issue_time: SimTime::ZERO,
 //!     frame: FrameParams::default(),
 //! };
-//! let outcome = sim.run(SchedulerKind::Ours, vec![job], "doc");
+//! let outcome = sim.run_opts(vec![job], RunOptions::new(SchedulerKind::Ours).label("doc"));
 //! assert_eq!(outcome.incomplete_jobs, 0);
 //! assert!(outcome.record.jobs[0].timing.latency().is_some());
 //! ```
@@ -34,9 +39,19 @@
 pub mod engine;
 pub mod event;
 pub mod node;
+pub mod options;
 pub mod trace;
 
 pub use engine::{Fault, NodeStats, SimConfig, SimOutcome, Simulation, TaskTrace};
 pub use event::{Event, EventKind, EventQueue};
 pub use node::{RunningTask, SimNode};
+pub use options::{RunOptions, SchedulerChoice};
 pub use trace::{ascii_gantt, node_utilization, trace_to_csv, NodeUtilization};
+
+/// The one-line import for simulation experiments: the simulation types,
+/// run configuration, and the probe machinery they plug into.
+pub mod prelude {
+    pub use crate::engine::{Fault, SimConfig, SimOutcome, Simulation};
+    pub use crate::options::{RunOptions, SchedulerChoice};
+    pub use vizsched_metrics::{CollectingProbe, JsonlProbe, NoopProbe, Probe, TraceEvent};
+}

@@ -68,6 +68,10 @@ pub struct SimNode {
     pub gpu_hits: u64,
     /// Total busy time (for utilization accounting).
     pub busy: SimDuration,
+    /// Seed folded into the per-task jitter hash (see
+    /// [`SimConfig::jitter_seed`](crate::SimConfig)); zero reproduces the
+    /// unseeded stream.
+    pub jitter_seed: u64,
 }
 
 impl SimNode {
@@ -83,9 +87,9 @@ impl SimNode {
     ) -> Self {
         assert!(disk_scale > 0.0, "disk scale must be positive");
         let eviction = match eviction {
-            EvictionPolicy::Random { seed } => {
-                EvictionPolicy::Random { seed: seed.wrapping_add(id.0 as u64) }
-            }
+            EvictionPolicy::Random { seed } => EvictionPolicy::Random {
+                seed: seed.wrapping_add(id.0 as u64),
+            },
             other => other,
         };
         let memory = match gpu_quota {
@@ -105,6 +109,7 @@ impl SimNode {
             misses: 0,
             gpu_hits: 0,
             busy: SimDuration::ZERO,
+            jitter_seed: 0,
         }
     }
 
@@ -155,11 +160,18 @@ impl SimNode {
             return None;
         }
         let assignment = self.queue.pop_front()?;
-        self.predicted_backlog = self.predicted_backlog.saturating_sub(assignment.predicted_exec);
+        self.predicted_backlog = self
+            .predicted_backlog
+            .saturating_sub(assignment.predicted_exec);
 
         let chunk = assignment.task.chunk;
         let bytes = assignment.task.bytes;
-        let factor = jitter_factor(assignment.task.job.0, chunk.as_u64(), self.id.0, jitter);
+        let factor = jitter_factor(
+            assignment.task.job.0 ^ self.jitter_seed,
+            chunk.as_u64(),
+            self.id.0,
+            jitter,
+        );
         let access = self.memory.access(chunk, bytes);
         let has_gpu = self.memory.has_gpu_tier();
         let (io, upload, miss) = match access.found {
@@ -170,11 +182,17 @@ impl SimNode {
             }
             Tier::Host => {
                 self.hits += 1;
-                (SimDuration::ZERO, cost.upload_time(bytes).mul_f64(factor), false)
+                (
+                    SimDuration::ZERO,
+                    cost.upload_time(bytes).mul_f64(factor),
+                    false,
+                )
             }
             Tier::Disk => {
                 self.misses += 1;
-                let io = cost.io_time(bytes).mul_f64(factor * io_slowdown / self.disk_scale);
+                let io = cost
+                    .io_time(bytes)
+                    .mul_f64(factor * io_slowdown / self.disk_scale);
                 let upload = if has_gpu {
                     cost.upload_time(bytes).mul_f64(factor)
                 } else {
@@ -236,7 +254,10 @@ pub fn jitter_factor(job: u64, chunk: u64, node: u32, amp: f64) -> f64 {
     if amp == 0.0 {
         return 1.0;
     }
-    debug_assert!((0.0..1.0).contains(&amp), "jitter amplitude must be in [0, 1)");
+    debug_assert!(
+        (0.0..1.0).contains(&amp),
+        "jitter amplitude must be in [0, 1)"
+    );
     let mut z = job
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(chunk.rotate_left(17))
@@ -312,7 +333,12 @@ mod tests {
         n.enqueue(assignment(1, 0, MIB));
         n.enqueue(assignment(2, 1, MIB));
         assert_eq!(n.predicted_backlog, SimDuration::from_millis(20));
-        let first = n.start_next(SimTime::ZERO, &cost, 0.0).unwrap().assignment.task.job;
+        let first = n
+            .start_next(SimTime::ZERO, &cost, 0.0)
+            .unwrap()
+            .assignment
+            .task
+            .job;
         assert_eq!(first, JobId(1));
         assert_eq!(n.predicted_backlog, SimDuration::from_millis(10));
         let fin = n.complete().finish;
@@ -336,8 +362,13 @@ mod tests {
     fn two_tier_node_charges_uploads() {
         let cost = CostParams::default();
         // GPU holds only one 512 MiB chunk; host holds four.
-        let mut n =
-            SimNode::new(NodeId(0), 2 << 30, EvictionPolicy::Lru, 1.0, Some(512 * MIB));
+        let mut n = SimNode::new(
+            NodeId(0),
+            2 << 30,
+            EvictionPolicy::Lru,
+            1.0,
+            Some(512 * MIB),
+        );
         // Cold: disk + upload.
         n.enqueue(assignment(1, 0, 512 * MIB));
         let r = n.start_next(SimTime::ZERO, &cost, 0.0).unwrap();

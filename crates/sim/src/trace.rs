@@ -35,7 +35,11 @@ pub struct NodeUtilization {
 }
 
 /// Summarize a trace into per-node utilization over `[0, horizon]`.
-pub fn node_utilization(trace: &[TaskTrace], nodes: usize, horizon: SimTime) -> Vec<NodeUtilization> {
+pub fn node_utilization(
+    trace: &[TaskTrace],
+    nodes: usize,
+    horizon: SimTime,
+) -> Vec<NodeUtilization> {
     let mut stats = vec![NodeUtilization::default(); nodes];
     for t in trace {
         let s = &mut stats[t.node.index()];
@@ -101,7 +105,11 @@ mod tests {
 
     #[test]
     fn utilization_accumulates_busy_time() {
-        let trace = vec![t(0, 0, 0, 50, true), t(1, 0, 50, 75, false), t(2, 1, 0, 25, false)];
+        let trace = vec![
+            t(0, 0, 0, 50, true),
+            t(1, 0, 50, 75, false),
+            t(2, 1, 0, 25, false),
+        ];
         let stats = node_utilization(&trace, 2, SimTime::from_millis(100));
         assert_eq!(stats[0].tasks, 2);
         assert_eq!(stats[0].misses, 1);
@@ -118,9 +126,17 @@ mod tests {
         assert!(rows[0].contains('X'));
         // The finish boundary cell is painted inclusively, so at least the
         // last four cells stay idle.
-        assert!(rows[0].ends_with("...."), "second half of node 0 idle: {}", rows[0]);
+        assert!(
+            rows[0].ends_with("...."),
+            "second half of node 0 idle: {}",
+            rows[0]
+        );
         assert!(rows[1].contains('#'));
-        assert!(rows[1].starts_with("R1  |....."), "first half of node 1 idle: {}", rows[1]);
+        assert!(
+            rows[1].starts_with("R1  |....."),
+            "first half of node 1 idle: {}",
+            rows[1]
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! tolerance.
 
 use vizsched_core::prelude::*;
-use vizsched_sim::{Fault, SimConfig, Simulation};
+use vizsched_sim::{Fault, RunOptions, SimConfig, Simulation};
 
 const GIB: u64 = 1 << 30;
 const MIB: u64 = 1 << 20;
@@ -11,7 +11,10 @@ const MIB: u64 = 1 << 20;
 fn interactive(id: u64, action: u64, dataset: u32, at: SimTime) -> Job {
     Job {
         id: JobId(id),
-        kind: JobKind::Interactive { user: UserId(action as u32), action: ActionId(action) },
+        kind: JobKind::Interactive {
+            user: UserId(action as u32),
+            action: ActionId(action),
+        },
         dataset: DatasetId(dataset),
         issue_time: at,
         frame: FrameParams::default(),
@@ -21,7 +24,11 @@ fn interactive(id: u64, action: u64, dataset: u32, at: SimTime) -> Job {
 fn batch(id: u64, request: u64, dataset: u32, at: SimTime) -> Job {
     Job {
         id: JobId(id),
-        kind: JobKind::Batch { user: UserId(900), request: BatchId(request), frame: 0 },
+        kind: JobKind::Batch {
+            user: UserId(900),
+            request: BatchId(request),
+            frame: 0,
+        },
         dataset: DatasetId(dataset),
         issue_time: at,
         frame: FrameParams::default(),
@@ -38,7 +45,10 @@ fn small_sim() -> Simulation {
 fn single_cold_job_latency_matches_cost_model() {
     let sim = small_sim();
     let cost = sim.config().cost;
-    let outcome = sim.run(SchedulerKind::Fcfs, vec![interactive(0, 0, 0, SimTime::ZERO)], "t");
+    let outcome = sim.run_opts(
+        vec![interactive(0, 0, 0, SimTime::ZERO)],
+        RunOptions::new(SchedulerKind::Fcfs).label("t"),
+    );
     assert_eq!(outcome.incomplete_jobs, 0);
     let job = &outcome.record.jobs[0];
     // 4 cold tasks spread over 4 idle nodes run fully in parallel; the job
@@ -59,7 +69,10 @@ fn warm_second_job_runs_in_milliseconds() {
     // Issue the second job well after the first completes.
     let later = SimTime::ZERO + io * 2;
     let j1 = interactive(1, 0, 0, later);
-    let outcome = sim.run(SchedulerKind::Fcfsl, vec![j0, j1], "t");
+    let outcome = sim.run_opts(
+        vec![j0, j1],
+        RunOptions::new(SchedulerKind::Fcfsl).label("t"),
+    );
     assert_eq!(outcome.incomplete_jobs, 0);
     let warm = &outcome.record.jobs[1];
     assert_eq!(warm.misses, 0, "second frame must be all cache hits");
@@ -80,10 +93,16 @@ fn estimate_table_learns_from_measurements() {
     let cost = CostParams::default();
     let config = SimConfig::new(cluster, cost, 512 * MIB);
     let sim = Simulation::new(config, uniform_datasets(1, 2 * GIB));
-    let outcome = sim.run(SchedulerKind::Fcfsl, vec![interactive(0, 0, 0, SimTime::ZERO)], "t");
+    let outcome = sim.run_opts(
+        vec![interactive(0, 0, 0, SimTime::ZERO)],
+        RunOptions::new(SchedulerKind::Fcfsl).label("t"),
+    );
     let lat = outcome.record.jobs[0].timing.latency().unwrap();
     // Two chunks per node, each paying doubled I/O sequentially.
-    assert!(lat > cost.io_time(512 * MIB) * 3, "latency {lat} should reflect slow disks");
+    assert!(
+        lat > cost.io_time(512 * MIB) * 3,
+        "latency {lat} should reflect slow disks"
+    );
 }
 
 #[test]
@@ -93,7 +112,10 @@ fn runs_are_deterministic() {
         .collect();
     let run = || {
         let sim = small_sim();
-        let outcome = sim.run(SchedulerKind::Ours, jobs.clone(), "det");
+        let outcome = sim.run_opts(
+            jobs.clone(),
+            RunOptions::new(SchedulerKind::Ours).label("det"),
+        );
         (
             outcome.record.cache_hits,
             outcome.record.cache_misses,
@@ -122,8 +144,11 @@ fn ours_defers_batch_but_drains_it() {
         jobs.push(batch(100 + b, b, 1, SimTime::from_millis(100)));
     }
     jobs.sort_by_key(|j| j.issue_time);
-    let outcome = sim.run(SchedulerKind::Ours, jobs, "defer");
-    assert_eq!(outcome.incomplete_jobs, 0, "deferred batch must eventually drain");
+    let outcome = sim.run_opts(jobs, RunOptions::new(SchedulerKind::Ours).label("defer"));
+    assert_eq!(
+        outcome.incomplete_jobs, 0,
+        "deferred batch must eventually drain"
+    );
     let report = vizsched_metrics::SchedulerReport::from_run(&outcome.record);
     assert_eq!(report.batch_jobs, 10);
     assert!(report.batch_latency.mean > 0.0);
@@ -137,16 +162,32 @@ fn crash_mid_run_still_completes_jobs() {
     // Crash node 1 while the first job's cold loads are in flight; recover
     // much later.
     config.faults = vec![
-        Fault { time: SimTime::from_millis(500), node: NodeId(1), crash: true },
-        Fault { time: SimTime::from_secs(60), node: NodeId(1), crash: false },
+        Fault {
+            time: SimTime::from_millis(500),
+            node: NodeId(1),
+            crash: true,
+        },
+        Fault {
+            time: SimTime::from_secs(60),
+            node: NodeId(1),
+            crash: false,
+        },
     ];
     let sim = Simulation::new(config, uniform_datasets(2, 2 * GIB));
-    let jobs: Vec<Job> =
-        (0..20).map(|i| interactive(i, 0, 0, SimTime::from_millis(30 * i))).collect();
-    let outcome = sim.run(SchedulerKind::Ours, jobs, "crash");
-    assert_eq!(outcome.incomplete_jobs, 0, "work lost in the crash must be re-placed");
+    let jobs: Vec<Job> = (0..20)
+        .map(|i| interactive(i, 0, 0, SimTime::from_millis(30 * i)))
+        .collect();
+    let outcome = sim.run_opts(jobs, RunOptions::new(SchedulerKind::Ours).label("crash"));
+    assert_eq!(
+        outcome.incomplete_jobs, 0,
+        "work lost in the crash must be re-placed"
+    );
     assert_eq!(outcome.record.jobs.len(), 20);
-    assert!(outcome.record.jobs.iter().all(|j| j.timing.finish.is_some()));
+    assert!(outcome
+        .record
+        .jobs
+        .iter()
+        .all(|j| j.timing.finish.is_some()));
 }
 
 #[test]
@@ -155,7 +196,10 @@ fn trace_records_every_task() {
     let mut config = SimConfig::new(cluster, CostParams::default(), 512 * MIB);
     config.record_trace = true;
     let sim = Simulation::new(config, uniform_datasets(1, 2 * GIB));
-    let outcome = sim.run(SchedulerKind::Fcfs, vec![interactive(0, 0, 0, SimTime::ZERO)], "t");
+    let outcome = sim.run_opts(
+        vec![interactive(0, 0, 0, SimTime::ZERO)],
+        RunOptions::new(SchedulerKind::Fcfs).label("t"),
+    );
     assert_eq!(outcome.trace.len(), 4);
     for t in &outcome.trace {
         assert!(t.finish > t.start);
@@ -166,7 +210,10 @@ fn trace_records_every_task() {
 #[test]
 fn fcfsu_uses_uniform_decomposition() {
     let sim = small_sim();
-    let outcome = sim.run(SchedulerKind::Fcfsu, vec![interactive(0, 0, 0, SimTime::ZERO)], "t");
+    let outcome = sim.run_opts(
+        vec![interactive(0, 0, 0, SimTime::ZERO)],
+        RunOptions::new(SchedulerKind::Fcfsu).label("t"),
+    );
     // 4 nodes -> 4 uniform chunks -> 4 tasks; with MaxChunkSize it would
     // also be 4 here, so check the byte size instead: 2 GiB / 4 = 512 MiB
     // per uniform chunk on *this* cluster, but trace isn't on; use the
@@ -178,7 +225,10 @@ fn fcfsu_uses_uniform_decomposition() {
 #[test]
 fn makespan_tracks_last_completion() {
     let sim = small_sim();
-    let outcome = sim.run(SchedulerKind::Fcfs, vec![interactive(0, 0, 0, SimTime::ZERO)], "t");
+    let outcome = sim.run_opts(
+        vec![interactive(0, 0, 0, SimTime::ZERO)],
+        RunOptions::new(SchedulerKind::Fcfs).label("t"),
+    );
     let jf = outcome.record.jobs[0].timing.finish.unwrap();
     assert_eq!(outcome.record.makespan, jf);
 }
@@ -190,13 +240,28 @@ fn interleaved_users_all_finish() {
     let mut id = 0u64;
     for step in 0..60u64 {
         for user in 0..3u64 {
-            jobs.push(interactive(id, user, (user % 2) as u32, SimTime::from_millis(30 * step)));
+            jobs.push(interactive(
+                id,
+                user,
+                (user % 2) as u32,
+                SimTime::from_millis(30 * step),
+            ));
             id += 1;
         }
     }
-    for kind in [SchedulerKind::Fcfs, SchedulerKind::Fcfsl, SchedulerKind::Fs, SchedulerKind::Sf] {
-        let outcome = sim.run(kind, jobs.clone(), "mix");
-        assert_eq!(outcome.incomplete_jobs, 0, "{} left jobs unfinished", kind.name());
+    for kind in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Fcfsl,
+        SchedulerKind::Fs,
+        SchedulerKind::Sf,
+    ] {
+        let outcome = sim.run_opts(jobs.clone(), RunOptions::new(kind).label("mix"));
+        assert_eq!(
+            outcome.incomplete_jobs,
+            0,
+            "{} left jobs unfinished",
+            kind.name()
+        );
         assert_eq!(outcome.record.jobs.len(), 180);
     }
 }
@@ -211,13 +276,19 @@ fn shared_fs_contention_slows_concurrent_loads() {
     let independent = {
         let config = SimConfig::new(cluster.clone(), cost, 512 * MIB);
         let sim = Simulation::new(config, uniform_datasets(1, 2 * GIB));
-        sim.run(SchedulerKind::Fcfs, vec![job.clone()], "indep")
+        sim.run_opts(
+            vec![job.clone()],
+            RunOptions::new(SchedulerKind::Fcfs).label("indep"),
+        )
     };
     let contended = {
         let mut config = SimConfig::new(cluster, cost, 512 * MIB);
         config.shared_fs_capacity = Some(1); // one full-speed stream
         let sim = Simulation::new(config, uniform_datasets(1, 2 * GIB));
-        sim.run(SchedulerKind::Fcfs, vec![job], "shared")
+        sim.run_opts(
+            vec![job],
+            RunOptions::new(SchedulerKind::Fcfs).label("shared"),
+        )
     };
     let lat_i = independent.record.jobs[0].timing.latency().unwrap();
     let lat_c = contended.record.jobs[0].timing.latency().unwrap();
@@ -227,7 +298,10 @@ fn shared_fs_contention_slows_concurrent_loads() {
     );
     // A solitary load (capacity 1, nothing else in flight) is unaffected:
     // the first load starts alone, so its I/O portion is at full speed.
-    assert_eq!(independent.record.cache_misses, contended.record.cache_misses);
+    assert_eq!(
+        independent.record.cache_misses,
+        contended.record.cache_misses
+    );
 }
 
 #[test]
@@ -237,11 +311,17 @@ fn available_table_is_corrected_toward_reality() {
     // than stale optimistic pushes.
     let sim = small_sim();
     let job = interactive(0, 0, 0, SimTime::ZERO);
-    let outcome = sim.run(SchedulerKind::Fcfsl, vec![job], "corr");
+    let outcome = sim.run_opts(
+        vec![job],
+        RunOptions::new(SchedulerKind::Fcfsl).label("corr"),
+    );
     // All tasks done; makespan equals the single cold task exec, meaning no
     // phantom backlog lingered anywhere to delay the final completion.
     let cost = sim.config().cost;
-    assert_eq!(outcome.record.makespan, SimTime::ZERO + cost.task_exec(512 * MIB, false, 4));
+    assert_eq!(
+        outcome.record.makespan,
+        SimTime::ZERO + cost.task_exec(512 * MIB, false, 4)
+    );
 }
 
 #[test]
@@ -259,22 +339,30 @@ fn estimate_corrections_improve_later_predictions() {
     let jobs: Vec<Job> = (0..30)
         .map(|i| interactive(i, i % 2, (i % 2) as u32, SimTime::from_millis(200 * i)))
         .collect();
-    let outcome = sim.run(SchedulerKind::Ours, jobs, "estimate");
+    let outcome = sim.run_opts(jobs, RunOptions::new(SchedulerKind::Ours).label("estimate"));
     assert_eq!(outcome.incomplete_jobs, 0);
     // Hit rate should still be high: corrections do not destabilize
     // placement.
-    assert!(outcome.record.hit_rate() > 0.8, "hit {}", outcome.record.hit_rate());
+    assert!(
+        outcome.record.hit_rate() > 0.8,
+        "hit {}",
+        outcome.record.hit_rate()
+    );
 }
 
 #[test]
 fn node_stats_reflect_load_balance() {
     let sim = small_sim();
-    let jobs: Vec<Job> =
-        (0..80).map(|i| interactive(i, 0, 0, SimTime::from_millis(30 * i))).collect();
-    let outcome = sim.run(SchedulerKind::Ours, jobs, "balance");
+    let jobs: Vec<Job> = (0..80)
+        .map(|i| interactive(i, 0, 0, SimTime::from_millis(30 * i)))
+        .collect();
+    let outcome = sim.run_opts(jobs, RunOptions::new(SchedulerKind::Ours).label("balance"));
     assert_eq!(outcome.node_stats.len(), 4);
     let total: u64 = outcome.node_stats.iter().map(|s| s.tasks).sum();
-    assert_eq!(total, outcome.record.cache_hits + outcome.record.cache_misses);
+    assert_eq!(
+        total,
+        outcome.record.cache_hits + outcome.record.cache_misses
+    );
     for s in &outcome.node_stats {
         assert!(s.utilization >= 0.0 && s.utilization <= 1.0);
         assert_eq!(s.tasks, s.hits + s.misses);

@@ -1,0 +1,153 @@
+//! Probe-observed prediction feedback: seed `Estimate[c]` with a
+//! deliberately wrong prior and watch the §V-B corrections pull the
+//! head node's predictions back to reality, cycle over cycle.
+
+use std::sync::Arc;
+use vizsched_core::prelude::*;
+use vizsched_metrics::{estimate_trajectory, prediction_by_cycle, CollectingProbe, TraceEvent};
+use vizsched_sim::{RunOptions, SimConfig, Simulation};
+
+const GIB: u64 = 1 << 30;
+const MIB: u64 = 1 << 20;
+
+fn interactive(id: u64, action: u64, at: SimTime) -> Job {
+    Job {
+        id: JobId(id),
+        kind: JobKind::Interactive {
+            user: UserId(action as u32),
+            action: ActionId(action),
+        },
+        dataset: DatasetId(0),
+        issue_time: at,
+        frame: FrameParams::default(),
+    }
+}
+
+fn small_sim() -> Simulation {
+    let cluster = ClusterSpec::homogeneous(4, 2 * GIB);
+    let config = SimConfig::new(cluster, CostParams::default(), 512 * MIB);
+    Simulation::new(config, uniform_datasets(1, 2 * GIB))
+}
+
+/// A wildly pessimistic prior for every chunk of dataset 0 (4 chunks of
+/// 512 MiB): 60 s of I/O per chunk where the truth is a few seconds.
+fn wrong_priors() -> Vec<(ChunkId, SimDuration)> {
+    (0..4)
+        .map(|i| (ChunkId::new(DatasetId(0), i), SimDuration::from_secs(60)))
+        .collect()
+}
+
+#[test]
+fn wrong_estimate_prior_converges_under_correction() {
+    let probe = Arc::new(CollectingProbe::new());
+    let jobs: Vec<Job> = (0..12)
+        .map(|i| interactive(i, i, SimTime::from_millis(200 * i)))
+        .collect();
+    let outcome = small_sim().run_opts(
+        jobs,
+        RunOptions::new(SchedulerKind::Ours)
+            .label("feedback")
+            .warm_start(false)
+            .initial_estimates(wrong_priors())
+            .probe(probe.clone()),
+    );
+    assert_eq!(outcome.incomplete_jobs, 0);
+    let events = probe.take();
+
+    // The first miss of each chunk replaces the 60 s prior with the
+    // observed time: one large correction per chunk, nothing after.
+    let trajectory = estimate_trajectory(&events);
+    assert_eq!(
+        trajectory.len(),
+        4,
+        "one correction per chunk on its first miss"
+    );
+    for point in &trajectory {
+        assert!(
+            point.error > SimDuration::from_secs(50),
+            "correction must discard the wrong prior (|old-new| = {})",
+            point.error
+        );
+    }
+
+    // Per-cycle prediction error must collapse once the corrections land:
+    // the first cycle schedules against the 60 s prior, later cycles
+    // against measurements.
+    let cycles = prediction_by_cycle(&events);
+    assert!(
+        cycles.len() >= 3,
+        "expected several scheduling cycles, got {}",
+        cycles.len()
+    );
+    let first = cycles.first().unwrap();
+    let last = cycles.last().unwrap();
+    assert!(
+        first.mean_exec_error > SimDuration::from_secs(50),
+        "first cycle predicts with the wrong prior (err = {})",
+        first.mean_exec_error
+    );
+    assert!(
+        last.mean_exec_error < SimDuration::from_millis(100),
+        "corrected estimates must predict within jitter (err = {})",
+        last.mean_exec_error
+    );
+    assert!(
+        last.mean_exec_error * 10 < first.mean_exec_error,
+        "error must shrink >10x"
+    );
+}
+
+#[test]
+fn probe_event_stream_is_conserved() {
+    let probe = Arc::new(CollectingProbe::new());
+    let jobs: Vec<Job> = (0..8)
+        .map(|i| interactive(i, i % 2, SimTime::from_millis(150 * i)))
+        .collect();
+    let outcome = small_sim().run_opts(
+        jobs,
+        RunOptions::new(SchedulerKind::Ours)
+            .label("conserve")
+            .probe(probe.clone()),
+    );
+    assert_eq!(outcome.incomplete_jobs, 0);
+    let events = probe.take();
+
+    let count = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count();
+    let starts = count(&|e| matches!(e, TraceEvent::CycleStart { .. }));
+    let ends = count(&|e| matches!(e, TraceEvent::CycleEnd { .. }));
+    let assigns = count(&|e| matches!(e, TraceEvent::Assignment { .. }));
+    let dones = count(&|e| matches!(e, TraceEvent::TaskDone { .. }));
+    let jobs_done = count(&|e| matches!(e, TraceEvent::JobDone { .. }));
+    assert_eq!(starts, ends, "every cycle start has a matching end");
+    assert_eq!(
+        assigns, dones,
+        "every assignment completes (no faults injected)"
+    );
+    assert_eq!(jobs_done, 8, "every job reports completion");
+    // Events arrive in non-decreasing simulated time.
+    assert!(events.windows(2).all(|w| w[0].time() <= w[1].time()));
+}
+
+#[test]
+fn seed_perturbs_while_zero_seed_reproduces() {
+    let jobs: Vec<Job> = (0..10)
+        .map(|i| interactive(i, i, SimTime::from_millis(100 * i)))
+        .collect();
+    let run = |seed: u64| {
+        let outcome = small_sim().run_opts(
+            jobs.clone(),
+            RunOptions::new(SchedulerKind::Ours)
+                .label("seed")
+                .exec_jitter(0.1)
+                .seed(seed),
+        );
+        outcome
+            .record
+            .jobs
+            .iter()
+            .map(|j| j.timing.finish)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(7), run(7), "equal seeds are bit-identical");
+    assert_ne!(run(0), run(7), "distinct seeds realize distinct jitter");
+}

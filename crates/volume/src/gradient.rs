@@ -59,7 +59,12 @@ mod tests {
         let gd = gradient_at(&v, 4, 4, 4);
         let gc = gradient_sample(&v, 4.0, 4.0, 4.0);
         for i in 0..3 {
-            assert!((gd[i] - gc[i]).abs() < 1e-4, "axis {i}: {} vs {}", gd[i], gc[i]);
+            assert!(
+                (gd[i] - gc[i]).abs() < 1e-4,
+                "axis {i}: {} vs {}",
+                gd[i],
+                gc[i]
+            );
         }
     }
 

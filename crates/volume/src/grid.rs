@@ -52,14 +52,21 @@ impl<T: Scalar> Volume<T> {
     /// An all-zero volume (via `from_f32(0.0)`).
     pub fn zeros(dims: [usize; 3]) -> Self {
         let len = dims[0] * dims[1] * dims[2];
-        Volume { dims, spacing: [1.0; 3], data: vec![T::from_f32(0.0); len] }
+        Volume {
+            dims,
+            spacing: [1.0; 3],
+            data: vec![T::from_f32(0.0); len],
+        }
     }
 
     /// Build by evaluating `f` at every voxel center, with coordinates
     /// normalized to `[0, 1]^3`.
     pub fn from_fn(dims: [usize; 3], mut f: impl FnMut(f32, f32, f32) -> f32) -> Self {
         let [nx, ny, nz] = dims;
-        assert!(nx > 0 && ny > 0 && nz > 0, "volume dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "volume dimensions must be positive"
+        );
         let mut data = Vec::with_capacity(nx * ny * nz);
         for z in 0..nz {
             let fz = (z as f32 + 0.5) / nz as f32;
@@ -71,7 +78,11 @@ impl<T: Scalar> Volume<T> {
                 }
             }
         }
-        Volume { dims, spacing: [1.0; 3], data }
+        Volume {
+            dims,
+            spacing: [1.0; 3],
+            data,
+        }
     }
 
     /// Total voxel count.
@@ -131,10 +142,26 @@ impl<T: Scalar> Volume<T> {
         let tz = fz - z0 as f32;
 
         let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
-        let c00 = lerp(self.at(x0, y0, z0).to_f32(), self.at(x1, y0, z0).to_f32(), tx);
-        let c10 = lerp(self.at(x0, y1, z0).to_f32(), self.at(x1, y1, z0).to_f32(), tx);
-        let c01 = lerp(self.at(x0, y0, z1).to_f32(), self.at(x1, y0, z1).to_f32(), tx);
-        let c11 = lerp(self.at(x0, y1, z1).to_f32(), self.at(x1, y1, z1).to_f32(), tx);
+        let c00 = lerp(
+            self.at(x0, y0, z0).to_f32(),
+            self.at(x1, y0, z0).to_f32(),
+            tx,
+        );
+        let c10 = lerp(
+            self.at(x0, y1, z0).to_f32(),
+            self.at(x1, y1, z0).to_f32(),
+            tx,
+        );
+        let c01 = lerp(
+            self.at(x0, y0, z1).to_f32(),
+            self.at(x1, y0, z1).to_f32(),
+            tx,
+        );
+        let c11 = lerp(
+            self.at(x0, y1, z1).to_f32(),
+            self.at(x1, y1, z1).to_f32(),
+            tx,
+        );
         let c0 = lerp(c00, c10, ty);
         let c1 = lerp(c01, c11, ty);
         lerp(c0, c1, tz)

@@ -20,7 +20,10 @@ impl Histogram {
             let i = ((f * bins as f32) as usize).min(bins - 1);
             h[i] += 1;
         }
-        Histogram { total: v.len() as u64, bins: h }
+        Histogram {
+            total: v.len() as u64,
+            bins: h,
+        }
     }
 
     /// Bin counts.

@@ -31,7 +31,10 @@ fn read_header(r: &mut impl Read) -> io::Result<([usize; 3], u32)> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a vizsched volume file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a vizsched volume file",
+        ));
     }
     let mut buf4 = [0u8; 4];
     r.read_exact(&mut buf4)?;
@@ -60,7 +63,10 @@ pub fn read_f32(path: &Path) -> io::Result<Volume<f32>> {
     let mut r = BufReader::new(File::open(path)?);
     let (dims, kind) = read_header(&mut r)?;
     if kind != Kind::F32 as u32 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "expected f32 volume"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected f32 volume",
+        ));
     }
     let len = dims[0] * dims[1] * dims[2];
     let mut data = Vec::with_capacity(len);
@@ -69,7 +75,11 @@ pub fn read_f32(path: &Path) -> io::Result<Volume<f32>> {
         r.read_exact(&mut buf)?;
         data.push(f32::from_le_bytes(buf));
     }
-    Ok(Volume { dims, spacing: [1.0; 3], data })
+    Ok(Volume {
+        dims,
+        spacing: [1.0; 3],
+        data,
+    })
 }
 
 /// Write a `u8` volume.
@@ -85,12 +95,19 @@ pub fn read_u8(path: &Path) -> io::Result<Volume<u8>> {
     let mut r = BufReader::new(File::open(path)?);
     let (dims, kind) = read_header(&mut r)?;
     if kind != Kind::U8 as u32 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "expected u8 volume"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected u8 volume",
+        ));
     }
     let len = dims[0] * dims[1] * dims[2];
     let mut data = vec![0u8; len];
     r.read_exact(&mut data)?;
-    Ok(Volume { dims, spacing: [1.0; 3], data })
+    Ok(Volume {
+        dims,
+        spacing: [1.0; 3],
+        data,
+    })
 }
 
 #[cfg(test)]

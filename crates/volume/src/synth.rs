@@ -35,8 +35,13 @@ pub enum Field {
 
 impl Field {
     /// All fields.
-    pub const ALL: [Field; 5] =
-        [Field::Plume, Field::Combustion, Field::Supernova, Field::MarschnerLobb, Field::Shells];
+    pub const ALL: [Field; 5] = [
+        Field::Plume,
+        Field::Combustion,
+        Field::Supernova,
+        Field::MarschnerLobb,
+        Field::Shells,
+    ];
 
     /// Stable display name.
     pub fn name(&self) -> &'static str {
@@ -103,8 +108,8 @@ fn plume(x: f32, y: f32, z: f32) -> f32 {
 /// Wrinkled flame sheets: a slab with folded iso-surfaces and hot pockets.
 fn combustion(x: f32, y: f32, z: f32) -> f32 {
     // A flame front surface around y = 0.5, folded by low-frequency waves.
-    let fold = 0.12 * (x * 7.0).sin() + 0.08 * (z * 11.0).cos()
-        + 0.05 * ((x * 17.0 + z * 13.0).sin());
+    let fold =
+        0.12 * (x * 7.0).sin() + 0.08 * (z * 11.0).cos() + 0.05 * ((x * 17.0 + z * 13.0).sin());
     let front = (y - 0.5 - fold).abs();
     let sheet = smoothstep(0.10, 0.01, front);
     // Burnt pockets behind the front.
@@ -118,7 +123,7 @@ fn combustion(x: f32, y: f32, z: f32) -> f32 {
 fn supernova(x: f32, y: f32, z: f32) -> f32 {
     let (dx, dy, dz) = (x - 0.5, y - 0.5, z - 0.5);
     let r = (dx * dx + dy * dy + dz * dz).sqrt() * 2.0; // 0 at core, ~1 at faces
-    // Angular modulation (spherical-harmonic-ish lobes).
+                                                        // Angular modulation (spherical-harmonic-ish lobes).
     let theta = dy.atan2((dx * dx + dz * dz).sqrt());
     let phi = dz.atan2(dx);
     let lobes = 0.15 * ((3.0 * phi).cos() * (2.0 * theta).sin());
@@ -126,8 +131,7 @@ fn supernova(x: f32, y: f32, z: f32) -> f32 {
     let core = smoothstep(0.25, 0.02, r);
     let shell_r = 0.62 + lobes;
     let shell = 0.8 * smoothstep(0.10, 0.015, (r - shell_r).abs());
-    let wisps =
-        0.1 * ((r * 40.0).sin().abs() * smoothstep(0.9, 0.4, r) * smoothstep(0.2, 0.4, r));
+    let wisps = 0.1 * ((r * 40.0).sin().abs() * smoothstep(0.9, 0.4, r) * smoothstep(0.2, 0.4, r));
     (core + shell + wisps).clamp(0.0, 1.0)
 }
 
@@ -139,8 +143,8 @@ fn marschner_lobb(x: f32, y: f32, z: f32) -> f32 {
     let (x, y, z) = (2.0 * x - 1.0, 2.0 * y - 1.0, 2.0 * z - 1.0);
     let r = (x * x + y * y).sqrt();
     let pr = (std::f32::consts::PI * FM * (std::f32::consts::FRAC_PI_2 * r).cos()).cos();
-    let rho = (1.0 - (std::f32::consts::PI * z * 0.5).sin() + ALPHA * (1.0 + pr))
-        / (2.0 * (1.0 + ALPHA));
+    let rho =
+        (1.0 - (std::f32::consts::PI * z * 0.5).sin() + ALPHA * (1.0 + pr)) / (2.0 * (1.0 + ALPHA));
     rho.clamp(0.0, 1.0)
 }
 
@@ -182,7 +186,11 @@ mod tests {
             if field != Field::MarschnerLobb {
                 assert!(low * 10 >= n, "{}: too little empty space", field.name());
             }
-            assert!(high * 50 >= n, "{}: too little dense material", field.name());
+            assert!(
+                high * 50 >= n,
+                "{}: too little dense material",
+                field.name()
+            );
         }
     }
 

@@ -21,7 +21,11 @@ impl TimeSeries {
     /// A series over `field` with `steps` steps and a gentle default drift.
     pub fn new(field: Field, steps: u32) -> Self {
         assert!(steps > 0, "a series needs at least one step");
-        TimeSeries { field, steps, drift_per_step: 0.01 }
+        TimeSeries {
+            field,
+            steps,
+            drift_per_step: 0.01,
+        }
     }
 
     /// Sample time step `t` (0-based) at the given resolution. The field is
@@ -55,7 +59,11 @@ mod tests {
         // Correlation: mean absolute difference between adjacent steps is
         // smaller than between distant steps.
         let mad = |p: &Volume<f32>, q: &Volume<f32>| {
-            p.data.iter().zip(&q.data).map(|(u, v)| (u - v).abs()).sum::<f32>()
+            p.data
+                .iter()
+                .zip(&q.data)
+                .map(|(u, v)| (u - v).abs())
+                .sum::<f32>()
                 / p.len() as f32
         };
         assert!(mad(&a, &b) < mad(&a, &c), "drift should accumulate");
@@ -82,7 +90,10 @@ mod tests {
         for t in 0..5 {
             let v: Volume<f32> = series.sample_step(t, [12, 12, 12]);
             let (lo, hi) = v.value_range();
-            assert!(lo >= 0.0 && hi <= 1.0, "step {t} out of bounds: [{lo}, {hi}]");
+            assert!(
+                lo >= 0.0 && hi <= 1.0,
+                "step {t} out of bounds: [{lo}, {hi}]"
+            );
         }
     }
 }

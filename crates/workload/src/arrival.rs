@@ -39,7 +39,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mean = SimDuration::from_millis(100);
         let n = 20_000;
-        let total: u64 = (0..n).map(|_| exp_duration(&mut rng, mean).as_micros()).sum();
+        let total: u64 = (0..n)
+            .map(|_| exp_duration(&mut rng, mean).as_micros())
+            .sum();
         let sample_mean = total as f64 / n as f64;
         let expected = mean.as_micros() as f64;
         assert!(
@@ -69,7 +71,8 @@ mod tests {
     fn sampling_is_deterministic_per_seed() {
         let draw = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..10).map(|_| exp_duration(&mut rng, SimDuration::from_secs(1)).as_micros())
+            (0..10)
+                .map(|_| exp_duration(&mut rng, SimDuration::from_secs(1)).as_micros())
                 .collect::<Vec<_>>()
         };
         assert_eq!(draw(42), draw(42));

@@ -43,7 +43,10 @@ impl DatasetChoice {
         match *self {
             DatasetChoice::Uniform => uniform_u32(rng, 0, count - 1),
             DatasetChoice::Zipf { s } => {
-                assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be finite and >= 0");
+                assert!(
+                    s >= 0.0 && s.is_finite(),
+                    "zipf exponent must be finite and >= 0"
+                );
                 // Inverse-CDF over the normalized harmonic weights.
                 let total: f64 = (1..=count as u64).map(|k| 1.0 / (k as f64).powf(s)).sum();
                 let mut target: f64 = rng.random_range(0.0..1.0) * total;
@@ -102,7 +105,12 @@ pub struct BatchModel {
 impl BatchModel {
     /// No batch work at all.
     pub fn none() -> Self {
-        BatchModel { submissions: 0, frames_min: 0, frames_max: 0, window_frac: 0.0 }
+        BatchModel {
+            submissions: 0,
+            frames_min: 0,
+            frames_max: 0,
+            window_frac: 0.0,
+        }
     }
 }
 
@@ -172,7 +180,10 @@ impl WorkloadSpec {
                         self.length,
                     );
                 }
-                ActionBehavior::Sessions { mean_action, mean_think } => {
+                ActionBehavior::Sessions {
+                    mean_action,
+                    mean_think,
+                } => {
                     let mut t = SimDuration::ZERO;
                     // Stagger slot starts uniformly over one think period so
                     // slots do not fire in lockstep.
@@ -214,7 +225,11 @@ impl WorkloadSpec {
                 };
                 proto.push((
                     at,
-                    JobKind::Batch { user, request: BatchId(sub as u64), frame },
+                    JobKind::Batch {
+                        user,
+                        request: BatchId(sub as u64),
+                        frame,
+                    },
                     dataset,
                     params,
                 ));
@@ -252,7 +267,9 @@ impl WorkloadSpec {
         duration: SimDuration,
     ) {
         let mut rng = StdRng::seed_from_u64(
-            self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(action.0),
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(action.0),
         );
         let user = UserId(slot);
         let end = start + duration;
@@ -261,8 +278,13 @@ impl WorkloadSpec {
         let mut frame = 0u32;
         let max_jitter = self.interactive.period / 10;
         while nominal < end {
-            let t = nominal + uniform_duration(&mut rng, SimDuration::ZERO, max_jitter);
-            let params = FrameParams { azimuth: frame as f32 * 0.02, ..FrameParams::default() };
+            // Jitter never pushes a request past the action's end (the
+            // generator promises `issue_time <= length`).
+            let t = (nominal + uniform_duration(&mut rng, SimDuration::ZERO, max_jitter)).min(end);
+            let params = FrameParams {
+                azimuth: frame as f32 * 0.02,
+                ..FrameParams::default()
+            };
             proto.push((t, JobKind::Interactive { user, action }, dataset, params));
             nominal += self.interactive.period;
             frame += 1;
@@ -272,11 +294,13 @@ impl WorkloadSpec {
     /// Expected number of interactive jobs (exact for
     /// [`ActionBehavior::FullLength`], first-order for sessions).
     pub fn expected_interactive_jobs(&self) -> f64 {
-        let per_slot_rate =
-            self.length.as_secs_f64() / self.interactive.period.as_secs_f64();
+        let per_slot_rate = self.length.as_secs_f64() / self.interactive.period.as_secs_f64();
         match self.interactive.behavior {
             ActionBehavior::FullLength => self.interactive.slots as f64 * per_slot_rate,
-            ActionBehavior::Sessions { mean_action, mean_think } => {
+            ActionBehavior::Sessions {
+                mean_action,
+                mean_think,
+            } => {
                 let duty = mean_action.as_secs_f64()
                     / (mean_action.as_secs_f64() + mean_think.as_secs_f64());
                 self.interactive.slots as f64 * per_slot_rate * duty
@@ -286,9 +310,7 @@ impl WorkloadSpec {
 
     /// Expected number of batch jobs.
     pub fn expected_batch_jobs(&self) -> f64 {
-        self.batch.submissions as f64
-            * (self.batch.frames_min + self.batch.frames_max) as f64
-            / 2.0
+        self.batch.submissions as f64 * (self.batch.frames_min + self.batch.frames_max) as f64 / 2.0
     }
 }
 
@@ -339,7 +361,12 @@ mod tests {
                 mean_action: SimDuration::from_secs(4),
                 mean_think: SimDuration::from_millis(550),
             },
-            BatchModel { submissions: 5, frames_min: 10, frames_max: 20, window_frac: 0.8 },
+            BatchModel {
+                submissions: 5,
+                frames_min: 10,
+                frames_max: 20,
+                window_frac: 0.8,
+            },
         );
         let jobs = s.generate();
         for (i, j) in jobs.iter().enumerate() {
@@ -372,7 +399,12 @@ mod tests {
     fn batch_jobs_share_submission_time_and_dataset() {
         let s = spec(
             ActionBehavior::FullLength,
-            BatchModel { submissions: 3, frames_min: 5, frames_max: 5, window_frac: 0.5 },
+            BatchModel {
+                submissions: 3,
+                frames_min: 5,
+                frames_max: 5,
+                window_frac: 0.5,
+            },
         );
         let jobs = s.generate();
         let batch: Vec<&Job> = jobs.iter().filter(|j| !j.kind.is_interactive()).collect();
@@ -380,10 +412,14 @@ mod tests {
         for sub in 0..3u64 {
             let frames: Vec<&&Job> = batch
                 .iter()
-                .filter(|j| matches!(j.kind, JobKind::Batch { request, .. } if request == BatchId(sub)))
+                .filter(
+                    |j| matches!(j.kind, JobKind::Batch { request, .. } if request == BatchId(sub)),
+                )
                 .collect();
             assert_eq!(frames.len(), 5);
-            assert!(frames.windows(2).all(|w| w[0].issue_time == w[1].issue_time));
+            assert!(frames
+                .windows(2)
+                .all(|w| w[0].issue_time == w[1].issue_time));
             assert!(frames.windows(2).all(|w| w[0].dataset == w[1].dataset));
         }
     }
@@ -395,7 +431,12 @@ mod tests {
                 mean_action: SimDuration::from_secs(2),
                 mean_think: SimDuration::from_secs(1),
             },
-            BatchModel { submissions: 4, frames_min: 2, frames_max: 9, window_frac: 0.9 },
+            BatchModel {
+                submissions: 4,
+                frames_min: 2,
+                frames_max: 9,
+                window_frac: 0.9,
+            },
         );
         assert_eq!(s.generate(), s.generate());
         let mut other = s;
@@ -412,9 +453,18 @@ mod tests {
         for _ in 0..8000 {
             counts[choice.sample(&mut rng, 8) as usize] += 1;
         }
-        assert!(counts[0] > counts[3], "dataset 0 must be hotter: {counts:?}");
-        assert!(counts[3] > counts[7], "skew must be monotone-ish: {counts:?}");
-        assert!(counts.iter().all(|&c| c > 0), "tail still sampled: {counts:?}");
+        assert!(
+            counts[0] > counts[3],
+            "dataset 0 must be hotter: {counts:?}"
+        );
+        assert!(
+            counts[3] > counts[7],
+            "skew must be monotone-ish: {counts:?}"
+        );
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "tail still sampled: {counts:?}"
+        );
     }
 
     #[test]
@@ -427,7 +477,10 @@ mod tests {
             counts[choice.sample(&mut rng, 4) as usize] += 1;
         }
         for &c in &counts {
-            assert!((1700..=2300).contains(&c), "near-uniform expected: {counts:?}");
+            assert!(
+                (1700..=2300).contains(&c),
+                "near-uniform expected: {counts:?}"
+            );
         }
     }
 

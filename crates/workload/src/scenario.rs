@@ -86,7 +86,12 @@ impl Scenario {
                         mean_think: SimDuration::from_millis(1_800),
                     },
                 },
-                BatchModel { submissions: 25, frames_min: 60, frames_max: 120, window_frac: 0.85 },
+                BatchModel {
+                    submissions: 25,
+                    frames_min: 60,
+                    frames_max: 120,
+                    window_frac: 0.85,
+                },
                 seed,
             ),
             3 => Scenario::build(
@@ -105,7 +110,12 @@ impl Scenario {
                         mean_think: SimDuration::from_millis(600),
                     },
                 },
-                BatchModel { submissions: 110, frames_min: 60, frames_max: 120, window_frac: 0.85 },
+                BatchModel {
+                    submissions: 110,
+                    frames_min: 60,
+                    frames_max: 120,
+                    window_frac: 0.85,
+                },
                 seed,
             ),
             4 => Scenario::build(
@@ -124,7 +134,12 @@ impl Scenario {
                         mean_think: SimDuration::from_millis(300),
                     },
                 },
-                BatchModel { submissions: 390, frames_min: 60, frames_max: 120, window_frac: 0.9 },
+                BatchModel {
+                    submissions: 390,
+                    frames_min: 60,
+                    frames_max: 120,
+                    window_frac: 0.9,
+                },
                 seed,
             ),
             other => panic!("Table II defines scenarios 1-4, not {other}"),
@@ -179,10 +194,34 @@ impl Scenario {
         // Scale batch submissions with the length so the mix is preserved.
         let frac = length.as_secs_f64() / self.workload.length.as_secs_f64();
         self.workload.length = length;
-        self.workload.batch.submissions =
-            ((self.workload.batch.submissions as f64 * frac).round() as u32).max(
-                if self.workload.batch.submissions > 0 { 1 } else { 0 },
-            );
+        self.workload.batch.submissions = ((self.workload.batch.submissions as f64 * frac).round()
+            as u32)
+            .max(if self.workload.batch.submissions > 0 {
+                1
+            } else {
+                0
+            });
+        // Scale the session timescales too, or a shortened run degenerates
+        // into one think-free action per slot: the full-length scenarios
+        // alternate action and think phases many times, and those
+        // interactive lulls are what lets a deferring scheduler trickle
+        // batch loads out mid-run. Equal scaling preserves the duty cycle
+        // (and thus job rates) regardless of exponent; √frac splits the
+        // difference between keeping the alternation *count* (exponent 1,
+        // which compresses dataset switches — and their cold reloads — into
+        // 1/frac times the I/O churn, overloading the cluster) and keeping
+        // the switch *rate* (exponent 0, which leaves too few lulls to
+        // observe deferred-batch behavior at all).
+        if let ActionBehavior::Sessions {
+            mean_action,
+            mean_think,
+        } = &mut self.workload.interactive.behavior
+        {
+            let floor = self.workload.interactive.period;
+            let scale = frac.sqrt();
+            *mean_action = mean_action.mul_f64(scale).max(floor);
+            *mean_think = mean_think.mul_f64(scale).max(floor);
+        }
         self.label = format!("{}-short", self.label);
         self
     }
@@ -263,7 +302,10 @@ mod tests {
         let jobs = s.jobs();
         let interactive = jobs.iter().filter(|j| j.kind.is_interactive()).count() as f64;
         let batch = jobs.iter().filter(|j| !j.kind.is_interactive()).count() as f64;
-        assert!((interactive - 21_011.0).abs() / 21_011.0 < 0.10, "interactive = {interactive}");
+        assert!(
+            (interactive - 21_011.0).abs() / 21_011.0 < 0.10,
+            "interactive = {interactive}"
+        );
         assert!((batch - 2_251.0).abs() / 2_251.0 < 0.15, "batch = {batch}");
     }
 
@@ -289,7 +331,10 @@ mod tests {
         let jobs = s.jobs();
         let interactive = jobs.iter().filter(|j| j.kind.is_interactive()).count() as f64;
         // One tenth the length -> about one tenth the jobs.
-        assert!((interactive - 2_101.0).abs() / 2_101.0 < 0.25, "interactive = {interactive}");
+        assert!(
+            (interactive - 2_101.0).abs() / 2_101.0 < 0.25,
+            "interactive = {interactive}"
+        );
         let limit = vizsched_core::time::SimTime::from_secs(12);
         assert!(jobs.iter().all(|j| j.issue_time <= limit));
     }

@@ -18,21 +18,35 @@ fn main() {
     let dims = [40usize, 40, 80];
     let series = TimeSeries::new(Field::Plume, steps);
     let tf = TransferFunction::preset(0);
-    let settings = RenderSettings { width: 160, height: 160, ..RenderSettings::default() };
+    let settings = RenderSettings {
+        width: 160,
+        height: 160,
+        ..RenderSettings::default()
+    };
 
-    println!("rendering {steps} time steps of {} at {dims:?}", Field::Plume.name());
+    println!(
+        "rendering {steps} time steps of {} at {dims:?}",
+        Field::Plume.name()
+    );
     let t0 = Instant::now();
     for t in 0..steps {
         let volume: Volume<f32> = series.sample_step(t, dims);
         let bricks = split_z(&volume, 4);
         // The camera orbits while time advances, like a real flythrough.
         let camera = Camera::orbit(dims, 0.3 + t as f32 * 0.15, 0.2, 2.4);
-        let layers: Vec<_> =
-            bricks.iter().map(|b| render_brick(b, &camera, &tf, &settings)).collect();
+        let layers: Vec<_> = bricks
+            .iter()
+            .map(|b| render_brick(b, &camera, &tf, &settings))
+            .collect();
         let frame = composite(layers, CompositeAlgo::Swap23);
         let path = format!("animation-{t:02}.ppm");
-        frame.save_ppm(std::path::Path::new(&path)).expect("write frame");
-        println!("  step {t}: coverage {:.1}% -> {path}", frame.coverage() * 100.0);
+        frame
+            .save_ppm(std::path::Path::new(&path))
+            .expect("write frame");
+        println!(
+            "  step {t}: coverage {:.1}% -> {path}",
+            frame.coverage() * 100.0
+        );
     }
     println!("rendered {steps} frames in {:.2?}", t0.elapsed());
 }

@@ -22,7 +22,11 @@ fn main() {
     );
 
     let tf = TransferFunction::preset(0);
-    let settings = RenderSettings { width: 256, height: 256, ..RenderSettings::default() };
+    let settings = RenderSettings {
+        width: 256,
+        height: 256,
+        ..RenderSettings::default()
+    };
 
     // Coarse preview: render the smallest level.
     let coarse = pyramid.last().expect("non-empty pyramid");
@@ -30,7 +34,9 @@ fn main() {
     let t0 = Instant::now();
     let preview = render_parallel(coarse, &cam_coarse, &tf, &settings);
     let preview_time = t0.elapsed();
-    preview.save_ppm(std::path::Path::new("lod-preview.ppm")).expect("write preview");
+    preview
+        .save_ppm(std::path::Path::new("lod-preview.ppm"))
+        .expect("write preview");
 
     // Full-resolution pass, accelerated by empty-space skipping.
     let full = &pyramid[0];
@@ -39,7 +45,9 @@ fn main() {
     let t1 = Instant::now();
     let (final_frame, samples) = render_with_skip(full, &cam_full, &tf, &settings, &grid);
     let full_time = t1.elapsed();
-    final_frame.save_ppm(std::path::Path::new("lod-full.ppm")).expect("write full");
+    final_frame
+        .save_ppm(std::path::Path::new("lod-full.ppm"))
+        .expect("write full");
 
     println!(
         "preview ({:?}): {:.0} ms -> lod-preview.ppm ({:.1}% coverage)",
@@ -53,5 +61,8 @@ fn main() {
         full_time.as_secs_f64() * 1e3,
         final_frame.coverage() * 100.0
     );
-    assert!(preview_time < full_time, "the preview should be the fast path");
+    assert!(
+        preview_time < full_time,
+        "the preview should be the fast path"
+    );
 }

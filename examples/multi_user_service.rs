@@ -21,15 +21,31 @@ fn main() {
     let store = ChunkStore::create(
         &root,
         &[
-            StoreDataset { field: Field::Plume, dims: [48, 48, 96], bricks: 4 },
-            StoreDataset { field: Field::Combustion, dims: [64, 64, 48], bricks: 4 },
-            StoreDataset { field: Field::Supernova, dims: [56, 56, 56], bricks: 4 },
+            StoreDataset {
+                field: Field::Plume,
+                dims: [48, 48, 96],
+                bricks: 4,
+            },
+            StoreDataset {
+                field: Field::Combustion,
+                dims: [64, 64, 48],
+                bricks: 4,
+            },
+            StoreDataset {
+                field: Field::Supernova,
+                dims: [56, 56, 56],
+                bricks: 4,
+            },
         ],
     )
     .expect("store");
 
     let service = VizService::start(
-        ServiceConfig { nodes: 4, image_size: (192, 192), ..ServiceConfig::default() },
+        ServiceConfig {
+            nodes: 4,
+            image_size: (192, 192),
+            ..ServiceConfig::default()
+        },
         Arc::new(store),
     );
 
@@ -57,17 +73,25 @@ fn main() {
     // A fourth user submits a short batch animation over dataset 0.
     let batch_user = ServiceClient::new(UserId(9), service.request_sender());
     let frames: Vec<FrameParams> = (0..6)
-        .map(|i| FrameParams { azimuth: i as f32 * 0.3, ..FrameParams::default() })
+        .map(|i| FrameParams {
+            azimuth: i as f32 * 0.3,
+            ..FrameParams::default()
+        })
         .collect();
     let batch_rx = batch_user.render_batch(BatchId(0), DatasetId(0), &frames);
 
     // Collect interactive frames; save the last frame of each user.
     let names = ["plume", "combustion", "supernova"];
     for (u, step, rx) in receivers {
-        let result = rx.recv_timeout(Duration::from_secs(60)).expect("interactive frame");
+        let result = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("interactive frame");
         if step == 7 {
             let path = format!("service-user{u}-{}.ppm", names[u]);
-            result.image.save_ppm(std::path::Path::new(&path)).expect("write ppm");
+            result
+                .image
+                .save_ppm(std::path::Path::new(&path))
+                .expect("write ppm");
             println!(
                 "user {u} ({}) frame: latency {:.1} ms, {} cache misses -> {path}",
                 names[u],
@@ -79,7 +103,9 @@ fn main() {
 
     let mut batch_done = 0;
     while batch_done < frames.len() {
-        batch_rx.recv_timeout(Duration::from_secs(60)).expect("batch frame");
+        batch_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("batch frame");
         batch_done += 1;
     }
     println!("batch animation: {batch_done} frames rendered");

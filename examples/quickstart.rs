@@ -8,8 +8,10 @@
 
 use vizsched_core::prelude::*;
 use vizsched_metrics::SchedulerReport;
-use vizsched_sim::{SimConfig, Simulation};
-use vizsched_workload::{ActionBehavior, BatchModel, DatasetChoice, InteractiveModel, WorkloadSpec};
+use vizsched_sim::{RunOptions, SimConfig, Simulation};
+use vizsched_workload::{
+    ActionBehavior, BatchModel, DatasetChoice, InteractiveModel, WorkloadSpec,
+};
 
 fn main() {
     // A 4-node cluster; each node can cache 2 GiB of chunks.
@@ -30,7 +32,12 @@ fn main() {
                 mean_think: SimDuration::from_millis(500),
             },
         },
-        batch: BatchModel { submissions: 2, frames_min: 20, frames_max: 40, window_frac: 0.5 },
+        batch: BatchModel {
+            submissions: 2,
+            frames_min: 20,
+            frames_max: 40,
+            window_frac: 0.5,
+        },
         dataset_count: 3,
         dataset_choice: DatasetChoice::Uniform,
         seed: 42,
@@ -39,11 +46,13 @@ fn main() {
     println!("generated {} jobs", jobs.len());
 
     // Simulate under the paper's scheduler (OURS).
-    let mut config =
-        SimConfig::new(cluster, CostParams::eight_node_cluster(), 512 << 20);
+    let mut config = SimConfig::new(cluster, CostParams::eight_node_cluster(), 512 << 20);
     config.warm_start = true;
     let sim = Simulation::new(config, datasets);
-    let outcome = sim.run(SchedulerKind::Ours, jobs, "quickstart");
+    let outcome = sim.run_opts(
+        jobs,
+        RunOptions::new(SchedulerKind::Ours).label("quickstart"),
+    );
 
     let report = SchedulerReport::from_run(&outcome.record);
     println!(

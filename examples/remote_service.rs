@@ -11,19 +11,29 @@ use std::sync::Arc;
 use std::time::Duration;
 use vizsched_core::ids::{ActionId, DatasetId, UserId};
 use vizsched_core::job::FrameParams;
-use vizsched_service::{ChunkStore, RemoteClient, ServiceConfig, StoreDataset, TcpServer, VizService};
+use vizsched_service::{
+    ChunkStore, RemoteClient, ServiceConfig, StoreDataset, TcpServer, VizService,
+};
 use vizsched_volume::Field;
 
 fn main() {
     let root = std::env::temp_dir().join(format!("vizsched-remote-{}", std::process::id()));
     let store = ChunkStore::create(
         &root,
-        &[StoreDataset { field: Field::Supernova, dims: [48, 48, 48], bricks: 4 }],
+        &[StoreDataset {
+            field: Field::Supernova,
+            dims: [48, 48, 48],
+            bricks: 4,
+        }],
     )
     .expect("store");
 
     let service = VizService::start(
-        ServiceConfig { nodes: 4, image_size: (160, 160), ..ServiceConfig::default() },
+        ServiceConfig {
+            nodes: 4,
+            image_size: (160, 160),
+            ..ServiceConfig::default()
+        },
         Arc::new(store),
     );
     let server = TcpServer::start("127.0.0.1:0", service.request_sender()).expect("bind");
@@ -45,7 +55,9 @@ fn main() {
         .collect();
 
     for (i, rx) in receivers.into_iter().enumerate() {
-        let resp = rx.recv_timeout(Duration::from_secs(60)).expect("frame over tcp");
+        let resp = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("frame over tcp");
         println!(
             "frame {i}: {}x{} px, latency {}, {} misses, {} KiB on the wire",
             resp.width,
@@ -59,7 +71,10 @@ fn main() {
             image
                 .save_ppm(std::path::Path::new("remote-frame.ppm"))
                 .expect("write frame");
-            println!("last frame saved to remote-frame.ppm ({:.1}% coverage)", image.coverage() * 100.0);
+            println!(
+                "last frame saved to remote-frame.ppm ({:.1}% coverage)",
+                image.coverage() * 100.0
+            );
         }
     }
 

@@ -10,7 +10,7 @@
 use vizsched_core::sched::SchedulerKind;
 use vizsched_core::time::SimDuration;
 use vizsched_metrics::{format_comparison, SchedulerReport};
-use vizsched_sim::{SimConfig, Simulation};
+use vizsched_sim::{RunOptions, SimConfig, Simulation};
 use vizsched_workload::Scenario;
 
 const GIB: u64 = 1 << 30;
@@ -23,13 +23,12 @@ fn main() {
         2 * GIB,
         6,
         4 * GIB,
-        4,                                // four concurrent users
+        4, // four concurrent users
         SimDuration::from_secs(20),
-        3,                                // three batch submissions
+        3, // three batch submissions
         7,
     );
-    let mut config =
-        SimConfig::new(scenario.cluster.clone(), scenario.cost, scenario.chunk_max);
+    let mut config = SimConfig::new(scenario.cluster.clone(), scenario.cost, scenario.chunk_max);
     config.exec_jitter = 0.05;
     config.warm_start = true;
     let sim = Simulation::new(config, scenario.datasets());
@@ -43,8 +42,13 @@ fn main() {
 
     let mut reports = Vec::new();
     for kind in SchedulerKind::ALL {
-        let outcome = sim.run(kind, jobs.clone(), "comparison");
-        assert_eq!(outcome.incomplete_jobs, 0, "{} left work behind", kind.name());
+        let outcome = sim.run_opts(jobs.clone(), RunOptions::new(kind).label("comparison"));
+        assert_eq!(
+            outcome.incomplete_jobs,
+            0,
+            "{} left work behind",
+            kind.name()
+        );
         reports.push(SchedulerReport::from_run(&outcome.record));
     }
     println!("{}", format_comparison(&reports));

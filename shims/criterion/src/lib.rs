@@ -1,0 +1,277 @@
+//! Offline stand-in for `criterion`: same macro/builder surface, but a
+//! lightweight timing loop instead of statistical analysis. Each benchmark
+//! runs a short warm-up plus `sample_size` timed iterations and prints the
+//! mean per-iteration time. Under `--test` (what `cargo test --benches`
+//! passes) every routine executes exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; the shim treats all sizes alike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier combining a function name with a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Per-benchmark measurement driver handed to routines.
+pub struct Bencher {
+    samples: u64,
+    smoke_test: bool,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            black_box(routine());
+            return;
+        }
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        report(start.elapsed(), self.samples);
+    }
+
+    /// Time `routine` with a fresh `setup()` value per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke_test {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup())); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        report(total, self.samples);
+    }
+}
+
+fn report(total: Duration, samples: u64) {
+    let mean = total / samples.max(1) as u32;
+    println!("{mean:>12.2?}/iter over {samples} iters");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group (accepted, unused beyond
+    /// the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let _ = n;
+        self
+    }
+
+    /// Override the measurement window (accepted, ignored).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        let _ = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.criterion
+            .run_one(&format!("{}/{}", self.name, id), |b| f(b));
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.criterion
+            .run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// End the group. No-op in the shim.
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            smoke_test: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the timed iteration count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    fn run_one(&self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        if self.smoke_test {
+            println!("bench {label} ... smoke test");
+        } else {
+            print!("bench {label:<48} ");
+        }
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            smoke_test: self.smoke_test,
+        };
+        f(&mut bencher);
+    }
+
+    /// Skip any benchmark filter. The shim runs everything.
+    pub fn final_summary(&self) {}
+}
+
+/// Bundle benchmark functions under a group name, optionally with a
+/// configured `Criterion` (`config = ...`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &k| {
+            b.iter_batched(
+                || vec![k; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_groups_and_targets() {
+        criterion_group! {
+            name = benches;
+            config = Criterion { sample_size: 2, smoke_test: true };
+            targets = sample_bench
+        }
+        benches();
+    }
+}

@@ -1,0 +1,463 @@
+//! A Mutex+Condvar MPMC channel mirroring `crossbeam_channel`'s API.
+//!
+//! Senders and receivers are cloneable; dropping the last sender
+//! disconnects receivers (and vice versa). `select!` is implemented by
+//! polling with a short park, which is ample for the workloads here
+//! (the service head loop waits on a 30 ms ticker).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+    cap: Option<usize>,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a message or disconnect arrives (wakes receivers).
+    available: Condvar,
+    /// Signalled when capacity frees up (wakes bounded senders).
+    space: Condvar,
+}
+
+impl<T> Inner<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Error returned when every receiver is gone; carries the message back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned when every sender is gone and the queue is drained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Non-blocking receive outcomes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Disconnected and drained.
+    Disconnected,
+}
+
+/// Timed receive outcomes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with nothing queued.
+    Timeout,
+    /// Disconnected and drained.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// An unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// A bounded MPMC channel; `send` blocks when `cap` messages are queued.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+            cap,
+        }),
+        available: Condvar::new(),
+        space: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+/// A channel that yields the current [`Instant`] every `period`, dropping
+/// ticks nobody consumed (at most one tick is ever queued).
+pub fn tick(period: Duration) -> Receiver<Instant> {
+    let (tx, rx) = bounded::<Instant>(1);
+    std::thread::spawn(move || loop {
+        std::thread::sleep(period);
+        if matches!(tx.try_send(Instant::now()), Err(TrySendError::Disconnected)) {
+            break;
+        }
+    });
+    rx
+}
+
+enum TrySendError {
+    Full,
+    Disconnected,
+}
+
+impl<T> Sender<T> {
+    /// Queue `value`, blocking while a bounded channel is full. Fails only
+    /// when every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.lock();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match state.cap {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self
+                        .inner
+                        .space
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    fn try_send(&self, value: T) -> Result<(), TrySendError> {
+        let mut state = self.inner.lock();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected);
+        }
+        if let Some(cap) = state.cap {
+            if state.queue.len() >= cap {
+                return Err(TrySendError::Full);
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.lock().senders += 1;
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.lock();
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            self.inner.available.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message or disconnection.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.inner.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.inner.space.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .inner
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.inner.lock();
+        if let Some(v) = state.queue.pop_front() {
+            drop(state);
+            self.inner.space.notify_one();
+            return Ok(v);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.inner.space.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (s, _) = self
+                .inner
+                .available
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = s;
+        }
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
+    }
+
+    /// Queued message count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True if a `recv` would complete without blocking (message queued or
+    /// channel disconnected). Used by the polling `select!`.
+    pub fn ready_hint(&self) -> bool {
+        let state = self.inner.lock();
+        !state.queue.is_empty() || state.senders == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.lock().receivers += 1;
+        Receiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.lock();
+        state.receivers -= 1;
+        let last = state.receivers == 0;
+        drop(state);
+        if last {
+            self.inner.space.notify_all();
+        }
+    }
+}
+
+/// Wait on several `recv` operations at once, running exactly one arm.
+///
+/// Supported form (arms are `recv(rx) -> pat => body`; like the real
+/// macro, block bodies may omit the separating comma):
+///
+/// ```ignore
+/// select! {
+///     recv(a) -> msg => { ... }
+///     recv(b) -> msg => do_thing(msg),
+/// }
+/// ```
+///
+/// Implementation note: readiness is detected by polling with a 50 µs
+/// park. Bodies execute at the macro's block level, so `break`/`continue`
+/// inside an arm target the caller's enclosing loop, as with the real
+/// `crossbeam_channel::select!`. With a single receiver per channel (the
+/// only usage pattern in this workspace) the post-poll `recv` cannot
+/// steal from another consumer.
+#[macro_export]
+macro_rules! select {
+    // Arm munchers: normalise every arm body to a block, with or without
+    // a trailing comma. Block rules come first so `{ ... }` bodies are not
+    // consumed as expressions (which would then demand a comma).
+    (@munch [$($acc:tt)*] recv($r:expr) -> $p:pat => $body:block , $($rest:tt)*) => {
+        $crate::channel::select!(@munch [$($acc)* {recv($r) -> $p => $body}] $($rest)*)
+    };
+    (@munch [$($acc:tt)*] recv($r:expr) -> $p:pat => $body:block $($rest:tt)*) => {
+        $crate::channel::select!(@munch [$($acc)* {recv($r) -> $p => $body}] $($rest)*)
+    };
+    (@munch [$($acc:tt)*] recv($r:expr) -> $p:pat => $body:expr , $($rest:tt)*) => {
+        $crate::channel::select!(@munch [$($acc)* {recv($r) -> $p => {$body}}] $($rest)*)
+    };
+    (@munch [$($acc:tt)*] recv($r:expr) -> $p:pat => $body:expr) => {
+        $crate::channel::select!(@munch [$($acc)* {recv($r) -> $p => {$body}}])
+    };
+    // All arms munched: expand the poll loop, then run the ready arm's
+    // body at this block level so `break`/`continue` reach the caller's
+    // enclosing loop.
+    (@munch [$({recv($r:expr) -> $p:pat => $body:block})+]) => {{
+        let __ready: usize = loop {
+            let mut __i = 0usize;
+            let mut __found = usize::MAX;
+            $(
+                #[allow(unused_assignments)]
+                {
+                    if __found == usize::MAX && $r.ready_hint() {
+                        __found = __i;
+                    }
+                    __i += 1;
+                }
+            )+
+            if __found != usize::MAX {
+                break __found;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        };
+        let mut __i = 0usize;
+        $(
+            #[allow(unused_assignments)]
+            {
+                if __ready == __i {
+                    let $p = $r.recv();
+                    $body
+                }
+                __i += 1;
+            }
+        )+
+    }};
+    ($($tokens:tt)+) => {
+        $crate::channel::select!(@munch [] $($tokens)+)
+    };
+}
+
+// `crossbeam::channel::select!` path compatibility.
+pub use crate::select;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn drop_sender_disconnects() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(5).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(5));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn drop_receiver_fails_send() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn timeout_expires() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = bounded(2);
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        handle.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ticker_fires() {
+        let rx = tick(Duration::from_millis(5));
+        assert!(rx.recv_timeout(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn select_runs_ready_arm_and_breaks_outer_loop() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(7).unwrap();
+        let got = loop {
+            select! {
+                recv(rx_a) -> msg => break Some(msg.unwrap()),
+                recv(rx_b) -> _msg => unreachable!(),
+            }
+        };
+        assert_eq!(got, Some(7));
+    }
+}

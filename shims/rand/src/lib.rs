@@ -1,0 +1,191 @@
+//! Offline stand-in for `rand` 0.10: seedable SplitMix64 generators and
+//! the `random_range` sampling surface used by this workspace.
+//!
+//! Streams are deterministic per seed but do not match upstream `rand`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of uniformly distributed 64-bit values.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        SampleRange::sample(range, self)
+    }
+}
+
+impl<G: Rng + ?Sized> RngExt for G {}
+
+/// A range that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draw one sample using `rng`.
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i32: u32, i64: u64);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// The bundled generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64: tiny, fast, and statistically solid for simulation use.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        fn step(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// The default "standard" generator.
+    pub type StdRng = SplitMix64;
+
+    /// The small/fast generator (same engine in this shim).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng(SplitMix64);
+
+    impl Rng for SplitMix64 {
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for SplitMix64 {
+        fn seed_from_u64(seed: u64) -> Self {
+            SplitMix64 {
+                state: seed ^ 0x5D58_8B65_6C07_8965,
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.step()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(SplitMix64::seed_from_u64(
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(
+                a.random_range(0u64..=u64::MAX),
+                b.random_range(0u64..=u64::MAX)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let f = rng.random_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let i = rng.random_range(5u64..=9);
+            assert!((5..=9).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let f = rng.random_range(0.0f64..1.0);
+            lo |= f < 0.1;
+            hi |= f > 0.9;
+        }
+        assert!(lo && hi, "samples should spread across the unit interval");
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for `rayon`: `into_par_iter` falls back to the
+//! sequential iterator. Results are identical; only wall-clock parallelism
+//! is lost, which the renderer treats as a performance knob, not a
+//! correctness contract.
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::IntoParallelIterator;
+}
+
+/// Sequential "parallel" iterator adapters.
+pub mod iter {
+    /// Conversion into a (sequential, in this shim) parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Yielded element type.
+        type Item;
+        /// The underlying iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert self; downstream `map`/`collect` are plain `Iterator`
+        /// combinators.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: Iterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I;
+        fn into_par_iter(self) -> I {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_par_iter_matches_sequential() {
+        let par: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * 2).collect();
+        let seq: Vec<usize> = (0..10usize).map(|x| x * 2).collect();
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! See `shims/README.md`. The real serde data model is not implemented;
+//! these traits exist so `#[derive(Serialize, Deserialize)]` annotations
+//! compile without a registry.
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The workspace derives these traits only as forward-looking annotations;
+//! nothing serializes through serde at run time (JSONL trace export and CSV
+//! reports are hand-written). The derives therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

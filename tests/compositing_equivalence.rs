@@ -5,11 +5,14 @@ use proptest::prelude::*;
 use vizsched_compositing::{composite, composite_reference, sort_by_visibility, CompositeAlgo};
 use vizsched_render::{Layer, RgbaImage};
 
-fn arbitrary_layers(
-    counts: &'static [usize],
-) -> impl Strategy<Value = Vec<Layer>> {
-    (prop::sample::select(counts), 1usize..12, 1usize..12, any::<u64>()).prop_map(
-        |(count, w, h, seed)| {
+fn arbitrary_layers(counts: &'static [usize]) -> impl Strategy<Value = Vec<Layer>> {
+    (
+        prop::sample::select(counts),
+        1usize..12,
+        1usize..12,
+        any::<u64>(),
+    )
+        .prop_map(|(count, w, h, seed)| {
             // Deterministic pseudo-random pixels from the seed.
             let mut state = seed | 1;
             let mut next = move || {
@@ -25,11 +28,13 @@ fn arbitrary_layers(
                         let a = next().clamp(0.0, 1.0);
                         *px = [a * next(), a * next(), a * next(), a];
                     }
-                    Layer { image, depth: next() * 100.0 + i as f32 * 1e-3 }
+                    Layer {
+                        image,
+                        depth: next() * 100.0 + i as f32 * 1e-3,
+                    }
                 })
                 .collect()
-        },
-    )
+        })
 }
 
 fn reference(layers: &[Layer]) -> RgbaImage {

@@ -3,7 +3,7 @@
 
 use vizsched_core::prelude::*;
 use vizsched_core::sched::{OursParams, OursScheduler};
-use vizsched_sim::{SimConfig, Simulation};
+use vizsched_sim::{RunOptions, SimConfig, Simulation};
 
 const GIB: u64 = 1 << 30;
 const MIB: u64 = 1 << 20;
@@ -11,7 +11,10 @@ const MIB: u64 = 1 << 20;
 fn interactive(id: u64, action: u64, dataset: u32, at: SimTime) -> Job {
     Job {
         id: JobId(id),
-        kind: JobKind::Interactive { user: UserId(action as u32), action: ActionId(action) },
+        kind: JobKind::Interactive {
+            user: UserId(action as u32),
+            action: ActionId(action),
+        },
         dataset: DatasetId(dataset),
         issue_time: at,
         frame: FrameParams::default(),
@@ -28,9 +31,10 @@ fn upload_cost_appears_between_hit_and_miss() {
     let mut config = SimConfig::new(cluster, cost, 512 * MIB);
     config.gpu_quota = Some(512 * MIB);
     let sim = Simulation::new(config, uniform_datasets(1, GIB)); // 2 chunks
-    let jobs: Vec<Job> =
-        (0..20).map(|i| interactive(i, 0, 0, SimTime::from_millis(500 * i))).collect();
-    let outcome = sim.run(SchedulerKind::Ours, jobs, "upload");
+    let jobs: Vec<Job> = (0..20)
+        .map(|i| interactive(i, 0, 0, SimTime::from_millis(500 * i)))
+        .collect();
+    let outcome = sim.run_opts(jobs, RunOptions::new(SchedulerKind::Ours).label("upload"));
     assert_eq!(outcome.incomplete_jobs, 0);
     // 20 jobs x 2 tasks: 2 disk misses, everything else host hits needing
     // uploads — so GPU hits stay rare (the two tasks of a job alternate
@@ -46,7 +50,10 @@ fn upload_cost_appears_between_hit_and_miss() {
     // far above the pure render time.
     let warm = &outcome.record.jobs[10];
     let latency = warm.timing.latency().unwrap();
-    assert!(latency >= cost.upload_time(512 * MIB), "latency {latency} lacks the upload");
+    assert!(
+        latency >= cost.upload_time(512 * MIB),
+        "latency {latency} lacks the upload"
+    );
 }
 
 #[test]
@@ -55,19 +62,22 @@ fn ample_vram_behaves_like_the_base_model() {
     let cost = CostParams::default();
     // Jobs spaced far apart: every job after the first runs fully warm with
     // no queueing, so the models must agree exactly.
-    let jobs: Vec<Job> =
-        (0..10).map(|i| interactive(i, 0, 0, SimTime::from_secs(10 * i))).collect();
+    let jobs: Vec<Job> = (0..10)
+        .map(|i| interactive(i, 0, 0, SimTime::from_secs(10 * i)))
+        .collect();
 
     // GPU as large as the host tier: after first touch everything is
     // GPU-resident.
     let mut with_gpu = SimConfig::new(cluster.clone(), cost, 512 * MIB);
     with_gpu.gpu_quota = Some(2 * GIB);
-    let a = Simulation::new(with_gpu, uniform_datasets(1, 2 * GIB))
-        .run(SchedulerKind::Ours, jobs.clone(), "gpu");
+    let a = Simulation::new(with_gpu, uniform_datasets(1, 2 * GIB)).run_opts(
+        jobs.clone(),
+        RunOptions::new(SchedulerKind::Ours).label("gpu"),
+    );
 
     let without = SimConfig::new(cluster, cost, 512 * MIB);
     let b = Simulation::new(without, uniform_datasets(1, 2 * GIB))
-        .run(SchedulerKind::Ours, jobs, "base");
+        .run_opts(jobs, RunOptions::new(SchedulerKind::Ours).label("base"));
 
     assert_eq!(a.record.cache_misses, b.record.cache_misses);
     // Warm-task GPU hits: every hit is GPU-resident when VRAM is ample.
@@ -76,7 +86,10 @@ fn ample_vram_behaves_like_the_base_model() {
     // on first touch).
     let last_a = a.record.jobs.last().unwrap().timing.latency().unwrap();
     let last_b = b.record.jobs.last().unwrap().timing.latency().unwrap();
-    assert_eq!(last_a, last_b, "ample VRAM must match the base model when warm");
+    assert_eq!(
+        last_a, last_b,
+        "ample VRAM must match the base model when warm"
+    );
 }
 
 #[test]
@@ -86,13 +99,19 @@ fn gpu_aware_scheduler_prefers_gpu_resident_replicas() {
     let mut tables = HeadTables::with_gpu_tier(&cluster, GIB, EvictionPolicy::Lru);
     let catalog = Catalog::new(
         uniform_datasets(1, GIB),
-        DecompositionPolicy::MaxChunkSize { max_bytes: 512 * MIB },
+        DecompositionPolicy::MaxChunkSize {
+            max_bytes: 512 * MIB,
+        },
     );
     let cost = CostParams::default();
     let chunk = ChunkId::new(DatasetId(0), 0);
     tables.cache.record_load(NodeId(0), chunk, 512 * MIB);
     tables.cache.record_load(NodeId(1), chunk, 512 * MIB);
-    tables.gpu_cache.as_mut().unwrap().record_load(NodeId(1), chunk, 512 * MIB);
+    tables
+        .gpu_cache
+        .as_mut()
+        .unwrap()
+        .record_load(NodeId(1), chunk, 512 * MIB);
 
     let ctx = ScheduleCtx {
         now: SimTime::ZERO,
@@ -103,8 +122,14 @@ fn gpu_aware_scheduler_prefers_gpu_resident_replicas() {
     // Host-level locality sees a tie and picks node 0; GPU-aware locality
     // must pick node 1, dodging the upload.
     assert_eq!(ctx.earliest_node_with_locality(chunk, 512 * MIB), NodeId(0));
-    assert_eq!(ctx.earliest_node_with_gpu_locality(chunk, 512 * MIB), NodeId(1));
-    assert_eq!(ctx.movement_estimate(NodeId(1), chunk, 512 * MIB), SimDuration::ZERO);
+    assert_eq!(
+        ctx.earliest_node_with_gpu_locality(chunk, 512 * MIB),
+        NodeId(1)
+    );
+    assert_eq!(
+        ctx.movement_estimate(NodeId(1), chunk, 512 * MIB),
+        SimDuration::ZERO
+    );
     assert_eq!(
         ctx.movement_estimate(NodeId(0), chunk, 512 * MIB),
         cost.upload_time(512 * MIB)
@@ -128,7 +153,10 @@ fn gpu_aware_ours_runs_end_to_end() {
         gpu_aware: true,
         ..OursParams::default()
     }));
-    let outcome = sim.run_with(sched, jobs, "gpu-aware");
+    let outcome = sim.run_opts(jobs, RunOptions::with_scheduler(sched).label("gpu-aware"));
     assert_eq!(outcome.incomplete_jobs, 0);
-    assert!(outcome.record.gpu_hits > 0, "steady actions should hit the GPU tier");
+    assert!(
+        outcome.record.gpu_hits > 0,
+        "steady actions should hit the GPU tier"
+    );
 }

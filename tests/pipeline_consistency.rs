@@ -8,7 +8,12 @@ use vizsched_render::{Camera, RenderSettings, TransferFunction};
 use vizsched_volume::{split_z, Field, Volume};
 
 fn settings() -> RenderSettings {
-    RenderSettings { width: 96, height: 96, step: 0.4, ..RenderSettings::default() }
+    RenderSettings {
+        width: 96,
+        height: 96,
+        step: 0.4,
+        ..RenderSettings::default()
+    }
 }
 
 /// Mean absolute per-channel difference between two images.
@@ -35,8 +40,10 @@ fn distributed_render_matches_monolithic() {
         let monolithic = render_parallel(&volume, &camera, &tf, &s);
         for brick_count in [2usize, 3, 4] {
             let bricks = split_z(&volume, brick_count);
-            let layers: Vec<_> =
-                bricks.iter().map(|b| render_brick(b, &camera, &tf, &s)).collect();
+            let layers: Vec<_> = bricks
+                .iter()
+                .map(|b| render_brick(b, &camera, &tf, &s))
+                .collect();
             let distributed = composite(layers, CompositeAlgo::Auto);
             let diff = mean_diff(&monolithic, &distributed);
             assert!(
@@ -55,7 +62,10 @@ fn brick_count_does_not_change_the_image_much() {
     let camera = Camera::orbit(volume.dims, 1.2, 0.2, 2.4);
     let render_with = |count: usize| {
         let bricks = split_z(&volume, count);
-        let layers: Vec<_> = bricks.iter().map(|b| render_brick(b, &camera, &tf, &s)).collect();
+        let layers: Vec<_> = bricks
+            .iter()
+            .map(|b| render_brick(b, &camera, &tf, &s))
+            .collect();
         composite(layers, CompositeAlgo::Auto)
     };
     let two = render_with(2);
@@ -73,7 +83,10 @@ fn transfer_function_controls_what_is_visible() {
     let s = settings();
     let a = render_parallel(&volume, &camera, &TransferFunction::preset(0), &s);
     let b = render_parallel(&volume, &camera, &TransferFunction::preset(1), &s);
-    assert!(a.max_abs_diff(&b) > 0.05, "presets 0 and 1 rendered identically");
+    assert!(
+        a.max_abs_diff(&b) > 0.05,
+        "presets 0 and 1 rendered identically"
+    );
 }
 
 #[test]
@@ -92,7 +105,10 @@ fn simulator_and_cost_model_agree_on_pipeline_ratios() {
         let render = cost.render_time(bytes);
         let comp = cost.composite_time(group);
         assert!(io > render * 50, "io {io} should dwarf render {render}");
-        assert!(render > comp, "render {render} should exceed composite {comp}");
+        assert!(
+            render > comp,
+            "render {render} should exceed composite {comp}"
+        );
     }
 }
 
@@ -104,7 +120,12 @@ fn empty_space_skipping_preserves_the_image_and_saves_samples() {
     // Supernova: a dense shell surrounded by lots of empty space.
     let volume: Volume<f32> = Field::Supernova.sample([48, 48, 48]);
     let tf = TransferFunction::preset(0);
-    let s = RenderSettings { width: 64, height: 64, shading: false, ..settings() };
+    let s = RenderSettings {
+        width: 64,
+        height: 64,
+        shading: false,
+        ..settings()
+    };
     let camera = Camera::orbit(volume.dims, 0.6, 0.25, 2.4);
 
     let plain = render(&volume, &camera, &tf, &s);

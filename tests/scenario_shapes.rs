@@ -5,17 +5,24 @@
 use vizsched_core::sched::SchedulerKind;
 use vizsched_core::time::SimDuration;
 use vizsched_metrics::SchedulerReport;
-use vizsched_sim::{SimConfig, Simulation};
+use vizsched_sim::{RunOptions, SimConfig, Simulation};
 use vizsched_workload::Scenario;
 
 fn run(scenario: &Scenario, kind: SchedulerKind) -> SchedulerReport {
-    let mut config =
-        SimConfig::new(scenario.cluster.clone(), scenario.cost, scenario.chunk_max);
+    let mut config = SimConfig::new(scenario.cluster.clone(), scenario.cost, scenario.chunk_max);
     config.exec_jitter = 0.05;
     config.warm_start = true;
     let sim = Simulation::new(config, scenario.datasets());
-    let outcome = sim.run(kind, scenario.jobs(), &scenario.label);
-    assert_eq!(outcome.incomplete_jobs, 0, "{} left jobs incomplete", kind.name());
+    let outcome = sim.run_opts(
+        scenario.jobs(),
+        RunOptions::new(kind).label(&scenario.label),
+    );
+    assert_eq!(
+        outcome.incomplete_jobs,
+        0,
+        "{} left jobs incomplete",
+        kind.name()
+    );
     SchedulerReport::from_run(&outcome.record)
 }
 
@@ -32,14 +39,30 @@ fn scenario1_shape_holds() {
 
     // OURS and FCFSL hit the target with near-perfect reuse.
     assert!(ours.fps.mean > target * 0.95, "OURS fps {}", ours.fps.mean);
-    assert!(fcfsl.fps.mean > target * 0.95, "FCFSL fps {}", fcfsl.fps.mean);
+    assert!(
+        fcfsl.fps.mean > target * 0.95,
+        "FCFSL fps {}",
+        fcfsl.fps.mean
+    );
     assert!(ours.hit_rate > 0.99, "OURS hit rate {}", ours.hit_rate);
-    assert!(ours.interactive_latency.mean < 0.2, "OURS latency {}", ours.interactive_latency.mean);
+    assert!(
+        ours.interactive_latency.mean < 0.2,
+        "OURS latency {}",
+        ours.interactive_latency.mean
+    );
 
     // FCFSU pays whole-cluster overhead per frame: clearly below target,
     // roughly half.
-    assert!(fcfsu.fps.mean < target * 0.75, "FCFSU fps {}", fcfsu.fps.mean);
-    assert!(fcfsu.fps.mean > target * 0.3, "FCFSU fps {}", fcfsu.fps.mean);
+    assert!(
+        fcfsu.fps.mean < target * 0.75,
+        "FCFSU fps {}",
+        fcfsu.fps.mean
+    );
+    assert!(
+        fcfsu.fps.mean > target * 0.3,
+        "FCFSU fps {}",
+        fcfsu.fps.mean
+    );
 
     // Locality-blind FCFS collapses: thrashing hit rate and ~0 fps.
     assert!(fcfs.fps.mean < 2.0, "FCFS fps {}", fcfs.fps.mean);
@@ -59,8 +82,17 @@ fn scenario2_shape_holds() {
     // OURS keeps interactive close to target by deferring batch work...
     assert!(ours.fps.mean > target * 0.8, "OURS fps {}", ours.fps.mean);
     // ...while the interleaving policies drop well below it.
-    assert!(fcfsl.fps.mean < ours.fps.mean, "FCFSL {} vs OURS {}", fcfsl.fps.mean, ours.fps.mean);
-    assert!(fcfsu.fps.mean < target * 0.75, "FCFSU fps {}", fcfsu.fps.mean);
+    assert!(
+        fcfsl.fps.mean < ours.fps.mean,
+        "FCFSL {} vs OURS {}",
+        fcfsl.fps.mean,
+        ours.fps.mean
+    );
+    assert!(
+        fcfsu.fps.mean < target * 0.75,
+        "FCFSU fps {}",
+        fcfsu.fps.mean
+    );
 
     // OURS interactive latency beats both conventional locality schemes.
     assert!(
@@ -97,7 +129,11 @@ fn table3_shape_holds() {
     assert!(fs.hit_rate < 0.6, "FS {}", fs.hit_rate);
 
     // Scheduling stays far below the paper's own budget (tens of us/job).
-    assert!(ours.sched_cost_us < 100.0, "OURS cost {}", ours.sched_cost_us);
+    assert!(
+        ours.sched_cost_us < 100.0,
+        "OURS cost {}",
+        ours.sched_cost_us
+    );
 }
 
 /// Fault tolerance (§VI-D): a node crash mid-run must not lose jobs.
@@ -108,17 +144,30 @@ fn crash_during_scenario_is_absorbed() {
     use vizsched_sim::Fault;
 
     let scenario = Scenario::table2(1).shortened(SimDuration::from_secs(8));
-    let mut config =
-        SimConfig::new(scenario.cluster.clone(), scenario.cost, scenario.chunk_max);
+    let mut config = SimConfig::new(scenario.cluster.clone(), scenario.cost, scenario.chunk_max);
     config.exec_jitter = 0.05;
     config.warm_start = true;
     config.faults = vec![
-        Fault { time: SimTime::from_secs(3), node: NodeId(2), crash: true },
-        Fault { time: SimTime::from_secs(6), node: NodeId(2), crash: false },
+        Fault {
+            time: SimTime::from_secs(3),
+            node: NodeId(2),
+            crash: true,
+        },
+        Fault {
+            time: SimTime::from_secs(6),
+            node: NodeId(2),
+            crash: false,
+        },
     ];
     let sim = Simulation::new(config, scenario.datasets());
-    let outcome = sim.run(SchedulerKind::Ours, scenario.jobs(), "crash");
-    assert_eq!(outcome.incomplete_jobs, 0, "crash must not lose rendering jobs");
+    let outcome = sim.run_opts(
+        scenario.jobs(),
+        RunOptions::new(SchedulerKind::Ours).label("crash"),
+    );
+    assert_eq!(
+        outcome.incomplete_jobs, 0,
+        "crash must not lose rendering jobs"
+    );
     let report = SchedulerReport::from_run(&outcome.record);
     // Seven healthy nodes still carry the load near target.
     assert!(report.fps.mean > 20.0, "fps {}", report.fps.mean);
@@ -140,5 +189,9 @@ fn scenario3_shape_holds() {
     );
     assert!(ours.hit_rate > 0.99, "OURS hit {}", ours.hit_rate);
     // FCFSU: whole-cluster jobs on 64 nodes -> far below target.
-    assert!(fcfsu.fps.mean < target * 0.5, "FCFSU fps {}", fcfsu.fps.mean);
+    assert!(
+        fcfsu.fps.mean < target * 0.5,
+        "FCFSU fps {}",
+        fcfsu.fps.mean
+    );
 }

@@ -39,9 +39,16 @@ fn build_jobs(specs: &[JobSpec]) -> Vec<Job> {
         .map(|(i, s)| Job {
             id: JobId(i as u64),
             kind: if s.interactive {
-                JobKind::Interactive { user: UserId(s.user), action: ActionId(s.user as u64) }
+                JobKind::Interactive {
+                    user: UserId(s.user),
+                    action: ActionId(s.user as u64),
+                }
             } else {
-                JobKind::Batch { user: UserId(s.user), request: BatchId(i as u64), frame: 0 }
+                JobKind::Batch {
+                    user: UserId(s.user),
+                    request: BatchId(i as u64),
+                    frame: 0,
+                }
             },
             dataset: DatasetId(s.dataset),
             issue_time: SimTime::ZERO,
@@ -66,7 +73,12 @@ fn drain(kind: SchedulerKind, nodes: usize, jobs: Vec<Job>) -> Vec<Assignment> {
     let mut out = Vec::new();
     let mut now = SimTime::ZERO;
     {
-        let mut ctx = ScheduleCtx { now, tables: &mut tables, catalog: &catalog, cost: &cost };
+        let mut ctx = ScheduleCtx {
+            now,
+            tables: &mut tables,
+            catalog: &catalog,
+            cost: &cost,
+        };
         out.extend(sched.schedule(&mut ctx, jobs));
     }
     let mut rounds = 0;
@@ -76,9 +88,16 @@ fn drain(kind: SchedulerKind, nodes: usize, jobs: Vec<Job>) -> Vec<Assignment> {
         now += SimDuration::from_secs(30);
         // All nodes idle again.
         for k in 0..nodes {
-            tables.available.correct(vizsched_core::ids::NodeId(k as u32), now);
+            tables
+                .available
+                .correct(vizsched_core::ids::NodeId(k as u32), now);
         }
-        let mut ctx = ScheduleCtx { now, tables: &mut tables, catalog: &catalog, cost: &cost };
+        let mut ctx = ScheduleCtx {
+            now,
+            tables: &mut tables,
+            catalog: &catalog,
+            cost: &cost,
+        };
         out.extend(sched.schedule(&mut ctx, Vec::new()));
     }
     out

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use vizsched_core::prelude::*;
-use vizsched_sim::{Fault, SimConfig, Simulation};
+use vizsched_sim::{Fault, RunOptions, SimConfig, Simulation};
 
 const GIB: u64 = 1 << 30;
 const MIB: u64 = 1 << 20;
@@ -33,7 +33,14 @@ fn workload_case() -> impl Strategy<Value = WorkloadCase> {
                 job.0 %= datasets;
             }
             jobs.sort_by_key(|j| j.2);
-            WorkloadCase { nodes, datasets, jobs, kind_pick, warm, jitter }
+            WorkloadCase {
+                nodes,
+                datasets,
+                jobs,
+                kind_pick,
+                warm,
+                jitter,
+            }
         })
 }
 
@@ -56,7 +63,11 @@ fn build(case: &WorkloadCase) -> (Simulation, Vec<Job>) {
                     action: ActionId((i % 3) as u64),
                 }
             } else {
-                JobKind::Batch { user: UserId(9), request: BatchId(i as u64), frame: 0 }
+                JobKind::Batch {
+                    user: UserId(9),
+                    request: BatchId(i as u64),
+                    frame: 0,
+                }
             },
             dataset: DatasetId(dataset),
             issue_time: SimTime::from_millis(ms),
@@ -76,7 +87,7 @@ proptest! {
         let kind = SchedulerKind::ALL[case.kind_pick];
         let (sim, jobs) = build(&case);
         let total_jobs = jobs.len();
-        let outcome = sim.run(kind, jobs, "prop");
+        let outcome = sim.run_opts(jobs, RunOptions::new(kind).label("prop"));
         prop_assert_eq!(outcome.incomplete_jobs, 0, "{}", kind.name());
         prop_assert_eq!(outcome.record.jobs.len(), total_jobs);
         let decomposed: u64 = outcome.record.jobs.iter().map(|j| u64::from(j.tasks)).sum();
@@ -89,7 +100,7 @@ proptest! {
     fn timing_invariants_hold(case in workload_case()) {
         let kind = SchedulerKind::ALL[case.kind_pick];
         let (sim, jobs) = build(&case);
-        let outcome = sim.run(kind, jobs, "prop");
+        let outcome = sim.run_opts(jobs, RunOptions::new(kind).label("prop"));
         let mut max_finish = SimTime::ZERO;
         for job in &outcome.record.jobs {
             let start = job.timing.start.expect("all jobs started");
@@ -108,7 +119,7 @@ proptest! {
     fn nodes_never_overlap(case in workload_case()) {
         let kind = SchedulerKind::ALL[case.kind_pick];
         let (sim, jobs) = build(&case);
-        let outcome = sim.run(kind, jobs, "prop");
+        let outcome = sim.run_opts(jobs, RunOptions::new(kind).label("prop"));
         let mut per_node: std::collections::HashMap<u32, Vec<(SimTime, SimTime)>> =
             std::collections::HashMap::new();
         for t in &outcome.trace {
@@ -141,7 +152,7 @@ proptest! {
         ];
         let sim = Simulation::new(config, uniform_datasets(case.datasets, 2 * GIB));
         let total = jobs.len();
-        let outcome = sim.run(kind, jobs, "fault");
+        let outcome = sim.run_opts(jobs, RunOptions::new(kind).label("fault"));
         prop_assert_eq!(outcome.incomplete_jobs, 0, "{}", kind.name());
         prop_assert_eq!(outcome.record.jobs.len(), total);
     }
