@@ -16,7 +16,7 @@
 //!   (§III),
 //! * the [cost model](cost) — task execution, job latency, per-action
 //!   frame rate (§IV, Definitions 1–4),
-//! * the three head-node [tables](tables) — `Available`, `Cache`,
+//! * the three head-node [tables] — `Available`, `Cache`,
 //!   `Estimate` — with run-time correction (§V),
 //! * six [scheduling policies](sched): the paper's cycle-based,
 //!   locality-aware, batch-deferring scheduler (**OURS**, Algorithm 1) and

@@ -1,7 +1,7 @@
 //! Fair-Sharing with *delay scheduling* (FSD) — an extension baseline.
 //!
 //! The paper's FS baseline comes from Hadoop's fair scheduler, and cites
-//! Zaharia et al.'s *delay scheduling* [26] ("a simple technique for
+//! Zaharia et al.'s *delay scheduling* \[26\] ("a simple technique for
 //! achieving locality and fairness in cluster scheduling"). FSD applies
 //! that technique here: jobs are still granted in least-served-user order,
 //! but a job whose data is cached *somewhere* may wait up to

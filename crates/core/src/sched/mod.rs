@@ -292,7 +292,7 @@ pub enum SchedulerKind {
     /// Fair-Sharing.
     Fs,
     /// Fair-Sharing with delay scheduling (extension baseline; the
-    /// technique of the paper's citation [26], not part of its own
+    /// technique of the paper's citation \[26\], not part of its own
     /// evaluation — excluded from [`SchedulerKind::ALL`]).
     FsDelay,
     /// The paper's proposed scheduler.

@@ -133,9 +133,9 @@ pub enum TraceEvent {
         /// The chunk dropped.
         chunk: ChunkId,
     },
-    /// A node crashed (`t = "node_down"`).
-    NodeDown {
-        /// Crash time.
+    /// A node faulted — crash or channel disconnect (`t = "node_fault"`).
+    NodeFault {
+        /// Fault time.
         now: SimTime,
         /// The failed node.
         node: NodeId,
@@ -172,7 +172,7 @@ impl TraceEvent {
             | TraceEvent::AvailableCorrection { now, .. }
             | TraceEvent::CacheLoad { now, .. }
             | TraceEvent::CacheEvict { now, .. }
-            | TraceEvent::NodeDown { now, .. }
+            | TraceEvent::NodeFault { now, .. }
             | TraceEvent::NodeUp { now, .. }
             | TraceEvent::JobDone { now, .. } => now,
         }
@@ -321,14 +321,14 @@ impl TraceEvent {
                 chunk_json(s, chunk);
                 s.push('}');
             }
-            TraceEvent::NodeDown {
+            TraceEvent::NodeFault {
                 now,
                 node,
                 lost_tasks,
             } => {
                 let _ = write!(
                     s,
-                    "{{\"t\":\"node_down\",\"now_us\":{},\"node\":{},\"lost\":{lost_tasks}}}",
+                    "{{\"t\":\"node_fault\",\"now_us\":{},\"node\":{},\"lost\":{lost_tasks}}}",
                     now.as_micros(),
                     node.0
                 );
@@ -900,7 +900,7 @@ mod tests {
                 node: NodeId(0),
                 chunk: chunk(1),
             },
-            TraceEvent::NodeDown {
+            TraceEvent::NodeFault {
                 now: SimTime::ZERO,
                 node: NodeId(1),
                 lost_tasks: 4,

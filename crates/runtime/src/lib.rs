@@ -1,0 +1,782 @@
+//! # vizsched-runtime
+//!
+//! The head node's control loop, written once and shared by every
+//! execution substrate. Algorithm 1 and its surrounding machinery — job
+//! intake, `Trigger`-aware scheduler invocation, assignment commit, the
+//! run-time table corrections of §V-B (`Estimate` from measurements,
+//! `Cache` reconciled against real loads and evictions, `Available`
+//! recomputed from the true backlog), node fault/recovery handling, and
+//! all probe emission — live in [`HeadRuntime`].
+//!
+//! What varies between the discrete-event simulator (`vizsched-sim`) and
+//! the live threaded service (`vizsched-service`) is only *how a task
+//! actually runs*: the [`Substrate`] trait carries exactly that seam. The
+//! substrate delivers jobs and completions to the runtime on its own
+//! clock (virtual or wall) and executes whatever the runtime dispatches;
+//! the runtime owns every scheduling decision and every table mutation.
+//! One implementation of the paper's head node, two drivers — which is
+//! what keeps simulator-vs-service comparisons honest.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::Arc;
+use std::time::Instant;
+use vizsched_core::cost::{CostParams, JobTiming};
+use vizsched_core::data::Catalog;
+use vizsched_core::fxhash::FxHashMap;
+use vizsched_core::ids::{ChunkId, JobId, NodeId};
+use vizsched_core::job::Job;
+use vizsched_core::sched::{Assignment, ScheduleCtx, Scheduler, Trigger};
+use vizsched_core::tables::HeadTables;
+use vizsched_core::time::{SimDuration, SimTime};
+use vizsched_metrics::{JobRecord, Probe, RunRecord, TraceEvent};
+
+/// The execution seam between the head runtime and whatever actually runs
+/// tasks: a discrete-event node model, a pool of render threads, or (in
+/// tests) a recording stub.
+pub trait Substrate {
+    /// Hand one committed assignment to the execution layer.
+    ///
+    /// Return `true` if the task is now in flight (the runtime starts
+    /// tracking it as outstanding work on its node) or `false` if the
+    /// owning job is gone and the assignment should be dropped on the
+    /// floor. A substrate whose transport to the node has failed should
+    /// still return `true` and surface the failure as a node fault — the
+    /// fault path reroutes every outstanding task, this one included.
+    fn dispatch(&mut self, assignment: &Assignment) -> bool;
+}
+
+/// One finished task, as reported by a substrate back to the runtime.
+///
+/// The simulator fills this from its authoritative node model; the live
+/// service from a render node's completion message. Times are on the
+/// substrate's clock (virtual or wall — the runtime never compares them
+/// across substrates).
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The node that executed the task.
+    pub node: NodeId,
+    /// Owning job.
+    pub job: JobId,
+    /// Task index within the job.
+    pub task: u32,
+    /// The chunk rendered.
+    pub chunk: ChunkId,
+    /// When execution started.
+    pub started: SimTime,
+    /// When execution finished.
+    pub finish: SimTime,
+    /// Measured I/O time (zero on a cache hit) — the `Estimate[c]`
+    /// correction input.
+    pub io: SimDuration,
+    /// True if the chunk was fetched from storage.
+    pub miss: bool,
+    /// Chunks the node evicted to make room — the `Cache` reconciliation
+    /// input.
+    pub evicted: Vec<ChunkId>,
+    /// True if the chunk was already resident in the node's GPU tier
+    /// (always false for substrates without the two-tier extension).
+    pub gpu_resident: bool,
+    /// Chunks evicted from the GPU tier specifically.
+    pub gpu_evicted: Vec<ChunkId>,
+}
+
+/// Returned by [`HeadRuntime::on_task_done`] when the completion was the
+/// job's last task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobFinish {
+    /// The finished job.
+    pub job: JobId,
+    /// Finish time of the job's last task.
+    pub finish: SimTime,
+    /// Issue-to-finish latency (Definition 3).
+    pub latency: SimDuration,
+}
+
+/// Per-node completion counters, maintained from the completions the
+/// runtime observes (a substrate with direct node access may prefer its
+/// own, more detailed accounting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Tasks completed on this node.
+    pub tasks: u64,
+    /// Completions served from the node's cache.
+    pub hits: u64,
+    /// Completions that performed storage I/O.
+    pub misses: u64,
+}
+
+/// Everything the runtime can aggregate by itself at the end of a run.
+#[derive(Clone, Debug)]
+pub struct RuntimeOutcome {
+    /// The run record consumed by `vizsched-metrics`. Hit/miss counters
+    /// and makespan come from observed completions; GPU hits and eviction
+    /// totals are zero (only an authoritative node model knows them — the
+    /// simulator overrides these fields from its own counters).
+    pub record: RunRecord,
+    /// Jobs that never completed (nonzero only if nodes stayed down or
+    /// the run was cut short).
+    pub incomplete_jobs: usize,
+    /// Per-node completion counters, indexed by node.
+    pub per_node: Vec<NodeCounters>,
+    /// Jobs fully completed.
+    pub jobs_completed: u64,
+    /// Mean issue-to-finish latency over completed jobs, seconds.
+    pub mean_latency_secs: f64,
+}
+
+struct JobState {
+    record: JobRecord,
+    remaining: u32,
+    max_finish: SimTime,
+}
+
+/// The shared head-node runtime: one instance per run, driven by a
+/// substrate-specific event loop.
+///
+/// The driving loop's contract:
+/// * call [`on_job_arrival`](HeadRuntime::on_job_arrival) for every
+///   accepted job — on-arrival policies are invoked immediately, cycle
+///   policies buffer (the return value says which happened, so an
+///   event-driven substrate knows to arm a cycle tick);
+/// * call [`on_cycle`](HeadRuntime::on_cycle) at cycle boundaries — a
+///   no-op unless jobs are buffered or the policy holds deferred work;
+/// * call [`on_task_done`](HeadRuntime::on_task_done) for every
+///   completion — this applies the full §V-B correction set;
+/// * call [`on_node_fault`](HeadRuntime::on_node_fault) /
+///   [`on_node_recover`](HeadRuntime::on_node_recover) when the substrate
+///   loses or regains a node;
+/// * call [`into_outcome`](HeadRuntime::into_outcome) once at the end.
+pub struct HeadRuntime {
+    scheduler: Box<dyn Scheduler>,
+    tables: HeadTables,
+    catalog: Catalog,
+    cost: CostParams,
+    probe: Arc<dyn Probe>,
+    scenario: String,
+    /// Arrival buffer for cycle-triggered policies.
+    buffer: Vec<Job>,
+    jobs: FxHashMap<JobId, JobState>,
+    job_order: Vec<JobId>,
+    /// Dispatched-but-unfinished assignments per node, in dispatch order
+    /// (nodes execute FIFO): their summed predicted exec is the real
+    /// backlog behind the `Available` correction, and on a fault they are
+    /// exactly the tasks to re-place.
+    outstanding: Vec<Vec<Assignment>>,
+    per_node: Vec<NodeCounters>,
+    cache_hits: u64,
+    cache_misses: u64,
+    jobs_completed: u64,
+    latency_total_secs: f64,
+    last_finish: SimTime,
+    sched_wall_micros: u64,
+    sched_invocations: u64,
+    jobs_scheduled: u64,
+}
+
+impl HeadRuntime {
+    /// Build a runtime over pre-constructed tables (the substrate chooses
+    /// quotas, eviction policy, and whether a GPU tier exists).
+    pub fn new(
+        scheduler: Box<dyn Scheduler>,
+        tables: HeadTables,
+        catalog: Catalog,
+        cost: CostParams,
+        probe: Arc<dyn Probe>,
+        scenario: &str,
+    ) -> Self {
+        let nodes = tables.node_count();
+        HeadRuntime {
+            scheduler,
+            tables,
+            catalog,
+            cost,
+            probe,
+            scenario: scenario.to_string(),
+            buffer: Vec::new(),
+            jobs: FxHashMap::default(),
+            job_order: Vec::new(),
+            outstanding: vec![Vec::new(); nodes],
+            per_node: vec![NodeCounters::default(); nodes],
+            cache_hits: 0,
+            cache_misses: 0,
+            jobs_completed: 0,
+            latency_total_secs: 0.0,
+            last_finish: SimTime::ZERO,
+            sched_wall_micros: 0,
+            sched_invocations: 0,
+            jobs_scheduled: 0,
+        }
+    }
+
+    /// The policy's invocation trigger.
+    pub fn trigger(&self) -> Trigger {
+        self.scheduler.trigger()
+    }
+
+    /// Whether the policy is holding deferred work for a later cycle.
+    pub fn has_deferred(&self) -> bool {
+        self.scheduler.has_deferred()
+    }
+
+    /// The policy's display name.
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    /// The head tables (read access).
+    pub fn tables(&self) -> &HeadTables {
+        &self.tables
+    }
+
+    /// The head tables (mutable — for pre-run seeding such as
+    /// `Estimate[c]` priors).
+    pub fn tables_mut(&mut self) -> &mut HeadTables {
+        &mut self.tables
+    }
+
+    /// The decomposition catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Jobs buffered for the next cycle.
+    pub fn queued_jobs(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Jobs fully completed so far.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// Whether `node` is currently marked down.
+    pub fn is_node_down(&self, node: NodeId) -> bool {
+        self.tables.down[node.index()]
+    }
+
+    /// Record a pre-run cache placement (the paper's initialization "test
+    /// run"): the substrate has already loaded `chunk` on `node`; mirror
+    /// it into the `Cache` table (and GPU tier, when present) and report
+    /// it to the probe at time zero.
+    pub fn record_warm_load(&mut self, node: NodeId, chunk: ChunkId, bytes: u64) {
+        self.tables.cache.record_load(node, chunk, bytes);
+        if let Some(gpu) = &mut self.tables.gpu_cache {
+            gpu.record_load(node, chunk, bytes);
+        }
+        if self.probe.enabled() {
+            self.probe.on_event(&TraceEvent::CacheLoad {
+                now: SimTime::ZERO,
+                node,
+                chunk,
+            });
+        }
+    }
+
+    /// Accept one job. On-arrival policies are invoked immediately
+    /// (returns `true`); cycle policies buffer the job until the next
+    /// [`on_cycle`](HeadRuntime::on_cycle) (returns `false`, so an
+    /// event-driven substrate knows to arm a tick).
+    pub fn on_job_arrival<S: Substrate>(&mut self, sub: &mut S, now: SimTime, job: Job) -> bool {
+        let tasks = self.catalog.task_count(job.dataset);
+        self.jobs.insert(
+            job.id,
+            JobState {
+                record: JobRecord {
+                    id: job.id,
+                    kind: job.kind,
+                    dataset: job.dataset,
+                    timing: JobTiming::issued_at(job.issue_time),
+                    tasks,
+                    misses: 0,
+                },
+                remaining: tasks,
+                max_finish: SimTime::ZERO,
+            },
+        );
+        self.job_order.push(job.id);
+        match self.scheduler.trigger() {
+            Trigger::OnArrival => {
+                self.invoke(sub, now, vec![job]);
+                true
+            }
+            Trigger::Cycle(_) => {
+                self.buffer.push(job);
+                false
+            }
+        }
+    }
+
+    /// Run one scheduling cycle over the buffered jobs. Does nothing (and
+    /// emits nothing) when the buffer is empty and no work is deferred, so
+    /// a free-running ticker costs nothing while idle. Returns whether the
+    /// scheduler was invoked.
+    pub fn on_cycle<S: Substrate>(&mut self, sub: &mut S, now: SimTime) -> bool {
+        if self.buffer.is_empty() && !self.scheduler.has_deferred() {
+            return false;
+        }
+        let jobs = std::mem::take(&mut self.buffer);
+        self.invoke(sub, now, jobs);
+        true
+    }
+
+    /// Apply one completion: probe the observation, then the §V-B
+    /// correction set — `Estimate[c]` gets the measured I/O time, `Cache`
+    /// is reconciled with the real load and evictions, `Available` is
+    /// recomputed from the node's true remaining backlog — then job
+    /// bookkeeping. Returns the job's finish summary when this was its
+    /// last task.
+    pub fn on_task_done(&mut self, now: SimTime, done: Completion) -> Option<JobFinish> {
+        let tracing = self.probe.enabled();
+        if tracing {
+            self.probe.on_event(&TraceEvent::TaskDone {
+                now,
+                job: done.job,
+                task: done.task,
+                chunk: done.chunk,
+                node: done.node,
+                started: done.started,
+                exec: done.finish.saturating_since(done.started),
+                io: done.io,
+                miss: done.miss,
+            });
+        }
+        let counters = &mut self.per_node[done.node.index()];
+        counters.tasks += 1;
+        if done.miss {
+            counters.misses += 1;
+            self.cache_misses += 1;
+        } else {
+            counters.hits += 1;
+            self.cache_hits += 1;
+        }
+
+        // Estimate + Cache corrections (misses only: a hit measures no
+        // I/O and moves no data).
+        if done.miss {
+            let bytes = self.catalog.chunk_bytes(done.chunk);
+            if tracing {
+                let old = self.tables.estimate.get(done.chunk, bytes, &self.cost);
+                self.probe.on_event(&TraceEvent::EstimateCorrection {
+                    now,
+                    chunk: done.chunk,
+                    old,
+                    new: done.io,
+                });
+                for &victim in &done.evicted {
+                    self.probe.on_event(&TraceEvent::CacheEvict {
+                        now,
+                        node: done.node,
+                        chunk: victim,
+                    });
+                }
+                self.probe.on_event(&TraceEvent::CacheLoad {
+                    now,
+                    node: done.node,
+                    chunk: done.chunk,
+                });
+            }
+            self.tables.estimate.record(done.chunk, done.io);
+            self.tables
+                .cache
+                .reconcile_load(done.node, done.chunk, bytes, &done.evicted);
+        }
+        if let Some(gpu) = &mut self.tables.gpu_cache {
+            if !done.gpu_resident {
+                // The node pulled the chunk onto its GPU; mirror it.
+                let bytes = self.catalog.chunk_bytes(done.chunk);
+                let mut evicted = done.gpu_evicted.clone();
+                evicted.extend_from_slice(&done.evicted);
+                gpu.reconcile_load(done.node, done.chunk, bytes, &evicted);
+            }
+        }
+
+        // Available correction from the true backlog. Completions return
+        // in dispatch order on FIFO nodes, but match on identity to stay
+        // robust against reordered reports.
+        let queue = &mut self.outstanding[done.node.index()];
+        match queue
+            .iter()
+            .position(|a| a.task.job == done.job && a.task.index == done.task)
+        {
+            Some(i) => {
+                queue.remove(i);
+            }
+            None if !queue.is_empty() => {
+                queue.remove(0);
+            }
+            None => {}
+        }
+        let backlog = queue
+            .iter()
+            .fold(SimDuration::ZERO, |acc, a| acc + a.predicted_exec);
+        if tracing {
+            self.probe.on_event(&TraceEvent::AvailableCorrection {
+                now,
+                node: done.node,
+                old: self.tables.available.get(done.node),
+                new: now + backlog,
+            });
+        }
+        self.tables.available.correct(done.node, now + backlog);
+        self.last_finish = self.last_finish.max(done.finish);
+
+        // Job bookkeeping.
+        let state = self.jobs.get_mut(&done.job)?;
+        state.remaining -= 1;
+        state.max_finish = state.max_finish.max(done.finish);
+        if done.miss {
+            state.record.misses += 1;
+        }
+        state.record.timing.record_start(done.started);
+        if state.remaining > 0 {
+            return None;
+        }
+        state.record.timing.record_finish(state.max_finish);
+        let latency = state.max_finish.saturating_since(state.record.timing.issue);
+        self.jobs_completed += 1;
+        self.latency_total_secs += latency.as_secs_f64();
+        if tracing {
+            self.probe.on_event(&TraceEvent::JobDone {
+                now,
+                job: done.job,
+                latency,
+            });
+        }
+        Some(JobFinish {
+            job: done.job,
+            finish: state.max_finish,
+            latency,
+        })
+    }
+
+    /// Handle a node fault (crash, kill, or channel disconnect): mark the
+    /// node down, report it, and re-place its outstanding tasks on live
+    /// nodes, locality-aware — the fault-tolerance path of §VI-D. Safe to
+    /// call again for an already-down node (stragglers dispatched in the
+    /// fault window are rerouted; nothing is re-reported). Returns how
+    /// many outstanding tasks the fault orphaned.
+    pub fn on_node_fault<S: Substrate>(
+        &mut self,
+        sub: &mut S,
+        now: SimTime,
+        node: NodeId,
+    ) -> usize {
+        let fresh = !self.tables.down[node.index()];
+        let lost = std::mem::take(&mut self.outstanding[node.index()]);
+        if fresh {
+            self.tables.mark_down(node);
+            if self.probe.enabled() {
+                self.probe.on_event(&TraceEvent::NodeFault {
+                    now,
+                    node,
+                    lost_tasks: lost.len(),
+                });
+            }
+        }
+        if lost.is_empty() {
+            return 0;
+        }
+        if self.tables.live_nodes().next().is_none() {
+            // Whole cluster down: the lost work is gone for good.
+            return lost.len();
+        }
+        let count = lost.len();
+        let mut ctx = ScheduleCtx {
+            now,
+            tables: &mut self.tables,
+            catalog: &self.catalog,
+            cost: &self.cost,
+        };
+        let reassigned: Vec<Assignment> = lost
+            .into_iter()
+            .map(|a| {
+                let target = ctx.earliest_node_with_locality(a.task.chunk, a.task.bytes);
+                ctx.commit(a.task, target, a.group)
+            })
+            .collect();
+        self.dispatch_all(sub, now, reassigned);
+        count
+    }
+
+    /// Handle a node rejoining, cold-cached.
+    pub fn on_node_recover(&mut self, now: SimTime, node: NodeId) {
+        self.tables.mark_up(node, now);
+        if self.probe.enabled() {
+            self.probe.on_event(&TraceEvent::NodeUp { now, node });
+        }
+    }
+
+    /// Consume the runtime into its aggregate outcome.
+    pub fn into_outcome(self) -> RuntimeOutcome {
+        let mut jobs = Vec::with_capacity(self.job_order.len());
+        let mut incomplete = 0;
+        for id in &self.job_order {
+            let state = &self.jobs[id];
+            if state.remaining > 0 {
+                incomplete += 1;
+            }
+            jobs.push(state.record);
+        }
+        let mean_latency_secs = if self.jobs_completed > 0 {
+            self.latency_total_secs / self.jobs_completed as f64
+        } else {
+            0.0
+        };
+        RuntimeOutcome {
+            record: RunRecord {
+                scheduler: self.scheduler.name().to_string(),
+                scenario: self.scenario,
+                jobs,
+                cache_hits: self.cache_hits,
+                cache_misses: self.cache_misses,
+                gpu_hits: 0,
+                evictions: 0,
+                sched_wall_micros: self.sched_wall_micros,
+                sched_invocations: self.sched_invocations,
+                jobs_scheduled: self.jobs_scheduled,
+                makespan: self.last_finish,
+            },
+            incomplete_jobs: incomplete,
+            per_node: self.per_node,
+            jobs_completed: self.jobs_completed,
+            mean_latency_secs,
+        }
+    }
+
+    /// One scheduler invocation: probe the cycle, time the `schedule`
+    /// call (host wall clock — Table III's "avg. cost"), dispatch the
+    /// assignments.
+    fn invoke<S: Substrate>(&mut self, sub: &mut S, now: SimTime, jobs: Vec<Job>) {
+        let tracing = self.probe.enabled();
+        if tracing {
+            self.probe.on_event(&TraceEvent::CycleStart {
+                now,
+                queued: jobs.len(),
+            });
+        }
+        self.jobs_scheduled += jobs.len() as u64;
+        self.sched_invocations += 1;
+        let t0 = Instant::now();
+        let assignments = {
+            let mut ctx = ScheduleCtx {
+                now,
+                tables: &mut self.tables,
+                catalog: &self.catalog,
+                cost: &self.cost,
+            };
+            self.scheduler.schedule(&mut ctx, jobs)
+        };
+        let wall_micros = t0.elapsed().as_micros() as u64;
+        self.sched_wall_micros += wall_micros;
+        let dispatched = self.dispatch_all(sub, now, assignments);
+        if tracing {
+            self.probe.on_event(&TraceEvent::CycleEnd {
+                now,
+                assignments: dispatched,
+                wall_micros,
+            });
+        }
+    }
+
+    /// Dispatch committed assignments through the substrate, tracking each
+    /// accepted one as outstanding on its node and probing the placement.
+    fn dispatch_all<S: Substrate>(
+        &mut self,
+        sub: &mut S,
+        now: SimTime,
+        assignments: Vec<Assignment>,
+    ) -> usize {
+        let tracing = self.probe.enabled();
+        let mut dispatched = 0;
+        for a in assignments {
+            if !sub.dispatch(&a) {
+                continue;
+            }
+            dispatched += 1;
+            if tracing {
+                self.probe.on_event(&TraceEvent::Assignment {
+                    now,
+                    job: a.task.job,
+                    task: a.task.index,
+                    chunk: a.task.chunk,
+                    node: a.node,
+                    predicted_start: a.predicted_start,
+                    predicted_exec: a.predicted_exec,
+                    interactive: a.task.interactive,
+                });
+            }
+            self.outstanding[a.node.index()].push(a);
+        }
+        dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizsched_core::cluster::ClusterSpec;
+    use vizsched_core::data::{uniform_datasets, DecompositionPolicy};
+    use vizsched_core::ids::{ActionId, DatasetId, UserId};
+    use vizsched_core::job::{FrameParams, JobKind};
+    use vizsched_core::sched::SchedulerKind;
+    use vizsched_metrics::CollectingProbe;
+
+    const GIB: u64 = 1 << 30;
+
+    /// A substrate that records dispatches and lets the test complete them.
+    #[derive(Default)]
+    struct StubSubstrate {
+        dispatched: Vec<Assignment>,
+    }
+
+    impl Substrate for StubSubstrate {
+        fn dispatch(&mut self, assignment: &Assignment) -> bool {
+            self.dispatched.push(*assignment);
+            true
+        }
+    }
+
+    fn runtime(kind: SchedulerKind, probe: Arc<dyn Probe>) -> HeadRuntime {
+        let cluster = ClusterSpec::homogeneous(2, 2 * GIB);
+        let catalog = Catalog::new(
+            uniform_datasets(1, 2 * GIB),
+            DecompositionPolicy::MaxChunkSize { max_bytes: GIB },
+        );
+        let cycle = SimDuration::from_millis(30);
+        HeadRuntime::new(
+            kind.build(cycle),
+            HeadTables::new(&cluster),
+            catalog,
+            CostParams::default(),
+            probe,
+            "unit",
+        )
+    }
+
+    fn job(id: u64, at: SimTime) -> Job {
+        Job {
+            id: JobId(id),
+            kind: JobKind::Interactive {
+                user: UserId(0),
+                action: ActionId(id),
+            },
+            dataset: DatasetId(0),
+            issue_time: at,
+            frame: FrameParams::default(),
+        }
+    }
+
+    fn completion_for(a: &Assignment, now: SimTime) -> Completion {
+        Completion {
+            node: a.node,
+            job: a.task.job,
+            task: a.task.index,
+            chunk: a.task.chunk,
+            started: now,
+            finish: now + SimDuration::from_millis(5),
+            io: SimDuration::from_millis(2),
+            miss: true,
+            evicted: Vec::new(),
+            gpu_resident: false,
+            gpu_evicted: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn arrival_trigger_dispatches_immediately() {
+        let mut rt = runtime(SchedulerKind::Fcfsl, Arc::new(vizsched_metrics::NoopProbe));
+        let mut sub = StubSubstrate::default();
+        let immediate = rt.on_job_arrival(&mut sub, SimTime::ZERO, job(0, SimTime::ZERO));
+        assert!(immediate, "FCFSL is an on-arrival policy");
+        assert_eq!(sub.dispatched.len(), 2, "one task per chunk");
+        assert_eq!(rt.queued_jobs(), 0);
+    }
+
+    #[test]
+    fn cycle_trigger_buffers_until_on_cycle() {
+        let mut rt = runtime(SchedulerKind::Ours, Arc::new(vizsched_metrics::NoopProbe));
+        let mut sub = StubSubstrate::default();
+        let immediate = rt.on_job_arrival(&mut sub, SimTime::ZERO, job(0, SimTime::ZERO));
+        assert!(!immediate, "OURS schedules on the cycle");
+        assert_eq!(rt.queued_jobs(), 1);
+        assert!(sub.dispatched.is_empty());
+        assert!(rt.on_cycle(&mut sub, SimTime::from_millis(30)));
+        assert_eq!(sub.dispatched.len(), 2);
+        // Idle cycles are free: nothing buffered, nothing deferred.
+        assert!(!rt.on_cycle(&mut sub, SimTime::from_millis(60)));
+    }
+
+    #[test]
+    fn completions_correct_tables_and_finish_jobs() {
+        let probe = Arc::new(CollectingProbe::new());
+        let mut rt = runtime(SchedulerKind::Fcfsl, probe.clone());
+        let mut sub = StubSubstrate::default();
+        rt.on_job_arrival(&mut sub, SimTime::ZERO, job(0, SimTime::ZERO));
+        let dispatched = std::mem::take(&mut sub.dispatched);
+        let now = SimTime::from_millis(10);
+        let first = rt.on_task_done(now, completion_for(&dispatched[0], now));
+        assert!(first.is_none(), "job has a second task in flight");
+        let fin = rt
+            .on_task_done(now, completion_for(&dispatched[1], now))
+            .expect("last completion finishes the job");
+        assert_eq!(fin.job, JobId(0));
+        assert_eq!(rt.jobs_completed(), 1);
+        // Both measured I/O times landed in Estimate[c].
+        assert_eq!(rt.tables().estimate.measured_count(), 2);
+        // Both chunks are now cached where they ran.
+        for a in &dispatched {
+            assert!(rt.tables().cache.contains(a.node, a.task.chunk));
+        }
+        let events = probe.take();
+        let count = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count();
+        assert_eq!(count(&|e| matches!(e, TraceEvent::TaskDone { .. })), 2);
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::EstimateCorrection { .. })),
+            2
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::AvailableCorrection { .. })),
+            2
+        );
+        assert_eq!(count(&|e| matches!(e, TraceEvent::JobDone { .. })), 1);
+        let outcome = rt.into_outcome();
+        assert_eq!(outcome.incomplete_jobs, 0);
+        assert_eq!(outcome.record.cache_misses, 2);
+        assert_eq!(outcome.record.makespan, now + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn fault_reroutes_outstanding_work_to_live_nodes() {
+        let probe = Arc::new(CollectingProbe::new());
+        let mut rt = runtime(SchedulerKind::Fcfsl, probe.clone());
+        let mut sub = StubSubstrate::default();
+        rt.on_job_arrival(&mut sub, SimTime::ZERO, job(0, SimTime::ZERO));
+        let placed = sub.dispatched.clone();
+        // FCFSL spreads the two cold tasks over both nodes; fault node 0.
+        let victim = placed[0].node;
+        let survivor = placed[1].node;
+        assert_ne!(victim, survivor);
+        let lost = rt.on_node_fault(&mut sub, SimTime::from_millis(1), victim);
+        assert_eq!(lost, 1);
+        assert!(rt.is_node_down(victim));
+        // The orphaned task was re-dispatched, necessarily to the survivor.
+        let rerouted = sub.dispatched.last().unwrap();
+        assert_eq!(rerouted.task.chunk, placed[0].task.chunk);
+        assert_eq!(rerouted.node, survivor);
+        // A repeat fault report is quiet: no new NodeFault, nothing to move.
+        assert_eq!(
+            rt.on_node_fault(&mut sub, SimTime::from_millis(2), victim),
+            0
+        );
+        let events = probe.take();
+        let faults = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::NodeFault { .. }))
+            .count();
+        assert_eq!(faults, 1);
+        rt.on_node_recover(SimTime::from_millis(3), victim);
+        assert!(!rt.is_node_down(victim));
+    }
+}

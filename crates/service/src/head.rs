@@ -1,13 +1,22 @@
 //! The head node and service assembly (§III-A): a listening side (the
-//! request channel), a dispatching loop that runs the scheduler every
-//! cycle `ω` and ships tasks to render nodes, table correction from task
-//! completions (§V-B), per-job layer collection, image compositing, and
-//! final-frame delivery to clients.
+//! request channel), render-node worker threads, per-job layer collection,
+//! image compositing, and final-frame delivery to clients.
+//!
+//! All scheduling logic — cycle dispatch, table correction from task
+//! completions, fault handling — is the shared `vizsched-runtime`
+//! [`HeadRuntime`], driven here on the wall clock by crossbeam channels:
+//! the live counterpart of the simulator's event loop. A render node that
+//! dies (its channel disconnects, or it is killed via
+//! [`VizService::kill_node`]) is reported as a `NodeFault` and its
+//! outstanding tasks are rerouted to live nodes; with
+//! [`ServiceConfig::restart_nodes`] the service then respawns the worker
+//! and rejoins it cold-cached.
 
 use crate::node::{run_node, NodeConfig};
 use crate::protocol::{FrameResult, RenderRequest, RenderTask, TaskDone, ToHead, ToNode};
 use crate::storage::ChunkStore;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -16,12 +25,13 @@ use vizsched_core::cluster::ClusterSpec;
 use vizsched_core::cost::CostParams;
 use vizsched_core::fxhash::FxHashMap;
 use vizsched_core::ids::{JobId, NodeId};
-use vizsched_core::job::Job;
-use vizsched_core::sched::{Assignment, ScheduleCtx, Scheduler, SchedulerKind, Trigger};
+use vizsched_core::job::{FrameParams, Job};
+use vizsched_core::sched::{Assignment, SchedulerKind};
 use vizsched_core::tables::HeadTables;
 use vizsched_core::time::{SimDuration, SimTime};
-use vizsched_metrics::{JobRecord, NoopProbe, Probe, RunRecord, TraceEvent};
+use vizsched_metrics::{NoopProbe, Probe, RunRecord};
 use vizsched_render::Layer;
+use vizsched_runtime::{Completion, HeadRuntime, Substrate};
 
 /// Service configuration, built up fluently:
 ///
@@ -47,10 +57,14 @@ pub struct ServiceConfig {
     pub cost: CostParams,
     /// Compositing strategy for assembled frames.
     pub composite: CompositeAlgo,
-    /// Observability sink: the head loop reports every scheduling decision,
-    /// completion, and §V-B table correction here. Defaults to
+    /// Observability sink: the head runtime reports every scheduling
+    /// decision, completion, and table correction here. Defaults to
     /// [`NoopProbe`] (free).
     pub probe: Arc<dyn Probe>,
+    /// Respawn a render node's worker thread after a fault, rejoining it
+    /// cold-cached (the recovery half of §VI-D). Off by default: a dead
+    /// node stays down and its work runs elsewhere.
+    pub restart_nodes: bool,
 }
 
 impl std::fmt::Debug for ServiceConfig {
@@ -64,6 +78,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("cost", &self.cost)
             .field("composite", &self.composite)
             .field("probe_enabled", &self.probe.enabled())
+            .field("restart_nodes", &self.restart_nodes)
             .finish()
     }
 }
@@ -79,6 +94,7 @@ impl Default for ServiceConfig {
             cost: CostParams::default(),
             composite: CompositeAlgo::Auto,
             probe: Arc::new(NoopProbe),
+            restart_nodes: false,
         }
     }
 }
@@ -131,6 +147,12 @@ impl ServiceConfig {
         self.probe = probe;
         self
     }
+
+    /// Respawn render-node workers after faults.
+    pub fn restart_nodes(mut self, on: bool) -> Self {
+        self.restart_nodes = on;
+        self
+    }
 }
 
 /// Aggregate statistics returned at shutdown.
@@ -152,13 +174,15 @@ pub struct ServiceStats {
     pub per_node: Vec<(u64, u64, u64)>,
 }
 
-/// Shutdown modes.
+/// Control-plane commands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Control {
     /// Stop immediately; in-flight jobs are abandoned.
     Stop,
     /// Finish every accepted job, then stop.
     Drain,
+    /// Abruptly kill one render node's worker thread (fault injection).
+    KillNode(usize),
 }
 
 /// A running visualization service.
@@ -173,37 +197,8 @@ impl VizService {
     pub fn start(config: ServiceConfig, store: Arc<ChunkStore>) -> VizService {
         assert!(config.nodes > 0, "service needs at least one render node");
         let (req_tx, req_rx) = unbounded::<RenderRequest>();
-        let (ctl_tx, ctl_rx) = bounded::<Control>(1);
-        let (to_head_tx, to_head_rx) = unbounded::<ToHead>();
-
-        let mut node_txs = Vec::with_capacity(config.nodes);
-        let mut node_handles = Vec::with_capacity(config.nodes);
-        for k in 0..config.nodes {
-            let (tx, rx) = unbounded::<ToNode>();
-            node_txs.push(tx);
-            let node_config = NodeConfig {
-                id: NodeId(k as u32),
-                mem_quota: config.mem_quota,
-                image_size: config.image_size,
-            };
-            let store = store.clone();
-            let to_head = to_head_tx.clone();
-            node_handles.push(std::thread::spawn(move || {
-                run_node(node_config, store, rx, to_head);
-            }));
-        }
-
-        let head = std::thread::spawn(move || {
-            let stats = head_loop(&config, &store, req_rx, ctl_rx, to_head_rx, &node_txs);
-            for tx in &node_txs {
-                let _ = tx.send(ToNode::Shutdown);
-            }
-            for handle in node_handles {
-                let _ = handle.join();
-            }
-            stats
-        });
-
+        let (ctl_tx, ctl_rx) = unbounded::<Control>();
+        let head = std::thread::spawn(move || head_loop(&config, &store, req_rx, ctl_rx));
         VizService {
             requests: req_tx,
             control: ctl_tx,
@@ -214,6 +209,14 @@ impl VizService {
     /// The request endpoint for building clients.
     pub fn request_sender(&self) -> Sender<RenderRequest> {
         self.requests.clone()
+    }
+
+    /// Abruptly kill one render node's worker thread (fault injection):
+    /// its queued tasks are dropped and rerouted to live nodes once the
+    /// head observes the fault. With [`ServiceConfig::restart_nodes`] the
+    /// node is then respawned cold-cached.
+    pub fn kill_node(&self, node: usize) {
+        let _ = self.control.send(Control::KillNode(node));
     }
 
     /// Stop the service (in-flight jobs are abandoned) and collect stats.
@@ -239,72 +242,170 @@ impl VizService {
     }
 }
 
+/// Client-facing state of one accepted, unfinished job. Scheduling state
+/// (task counts, timings, outstanding work) lives in the shared runtime;
+/// this is only what the runtime doesn't need: the reply channel, the
+/// camera, and the layers accumulated for compositing.
 struct PendingJob {
     reply: Sender<FrameResult>,
-    issued: SimTime,
-    frame: vizsched_core::job::FrameParams,
-    remaining: u32,
+    frame: FrameParams,
     misses: u32,
     layers: Vec<Layer>,
-    /// Index of this job's entry in the run record.
-    record_index: usize,
 }
 
-/// One dispatched-but-unfinished assignment, as tracked per node.
-#[derive(Clone)]
-struct OutstandingTask {
-    job: JobId,
-    index: u32,
-    predicted_exec: SimDuration,
+/// The threaded execution layer under the shared head runtime: one worker
+/// thread per render node, fed over crossbeam channels on the wall clock.
+struct LiveSubstrate {
+    store: Arc<ChunkStore>,
+    to_head: Sender<ToHead>,
+    mem_quota: u64,
+    image_size: (usize, usize),
+    txs: Vec<Sender<ToNode>>,
+    kill_flags: Vec<Arc<AtomicBool>>,
+    epochs: Vec<u32>,
+    handles: Vec<Option<JoinHandle<()>>>,
+    retired: Vec<JoinHandle<()>>,
+    pending: FxHashMap<JobId, PendingJob>,
+    /// Nodes whose channel rejected a dispatch: reported to the runtime
+    /// as faults by the head loop.
+    send_failures: Vec<NodeId>,
 }
 
-#[allow(clippy::too_many_lines)]
+impl Substrate for LiveSubstrate {
+    fn dispatch(&mut self, assignment: &Assignment) -> bool {
+        // Deferred batch tasks surface in later cycles; their frame params
+        // live on the pending entry (dropped jobs are skipped).
+        let Some(job) = self.pending.get(&assignment.task.job) else {
+            return false;
+        };
+        let msg = ToNode::Render(RenderTask {
+            job: assignment.task.job,
+            index: assignment.task.index,
+            chunk: assignment.task.chunk,
+            frame: job.frame,
+            group: assignment.group,
+            interactive: assignment.task.interactive,
+        });
+        if self.txs[assignment.node.index()].send(msg).is_err() {
+            // The worker is gone. Keep the task tracked as outstanding —
+            // the fault path reroutes everything on this node, it
+            // included.
+            self.send_failures.push(assignment.node);
+        }
+        true
+    }
+}
+
+impl LiveSubstrate {
+    fn spawn(config: &ServiceConfig, store: Arc<ChunkStore>, to_head: Sender<ToHead>) -> Self {
+        let mut sub = LiveSubstrate {
+            store,
+            to_head,
+            mem_quota: config.mem_quota,
+            image_size: config.image_size,
+            txs: Vec::with_capacity(config.nodes),
+            kill_flags: Vec::with_capacity(config.nodes),
+            epochs: vec![0; config.nodes],
+            handles: Vec::with_capacity(config.nodes),
+            retired: Vec::new(),
+            pending: FxHashMap::default(),
+            send_failures: Vec::new(),
+        };
+        for k in 0..config.nodes {
+            let (tx, kill, handle) = sub.launch(k);
+            sub.txs.push(tx);
+            sub.kill_flags.push(kill);
+            sub.handles.push(Some(handle));
+        }
+        sub
+    }
+
+    fn launch(&self, k: usize) -> (Sender<ToNode>, Arc<AtomicBool>, JoinHandle<()>) {
+        let (tx, rx) = unbounded::<ToNode>();
+        let kill = Arc::new(AtomicBool::new(false));
+        let node_config = NodeConfig {
+            id: NodeId(k as u32),
+            epoch: self.epochs[k],
+            mem_quota: self.mem_quota,
+            image_size: self.image_size,
+        };
+        let store = self.store.clone();
+        let to_head = self.to_head.clone();
+        let flag = kill.clone();
+        let handle = std::thread::spawn(move || run_node(node_config, store, rx, to_head, flag));
+        (tx, kill, handle)
+    }
+
+    /// Raise a node's kill flag. The nudge message wakes a worker blocked
+    /// on an empty queue; the flag (checked before every message) makes it
+    /// drop any queued renders and exit.
+    fn kill(&mut self, k: usize) {
+        self.kill_flags[k].store(true, Ordering::Relaxed);
+        let _ = self.txs[k].send(ToNode::Shutdown);
+    }
+
+    /// Replace a dead worker with a fresh, cold-cached incarnation.
+    fn respawn(&mut self, k: usize) {
+        if let Some(old) = self.handles[k].take() {
+            self.retired.push(old);
+        }
+        self.epochs[k] += 1;
+        let (tx, kill, handle) = self.launch(k);
+        self.txs[k] = tx;
+        self.kill_flags[k] = kill;
+        self.handles[k] = Some(handle);
+    }
+
+    fn shutdown(mut self) {
+        for tx in &self.txs {
+            let _ = tx.send(ToNode::Shutdown);
+        }
+        for handle in self.handles.iter_mut().filter_map(Option::take) {
+            let _ = handle.join();
+        }
+        for handle in self.retired.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 fn head_loop(
     config: &ServiceConfig,
-    store: &ChunkStore,
+    store: &Arc<ChunkStore>,
     requests: Receiver<RenderRequest>,
     control: Receiver<Control>,
-    from_nodes: Receiver<ToHead>,
-    node_txs: &[Sender<ToNode>],
 ) -> ServiceStats {
     let mut draining = false;
     let start = Instant::now();
     let now = || SimTime::from_micros(start.elapsed().as_micros() as u64);
 
     let cluster = ClusterSpec::homogeneous(config.nodes, config.mem_quota);
-    let mut tables = HeadTables::new(&cluster);
-    let mut scheduler: Box<dyn Scheduler> = config.scheduler.build(config.cycle);
-    let catalog = store.catalog().clone();
-
-    let mut buffer: Vec<Job> = Vec::new();
-    let mut pending: FxHashMap<JobId, PendingJob> = FxHashMap::default();
+    let mut runtime = HeadRuntime::new(
+        config.scheduler.build(config.cycle),
+        HeadTables::new(&cluster),
+        store.catalog().clone(),
+        config.cost,
+        config.probe.clone(),
+        "live-service",
+    );
+    let (to_head_tx, from_nodes) = unbounded::<ToHead>();
+    let mut sub = LiveSubstrate::spawn(config, store.clone(), to_head_tx);
     let mut next_job = 0u64;
-    // Not-yet-completed assignments per node: their summed predicted exec
-    // drives the Available-table correction, and the per-task predictions
-    // let completions be matched back for the probe.
-    let mut outstanding: Vec<Vec<OutstandingTask>> = vec![Vec::new(); config.nodes];
-
-    let mut stats = ServiceStats {
-        record: RunRecord {
-            scheduler: config.scheduler.name().to_string(),
-            scenario: "live-service".to_string(),
-            ..Default::default()
-        },
-        per_node: vec![(0, 0, 0); config.nodes],
-        ..Default::default()
-    };
-    let mut latency_total = 0.0f64;
 
     let ticker = crossbeam::channel::tick(std::time::Duration::from_micros(
         config.cycle.as_micros().max(1),
     ));
 
     loop {
+        // Dispatches that bounced off a dead channel surface as faults.
+        while let Some(node) = sub.send_failures.pop() {
+            node_fault(config, &mut runtime, &mut sub, now(), node);
+        }
         if draining
-            && pending.is_empty()
-            && buffer.is_empty()
+            && sub.pending.is_empty()
+            && runtime.queued_jobs() == 0
             && requests.is_empty()
-            && !scheduler.has_deferred()
+            && !runtime.has_deferred()
         {
             break;
         }
@@ -312,6 +413,11 @@ fn head_loop(
             recv(control) -> msg => match msg {
                 Ok(Control::Stop) | Err(_) => break,
                 Ok(Control::Drain) => draining = true,
+                Ok(Control::KillNode(k)) => {
+                    if k < sub.txs.len() {
+                        sub.kill(k);
+                    }
+                }
             },
             recv(requests) -> msg => {
                 let Ok(req) = msg else { break };
@@ -323,273 +429,108 @@ fn head_loop(
                     frame: req.frame,
                 };
                 next_job += 1;
-                let record_index = stats.record.jobs.len();
-                stats.record.jobs.push(JobRecord {
-                    id: job.id,
-                    kind: job.kind,
-                    dataset: job.dataset,
-                    timing: vizsched_core::cost::JobTiming::issued_at(job.issue_time),
-                    tasks: catalog.task_count(job.dataset),
-                    misses: 0,
-                });
-                pending.insert(job.id, PendingJob {
+                sub.pending.insert(job.id, PendingJob {
                     reply: req.reply,
-                    issued: job.issue_time,
                     frame: job.frame,
-                    remaining: catalog.task_count(job.dataset),
                     misses: 0,
                     layers: Vec::new(),
-                    record_index,
                 });
-                let immediate = matches!(scheduler.trigger(), Trigger::OnArrival);
-                buffer.push(job);
-                if immediate {
-                    let t = now();
-                    run_scheduler(&mut scheduler, &mut tables, &catalog, config,
-                                  t, &mut buffer, node_txs, &mut outstanding, &pending,
-                                  &mut stats.record);
+                let t = job.issue_time;
+                runtime.on_job_arrival(&mut sub, t, job);
+            }
+            recv(from_nodes) -> msg => match msg {
+                Ok(ToHead::TaskDone(done)) => {
+                    handle_task_done(done, &mut runtime, &mut sub, config, now());
                 }
-            }
-            recv(from_nodes) -> msg => {
-                let Ok(ToHead::TaskDone(done)) = msg else { continue };
-                handle_task_done(done, &mut tables, &mut pending, &mut outstanding,
-                                 &mut stats, &mut latency_total, config, now(), store);
-            }
+                Ok(ToHead::Stopped { node, epoch }) => {
+                    // A replaced thread's parting report is stale; the
+                    // current incarnation's means the node just died.
+                    let k = node as usize;
+                    if k < sub.epochs.len() && sub.epochs[k] == epoch {
+                        node_fault(config, &mut runtime, &mut sub, now(), NodeId(node));
+                    }
+                }
+                Err(_) => {}
+            },
             recv(ticker) -> _ => {
                 let t = now();
-                if !buffer.is_empty() || scheduler.has_deferred() {
-                    run_scheduler(&mut scheduler, &mut tables, &catalog, config,
-                                  t, &mut buffer, node_txs, &mut outstanding, &pending,
-                                  &mut stats.record);
-                }
+                runtime.on_cycle(&mut sub, t);
             }
         }
     }
 
-    if stats.jobs_completed > 0 {
-        stats.mean_latency_secs = latency_total / stats.jobs_completed as f64;
+    sub.shutdown();
+    let outcome = runtime.into_outcome();
+    ServiceStats {
+        jobs_completed: outcome.jobs_completed,
+        cache_hits: outcome.record.cache_hits,
+        cache_misses: outcome.record.cache_misses,
+        mean_latency_secs: outcome.mean_latency_secs,
+        per_node: outcome
+            .per_node
+            .iter()
+            .map(|c| (c.tasks, c.hits, c.misses))
+            .collect(),
+        record: outcome.record,
     }
-    stats.record.cache_hits = stats.cache_hits;
-    stats.record.cache_misses = stats.cache_misses;
-    stats
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_scheduler(
-    scheduler: &mut Box<dyn Scheduler>,
-    tables: &mut HeadTables,
-    catalog: &vizsched_core::data::Catalog,
+/// One node fault: reroute its outstanding work through the runtime and,
+/// when configured, respawn the worker and rejoin it cold-cached.
+fn node_fault(
     config: &ServiceConfig,
+    runtime: &mut HeadRuntime,
+    sub: &mut LiveSubstrate,
     now: SimTime,
-    buffer: &mut Vec<Job>,
-    node_txs: &[Sender<ToNode>],
-    outstanding: &mut [Vec<OutstandingTask>],
-    pending: &FxHashMap<JobId, PendingJob>,
-    record: &mut RunRecord,
+    node: NodeId,
 ) {
-    let jobs = std::mem::take(buffer);
-    let tracing = config.probe.enabled();
-    if tracing {
-        config.probe.on_event(&TraceEvent::CycleStart {
-            now,
-            queued: jobs.len(),
-        });
-    }
-    record.jobs_scheduled += jobs.len() as u64;
-    record.sched_invocations += 1;
-    let t0 = Instant::now();
-    let assignments = {
-        let mut ctx = ScheduleCtx {
-            now,
-            tables,
-            catalog,
-            cost: &config.cost,
-        };
-        scheduler.schedule(&mut ctx, jobs)
-    };
-    let wall_micros = t0.elapsed().as_micros() as u64;
-    record.sched_wall_micros += wall_micros;
-    let mut dispatched = 0usize;
-    for a in assignments {
-        if !dispatch(&a, pending, node_txs, outstanding) {
-            continue;
-        }
-        dispatched += 1;
-        if tracing {
-            config.probe.on_event(&TraceEvent::Assignment {
-                now,
-                job: a.task.job,
-                task: a.task.index,
-                chunk: a.task.chunk,
-                node: a.node,
-                predicted_start: a.predicted_start,
-                predicted_exec: a.predicted_exec,
-                interactive: a.task.interactive,
-            });
-        }
-    }
-    if tracing {
-        config.probe.on_event(&TraceEvent::CycleEnd {
-            now,
-            assignments: dispatched,
-            wall_micros,
-        });
+    runtime.on_node_fault(sub, now, node);
+    if config.restart_nodes {
+        sub.respawn(node.index());
+        runtime.on_node_recover(now, node);
     }
 }
 
-fn dispatch(
-    a: &Assignment,
-    pending: &FxHashMap<JobId, PendingJob>,
-    node_txs: &[Sender<ToNode>],
-    outstanding: &mut [Vec<OutstandingTask>],
-) -> bool {
-    // Deferred batch tasks surface in later cycles; their frame params
-    // live on the pending entry (dropped jobs are skipped).
-    let Some(job) = pending.get(&a.task.job) else {
-        return false;
-    };
-    let frame = job.frame;
-    outstanding[a.node.index()].push(OutstandingTask {
-        job: a.task.job,
-        index: a.task.index,
-        predicted_exec: a.predicted_exec,
-    });
-    let msg = ToNode::Render(RenderTask {
-        job: a.task.job,
-        index: a.task.index,
-        chunk: a.task.chunk,
-        frame,
-        group: a.group,
-        interactive: a.task.interactive,
-    });
-    let _ = node_txs[a.node.index()].send(msg);
-    true
-}
-
-#[allow(clippy::too_many_arguments)]
 fn handle_task_done(
     done: TaskDone,
-    tables: &mut HeadTables,
-    pending: &mut FxHashMap<JobId, PendingJob>,
-    outstanding: &mut [Vec<OutstandingTask>],
-    stats: &mut ServiceStats,
-    latency_total: &mut f64,
+    runtime: &mut HeadRuntime,
+    sub: &mut LiveSubstrate,
     config: &ServiceConfig,
     now: SimTime,
-    store: &ChunkStore,
 ) {
     let node = NodeId(done.node);
-    let tracing = config.probe.enabled();
-    if tracing {
-        config.probe.on_event(&TraceEvent::TaskDone {
-            now,
-            job: done.job,
-            task: done.index,
-            chunk: done.chunk,
-            node,
-            started: now - done.elapsed,
-            exec: done.elapsed,
-            io: done.io,
-            miss: done.miss,
-        });
+    if let Some(job) = sub.pending.get_mut(&done.job) {
+        job.layers.push(done.layer);
+        job.misses += u32::from(done.miss);
     }
-    let counters = &mut stats.per_node[node.index()];
-    counters.0 += 1;
-    if done.miss {
-        counters.2 += 1;
-    } else {
-        counters.1 += 1;
-    }
-    // §V-B corrections.
-    if done.miss {
-        stats.cache_misses += 1;
-        let bytes = store.chunk_bytes(done.chunk);
-        if tracing {
-            config.probe.on_event(&TraceEvent::EstimateCorrection {
-                now,
-                chunk: done.chunk,
-                old: tables.estimate.get(done.chunk, bytes, &config.cost),
-                new: done.io,
-            });
-            for &victim in &done.evicted {
-                config.probe.on_event(&TraceEvent::CacheEvict {
-                    now,
-                    node,
-                    chunk: victim,
-                });
-            }
-            config.probe.on_event(&TraceEvent::CacheLoad {
-                now,
-                node,
-                chunk: done.chunk,
-            });
-        }
-        tables.estimate.record(done.chunk, done.io);
-        tables
-            .cache
-            .reconcile_load(node, done.chunk, bytes, &done.evicted);
-    } else {
-        stats.cache_hits += 1;
-    }
-    let queue = &mut outstanding[node.index()];
-    // Completions normally return in dispatch order (nodes are FIFO), but
-    // match on identity to stay robust against reordered reports.
-    match queue
-        .iter()
-        .position(|t| t.job == done.job && t.index == done.index)
-    {
-        Some(i) => {
-            queue.remove(i);
-        }
-        None if !queue.is_empty() => {
-            queue.remove(0);
-        }
-        None => {}
-    }
-    let backlog = queue
-        .iter()
-        .fold(SimDuration::ZERO, |acc, t| acc + t.predicted_exec);
-    if tracing {
-        config.probe.on_event(&TraceEvent::AvailableCorrection {
-            now,
-            node,
-            old: tables.available.get(node),
-            new: now + backlog,
-        });
-    }
-    tables.available.correct(node, now + backlog);
-
-    let Some(job) = pending.get_mut(&done.job) else {
-        return;
-    };
-    job.layers.push(done.layer);
-    job.misses += u32::from(done.miss);
-    job.remaining -= 1;
-    let record = &mut stats.record.jobs[job.record_index];
-    record.misses += u32::from(done.miss);
     // The node reports how long the task executed; its start is therefore
     // `now - elapsed` on the head's clock (minus message latency, which is
     // microseconds in-process).
-    record.timing.record_start(now - done.elapsed);
-    record.timing.record_finish(now);
-    if job.remaining == 0 {
-        let job = pending.remove(&done.job).expect("entry exists");
-        let image = composite(job.layers, config.composite);
-        stats.jobs_completed += 1;
-        let latency = now.saturating_since(job.issued);
-        *latency_total += latency.as_secs_f64();
-        if tracing {
-            config.probe.on_event(&TraceEvent::JobDone {
-                now,
-                job: done.job,
-                latency,
-            });
-        }
-        let _ = job.reply.send(FrameResult {
+    let finish = runtime.on_task_done(
+        now,
+        Completion {
+            node,
             job: done.job,
-            image: Arc::new(image),
-            latency,
-            cache_misses: job.misses,
-        });
-    }
+            task: done.index,
+            chunk: done.chunk,
+            started: now - done.elapsed,
+            finish: now,
+            io: done.io,
+            miss: done.miss,
+            evicted: done.evicted,
+            gpu_resident: false,
+            gpu_evicted: Vec::new(),
+        },
+    );
+    let Some(fin) = finish else { return };
+    let Some(job) = sub.pending.remove(&fin.job) else {
+        return;
+    };
+    let image = composite(job.layers, config.composite);
+    let _ = job.reply.send(FrameResult {
+        job: fin.job,
+        image: Arc::new(image),
+        latency: fin.latency,
+        cache_misses: job.misses,
+    });
 }

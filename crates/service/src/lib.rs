@@ -2,9 +2,10 @@
 //!
 //! The live visualization service (§III-A): a head node with listening and
 //! dispatching roles, render-node worker threads with brick caches over a
-//! disk chunk store, the locality-aware scheduler driving task placement,
-//! sort-last compositing of the returned layers, and a client API —
-//! crossbeam channels standing in for MPI.
+//! disk chunk store, sort-last compositing of the returned layers, and a
+//! client API — crossbeam channels standing in for MPI. Task placement and
+//! table correction are the shared `vizsched-runtime` head loop, the same
+//! Algorithm 1 implementation the simulator drives on a virtual clock.
 //!
 //! The discrete-event simulator (`vizsched-sim`) answers "how do the
 //! policies compare at cluster scale"; this crate answers "does the whole

@@ -6,6 +6,7 @@ use crate::protocol::{RenderTask, TaskDone, ToHead, ToNode};
 use crate::storage::ChunkStore;
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use vizsched_core::ids::{ChunkId, NodeId};
 use vizsched_core::memory::NodeMemory;
@@ -19,23 +20,34 @@ use vizsched_volume::brick::Brick;
 pub struct NodeConfig {
     /// This node's id.
     pub id: NodeId,
+    /// This node thread's incarnation, echoed in its `Stopped` report so
+    /// the head can ignore stragglers from replaced threads.
+    pub epoch: u32,
     /// Main-memory chunk-cache quota in bytes.
     pub mem_quota: u64,
     /// Output image size (width, height).
     pub image_size: (usize, usize),
 }
 
-/// Run a render node until `Shutdown` arrives. Intended to be spawned on
-/// its own thread; processes tasks strictly FIFO (§III-A).
+/// Run a render node until `Shutdown` arrives or `kill` is raised.
+/// Intended to be spawned on its own thread; processes tasks strictly
+/// FIFO (§III-A). A raised kill flag is an abrupt fault: queued render
+/// tasks are dropped on the floor (the head reroutes them when it sees
+/// the `Stopped` report), though a render already underway still
+/// completes and reports — a thread cannot be preempted mid-task.
 pub fn run_node(
     config: NodeConfig,
     store: Arc<ChunkStore>,
     tasks: Receiver<ToNode>,
     to_head: Sender<ToHead>,
+    kill: Arc<AtomicBool>,
 ) {
     let mut cache = NodeMemory::new(config.mem_quota);
     let mut bricks: HashMap<ChunkId, Arc<Brick<f32>>> = HashMap::new();
     while let Ok(msg) = tasks.recv() {
+        if kill.load(Ordering::Relaxed) {
+            break;
+        }
         match msg {
             ToNode::Shutdown => break,
             ToNode::Render(task) => {
@@ -46,7 +58,10 @@ pub fn run_node(
             }
         }
     }
-    let _ = to_head.send(ToHead::Stopped { node: config.id.0 });
+    let _ = to_head.send(ToHead::Stopped {
+        node: config.id.0,
+        epoch: config.epoch,
+    });
 }
 
 fn execute(

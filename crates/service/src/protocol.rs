@@ -69,10 +69,15 @@ pub struct RenderTask {
 pub enum ToHead {
     /// A task finished; the layer is ready for compositing.
     TaskDone(TaskDone),
-    /// The node exited.
+    /// The node's worker thread exited — orderly shutdown, a kill, or a
+    /// crash of its channel. Outside of service shutdown the head treats
+    /// this as a node fault and reroutes the node's outstanding tasks.
     Stopped {
         /// Which node.
         node: u32,
+        /// The node thread's incarnation (bumped on every respawn), so a
+        /// straggling report from a replaced thread is ignored.
+        epoch: u32,
     },
 }
 
@@ -89,8 +94,8 @@ pub struct TaskDone {
     pub chunk: ChunkId,
     /// The rendered, depth-tagged sub-image.
     pub layer: Layer,
-    /// Measured I/O time (zero on a cache hit) — feeds the `Estimate`
-    /// table correction of §V-B.
+    /// Measured I/O time (zero on a cache hit) — feeds the shared
+    /// runtime's `Estimate` table correction.
     pub io: SimDuration,
     /// Total task execution time on the node (I/O + render), for job
     /// timing reconstruction at the head.

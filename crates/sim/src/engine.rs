@@ -7,36 +7,34 @@
 //! same semantics with a virtual clock:
 //!
 //! * jobs arrive at their issue times and enter the head node's queue;
-//! * the dispatcher invokes the policy on arrival (FCFS family) or every
-//!   cycle `ω` (OURS, FS, SF);
+//! * the shared [`HeadRuntime`] invokes the policy on arrival (FCFS
+//!   family) or every cycle `ω` (OURS, FS, SF), and applies the run-time
+//!   table corrections on every completion;
 //! * assigned tasks queue FIFO on their node; execution time comes from the
 //!   cost model against the node's *authoritative* cache (so optimistic
 //!   predictions can be wrong);
-//! * on every task completion the head tables are corrected (§V-B):
-//!   `Estimate[c]` gets the measured I/O time, `Cache` is reconciled with
-//!   the real load/evictions, and `Available` is recomputed from the node's
-//!   actual backlog;
 //! * scheduling cost is measured in *host* wall-clock time around each
 //!   `schedule` call — the quantity Table III reports in microseconds.
 //!
-//! Fault injection (node crash/recovery) exercises the §VI-D claim that
-//! rendering continues as long as replicas or reloads are possible.
+//! All head-node logic lives in `vizsched-runtime`; this module only
+//! implements the event-driven [`Substrate`]: the virtual clock, the node
+//! model, and the event queue. Fault injection (node crash/recovery)
+//! exercises the §VI-D claim that rendering continues as long as replicas
+//! or reloads are possible.
 
 use crate::event::{EventKind, EventQueue};
 use crate::node::SimNode;
 use crate::options::{RunOptions, SchedulerChoice};
-use std::sync::Arc;
-use std::time::Instant;
 use vizsched_core::cluster::ClusterSpec;
-use vizsched_core::cost::{CostParams, JobTiming};
+use vizsched_core::cost::CostParams;
 use vizsched_core::data::{Catalog, DatasetDesc};
-use vizsched_core::fxhash::FxHashMap;
-use vizsched_core::ids::{JobId, NodeId};
+use vizsched_core::ids::{ChunkId, JobId, NodeId};
 use vizsched_core::job::Job;
 use vizsched_core::memory::EvictionPolicy;
-use vizsched_core::sched::{Assignment, ScheduleCtx, Scheduler, SchedulerKind, Trigger};
+use vizsched_core::sched::{Assignment, Trigger};
 use vizsched_core::time::{SimDuration, SimTime};
-use vizsched_metrics::{JobRecord, Probe, RunRecord, TraceEvent};
+use vizsched_metrics::RunRecord;
+use vizsched_runtime::{Completion, HeadRuntime, Substrate};
 
 /// A fault-injection event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -216,85 +214,116 @@ impl Simulation {
             SchedulerChoice::Kind(kind) => kind.build(config.cycle),
             SchedulerChoice::Instance(instance) => instance,
         };
-        let policy = scheduler.decomposition(config.chunk_max, config.cluster.len() as u32);
-        let catalog = Catalog::new(self.datasets.clone(), policy);
+        let catalog = match opts.catalog {
+            Some(catalog) => catalog,
+            None => {
+                let policy = scheduler.decomposition(config.chunk_max, config.cluster.len() as u32);
+                Catalog::new(self.datasets.clone(), policy)
+            }
+        };
         let mut engine = Engine::new(&config, catalog, scheduler, &opts.label, opts.probe);
         for (chunk, estimate) in opts.initial_estimates {
-            engine.tables.estimate.record(chunk, estimate);
+            engine.runtime.tables_mut().estimate.record(chunk, estimate);
         }
         engine.run(jobs)
     }
+}
 
-    /// Run `kind` over `jobs` (must be sorted by issue time).
-    #[deprecated(note = "use `run_opts(jobs, RunOptions::new(kind).label(scenario))`")]
-    pub fn run(&self, kind: SchedulerKind, jobs: Vec<Job>, scenario: &str) -> SimOutcome {
-        self.run_opts(jobs, RunOptions::new(kind).label(scenario))
-    }
+/// The event-driven execution layer under the shared head runtime: a
+/// virtual clock, the authoritative node model, and the event queue.
+struct SimSubstrate<'a> {
+    config: &'a SimConfig,
+    nodes: Vec<SimNode>,
+    events: EventQueue,
+    now: SimTime,
+    tick_armed: bool,
+    trace: Vec<TaskTrace>,
+    /// Disk loads currently in flight (shared-FS contention input).
+    loads_in_flight: u32,
+}
 
-    /// Run an explicit scheduler instance (for parameter ablations).
-    #[deprecated(note = "use `run_opts(jobs, RunOptions::with_scheduler(s).label(scenario))`")]
-    pub fn run_with(
-        &self,
-        scheduler: Box<dyn Scheduler>,
-        jobs: Vec<Job>,
-        scenario: &str,
-    ) -> SimOutcome {
-        self.run_opts(jobs, RunOptions::with_scheduler(scheduler).label(scenario))
+impl Substrate for SimSubstrate<'_> {
+    fn dispatch(&mut self, assignment: &Assignment) -> bool {
+        let node = assignment.node;
+        self.nodes[node.index()].enqueue(*assignment);
+        if self.nodes[node.index()].is_idle() {
+            self.start_node(node);
+        }
+        true
     }
 }
 
-struct JobState {
-    record: JobRecord,
-    remaining: u32,
-    max_finish: SimTime,
-}
+impl SimSubstrate<'_> {
+    fn start_node(&mut self, node: NodeId) {
+        // Shared-FS contention: loads starting now run slower the more
+        // loads are already streaming from the file server.
+        let contention = match self.config.shared_fs_capacity {
+            Some(capacity) if capacity > 0 => 1.0 + self.loads_in_flight as f64 / capacity as f64,
+            _ => 1.0,
+        };
+        let n = &mut self.nodes[node.index()];
+        if !n.is_idle() || n.crashed {
+            return;
+        }
+        let (finish, miss, generation) = match n.start_next_contended(
+            self.now,
+            &self.config.cost,
+            self.config.exec_jitter,
+            contention,
+        ) {
+            Some(running) => (running.finish, running.miss, n.generation),
+            None => return,
+        };
+        if miss {
+            self.loads_in_flight += 1;
+        }
+        self.events
+            .push(finish, EventKind::TaskDone { node, generation });
+    }
 
-/// The probe view of one commitment: the placement plus the predictions it
-/// was based on.
-fn assignment_event(now: SimTime, a: &Assignment) -> TraceEvent {
-    TraceEvent::Assignment {
-        now,
-        job: a.task.job,
-        task: a.task.index,
-        chunk: a.task.chunk,
-        node: a.node,
-        predicted_start: a.predicted_start,
-        predicted_exec: a.predicted_exec,
-        interactive: a.task.interactive,
+    fn arm_tick(&mut self, trigger: Trigger) {
+        if self.tick_armed {
+            return;
+        }
+        let Trigger::Cycle(cycle) = trigger else {
+            return;
+        };
+        let omega = cycle.as_micros().max(1);
+        let next = self.now.as_micros().div_ceil(omega) * omega;
+        self.tick_armed = true;
+        self.events
+            .push(SimTime::from_micros(next), EventKind::Tick);
+    }
+
+    /// Arm the *next* cycle boundary strictly after `now` (used from within
+    /// a tick so the chain advances).
+    fn arm_tick_after(&mut self, trigger: Trigger) {
+        if self.tick_armed {
+            return;
+        }
+        let Trigger::Cycle(cycle) = trigger else {
+            return;
+        };
+        let omega = cycle.as_micros().max(1);
+        let next = (self.now.as_micros() / omega + 1) * omega;
+        self.tick_armed = true;
+        self.events
+            .push(SimTime::from_micros(next), EventKind::Tick);
     }
 }
 
 struct Engine<'a> {
-    config: &'a SimConfig,
-    catalog: Catalog,
-    scheduler: Box<dyn Scheduler>,
-    scenario: String,
-    tables: vizsched_core::tables::HeadTables,
-    nodes: Vec<SimNode>,
-    events: EventQueue,
-    /// Arrival buffer for cycle-triggered policies.
-    buffer: Vec<Job>,
-    tick_armed: bool,
-    now: SimTime,
-    jobs: FxHashMap<JobId, JobState>,
-    job_order: Vec<JobId>,
-    trace: Vec<TaskTrace>,
-    sched_wall_micros: u64,
-    sched_invocations: u64,
-    jobs_scheduled: u64,
-    makespan: SimTime,
-    /// Disk loads currently in flight (shared-FS contention input).
-    loads_in_flight: u32,
-    probe: Arc<dyn Probe>,
+    runtime: HeadRuntime,
+    sub: SimSubstrate<'a>,
 }
 
 impl<'a> Engine<'a> {
     fn new(
         config: &'a SimConfig,
         catalog: Catalog,
-        scheduler: Box<dyn Scheduler>,
+        scheduler: Box<dyn vizsched_core::sched::Scheduler>,
         scenario: &str,
-        probe: Arc<dyn Probe>,
+        probe: std::sync::Arc<dyn vizsched_metrics::Probe>,
     ) -> Self {
         let tables = match config.gpu_quota {
             Some(gpu) => vizsched_core::tables::HeadTables::with_gpu_tier(
@@ -324,30 +353,21 @@ impl<'a> Engine<'a> {
             })
             .collect();
         Engine {
-            config,
-            catalog,
-            scheduler,
-            scenario: scenario.to_string(),
-            tables,
-            nodes,
-            events: EventQueue::new(),
-            buffer: Vec::new(),
-            tick_armed: false,
-            now: SimTime::ZERO,
-            jobs: FxHashMap::default(),
-            job_order: Vec::new(),
-            trace: Vec::new(),
-            sched_wall_micros: 0,
-            sched_invocations: 0,
-            jobs_scheduled: 0,
-            makespan: SimTime::ZERO,
-            loads_in_flight: 0,
-            probe,
+            runtime: HeadRuntime::new(scheduler, tables, catalog, config.cost, probe, scenario),
+            sub: SimSubstrate {
+                config,
+                nodes,
+                events: EventQueue::new(),
+                now: SimTime::ZERO,
+                tick_armed: false,
+                trace: Vec::new(),
+                loads_in_flight: 0,
+            },
         }
     }
 
-    fn run(&mut self, jobs: Vec<Job>) -> SimOutcome {
-        if self.config.warm_start {
+    fn run(mut self, jobs: Vec<Job>) -> SimOutcome {
+        if self.sub.config.warm_start {
             self.warm_start();
         }
         // Seed the event queue with arrivals and faults.
@@ -355,19 +375,21 @@ impl<'a> Engine<'a> {
         for job in jobs {
             assert!(job.issue_time >= last, "jobs must be sorted by issue time");
             last = job.issue_time;
-            self.events.push(job.issue_time, EventKind::Arrival(job));
+            self.sub
+                .events
+                .push(job.issue_time, EventKind::Arrival(job));
         }
-        for fault in &self.config.faults {
+        for fault in &self.sub.config.faults {
             let kind = if fault.crash {
                 EventKind::NodeCrash(fault.node)
             } else {
                 EventKind::NodeRecover(fault.node)
             };
-            self.events.push(fault.time, kind);
+            self.sub.events.push(fault.time, kind);
         }
 
-        while let Some(event) = self.events.pop() {
-            self.now = event.time;
+        while let Some(event) = self.sub.events.pop() {
+            self.sub.now = event.time;
             match event.kind {
                 EventKind::Arrival(job) => self.on_arrival(job),
                 EventKind::Tick => self.on_tick(),
@@ -386,114 +408,58 @@ impl<'a> Engine<'a> {
     /// table needs no seeding — its cost-model fallback is the test-run
     /// estimate.)
     fn warm_start(&mut self) {
-        let p = self.nodes.len();
-        let mut i = 0usize;
-        for dataset in self.catalog.datasets() {
-            for chunk in self.catalog.chunks_of(dataset.id) {
-                let node = NodeId((i % p) as u32);
-                i += 1;
-                let mem = &mut self.nodes[node.index()].memory;
-                let host = mem.host();
-                if host.used() + chunk.bytes <= host.quota() && !mem.host_resident(chunk.id) {
-                    mem.access(chunk.id, chunk.bytes);
-                    self.tables.cache.record_load(node, chunk.id, chunk.bytes);
-                    if let Some(gpu) = &mut self.tables.gpu_cache {
-                        gpu.record_load(node, chunk.id, chunk.bytes);
-                    }
-                    if self.probe.enabled() {
-                        self.probe.on_event(&TraceEvent::CacheLoad {
-                            now: SimTime::ZERO,
-                            node,
-                            chunk: chunk.id,
-                        });
-                    }
-                }
+        let p = self.sub.nodes.len();
+        let chunks: Vec<(ChunkId, u64)> = self
+            .runtime
+            .catalog()
+            .datasets()
+            .iter()
+            .flat_map(|d| self.runtime.catalog().chunks_of(d.id))
+            .map(|c| (c.id, c.bytes))
+            .collect();
+        for (i, (chunk, bytes)) in chunks.into_iter().enumerate() {
+            let node = NodeId((i % p) as u32);
+            let mem = &mut self.sub.nodes[node.index()].memory;
+            let host = mem.host();
+            if host.used() + bytes <= host.quota() && !mem.host_resident(chunk) {
+                mem.access(chunk, bytes);
+                self.runtime.record_warm_load(node, chunk, bytes);
             }
         }
     }
 
     fn on_arrival(&mut self, job: Job) {
-        let state = JobState {
-            record: JobRecord {
-                id: job.id,
-                kind: job.kind,
-                dataset: job.dataset,
-                timing: JobTiming::issued_at(job.issue_time),
-                tasks: self.catalog.task_count(job.dataset),
-                misses: 0,
-            },
-            remaining: self.catalog.task_count(job.dataset),
-            max_finish: SimTime::ZERO,
-        };
-        self.jobs.insert(job.id, state);
-        self.job_order.push(job.id);
-
-        match self.scheduler.trigger() {
-            Trigger::OnArrival => self.invoke(vec![job]),
-            Trigger::Cycle(_) => {
-                self.buffer.push(job);
-                self.arm_tick();
-            }
+        let now = self.sub.now;
+        if !self.runtime.on_job_arrival(&mut self.sub, now, job) {
+            let trigger = self.runtime.trigger();
+            self.sub.arm_tick(trigger);
         }
     }
 
     fn on_tick(&mut self) {
-        self.tick_armed = false;
-        let jobs = std::mem::take(&mut self.buffer);
-        self.invoke(jobs);
-        if self.scheduler.has_deferred() {
-            self.arm_tick_after();
+        self.sub.tick_armed = false;
+        let now = self.sub.now;
+        self.runtime.on_cycle(&mut self.sub, now);
+        if self.runtime.has_deferred() {
+            let trigger = self.runtime.trigger();
+            self.sub.arm_tick_after(trigger);
         }
     }
 
     fn on_task_done(&mut self, node: NodeId, generation: u32) {
         {
-            let n = &mut self.nodes[node.index()];
+            let n = &self.sub.nodes[node.index()];
             if n.crashed || n.generation != generation {
                 return; // stale completion from before a crash
             }
         }
-        let done = self.nodes[node.index()].complete();
+        let done = self.sub.nodes[node.index()].complete();
         if done.miss {
-            self.loads_in_flight = self.loads_in_flight.saturating_sub(1);
+            self.sub.loads_in_flight = self.sub.loads_in_flight.saturating_sub(1);
         }
-        self.makespan = self.makespan.max(done.finish);
-        let tracing = self.probe.enabled();
-
-        // Job bookkeeping.
         let task = done.assignment.task;
-        if tracing {
-            self.probe.on_event(&TraceEvent::TaskDone {
-                now: self.now,
-                job: task.job,
-                task: task.index,
-                chunk: task.chunk,
-                node,
-                started: done.started,
-                exec: done.finish.saturating_since(done.started),
-                io: done.io,
-                miss: done.miss,
-            });
-        }
-        if let Some(state) = self.jobs.get_mut(&task.job) {
-            state.remaining -= 1;
-            state.max_finish = state.max_finish.max(done.finish);
-            if done.miss {
-                state.record.misses += 1;
-            }
-            if state.remaining == 0 {
-                state.record.timing.record_finish(state.max_finish);
-                if tracing {
-                    self.probe.on_event(&TraceEvent::JobDone {
-                        now: self.now,
-                        job: task.job,
-                        latency: state.max_finish.saturating_since(state.record.timing.issue),
-                    });
-                }
-            }
-        }
-        if self.config.record_trace {
-            self.trace.push(TaskTrace {
+        if self.sub.config.record_trace {
+            self.sub.trace.push(TaskTrace {
                 job: task.job,
                 index: task.index,
                 node,
@@ -502,226 +468,57 @@ impl<'a> Engine<'a> {
                 miss: done.miss,
             });
         }
+        let completion = Completion {
+            node,
+            job: task.job,
+            task: task.index,
+            chunk: task.chunk,
+            started: done.started,
+            finish: done.finish,
+            io: done.io,
+            miss: done.miss,
+            evicted: done.evicted,
+            gpu_resident: done.tier == vizsched_core::tiered::Tier::Gpu,
+            gpu_evicted: done.gpu_evicted,
+        };
+        self.runtime.on_task_done(self.sub.now, completion);
 
-        // §V-B corrections: estimate from the measurement, cache from the
-        // node's authoritative load/evictions, available from the real
-        // backlog.
-        if done.miss {
-            if tracing {
-                let old = self
-                    .tables
-                    .estimate
-                    .get(task.chunk, task.bytes, &self.config.cost);
-                self.probe.on_event(&TraceEvent::EstimateCorrection {
-                    now: self.now,
-                    chunk: task.chunk,
-                    old,
-                    new: done.io,
-                });
-                for &victim in &done.evicted {
-                    self.probe.on_event(&TraceEvent::CacheEvict {
-                        now: self.now,
-                        node,
-                        chunk: victim,
-                    });
-                }
-                self.probe.on_event(&TraceEvent::CacheLoad {
-                    now: self.now,
-                    node,
-                    chunk: task.chunk,
-                });
-            }
-            self.tables.estimate.record(task.chunk, done.io);
-            self.tables
-                .cache
-                .reconcile_load(node, task.chunk, task.bytes, &done.evicted);
-        }
-        if let Some(gpu) = &mut self.tables.gpu_cache {
-            if done.tier != vizsched_core::tiered::Tier::Gpu {
-                // The node pulled the chunk onto its GPU; mirror it.
-                let mut evicted = done.gpu_evicted.clone();
-                evicted.extend_from_slice(&done.evicted);
-                gpu.reconcile_load(node, task.chunk, task.bytes, &evicted);
-            }
-        }
-        let backlog = self.nodes[node.index()].predicted_backlog;
-        if tracing {
-            self.probe.on_event(&TraceEvent::AvailableCorrection {
-                now: self.now,
-                node,
-                old: self.tables.available.get(node),
-                new: self.now + backlog,
-            });
-        }
-        self.tables.available.correct(node, self.now + backlog);
-
-        self.start_node(node);
+        self.sub.start_node(node);
 
         // Deferred work may now fit: make sure a cycle is coming.
-        if matches!(self.scheduler.trigger(), Trigger::Cycle(_)) && self.scheduler.has_deferred() {
-            self.arm_tick();
+        let trigger = self.runtime.trigger();
+        if matches!(trigger, Trigger::Cycle(_)) && self.runtime.has_deferred() {
+            self.sub.arm_tick(trigger);
         }
     }
 
     fn on_crash(&mut self, node: NodeId) {
-        let lost = self.nodes[node.index()].crash();
-        self.tables.mark_down(node);
-        if self.probe.enabled() {
-            self.probe.on_event(&TraceEvent::NodeDown {
-                now: self.now,
-                node,
-                lost_tasks: lost.len(),
-            });
-        }
-        if self.tables.live_nodes().next().is_none() {
-            // Whole cluster down: the lost work is gone for good.
-            return;
-        }
-        // Re-place the lost tasks on live nodes, locality-aware — the
-        // fault-tolerance path of §VI-D.
-        let mut ctx = ScheduleCtx {
-            now: self.now,
-            tables: &mut self.tables,
-            catalog: &self.catalog,
-            cost: &self.config.cost,
-        };
-        let reassigned: Vec<Assignment> = lost
-            .into_iter()
-            .map(|a| {
-                let node = ctx.earliest_node_with_locality(a.task.chunk, a.task.bytes);
-                ctx.commit(a.task, node, a.group)
-            })
-            .collect();
-        if self.probe.enabled() {
-            for a in &reassigned {
-                self.probe.on_event(&assignment_event(self.now, a));
-            }
-        }
-        self.dispatch(reassigned);
+        // The node model is authoritative: drop its queue and running
+        // task, clear its memory, bump its completion generation. The
+        // runtime re-places exactly the same tasks from its own
+        // outstanding ledger (FIFO nodes keep the two views identical).
+        let _ = self.sub.nodes[node.index()].crash();
+        let now = self.sub.now;
+        self.runtime.on_node_fault(&mut self.sub, now, node);
     }
 
     fn on_recover(&mut self, node: NodeId) {
-        self.nodes[node.index()].recover();
-        self.tables.mark_up(node, self.now);
-        if self.probe.enabled() {
-            self.probe.on_event(&TraceEvent::NodeUp {
-                now: self.now,
-                node,
-            });
-        }
+        self.sub.nodes[node.index()].recover();
+        self.runtime.on_node_recover(self.sub.now, node);
     }
 
-    fn arm_tick(&mut self) {
-        if self.tick_armed {
-            return;
-        }
-        let Trigger::Cycle(cycle) = self.scheduler.trigger() else {
-            return;
-        };
-        let omega = cycle.as_micros().max(1);
-        let next = self.now.as_micros().div_ceil(omega) * omega;
-        self.tick_armed = true;
-        self.events
-            .push(SimTime::from_micros(next), EventKind::Tick);
-    }
-
-    /// Arm the *next* cycle boundary strictly after `now` (used from within
-    /// a tick so the chain advances).
-    fn arm_tick_after(&mut self) {
-        if self.tick_armed {
-            return;
-        }
-        let Trigger::Cycle(cycle) = self.scheduler.trigger() else {
-            return;
-        };
-        let omega = cycle.as_micros().max(1);
-        let next = (self.now.as_micros() / omega + 1) * omega;
-        self.tick_armed = true;
-        self.events
-            .push(SimTime::from_micros(next), EventKind::Tick);
-    }
-
-    fn invoke(&mut self, jobs: Vec<Job>) {
-        let tracing = self.probe.enabled();
-        if tracing {
-            self.probe.on_event(&TraceEvent::CycleStart {
-                now: self.now,
-                queued: jobs.len(),
-            });
-        }
-        self.jobs_scheduled += jobs.len() as u64;
-        self.sched_invocations += 1;
-        let mut ctx = ScheduleCtx {
-            now: self.now,
-            tables: &mut self.tables,
-            catalog: &self.catalog,
-            cost: &self.config.cost,
-        };
-        let t0 = Instant::now();
-        let assignments = self.scheduler.schedule(&mut ctx, jobs);
-        let wall_micros = t0.elapsed().as_micros() as u64;
-        self.sched_wall_micros += wall_micros;
-        if tracing {
-            for a in &assignments {
-                self.probe.on_event(&assignment_event(self.now, a));
-            }
-            self.probe.on_event(&TraceEvent::CycleEnd {
-                now: self.now,
-                assignments: assignments.len(),
-                wall_micros,
-            });
-        }
-        self.dispatch(assignments);
-    }
-
-    fn dispatch(&mut self, assignments: Vec<Assignment>) {
-        for a in assignments {
-            let node = a.node;
-            self.nodes[node.index()].enqueue(a);
-            if self.nodes[node.index()].is_idle() {
-                self.start_node(node);
-            }
-        }
-    }
-
-    fn start_node(&mut self, node: NodeId) {
-        // Shared-FS contention: loads starting now run slower the more
-        // loads are already streaming from the file server.
-        let contention = match self.config.shared_fs_capacity {
-            Some(capacity) if capacity > 0 => 1.0 + self.loads_in_flight as f64 / capacity as f64,
-            _ => 1.0,
-        };
-        let n = &mut self.nodes[node.index()];
-        if !n.is_idle() || n.crashed {
-            return;
-        }
-        let Some(running) = n.start_next_contended(
-            self.now,
-            &self.config.cost,
-            self.config.exec_jitter,
-            contention,
-        ) else {
-            return;
-        };
-        if running.miss {
-            self.loads_in_flight += 1;
-        }
-        let (job, finish, generation) = (running.assignment.task.job, running.finish, n.generation);
-        self.events
-            .push(finish, EventKind::TaskDone { node, generation });
-        if let Some(state) = self.jobs.get_mut(&job) {
-            state.record.timing.record_start(self.now);
-        }
-    }
-
-    fn finish(&mut self) -> SimOutcome {
+    fn finish(self) -> SimOutcome {
+        let outcome = self.runtime.into_outcome();
+        let mut record = outcome.record;
+        // The node model's counters are authoritative (they include work
+        // started but lost to crashes, and real eviction totals).
         let mut cache_hits = 0;
         let mut cache_misses = 0;
         let mut gpu_hits = 0;
         let mut evictions = 0;
-        let span = self.makespan.as_secs_f64().max(1e-9);
-        let mut node_stats = Vec::with_capacity(self.nodes.len());
-        for n in &self.nodes {
+        let span = record.makespan.as_secs_f64().max(1e-9);
+        let mut node_stats = Vec::with_capacity(self.sub.nodes.len());
+        for n in &self.sub.nodes {
             cache_hits += n.hits;
             cache_misses += n.misses;
             gpu_hits += n.gpu_hits;
@@ -735,32 +532,15 @@ impl<'a> Engine<'a> {
                 utilization: (n.busy.as_secs_f64() / span).min(1.0),
             });
         }
-        let mut jobs = Vec::with_capacity(self.job_order.len());
-        let mut incomplete = 0;
-        for id in &self.job_order {
-            let state = &self.jobs[id];
-            if state.remaining > 0 {
-                incomplete += 1;
-            }
-            jobs.push(state.record);
-        }
+        record.cache_hits = cache_hits;
+        record.cache_misses = cache_misses;
+        record.gpu_hits = gpu_hits;
+        record.evictions = evictions;
         SimOutcome {
-            record: RunRecord {
-                scheduler: self.scheduler.name().to_string(),
-                scenario: self.scenario.clone(),
-                jobs,
-                cache_hits,
-                cache_misses,
-                gpu_hits,
-                evictions,
-                sched_wall_micros: self.sched_wall_micros,
-                sched_invocations: self.sched_invocations,
-                jobs_scheduled: self.jobs_scheduled,
-                makespan: self.makespan,
-            },
-            trace: std::mem::take(&mut self.trace),
+            record,
+            trace: self.sub.trace,
             node_stats,
-            incomplete_jobs: incomplete,
+            incomplete_jobs: outcome.incomplete_jobs,
         }
     }
 }

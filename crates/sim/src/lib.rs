@@ -3,15 +3,16 @@
 //! A deterministic discrete-event simulator of a GPU rendering cluster:
 //! the execution substrate for every scheduling experiment in the paper
 //! reproduction. Nodes process tasks FIFO over an authoritative LRU chunk
-//! cache and a disk model; the head node's tables are corrected from
-//! observed completions exactly as §V-B describes; node crashes and
-//! recoveries can be injected to exercise the fault-tolerance claim of
-//! §VI-D.
+//! cache and a disk model; all head-node logic — scheduler invocation,
+//! run-time table correction, fault handling — is the shared
+//! `vizsched-runtime`, driven here by a virtual clock and an event queue;
+//! node crashes and recoveries can be injected to exercise the
+//! fault-tolerance claim of §VI-D.
 //!
 //! Runs are configured through the builder-style [`RunOptions`]: the
 //! policy, a scenario label, per-run overrides (cycle, eviction, faults,
 //! jitter seed), and an optional [`vizsched_metrics::Probe`] receiving
-//! every scheduling decision, completion, and §V-B table correction.
+//! every scheduling decision, completion, and table correction.
 //!
 //! ```
 //! use vizsched_core::prelude::*;

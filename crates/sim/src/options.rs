@@ -26,6 +26,7 @@
 use crate::engine::Fault;
 use std::sync::Arc;
 use vizsched_core::cost::CostParams;
+use vizsched_core::data::Catalog;
 use vizsched_core::ids::ChunkId;
 use vizsched_core::memory::EvictionPolicy;
 use vizsched_core::sched::{Scheduler, SchedulerKind};
@@ -66,6 +67,7 @@ pub struct RunOptions {
     pub(crate) record_trace: Option<bool>,
     pub(crate) seed: Option<u64>,
     pub(crate) initial_estimates: Vec<(ChunkId, SimDuration)>,
+    pub(crate) catalog: Option<Catalog>,
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -83,6 +85,7 @@ impl std::fmt::Debug for RunOptions {
             .field("record_trace", &self.record_trace)
             .field("seed", &self.seed)
             .field("initial_estimates", &self.initial_estimates.len())
+            .field("catalog_override", &self.catalog.is_some())
             .finish()
     }
 }
@@ -113,6 +116,7 @@ impl RunOptions {
             record_trace: None,
             seed: None,
             initial_estimates: Vec::new(),
+            catalog: None,
         }
     }
 
@@ -186,6 +190,14 @@ impl RunOptions {
     /// prediction-feedback experiments.
     pub fn initial_estimate(mut self, chunk: ChunkId, estimate: SimDuration) -> Self {
         self.initial_estimates.push((chunk, estimate));
+        self
+    }
+
+    /// Replace the catalog for this run instead of decomposing the
+    /// simulation's datasets — e.g. to replay the exact physical bricking
+    /// of a live `ChunkStore` for simulator-vs-service parity checks.
+    pub fn catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = Some(catalog);
         self
     }
 

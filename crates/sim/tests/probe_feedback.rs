@@ -1,6 +1,6 @@
 //! Probe-observed prediction feedback: seed `Estimate[c]` with a
-//! deliberately wrong prior and watch the §V-B corrections pull the
-//! head node's predictions back to reality, cycle over cycle.
+//! deliberately wrong prior and watch the shared runtime's corrections
+//! pull the head node's predictions back to reality, cycle over cycle.
 
 use std::sync::Arc;
 use vizsched_core::prelude::*;

@@ -1,0 +1,335 @@
+//! Simulator-vs-service parity: both drive the *same* shared head-node
+//! runtime (`vizsched-runtime`), so an identical serialized workload over
+//! an identical catalog must produce identical scheduler-visible event
+//! sequences — modulo wall-clock timestamps and measured durations, which
+//! the live service observes from real disks and renders.
+//!
+//! The topology is chosen to make placement substrate-independent for the
+//! deterministic policies: each dataset bricks into exactly `nodes`
+//! chunks, so a cold job spreads one chunk per node through index
+//! tie-breaks and a warm job maps every chunk to its unique cache holder
+//! (zero movement strictly wins), never comparing measured estimate
+//! *magnitudes* — the one quantity that legitimately differs between the
+//! virtual and the wall clock.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+use vizsched_core::prelude::*;
+use vizsched_metrics::{CollectingProbe, TraceEvent};
+use vizsched_service::{ChunkStore, ServiceClient, ServiceConfig, StoreDataset, VizService};
+use vizsched_sim::{RunOptions, SimConfig, Simulation};
+use vizsched_volume::Field;
+
+const NODES: usize = 4;
+const MEM_QUOTA: u64 = 1 << 20;
+
+/// (job, task, chunk, node, interactive) — sorted, so dispatch interleaving
+/// across cycles doesn't matter, only the placements themselves.
+type AssignKey = (u64, u32, u64, u32, bool);
+/// (job, task, chunk, node, miss).
+type DoneKey = (u64, u32, u64, u32, bool);
+
+fn assignments(events: &[TraceEvent]) -> Vec<AssignKey> {
+    let mut keys: Vec<AssignKey> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Assignment {
+                job,
+                task,
+                chunk,
+                node,
+                interactive,
+                ..
+            } => Some((job.0, *task, chunk.as_u64(), node.0, *interactive)),
+            _ => None,
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn dones(events: &[TraceEvent]) -> Vec<DoneKey> {
+    let mut keys: Vec<DoneKey> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::TaskDone {
+                job,
+                task,
+                chunk,
+                node,
+                miss,
+                ..
+            } => Some((job.0, *task, chunk.as_u64(), node.0, *miss)),
+            _ => None,
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn cache_loads(events: &[TraceEvent]) -> BTreeSet<(u32, u64)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::CacheLoad { node, chunk, .. } => Some((node.0, chunk.as_u64())),
+            _ => None,
+        })
+        .collect()
+}
+
+fn estimate_chunks(events: &[TraceEvent]) -> BTreeSet<u64> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::EstimateCorrection { chunk, .. } => Some(chunk.as_u64()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn job_done_order(events: &[TraceEvent]) -> Vec<u64> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::JobDone { job, .. } => Some(job.0),
+            _ => None,
+        })
+        .collect()
+}
+
+fn count(events: &[TraceEvent], f: impl Fn(&TraceEvent) -> bool) -> usize {
+    events.iter().filter(|e| f(e)).count()
+}
+
+/// The serialized workload both substrates replay: `(dataset, azimuth)`
+/// per job, one job in flight at a time. Dataset 0 runs cold then warm,
+/// dataset 1 interleaves to exercise per-node cache coexistence.
+fn workload() -> Vec<(u64, f32)> {
+    vec![
+        (0, 0.10),
+        (0, 0.20),
+        (1, 0.30),
+        (0, 0.40),
+        (1, 0.50),
+        (1, 0.60),
+    ]
+}
+
+/// Run the workload through the live service, one frame at a time.
+fn run_service(kind: SchedulerKind) -> (Vec<TraceEvent>, u64, u64) {
+    let root = std::env::temp_dir().join(format!(
+        "vizsched-parity-{}-{}",
+        kind.name(),
+        std::process::id()
+    ));
+    let mut store = ChunkStore::create(
+        &root,
+        &[
+            StoreDataset {
+                field: Field::Shells,
+                dims: [16, 16, 32],
+                bricks: NODES,
+            },
+            StoreDataset {
+                field: Field::Plume,
+                dims: [16, 16, 32],
+                bricks: NODES,
+            },
+        ],
+    )
+    .unwrap();
+    // Throttle the store so every measured load is comfortably nonzero:
+    // a zero measured estimate would erase the locality advantage the
+    // deterministic placement argument rests on.
+    store.set_throttle(Some(4 << 20));
+    let probe = Arc::new(CollectingProbe::new());
+    let config = ServiceConfig::default()
+        .nodes(NODES)
+        .mem_quota(MEM_QUOTA)
+        .image_size(32, 32)
+        .scheduler(kind)
+        .probe(probe.clone());
+    let service = VizService::start(config, Arc::new(store));
+    let client = ServiceClient::new(UserId(0), service.request_sender());
+    for (i, &(dataset, azimuth)) in workload().iter().enumerate() {
+        let frame = FrameParams {
+            azimuth,
+            ..FrameParams::default()
+        };
+        let rx = client.render_interactive(ActionId(i as u64), DatasetId(dataset as u32), frame);
+        rx.recv_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|e| panic!("{}: frame {i} never arrived: {e}", kind.name()));
+    }
+    let stats = service.drain_and_shutdown();
+    std::fs::remove_dir_all(root).ok();
+    (probe.take(), stats.cache_hits, stats.cache_misses)
+}
+
+/// Replay the same workload in the simulator over the *same physical
+/// catalog* (the store's bricking), jobs spaced far enough apart that each
+/// completes before the next issues — the virtual-clock image of the
+/// serialized client.
+fn run_sim(kind: SchedulerKind) -> (Vec<TraceEvent>, u64, u64) {
+    let root = std::env::temp_dir().join(format!(
+        "vizsched-parity-cat-{}-{}",
+        kind.name(),
+        std::process::id()
+    ));
+    let store = ChunkStore::create(
+        &root,
+        &[
+            StoreDataset {
+                field: Field::Shells,
+                dims: [16, 16, 32],
+                bricks: NODES,
+            },
+            StoreDataset {
+                field: Field::Plume,
+                dims: [16, 16, 32],
+                bricks: NODES,
+            },
+        ],
+    )
+    .unwrap();
+    let catalog = store.catalog().clone();
+    std::fs::remove_dir_all(root).ok();
+
+    let cluster = ClusterSpec::homogeneous(NODES, MEM_QUOTA);
+    let config = SimConfig::new(cluster, CostParams::default(), 1 << 30);
+    let jobs: Vec<Job> = workload()
+        .iter()
+        .enumerate()
+        .map(|(i, &(dataset, azimuth))| Job {
+            id: JobId(i as u64),
+            kind: JobKind::Interactive {
+                user: UserId(0),
+                action: ActionId(i as u64),
+            },
+            dataset: DatasetId(dataset as u32),
+            issue_time: SimTime::from_secs(i as u64),
+            frame: FrameParams {
+                azimuth,
+                ..FrameParams::default()
+            },
+        })
+        .collect();
+    let probe = Arc::new(CollectingProbe::new());
+    let outcome = Simulation::new(config, Vec::new()).run_opts(
+        jobs,
+        RunOptions::new(kind)
+            .label("parity")
+            .catalog(catalog)
+            .probe(probe.clone()),
+    );
+    assert_eq!(
+        outcome.incomplete_jobs,
+        0,
+        "{}: sim run stalled",
+        kind.name()
+    );
+    (
+        probe.take(),
+        outcome.record.cache_hits,
+        outcome.record.cache_misses,
+    )
+}
+
+/// Invariants that must hold for *any* policy, placement-deterministic or
+/// not: same work items, same completion order, same invocation balance.
+fn assert_weak_parity(kind: SchedulerKind, sim: &[TraceEvent], live: &[TraceEvent]) {
+    let name = kind.name();
+    let strip_node = |keys: Vec<AssignKey>| -> Vec<(u64, u32, u64, bool)> {
+        let mut k: Vec<_> = keys
+            .into_iter()
+            .map(|(j, t, c, _, i)| (j, t, c, i))
+            .collect();
+        k.sort_unstable();
+        k
+    };
+    assert_eq!(
+        strip_node(assignments(sim)),
+        strip_node(assignments(live)),
+        "{name}: dispatched work items differ"
+    );
+    let strip_done = |keys: Vec<DoneKey>| -> Vec<(u64, u32, u64)> {
+        let mut k: Vec<_> = keys.into_iter().map(|(j, t, c, _, _)| (j, t, c)).collect();
+        k.sort_unstable();
+        k
+    };
+    assert_eq!(
+        strip_done(dones(sim)),
+        strip_done(dones(live)),
+        "{name}: completed work items differ"
+    );
+    assert_eq!(
+        job_done_order(sim),
+        job_done_order(live),
+        "{name}: job completion order differs"
+    );
+    for (tag, events) in [("sim", sim), ("live", live)] {
+        let starts = count(events, |e| matches!(e, TraceEvent::CycleStart { .. }));
+        let ends = count(events, |e| matches!(e, TraceEvent::CycleEnd { .. }));
+        assert_eq!(starts, ends, "{name}/{tag}: unbalanced cycles");
+        assert!(
+            events.windows(2).all(|w| w[0].time() <= w[1].time()),
+            "{name}/{tag}: probe stream not time-ordered"
+        );
+    }
+}
+
+/// Full placement parity, for policies whose tie-breaks are substrate
+/// independent (index order / locality, never the wall clock): identical
+/// node choices, identical per-node cache evolution, identical hit/miss
+/// realization.
+fn assert_strict_parity(kind: SchedulerKind) {
+    let (sim, sim_hits, sim_misses) = run_sim(kind);
+    let (live, live_hits, live_misses) = run_service(kind);
+    let name = kind.name();
+    assert_weak_parity(kind, &sim, &live);
+    assert_eq!(
+        assignments(&sim),
+        assignments(&live),
+        "{name}: task placement diverged between substrates"
+    );
+    assert_eq!(
+        dones(&sim),
+        dones(&live),
+        "{name}: execution (node, miss) realization diverged"
+    );
+    assert_eq!(
+        cache_loads(&sim),
+        cache_loads(&live),
+        "{name}: per-node cache contents diverged"
+    );
+    assert_eq!(
+        estimate_chunks(&sim),
+        estimate_chunks(&live),
+        "{name}: estimate-corrected chunk sets differ"
+    );
+    assert_eq!(
+        (sim_hits, sim_misses),
+        (live_hits, live_misses),
+        "{name}: aggregate hit/miss counters differ"
+    );
+}
+
+#[test]
+fn ours_places_identically_on_both_substrates() {
+    assert_strict_parity(SchedulerKind::Ours);
+}
+
+#[test]
+fn fcfsl_places_identically_on_both_substrates() {
+    assert_strict_parity(SchedulerKind::Fcfsl);
+}
+
+#[test]
+fn fcfs_work_items_match_across_substrates() {
+    // FCFS breaks idle ties with a time-salted hash, so *placement* is
+    // substrate-dependent by design; the scheduler-visible work stream
+    // must still agree.
+    let (sim, ..) = run_sim(SchedulerKind::Fcfs);
+    let (live, ..) = run_service(SchedulerKind::Fcfs);
+    assert_weak_parity(SchedulerKind::Fcfs, &sim, &live);
+}
