@@ -1,6 +1,6 @@
 //! Regenerates Fig. 8: scheduling cost versus the number of simultaneous
-//! user actions, for OURS, FCFSL and FCFSU on 32 nodes with 16 datasets of
-//! 4 GB each.
+//! user actions, for OURS, FCFSL and FCFSU — by default on 32 nodes with
+//! 16 datasets of 4 GB each, with `--nodes` sweeping the cluster size.
 //!
 //! The FCFS-family policies schedule once per job, so their per-job cost is
 //! flat in the number of actions (and linear in cluster size); OURS
@@ -9,9 +9,16 @@
 //!
 //! ```text
 //! cargo run --release -p vizsched-bench --bin fig8_actions [-- --length 20]
+//! cargo run --release -p vizsched-bench --bin fig8_actions -- --nodes 256
+//! cargo run --release -p vizsched-bench --bin fig8_actions -- --json fig8.json
 //! ```
+//!
+//! `--json <path>` additionally writes the rows as a machine-readable
+//! document (one object per point: actions, per-policy µs/job, OURS
+//! µs/cycle) so plots and regression diffs don't scrape the table.
 
 use vizsched_bench::experiments::simulation_for;
+use vizsched_bench::json::{obj, Json};
 use vizsched_core::sched::SchedulerKind;
 use vizsched_core::time::SimDuration;
 use vizsched_sim::RunOptions;
@@ -21,26 +28,34 @@ const GIB: u64 = 1 << 30;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let length: u64 = args
-        .iter()
-        .position(|a| a == "--length")
-        .and_then(|i| args.get(i + 1))
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let length: u64 = arg_value("--length")
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
+    let nodes: usize = arg_value("--nodes")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let json_path = arg_value("--json");
 
     println!(
         "== Fig. 8: scheduling cost vs. simultaneous user actions ==\n\
-         32 nodes, 16 x 4 GB datasets, {length} s of arrivals per point\n"
+         {nodes} nodes, 16 x 4 GB datasets, {length} s of arrivals per point\n"
     );
     println!(
         "{:>8} {:>14} {:>14} {:>14}   {:>14}",
         "actions", "OURS us/job", "FCFSL us/job", "FCFSU us/job", "OURS us/cycle"
     );
 
+    let mut points = Vec::new();
     for actions in [8u32, 16, 32, 64, 96, 128] {
         let scenario = Scenario::sweep(
             &format!("fig8-{actions}"),
-            32,
+            nodes,
             8 * GIB,
             16,
             4 * GIB,
@@ -69,9 +84,34 @@ fn main() {
             "{:>8} {:>14.3} {:>14.3} {:>14.3}   {:>14.2}",
             actions, row[0], row[1], row[2], ours_per_cycle
         );
+        points.push(obj([
+            ("actions", Json::Num(actions as f64)),
+            ("ours_us_per_job", Json::Num(row[0])),
+            ("fcfsl_us_per_job", Json::Num(row[1])),
+            ("fcfsu_us_per_job", Json::Num(row[2])),
+            ("ours_us_per_cycle", Json::Num(ours_per_cycle)),
+        ]));
     }
     println!(
         "\nExpected shape: OURS per-job cost decreases as more actions share \
          each cycle; the per-arrival policies stay flat."
     );
+
+    if let Some(path) = json_path {
+        let doc = obj([
+            ("schema", Json::Str("vizsched-bench/fig8_actions/v1".into())),
+            (
+                "config",
+                obj([
+                    ("nodes", Json::Num(nodes as f64)),
+                    ("datasets", Json::Num(16.0)),
+                    ("dataset_gib", Json::Num(4.0)),
+                    ("length_secs", Json::Num(length as f64)),
+                ]),
+            ),
+            ("points", Json::Arr(points)),
+        ]);
+        std::fs::write(&path, doc.pretty()).expect("write json output");
+        println!("(wrote {path})");
+    }
 }

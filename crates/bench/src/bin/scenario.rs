@@ -13,6 +13,8 @@
 //! ```
 //!
 //! `--short <secs>` shrinks the arrival window (same rates) for quick runs.
+//! `--json <path>` writes every per-scheduler report as a machine-readable
+//! document (same fields as the CSV, plus the scenario label per row).
 //! `--timeline` additionally prints a 10 s-bucketed completion series for
 //! OURS (warm-up transients, batch stalls).
 //! `--trace <path>` re-runs OURS with a probe attached, writes the full
@@ -22,6 +24,7 @@
 use std::env;
 use std::sync::Arc;
 use vizsched_bench::experiments::{run_scenario, simulation_for, ScenarioResults};
+use vizsched_bench::json::{obj, Json};
 use vizsched_core::sched::SchedulerKind;
 use vizsched_core::time::SimDuration;
 use vizsched_metrics::{
@@ -50,6 +53,11 @@ fn main() {
     let trace_path: Option<String> = args
         .iter()
         .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let json_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
     let numbers: Vec<u8> = match which {
@@ -84,6 +92,23 @@ fn main() {
         table3.push((scenario.label.clone(), results));
     }
 
+    if let Some(path) = json_path {
+        let rows: Vec<Json> = table3
+            .iter()
+            .flat_map(|(_, r)| r.reports.iter())
+            .map(report_json)
+            .collect();
+        let doc = obj([
+            ("schema", Json::Str("vizsched-bench/scenario/v1".into())),
+            ("reports", Json::Arr(rows)),
+        ]);
+        std::fs::write(&path, doc.pretty()).expect("write json");
+        println!(
+            "(wrote {} report rows to {path})",
+            table3.iter().map(|(_, r)| r.reports.len()).sum::<usize>()
+        );
+    }
+
     if let Some(path) = csv_path {
         let all: Vec<_> = table3
             .iter()
@@ -109,6 +134,33 @@ fn main() {
             println!("{}", format_table3_block(label, &block));
         }
     }
+}
+
+/// One scheduler report as a JSON row (the CSV columns, plus label).
+fn report_json(r: &vizsched_metrics::SchedulerReport) -> Json {
+    obj([
+        ("scenario", Json::Str(r.scenario.clone())),
+        ("scheduler", Json::Str(r.scheduler.clone())),
+        ("interactive_jobs", Json::Num(r.interactive_jobs as f64)),
+        ("batch_jobs", Json::Num(r.batch_jobs as f64)),
+        ("fps_mean", Json::Num(r.fps.mean)),
+        ("fps_p50", Json::Num(r.fps.p50)),
+        (
+            "interactive_latency_mean_s",
+            Json::Num(r.interactive_latency.mean),
+        ),
+        (
+            "interactive_latency_p95_s",
+            Json::Num(r.interactive_latency.p95),
+        ),
+        ("batch_latency_mean_s", Json::Num(r.batch_latency.mean)),
+        ("batch_working_mean_s", Json::Num(r.batch_working.mean)),
+        ("hit_rate", Json::Num(r.hit_rate)),
+        ("sched_cost_us", Json::Num(r.sched_cost_us)),
+        ("sched_invocations", Json::Num(r.sched_invocations as f64)),
+        ("makespan_secs", Json::Num(r.makespan_secs)),
+        ("fairness", Json::Num(r.fairness)),
+    ])
 }
 
 /// Re-run OURS with a probe attached, dump the event stream as JSONL, and

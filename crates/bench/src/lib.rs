@@ -9,3 +9,4 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod json;

@@ -89,7 +89,7 @@ pub mod prelude {
     pub use crate::sched::{
         Assignment, OursParams, OursScheduler, ScheduleCtx, Scheduler, SchedulerKind, Trigger,
     };
-    pub use crate::tables::{AvailableTable, CacheTable, EstimateTable, HeadTables};
+    pub use crate::tables::{AvailHeap, AvailableTable, CacheTable, EstimateTable, HeadTables};
     pub use crate::tiered::{Tier, TierAccess, TieredMemory};
     pub use crate::time::{SimDuration, SimTime};
 }

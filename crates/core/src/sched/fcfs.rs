@@ -7,13 +7,19 @@
 //! so a hot chunk drifts across nodes and gets reloaded from disk whenever
 //! its previous host has evicted it.
 
-use super::{Assignment, ScheduleCtx, Scheduler, Trigger};
+use super::{idle_tie_hash, Assignment, ScheduleCtx, Scheduler, Trigger};
+use crate::ids::NodeId;
 use crate::job::Job;
 
 /// The FCFS baseline.
 #[derive(Debug, Default)]
 pub struct FcfsScheduler {
-    _private: (),
+    /// Per-node idle tie-break hashes for the current arrival instant.
+    /// The hash is a pure function of `(now, node)`, so it is computed
+    /// once per arrival into this reused buffer instead of once per
+    /// task × node inside the greedy scan — the per-arrival baselines of
+    /// Table III / Fig. 8 should not be charged avoidable work.
+    tie: Vec<u64>,
 }
 
 impl FcfsScheduler {
@@ -33,11 +39,27 @@ impl Scheduler for FcfsScheduler {
     }
 
     fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment> {
+        // Hoisted from the per-task scan: same (now, node) inputs for the
+        // whole invocation, same hashes.
+        self.tie.clear();
+        self.tie
+            .extend((0..ctx.tables.node_count()).map(|k| idle_tie_hash(ctx.now, NodeId(k as u32))));
         let mut out = Vec::new();
         for job in incoming {
             let group = ctx.group_size(job.dataset);
             for task in job.decompose(ctx.catalog) {
-                let node = ctx.earliest_node();
+                // Same key as `ScheduleCtx::earliest_node`, with the hash
+                // read from the precomputed table.
+                let node = ctx
+                    .tables
+                    .live_nodes()
+                    .min_by_key(|&k| {
+                        (
+                            ctx.tables.available.ready_at(k, ctx.now),
+                            self.tie[k.index()],
+                        )
+                    })
+                    .expect("at least one live node");
                 out.push(ctx.commit_blind(task, node, group));
             }
         }

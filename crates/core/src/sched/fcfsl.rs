@@ -7,14 +7,26 @@
 //! matches OURS on pure interactive workloads (Scenario 1) but interleaves
 //! batch jobs with interactive ones, forcing data swaps that wreck both
 //! (Scenarios 2 and 4).
+//!
+//! Hot path: the per-task node choice goes through a reused [`AvailHeap`]
+//! (rebuilt once per arrival, O(log p) per task) and the `Cache[c]`-
+//! restricted candidate scan of
+//! [`ScheduleCtx::earliest_node_with_locality_via`], instead of the full
+//! O(p) scan per task that
+//! [`ReferenceFcfslScheduler`](super::reference::ReferenceFcfslScheduler)
+//! retains. Placements are bit-identical; the placement-equivalence suite
+//! enforces it.
 
 use super::{Assignment, ScheduleCtx, Scheduler, Trigger};
 use crate::job::Job;
+use crate::tables::AvailHeap;
 
 /// The FCFSL baseline.
 #[derive(Debug, Default)]
 pub struct FcfslScheduler {
-    _private: (),
+    /// Ordered `Available[R_k]` view, rebuilt per invocation; the
+    /// allocation persists across arrivals.
+    heap: AvailHeap,
 }
 
 impl FcfslScheduler {
@@ -35,11 +47,14 @@ impl Scheduler for FcfslScheduler {
 
     fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment> {
         let mut out = Vec::new();
+        self.heap.rebuild(ctx.tables, ctx.now);
         for job in incoming {
             let group = ctx.group_size(job.dataset);
             for task in job.decompose(ctx.catalog) {
-                let node = ctx.earliest_node_with_locality(task.chunk, task.bytes);
+                let node =
+                    ctx.earliest_node_with_locality_via(&mut self.heap, task.chunk, task.bytes);
                 out.push(ctx.commit(task, node, group));
+                self.heap.update(ctx.tables, node);
             }
         }
         out

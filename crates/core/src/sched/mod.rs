@@ -22,13 +22,14 @@ pub mod fcfsu;
 pub mod fs;
 pub mod fsd;
 pub mod ours;
+pub mod reference;
 pub mod sf;
 
 use crate::cost::CostParams;
 use crate::data::{Catalog, DecompositionPolicy};
 use crate::ids::{ChunkId, NodeId};
 use crate::job::{Job, Task};
-use crate::tables::HeadTables;
+use crate::tables::{AvailHeap, HeadTables};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -38,9 +39,28 @@ pub use fcfsu::FcfsuScheduler;
 pub use fs::FsScheduler;
 pub use fsd::FsdScheduler;
 pub use ours::{OursParams, OursScheduler};
+pub use reference::{ReferenceFcfslScheduler, ReferenceOursScheduler};
 pub use sf::SfScheduler;
 
 /// When the dispatching thread invokes a scheduler.
+///
+/// The trigger is the policy's contract with the head runtime: per-arrival
+/// policies are invoked once per job the moment it is queued; cycle-based
+/// policies are invoked every `ω` and see *every* job that arrived during
+/// the window, which is what lets them amortize one table pass over many
+/// jobs (the Fig. 8 effect).
+///
+/// ```
+/// use vizsched_core::sched::{SchedulerKind, Trigger};
+/// use vizsched_core::time::SimDuration;
+///
+/// let omega = SimDuration::from_millis(30);
+/// let ours = SchedulerKind::Ours.build(omega);
+/// assert_eq!(ours.trigger(), Trigger::Cycle(omega));
+///
+/// let fcfs = SchedulerKind::Fcfs.build(omega);
+/// assert_eq!(fcfs.trigger(), Trigger::OnArrival);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Trigger {
     /// Immediately, once per arriving job (the FCFS family).
@@ -51,6 +71,42 @@ pub enum Trigger {
 }
 
 /// One task pinned to one rendering node.
+///
+/// Assignments are what every scheduler returns and what the substrate
+/// executes; the predicted fields are the optimistic `Available`-table
+/// bookkeeping at commit time, later corrected against reality (§V-B).
+///
+/// ```
+/// use vizsched_core::prelude::*;
+/// use vizsched_core::sched::{ScheduleCtx, Scheduler, SchedulerKind};
+///
+/// let cluster = ClusterSpec::homogeneous(4, 2 << 30);
+/// let mut tables = HeadTables::new(&cluster);
+/// let catalog = Catalog::new(
+///     uniform_datasets(1, 2 << 30),
+///     DecompositionPolicy::MaxChunkSize { max_bytes: 512 << 20 },
+/// );
+/// let cost = CostParams::default();
+/// let job = Job {
+///     id: JobId(1),
+///     kind: JobKind::Interactive { user: UserId(0), action: ActionId(0) },
+///     dataset: DatasetId(0),
+///     issue_time: SimTime::ZERO,
+///     frame: FrameParams::default(),
+/// };
+///
+/// let mut sched = SchedulerKind::Ours.build(SimDuration::from_millis(30));
+/// let mut ctx = ScheduleCtx {
+///     now: SimTime::ZERO,
+///     tables: &mut tables,
+///     catalog: &catalog,
+///     cost: &cost,
+/// };
+/// let assignments = sched.schedule(&mut ctx, vec![job]);
+/// // One task per 512 MiB chunk, each pinned to a node with a prediction.
+/// assert_eq!(assignments.len(), 4);
+/// assert!(assignments.iter().all(|a| a.predicted_start == SimTime::ZERO));
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Assignment {
     /// The task being placed.
@@ -130,6 +186,45 @@ impl ScheduleCtx<'_> {
                 )
             })
             .expect("at least one live node")
+    }
+
+    /// Heap-assisted variant of
+    /// [`earliest_node_with_locality`](ScheduleCtx::earliest_node_with_locality):
+    /// returns the *identical* node while scanning only `Cache[c]` plus the
+    /// heap's global best instead of every live node — `O(|Cache[c]| + log p)`
+    /// amortized instead of O(p) per chunk group.
+    ///
+    /// Why the restriction is exact: the I/O estimate `est` is the same for
+    /// every node not holding `chunk`, so the best non-cached candidate is
+    /// the global minimum of `(ready_at, id)` with `est` added. If that
+    /// global minimum happens to be a cached node, its true key
+    /// `(ready_at, id)` — scanned via `Cache[c]` — dominates both the
+    /// inflated proxy and every non-cached node, so the winner is still
+    /// exactly the node the full scan would pick, tie-breaks included.
+    /// [`reference::ReferenceOursScheduler`] retains the full scan and the
+    /// placement-equivalence suite holds the two paths bit-identical.
+    ///
+    /// `heap` must have been rebuilt from the same tables at `self.now` and
+    /// kept current (via [`AvailHeap::update`]) across commits.
+    pub fn earliest_node_with_locality_via(
+        &self,
+        heap: &mut AvailHeap,
+        chunk: ChunkId,
+        bytes: u64,
+    ) -> NodeId {
+        let est = self.tables.estimate.get(chunk, bytes, self.cost);
+        let (global_ready, global_node) = heap.best(self.tables);
+        let mut best = (global_ready + est, global_node);
+        for &k in self.tables.cache.nodes_with(chunk) {
+            if !self.tables.is_live(k) {
+                continue;
+            }
+            let key = (self.tables.available.ready_at(k, self.now), k);
+            if key < best {
+                best = key;
+            }
+        }
+        best.1
     }
 
     /// Predicted *data movement* cost of placing `chunk` on `node`: disk

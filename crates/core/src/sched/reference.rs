@@ -1,0 +1,270 @@
+//! Straight-line reference implementations of OURS and FCFSL.
+//!
+//! These are the pre-optimization hot paths, retained verbatim as the
+//! executable specification of what the optimized schedulers in [`ours`]
+//! and [`fcfsl`] must compute: every node selection is a full O(p) scan
+//! via [`ScheduleCtx::earliest_node_with_locality`], every cycle
+//! reallocates its bucket maps and sort vectors, and nothing is cached
+//! across invocations. Two things depend on them staying put:
+//!
+//! * the **placement-equivalence suite** (`tests/placement_equivalence.rs`)
+//!   drives the optimized and reference schedulers through identical
+//!   random catalogs, clusters and job streams and asserts bit-identical
+//!   [`Assignment`] vectors — the proof that the `AvailHeap` +
+//!   candidate-restriction + scratch-reuse optimizations are
+//!   behavior-preserving;
+//! * the **`sched_hotpath` benchmark** (`vizsched-bench`) times both
+//!   implementations side by side, which is where the before/after numbers
+//!   in `BENCH_sched.json` come from.
+//!
+//! They are not registered in [`SchedulerKind`](super::SchedulerKind) and
+//! never run in production; do not "optimize" them.
+//!
+//! [`ours`]: super::ours
+//! [`fcfsl`]: super::fcfsl
+//! [`ScheduleCtx::earliest_node_with_locality`]: super::ScheduleCtx::earliest_node_with_locality
+
+use super::{Assignment, OursParams, ScheduleCtx, Scheduler, Trigger};
+use crate::fxhash::FxHashMap;
+use crate::ids::ChunkId;
+use crate::job::{Job, Task};
+use crate::time::SimDuration;
+use std::collections::VecDeque;
+
+/// The straight-line Algorithm 1: identical decisions to
+/// [`OursScheduler`](super::OursScheduler), O(p·m log m) per cycle, fresh
+/// allocations every invocation.
+#[derive(Debug)]
+pub struct ReferenceOursScheduler {
+    params: OursParams,
+    /// `H_B`: batch tasks held back, grouped by chunk.
+    pending_batch: FxHashMap<ChunkId, VecDeque<Task>>,
+    pending_count: usize,
+}
+
+impl ReferenceOursScheduler {
+    /// Build the reference scheduler.
+    pub fn new(params: OursParams) -> Self {
+        assert!(!params.cycle.is_zero(), "scheduling cycle must be positive");
+        ReferenceOursScheduler {
+            params,
+            pending_batch: FxHashMap::default(),
+            pending_count: 0,
+        }
+    }
+
+    fn commit(
+        &self,
+        ctx: &mut ScheduleCtx<'_>,
+        task: Task,
+        node: crate::ids::NodeId,
+        group: u32,
+    ) -> Assignment {
+        if self.params.gpu_aware {
+            ctx.commit_gpu_aware(task, node, group)
+        } else {
+            ctx.commit(task, node, group)
+        }
+    }
+
+    fn push_batch(&mut self, task: Task) {
+        self.pending_batch
+            .entry(task.chunk)
+            .or_default()
+            .push_back(task);
+        self.pending_count += 1;
+    }
+
+    /// Lines 8–15: cached chunks first (ascending id), then non-cached in
+    /// descending `Estimate[c]` order; per-group node choice is the full
+    /// O(p) locality scan.
+    fn schedule_interactive(
+        &mut self,
+        ctx: &mut ScheduleCtx<'_>,
+        hi: FxHashMap<ChunkId, Vec<Task>>,
+        out: &mut Vec<Assignment>,
+    ) {
+        let mut cached: Vec<ChunkId> = Vec::new();
+        let mut non_cached: Vec<(SimDuration, ChunkId)> = Vec::new();
+        for &chunk in hi.keys() {
+            if ctx.tables.cache.is_cached_anywhere(chunk) {
+                cached.push(chunk);
+            } else {
+                let bytes = ctx.catalog.chunk_bytes(chunk);
+                non_cached.push((ctx.tables.estimate.get(chunk, bytes, ctx.cost), chunk));
+            }
+        }
+        cached.sort_unstable();
+        non_cached.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let ordered = cached
+            .into_iter()
+            .chain(non_cached.into_iter().map(|(_, c)| c));
+        let mut hi = hi;
+        for chunk in ordered {
+            let tasks = hi.remove(&chunk).expect("chunk key came from the map");
+            let bytes = tasks[0].bytes;
+            let node = if self.params.gpu_aware {
+                ctx.earliest_node_with_gpu_locality(chunk, bytes)
+            } else {
+                ctx.earliest_node_with_locality(chunk, bytes)
+            };
+            for task in tasks {
+                let group = ctx.group_size(task.chunk.dataset);
+                out.push(self.commit(ctx, task, node, group));
+            }
+        }
+    }
+
+    /// Lines 16–22: fill each node with held batch tasks whose chunk it
+    /// already caches, up to the next scheduling time `λ`.
+    fn schedule_cached_batch(
+        &mut self,
+        ctx: &mut ScheduleCtx<'_>,
+        lambda: crate::time::SimTime,
+        out: &mut Vec<Assignment>,
+    ) {
+        let nodes: Vec<_> = ctx.tables.live_nodes().collect();
+        for node in nodes {
+            while ctx.tables.available.get(node) < lambda {
+                let candidate = ctx
+                    .tables
+                    .cache
+                    .node_memory(node)
+                    .chunks()
+                    .filter(|c| self.pending_batch.contains_key(c))
+                    .min();
+                let Some(chunk) = candidate else { break };
+                let queue = self
+                    .pending_batch
+                    .get_mut(&chunk)
+                    .expect("candidate has work");
+                let task = queue.pop_front().expect("queues are never left empty");
+                if queue.is_empty() {
+                    self.pending_batch.remove(&chunk);
+                }
+                self.pending_count -= 1;
+                let group = ctx.group_size(task.chunk.dataset);
+                out.push(self.commit(ctx, task, node, group));
+            }
+        }
+    }
+
+    /// Lines 23–31: non-cached batch work, fewest replicas first, gated by
+    /// the interactive-idle threshold `ε`.
+    fn schedule_noncached_batch(
+        &mut self,
+        ctx: &mut ScheduleCtx<'_>,
+        lambda: crate::time::SimTime,
+        out: &mut Vec<Assignment>,
+    ) {
+        let mut order: Vec<ChunkId> = self.pending_batch.keys().copied().collect();
+        order.sort_unstable_by_key(|&c| (ctx.tables.cache.replica_count(c), c));
+        let mut cursor = 0usize;
+
+        let nodes: Vec<_> = ctx.tables.live_nodes().collect();
+        for node in nodes {
+            while ctx.tables.available.get(node) < lambda {
+                while cursor < order.len() && !self.pending_batch.contains_key(&order[cursor]) {
+                    cursor += 1;
+                }
+                if cursor >= order.len() {
+                    return;
+                }
+                let chunk = order[cursor];
+                let bytes = ctx.catalog.chunk_bytes(chunk);
+                let epsilon = ctx
+                    .tables
+                    .estimate
+                    .get(chunk, bytes, ctx.cost)
+                    .mul_f64(self.params.epsilon_frac);
+                if ctx.tables.interactive_idle(node, ctx.now) <= epsilon {
+                    break;
+                }
+                let queue = self
+                    .pending_batch
+                    .get_mut(&chunk)
+                    .expect("cursor points at work");
+                let task = queue.pop_front().expect("queues are never left empty");
+                if queue.is_empty() {
+                    self.pending_batch.remove(&chunk);
+                }
+                self.pending_count -= 1;
+                let group = ctx.group_size(task.chunk.dataset);
+                out.push(self.commit(ctx, task, node, group));
+            }
+        }
+    }
+}
+
+impl Scheduler for ReferenceOursScheduler {
+    fn name(&self) -> &'static str {
+        "OURS-REF"
+    }
+
+    fn trigger(&self) -> Trigger {
+        Trigger::Cycle(self.params.cycle)
+    }
+
+    fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment> {
+        let lambda = ctx.now + self.params.cycle;
+
+        let mut hi: FxHashMap<ChunkId, Vec<Task>> = FxHashMap::default();
+        for job in incoming {
+            for task in job.decompose(ctx.catalog) {
+                if task.interactive || !self.params.defer_batch {
+                    hi.entry(task.chunk).or_default().push(task);
+                } else {
+                    self.push_batch(task);
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        self.schedule_interactive(ctx, hi, &mut out);
+        self.schedule_cached_batch(ctx, lambda, &mut out);
+        self.schedule_noncached_batch(ctx, lambda, &mut out);
+        out
+    }
+
+    fn has_deferred(&self) -> bool {
+        self.pending_count > 0
+    }
+}
+
+/// The straight-line FCFSL: per-task full O(p) locality scan, exactly what
+/// [`FcfslScheduler`](super::FcfslScheduler) computed before the
+/// `AvailHeap` fast path.
+#[derive(Debug, Default)]
+pub struct ReferenceFcfslScheduler {
+    _private: (),
+}
+
+impl ReferenceFcfslScheduler {
+    /// Create the reference policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for ReferenceFcfslScheduler {
+    fn name(&self) -> &'static str {
+        "FCFSL-REF"
+    }
+
+    fn trigger(&self) -> Trigger {
+        Trigger::OnArrival
+    }
+
+    fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        for job in incoming {
+            let group = ctx.group_size(job.dataset);
+            for task in job.decompose(ctx.catalog) {
+                let node = ctx.earliest_node_with_locality(task.chunk, task.bytes);
+                out.push(ctx.commit(task, node, group));
+            }
+        }
+        out
+    }
+}

@@ -23,6 +23,8 @@ use crate::fxhash::FxHashMap;
 use crate::ids::{ChunkId, NodeId};
 use crate::memory::{EvictionPolicy, NodeMemory};
 use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// `Available[R_k]`: per-node predicted available time.
 #[derive(Clone, Debug)]
@@ -88,6 +90,75 @@ impl AvailableTable {
     /// Always false for a valid cluster.
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()
+    }
+}
+
+/// An ordered (min-heap) view over `Available[R_k]` for one scheduling
+/// invocation: the node minimizing `(ready_at, id)` in O(log p) amortized
+/// instead of the O(p) scan [`AvailableTable`] alone requires.
+///
+/// The heap is *lazy*: committing work to a node pushes a fresh
+/// `(ready_at, node)` entry without removing the old one, and stale entries
+/// (whose recorded time no longer matches the table) are discarded when
+/// they surface at the top. This is sound within one scheduler invocation
+/// because `now` is fixed and [`AvailableTable::push_work`] only moves
+/// availability forward — an entry that matches the table's current value
+/// is by construction the newest one for its node.
+///
+/// Intended use: [`rebuild`](AvailHeap::rebuild) once at the top of
+/// `schedule()` (O(p), reusing the allocation across invocations), then
+/// alternate [`best`](AvailHeap::best) queries with
+/// [`update`](AvailHeap::update) after each commit. The heap must be
+/// rebuilt whenever the table is corrected outside the scheduler (task
+/// completions, node faults) — i.e. every invocation.
+#[derive(Clone, Debug, Default)]
+pub struct AvailHeap {
+    heap: BinaryHeap<Reverse<(SimTime, NodeId)>>,
+    now: SimTime,
+}
+
+impl AvailHeap {
+    /// An empty heap; [`rebuild`](AvailHeap::rebuild) before first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-key every live node at `now`. O(p) via bulk heapify; the backing
+    /// allocation is reused across invocations.
+    pub fn rebuild(&mut self, tables: &HeadTables, now: SimTime) {
+        self.now = now;
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.clear();
+        entries.extend(
+            tables
+                .live_nodes()
+                .map(|k| Reverse((tables.available.ready_at(k, now), k))),
+        );
+        self.heap = BinaryHeap::from(entries);
+    }
+
+    /// Push `node`'s current availability after a commit moved it. The
+    /// superseded entry stays behind and is lazily discarded by
+    /// [`best`](AvailHeap::best).
+    pub fn update(&mut self, tables: &HeadTables, node: NodeId) {
+        self.heap
+            .push(Reverse((tables.available.ready_at(node, self.now), node)));
+    }
+
+    /// The live node minimizing `(ready_at(node, now), node)`, together
+    /// with that ready time. Amortized O(log p): stale entries are popped
+    /// until the top matches the table.
+    ///
+    /// # Panics
+    /// If every entry is stale or the heap is empty (no live nodes).
+    pub fn best(&mut self, tables: &HeadTables) -> (SimTime, NodeId) {
+        loop {
+            let &Reverse((t, k)) = self.heap.peek().expect("at least one live node");
+            if tables.is_live(k) && tables.available.ready_at(k, self.now) == t {
+                return (t, k);
+            }
+            self.heap.pop();
+        }
     }
 }
 
@@ -316,6 +387,11 @@ impl HeadTables {
         self.available.len()
     }
 
+    /// True if `node` is currently believed alive.
+    pub fn is_live(&self, node: NodeId) -> bool {
+        !self.down[node.index()]
+    }
+
     /// Iterate the ids of nodes currently believed alive.
     pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.down
@@ -462,6 +538,56 @@ mod tests {
             t.interactive_idle(NodeId(0), now),
             SimDuration::from_secs(2)
         );
+    }
+
+    #[test]
+    fn avail_heap_matches_linear_scan() {
+        let mut t = tables();
+        t.available
+            .push_work(NodeId(2), SimTime::ZERO, SimDuration::from_secs(4));
+        t.available
+            .push_work(NodeId(0), SimTime::ZERO, SimDuration::from_secs(9));
+        // now = 2 s: nodes 1 and 3 are idle (ready_at collapses to now);
+        // the smallest id among them must win, not the smallest raw time.
+        let now = SimTime::from_secs(2);
+        let mut heap = AvailHeap::new();
+        heap.rebuild(&t, now);
+        let scan = t
+            .live_nodes()
+            .min_by_key(|&k| (t.available.ready_at(k, now), k))
+            .unwrap();
+        assert_eq!(heap.best(&t), (now, NodeId(1)));
+        assert_eq!(heap.best(&t).1, scan);
+    }
+
+    #[test]
+    fn avail_heap_lazy_update_discards_stale_entries() {
+        let mut t = tables();
+        let now = SimTime::ZERO;
+        let mut heap = AvailHeap::new();
+        heap.rebuild(&t, now);
+        // Fill nodes 0..2 one after another; the heap must track the scan.
+        for _ in 0..3 {
+            let (_, k) = heap.best(&t);
+            let scan = t
+                .live_nodes()
+                .min_by_key(|&k| (t.available.ready_at(k, now), k))
+                .unwrap();
+            assert_eq!(k, scan);
+            t.available.push_work(k, now, SimDuration::from_secs(1));
+            heap.update(&t, k);
+        }
+        // All four nodes distinct so far: 0,1,2 busy, 3 idle.
+        assert_eq!(heap.best(&t).1, NodeId(3));
+    }
+
+    #[test]
+    fn avail_heap_skips_down_nodes_after_rebuild() {
+        let mut t = tables();
+        t.mark_down(NodeId(0));
+        let mut heap = AvailHeap::new();
+        heap.rebuild(&t, SimTime::ZERO);
+        assert_eq!(heap.best(&t).1, NodeId(1));
     }
 
     #[test]

@@ -16,6 +16,40 @@
 //! the runtime owns every scheduling decision and every table mutation.
 //! One implementation of the paper's head node, two drivers — which is
 //! what keeps simulator-vs-service comparisons honest.
+//!
+//! The usual way to drive this crate is *through* a substrate; here, the
+//! simulator's. Every scheduling decision below — the 30 ms cycle, the
+//! table corrections, the completion bookkeeping — is this crate's
+//! [`HeadRuntime`], with `vizsched-sim` supplying only the virtual clock
+//! and node model:
+//!
+//! ```
+//! use vizsched_core::prelude::*;
+//! use vizsched_sim::{RunOptions, SimConfig, Simulation};
+//!
+//! // A 4-node cluster with one 2 GiB dataset in 512 MiB chunks.
+//! let cluster = ClusterSpec::homogeneous(4, 2 << 30);
+//! let config = SimConfig::new(cluster, CostParams::default(), 512 << 20);
+//! let sim = Simulation::new(config, uniform_datasets(1, 2 << 30));
+//!
+//! let jobs: Vec<Job> = (0..3)
+//!     .map(|i| Job {
+//!         id: JobId(i),
+//!         kind: JobKind::Interactive { user: UserId(0), action: ActionId(0) },
+//!         dataset: DatasetId(0),
+//!         issue_time: SimTime::from_millis(10 * i),
+//!         frame: FrameParams::default(),
+//!     })
+//!     .collect();
+//!
+//! // run_opts hands the jobs to the head runtime, which invokes OURS on
+//! // its cycle trigger and dispatches assignments into the substrate.
+//! let outcome = sim.run_opts(jobs, RunOptions::new(SchedulerKind::Ours).label("doc"));
+//! assert_eq!(outcome.incomplete_jobs, 0);
+//! assert_eq!(outcome.record.jobs.len(), 3);
+//! // The runtime recorded its own scheduling cost (the Fig. 8 metric).
+//! assert!(outcome.record.sched_invocations > 0);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
