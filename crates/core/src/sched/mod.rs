@@ -27,7 +27,7 @@ pub mod sf;
 
 use crate::cost::CostParams;
 use crate::data::{Catalog, DecompositionPolicy};
-use crate::ids::{ChunkId, NodeId};
+use crate::ids::{ChunkId, JobId, NodeId};
 use crate::job::{Job, Task};
 use crate::tables::{AvailHeap, HeadTables};
 use crate::time::{SimDuration, SimTime};
@@ -370,6 +370,17 @@ pub trait Scheduler: Send {
     /// keeps invoking it even with an empty queue.
     fn has_deferred(&self) -> bool {
         false
+    }
+
+    /// Anti-starvation hook: promote deferred work whose deferral age (time
+    /// since the policy first held it back) is `>= age` at `now`, so the
+    /// next [`Scheduler::schedule`] call places it with interactive
+    /// priority, bypassing whatever gate deferred it. Returns the affected
+    /// jobs with their oldest task's age, one entry per job. Policies that
+    /// never defer keep this default no-op.
+    fn escalate_deferred(&mut self, now: SimTime, age: SimDuration) -> Vec<(JobId, SimDuration)> {
+        let _ = (now, age);
+        Vec::new()
     }
 }
 

@@ -43,10 +43,10 @@
 
 use super::{Assignment, ScheduleCtx, Scheduler, Trigger};
 use crate::fxhash::FxHashMap;
-use crate::ids::{ChunkId, NodeId};
+use crate::ids::{ChunkId, JobId, NodeId};
 use crate::job::{Job, Task};
 use crate::tables::AvailHeap;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
 /// Tuning knobs for OURS. The defaults follow the paper; the extra switches
@@ -105,10 +105,16 @@ struct CycleScratch {
 #[derive(Debug)]
 pub struct OursScheduler {
     params: OursParams,
-    /// `H_B`: batch tasks held back, grouped by chunk. Persists across
-    /// cycles until nodes free up.
-    pending_batch: FxHashMap<ChunkId, VecDeque<Task>>,
+    /// `H_B`: batch tasks held back, grouped by chunk, each tagged with
+    /// the cycle time it was first deferred at (the deferral-age basis for
+    /// anti-starvation escalation). Persists across cycles until nodes
+    /// free up.
+    pending_batch: FxHashMap<ChunkId, VecDeque<(SimTime, Task)>>,
     pending_count: usize,
+    /// Batch tasks promoted out of `pending_batch` by
+    /// [`Scheduler::escalate_deferred`]; the next cycle schedules them in
+    /// the interactive pass, bypassing the ε and λ gates.
+    escalated: Vec<Task>,
     /// Reused per-cycle buffers; never carries data between cycles.
     scratch: CycleScratch,
 }
@@ -125,6 +131,7 @@ impl OursScheduler {
             params,
             pending_batch: FxHashMap::default(),
             pending_count: 0,
+            escalated: Vec::new(),
             scratch: CycleScratch::default(),
         }
     }
@@ -153,11 +160,11 @@ impl OursScheduler {
         }
     }
 
-    fn push_batch(&mut self, task: Task) {
+    fn push_batch(&mut self, now: SimTime, task: Task) {
         self.pending_batch
             .entry(task.chunk)
             .or_default()
-            .push_back(task);
+            .push_back((now, task));
         self.pending_count += 1;
     }
 
@@ -266,7 +273,7 @@ impl OursScheduler {
                     .pending_batch
                     .get_mut(&chunk)
                     .expect("candidate has work");
-                let task = queue.pop_front().expect("queues are never left empty");
+                let (_, task) = queue.pop_front().expect("queues are never left empty");
                 if queue.is_empty() {
                     self.pending_batch.remove(&chunk);
                 }
@@ -320,7 +327,7 @@ impl OursScheduler {
                     .pending_batch
                     .get_mut(&chunk)
                     .expect("cursor points at work");
-                let task = queue.pop_front().expect("queues are never left empty");
+                let (_, task) = queue.pop_front().expect("queues are never left empty");
                 if queue.is_empty() {
                     self.pending_batch.remove(&chunk);
                 }
@@ -350,16 +357,23 @@ impl Scheduler for OursScheduler {
         let mut s = std::mem::take(&mut self.scratch);
 
         // Lines 2–7: decompose into H_I (the scratch task buffer, tagged
-        // with arrival sequence) and H_B (`pending_batch`).
+        // with arrival sequence) and H_B (`pending_batch`). Escalated batch
+        // tasks re-enter ahead of this cycle's arrivals: their deferral age
+        // already exceeded the anti-starvation bound, so they ride the
+        // interactive pass (no ε or λ gate) this cycle.
         s.tasks.clear();
         let mut seq = 0u32;
+        for task in self.escalated.drain(..) {
+            s.tasks.push((seq, task));
+            seq += 1;
+        }
         for job in incoming {
             for task in job.decompose(ctx.catalog) {
                 if task.interactive || !self.params.defer_batch {
                     s.tasks.push((seq, task));
                     seq += 1;
                 } else {
-                    self.push_batch(task);
+                    self.push_batch(ctx.now, task);
                 }
             }
         }
@@ -373,7 +387,45 @@ impl Scheduler for OursScheduler {
     }
 
     fn has_deferred(&self) -> bool {
-        self.pending_count > 0
+        self.pending_count > 0 || !self.escalated.is_empty()
+    }
+
+    /// Promote deferred batch tasks whose deferral age reached `age` into
+    /// the next cycle's interactive pass. The promotion order is made
+    /// deterministic by sorting on `(job, task index)`, so it is identical
+    /// across substrates regardless of hash-map iteration order.
+    fn escalate_deferred(&mut self, now: SimTime, age: SimDuration) -> Vec<(JobId, SimDuration)> {
+        if self.pending_count == 0 {
+            return Vec::new();
+        }
+        let mut moved: Vec<(SimTime, Task)> = Vec::new();
+        self.pending_batch.retain(|_, queue| {
+            let mut kept = VecDeque::with_capacity(queue.len());
+            while let Some((since, task)) = queue.pop_front() {
+                if now.saturating_since(since) >= age {
+                    moved.push((since, task));
+                } else {
+                    kept.push_back((since, task));
+                }
+            }
+            std::mem::swap(queue, &mut kept);
+            !queue.is_empty()
+        });
+        if moved.is_empty() {
+            return Vec::new();
+        }
+        self.pending_count -= moved.len();
+        moved.sort_unstable_by_key(|&(_, t)| (t.job.0, t.index));
+        let mut per_job: Vec<(JobId, SimDuration)> = Vec::new();
+        for &(since, task) in &moved {
+            let waited = now.saturating_since(since);
+            match per_job.last_mut() {
+                Some((job, max)) if *job == task.job => *max = (*max).max(waited),
+                _ => per_job.push((task.job, waited)),
+            }
+        }
+        self.escalated.extend(moved.into_iter().map(|(_, t)| t));
+        per_job
     }
 }
 
@@ -631,6 +683,71 @@ mod tests {
             cycle: SimDuration::ZERO,
             ..OursParams::default()
         });
+    }
+
+    /// Escalation promotes aged deferred batch work into the interactive
+    /// pass: it schedules on the next cycle even though the ε gate would
+    /// still block it.
+    #[test]
+    fn escalation_bypasses_epsilon_gate() {
+        let mut fx = Fixture::standard(1, 2);
+        let mut sched = ours();
+        // Interactive work stamps the node's interactive clock, so the ε
+        // test keeps rejecting the (uncached) batch dataset.
+        let ij = fx.interactive_job(0, 0, SimTime::ZERO);
+        {
+            let mut ctx = fx.ctx(SimTime::ZERO);
+            sched.schedule(&mut ctx, vec![ij]);
+        }
+        fx.tables
+            .available
+            .correct(NodeId(0), SimTime::from_millis(60));
+        let bj = fx.batch_job(1, 0, SimTime::from_millis(60));
+        {
+            let mut ctx = fx.ctx(SimTime::from_millis(60));
+            let out = sched.schedule(&mut ctx, vec![bj]);
+            assert!(out.is_empty(), "ε gate must defer the cold batch job");
+        }
+        assert_eq!(sched.pending_batch_tasks(), 4);
+        // 200 ms later the tasks' deferral age crosses a 100 ms bound.
+        let t = SimTime::from_millis(260);
+        let escalated = sched.escalate_deferred(t, SimDuration::from_millis(100));
+        // The fixture assigns sequential job ids: interactive was 1, the
+        // batch job 2. All four tasks escalate as one job entry.
+        assert_eq!(escalated, vec![(JobId(2), SimDuration::from_millis(200))]);
+        assert_eq!(sched.pending_batch_tasks(), 0);
+        assert!(sched.has_deferred(), "escalated tasks await the next cycle");
+        // The next cycle schedules every escalated task despite the ε gate
+        // (the node's interactive clock is still recent).
+        fx.tables.available.correct(NodeId(0), t);
+        let mut ctx = fx.ctx(t);
+        let out = sched.schedule(&mut ctx, vec![]);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|a| !a.task.interactive));
+        assert!(!sched.has_deferred());
+    }
+
+    /// Young deferred tasks stay put: escalation with a bound larger than
+    /// any deferral age is a no-op.
+    #[test]
+    fn escalation_ignores_young_tasks() {
+        let mut fx = Fixture::standard(2, 2);
+        let mut sched = ours();
+        let interactive: Vec<_> = (0..2)
+            .map(|d| fx.interactive_job(d, d as u64, SimTime::ZERO))
+            .collect();
+        let batch = fx.batch_job(1, 0, SimTime::ZERO);
+        let mut jobs = interactive;
+        jobs.push(batch);
+        {
+            let mut ctx = fx.ctx(SimTime::ZERO);
+            sched.schedule(&mut ctx, jobs);
+        }
+        assert_eq!(sched.pending_batch_tasks(), 4);
+        let escalated =
+            sched.escalate_deferred(SimTime::from_millis(30), SimDuration::from_secs(5));
+        assert!(escalated.is_empty());
+        assert_eq!(sched.pending_batch_tasks(), 4);
     }
 }
 

@@ -30,6 +30,6 @@ pub use stats::Summary;
 pub use timeline::{Timeline, TimelinePoint};
 pub use trace::{
     estimate_trajectory, events_to_jsonl, format_node_activity, format_prediction_report,
-    node_activity, prediction_by_cycle, CollectingProbe, CyclePrediction, EstimatePoint,
-    JsonlProbe, NodeActivity, NoopProbe, Probe, TraceEvent,
+    node_activity, prediction_by_cycle, CollectingProbe, CyclePrediction, DropReason,
+    EstimatePoint, JsonlProbe, NodeActivity, NoopProbe, Probe, RejectReason, TraceEvent,
 };

@@ -23,6 +23,86 @@ use std::sync::Mutex;
 use vizsched_core::ids::{ChunkId, JobId, NodeId};
 use vizsched_core::time::{SimDuration, SimTime};
 
+/// Why an arriving job was refused admission (the overload-control layer's
+/// reject verdicts; see `OverloadPolicy` in `vizsched-runtime`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RejectReason {
+    /// The global in-flight cap was reached.
+    GlobalCap,
+    /// The submitting user's per-user in-flight cap was reached.
+    UserCap,
+    /// The bounded admission queue in front of the head node was full
+    /// (emitted by transport fronts, never by the head runtime itself).
+    QueueFull,
+}
+
+impl RejectReason {
+    /// Stable lowercase label, as written to JSONL traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::GlobalCap => "global_cap",
+            RejectReason::UserCap => "user_cap",
+            RejectReason::QueueFull => "queue_full",
+        }
+    }
+
+    /// Stable wire code (inverse of [`RejectReason::from_code`]).
+    pub fn code(self) -> u8 {
+        match self {
+            RejectReason::GlobalCap => 0,
+            RejectReason::UserCap => 1,
+            RejectReason::QueueFull => 2,
+        }
+    }
+
+    /// Decode a wire code produced by [`RejectReason::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(RejectReason::GlobalCap),
+            1 => Some(RejectReason::UserCap),
+            2 => Some(RejectReason::QueueFull),
+            _ => None,
+        }
+    }
+}
+
+/// Why an admitted-but-unscheduled job was dropped before reaching a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DropReason {
+    /// The job sat in the admission buffer past its deadline.
+    DeadlineExpired,
+    /// A newer frame from the same interactive action superseded it
+    /// (stale-frame coalescing).
+    Superseded,
+}
+
+impl DropReason {
+    /// Stable lowercase label, as written to JSONL traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::DeadlineExpired => "deadline_expired",
+            DropReason::Superseded => "superseded",
+        }
+    }
+
+    /// Stable wire code (inverse of [`DropReason::from_code`]).
+    pub fn code(self) -> u8 {
+        match self {
+            DropReason::DeadlineExpired => 0,
+            DropReason::Superseded => 1,
+        }
+    }
+
+    /// Decode a wire code produced by [`DropReason::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(DropReason::DeadlineExpired),
+            1 => Some(DropReason::Superseded),
+            _ => None,
+        }
+    }
+}
+
 /// One observable moment in a scheduling run.
 ///
 /// Every variant carries `now` — virtual time in the simulator, elapsed
@@ -158,9 +238,85 @@ pub enum TraceEvent {
         /// Issue-to-finish latency (Definition 3).
         latency: SimDuration,
     },
+    /// The overload policy admitted an arriving job (`t = "admitted"`).
+    /// Emitted only when an `OverloadPolicy` is active.
+    Admitted {
+        /// Arrival time.
+        now: SimTime,
+        /// The admitted job.
+        job: JobId,
+        /// Jobs buffered for the next scheduler invocation *after* this
+        /// admission (cycle-triggered policies; zero when the scheduler
+        /// runs on arrival).
+        queue_depth: usize,
+    },
+    /// The overload policy refused an arriving job (`t = "rejected"`);
+    /// the job never reaches the scheduler.
+    Rejected {
+        /// Arrival time.
+        now: SimTime,
+        /// The refused job.
+        job: JobId,
+        /// Which cap refused it.
+        reason: RejectReason,
+    },
+    /// A buffered interactive frame was superseded by a newer frame from
+    /// the same `(user, action)` before it was ever scheduled
+    /// (`t = "coalesced"`).
+    Coalesced {
+        /// Arrival time of the newer frame.
+        now: SimTime,
+        /// The stale frame that was dropped.
+        superseded: JobId,
+        /// The newer frame that replaced it.
+        by: JobId,
+    },
+    /// A buffered job sat past its admission deadline and was dropped at
+    /// the next cycle boundary (`t = "expired"`).
+    Expired {
+        /// The cycle time at which the drop happened.
+        now: SimTime,
+        /// The dropped job.
+        job: JobId,
+        /// How long it had been buffered.
+        waited: SimDuration,
+    },
+    /// A deferred batch task's deferral age crossed the anti-starvation
+    /// bound and the job was escalated into the interactive scheduling
+    /// pass (`t = "batch_escalated"`).
+    BatchEscalated {
+        /// The cycle time at which the escalation happened.
+        now: SimTime,
+        /// The escalated batch job.
+        job: JobId,
+        /// How long its oldest task had been deferred.
+        waited: SimDuration,
+    },
 }
 
 impl TraceEvent {
+    /// Every `t` tag a [`TraceEvent`] can serialize to, in declaration
+    /// order. The docs-consistency test checks each of these appears in
+    /// DESIGN.md's trace-schema table.
+    pub const TAGS: [&'static str; 16] = [
+        "cycle_start",
+        "cycle_end",
+        "assign",
+        "task_done",
+        "estimate",
+        "available",
+        "cache_load",
+        "cache_evict",
+        "node_fault",
+        "node_up",
+        "job_done",
+        "admitted",
+        "rejected",
+        "coalesced",
+        "expired",
+        "batch_escalated",
+    ];
+
     /// The event's timestamp.
     pub fn time(&self) -> SimTime {
         match *self {
@@ -174,7 +330,34 @@ impl TraceEvent {
             | TraceEvent::CacheEvict { now, .. }
             | TraceEvent::NodeFault { now, .. }
             | TraceEvent::NodeUp { now, .. }
-            | TraceEvent::JobDone { now, .. } => now,
+            | TraceEvent::JobDone { now, .. }
+            | TraceEvent::Admitted { now, .. }
+            | TraceEvent::Rejected { now, .. }
+            | TraceEvent::Coalesced { now, .. }
+            | TraceEvent::Expired { now, .. }
+            | TraceEvent::BatchEscalated { now, .. } => now,
+        }
+    }
+
+    /// The `t` tag this event serializes under (one of [`TraceEvent::TAGS`]).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::CycleStart { .. } => "cycle_start",
+            TraceEvent::CycleEnd { .. } => "cycle_end",
+            TraceEvent::Assignment { .. } => "assign",
+            TraceEvent::TaskDone { .. } => "task_done",
+            TraceEvent::EstimateCorrection { .. } => "estimate",
+            TraceEvent::AvailableCorrection { .. } => "available",
+            TraceEvent::CacheLoad { .. } => "cache_load",
+            TraceEvent::CacheEvict { .. } => "cache_evict",
+            TraceEvent::NodeFault { .. } => "node_fault",
+            TraceEvent::NodeUp { .. } => "node_up",
+            TraceEvent::JobDone { .. } => "job_done",
+            TraceEvent::Admitted { .. } => "admitted",
+            TraceEvent::Rejected { .. } => "rejected",
+            TraceEvent::Coalesced { .. } => "coalesced",
+            TraceEvent::Expired { .. } => "expired",
+            TraceEvent::BatchEscalated { .. } => "batch_escalated",
         }
     }
 
@@ -188,8 +371,8 @@ impl TraceEvent {
     }
 
     fn write_json(&self, s: &mut String) {
-        // Hand-rolled: every field is an integer or bool, so quoting and
-        // escaping never arise.
+        // Hand-rolled: every field is an integer, bool, or a static
+        // lowercase label, so escaping never arises.
         let chunk_json = |s: &mut String, c: ChunkId| {
             let _ = write!(s, "{{\"dataset\":{},\"index\":{}}}", c.dataset.0, c.index);
         };
@@ -348,6 +531,58 @@ impl TraceEvent {
                     now.as_micros(),
                     job.0,
                     latency.as_micros()
+                );
+            }
+            TraceEvent::Admitted {
+                now,
+                job,
+                queue_depth,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"admitted\",\"now_us\":{},\"job\":{},\"queue_depth\":{queue_depth}}}",
+                    now.as_micros(),
+                    job.0
+                );
+            }
+            TraceEvent::Rejected { now, job, reason } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"rejected\",\"now_us\":{},\"job\":{},\"reason\":\"{}\"}}",
+                    now.as_micros(),
+                    job.0,
+                    reason.as_str()
+                );
+            }
+            TraceEvent::Coalesced {
+                now,
+                superseded,
+                by,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"coalesced\",\"now_us\":{},\"superseded\":{},\"by\":{}}}",
+                    now.as_micros(),
+                    superseded.0,
+                    by.0
+                );
+            }
+            TraceEvent::Expired { now, job, waited } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"expired\",\"now_us\":{},\"job\":{},\"waited_us\":{}}}",
+                    now.as_micros(),
+                    job.0,
+                    waited.as_micros()
+                );
+            }
+            TraceEvent::BatchEscalated { now, job, waited } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"batch_escalated\",\"now_us\":{},\"job\":{},\"waited_us\":{}}}",
+                    now.as_micros(),
+                    job.0,
+                    waited.as_micros()
                 );
             }
         }
@@ -914,11 +1149,41 @@ mod tests {
                 job: JobId(9),
                 latency: SimDuration::from_millis(3),
             },
+            TraceEvent::Admitted {
+                now: SimTime::ZERO,
+                job: JobId(10),
+                queue_depth: 2,
+            },
+            TraceEvent::Rejected {
+                now: SimTime::ZERO,
+                job: JobId(11),
+                reason: RejectReason::GlobalCap,
+            },
+            TraceEvent::Coalesced {
+                now: SimTime::ZERO,
+                superseded: JobId(12),
+                by: JobId(13),
+            },
+            TraceEvent::Expired {
+                now: SimTime::ZERO,
+                job: JobId(14),
+                waited: SimDuration::from_millis(50),
+            },
+            TraceEvent::BatchEscalated {
+                now: SimTime::ZERO,
+                job: JobId(15),
+                waited: SimDuration::from_secs(2),
+            },
         ];
+        assert_eq!(events.len(), TraceEvent::TAGS.len());
         let jsonl = events_to_jsonl(&events);
         assert_eq!(jsonl.lines().count(), events.len());
-        for line in jsonl.lines() {
-            assert!(line.starts_with("{\"t\":\""), "{line}");
+        for (line, event) in jsonl.lines().zip(&events) {
+            assert!(
+                line.starts_with(&format!("{{\"t\":\"{}\"", event.tag())),
+                "{line}"
+            );
+            assert!(TraceEvent::TAGS.contains(&event.tag()), "{line}");
             assert!(line.ends_with('}'), "{line}");
             assert_eq!(
                 line.matches('{').count(),
@@ -926,6 +1191,22 @@ mod tests {
                 "balanced braces: {line}"
             );
         }
+    }
+
+    #[test]
+    fn reason_codes_round_trip() {
+        for reason in [
+            RejectReason::GlobalCap,
+            RejectReason::UserCap,
+            RejectReason::QueueFull,
+        ] {
+            assert_eq!(RejectReason::from_code(reason.code()), Some(reason));
+        }
+        for reason in [DropReason::DeadlineExpired, DropReason::Superseded] {
+            assert_eq!(DropReason::from_code(reason.code()), Some(reason));
+        }
+        assert_eq!(RejectReason::from_code(9), None);
+        assert_eq!(DropReason::from_code(9), None);
     }
 
     #[test]

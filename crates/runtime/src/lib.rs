@@ -51,7 +51,7 @@
 //! assert!(outcome.record.sched_invocations > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use std::sync::Arc;
@@ -59,12 +59,118 @@ use std::time::Instant;
 use vizsched_core::cost::{CostParams, JobTiming};
 use vizsched_core::data::Catalog;
 use vizsched_core::fxhash::FxHashMap;
-use vizsched_core::ids::{ChunkId, JobId, NodeId};
+use vizsched_core::ids::{ChunkId, JobId, NodeId, UserId};
 use vizsched_core::job::Job;
 use vizsched_core::sched::{Assignment, ScheduleCtx, Scheduler, Trigger};
 use vizsched_core::tables::HeadTables;
 use vizsched_core::time::{SimDuration, SimTime};
+pub use vizsched_metrics::{DropReason, RejectReason};
 use vizsched_metrics::{JobRecord, Probe, RunRecord, TraceEvent};
+
+/// Admission-control and overload knobs, applied by [`HeadRuntime`] ahead
+/// of Algorithm 1 so the simulator and the live service shed identically.
+///
+/// The default policy is fully permissive — every knob off reproduces the
+/// pre-overload runtime bit for bit. Each knob generalizes the paper's
+/// ε rule (the idle-headroom gate that keeps batch work from crowding out
+/// interactive frames) to the admission layer; see DESIGN.md §10 for the
+/// mapping.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadPolicy {
+    /// Global cap on admitted-but-unfinished *interactive* jobs. Arrivals
+    /// beyond it are rejected with [`RejectReason::GlobalCap`]. Batch
+    /// submissions are admitted unconditionally: an animation is a
+    /// deliberate bulk enqueue of 60+ frames at one instant, throttled by
+    /// the ε-deferral and the anti-starvation escalation rather than by
+    /// admission caps (any useful cap would mass-reject it on arrival).
+    pub max_in_flight: Option<usize>,
+    /// Per-user cap on admitted-but-unfinished *interactive* jobs.
+    /// Arrivals beyond it are rejected with [`RejectReason::UserCap`].
+    pub max_per_user: Option<usize>,
+    /// How long an *interactive* frame may sit in the admission buffer
+    /// before the next cycle drops it with
+    /// [`DropReason::DeadlineExpired`]. Only cycle-triggered policies
+    /// buffer, so on-arrival policies never expire jobs; admitted batch
+    /// frames are never dropped (admission is a completion promise).
+    pub deadline: Option<SimDuration>,
+    /// Coalesce stale interactive frames: a newer buffered request from
+    /// the same `(user, action)` supersedes older ones, which are dropped
+    /// with [`DropReason::Superseded`].
+    pub coalesce_interactive: bool,
+    /// Anti-starvation bound: once a deferred batch task's age exceeds
+    /// this, its job is escalated into the interactive scheduling pass
+    /// (bypassing the ε gate it was deferred behind).
+    pub batch_escalation_age: Option<SimDuration>,
+}
+
+impl OverloadPolicy {
+    /// True when any knob deviates from the fully permissive default.
+    pub fn is_active(&self) -> bool {
+        *self != OverloadPolicy::default()
+    }
+}
+
+/// What [`HeadRuntime::on_job_arrival`] decided about one arriving job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted and scheduled immediately (on-arrival policies).
+    Scheduled,
+    /// Admitted and buffered for the next cycle (cycle policies); the
+    /// driving loop should arm a cycle tick. `superseded` lists any stale
+    /// same-action frames this arrival coalesced away — the substrate
+    /// owes their submitters a drop notice.
+    Buffered {
+        /// Older buffered frames dropped in favor of this one.
+        superseded: Vec<JobId>,
+    },
+    /// Refused by an [`OverloadPolicy`] cap; the job never entered the
+    /// runtime and the substrate owes its submitter a reject notice.
+    Rejected(RejectReason),
+}
+
+impl Admission {
+    /// True unless the job was rejected.
+    pub fn is_admitted(&self) -> bool {
+        !matches!(self, Admission::Rejected(_))
+    }
+}
+
+/// What one [`HeadRuntime::on_cycle`] call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CycleOutcome {
+    /// Whether the scheduler was invoked (false for an idle cycle).
+    pub invoked: bool,
+    /// Buffered jobs dropped this cycle because they outlived
+    /// [`OverloadPolicy::deadline`]; the substrate owes their submitters
+    /// a drop notice.
+    pub expired: Vec<JobId>,
+}
+
+/// Aggregate overload-control counters for one run. All zero when no
+/// [`OverloadPolicy`] was set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Jobs admitted past the caps.
+    pub admitted: u64,
+    /// Jobs refused at arrival.
+    pub rejected: u64,
+    /// Stale interactive frames superseded by newer same-action frames.
+    pub coalesced: u64,
+    /// Buffered jobs dropped at a cycle boundary for outliving their
+    /// deadline.
+    pub expired: u64,
+    /// Batch jobs escalated into the interactive pass by the
+    /// anti-starvation bound.
+    pub escalated: u64,
+}
+
+impl OverloadStats {
+    /// Jobs shed before reaching a render node (rejected + coalesced +
+    /// expired).
+    pub fn shed(&self) -> u64 {
+        self.rejected + self.coalesced + self.expired
+    }
+}
 
 /// The execution seam between the head runtime and whatever actually runs
 /// tasks: a discrete-event node model, a pool of render threads, or (in
@@ -150,7 +256,8 @@ pub struct RuntimeOutcome {
     /// simulator overrides these fields from its own counters).
     pub record: RunRecord,
     /// Jobs that never completed (nonzero only if nodes stayed down or
-    /// the run was cut short).
+    /// the run was cut short). Jobs the overload policy shed are counted
+    /// in [`RuntimeOutcome::overload`], not here.
     pub incomplete_jobs: usize,
     /// Per-node completion counters, indexed by node.
     pub per_node: Vec<NodeCounters>,
@@ -158,6 +265,8 @@ pub struct RuntimeOutcome {
     pub jobs_completed: u64,
     /// Mean issue-to-finish latency over completed jobs, seconds.
     pub mean_latency_secs: f64,
+    /// Overload-control counters (all zero without an [`OverloadPolicy`]).
+    pub overload: OverloadStats,
 }
 
 struct JobState {
@@ -207,6 +316,12 @@ pub struct HeadRuntime {
     sched_wall_micros: u64,
     sched_invocations: u64,
     jobs_scheduled: u64,
+    policy: OverloadPolicy,
+    overload: OverloadStats,
+    /// Admitted-but-unfinished jobs (maintained only while a policy is
+    /// active, since only the caps read it).
+    in_flight: usize,
+    in_flight_by_user: FxHashMap<UserId, usize>,
 }
 
 impl HeadRuntime {
@@ -241,7 +356,28 @@ impl HeadRuntime {
             sched_wall_micros: 0,
             sched_invocations: 0,
             jobs_scheduled: 0,
+            policy: OverloadPolicy::default(),
+            overload: OverloadStats::default(),
+            in_flight: 0,
+            in_flight_by_user: FxHashMap::default(),
         }
+    }
+
+    /// Install an overload policy. The default is fully permissive; set
+    /// this before the first arrival — mid-run changes apply to subsequent
+    /// arrivals and cycles only.
+    pub fn set_overload_policy(&mut self, policy: OverloadPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active overload policy.
+    pub fn overload_policy(&self) -> OverloadPolicy {
+        self.policy
+    }
+
+    /// Overload-control counters so far.
+    pub fn overload_stats(&self) -> OverloadStats {
+        self.overload
     }
 
     /// The policy's invocation trigger.
@@ -308,11 +444,60 @@ impl HeadRuntime {
         }
     }
 
-    /// Accept one job. On-arrival policies are invoked immediately
-    /// (returns `true`); cycle policies buffer the job until the next
-    /// [`on_cycle`](HeadRuntime::on_cycle) (returns `false`, so an
-    /// event-driven substrate knows to arm a tick).
-    pub fn on_job_arrival<S: Substrate>(&mut self, sub: &mut S, now: SimTime, job: Job) -> bool {
+    /// Accept one job, subject to the overload policy's caps.
+    ///
+    /// Admitted jobs follow the trigger: on-arrival policies are invoked
+    /// immediately ([`Admission::Scheduled`]); cycle policies buffer the
+    /// job until the next [`on_cycle`](HeadRuntime::on_cycle)
+    /// ([`Admission::Buffered`], so an event-driven substrate knows to arm
+    /// a tick). With coalescing on, an interactive arrival supersedes any
+    /// still-buffered frames of the same `(user, action)` — those are
+    /// dropped and listed in the returned [`Admission::Buffered`].
+    /// Capped-out arrivals return [`Admission::Rejected`] without touching
+    /// the scheduler.
+    pub fn on_job_arrival<S: Substrate>(
+        &mut self,
+        sub: &mut S,
+        now: SimTime,
+        job: Job,
+    ) -> Admission {
+        let policing = self.policy.is_active();
+        let tracing = self.probe.enabled();
+        if policing {
+            // Caps police interactive frames only; batch is admitted
+            // unconditionally (see the `OverloadPolicy` field docs).
+            if job.kind.is_interactive() {
+                let reason = if self
+                    .policy
+                    .max_in_flight
+                    .is_some_and(|cap| self.in_flight >= cap)
+                {
+                    Some(RejectReason::GlobalCap)
+                } else if self.policy.max_per_user.is_some_and(|cap| {
+                    self.in_flight_by_user
+                        .get(&job.kind.user())
+                        .is_some_and(|&n| n >= cap)
+                }) {
+                    Some(RejectReason::UserCap)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    self.overload.rejected += 1;
+                    if tracing {
+                        self.probe.on_event(&TraceEvent::Rejected {
+                            now,
+                            job: job.id,
+                            reason,
+                        });
+                    }
+                    return Admission::Rejected(reason);
+                }
+                self.in_flight += 1;
+                *self.in_flight_by_user.entry(job.kind.user()).or_insert(0) += 1;
+            }
+            self.overload.admitted += 1;
+        }
         let tasks = self.catalog.task_count(job.dataset);
         self.jobs.insert(
             job.id,
@@ -332,27 +517,139 @@ impl HeadRuntime {
         self.job_order.push(job.id);
         match self.scheduler.trigger() {
             Trigger::OnArrival => {
+                if policing && tracing {
+                    self.probe.on_event(&TraceEvent::Admitted {
+                        now,
+                        job: job.id,
+                        queue_depth: 0,
+                    });
+                }
                 self.invoke(sub, now, vec![job]);
-                true
+                Admission::Scheduled
             }
             Trigger::Cycle(_) => {
+                let id = job.id;
+                let superseded = if self.policy.coalesce_interactive {
+                    self.coalesce_stale_frames(now, &job)
+                } else {
+                    Vec::new()
+                };
                 self.buffer.push(job);
-                false
+                if policing && tracing {
+                    self.probe.on_event(&TraceEvent::Admitted {
+                        now,
+                        job: id,
+                        queue_depth: self.buffer.len(),
+                    });
+                }
+                Admission::Buffered { superseded }
             }
         }
     }
 
-    /// Run one scheduling cycle over the buffered jobs. Does nothing (and
-    /// emits nothing) when the buffer is empty and no work is deferred, so
-    /// a free-running ticker costs nothing while idle. Returns whether the
-    /// scheduler was invoked.
-    pub fn on_cycle<S: Substrate>(&mut self, sub: &mut S, now: SimTime) -> bool {
+    /// Drop buffered interactive frames that `newer` supersedes: same
+    /// user, same action, issued earlier. Returns the dropped job ids.
+    fn coalesce_stale_frames(&mut self, now: SimTime, newer: &Job) -> Vec<JobId> {
+        let Some(action) = newer.kind.action() else {
+            return Vec::new();
+        };
+        let user = newer.kind.user();
+        let mut superseded = Vec::new();
+        self.buffer.retain(|queued| {
+            let stale = queued.kind.action() == Some(action) && queued.kind.user() == user;
+            if stale {
+                superseded.push(queued.id);
+            }
+            !stale
+        });
+        for &stale in &superseded {
+            self.drop_admitted(stale);
+            self.overload.coalesced += 1;
+            if self.probe.enabled() {
+                self.probe.on_event(&TraceEvent::Coalesced {
+                    now,
+                    superseded: stale,
+                    by: newer.id,
+                });
+            }
+        }
+        superseded
+    }
+
+    /// Forget an admitted-but-never-scheduled job: release its in-flight
+    /// slot and remove its record (shed jobs belong in [`OverloadStats`],
+    /// not in the run record).
+    fn drop_admitted(&mut self, job: JobId) {
+        if let Some(state) = self.jobs.remove(&job) {
+            if state.record.kind.is_interactive() {
+                self.release_in_flight(state.record.kind.user());
+            }
+        }
+        self.job_order.retain(|&id| id != job);
+    }
+
+    /// Release one in-flight slot (no-op while no policy is active, since
+    /// admission never acquired one).
+    fn release_in_flight(&mut self, user: UserId) {
+        if !self.policy.is_active() {
+            return;
+        }
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if let Some(n) = self.in_flight_by_user.get_mut(&user) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Run one scheduling cycle: expire buffered jobs past the policy
+    /// deadline, escalate starved batch work, then invoke the scheduler
+    /// over whatever remains buffered. Does nothing (and emits nothing)
+    /// when the buffer is empty and no work is deferred, so a free-running
+    /// ticker costs nothing while idle.
+    pub fn on_cycle<S: Substrate>(&mut self, sub: &mut S, now: SimTime) -> CycleOutcome {
+        let tracing = self.probe.enabled();
+        let mut expired = Vec::new();
+        if let Some(deadline) = self.policy.deadline {
+            let mut kept = Vec::with_capacity(self.buffer.len());
+            for job in std::mem::take(&mut self.buffer) {
+                let waited = now.saturating_since(job.issue_time);
+                if job.kind.is_interactive() && waited >= deadline {
+                    if tracing {
+                        self.probe.on_event(&TraceEvent::Expired {
+                            now,
+                            job: job.id,
+                            waited,
+                        });
+                    }
+                    self.drop_admitted(job.id);
+                    self.overload.expired += 1;
+                    expired.push(job.id);
+                } else {
+                    kept.push(job);
+                }
+            }
+            self.buffer = kept;
+        }
+        if let Some(age) = self.policy.batch_escalation_age {
+            for (job, waited) in self.scheduler.escalate_deferred(now, age) {
+                self.overload.escalated += 1;
+                if tracing {
+                    self.probe
+                        .on_event(&TraceEvent::BatchEscalated { now, job, waited });
+                }
+            }
+        }
         if self.buffer.is_empty() && !self.scheduler.has_deferred() {
-            return false;
+            return CycleOutcome {
+                invoked: false,
+                expired,
+            };
         }
         let jobs = std::mem::take(&mut self.buffer);
         self.invoke(sub, now, jobs);
-        true
+        CycleOutcome {
+            invoked: true,
+            expired,
+        }
     }
 
     /// Apply one completion: probe the observation, then the §V-B
@@ -471,6 +768,15 @@ impl HeadRuntime {
         let latency = state.max_finish.saturating_since(state.record.timing.issue);
         self.jobs_completed += 1;
         self.latency_total_secs += latency.as_secs_f64();
+        if self.policy.is_active() && state.record.kind.is_interactive() {
+            // Release the job's in-flight slot (disjoint fields, so the
+            // open borrow of `state` is fine).
+            let user = state.record.kind.user();
+            self.in_flight = self.in_flight.saturating_sub(1);
+            if let Some(n) = self.in_flight_by_user.get_mut(&user) {
+                *n = n.saturating_sub(1);
+            }
+        }
         if tracing {
             self.probe.on_event(&TraceEvent::JobDone {
                 now,
@@ -576,6 +882,7 @@ impl HeadRuntime {
             per_node: self.per_node,
             jobs_completed: self.jobs_completed,
             mean_latency_secs,
+            overload: self.overload,
         }
     }
 
@@ -722,8 +1029,12 @@ mod tests {
     fn arrival_trigger_dispatches_immediately() {
         let mut rt = runtime(SchedulerKind::Fcfsl, Arc::new(vizsched_metrics::NoopProbe));
         let mut sub = StubSubstrate::default();
-        let immediate = rt.on_job_arrival(&mut sub, SimTime::ZERO, job(0, SimTime::ZERO));
-        assert!(immediate, "FCFSL is an on-arrival policy");
+        let admission = rt.on_job_arrival(&mut sub, SimTime::ZERO, job(0, SimTime::ZERO));
+        assert_eq!(
+            admission,
+            Admission::Scheduled,
+            "FCFSL is an on-arrival policy"
+        );
         assert_eq!(sub.dispatched.len(), 2, "one task per chunk");
         assert_eq!(rt.queued_jobs(), 0);
     }
@@ -732,14 +1043,20 @@ mod tests {
     fn cycle_trigger_buffers_until_on_cycle() {
         let mut rt = runtime(SchedulerKind::Ours, Arc::new(vizsched_metrics::NoopProbe));
         let mut sub = StubSubstrate::default();
-        let immediate = rt.on_job_arrival(&mut sub, SimTime::ZERO, job(0, SimTime::ZERO));
-        assert!(!immediate, "OURS schedules on the cycle");
+        let admission = rt.on_job_arrival(&mut sub, SimTime::ZERO, job(0, SimTime::ZERO));
+        assert_eq!(
+            admission,
+            Admission::Buffered {
+                superseded: Vec::new()
+            },
+            "OURS schedules on the cycle"
+        );
         assert_eq!(rt.queued_jobs(), 1);
         assert!(sub.dispatched.is_empty());
-        assert!(rt.on_cycle(&mut sub, SimTime::from_millis(30)));
+        assert!(rt.on_cycle(&mut sub, SimTime::from_millis(30)).invoked);
         assert_eq!(sub.dispatched.len(), 2);
         // Idle cycles are free: nothing buffered, nothing deferred.
-        assert!(!rt.on_cycle(&mut sub, SimTime::from_millis(60)));
+        assert!(!rt.on_cycle(&mut sub, SimTime::from_millis(60)).invoked);
     }
 
     #[test]
@@ -812,5 +1129,269 @@ mod tests {
         assert_eq!(faults, 1);
         rt.on_node_recover(SimTime::from_millis(3), victim);
         assert!(!rt.is_node_down(victim));
+    }
+
+    fn job_for_user(id: u64, user: u32, action: u64, at: SimTime) -> Job {
+        Job {
+            id: JobId(id),
+            kind: JobKind::Interactive {
+                user: UserId(user),
+                action: ActionId(action),
+            },
+            dataset: DatasetId(0),
+            issue_time: at,
+            frame: FrameParams::default(),
+        }
+    }
+
+    #[test]
+    fn global_cap_rejects_then_readmits_after_completion() {
+        let probe = Arc::new(CollectingProbe::new());
+        let mut rt = runtime(SchedulerKind::Fcfsl, probe.clone());
+        rt.set_overload_policy(OverloadPolicy {
+            max_in_flight: Some(1),
+            ..OverloadPolicy::default()
+        });
+        let mut sub = StubSubstrate::default();
+        assert_eq!(
+            rt.on_job_arrival(&mut sub, SimTime::ZERO, job(0, SimTime::ZERO)),
+            Admission::Scheduled
+        );
+        assert_eq!(
+            rt.on_job_arrival(&mut sub, SimTime::ZERO, job(1, SimTime::ZERO)),
+            Admission::Rejected(RejectReason::GlobalCap)
+        );
+        // The rejected job left no trace in the run record.
+        let dispatched = std::mem::take(&mut sub.dispatched);
+        assert!(dispatched.iter().all(|a| a.task.job == JobId(0)));
+        // Finish job 0; the slot frees and job 2 is admitted.
+        let now = SimTime::from_millis(10);
+        for a in &dispatched {
+            rt.on_task_done(now, completion_for(a, now));
+        }
+        assert_eq!(
+            rt.on_job_arrival(&mut sub, now, job(2, now)),
+            Admission::Scheduled
+        );
+        let stats = rt.overload_stats();
+        assert_eq!((stats.admitted, stats.rejected), (2, 1));
+        assert_eq!(stats.shed(), 1);
+        let events = probe.take();
+        let rejected: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Rejected { job, reason, .. } => Some((job.0, *reason)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rejected, vec![(1, RejectReason::GlobalCap)]);
+        let outcome = rt.into_outcome();
+        assert_eq!(outcome.record.jobs.len(), 2, "rejected job not recorded");
+        assert_eq!(outcome.overload.rejected, 1);
+    }
+
+    #[test]
+    fn per_user_cap_is_isolated_per_user() {
+        let mut rt = runtime(SchedulerKind::Fcfsl, Arc::new(vizsched_metrics::NoopProbe));
+        rt.set_overload_policy(OverloadPolicy {
+            max_per_user: Some(1),
+            ..OverloadPolicy::default()
+        });
+        let mut sub = StubSubstrate::default();
+        assert!(rt
+            .on_job_arrival(
+                &mut sub,
+                SimTime::ZERO,
+                job_for_user(0, 7, 0, SimTime::ZERO)
+            )
+            .is_admitted());
+        assert_eq!(
+            rt.on_job_arrival(
+                &mut sub,
+                SimTime::ZERO,
+                job_for_user(1, 7, 1, SimTime::ZERO)
+            ),
+            Admission::Rejected(RejectReason::UserCap)
+        );
+        // A different user is unaffected by user 7's backlog.
+        assert!(rt
+            .on_job_arrival(
+                &mut sub,
+                SimTime::ZERO,
+                job_for_user(2, 8, 2, SimTime::ZERO)
+            )
+            .is_admitted());
+    }
+
+    #[test]
+    fn batch_is_exempt_from_caps_and_deadlines() {
+        let mut rt = runtime(SchedulerKind::Ours, Arc::new(vizsched_metrics::NoopProbe));
+        rt.set_overload_policy(OverloadPolicy {
+            max_in_flight: Some(1),
+            max_per_user: Some(1),
+            deadline: Some(SimDuration::from_millis(10)),
+            ..OverloadPolicy::default()
+        });
+        let mut sub = StubSubstrate::default();
+        let batch = |id: u64, frame: u32| Job {
+            id: JobId(id),
+            kind: JobKind::Batch {
+                user: UserId(3),
+                request: vizsched_core::ids::BatchId(0),
+                frame,
+            },
+            dataset: DatasetId(0),
+            issue_time: SimTime::ZERO,
+            frame: FrameParams::default(),
+        };
+        // A whole animation lands at one instant, far past both caps...
+        for i in 0..4 {
+            assert!(rt
+                .on_job_arrival(&mut sub, SimTime::ZERO, batch(i, i as u32))
+                .is_admitted());
+        }
+        // ...and an old buffered batch frame outlives the deadline
+        // without being expired.
+        let cycle = rt.on_cycle(&mut sub, SimTime::from_millis(30));
+        assert!(cycle.invoked);
+        assert!(cycle.expired.is_empty(), "batch never expires");
+        let stats = rt.overload_stats();
+        assert_eq!((stats.admitted, stats.rejected, stats.expired), (4, 0, 0));
+        // Interactive arrivals still see the caps, untouched by the batch
+        // backlog (batch holds no in-flight slots).
+        assert!(rt
+            .on_job_arrival(
+                &mut sub,
+                SimTime::from_millis(30),
+                job(10, SimTime::from_millis(30))
+            )
+            .is_admitted());
+        assert_eq!(
+            rt.on_job_arrival(
+                &mut sub,
+                SimTime::from_millis(30),
+                job(11, SimTime::from_millis(30))
+            ),
+            Admission::Rejected(RejectReason::GlobalCap)
+        );
+    }
+
+    #[test]
+    fn coalescing_supersedes_stale_frames_of_same_action() {
+        let probe = Arc::new(CollectingProbe::new());
+        let mut rt = runtime(SchedulerKind::Ours, probe.clone());
+        rt.set_overload_policy(OverloadPolicy {
+            coalesce_interactive: true,
+            ..OverloadPolicy::default()
+        });
+        let mut sub = StubSubstrate::default();
+        // Three frames of action 0 and one of action 1 arrive in one cycle.
+        rt.on_job_arrival(
+            &mut sub,
+            SimTime::ZERO,
+            job_for_user(0, 0, 0, SimTime::ZERO),
+        );
+        rt.on_job_arrival(
+            &mut sub,
+            SimTime::ZERO,
+            job_for_user(1, 0, 1, SimTime::ZERO),
+        );
+        let am = rt.on_job_arrival(
+            &mut sub,
+            SimTime::from_millis(10),
+            job_for_user(2, 0, 0, SimTime::from_millis(10)),
+        );
+        assert_eq!(
+            am,
+            Admission::Buffered {
+                superseded: vec![JobId(0)]
+            }
+        );
+        let am = rt.on_job_arrival(
+            &mut sub,
+            SimTime::from_millis(20),
+            job_for_user(3, 0, 0, SimTime::from_millis(20)),
+        );
+        assert_eq!(
+            am,
+            Admission::Buffered {
+                superseded: vec![JobId(2)]
+            }
+        );
+        assert_eq!(rt.queued_jobs(), 2, "action 0's latest + action 1");
+        assert!(rt.on_cycle(&mut sub, SimTime::from_millis(30)).invoked);
+        // Only jobs 1 and 3 ever reach the nodes.
+        let scheduled: std::collections::BTreeSet<u64> =
+            sub.dispatched.iter().map(|a| a.task.job.0).collect();
+        assert_eq!(scheduled, [1, 3].into_iter().collect());
+        assert_eq!(rt.overload_stats().coalesced, 2);
+        let events = probe.take();
+        let coalesced: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Coalesced { superseded, by, .. } => Some((superseded.0, by.0)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(coalesced, vec![(0, 2), (2, 3)]);
+        let outcome = rt.into_outcome();
+        assert_eq!(outcome.record.jobs.len(), 2, "superseded jobs dropped");
+        assert_eq!(outcome.incomplete_jobs, 2, "dispatched but not completed");
+    }
+
+    #[test]
+    fn deadline_expires_buffered_jobs_at_cycle_boundary() {
+        let probe = Arc::new(CollectingProbe::new());
+        let mut rt = runtime(SchedulerKind::Ours, probe.clone());
+        rt.set_overload_policy(OverloadPolicy {
+            deadline: Some(SimDuration::from_millis(20)),
+            ..OverloadPolicy::default()
+        });
+        let mut sub = StubSubstrate::default();
+        // Job 0 is 30 ms old at the cycle — expired; job 1 is 5 ms old.
+        rt.on_job_arrival(&mut sub, SimTime::ZERO, job(0, SimTime::ZERO));
+        rt.on_job_arrival(
+            &mut sub,
+            SimTime::from_millis(25),
+            job(1, SimTime::from_millis(25)),
+        );
+        let cycle = rt.on_cycle(&mut sub, SimTime::from_millis(30));
+        assert!(cycle.invoked);
+        assert_eq!(cycle.expired, vec![JobId(0)]);
+        assert!(sub.dispatched.iter().all(|a| a.task.job == JobId(1)));
+        assert_eq!(rt.overload_stats().expired, 1);
+        let events = probe.take();
+        let expired: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Expired { job, waited, .. } => Some((job.0, *waited)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(expired, vec![(0, SimDuration::from_millis(30))]);
+    }
+
+    #[test]
+    fn inactive_policy_changes_nothing() {
+        let mut rt = runtime(SchedulerKind::Ours, Arc::new(vizsched_metrics::NoopProbe));
+        assert!(!rt.overload_policy().is_active());
+        let mut sub = StubSubstrate::default();
+        // Same (user, action) frames pile up without coalescing or caps.
+        for i in 0..5 {
+            let am = rt.on_job_arrival(
+                &mut sub,
+                SimTime::ZERO,
+                job_for_user(i, 0, 0, SimTime::ZERO),
+            );
+            assert_eq!(
+                am,
+                Admission::Buffered {
+                    superseded: Vec::new()
+                }
+            );
+        }
+        assert_eq!(rt.queued_jobs(), 5);
+        assert!(rt.on_cycle(&mut sub, SimTime::from_millis(30)).invoked);
+        assert_eq!(rt.overload_stats(), OverloadStats::default());
     }
 }

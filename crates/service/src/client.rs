@@ -1,7 +1,8 @@
 //! The client-side API: submit interactive or batch rendering requests and
-//! receive composited frames.
+//! receive composited frames — or, under an active overload policy, the
+//! rejection/drop verdicts of the admission layer.
 
-use crate::protocol::{FrameResult, RenderRequest};
+use crate::protocol::{RenderReply, RenderRequest};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use vizsched_core::ids::{ActionId, BatchId, DatasetId, UserId};
 use vizsched_core::job::{FrameParams, JobKind};
@@ -25,13 +26,16 @@ impl ServiceClient {
     }
 
     /// Submit one interactive frame (one step of a camera drag). Returns
-    /// the channel on which the finished frame arrives.
+    /// the channel on which the outcome — the finished frame, or a
+    /// rejection/drop verdict under an active overload policy — arrives.
+    /// Blocks while the service's bounded request queue is full
+    /// (backpressure).
     pub fn render_interactive(
         &self,
         action: ActionId,
         dataset: DatasetId,
         frame: FrameParams,
-    ) -> Receiver<FrameResult> {
+    ) -> Receiver<RenderReply> {
         let (tx, rx) = unbounded();
         let req = RenderRequest {
             user: self.user,
@@ -41,20 +45,22 @@ impl ServiceClient {
             },
             dataset,
             frame,
+            correlation: 0,
             reply: tx,
         };
         self.requests.send(req).expect("service stopped");
         rx
     }
 
-    /// Submit a batch animation: all frames are queued at once; results
-    /// arrive on one channel in completion order.
+    /// Submit a batch animation: all frames are queued at once; outcomes
+    /// arrive on one channel in completion order, correlated by frame
+    /// index.
     pub fn render_batch(
         &self,
         request: BatchId,
         dataset: DatasetId,
         frames: &[FrameParams],
-    ) -> Receiver<FrameResult> {
+    ) -> Receiver<RenderReply> {
         let (tx, rx) = unbounded();
         for (i, &frame) in frames.iter().enumerate() {
             let req = RenderRequest {
@@ -66,6 +72,7 @@ impl ServiceClient {
                 },
                 dataset,
                 frame,
+                correlation: i as u64,
                 reply: tx.clone(),
             };
             self.requests.send(req).expect("service stopped");

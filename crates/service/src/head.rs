@@ -13,9 +13,11 @@
 //! and rejoins it cold-cached.
 
 use crate::node::{run_node, NodeConfig};
-use crate::protocol::{FrameResult, RenderRequest, RenderTask, TaskDone, ToHead, ToNode};
+use crate::protocol::{
+    FrameResult, RenderOutcome, RenderReply, RenderRequest, RenderTask, TaskDone, ToHead, ToNode,
+};
 use crate::storage::ChunkStore;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -29,9 +31,11 @@ use vizsched_core::job::{FrameParams, Job};
 use vizsched_core::sched::{Assignment, SchedulerKind};
 use vizsched_core::tables::HeadTables;
 use vizsched_core::time::{SimDuration, SimTime};
-use vizsched_metrics::{NoopProbe, Probe, RunRecord};
+use vizsched_metrics::{DropReason, NoopProbe, Probe, RunRecord};
 use vizsched_render::Layer;
-use vizsched_runtime::{Completion, HeadRuntime, Substrate};
+use vizsched_runtime::{
+    Admission, Completion, HeadRuntime, OverloadPolicy, OverloadStats, Substrate,
+};
 
 /// Service configuration, built up fluently:
 ///
@@ -65,6 +69,14 @@ pub struct ServiceConfig {
     /// cold-cached (the recovery half of §VI-D). Off by default: a dead
     /// node stays down and its work runs elsewhere.
     pub restart_nodes: bool,
+    /// Capacity of the bounded request queue in front of the head loop.
+    /// In-process clients block when it fills (backpressure); the TCP
+    /// front sheds instead, answering `Overloaded` without blocking.
+    pub queue_capacity: usize,
+    /// Admission-control policy applied by the head runtime: in-flight
+    /// caps, per-job deadlines, stale-frame coalescing, batch
+    /// anti-starvation. Inactive by default (everything is admitted).
+    pub overload: OverloadPolicy,
 }
 
 impl std::fmt::Debug for ServiceConfig {
@@ -79,6 +91,8 @@ impl std::fmt::Debug for ServiceConfig {
             .field("composite", &self.composite)
             .field("probe_enabled", &self.probe.enabled())
             .field("restart_nodes", &self.restart_nodes)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("overload", &self.overload)
             .finish()
     }
 }
@@ -95,6 +109,8 @@ impl Default for ServiceConfig {
             composite: CompositeAlgo::Auto,
             probe: Arc::new(NoopProbe),
             restart_nodes: false,
+            queue_capacity: 1024,
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -153,6 +169,19 @@ impl ServiceConfig {
         self.restart_nodes = on;
         self
     }
+
+    /// Set the bounded request-queue capacity (must be nonzero).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be nonzero");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Apply an overload-control policy at the head runtime.
+    pub fn overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
+        self
+    }
 }
 
 /// Aggregate statistics returned at shutdown.
@@ -172,6 +201,9 @@ pub struct ServiceStats {
     pub record: RunRecord,
     /// Per-node `(tasks, hits, misses)` counters — the load-balance view.
     pub per_node: Vec<(u64, u64, u64)>,
+    /// Admission-control counters (all zero unless
+    /// [`ServiceConfig::overload`] set an active policy).
+    pub overload: OverloadStats,
 }
 
 /// Control-plane commands.
@@ -196,7 +228,8 @@ impl VizService {
     /// Start the service over an existing chunk store.
     pub fn start(config: ServiceConfig, store: Arc<ChunkStore>) -> VizService {
         assert!(config.nodes > 0, "service needs at least one render node");
-        let (req_tx, req_rx) = unbounded::<RenderRequest>();
+        assert!(config.queue_capacity > 0, "queue capacity must be nonzero");
+        let (req_tx, req_rx) = bounded::<RenderRequest>(config.queue_capacity);
         let (ctl_tx, ctl_rx) = unbounded::<Control>();
         let head = std::thread::spawn(move || head_loop(&config, &store, req_rx, ctl_rx));
         VizService {
@@ -247,7 +280,8 @@ impl VizService {
 /// this is only what the runtime doesn't need: the reply channel, the
 /// camera, and the layers accumulated for compositing.
 struct PendingJob {
-    reply: Sender<FrameResult>,
+    reply: Sender<RenderReply>,
+    correlation: u64,
     frame: FrameParams,
     misses: u32,
     layers: Vec<Layer>,
@@ -388,6 +422,7 @@ fn head_loop(
         config.probe.clone(),
         "live-service",
     );
+    runtime.set_overload_policy(config.overload);
     let (to_head_tx, from_nodes) = unbounded::<ToHead>();
     let mut sub = LiveSubstrate::spawn(config, store.clone(), to_head_tx);
     let mut next_job = 0u64;
@@ -431,12 +466,25 @@ fn head_loop(
                 next_job += 1;
                 sub.pending.insert(job.id, PendingJob {
                     reply: req.reply,
+                    correlation: req.correlation,
                     frame: job.frame,
                     misses: 0,
                     layers: Vec::new(),
                 });
                 let t = job.issue_time;
-                runtime.on_job_arrival(&mut sub, t, job);
+                let id = job.id;
+                match runtime.on_job_arrival(&mut sub, t, job) {
+                    Admission::Rejected(reason) => {
+                        shed(&mut sub, id, RenderOutcome::Rejected(reason));
+                    }
+                    Admission::Buffered { superseded } => {
+                        for stale in superseded {
+                            shed(&mut sub, stale,
+                                RenderOutcome::Dropped(DropReason::Superseded));
+                        }
+                    }
+                    Admission::Scheduled => {}
+                }
             }
             recv(from_nodes) -> msg => match msg {
                 Ok(ToHead::TaskDone(done)) => {
@@ -454,7 +502,11 @@ fn head_loop(
             },
             recv(ticker) -> _ => {
                 let t = now();
-                runtime.on_cycle(&mut sub, t);
+                let outcome = runtime.on_cycle(&mut sub, t);
+                for stale in outcome.expired {
+                    shed(&mut sub, stale,
+                        RenderOutcome::Dropped(DropReason::DeadlineExpired));
+                }
             }
         }
     }
@@ -472,7 +524,21 @@ fn head_loop(
             .map(|c| (c.tasks, c.hits, c.misses))
             .collect(),
         record: outcome.record,
+        overload: outcome.overload,
     }
+}
+
+/// Tell a shed job's client what happened and forget the job. The runtime
+/// has already dropped its own state for `job` (rejection, coalescing, or
+/// deadline expiry); this clears the client-facing half.
+fn shed(sub: &mut LiveSubstrate, job: JobId, outcome: RenderOutcome) {
+    let Some(pending) = sub.pending.remove(&job) else {
+        return;
+    };
+    let _ = pending.reply.send(RenderReply {
+        correlation: pending.correlation,
+        outcome,
+    });
 }
 
 /// One node fault: reroute its outstanding work through the runtime and,
@@ -527,10 +593,13 @@ fn handle_task_done(
         return;
     };
     let image = composite(job.layers, config.composite);
-    let _ = job.reply.send(FrameResult {
-        job: fin.job,
-        image: Arc::new(image),
-        latency: fin.latency,
-        cache_misses: job.misses,
+    let _ = job.reply.send(RenderReply {
+        correlation: job.correlation,
+        outcome: RenderOutcome::Frame(FrameResult {
+            job: fin.job,
+            image: Arc::new(image),
+            latency: fin.latency,
+            cache_misses: job.misses,
+        }),
     });
 }

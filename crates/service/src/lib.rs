@@ -10,8 +10,14 @@
 //! The discrete-event simulator (`vizsched-sim`) answers "how do the
 //! policies compare at cluster scale"; this crate answers "does the whole
 //! pipeline actually render frames end-to-end".
+//!
+//! Overload control: [`ServiceConfig::queue_capacity`] bounds the request
+//! queue, and [`ServiceConfig::overload`] applies an
+//! [`OverloadPolicy`] — in-flight caps, per-job deadlines, stale-frame
+//! coalescing, batch anti-starvation — inside the shared head runtime, so
+//! the live service and the simulator shed identically.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod client;
@@ -24,17 +30,28 @@ pub mod wire;
 
 pub use client::ServiceClient;
 pub use head::{ServiceConfig, ServiceStats, VizService};
-pub use protocol::{FrameResult, RenderRequest, RenderTask, TaskDone, ToHead, ToNode};
+pub use protocol::{
+    FrameResult, RenderOutcome, RenderReply, RenderRequest, RenderTask, TaskDone, ToHead, ToNode,
+};
 pub use storage::{ChunkStore, StoreDataset};
 pub use tcp::{RemoteClient, TcpServer};
+pub use vizsched_runtime::{OverloadPolicy, OverloadStats};
+pub use wire::{WireFrame, WireResponse};
 
 /// The one-line import for service experiments: assembly, client, storage,
 /// the full protocol surface, and the probe machinery the head reports to.
 pub mod prelude {
     pub use crate::client::ServiceClient;
     pub use crate::head::{ServiceConfig, ServiceStats, VizService};
-    pub use crate::protocol::{FrameResult, RenderRequest, RenderTask, TaskDone, ToHead, ToNode};
+    pub use crate::protocol::{
+        FrameResult, RenderOutcome, RenderReply, RenderRequest, RenderTask, TaskDone, ToHead,
+        ToNode,
+    };
     pub use crate::storage::{ChunkStore, StoreDataset};
     pub use crate::tcp::{RemoteClient, TcpServer};
-    pub use vizsched_metrics::{CollectingProbe, JsonlProbe, NoopProbe, Probe, TraceEvent};
+    pub use crate::wire::{WireFrame, WireResponse};
+    pub use vizsched_metrics::{
+        CollectingProbe, DropReason, JsonlProbe, NoopProbe, Probe, RejectReason, TraceEvent,
+    };
+    pub use vizsched_runtime::{OverloadPolicy, OverloadStats};
 }

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use vizsched_core::ids::{ChunkId, DatasetId, JobId, UserId};
 use vizsched_core::job::{FrameParams, JobKind};
 use vizsched_core::time::SimDuration;
+use vizsched_metrics::{DropReason, RejectReason};
 use vizsched_render::Layer;
 
 /// A client's rendering request, converted to a `Job` by the listening
@@ -21,8 +22,59 @@ pub struct RenderRequest {
     pub dataset: DatasetId,
     /// Camera / transfer function.
     pub frame: FrameParams,
-    /// Where the final frame goes.
-    pub reply: crossbeam::channel::Sender<FrameResult>,
+    /// Client-chosen correlation id, echoed on the reply so several
+    /// requests can share one reply channel (the TCP front multiplexes a
+    /// whole connection over one).
+    pub correlation: u64,
+    /// Where the outcome — frame, rejection, or drop — goes.
+    pub reply: crossbeam::channel::Sender<RenderReply>,
+}
+
+/// The head node's answer to one [`RenderRequest`].
+#[derive(Clone, Debug)]
+pub struct RenderReply {
+    /// Echo of the request's correlation id.
+    pub correlation: u64,
+    /// What happened to the request.
+    pub outcome: RenderOutcome,
+}
+
+impl RenderReply {
+    /// Unwrap the finished frame; panics (with the refusal reason) on a
+    /// rejected or dropped request. Test and example convenience.
+    pub fn expect_frame(self) -> FrameResult {
+        match self.outcome {
+            RenderOutcome::Frame(frame) => frame,
+            RenderOutcome::Rejected(reason) => {
+                panic!("request rejected at admission: {}", reason.as_str())
+            }
+            RenderOutcome::Dropped(reason) => {
+                panic!("request dropped before completion: {}", reason.as_str())
+            }
+        }
+    }
+
+    /// The finished frame, or `None` if the request was shed.
+    pub fn into_frame(self) -> Option<FrameResult> {
+        match self.outcome {
+            RenderOutcome::Frame(frame) => Some(frame),
+            _ => None,
+        }
+    }
+}
+
+/// How one render request ended.
+#[derive(Clone, Debug)]
+pub enum RenderOutcome {
+    /// The composited frame.
+    Frame(FrameResult),
+    /// Refused at admission (overload policy caps, or a full admission
+    /// queue at a transport boundary). The job never entered the system.
+    Rejected(RejectReason),
+    /// Admitted, then dropped before completion: its deadline expired in
+    /// the admission buffer, or a newer frame of the same interactive
+    /// action superseded it.
+    Dropped(DropReason),
 }
 
 /// The finished frame returned to a client.

@@ -3,23 +3,39 @@
 //! — users at workstations, the rendering cluster elsewhere — with the
 //! wire protocol of [`crate::wire`].
 //!
-//! The server accepts any number of connections; each connection may
+//! The server accepts up to a bounded number of concurrent connections
+//! (excess connections are closed immediately); each connection may
 //! pipeline any number of requests, correlated by client-chosen request
-//! ids. Responses return in completion order.
+//! ids. Responses return in completion order. The accept loop blocks in
+//! `accept(2)` — no polling — and [`TcpServer::stop`] wakes it with a
+//! loopback connection.
+//!
+//! Overload behavior: each connection submits into the service's bounded
+//! admission queue with a non-blocking send; when the queue is full the
+//! request is answered with [`WireResponse::Overloaded`] right at the
+//! boundary instead of stalling the socket. Requests shed further in —
+//! by the head's in-flight caps, stale-frame coalescing, or deadline
+//! expiry — come back as `Overloaded` or [`WireResponse::Expired`], and
+//! [`RemoteClient::render_interactive_with_retry`] resubmits those with
+//! exponential backoff.
 
-use crate::protocol::{FrameResult, RenderRequest};
-use crate::wire::{read_message, write_message, WireMessage, WireRequest, WireResponse};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::protocol::{RenderOutcome, RenderReply, RenderRequest};
+use crate::wire::{read_message, write_message, WireFrame, WireMessage, WireRequest, WireResponse};
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use vizsched_core::ids::{ActionId, BatchId, DatasetId, UserId};
 use vizsched_core::job::{FrameParams, JobKind};
+use vizsched_metrics::RejectReason;
+
+/// Default cap on concurrent connections for [`TcpServer::start`].
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
 
 /// A TCP front on a running service.
 pub struct TcpServer {
@@ -30,27 +46,50 @@ pub struct TcpServer {
 
 impl TcpServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and serve requests
-    /// into the given service endpoint.
+    /// into the given service endpoint, allowing up to
+    /// [`DEFAULT_MAX_CONNECTIONS`] concurrent connections.
     pub fn start(addr: &str, requests: Sender<RenderRequest>) -> io::Result<TcpServer> {
+        TcpServer::start_with(addr, requests, DEFAULT_MAX_CONNECTIONS)
+    }
+
+    /// [`TcpServer::start`] with an explicit cap on concurrent
+    /// connections. Connections beyond the cap are closed as soon as they
+    /// are accepted — the client sees an immediate EOF and can retry.
+    pub fn start_with(
+        addr: &str,
+        requests: Sender<RenderRequest>,
+        max_connections: usize,
+    ) -> io::Result<TcpServer> {
+        assert!(max_connections > 0, "connection cap must be nonzero");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let accept_thread = std::thread::spawn(move || {
-            while !stop2.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let requests = requests.clone();
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(stream, requests);
-                        });
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(20));
-                    }
+            // One slot per allowed connection; a worker thread is spawned
+            // per accepted connection and returns its slot on exit, so at
+            // most `max_connections` serving threads exist at any moment.
+            let active = Arc::new(AtomicUsize::new(0));
+            loop {
+                let (stream, _peer) = match listener.accept() {
+                    Ok(conn) => conn,
                     Err(_) => break,
+                };
+                // `stop()` connects once just to wake this accept call.
+                if stop2.load(Ordering::Relaxed) {
+                    break;
                 }
+                if active.load(Ordering::Relaxed) >= max_connections {
+                    drop(stream); // over the cap: shed the connection
+                    continue;
+                }
+                active.fetch_add(1, Ordering::Relaxed);
+                let requests = requests.clone();
+                let active2 = active.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, requests);
+                    active2.fetch_sub(1, Ordering::Relaxed);
+                });
             }
         });
         Ok(TcpServer {
@@ -66,9 +105,11 @@ impl TcpServer {
     }
 
     /// Stop accepting connections (existing connections drain on their own
-    /// when clients disconnect).
+    /// when clients disconnect). Wakes the blocking accept loop with a
+    /// loopback connection rather than polling.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -78,23 +119,34 @@ impl TcpServer {
 fn serve_connection(stream: TcpStream, requests: Sender<RenderRequest>) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = stream.try_clone()?;
-    let writer = Arc::new(Mutex::new(stream));
 
-    // Completed frames from any in-flight request funnel through one
-    // channel so a single writer owns the socket's send side.
-    let (done_tx, done_rx) = unbounded::<(u64, FrameResult)>();
-    let writer2 = writer.clone();
+    // Every request on this connection shares one reply channel; the head
+    // echoes each request's correlation id, so a single writer thread owns
+    // the socket's send side and no per-request forwarder is needed.
+    let (reply_tx, reply_rx) = unbounded::<RenderReply>();
+    let mut write_side = stream;
     let write_thread = std::thread::spawn(move || {
-        while let Ok((request_id, result)) = done_rx.recv() {
-            let response = WireResponse::from_image(
-                request_id,
-                result.job,
-                result.latency,
-                result.cache_misses,
-                &result.image,
-            );
-            let mut socket = writer2.lock();
-            if write_message(&mut *socket, &WireMessage::Response(Box::new(response))).is_err() {
+        while let Ok(reply) = reply_rx.recv() {
+            let response = match reply.outcome {
+                RenderOutcome::Frame(result) => {
+                    WireResponse::Frame(Box::new(WireFrame::from_image(
+                        reply.correlation,
+                        result.job,
+                        result.latency,
+                        result.cache_misses,
+                        &result.image,
+                    )))
+                }
+                RenderOutcome::Rejected(reason) => WireResponse::Overloaded {
+                    request_id: reply.correlation,
+                    reason,
+                },
+                RenderOutcome::Dropped(reason) => WireResponse::Expired {
+                    request_id: reply.correlation,
+                    reason,
+                },
+            };
+            if write_message(&mut write_side, &WireMessage::Response(response)).is_err() {
                 break; // client went away
             }
         }
@@ -110,29 +162,30 @@ fn serve_connection(stream: TcpStream, requests: Sender<RenderRequest>) -> io::R
                 ));
             }
             Some(WireMessage::Request(req)) => {
-                let (tx, rx) = unbounded::<FrameResult>();
                 let render = RenderRequest {
                     user: req.user,
                     kind: req.kind,
                     dataset: req.dataset,
                     frame: req.frame,
-                    reply: tx,
+                    correlation: req.request_id,
+                    reply: reply_tx.clone(),
                 };
-                if requests.send(render).is_err() {
-                    break; // service shut down
-                }
-                // Forward the (single) result into the connection's writer.
-                let done = done_tx.clone();
-                let request_id = req.request_id;
-                std::thread::spawn(move || {
-                    if let Ok(result) = rx.recv() {
-                        let _ = done.send((request_id, result));
+                match requests.try_send(render) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(render)) => {
+                        // The admission queue is full: answer Overloaded
+                        // at the boundary instead of blocking the socket.
+                        let _ = reply_tx.send(RenderReply {
+                            correlation: render.correlation,
+                            outcome: RenderOutcome::Rejected(RejectReason::QueueFull),
+                        });
                     }
-                });
+                    Err(TrySendError::Disconnected(_)) => break, // service shut down
+                }
             }
         }
     }
-    drop(done_tx);
+    drop(reply_tx);
     let _ = write_thread.join();
     Ok(())
 }
@@ -158,9 +211,9 @@ impl RemoteClient {
         let reader = std::thread::spawn(move || {
             while let Ok(Some(msg)) = read_message(&mut read_side) {
                 if let WireMessage::Response(resp) = msg {
-                    let waiter = pending2.lock().remove(&resp.request_id);
+                    let waiter = pending2.lock().remove(&resp.request_id());
                     if let Some(tx) = waiter {
-                        let _ = tx.send(*resp);
+                        let _ = tx.send(resp);
                     }
                 }
             }
@@ -197,8 +250,9 @@ impl RemoteClient {
         Ok(rx)
     }
 
-    /// Render one interactive frame; the response arrives on the returned
-    /// channel (a closed channel means the connection dropped).
+    /// Render one interactive frame; the response — a frame or an
+    /// overload-control verdict — arrives on the returned channel (a
+    /// closed channel means the connection dropped).
     pub fn render_interactive(
         &self,
         action: ActionId,
@@ -213,6 +267,43 @@ impl RemoteClient {
             dataset,
             frame,
         )
+    }
+
+    /// Render one interactive frame, resubmitting with exponential backoff
+    /// (2 ms doubling up to 200 ms) each time the service answers
+    /// `Overloaded`. Blocks until a terminal response: the frame, an
+    /// `Expired` verdict (retrying a superseded frame is pointless — a
+    /// newer one already rendered), or the last `Overloaded` once
+    /// `max_retries` resubmissions are exhausted.
+    pub fn render_interactive_with_retry(
+        &self,
+        action: ActionId,
+        dataset: DatasetId,
+        frame: FrameParams,
+        max_retries: u32,
+    ) -> io::Result<WireResponse> {
+        let mut backoff = Duration::from_millis(2);
+        let mut last = None;
+        for attempt in 0..=max_retries {
+            let rx = self.render_interactive(action, dataset, frame)?;
+            match rx.recv() {
+                Ok(WireResponse::Overloaded { request_id, reason }) => {
+                    last = Some(WireResponse::Overloaded { request_id, reason });
+                    if attempt < max_retries {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_millis(200));
+                    }
+                }
+                Ok(resp) => return Ok(resp),
+                Err(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "connection closed before a response arrived",
+                    ));
+                }
+            }
+        }
+        Ok(last.expect("at least one attempt was made"))
     }
 
     /// Submit one batch frame.

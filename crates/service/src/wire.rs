@@ -13,11 +13,14 @@ use std::io::{self, Read, Write};
 use vizsched_core::ids::{ActionId, BatchId, DatasetId, JobId, UserId};
 use vizsched_core::job::{FrameParams, JobKind};
 use vizsched_core::time::SimDuration;
+use vizsched_metrics::{DropReason, RejectReason};
 use vizsched_render::RgbaImage;
 
 /// Message tags.
 const TAG_REQUEST: u8 = 1;
 const TAG_RESPONSE: u8 = 2;
+const TAG_OVERLOADED: u8 = 3;
+const TAG_EXPIRED: u8 = 4;
 
 /// Upper bound on accepted payloads (a 4096² RGBA8 frame plus headers).
 pub const MAX_PAYLOAD: usize = 4096 * 4096 * 4 + 1024;
@@ -39,7 +42,7 @@ pub struct WireRequest {
 
 /// A finished frame as it travels back.
 #[derive(Clone, Debug, PartialEq)]
-pub struct WireResponse {
+pub struct WireFrame {
     /// Echo of the request's correlation id.
     pub request_id: u64,
     /// The job id the service assigned.
@@ -56,7 +59,7 @@ pub struct WireResponse {
     pub pixels: Bytes,
 }
 
-impl WireResponse {
+impl WireFrame {
     /// Quantize a rendered image into a response.
     pub fn from_image(
         request_id: u64,
@@ -64,14 +67,14 @@ impl WireResponse {
         latency: SimDuration,
         cache_misses: u32,
         image: &RgbaImage,
-    ) -> WireResponse {
+    ) -> WireFrame {
         let mut pixels = BytesMut::with_capacity(image.len() * 4);
         for px in &image.pixels {
             for &c in px {
                 pixels.put_u8((c.clamp(0.0, 1.0) * 255.0).round() as u8);
             }
         }
-        WireResponse {
+        WireFrame {
             request_id,
             job,
             latency,
@@ -94,13 +97,56 @@ impl WireResponse {
     }
 }
 
+/// The server's answer to one request: a frame, or an overload-control
+/// verdict telling the client its request was shed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireResponse {
+    /// The finished frame.
+    Frame(Box<WireFrame>),
+    /// Refused at admission: the head's in-flight caps, or a full
+    /// admission queue at the TCP boundary. Retry after a backoff.
+    Overloaded {
+        /// Echo of the request's correlation id.
+        request_id: u64,
+        /// Which admission limit refused the request.
+        reason: RejectReason,
+    },
+    /// Admitted, then dropped before rendering: its deadline passed, or a
+    /// newer frame of the same interactive action superseded it.
+    Expired {
+        /// Echo of the request's correlation id.
+        request_id: u64,
+        /// Why the admitted request was dropped.
+        reason: DropReason,
+    },
+}
+
+impl WireResponse {
+    /// The correlation id this response answers.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            WireResponse::Frame(f) => f.request_id,
+            WireResponse::Overloaded { request_id, .. }
+            | WireResponse::Expired { request_id, .. } => *request_id,
+        }
+    }
+
+    /// The finished frame, or `None` if the request was shed.
+    pub fn into_frame(self) -> Option<WireFrame> {
+        match self {
+            WireResponse::Frame(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
 /// Either message, as decoded off a stream.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WireMessage {
     /// Client → server.
     Request(WireRequest),
     /// Server → client.
-    Response(Box<WireResponse>),
+    Response(WireResponse),
 }
 
 fn encode_kind(buf: &mut BytesMut, kind: &JobKind) {
@@ -161,7 +207,7 @@ pub fn encode(msg: &WireMessage) -> Bytes {
             payload.put_u32_le(r.frame.transfer_fn);
             TAG_REQUEST
         }
-        WireMessage::Response(r) => {
+        WireMessage::Response(WireResponse::Frame(r)) => {
             payload.put_u64_le(r.request_id);
             payload.put_u64_le(r.job.0);
             payload.put_u64_le(r.latency.as_micros());
@@ -170,6 +216,16 @@ pub fn encode(msg: &WireMessage) -> Bytes {
             payload.put_u32_le(r.height);
             payload.extend_from_slice(&r.pixels);
             TAG_RESPONSE
+        }
+        WireMessage::Response(WireResponse::Overloaded { request_id, reason }) => {
+            payload.put_u64_le(*request_id);
+            payload.put_u8(reason.code());
+            TAG_OVERLOADED
+        }
+        WireMessage::Response(WireResponse::Expired { request_id, reason }) => {
+            payload.put_u64_le(*request_id);
+            payload.put_u8(reason.code());
+            TAG_EXPIRED
         }
     };
     let mut framed = BytesMut::with_capacity(payload.len() + 5);
@@ -239,15 +295,45 @@ pub fn read_message(r: &mut impl Read) -> io::Result<Option<WireMessage>> {
                     format!("pixel payload {} != {expect}", buf.remaining()),
                 ));
             }
-            Ok(Some(WireMessage::Response(Box::new(WireResponse {
+            Ok(Some(WireMessage::Response(WireResponse::Frame(Box::new(
+                WireFrame {
+                    request_id,
+                    job,
+                    latency,
+                    cache_misses,
+                    width,
+                    height,
+                    pixels: buf,
+                },
+            )))))
+        }
+        TAG_OVERLOADED => {
+            let request_id = buf.get_u64_le();
+            let code = buf.get_u8();
+            let reason = RejectReason::from_code(code).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown reject-reason code {code}"),
+                )
+            })?;
+            Ok(Some(WireMessage::Response(WireResponse::Overloaded {
                 request_id,
-                job,
-                latency,
-                cache_misses,
-                width,
-                height,
-                pixels: buf,
-            }))))
+                reason,
+            })))
+        }
+        TAG_EXPIRED => {
+            let request_id = buf.get_u64_le();
+            let code = buf.get_u8();
+            let reason = DropReason::from_code(code).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown drop-reason code {code}"),
+                )
+            })?;
+            Ok(Some(WireMessage::Response(WireResponse::Expired {
+                request_id,
+                reason,
+            })))
         }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -306,16 +392,46 @@ mod tests {
     fn response_round_trips_with_pixels() {
         let mut image = RgbaImage::transparent(3, 2);
         *image.at_mut(1, 0) = [0.25, 0.5, 0.75, 1.0];
-        let resp = WireResponse::from_image(42, JobId(5), SimDuration::from_millis(12), 3, &image);
-        let msg = WireMessage::Response(Box::new(resp.clone()));
+        let resp = WireFrame::from_image(42, JobId(5), SimDuration::from_millis(12), 3, &image);
+        let msg = WireMessage::Response(WireResponse::Frame(Box::new(resp.clone())));
         let back = round_trip(msg);
         let WireMessage::Response(back) = back else {
             panic!("wrong tag")
         };
-        assert_eq!(*back, resp);
+        assert_eq!(back.request_id(), 42);
+        let back = back.into_frame().expect("a frame");
+        assert_eq!(back, resp);
         // Quantization round-trip is within 1/255 per channel.
         let reconstructed = back.to_image();
         assert!(reconstructed.max_abs_diff(&image) <= 1.0 / 255.0 + 1e-6);
+    }
+
+    #[test]
+    fn overloaded_and_expired_round_trip() {
+        for reason in [
+            RejectReason::GlobalCap,
+            RejectReason::UserCap,
+            RejectReason::QueueFull,
+        ] {
+            let msg = WireMessage::Response(WireResponse::Overloaded {
+                request_id: 11,
+                reason,
+            });
+            assert_eq!(round_trip(msg.clone()), msg);
+        }
+        for reason in [DropReason::DeadlineExpired, DropReason::Superseded] {
+            let msg = WireMessage::Response(WireResponse::Expired {
+                request_id: 12,
+                reason,
+            });
+            let back = round_trip(msg.clone());
+            assert_eq!(back, msg);
+            let WireMessage::Response(resp) = back else {
+                panic!("wrong tag")
+            };
+            assert_eq!(resp.request_id(), 12);
+            assert!(resp.into_frame().is_none());
+        }
     }
 
     #[test]

@@ -54,7 +54,8 @@ fn interactive_frame_renders_end_to_end() {
     let rx = client.render_interactive(ActionId(0), DatasetId(0), frame(0.3));
     let result = rx
         .recv_timeout(Duration::from_secs(30))
-        .expect("frame arrives");
+        .expect("frame arrives")
+        .expect_frame();
     assert_eq!(result.image.width, 64);
     assert_eq!(result.image.height, 64);
     assert!(
@@ -69,7 +70,8 @@ fn interactive_frame_renders_end_to_end() {
     let rx = client.render_interactive(ActionId(0), DatasetId(0), frame(0.35));
     let warm = rx
         .recv_timeout(Duration::from_secs(30))
-        .expect("frame arrives");
+        .expect("frame arrives")
+        .expect_frame();
     assert_eq!(warm.cache_misses, 0, "second frame must be all hits");
 
     let stats = service.shutdown();
@@ -90,7 +92,8 @@ fn batch_animation_delivers_every_frame() {
     while received < 6 {
         let result = rx
             .recv_timeout(Duration::from_secs(60))
-            .expect("batch frame arrives");
+            .expect("batch frame arrives")
+            .expect_frame();
         assert!(result.image.coverage() > 0.0);
         received += 1;
     }
@@ -112,7 +115,8 @@ fn concurrent_users_on_different_datasets() {
     for rx in rxs {
         let result = rx
             .recv_timeout(Duration::from_secs(60))
-            .expect("frame arrives");
+            .expect("frame arrives")
+            .expect_frame();
         assert!(result
             .image
             .pixels
@@ -135,9 +139,17 @@ fn rendered_frames_match_between_modes() {
     let client = ServiceClient::new(UserId(0), service.request_sender());
     let f = frame(0.45);
     let rx1 = client.render_interactive(ActionId(0), DatasetId(0), f);
-    let img1 = rx1.recv_timeout(Duration::from_secs(30)).unwrap().image;
+    let img1 = rx1
+        .recv_timeout(Duration::from_secs(30))
+        .unwrap()
+        .expect_frame()
+        .image;
     let rx2 = client.render_batch(BatchId(1), DatasetId(0), &[f]);
-    let img2 = rx2.recv_timeout(Duration::from_secs(60)).unwrap().image;
+    let img2 = rx2
+        .recv_timeout(Duration::from_secs(60))
+        .unwrap()
+        .expect_frame()
+        .image;
     assert_eq!(
         img1.max_abs_diff(&img2),
         0.0,
@@ -235,7 +247,8 @@ fn every_scheduler_runs_the_live_service() {
         let rx = client.render_interactive(ActionId(0), DatasetId(0), frame(0.2));
         let result = rx
             .recv_timeout(Duration::from_secs(30))
-            .unwrap_or_else(|e| panic!("{} never delivered: {e}", kind.name()));
+            .unwrap_or_else(|e| panic!("{} never delivered: {e}", kind.name()))
+            .expect_frame();
         assert!(result
             .image
             .pixels
@@ -283,12 +296,14 @@ fn datasets_with_different_brick_counts_coexist() {
     assert_eq!(
         a.recv_timeout(Duration::from_secs(30))
             .unwrap()
+            .expect_frame()
             .cache_misses,
         2
     );
     assert_eq!(
         b.recv_timeout(Duration::from_secs(30))
             .unwrap()
+            .expect_frame()
             .cache_misses,
         6
     );
@@ -339,9 +354,21 @@ fn remote_client_renders_over_tcp() {
         .render_batch_frame(BatchId(0), 0, DatasetId(1), frame(0.3))
         .unwrap();
 
-    let r1 = rx1.recv_timeout(Duration::from_secs(60)).expect("frame 1");
-    let r2 = rx2.recv_timeout(Duration::from_secs(60)).expect("frame 2");
-    let r3 = rx3.recv_timeout(Duration::from_secs(60)).expect("frame 3");
+    let r1 = rx1
+        .recv_timeout(Duration::from_secs(60))
+        .expect("frame 1")
+        .into_frame()
+        .expect("a frame");
+    let r2 = rx2
+        .recv_timeout(Duration::from_secs(60))
+        .expect("frame 2")
+        .into_frame()
+        .expect("a frame");
+    let r3 = rx3
+        .recv_timeout(Duration::from_secs(60))
+        .expect("frame 3")
+        .into_frame()
+        .expect("a frame");
     assert_eq!((r1.width, r1.height), (64, 64));
     // The quantized image still carries structure.
     assert!(r1.to_image().coverage() > 0.0);
@@ -362,7 +389,11 @@ fn remote_client_renders_over_tcp() {
     let rx = other
         .render_interactive(ActionId(9), DatasetId(0), frame(0.15))
         .unwrap();
-    let warm = rx.recv_timeout(Duration::from_secs(60)).expect("frame");
+    let warm = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("frame")
+        .into_frame()
+        .expect("a frame");
     assert_eq!(warm.cache_misses, 0, "dataset 0 fully cached by now");
 
     drop(client);

@@ -74,7 +74,8 @@ fn killed_node_loses_no_frames() {
         for _ in 0..8 {
             let result = rx
                 .recv_timeout(Duration::from_secs(60))
-                .expect("every frame survives the fault");
+                .expect("every frame survives the fault")
+                .expect_frame();
             assert!(result
                 .image
                 .pixels

@@ -34,7 +34,7 @@ use vizsched_core::memory::EvictionPolicy;
 use vizsched_core::sched::{Assignment, Trigger};
 use vizsched_core::time::{SimDuration, SimTime};
 use vizsched_metrics::RunRecord;
-use vizsched_runtime::{Completion, HeadRuntime, Substrate};
+use vizsched_runtime::{Admission, Completion, HeadRuntime, OverloadStats, Substrate};
 
 /// A fault-injection event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -156,6 +156,9 @@ pub struct SimOutcome {
     pub node_stats: Vec<NodeStats>,
     /// Jobs that never completed (should be zero unless nodes stayed down).
     pub incomplete_jobs: usize,
+    /// Admission-control counters (all zero unless the run sets an
+    /// [`OverloadPolicy`](vizsched_runtime::OverloadPolicy)).
+    pub overload: OverloadStats,
 }
 
 /// A workload replayer for one configuration.
@@ -222,6 +225,7 @@ impl Simulation {
             }
         };
         let mut engine = Engine::new(&config, catalog, scheduler, &opts.label, opts.probe);
+        engine.runtime.set_overload_policy(opts.overload);
         for (chunk, estimate) in opts.initial_estimates {
             engine.runtime.tables_mut().estimate.record(chunk, estimate);
         }
@@ -430,9 +434,12 @@ impl<'a> Engine<'a> {
 
     fn on_arrival(&mut self, job: Job) {
         let now = self.sub.now;
-        if !self.runtime.on_job_arrival(&mut self.sub, now, job) {
-            let trigger = self.runtime.trigger();
-            self.sub.arm_tick(trigger);
+        match self.runtime.on_job_arrival(&mut self.sub, now, job) {
+            Admission::Buffered { .. } => {
+                let trigger = self.runtime.trigger();
+                self.sub.arm_tick(trigger);
+            }
+            Admission::Scheduled | Admission::Rejected(_) => {}
         }
     }
 
@@ -541,6 +548,7 @@ impl<'a> Engine<'a> {
             trace: self.sub.trace,
             node_stats,
             incomplete_jobs: outcome.incomplete_jobs,
+            overload: outcome.overload,
         }
     }
 }

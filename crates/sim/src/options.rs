@@ -32,6 +32,7 @@ use vizsched_core::memory::EvictionPolicy;
 use vizsched_core::sched::{Scheduler, SchedulerKind};
 use vizsched_core::time::{SimDuration, SimTime};
 use vizsched_metrics::{NoopProbe, Probe};
+use vizsched_runtime::OverloadPolicy;
 
 /// The policy a run executes: a named kind (built against the effective
 /// cycle `ω`) or a pre-built instance (parameter ablations).
@@ -68,6 +69,7 @@ pub struct RunOptions {
     pub(crate) seed: Option<u64>,
     pub(crate) initial_estimates: Vec<(ChunkId, SimDuration)>,
     pub(crate) catalog: Option<Catalog>,
+    pub(crate) overload: OverloadPolicy,
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -86,6 +88,7 @@ impl std::fmt::Debug for RunOptions {
             .field("seed", &self.seed)
             .field("initial_estimates", &self.initial_estimates.len())
             .field("catalog_override", &self.catalog.is_some())
+            .field("overload", &self.overload)
             .finish()
     }
 }
@@ -117,6 +120,7 @@ impl RunOptions {
             seed: None,
             initial_estimates: Vec::new(),
             catalog: None,
+            overload: OverloadPolicy::default(),
         }
     }
 
@@ -198,6 +202,15 @@ impl RunOptions {
     /// of a live `ChunkStore` for simulator-vs-service parity checks.
     pub fn catalog(mut self, catalog: Catalog) -> Self {
         self.catalog = Some(catalog);
+        self
+    }
+
+    /// Apply an overload-control policy to the head runtime for this run:
+    /// admission caps, per-job deadlines, stale-frame coalescing, and batch
+    /// anti-starvation escalation. The default (inactive) policy admits
+    /// everything, preserving historical behavior bit-for-bit.
+    pub fn overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
         self
     }
 

@@ -2,15 +2,18 @@
 //!
 //! Seeded multi-user workload generation for vizsched experiments:
 //! interactive action streams (a render request every 30 ms per active
-//! user) mixed with batch submissions, and the four scenario
-//! configurations of the paper's Table II.
+//! user) mixed with batch submissions, the four scenario configurations of
+//! the paper's Table II, and overload-burst overlays for admission-control
+//! experiments.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod arrival;
+pub mod burst;
 pub mod generator;
 pub mod scenario;
 
+pub use burst::{BurstSpec, BURST_ACTION_OFFSET, BURST_USER_OFFSET};
 pub use generator::{ActionBehavior, BatchModel, DatasetChoice, InteractiveModel, WorkloadSpec};
 pub use scenario::Scenario;

@@ -85,7 +85,8 @@ fn main() {
     for (u, step, rx) in receivers {
         let result = rx
             .recv_timeout(Duration::from_secs(60))
-            .expect("interactive frame");
+            .expect("interactive frame")
+            .expect_frame();
         if step == 7 {
             let path = format!("service-user{u}-{}.ppm", names[u]);
             result

@@ -57,7 +57,9 @@ fn main() {
     for (i, rx) in receivers.into_iter().enumerate() {
         let resp = rx
             .recv_timeout(Duration::from_secs(60))
-            .expect("frame over tcp");
+            .expect("frame over tcp")
+            .into_frame()
+            .expect("a frame");
         println!(
             "frame {i}: {}x{} px, latency {}, {} misses, {} KiB on the wire",
             resp.width,

@@ -1,0 +1,78 @@
+//! The smallest complete remote deployment: materialize a dataset, start
+//! the service with an overload policy, expose it over TCP, and render
+//! three frames from a remote client — with the retry helper absorbing
+//! any transient `Overloaded` verdicts. This is the README's TCP
+//! quickstart, compiled and run by the CI docs job.
+//!
+//! ```text
+//! cargo run --release -p vizsched-integration --example tcp_quickstart
+//! ```
+
+use std::sync::Arc;
+use vizsched_core::ids::{ActionId, DatasetId, UserId};
+use vizsched_core::job::FrameParams;
+use vizsched_service::{
+    ChunkStore, OverloadPolicy, RemoteClient, ServiceConfig, StoreDataset, TcpServer, VizService,
+};
+use vizsched_volume::Field;
+
+fn main() {
+    // 1. A dataset on disk, bricked into one chunk per render node.
+    let root = std::env::temp_dir().join(format!("vizsched-tcp-{}", std::process::id()));
+    let store = ChunkStore::create(
+        &root,
+        &[StoreDataset {
+            field: Field::Plume,
+            dims: [32, 32, 64],
+            bricks: 4,
+        }],
+    )
+    .expect("store");
+
+    // 2. The service: 4 render-node threads, Algorithm 1 on the head,
+    //    bounded admission with stale-frame coalescing.
+    let policy = OverloadPolicy {
+        max_in_flight: Some(16),
+        coalesce_interactive: true,
+        ..OverloadPolicy::default()
+    };
+    let service = VizService::start(
+        ServiceConfig::default()
+            .nodes(4)
+            .image_size(64, 64)
+            .overload(policy),
+        Arc::new(store),
+    );
+
+    // 3. A real socket in front of it.
+    let server = TcpServer::start("127.0.0.1:0", service.request_sender()).expect("bind");
+    println!("vizsched listening on {}", server.addr());
+
+    // 4. A remote user orbits the camera; retries ride out overload.
+    let client = RemoteClient::connect(server.addr(), UserId(0)).expect("connect");
+    for i in 0..3 {
+        let frame = FrameParams {
+            azimuth: i as f32 * 0.4,
+            ..FrameParams::default()
+        };
+        let resp = client
+            .render_interactive_with_retry(ActionId(0), DatasetId(0), frame, 10)
+            .expect("submit");
+        let frame = resp.into_frame().expect("a rendered frame");
+        println!(
+            "frame {i}: {}x{} px, latency {}",
+            frame.width, frame.height, frame.latency
+        );
+    }
+
+    drop(client);
+    server.stop();
+    let stats = service.drain_and_shutdown();
+    println!(
+        "served {} jobs ({} admitted, {} shed)",
+        stats.jobs_completed,
+        stats.overload.admitted,
+        stats.overload.shed()
+    );
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -131,16 +131,32 @@ pub fn tick(period: Duration) -> Receiver<Instant> {
     let (tx, rx) = bounded::<Instant>(1);
     std::thread::spawn(move || loop {
         std::thread::sleep(period);
-        if matches!(tx.try_send(Instant::now()), Err(TrySendError::Disconnected)) {
+        if matches!(
+            tx.try_send(Instant::now()),
+            Err(TrySendError::Disconnected(_))
+        ) {
             break;
         }
     });
     rx
 }
 
-enum TrySendError {
-    Full,
-    Disconnected,
+/// Non-blocking send outcomes; both variants hand the message back.
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
 }
 
 impl<T> Sender<T> {
@@ -169,14 +185,20 @@ impl<T> Sender<T> {
         Ok(())
     }
 
-    fn try_send(&self, value: T) -> Result<(), TrySendError> {
+    /// Queue `value` without blocking: fails with [`TrySendError::Full`]
+    /// when a bounded channel is at capacity (handing the message back so
+    /// callers can shed it explicitly) and with
+    /// [`TrySendError::Disconnected`] when every receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
         let mut state = self.inner.lock();
         if state.receivers == 0 {
-            return Err(TrySendError::Disconnected);
+            drop(state);
+            return Err(TrySendError::Disconnected(value));
         }
         if let Some(cap) = state.cap {
             if state.queue.len() >= cap {
-                return Err(TrySendError::Full);
+                drop(state);
+                return Err(TrySendError::Full(value));
             }
         }
         state.queue.push_back(value);
@@ -439,6 +461,17 @@ mod tests {
         }
         handle.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_sheds_on_full_and_disconnect() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Docs-vs-code consistency: the DESIGN.md trace-schema table must cover
+//! every `TraceEvent` variant, and the top-level markdown documents must
+//! not carry dead intra-repo links. Run by the CI docs job.
+
+use std::path::{Path, PathBuf};
+use vizsched_metrics::TraceEvent;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(name: &str) -> String {
+    let path = repo_root().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Every serialized event tag must appear in DESIGN.md — the probe schema
+/// table is documented as complete, so adding a `TraceEvent` variant
+/// without documenting it fails here.
+#[test]
+fn design_md_documents_every_trace_event_variant() {
+    let design = read("DESIGN.md");
+    let missing: Vec<&str> = TraceEvent::TAGS
+        .iter()
+        .copied()
+        .filter(|tag| !design.contains(&format!("`{tag}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "DESIGN.md probe schema is missing trace event tags: {missing:?}"
+    );
+}
+
+/// The overload-policy section must name every policy knob and every
+/// admission counter, so renaming a field orphans the docs loudly.
+#[test]
+fn design_md_documents_the_overload_policy_surface() {
+    let design = read("DESIGN.md");
+    for name in [
+        "max_in_flight",
+        "max_per_user",
+        "deadline",
+        "coalesce_interactive",
+        "batch_escalation_age",
+        "admitted",
+        "rejected",
+        "coalesced",
+        "expired",
+        "escalated",
+    ] {
+        assert!(
+            design.contains(&format!("`{name}`")),
+            "DESIGN.md overload section does not mention `{name}`"
+        );
+    }
+}
+
+/// Markdown links of the form `[text](target)` in `body`, excluding
+/// images and code fences.
+fn markdown_links(body: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in body.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while let Some(open) = line[i..].find("](") {
+            let start = i + open + 2;
+            // Reject escaped/image links conservatively: `![alt](...)`
+            // is still a file reference worth checking, so keep it.
+            if let Some(close) = line[start..].find(')') {
+                links.push(line[start..start + close].to_string());
+                i = start + close + 1;
+            } else {
+                break;
+            }
+            if i >= bytes.len() {
+                break;
+            }
+        }
+    }
+    links
+}
+
+/// Intra-repo links in the top-level documents must resolve to files that
+/// exist; external links and pure fragments are out of scope (offline CI).
+#[test]
+fn top_level_docs_have_no_dead_intra_repo_links() {
+    let root = repo_root();
+    let mut dead = Vec::new();
+    for doc in ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"] {
+        for link in markdown_links(&read(doc)) {
+            let target = link.split_whitespace().next().unwrap_or("");
+            if target.is_empty()
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let path = target.split('#').next().unwrap_or(target);
+            if !root.join(path).exists() {
+                dead.push(format!("{doc}: ({link})"));
+            }
+        }
+    }
+    assert!(dead.is_empty(), "dead intra-repo links: {dead:?}");
+}

@@ -1,0 +1,291 @@
+//! Overload behavior of the *live* service stack: stale-frame coalescing
+//! under a request burst, per-user admission caps, bounded batch deferral,
+//! and the TCP boundary's `Overloaded` path with client-side retry.
+//!
+//! Timing note: the head's scheduling ticker free-runs, so a test that
+//! relies on "these requests land in the same cycle" uses a wide cycle
+//! (hundreds of ms) against a burst submitted in microseconds — the same
+//! construction as the sim/service parity tests.
+
+use std::sync::Arc;
+use std::time::Duration;
+use vizsched_core::prelude::*;
+use vizsched_metrics::{DropReason, RejectReason};
+use vizsched_service::{
+    ChunkStore, OverloadPolicy, RemoteClient, RenderOutcome, RenderReply, ServiceClient,
+    ServiceConfig, StoreDataset, TcpServer, VizService, WireResponse,
+};
+use vizsched_volume::Field;
+
+const NODES: usize = 4;
+const WIDE_CYCLE: SimDuration = SimDuration::from_millis(300);
+
+/// A policed live service over two small datasets that each brick into
+/// exactly `NODES` chunks (one interactive job occupies every node, which
+/// is what makes the ε gate defer a cold batch deterministically).
+fn overload_service(tag: &str, policy: OverloadPolicy) -> (VizService, std::path::PathBuf) {
+    let root = std::env::temp_dir().join(format!("vizsched-overload-{tag}-{}", std::process::id()));
+    let store = ChunkStore::create(
+        &root,
+        &[
+            StoreDataset {
+                field: Field::Shells,
+                dims: [16, 16, 32],
+                bricks: NODES,
+            },
+            StoreDataset {
+                field: Field::Plume,
+                dims: [16, 16, 32],
+                bricks: NODES,
+            },
+        ],
+    )
+    .expect("store");
+    let config = ServiceConfig::default()
+        .nodes(NODES)
+        .image_size(32, 32)
+        .cycle(WIDE_CYCLE)
+        .overload(policy);
+    (VizService::start(config, Arc::new(store)), root)
+}
+
+fn frame(azimuth: f32) -> FrameParams {
+    FrameParams {
+        azimuth,
+        ..FrameParams::default()
+    }
+}
+
+fn recv(rx: &crossbeam::channel::Receiver<RenderReply>, what: &str) -> RenderReply {
+    rx.recv_timeout(Duration::from_secs(60))
+        .unwrap_or_else(|e| panic!("{what}: no reply: {e}"))
+}
+
+/// A burst of same-action frames inside one cycle: only the newest
+/// renders, every older one is superseded; a batch submitted alongside is
+/// exempt from coalescing, gets deferred by the ε gate, escalates under
+/// the zero anti-starvation age, and completes with a bounded start delay.
+#[test]
+fn burst_coalesces_stale_frames_and_admitted_batch_completes() {
+    let policy = OverloadPolicy {
+        coalesce_interactive: true,
+        batch_escalation_age: Some(SimDuration::ZERO),
+        ..OverloadPolicy::default()
+    };
+    let (service, root) = overload_service("burst", policy);
+    let user = ServiceClient::new(UserId(0), service.request_sender());
+    let batch_user = ServiceClient::new(UserId(1), service.request_sender());
+
+    // Six frames of one camera drag, submitted without waiting — far
+    // faster than any cycle. Then a three-frame batch over the other
+    // (cold) dataset.
+    let receivers: Vec<_> = (0..6)
+        .map(|i| user.render_interactive(ActionId(0), DatasetId(0), frame(0.1 * i as f32)))
+        .collect();
+    let batch_frames: Vec<FrameParams> = (0..3).map(|i| frame(1.0 + 0.2 * i as f32)).collect();
+    let batch_rx = batch_user.render_batch(BatchId(0), DatasetId(1), &batch_frames);
+
+    let replies: Vec<RenderReply> = receivers
+        .iter()
+        .map(|rx| recv(rx, "interactive burst"))
+        .collect();
+    for (i, reply) in replies.iter().enumerate().take(5) {
+        assert!(
+            matches!(
+                reply.outcome,
+                RenderOutcome::Dropped(DropReason::Superseded)
+            ),
+            "frame {i} should be superseded, got {:?}",
+            reply.outcome
+        );
+    }
+    replies[5].clone().expect_frame();
+    for i in 0..batch_frames.len() {
+        recv(&batch_rx, "batch frame").expect_frame();
+        let _ = i;
+    }
+
+    let stats = service.drain_and_shutdown();
+    assert_eq!(stats.overload.admitted, 9, "6 interactive + 3 batch");
+    assert_eq!(stats.overload.coalesced, 5);
+    assert_eq!(stats.overload.rejected, 0);
+    assert_eq!(stats.overload.expired, 0);
+    assert_eq!(
+        stats.overload.escalated, 3,
+        "the cold batch defers behind the interactive pass, then the zero \
+         age escalates all three jobs"
+    );
+    assert_eq!(stats.jobs_completed, 4, "1 surviving frame + 3 batch");
+
+    // Admission is a promise: every admitted batch job completes, and its
+    // start delay is bounded by the escalation age (zero) plus a few
+    // cycles of dispatch slack on the wall clock.
+    let bound = SimDuration::from_millis(5 * 300);
+    for job in stats.record.batch_jobs() {
+        assert!(job.is_complete(), "batch job {:?} incomplete", job.id);
+        let start = job.timing.start.expect("batch job started");
+        let delay = start - job.timing.issue;
+        assert!(
+            delay <= bound,
+            "batch job {:?} start delay {} exceeds bound {}",
+            job.id,
+            delay,
+            bound
+        );
+    }
+    std::fs::remove_dir_all(root).ok();
+}
+
+/// Per-user caps shed the flooding user's excess frames without touching
+/// a well-behaved neighbor.
+#[test]
+fn per_user_cap_rejects_the_flooder_not_the_neighbor() {
+    let policy = OverloadPolicy {
+        max_per_user: Some(2),
+        ..OverloadPolicy::default()
+    };
+    let (service, root) = overload_service("usercap", policy);
+    let flooder = ServiceClient::new(UserId(0), service.request_sender());
+    let neighbor = ServiceClient::new(UserId(1), service.request_sender());
+
+    // Ten frames of *distinct* actions (so coalescing can't thin them)
+    // from one user, then a single frame from another user, all inside
+    // one wide cycle.
+    let flood: Vec<_> = (0..10)
+        .map(|i| flooder.render_interactive(ActionId(i), DatasetId(0), frame(0.1 * i as f32)))
+        .collect();
+    let neighbor_rx = neighbor.render_interactive(ActionId(100), DatasetId(1), frame(0.9));
+
+    let replies: Vec<RenderReply> = flood.iter().map(|rx| recv(rx, "flood")).collect();
+    for (i, reply) in replies.iter().enumerate() {
+        if i < 2 {
+            assert!(
+                matches!(reply.outcome, RenderOutcome::Frame(_)),
+                "frame {i} is under the cap, got {:?}",
+                reply.outcome
+            );
+        } else {
+            assert!(
+                matches!(
+                    reply.outcome,
+                    RenderOutcome::Rejected(RejectReason::UserCap)
+                ),
+                "frame {i} is over the cap, got {:?}",
+                reply.outcome
+            );
+        }
+    }
+    recv(&neighbor_rx, "neighbor frame").expect_frame();
+
+    let stats = service.drain_and_shutdown();
+    assert_eq!(stats.overload.admitted, 3);
+    assert_eq!(stats.overload.rejected, 8);
+    assert_eq!(stats.jobs_completed, 3);
+    std::fs::remove_dir_all(root).ok();
+}
+
+/// The TCP boundary: a full admission queue answers `Overloaded
+/// (QueueFull)` instead of blocking the socket, and the client-side retry
+/// helper surfaces the verdict once its retries are exhausted. The server
+/// feeds a one-slot queue that nothing drains, so the outcome is
+/// deterministic.
+#[test]
+fn tcp_boundary_answers_queue_full_when_admission_queue_is_full() {
+    let (tx, rx) = crossbeam::channel::bounded(1);
+    let server = TcpServer::start("127.0.0.1:0", tx).expect("bind");
+    let client = RemoteClient::connect(server.addr(), UserId(0)).expect("connect");
+
+    // The first request occupies the single queue slot (nobody serves
+    // it); the second must be refused at the boundary.
+    let _parked = client
+        .render_interactive(ActionId(0), DatasetId(0), frame(0.1))
+        .expect("submit");
+    let refused = client
+        .render_interactive(ActionId(0), DatasetId(0), frame(0.2))
+        .expect("submit")
+        .recv_timeout(Duration::from_secs(30))
+        .expect("a verdict");
+    assert!(
+        matches!(
+            refused,
+            WireResponse::Overloaded {
+                reason: RejectReason::QueueFull,
+                ..
+            }
+        ),
+        "expected QueueFull, got {refused:?}"
+    );
+
+    // The retry helper backs off and resubmits; with the queue still
+    // full it must hand back the final Overloaded verdict, not hang.
+    let exhausted = client
+        .render_interactive_with_retry(ActionId(0), DatasetId(0), frame(0.3), 2)
+        .expect("submit");
+    assert!(
+        matches!(
+            exhausted,
+            WireResponse::Overloaded {
+                reason: RejectReason::QueueFull,
+                ..
+            }
+        ),
+        "expected exhausted retries to surface QueueFull, got {exhausted:?}"
+    );
+
+    drop(client);
+    server.stop();
+    drop(rx);
+}
+
+/// End-to-end over TCP against a real policed service: a flood of
+/// distinct-action frames hits the global in-flight cap, the excess is
+/// answered `Overloaded`, and a retrying client eventually gets its frame
+/// once the in-flight work drains.
+#[test]
+fn tcp_retry_recovers_once_the_cap_drains() {
+    let policy = OverloadPolicy {
+        max_in_flight: Some(2),
+        ..OverloadPolicy::default()
+    };
+    let (service, root) = overload_service("tcpretry", policy);
+    let server = TcpServer::start("127.0.0.1:0", service.request_sender()).expect("bind");
+    let client = RemoteClient::connect(server.addr(), UserId(0)).expect("connect");
+
+    let receivers: Vec<_> = (0..8)
+        .map(|i| {
+            client
+                .render_interactive(ActionId(i), DatasetId(0), frame(0.1 * i as f32))
+                .expect("submit")
+        })
+        .collect();
+    let mut frames = 0;
+    let mut overloaded = 0;
+    for rx in &receivers {
+        match rx.recv_timeout(Duration::from_secs(60)).expect("a reply") {
+            WireResponse::Frame(_) => frames += 1,
+            WireResponse::Overloaded {
+                reason: RejectReason::GlobalCap,
+                ..
+            } => overloaded += 1,
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    assert_eq!(frames, 2, "the cap admits exactly two of the burst");
+    assert_eq!(overloaded, 6);
+
+    // A patient client retries past the transient rejections and renders.
+    let recovered = client
+        .render_interactive_with_retry(ActionId(99), DatasetId(1), frame(0.7), 50)
+        .expect("submit");
+    assert!(
+        recovered.into_frame().is_some(),
+        "retry must recover once the in-flight frames complete"
+    );
+
+    drop(client);
+    server.stop();
+    let stats = service.drain_and_shutdown();
+    assert_eq!(stats.jobs_completed, 3, "two burst frames + the retry");
+    assert!(stats.overload.rejected >= 6);
+    std::fs::remove_dir_all(root).ok();
+}
