@@ -1,0 +1,543 @@
+//! Connection-scaling benchmark of the live TCP service plane, with a
+//! machine-readable baseline for CI regression gating.
+//!
+//! Sweeps a {16, 128, 1024} connections × {1, 10, 30} fps grid against the
+//! event-driven plane ([`TcpServer::start_with`]) plus one cell against the
+//! retained thread-per-connection baseline ([`TcpServer::start_threaded`]),
+//! and reports p50/p99 frame latency and sustained throughput per cell.
+//! The head behind the socket is a synthetic responder that answers every
+//! request with a prebuilt 16×16 frame, so the numbers isolate the service
+//! plane itself — framing, socket I/O, buffer pooling, reply routing — not
+//! the renderer or the scheduler (those have their own benches).
+//!
+//! ```text
+//! cargo run --release -p vizsched-bench --bin service_scaling                 # print table
+//! cargo run --release -p vizsched-bench --bin service_scaling -- --json BENCH_service.json
+//! cargo run --release -p vizsched-bench --bin service_scaling -- \
+//!     --check BENCH_service.json --json bench-fresh.json --quick             # CI gate
+//! ```
+//!
+//! Load model: a paced **closed loop**. Every connection issues requests at
+//! the cell's target cadence but keeps at most one in flight, so an
+//! overloaded plane degrades into measured latency instead of an unbounded
+//! client-side queue (which would make p99 a function of run length, not of
+//! the plane). Throughput is the measured reply rate; `offered_rps` records
+//! the cadence the clients were trying to hit.
+//!
+//! `--check <path>` gates the largest grid point {1024 conns, 30 fps}: the
+//! run **fails** (exit 1) if its fresh p99 regresses more than 25 % over
+//! the committed baseline, or if the plane no longer sustains the full
+//! 1024-connection grid point (a dead connection, or under 99 % of
+//! connections served). The gate is absolute microseconds rather than a
+//! ratio against the threaded plane: thread-per-connection tail latency is
+//! a lottery of kernel scheduling (its p99 swings 100× run to run on a
+//! loaded core), so it is recorded for the record but useless as a
+//! denominator.
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use polling::{Events, Interest, Poller, Token};
+use vizsched_bench::json::{fmt_f64, obj, parse, Json};
+use vizsched_core::ids::{ActionId, DatasetId, JobId, UserId};
+use vizsched_core::job::{FrameParams, JobKind};
+use vizsched_core::time::SimDuration;
+use vizsched_render::RgbaImage;
+use vizsched_service::codec::TryRead;
+use vizsched_service::{
+    Codec, FrameResult, RenderOutcome, RenderReply, RenderRequest, TcpServer, WireMessage,
+    WireRequest,
+};
+
+const CONNS: [usize; 3] = [16, 128, 1024];
+const FPS: [u32; 3] = [1, 10, 30];
+/// The cell the thread-per-connection baseline is recorded at, and where
+/// the two planes are compared head-to-head: {128 conns, 10 fps}.
+const BASELINE_CELL: (usize, u32) = (128, 10);
+/// Synthetic responder threads draining the admission channel.
+const RESPONDERS: usize = 2;
+/// Edge length of the prebuilt reply frame (16×16 RGBA8 = 1 KiB payload).
+const FRAME_DIM: usize = 16;
+/// Fail `--check` when the largest-point p99 exceeds this multiple of
+/// the committed baseline (a >25 % regression).
+const TOLERANCE: f64 = 1.25;
+/// A cell sustains its grid point when no connection died and at least
+/// this fraction of connections completed a frame.
+const SUSTAIN_FRACTION: f64 = 0.99;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Plane {
+    Evented,
+    Threaded,
+}
+
+impl Plane {
+    fn as_str(self) -> &'static str {
+        match self {
+            Plane::Evented => "evented",
+            Plane::Threaded => "threaded",
+        }
+    }
+}
+
+struct Cell {
+    plane: Plane,
+    conns: usize,
+    fps: u32,
+    samples: usize,
+    p50_us: f64,
+    p99_us: f64,
+    throughput_rps: f64,
+    offered_rps: f64,
+    conns_served: usize,
+    dead_conns: usize,
+}
+
+impl Cell {
+    fn sustained(&self) -> bool {
+        self.dead_conns == 0
+            && self.samples > 0
+            && self.conns_served as f64 >= SUSTAIN_FRACTION * self.conns as f64
+    }
+}
+
+/// One client connection driven by the bench's own poller loop.
+struct Conn {
+    stream: TcpStream,
+    codec: Codec,
+    next_send: Instant,
+    sent_at: Instant,
+    in_flight: bool,
+    alive: bool,
+    seq: u64,
+    received: u64,
+}
+
+/// Answer every admission-channel request with a clone of one prebuilt
+/// frame — the cheapest head the plane can sit in front of.
+fn spawn_responders(
+    rx: crossbeam::channel::Receiver<RenderRequest>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let image = Arc::new(RgbaImage::transparent(FRAME_DIM, FRAME_DIM));
+    (0..RESPONDERS)
+        .map(|_| {
+            let rx = rx.clone();
+            let image = image.clone();
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                while let Ok(req) = rx.recv() {
+                    served += 1;
+                    let reply = RenderReply {
+                        correlation: req.correlation,
+                        outcome: RenderOutcome::Frame(FrameResult {
+                            job: JobId(served),
+                            image: image.clone(),
+                            latency: SimDuration::from_millis(1),
+                            cache_misses: 0,
+                        }),
+                    };
+                    let _ = req.reply.send(reply);
+                }
+            })
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn run_cell(plane: Plane, conns: usize, fps: u32, warmup: Duration, measure: Duration) -> Cell {
+    let (tx, rx) = crossbeam::channel::unbounded::<RenderRequest>();
+    let server = match plane {
+        Plane::Evented => TcpServer::start_with("127.0.0.1:0", tx, conns).expect("bind"),
+        Plane::Threaded => TcpServer::start_threaded("127.0.0.1:0", tx, conns).expect("bind"),
+    };
+    let responders = spawn_responders(rx);
+    let addr = server.addr();
+
+    let poller = Poller::new().expect("poller");
+    let mut clients: Vec<Conn> = (0..conns)
+        .map(|i| {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).ok();
+            stream.set_nonblocking(true).expect("nonblocking");
+            poller
+                .register(&stream, Token(i), Interest::READABLE)
+                .expect("register");
+            Conn {
+                stream,
+                codec: Codec::new(),
+                next_send: Instant::now(),
+                sent_at: Instant::now(),
+                in_flight: false,
+                alive: true,
+                seq: 0,
+                received: 0,
+            }
+        })
+        .collect();
+
+    let period = Duration::from_secs_f64(1.0 / fps as f64);
+    let start = Instant::now();
+    let measure_start = start + warmup;
+    let end = measure_start + measure;
+    // Stagger first sends uniformly over one period so 1024 connections
+    // don't open the cell with a synchronized burst no real fleet produces.
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.next_send = start + period.mul_f64(i as f64 / conns as f64);
+    }
+
+    let mut encoder = Codec::new();
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(1 << 16);
+    let mut events = Events::with_capacity(1024);
+    let mut dead = 0usize;
+
+    loop {
+        let now = Instant::now();
+        if now >= end {
+            break;
+        }
+
+        // Issue every due request (closed loop: skip conns with one in
+        // flight — they reschedule when the reply lands).
+        for (i, c) in clients.iter_mut().enumerate() {
+            if !c.alive || c.in_flight || c.next_send > now {
+                continue;
+            }
+            c.seq += 1;
+            let req = WireRequest {
+                request_id: c.seq,
+                user: UserId(i as u32),
+                kind: JobKind::Interactive {
+                    user: UserId(i as u32),
+                    action: ActionId(i as u64),
+                },
+                dataset: DatasetId(0),
+                frame: FrameParams {
+                    azimuth: (c.seq % 628) as f32 * 0.01,
+                    ..FrameParams::default()
+                },
+            };
+            let encoded = encoder.encode(&WireMessage::Request(req));
+            match write_all(&c.stream, &encoded.head) {
+                Ok(()) => {
+                    c.in_flight = true;
+                    c.sent_at = now;
+                }
+                Err(_) => {
+                    c.alive = false;
+                    dead += 1;
+                    poller.deregister(&c.stream).ok();
+                }
+            }
+        }
+
+        let next_due = clients
+            .iter()
+            .filter(|c| c.alive && !c.in_flight)
+            .map(|c| c.next_send)
+            .min()
+            .unwrap_or(end)
+            .min(end);
+        let timeout = next_due.saturating_duration_since(Instant::now());
+        poller.poll(&mut events, Some(timeout)).expect("poll");
+
+        let now = Instant::now();
+        for ev in events.iter() {
+            let idx = ev.token().0;
+            let c = &mut clients[idx];
+            if !c.alive {
+                continue;
+            }
+            loop {
+                let mut reader = &c.stream;
+                match c.codec.try_read(&mut reader) {
+                    Ok(TryRead::Message(WireMessage::Response(resp))) => {
+                        debug_assert_eq!(resp.request_id(), c.seq);
+                        c.in_flight = false;
+                        c.received += 1;
+                        if now >= measure_start && c.sent_at >= measure_start {
+                            latencies_us.push(now.duration_since(c.sent_at).as_secs_f64() * 1e6);
+                        }
+                        // Pace the next frame off the schedule, not the
+                        // reply: a slow reply costs its tick, it does not
+                        // compress the following interval.
+                        c.next_send = (c.next_send + period).max(now);
+                    }
+                    Ok(TryRead::Message(WireMessage::Request(_))) => {}
+                    Ok(TryRead::Pending) => break,
+                    Ok(TryRead::Closed) | Err(_) => {
+                        c.alive = false;
+                        dead += 1;
+                        poller.deregister(&c.stream).ok();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let conns_served = clients.iter().filter(|c| c.received > 0).count();
+    drop(clients);
+    server.stop();
+    for handle in responders {
+        handle.join().expect("responder");
+    }
+
+    latencies_us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    Cell {
+        plane,
+        conns,
+        fps,
+        samples: latencies_us.len(),
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+        throughput_rps: latencies_us.len() as f64 / measure.as_secs_f64(),
+        offered_rps: conns as f64 * fps as f64,
+        conns_served,
+        dead_conns: dead,
+    }
+}
+
+/// Write a whole buffer to a non-blocking socket; requests are tiny
+/// (~60 B), so `WouldBlock` is a rare momentary condition worth spinning
+/// through rather than plumbing a client-side outbox for.
+fn write_all(stream: &TcpStream, mut buf: &[u8]) -> io::Result<()> {
+    let mut w = stream;
+    while !buf.is_empty() {
+        match w.write(buf) {
+            Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::yield_now(),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn run_grid(quick: bool, warmup: Duration, measure: Duration) -> Vec<Cell> {
+    let grid: Vec<(Plane, usize, u32)> = if quick {
+        vec![
+            (Plane::Evented, BASELINE_CELL.0, BASELINE_CELL.1),
+            (Plane::Evented, 1024, 30),
+            (Plane::Threaded, BASELINE_CELL.0, BASELINE_CELL.1),
+        ]
+    } else {
+        let mut grid: Vec<_> = CONNS
+            .iter()
+            .flat_map(|&c| FPS.iter().map(move |&f| (Plane::Evented, c, f)))
+            .collect();
+        grid.push((Plane::Threaded, BASELINE_CELL.0, BASELINE_CELL.1));
+        grid
+    };
+
+    grid.into_iter()
+        .map(|(plane, conns, fps)| {
+            let cell = run_cell(plane, conns, fps, warmup, measure);
+            eprintln!(
+                "  {:>8} conns={conns:>4} fps={fps:>2}: p50 {:>9.1} us  p99 {:>9.1} us  \
+                 {:>8.1}/{:<8.1} rps  served {}/{}",
+                plane.as_str(),
+                cell.p50_us,
+                cell.p99_us,
+                cell.throughput_rps,
+                cell.offered_rps,
+                cell.conns_served,
+                conns,
+            );
+            cell
+        })
+        .collect()
+}
+
+fn find(cells: &[Cell], plane: Plane, conns: usize, fps: u32) -> &Cell {
+    cells
+        .iter()
+        .find(|c| c.plane == plane && c.conns == conns && c.fps == fps)
+        .unwrap_or_else(|| panic!("missing cell {} {conns}x{fps}", plane.as_str()))
+}
+
+/// The largest evented grid point present (max conns, then max fps).
+fn largest(cells: &[Cell]) -> &Cell {
+    cells
+        .iter()
+        .filter(|c| c.plane == Plane::Evented)
+        .max_by_key(|c| (c.conns, c.fps))
+        .expect("at least one evented cell")
+}
+
+fn to_json(cells: &[Cell], warmup: Duration, measure: Duration) -> Json {
+    let big = largest(cells);
+    let threaded = find(cells, Plane::Threaded, BASELINE_CELL.0, BASELINE_CELL.1);
+    let evented = find(cells, Plane::Evented, BASELINE_CELL.0, BASELINE_CELL.1);
+    obj([
+        (
+            "schema",
+            Json::Str("vizsched-bench/service_scaling/v1".into()),
+        ),
+        (
+            "config",
+            obj([
+                ("warmup_secs", Json::Num(warmup.as_secs_f64())),
+                ("measure_secs", Json::Num(measure.as_secs_f64())),
+                ("frame_dim", Json::Num(FRAME_DIM as f64)),
+                ("responders", Json::Num(RESPONDERS as f64)),
+                ("sustain_fraction", Json::Num(SUSTAIN_FRACTION)),
+            ]),
+        ),
+        (
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        obj([
+                            ("plane", Json::Str(c.plane.as_str().into())),
+                            ("conns", Json::Num(c.conns as f64)),
+                            ("fps", Json::Num(c.fps as f64)),
+                            ("samples", Json::Num(c.samples as f64)),
+                            ("p50_us", Json::Num(c.p50_us)),
+                            ("p99_us", Json::Num(c.p99_us)),
+                            ("throughput_rps", Json::Num(c.throughput_rps)),
+                            ("offered_rps", Json::Num(c.offered_rps)),
+                            ("conns_served", Json::Num(c.conns_served as f64)),
+                            ("dead_conns", Json::Num(c.dead_conns as f64)),
+                            ("sustained", Json::Bool(c.sustained())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "summary",
+            obj([
+                ("largest_conns", Json::Num(big.conns as f64)),
+                ("largest_fps", Json::Num(big.fps as f64)),
+                ("p99_largest_us", Json::Num(big.p99_us)),
+                ("sustained_largest", Json::Bool(big.sustained())),
+                ("evented_p99_baseline_us", Json::Num(evented.p99_us)),
+                ("threaded_p99_baseline_us", Json::Num(threaded.p99_us)),
+                (
+                    "evented_vs_threaded_p99",
+                    Json::Num(evented.p99_us / threaded.p99_us),
+                ),
+                (
+                    "normalized_p99_largest",
+                    Json::Num(big.p99_us / threaded.p99_us),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn print_table(cells: &[Cell]) {
+    println!("== service_scaling: live plane latency under a paced closed loop ==\n");
+    println!(
+        "{:>8} {:>6} {:>4} {:>8} {:>11} {:>11} {:>10} {:>10} {:>9}",
+        "plane", "conns", "fps", "samples", "p50 us", "p99 us", "rps", "offered", "sustained"
+    );
+    for c in cells {
+        println!(
+            "{:>8} {:>6} {:>4} {:>8} {:>11.1} {:>11.1} {:>10.1} {:>10.1} {:>9}",
+            c.plane.as_str(),
+            c.conns,
+            c.fps,
+            c.samples,
+            c.p50_us,
+            c.p99_us,
+            c.throughput_rps,
+            c.offered_rps,
+            if c.sustained() { "yes" } else { "NO" },
+        );
+    }
+}
+
+/// Pull the gate inputs out of a baseline document.
+fn summary_metrics(doc: &Json) -> Result<(f64, bool), String> {
+    let summary = doc.get("summary").ok_or("baseline missing 'summary'")?;
+    let p99 = summary
+        .get("p99_largest_us")
+        .and_then(Json::as_f64)
+        .ok_or("baseline missing 'summary.p99_largest_us'")?;
+    let sustained = summary
+        .get("sustained_largest")
+        .and_then(Json::as_bool)
+        .ok_or("baseline missing 'summary.sustained_largest'")?;
+    Ok((p99, sustained))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_path = arg_value("--json");
+    let check_path = arg_value("--check");
+    let quick = args.iter().any(|a| a == "--quick");
+    let measure = Duration::from_secs_f64(
+        arg_value("--measure-secs")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(if quick { 2.0 } else { 4.0 }),
+    );
+    let warmup = Duration::from_secs_f64(if quick { 0.5 } else { 1.0 });
+
+    eprintln!(
+        "service_scaling: {} grid, warmup {:.1}s + measure {:.1}s per cell",
+        if quick { "quick" } else { "full" },
+        warmup.as_secs_f64(),
+        measure.as_secs_f64()
+    );
+    let cells = run_grid(quick, warmup, measure);
+    print_table(&cells);
+    let doc = to_json(&cells, warmup, measure);
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, doc.pretty()).expect("write json output");
+        println!("\n(wrote {path})");
+    }
+
+    let Some(path) = check_path else { return };
+    let committed =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+    let (base_p99, base_sustained) =
+        summary_metrics(&parse(&committed).expect("baseline parses as JSON"))
+            .expect("baseline has summary metrics");
+    let (fresh_p99, fresh_sustained) =
+        summary_metrics(&doc).expect("fresh document has summary metrics");
+
+    println!("\n== regression check vs {path} (tolerance: {TOLERANCE}x committed) ==");
+    let ceiling = base_p99 * TOLERANCE;
+    println!(
+        "  largest-point p99: fresh {} us vs committed {} us (ceiling {})",
+        fmt_f64(fresh_p99),
+        fmt_f64(base_p99),
+        fmt_f64(ceiling),
+    );
+    println!(
+        "  largest grid point sustained: fresh {fresh_sustained} vs committed {base_sustained}"
+    );
+    let mut failed = false;
+    if fresh_p99 > ceiling {
+        eprintln!("service_scaling: p99 regression at the largest grid point beyond tolerance");
+        failed = true;
+    }
+    if !fresh_sustained {
+        eprintln!("service_scaling: the plane no longer sustains the largest grid point");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  no regression");
+}

@@ -21,6 +21,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod codec;
 pub mod head;
 pub mod node;
 pub mod protocol;
@@ -29,27 +30,29 @@ pub mod tcp;
 pub mod wire;
 
 pub use client::ServiceClient;
+pub use codec::{BufferPool, Codec, CodecStats};
 pub use head::{ServiceConfig, ServiceStats, VizService};
 pub use protocol::{
     FrameResult, RenderOutcome, RenderReply, RenderRequest, RenderTask, TaskDone, ToHead, ToNode,
 };
 pub use storage::{ChunkStore, StoreDataset};
-pub use tcp::{RemoteClient, TcpServer};
+pub use tcp::{ClientOptions, RemoteClient, TcpServer};
 pub use vizsched_runtime::{OverloadPolicy, OverloadStats};
-pub use wire::{WireFrame, WireResponse};
+pub use wire::{WireFrame, WireMessage, WireRequest, WireResponse};
 
 /// The one-line import for service experiments: assembly, client, storage,
 /// the full protocol surface, and the probe machinery the head reports to.
 pub mod prelude {
     pub use crate::client::ServiceClient;
+    pub use crate::codec::{Codec, CodecStats};
     pub use crate::head::{ServiceConfig, ServiceStats, VizService};
     pub use crate::protocol::{
         FrameResult, RenderOutcome, RenderReply, RenderRequest, RenderTask, TaskDone, ToHead,
         ToNode,
     };
     pub use crate::storage::{ChunkStore, StoreDataset};
-    pub use crate::tcp::{RemoteClient, TcpServer};
-    pub use crate::wire::{WireFrame, WireResponse};
+    pub use crate::tcp::{ClientOptions, RemoteClient, TcpServer};
+    pub use crate::wire::{WireFrame, WireMessage, WireRequest, WireResponse};
     pub use vizsched_metrics::{
         CollectingProbe, DropReason, JsonlProbe, NoopProbe, Probe, RejectReason, TraceEvent,
     };

@@ -1,53 +1,94 @@
 //! Remote access over TCP: a thin network front on the visualization
 //! service, plus the matching client. This is the paper's deployment shape
 //! — users at workstations, the rendering cluster elsewhere — with the
-//! wire protocol of [`crate::wire`].
+//! wire protocol of [`crate::wire`] framed by [`crate::codec::Codec`].
 //!
-//! The server accepts up to a bounded number of concurrent connections
-//! (excess connections are closed immediately); each connection may
-//! pipeline any number of requests, correlated by client-chosen request
-//! ids. Responses return in completion order. The accept loop blocks in
-//! `accept(2)` — no polling — and [`TcpServer::stop`] wakes it with a
-//! loopback connection.
+//! ## Server
 //!
-//! Overload behavior: each connection submits into the service's bounded
+//! [`TcpServer::start`] runs an **event-driven** service plane: one thread,
+//! a readiness poller (`polling` — epoll on Linux), and non-blocking
+//! sockets. Each connection owns a [`Codec`] whose pooled buffers are
+//! reused frame-to-frame, requests from many users multiplex over one
+//! connection (correlated by client-chosen request ids), and responses are
+//! queued per-connection and written with vectored I/O as the socket
+//! drains. [`TcpServer::start_threaded`] keeps the original
+//! thread-per-connection plane as a measured baseline — same protocol,
+//! same overload behavior, two OS threads per connection.
+//!
+//! Overload behavior (both planes): requests enter the service's bounded
 //! admission queue with a non-blocking send; when the queue is full the
 //! request is answered with [`WireResponse::Overloaded`] right at the
-//! boundary instead of stalling the socket. Requests shed further in —
-//! by the head's in-flight caps, stale-frame coalescing, or deadline
-//! expiry — come back as `Overloaded` or [`WireResponse::Expired`], and
-//! [`RemoteClient::render_interactive_with_retry`] resubmits those with
-//! exponential backoff.
+//! boundary instead of stalling the socket. Requests shed further in — by
+//! the head's in-flight caps, stale-frame coalescing, or deadline expiry —
+//! come back as `Overloaded` or [`WireResponse::Expired`]. The evented
+//! plane adds one more shedding point: a connection whose client stops
+//! reading accumulates queued responses, and past
+//! [`MAX_OUTBOX_BYTES`] the connection is closed rather than letting a
+//! slow consumer grow server memory without bound.
+//!
+//! ## Client
+//!
+//! [`RemoteClient`] connects with builder-style [`ClientOptions`] —
+//! retry/backoff on `Overloaded`, a per-call deadline, and a cap on
+//! in-flight requests — mirroring the `ServiceConfig` idiom. The blocking
+//! entry point is [`RemoteClient::render_interactive_blocking`]; the
+//! channel-returning [`RemoteClient::render_interactive`] remains for
+//! pipelined use. Dropping (or [`RemoteClient::close`]-ing) the client
+//! shuts the socket down and joins the reader thread; callers blocked on a
+//! response observe a connection error instead of hanging.
 
+use crate::codec::Codec;
 use crate::protocol::{RenderOutcome, RenderReply, RenderRequest};
-use crate::wire::{read_message, write_message, WireFrame, WireMessage, WireRequest, WireResponse};
-use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use crate::wire::{WireFrame, WireMessage, WireRequest, WireResponse};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use polling::{Events, Interest, Poller, Token, Waker};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vizsched_core::ids::{ActionId, BatchId, DatasetId, UserId};
 use vizsched_core::job::{FrameParams, JobKind};
 use vizsched_metrics::RejectReason;
 
-/// Default cap on concurrent connections for [`TcpServer::start`].
-pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+/// Default cap on concurrent connections for [`TcpServer::start`]. The
+/// evented plane spends a few kilobytes per idle connection, not two OS
+/// threads, so the default is sized for the paper's "many simultaneous
+/// users" regime.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
+
+/// Per-connection bound on queued-but-unwritten response bytes. A client
+/// that stops reading while frames keep completing would otherwise grow
+/// the server's send queue without limit; past this the connection is
+/// closed (slow-consumer shedding).
+pub const MAX_OUTBOX_BYTES: usize = 16 * 1024 * 1024;
+
+const TOKEN_LISTENER: Token = Token(0);
+const TOKEN_WAKER: Token = Token(1);
+/// Connection slot `s` registers under `Token(s + TOKEN_BASE)`.
+const TOKEN_BASE: usize = 2;
+
+/// Segments handed to one `write_vectored` call.
+const MAX_IOV: usize = 8;
 
 /// A TCP front on a running service.
 pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    /// `Some` for the evented plane (stop wakes the poller); `None` for
+    /// the threaded plane (stop wakes `accept` with a loopback connect).
+    waker: Option<Arc<Waker>>,
+    thread: Option<JoinHandle<()>>,
 }
 
 impl TcpServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and serve requests
-    /// into the given service endpoint, allowing up to
-    /// [`DEFAULT_MAX_CONNECTIONS`] concurrent connections.
+    /// into the given service endpoint with the event-driven plane,
+    /// allowing up to [`DEFAULT_MAX_CONNECTIONS`] concurrent connections.
     pub fn start(addr: &str, requests: Sender<RenderRequest>) -> io::Result<TcpServer> {
         TcpServer::start_with(addr, requests, DEFAULT_MAX_CONNECTIONS)
     }
@@ -62,10 +103,70 @@ impl TcpServer {
     ) -> io::Result<TcpServer> {
         assert!(max_connections > 0, "connection cap must be nonzero");
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let poller = Poller::new()?;
+        poller.register(&listener, TOKEN_LISTENER, Interest::READABLE)?;
+        let waker = Arc::new(poller.waker(TOKEN_WAKER)?);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Every request carries one shared reply sender; the forwarder
+        // moves completed replies into the event loop's inbox and nudges
+        // the poller. Enqueue-then-wake (producer) and clear-then-drain
+        // (consumer) make lost wakeups impossible.
+        let (reply_tx, reply_rx) = unbounded::<RenderReply>();
+        let inbox: Arc<Mutex<Vec<RenderReply>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let inbox = inbox.clone();
+            let waker = waker.clone();
+            std::thread::spawn(move || {
+                while let Ok(reply) = reply_rx.recv() {
+                    inbox.lock().push(reply);
+                    let _ = waker.wake();
+                }
+            });
+        }
+
+        let event_loop = EventLoop {
+            poller,
+            listener,
+            requests,
+            reply_tx,
+            inbox,
+            waker: waker.clone(),
+            stop: stop.clone(),
+            conns: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            routes: HashMap::new(),
+            next_internal: 1,
+            next_gen: 1,
+            max_connections,
+        };
+        let thread = std::thread::spawn(move || event_loop.run());
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            waker: Some(waker),
+            thread: Some(thread),
+        })
+    }
+
+    /// The original thread-per-connection plane: a blocking accept loop
+    /// plus a reader and a writer thread per connection. Kept as the
+    /// measured baseline the evented plane is benchmarked against
+    /// (`service_scaling` records both in `BENCH_service.json`).
+    pub fn start_threaded(
+        addr: &str,
+        requests: Sender<RenderRequest>,
+        max_connections: usize,
+    ) -> io::Result<TcpServer> {
+        assert!(max_connections > 0, "connection cap must be nonzero");
+        let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
-        let accept_thread = std::thread::spawn(move || {
+        let thread = std::thread::spawn(move || {
             // One slot per allowed connection; a worker thread is spawned
             // per accepted connection and returns its slot on exit, so at
             // most `max_connections` serving threads exist at any moment.
@@ -95,7 +196,8 @@ impl TcpServer {
         Ok(TcpServer {
             addr: local,
             stop,
-            accept_thread: Some(accept_thread),
+            waker: None,
+            thread: Some(thread),
         })
     }
 
@@ -104,17 +206,370 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stop accepting connections (existing connections drain on their own
-    /// when clients disconnect). Wakes the blocking accept loop with a
-    /// loopback connection rather than polling.
+    /// Stop serving. Existing connections are dropped (evented plane) or
+    /// drain on their own when clients disconnect (threaded plane).
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        match &self.waker {
+            Some(waker) => {
+                let _ = waker.wake();
+            }
+            None => {
+                let _ = TcpStream::connect(self.addr);
+            }
+        }
+        if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
 }
+
+/// Translate a service-side outcome into its wire response.
+fn to_wire_response(request_id: u64, outcome: RenderOutcome) -> WireResponse {
+    match outcome {
+        RenderOutcome::Frame(result) => WireResponse::Frame(Box::new(WireFrame::from_image(
+            request_id,
+            result.job,
+            result.latency,
+            result.cache_misses,
+            &result.image,
+        ))),
+        RenderOutcome::Rejected(reason) => WireResponse::Overloaded { request_id, reason },
+        RenderOutcome::Dropped(reason) => WireResponse::Expired { request_id, reason },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven plane
+// ---------------------------------------------------------------------------
+
+/// One queued write: an encoded segment and how much of it has gone out.
+struct Segment {
+    bytes: Bytes,
+    offset: usize,
+}
+
+/// Per-connection state: the non-blocking socket, its codec (pooled read
+/// and write buffers), and the pending-write queue.
+struct Conn {
+    stream: TcpStream,
+    codec: Codec,
+    outbox: VecDeque<Segment>,
+    outbox_bytes: usize,
+    /// Whether the current registration includes `WRITABLE`.
+    writing: bool,
+    /// Distinguishes this connection from an earlier one that used the
+    /// same slot, so late replies for a closed connection are dropped.
+    gen: u64,
+}
+
+impl Conn {
+    /// Write queued segments until drained (`Ok(true)`) or the socket
+    /// stops accepting bytes (`Ok(false)`), using vectored I/O so a frame
+    /// header and its pixels go out in one syscall.
+    fn flush_outbox(&mut self) -> io::Result<bool> {
+        while !self.outbox.is_empty() {
+            let wrote = {
+                let slices: Vec<IoSlice<'_>> = self
+                    .outbox
+                    .iter()
+                    .take(MAX_IOV)
+                    .map(|seg| IoSlice::new(&seg.bytes[seg.offset..]))
+                    .collect();
+                (&self.stream).write_vectored(&slices)
+            };
+            match wrote {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(mut n) => {
+                    self.outbox_bytes -= n;
+                    while n > 0 {
+                        let seg = self.outbox.front_mut().expect("bytes written to a segment");
+                        let left = seg.bytes.len() - seg.offset;
+                        if n >= left {
+                            n -= left;
+                            self.outbox.pop_front();
+                        } else {
+                            seg.offset += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Where a reply for an in-flight request should be written. The head
+/// echoes our internal correlation id; this maps it back to the
+/// connection (slot + generation) and the client's own request id.
+struct Route {
+    slot: usize,
+    gen: u64,
+    client_id: u64,
+}
+
+/// The single-threaded event loop driving every connection.
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    requests: Sender<RenderRequest>,
+    reply_tx: Sender<RenderReply>,
+    inbox: Arc<Mutex<Vec<RenderReply>>>,
+    waker: Arc<Waker>,
+    stop: Arc<AtomicBool>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    active: usize,
+    routes: HashMap<u64, Route>,
+    next_internal: u64,
+    next_gen: u64,
+    max_connections: usize,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = Events::with_capacity(1024);
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            if self.poller.poll(&mut events, None).is_err() {
+                return; // poller broken: nothing can make progress
+            }
+            for event in &events {
+                match event.token() {
+                    TOKEN_WAKER => {
+                        // clear() before draining, pairing with the
+                        // forwarder's enqueue-before-wake.
+                        self.waker.clear();
+                        if self.stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let batch = std::mem::take(&mut *self.inbox.lock());
+                        for reply in batch {
+                            self.deliver(reply);
+                        }
+                    }
+                    TOKEN_LISTENER => self.accept_ready(),
+                    Token(raw) => {
+                        let slot = raw - TOKEN_BASE;
+                        if event.is_readable() {
+                            self.read_ready(slot);
+                        }
+                        if event.is_writable() {
+                            self.write_ready(slot);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if self.active >= self.max_connections {
+                drop(stream); // over the cap: shed the connection
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            stream.set_nodelay(true).ok();
+            let slot = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.conns.len() - 1
+            });
+            if self
+                .poller
+                .register(&stream, Token(slot + TOKEN_BASE), Interest::READABLE)
+                .is_err()
+            {
+                self.free.push(slot);
+                continue;
+            }
+            let gen = self.next_gen;
+            self.next_gen += 1;
+            self.conns[slot] = Some(Conn {
+                stream,
+                codec: Codec::new(),
+                outbox: VecDeque::new(),
+                outbox_bytes: 0,
+                writing: false,
+                gen,
+            });
+            self.active += 1;
+        }
+    }
+
+    fn read_ready(&mut self, slot: usize) {
+        loop {
+            let step = {
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    return;
+                };
+                let mut reader = &conn.stream;
+                conn.codec.try_read(&mut reader)
+            };
+            match step {
+                Ok(crate::codec::TryRead::Message(WireMessage::Request(req))) => {
+                    self.submit(slot, req)
+                }
+                Ok(crate::codec::TryRead::Message(WireMessage::Response(_)))
+                | Ok(crate::codec::TryRead::Closed)
+                | Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+                Ok(crate::codec::TryRead::Pending) => return,
+            }
+        }
+    }
+
+    fn write_ready(&mut self, slot: usize) {
+        self.flush(slot);
+    }
+
+    /// Hand one decoded request to the service, answering `Overloaded`
+    /// at the boundary when the admission queue is full.
+    fn submit(&mut self, slot: usize, req: WireRequest) {
+        let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else {
+            return;
+        };
+        let gen = conn.gen;
+        let client_id = req.request_id;
+        let internal = self.next_internal;
+        self.next_internal += 1;
+        self.routes.insert(
+            internal,
+            Route {
+                slot,
+                gen,
+                client_id,
+            },
+        );
+        let render = RenderRequest {
+            user: req.user,
+            kind: req.kind,
+            dataset: req.dataset,
+            frame: req.frame,
+            correlation: internal,
+            reply: self.reply_tx.clone(),
+        };
+        match self.requests.try_send(render) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.routes.remove(&internal);
+                self.send_response(
+                    slot,
+                    WireResponse::Overloaded {
+                        request_id: client_id,
+                        reason: RejectReason::QueueFull,
+                    },
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // The service shut down: this connection can never get an
+                // answer again.
+                self.routes.remove(&internal);
+                self.close(slot);
+            }
+        }
+    }
+
+    /// Route one completed reply back to its connection's send queue.
+    fn deliver(&mut self, reply: RenderReply) {
+        let Some(route) = self.routes.remove(&reply.correlation) else {
+            return;
+        };
+        let alive = self
+            .conns
+            .get(route.slot)
+            .and_then(Option::as_ref)
+            .is_some_and(|c| c.gen == route.gen);
+        if !alive {
+            return; // the connection closed while the frame rendered
+        }
+        let response = to_wire_response(route.client_id, reply.outcome);
+        self.send_response(route.slot, response);
+    }
+
+    fn send_response(&mut self, slot: usize, response: WireResponse) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let encoded = conn.codec.encode(&WireMessage::Response(response));
+        conn.outbox_bytes += encoded.len();
+        conn.outbox.push_back(Segment {
+            bytes: encoded.head,
+            offset: 0,
+        });
+        if let Some(tail) = encoded.tail {
+            conn.outbox.push_back(Segment {
+                bytes: tail,
+                offset: 0,
+            });
+        }
+        if conn.outbox_bytes > MAX_OUTBOX_BYTES {
+            self.close(slot); // slow consumer: shed the connection
+            return;
+        }
+        self.flush(slot);
+    }
+
+    /// Drain the connection's outbox as far as the socket allows, keeping
+    /// the poller's write interest in sync with whether bytes remain.
+    fn flush(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.flush_outbox().is_err() {
+            self.close(slot);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let want_write = !conn.outbox.is_empty();
+        if want_write != conn.writing {
+            let interest = if want_write {
+                Interest::READABLE | Interest::WRITABLE
+            } else {
+                Interest::READABLE
+            };
+            if self
+                .poller
+                .reregister(&conn.stream, Token(slot + TOKEN_BASE), interest)
+                .is_ok()
+            {
+                conn.writing = want_write;
+            }
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) {
+            let _ = self.poller.deregister(&conn.stream);
+            self.free.push(slot);
+            self.active -= 1;
+            // Routes for this connection stay in the map until their
+            // replies arrive; the generation check drops them then.
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded baseline plane
+// ---------------------------------------------------------------------------
 
 fn serve_connection(stream: TcpStream, requests: Sender<RenderRequest>) -> io::Result<()> {
     stream.set_nodelay(true).ok();
@@ -126,34 +581,21 @@ fn serve_connection(stream: TcpStream, requests: Sender<RenderRequest>) -> io::R
     let (reply_tx, reply_rx) = unbounded::<RenderReply>();
     let mut write_side = stream;
     let write_thread = std::thread::spawn(move || {
+        let mut codec = Codec::new();
         while let Ok(reply) = reply_rx.recv() {
-            let response = match reply.outcome {
-                RenderOutcome::Frame(result) => {
-                    WireResponse::Frame(Box::new(WireFrame::from_image(
-                        reply.correlation,
-                        result.job,
-                        result.latency,
-                        result.cache_misses,
-                        &result.image,
-                    )))
-                }
-                RenderOutcome::Rejected(reason) => WireResponse::Overloaded {
-                    request_id: reply.correlation,
-                    reason,
-                },
-                RenderOutcome::Dropped(reason) => WireResponse::Expired {
-                    request_id: reply.correlation,
-                    reason,
-                },
-            };
-            if write_message(&mut write_side, &WireMessage::Response(response)).is_err() {
+            let response = to_wire_response(reply.correlation, reply.outcome);
+            if codec
+                .write(&mut write_side, &WireMessage::Response(response))
+                .is_err()
+            {
                 break; // client went away
             }
         }
     });
 
+    let mut codec = Codec::new();
     loop {
-        match read_message(&mut reader)? {
+        match codec.read(&mut reader)? {
             None => break, // clean disconnect
             Some(WireMessage::Response(_)) => {
                 return Err(io::Error::new(
@@ -190,63 +632,232 @@ fn serve_connection(stream: TcpStream, requests: Sender<RenderRequest>) -> io::R
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Builder-style configuration for [`RemoteClient::connect_with`],
+/// mirroring the `ServiceConfig` idiom: start from [`ClientOptions::new`]
+/// and chain setters.
+///
+/// ```
+/// use std::time::Duration;
+/// use vizsched_service::ClientOptions;
+///
+/// let opts = ClientOptions::new()
+///     .retries(4)
+///     .backoff(Duration::from_millis(2), Duration::from_millis(200))
+///     .deadline(Duration::from_secs(5))
+///     .max_in_flight(32);
+/// # let _ = opts;
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    retries: u32,
+    backoff_initial: Duration,
+    backoff_max: Duration,
+    deadline: Option<Duration>,
+    max_in_flight: Option<usize>,
+}
+
+impl ClientOptions {
+    /// Defaults: no retries, 2 ms → 200 ms exponential backoff when
+    /// retries are enabled, no deadline, unlimited in-flight requests.
+    pub fn new() -> ClientOptions {
+        ClientOptions {
+            retries: 0,
+            backoff_initial: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(200),
+            deadline: None,
+            max_in_flight: None,
+        }
+    }
+
+    /// Resubmit up to `retries` times when the service answers
+    /// `Overloaded` (blocking calls only).
+    pub fn retries(mut self, retries: u32) -> ClientOptions {
+        self.retries = retries;
+        self
+    }
+
+    /// Exponential backoff between retries: starts at `initial`, doubles
+    /// up to `max`.
+    pub fn backoff(mut self, initial: Duration, max: Duration) -> ClientOptions {
+        self.backoff_initial = initial;
+        self.backoff_max = max.max(initial);
+        self
+    }
+
+    /// Overall per-call deadline for blocking calls, spanning all retries;
+    /// exceeding it returns `TimedOut`.
+    pub fn deadline(mut self, deadline: Duration) -> ClientOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Cap concurrently outstanding requests; a submit past the cap waits
+    /// for a response to free a slot.
+    pub fn max_in_flight(mut self, max: usize) -> ClientOptions {
+        assert!(max > 0, "in-flight cap must be nonzero");
+        self.max_in_flight = Some(max);
+        self
+    }
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions::new()
+    }
+}
+
+/// The socket's send side and its codec, locked together so concurrent
+/// submitters interleave whole frames.
+struct ClientIo {
+    stream: TcpStream,
+    codec: Codec,
+}
+
 /// A remote client: connects over TCP and renders frames.
 pub struct RemoteClient {
     user: UserId,
-    writer: Mutex<TcpStream>,
+    io: Mutex<ClientIo>,
     next_id: AtomicU64,
     pending: Arc<Mutex<HashMap<u64, Sender<WireResponse>>>>,
-    _reader: JoinHandle<()>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+    /// In-flight permit channel (capacity = the cap): submit acquires by
+    /// pushing a token, the reader thread releases one per response.
+    permits: Option<(Sender<()>, Receiver<()>)>,
+    options: ClientOptions,
+    closed: Arc<AtomicBool>,
 }
 
 impl RemoteClient {
-    /// Connect to a [`TcpServer`].
+    /// Connect to a [`TcpServer`] with default [`ClientOptions`].
     pub fn connect(addr: SocketAddr, user: UserId) -> io::Result<RemoteClient> {
+        RemoteClient::connect_with(addr, user, ClientOptions::new())
+    }
+
+    /// Connect with explicit options.
+    pub fn connect_with(
+        addr: SocketAddr,
+        user: UserId,
+        options: ClientOptions,
+    ) -> io::Result<RemoteClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let mut read_side = stream.try_clone()?;
         let pending: Arc<Mutex<HashMap<u64, Sender<WireResponse>>>> =
             Arc::new(Mutex::new(HashMap::new()));
+        let closed = Arc::new(AtomicBool::new(false));
+        let permits = options.max_in_flight.map(crossbeam::channel::bounded::<()>);
+        let release = permits.as_ref().map(|(_, rx)| rx.clone());
+
         let pending2 = pending.clone();
+        let closed2 = closed.clone();
         let reader = std::thread::spawn(move || {
-            while let Ok(Some(msg)) = read_message(&mut read_side) {
+            let mut codec = Codec::new();
+            while let Ok(Some(msg)) = codec.read(&mut read_side) {
                 if let WireMessage::Response(resp) = msg {
                     let waiter = pending2.lock().remove(&resp.request_id());
                     if let Some(tx) = waiter {
                         let _ = tx.send(resp);
                     }
+                    if let Some(rx) = &release {
+                        let _ = rx.try_recv();
+                    }
                 }
             }
-            // Socket closed: wake every waiter by dropping their senders.
+            // Socket closed: mark the client dead, free any submitter
+            // stuck on the in-flight cap, and wake every waiter by
+            // dropping their senders — pending calls surface a connection
+            // error instead of hanging.
+            closed2.store(true, Ordering::Release);
+            if let Some(rx) = &release {
+                while rx.try_recv().is_ok() {}
+            }
             pending2.lock().clear();
         });
+
         Ok(RemoteClient {
             user,
-            writer: Mutex::new(stream),
+            io: Mutex::new(ClientIo {
+                stream,
+                codec: Codec::new(),
+            }),
             next_id: AtomicU64::new(1),
             pending,
-            _reader: reader,
+            reader: Mutex::new(Some(reader)),
+            permits,
+            options,
+            closed,
         })
     }
 
-    fn submit(
+    /// Wait for an in-flight slot (when capped), checking for a dead
+    /// connection so a submitter never blocks on a socket that can no
+    /// longer answer.
+    fn acquire_permit(&self) -> io::Result<()> {
+        let Some((tx, _)) = &self.permits else {
+            return Ok(());
+        };
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "connection closed",
+                ));
+            }
+            match tx.try_send(()) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(())) => std::thread::sleep(Duration::from_micros(200)),
+                Err(TrySendError::Disconnected(())) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotConnected,
+                        "connection closed",
+                    ));
+                }
+            }
+        }
+    }
+
+    fn release_permit(&self) {
+        if let Some((_, rx)) = &self.permits {
+            let _ = rx.try_recv();
+        }
+    }
+
+    fn submit_as(
         &self,
+        user: UserId,
         kind: JobKind,
         dataset: DatasetId,
         frame: FrameParams,
     ) -> io::Result<Receiver<WireResponse>> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection closed",
+            ));
+        }
+        self.acquire_permit()?;
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded();
         self.pending.lock().insert(request_id, tx);
         let req = WireRequest {
             request_id,
-            user: self.user,
+            user,
             kind,
             dataset,
             frame,
         };
-        let mut socket = self.writer.lock();
-        write_message(&mut *socket, &WireMessage::Request(req))?;
+        let mut io = self.io.lock();
+        let ClientIo { stream, codec } = &mut *io;
+        if let Err(e) = codec.write(stream, &WireMessage::Request(req)) {
+            drop(io);
+            self.pending.lock().remove(&request_id);
+            self.release_permit();
+            return Err(e);
+        }
         Ok(rx)
     }
 
@@ -259,22 +870,108 @@ impl RemoteClient {
         dataset: DatasetId,
         frame: FrameParams,
     ) -> io::Result<Receiver<WireResponse>> {
-        self.submit(
+        self.render_interactive_as(self.user, action, dataset, frame)
+    }
+
+    /// [`RemoteClient::render_interactive`] on behalf of another user —
+    /// the evented server multiplexes many users over one connection, so a
+    /// gateway can fan a user population through a single socket.
+    pub fn render_interactive_as(
+        &self,
+        user: UserId,
+        action: ActionId,
+        dataset: DatasetId,
+        frame: FrameParams,
+    ) -> io::Result<Receiver<WireResponse>> {
+        self.submit_as(user, JobKind::Interactive { user, action }, dataset, frame)
+    }
+
+    /// Render one interactive frame and block for the terminal response,
+    /// applying this client's [`ClientOptions`]: resubmit with exponential
+    /// backoff on `Overloaded` (up to the configured retries) and honor
+    /// the per-call deadline across all attempts. `Expired` verdicts are
+    /// returned as-is — retrying a superseded frame is pointless, a newer
+    /// one already rendered.
+    pub fn render_interactive_blocking(
+        &self,
+        action: ActionId,
+        dataset: DatasetId,
+        frame: FrameParams,
+    ) -> io::Result<WireResponse> {
+        let options = self.options.clone();
+        self.render_blocking_with(
+            self.user,
             JobKind::Interactive {
                 user: self.user,
                 action,
             },
             dataset,
             frame,
+            &options,
         )
     }
 
+    fn render_blocking_with(
+        &self,
+        user: UserId,
+        kind: JobKind,
+        dataset: DatasetId,
+        frame: FrameParams,
+        options: &ClientOptions,
+    ) -> io::Result<WireResponse> {
+        let deadline = options.deadline.map(|d| Instant::now() + d);
+        let timed_out =
+            || io::Error::new(io::ErrorKind::TimedOut, "deadline passed before a response");
+        let dropped = || {
+            io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "connection closed before a response arrived",
+            )
+        };
+        let mut backoff = options.backoff_initial;
+        let mut last = None;
+        for attempt in 0..=options.retries {
+            let rx = self.submit_as(user, kind, dataset, frame)?;
+            let response = match deadline {
+                None => rx.recv().map_err(|_| dropped())?,
+                Some(at) => {
+                    let left = at
+                        .checked_duration_since(Instant::now())
+                        .ok_or_else(timed_out)?;
+                    rx.recv_timeout(left).map_err(|e| match e {
+                        RecvTimeoutError::Timeout => timed_out(),
+                        RecvTimeoutError::Disconnected => dropped(),
+                    })?
+                }
+            };
+            match response {
+                WireResponse::Overloaded { .. } => {
+                    last = Some(response);
+                    if attempt < options.retries {
+                        let mut pause = backoff;
+                        if let Some(at) = deadline {
+                            let left = at
+                                .checked_duration_since(Instant::now())
+                                .ok_or_else(timed_out)?;
+                            pause = pause.min(left);
+                        }
+                        std::thread::sleep(pause);
+                        backoff = (backoff * 2).min(options.backoff_max);
+                    }
+                }
+                other => return Ok(other),
+            }
+        }
+        Ok(last.expect("at least one attempt was made"))
+    }
+
     /// Render one interactive frame, resubmitting with exponential backoff
-    /// (2 ms doubling up to 200 ms) each time the service answers
-    /// `Overloaded`. Blocks until a terminal response: the frame, an
-    /// `Expired` verdict (retrying a superseded frame is pointless — a
-    /// newer one already rendered), or the last `Overloaded` once
-    /// `max_retries` resubmissions are exhausted.
+    /// each time the service answers `Overloaded`; blocks until a terminal
+    /// response.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure retries via `ClientOptions` and use `render_interactive_blocking`"
+    )]
     pub fn render_interactive_with_retry(
         &self,
         action: ActionId,
@@ -282,28 +979,17 @@ impl RemoteClient {
         frame: FrameParams,
         max_retries: u32,
     ) -> io::Result<WireResponse> {
-        let mut backoff = Duration::from_millis(2);
-        let mut last = None;
-        for attempt in 0..=max_retries {
-            let rx = self.render_interactive(action, dataset, frame)?;
-            match rx.recv() {
-                Ok(WireResponse::Overloaded { request_id, reason }) => {
-                    last = Some(WireResponse::Overloaded { request_id, reason });
-                    if attempt < max_retries {
-                        std::thread::sleep(backoff);
-                        backoff = (backoff * 2).min(Duration::from_millis(200));
-                    }
-                }
-                Ok(resp) => return Ok(resp),
-                Err(_) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::ConnectionAborted,
-                        "connection closed before a response arrived",
-                    ));
-                }
-            }
-        }
-        Ok(last.expect("at least one attempt was made"))
+        let options = self.options.clone().retries(max_retries);
+        self.render_blocking_with(
+            self.user,
+            JobKind::Interactive {
+                user: self.user,
+                action,
+            },
+            dataset,
+            frame,
+            &options,
+        )
     }
 
     /// Submit one batch frame.
@@ -314,7 +1000,8 @@ impl RemoteClient {
         dataset: DatasetId,
         frame: FrameParams,
     ) -> io::Result<Receiver<WireResponse>> {
-        self.submit(
+        self.submit_as(
+            self.user,
             JobKind::Batch {
                 user: self.user,
                 request,
@@ -323,5 +1010,21 @@ impl RemoteClient {
             dataset,
             frame,
         )
+    }
+
+    /// Shut the connection down and join the reader thread. Pending
+    /// requests observe a connection error. Idempotent; also runs on drop.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let _ = self.io.lock().stream.shutdown(Shutdown::Both);
+        if let Some(handle) = self.reader.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        self.close();
     }
 }

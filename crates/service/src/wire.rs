@@ -8,19 +8,19 @@
 //! Pixels travel as RGBA8 (quantized from the renderer's f32, premultiplied
 //! alpha preserved), a 4× saving over raw floats before any compression.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use std::io::{self, Read, Write};
-use vizsched_core::ids::{ActionId, BatchId, DatasetId, JobId, UserId};
+use vizsched_core::ids::{DatasetId, JobId, UserId};
 use vizsched_core::job::{FrameParams, JobKind};
 use vizsched_core::time::SimDuration;
 use vizsched_metrics::{DropReason, RejectReason};
 use vizsched_render::RgbaImage;
 
 /// Message tags.
-const TAG_REQUEST: u8 = 1;
-const TAG_RESPONSE: u8 = 2;
-const TAG_OVERLOADED: u8 = 3;
-const TAG_EXPIRED: u8 = 4;
+pub(crate) const TAG_REQUEST: u8 = 1;
+pub(crate) const TAG_RESPONSE: u8 = 2;
+pub(crate) const TAG_OVERLOADED: u8 = 3;
+pub(crate) const TAG_EXPIRED: u8 = 4;
 
 /// Upper bound on accepted payloads (a 4096² RGBA8 frame plus headers).
 pub const MAX_PAYLOAD: usize = 4096 * 4096 * 4 + 1024;
@@ -149,202 +149,40 @@ pub enum WireMessage {
     Response(WireResponse),
 }
 
-fn encode_kind(buf: &mut BytesMut, kind: &JobKind) {
-    match *kind {
-        JobKind::Interactive { user, action } => {
-            buf.put_u8(0);
-            buf.put_u32_le(user.0);
-            buf.put_u64_le(action.0);
-            buf.put_u32_le(0);
-        }
-        JobKind::Batch {
-            user,
-            request,
-            frame,
-        } => {
-            buf.put_u8(1);
-            buf.put_u32_le(user.0);
-            buf.put_u64_le(request.0);
-            buf.put_u32_le(frame);
-        }
-    }
-}
-
-fn decode_kind(buf: &mut impl Buf) -> io::Result<JobKind> {
-    let tag = buf.get_u8();
-    let user = UserId(buf.get_u32_le());
-    let id = buf.get_u64_le();
-    let frame = buf.get_u32_le();
-    match tag {
-        0 => Ok(JobKind::Interactive {
-            user,
-            action: ActionId(id),
-        }),
-        1 => Ok(JobKind::Batch {
-            user,
-            request: BatchId(id),
-            frame,
-        }),
-        other => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unknown job-kind tag {other}"),
-        )),
-    }
-}
-
 /// Serialize a message into a framed byte buffer.
+///
+/// Copies frame pixels into a fresh contiguous buffer. Use
+/// [`Codec::encode`](crate::codec::Codec::encode) instead: it returns the
+/// pixels as a shared segment for vectored writes, with no copy.
+#[deprecated(since = "0.1.0", note = "use `codec::Codec::encode`")]
 pub fn encode(msg: &WireMessage) -> Bytes {
-    let mut payload = BytesMut::new();
-    let tag = match msg {
-        WireMessage::Request(r) => {
-            payload.put_u64_le(r.request_id);
-            payload.put_u32_le(r.user.0);
-            encode_kind(&mut payload, &r.kind);
-            payload.put_u32_le(r.dataset.0);
-            payload.put_f32_le(r.frame.azimuth);
-            payload.put_f32_le(r.frame.elevation);
-            payload.put_f32_le(r.frame.distance);
-            payload.put_u32_le(r.frame.transfer_fn);
-            TAG_REQUEST
-        }
-        WireMessage::Response(WireResponse::Frame(r)) => {
-            payload.put_u64_le(r.request_id);
-            payload.put_u64_le(r.job.0);
-            payload.put_u64_le(r.latency.as_micros());
-            payload.put_u32_le(r.cache_misses);
-            payload.put_u32_le(r.width);
-            payload.put_u32_le(r.height);
-            payload.extend_from_slice(&r.pixels);
-            TAG_RESPONSE
-        }
-        WireMessage::Response(WireResponse::Overloaded { request_id, reason }) => {
-            payload.put_u64_le(*request_id);
-            payload.put_u8(reason.code());
-            TAG_OVERLOADED
-        }
-        WireMessage::Response(WireResponse::Expired { request_id, reason }) => {
-            payload.put_u64_le(*request_id);
-            payload.put_u8(reason.code());
-            TAG_EXPIRED
-        }
-    };
-    let mut framed = BytesMut::with_capacity(payload.len() + 5);
-    framed.put_u32_le(payload.len() as u32 + 1);
-    framed.put_u8(tag);
-    framed.extend_from_slice(&payload);
-    framed.freeze()
+    crate::codec::Codec::new().encode(msg).to_bytes()
 }
 
 /// Write one framed message to a stream.
+///
+/// Allocates per call. Use a long-lived
+/// [`Codec`](crate::codec::Codec) so encode buffers are pooled.
+#[deprecated(since = "0.1.0", note = "use `codec::Codec::write`")]
 pub fn write_message(w: &mut impl Write, msg: &WireMessage) -> io::Result<()> {
-    w.write_all(&encode(msg))?;
-    w.flush()
+    crate::codec::Codec::new().write(w, msg)
 }
 
 /// Read one framed message from a stream. Returns `Ok(None)` on a clean
 /// EOF at a frame boundary.
+///
+/// Allocates a fresh payload buffer per call. Use a long-lived
+/// [`Codec`](crate::codec::Codec) so decode buffers are pooled.
+#[deprecated(since = "0.1.0", note = "use `codec::Codec::read`")]
 pub fn read_message(r: &mut impl Read) -> io::Result<Option<WireMessage>> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len == 0 || len > MAX_PAYLOAD {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} out of bounds"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    let mut buf = Bytes::from(payload);
-    let tag = buf.get_u8();
-    match tag {
-        TAG_REQUEST => {
-            let request_id = buf.get_u64_le();
-            let user = UserId(buf.get_u32_le());
-            let kind = decode_kind(&mut buf)?;
-            let dataset = DatasetId(buf.get_u32_le());
-            let frame = FrameParams {
-                azimuth: buf.get_f32_le(),
-                elevation: buf.get_f32_le(),
-                distance: buf.get_f32_le(),
-                transfer_fn: buf.get_u32_le(),
-            };
-            Ok(Some(WireMessage::Request(WireRequest {
-                request_id,
-                user,
-                kind,
-                dataset,
-                frame,
-            })))
-        }
-        TAG_RESPONSE => {
-            let request_id = buf.get_u64_le();
-            let job = JobId(buf.get_u64_le());
-            let latency = SimDuration::from_micros(buf.get_u64_le());
-            let cache_misses = buf.get_u32_le();
-            let width = buf.get_u32_le();
-            let height = buf.get_u32_le();
-            let expect = width as usize * height as usize * 4;
-            if buf.remaining() != expect {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("pixel payload {} != {expect}", buf.remaining()),
-                ));
-            }
-            Ok(Some(WireMessage::Response(WireResponse::Frame(Box::new(
-                WireFrame {
-                    request_id,
-                    job,
-                    latency,
-                    cache_misses,
-                    width,
-                    height,
-                    pixels: buf,
-                },
-            )))))
-        }
-        TAG_OVERLOADED => {
-            let request_id = buf.get_u64_le();
-            let code = buf.get_u8();
-            let reason = RejectReason::from_code(code).ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unknown reject-reason code {code}"),
-                )
-            })?;
-            Ok(Some(WireMessage::Response(WireResponse::Overloaded {
-                request_id,
-                reason,
-            })))
-        }
-        TAG_EXPIRED => {
-            let request_id = buf.get_u64_le();
-            let code = buf.get_u8();
-            let reason = DropReason::from_code(code).ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unknown drop-reason code {code}"),
-                )
-            })?;
-            Ok(Some(WireMessage::Response(WireResponse::Expired {
-                request_id,
-                reason,
-            })))
-        }
-        other => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unknown message tag {other}"),
-        )),
-    }
+    crate::codec::Codec::new().read(r)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::Codec;
+    use vizsched_core::ids::{ActionId, BatchId};
 
     fn sample_request() -> WireRequest {
         WireRequest {
@@ -365,9 +203,10 @@ mod tests {
     }
 
     fn round_trip(msg: WireMessage) -> WireMessage {
-        let bytes = encode(&msg);
+        let mut codec = Codec::new();
+        let bytes = codec.encode(&msg).to_bytes();
         let mut cursor = std::io::Cursor::new(bytes.to_vec());
-        read_message(&mut cursor).unwrap().expect("one message")
+        codec.read(&mut cursor).unwrap().expect("one message")
     }
 
     #[test]
@@ -437,7 +276,7 @@ mod tests {
     #[test]
     fn clean_eof_yields_none() {
         let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
-        assert!(read_message(&mut cursor).unwrap().is_none());
+        assert!(Codec::new().read(&mut cursor).unwrap().is_none());
     }
 
     #[test]
@@ -446,7 +285,7 @@ mod tests {
         bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
         bytes.push(TAG_REQUEST);
         let mut cursor = std::io::Cursor::new(bytes);
-        assert!(read_message(&mut cursor).is_err());
+        assert!(Codec::new().read(&mut cursor).is_err());
     }
 
     #[test]
@@ -456,21 +295,36 @@ mod tests {
         bytes.push(99);
         bytes.push(0);
         let mut cursor = std::io::Cursor::new(bytes);
-        assert!(read_message(&mut cursor).is_err());
+        assert!(Codec::new().read(&mut cursor).is_err());
     }
 
     #[test]
     fn multiple_messages_stream_back_to_back() {
+        let mut codec = Codec::new();
         let a = WireMessage::Request(sample_request());
         let mut req2 = sample_request();
         req2.request_id = 8;
         let b = WireMessage::Request(req2);
         let mut stream = Vec::new();
-        stream.extend_from_slice(&encode(&a));
-        stream.extend_from_slice(&encode(&b));
+        stream.extend_from_slice(&codec.encode(&a).to_bytes());
+        stream.extend_from_slice(&codec.encode(&b).to_bytes());
         let mut cursor = std::io::Cursor::new(stream);
-        assert_eq!(read_message(&mut cursor).unwrap().unwrap(), a);
-        assert_eq!(read_message(&mut cursor).unwrap().unwrap(), b);
-        assert!(read_message(&mut cursor).unwrap().is_none());
+        assert_eq!(codec.read(&mut cursor).unwrap().unwrap(), a);
+        assert_eq!(codec.read(&mut cursor).unwrap().unwrap(), b);
+        assert!(codec.read(&mut cursor).unwrap().is_none());
+    }
+
+    /// The deprecated free functions stay byte-compatible with the codec.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_codec() {
+        let msg = WireMessage::Request(sample_request());
+        let legacy = encode(&msg);
+        assert_eq!(legacy, Codec::new().encode(&msg).to_bytes());
+        let mut written = Vec::new();
+        write_message(&mut written, &msg).unwrap();
+        assert_eq!(&written[..], &legacy[..]);
+        let mut cursor = std::io::Cursor::new(written);
+        assert_eq!(read_message(&mut cursor).unwrap().unwrap(), msg);
     }
 }

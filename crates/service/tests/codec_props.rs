@@ -1,0 +1,396 @@
+//! Property tests for the wire [`Codec`]: round-trips over arbitrary
+//! messages, reassembly across arbitrary read boundaries (including
+//! `WouldBlock` interruptions), malformed-input fuzzing — truncations,
+//! oversized length prefixes, byte flips, random soup must all yield clean
+//! errors, never panics or over-reads — and the zero-copy/pool-reuse
+//! guarantee: steady-state frame decoding recycles one pooled buffer and
+//! copies no payload bytes.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::io::{self, Cursor, Read};
+use vizsched_core::ids::{ActionId, BatchId, DatasetId, JobId, UserId};
+use vizsched_core::job::{FrameParams, JobKind};
+use vizsched_core::time::SimDuration;
+use vizsched_metrics::{DropReason, RejectReason};
+use vizsched_service::codec::{Codec, TryRead};
+use vizsched_service::wire::{WireFrame, WireMessage, WireRequest, WireResponse};
+
+// -- strategies -------------------------------------------------------------
+
+/// Camera angles quantized so `PartialEq` round-trips exactly (no NaN, no
+/// precision surprises).
+fn angle(raw: u32) -> f32 {
+    (raw % 2000) as f32 / 100.0 - 10.0
+}
+
+fn arb_params() -> impl Strategy<Value = FrameParams> {
+    (any::<u32>(), any::<u32>(), any::<u32>(), 0u32..8).prop_map(|(a, e, d, t)| FrameParams {
+        azimuth: angle(a),
+        elevation: angle(e),
+        distance: angle(d).abs() + 1.0,
+        transfer_fn: t,
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = WireMessage> {
+    (
+        (any::<u64>(), 0u32..512, any::<u64>()),
+        0u32..64,
+        0u32..16,
+        arb_params(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |((request_id, user, id), frame_ix, dataset, frame, batch)| {
+                let user = UserId(user);
+                let kind = if batch {
+                    JobKind::Batch {
+                        user,
+                        request: BatchId(id),
+                        frame: frame_ix,
+                    }
+                } else {
+                    JobKind::Interactive {
+                        user,
+                        action: ActionId(id),
+                    }
+                };
+                WireMessage::Request(WireRequest {
+                    request_id,
+                    user,
+                    kind,
+                    dataset: DatasetId(dataset),
+                    frame,
+                })
+            },
+        )
+}
+
+fn arb_frame_response() -> impl Strategy<Value = WireMessage> {
+    (
+        (any::<u64>(), any::<u64>(), 0u64..1_000_000, 0u32..64),
+        0usize..12,
+        0usize..12,
+        any::<u8>(),
+    )
+        .prop_map(|((request_id, job, micros, misses), w, h, seed)| {
+            let pixels: Vec<u8> = (0..w * h * 4).map(|i| seed.wrapping_add(i as u8)).collect();
+            WireMessage::Response(WireResponse::Frame(Box::new(WireFrame {
+                request_id,
+                job: JobId(job),
+                latency: SimDuration::from_micros(micros),
+                cache_misses: misses,
+                width: w as u32,
+                height: h as u32,
+                pixels: pixels.into(),
+            })))
+        })
+}
+
+fn arb_verdict() -> impl Strategy<Value = WireMessage> {
+    (any::<u64>(), 0u8..5).prop_map(|(request_id, pick)| {
+        WireMessage::Response(match pick {
+            0 => WireResponse::Overloaded {
+                request_id,
+                reason: RejectReason::GlobalCap,
+            },
+            1 => WireResponse::Overloaded {
+                request_id,
+                reason: RejectReason::UserCap,
+            },
+            2 => WireResponse::Overloaded {
+                request_id,
+                reason: RejectReason::QueueFull,
+            },
+            3 => WireResponse::Expired {
+                request_id,
+                reason: DropReason::DeadlineExpired,
+            },
+            _ => WireResponse::Expired {
+                request_id,
+                reason: DropReason::Superseded,
+            },
+        })
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = WireMessage> {
+    (0u8..3, arb_request(), arb_frame_response(), arb_verdict()).prop_map(
+        |(pick, req, frame, verdict)| match pick {
+            0 => req,
+            1 => frame,
+            _ => verdict,
+        },
+    )
+}
+
+fn encode_all(msgs: &[WireMessage]) -> Vec<u8> {
+    let mut codec = Codec::new();
+    let mut out = Vec::new();
+    for msg in msgs {
+        out.extend_from_slice(&codec.encode(msg).to_bytes());
+    }
+    out
+}
+
+/// A reader delivering data in a fixed rotation of chunk sizes, where a
+/// zero-size chunk surfaces as `WouldBlock` — the shape of a non-blocking
+/// socket under load.
+struct ChoppyReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    turn: usize,
+}
+
+impl Read for ChoppyReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos == self.data.len() {
+            return Ok(0);
+        }
+        let chunk = self.chunks[self.turn % self.chunks.len()];
+        self.turn += 1;
+        if chunk == 0 {
+            return Err(io::ErrorKind::WouldBlock.into());
+        }
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+// -- properties -------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn any_message_round_trips(msg in arb_message()) {
+        let mut codec = Codec::new();
+        let bytes = codec.encode(&msg).to_bytes().to_vec();
+        let back = codec.read(&mut Cursor::new(bytes)).unwrap().expect("one message");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn messages_reassemble_across_arbitrary_read_boundaries(
+        msgs in prop::collection::vec(arb_message(), 1..5),
+        mut chunks in prop::collection::vec(0usize..9, 1..8),
+    ) {
+        // At least one chunk must deliver bytes, or the rotation would
+        // block forever.
+        chunks.push(3);
+        let mut reader = ChoppyReader {
+            data: encode_all(&msgs),
+            pos: 0,
+            chunks,
+            turn: 0,
+        };
+        let mut codec = Codec::new();
+        let mut decoded = Vec::new();
+        loop {
+            match codec.try_read(&mut reader).expect("clean stream") {
+                TryRead::Message(m) => decoded.push(m),
+                TryRead::Pending => continue, // WouldBlock: poll again
+                TryRead::Closed => break,
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_clean_error(msg in arb_message(), cut in any::<u64>()) {
+        let bytes = encode_all(std::slice::from_ref(&msg));
+        let cut = (cut % bytes.len() as u64) as usize;
+        let result = Codec::new().read(&mut Cursor::new(bytes[..cut].to_vec()));
+        if cut == 0 {
+            prop_assert!(matches!(result, Ok(None)), "empty stream is a clean EOF");
+        } else {
+            // Mid-message EOF must be an error — never a panic, never a
+            // partial message.
+            prop_assert!(result.is_err(), "cut at {cut} gave {result:?}");
+        }
+    }
+
+    #[test]
+    fn byte_flips_never_panic(msg in arb_message(), at in any::<u64>(), val in any::<u8>()) {
+        let mut bytes = encode_all(std::slice::from_ref(&msg));
+        let at = (at % bytes.len() as u64) as usize;
+        bytes[at] = val;
+        // Any outcome but a panic is acceptable: the flip may corrupt the
+        // framing (error), a field (error or a different valid message),
+        // or nothing (the original value).
+        let mut cursor = Cursor::new(bytes);
+        let mut codec = Codec::new();
+        while let Ok(Some(_)) = codec.read(&mut cursor) {}
+    }
+
+    #[test]
+    fn random_soup_never_panics(soup in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut cursor = Cursor::new(soup);
+        let mut codec = Codec::new();
+        while let Ok(Some(_)) = codec.read(&mut cursor) {}
+    }
+}
+
+// -- deterministic malformed-input cases ------------------------------------
+
+/// Wire tag values (mirrors the crate-private constants in `wire`).
+const TAG_REQUEST: u8 = 1;
+const TAG_RESPONSE: u8 = 2;
+
+fn framed(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(payload.len() as u32 + 1).to_le_bytes());
+    bytes.push(tag);
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+#[test]
+fn zero_and_oversized_length_prefixes_are_invalid_data() {
+    for len in [0u32, u32::MAX] {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.push(TAG_REQUEST);
+        let err = Codec::new()
+            .read(&mut Cursor::new(bytes))
+            .expect_err("bad length must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "len={len}");
+    }
+}
+
+#[test]
+fn short_request_payload_is_invalid_data_not_a_panic() {
+    // A request whose payload stops after one byte: the decoder needs a
+    // u64 request id and must report truncation, not assert.
+    let bytes = framed(TAG_REQUEST, &[0x42]);
+    let err = Codec::new()
+        .read(&mut Cursor::new(bytes))
+        .expect_err("short payload must fail");
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn frame_with_mismatched_pixel_count_is_invalid_data() {
+    // A frame response header claiming 4×4 pixels but carrying none.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&7u64.to_le_bytes()); // request id
+    payload.extend_from_slice(&1u64.to_le_bytes()); // job id
+    payload.extend_from_slice(&0u64.to_le_bytes()); // latency
+    payload.extend_from_slice(&0u32.to_le_bytes()); // cache misses
+    payload.extend_from_slice(&4u32.to_le_bytes()); // width
+    payload.extend_from_slice(&4u32.to_le_bytes()); // height
+    let err = Codec::new()
+        .read(&mut Cursor::new(framed(TAG_RESPONSE, &payload)))
+        .expect_err("missing pixels must fail");
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn huge_claimed_dimensions_do_not_overflow() {
+    // width × height × 4 would overflow u32; the decoder must compute in
+    // wider arithmetic and reject the mismatch cleanly.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&7u64.to_le_bytes());
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // width
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // height
+    let err = Codec::new()
+        .read(&mut Cursor::new(framed(TAG_RESPONSE, &payload)))
+        .expect_err("absurd dimensions must fail");
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+}
+
+// -- the zero-copy / pool-reuse guarantee -----------------------------------
+
+/// Steady-state frame decoding must recycle the pooled read buffer and
+/// never copy payload bytes: this is the allocation contract the evented
+/// service plane's hot path is built on, pinned by the codec's own
+/// counters plus pointer identity of the pixel storage across frames.
+#[test]
+fn frame_decode_reuses_pooled_buffers_without_copying() {
+    const ROUNDS: u64 = 32;
+    let pixels: Vec<u8> = (0..40 * 30 * 4).map(|i| i as u8).collect();
+    let msg = WireMessage::Response(WireResponse::Frame(Box::new(WireFrame {
+        request_id: 9,
+        job: JobId(3),
+        latency: SimDuration::from_millis(5),
+        cache_misses: 1,
+        width: 40,
+        height: 30,
+        pixels: pixels.clone().into(),
+    })));
+    let mut encoder = Codec::new();
+    let mut stream = Vec::new();
+    for _ in 0..ROUNDS {
+        stream.extend_from_slice(&encoder.encode(&msg).to_bytes());
+    }
+
+    let mut decoder = Codec::new();
+    let mut cursor = Cursor::new(stream);
+    let mut allocations = HashSet::new();
+    for _ in 0..ROUNDS {
+        let decoded = decoder.read(&mut cursor).unwrap().expect("a message");
+        let WireMessage::Response(WireResponse::Frame(frame)) = decoded else {
+            panic!("expected a frame response");
+        };
+        assert_eq!(&frame.pixels[..], &pixels[..]);
+        allocations.insert(frame.pixels.as_ptr() as usize);
+        // `frame` drops here, releasing the pooled buffer for reuse.
+    }
+
+    let stats = decoder.stats();
+    assert_eq!(stats.decoded, ROUNDS);
+    assert_eq!(
+        stats.payload_copies, 0,
+        "the decode hot path must never copy a payload into a fresh Vec"
+    );
+    assert_eq!(
+        stats.pool_misses, 1,
+        "only the very first frame may allocate; got {stats:?}"
+    );
+    assert_eq!(
+        stats.pool_hits,
+        ROUNDS - 1,
+        "every later frame must recycle"
+    );
+    assert_eq!(
+        allocations.len(),
+        1,
+        "pixel storage must be the same recycled allocation every round"
+    );
+}
+
+/// Holding frames alive forces fresh allocations (the pool cannot reclaim
+/// a buffer a consumer still references) — the counters must show it.
+#[test]
+fn held_frames_force_fresh_allocations() {
+    let pixels: Vec<u8> = vec![5; 8 * 8 * 4];
+    let msg = WireMessage::Response(WireResponse::Frame(Box::new(WireFrame {
+        request_id: 1,
+        job: JobId(1),
+        latency: SimDuration::ZERO,
+        cache_misses: 0,
+        width: 8,
+        height: 8,
+        pixels: pixels.into(),
+    })));
+    let mut encoder = Codec::new();
+    let mut stream = Vec::new();
+    for _ in 0..4 {
+        stream.extend_from_slice(&encoder.encode(&msg).to_bytes());
+    }
+    let mut decoder = Codec::new();
+    let mut cursor = Cursor::new(stream);
+    let mut held = Vec::new();
+    for _ in 0..4 {
+        held.push(decoder.read(&mut cursor).unwrap().expect("a message"));
+    }
+    let stats = decoder.stats();
+    assert_eq!(stats.pool_misses, 4, "live frames pin their buffers");
+    assert_eq!(stats.payload_copies, 0);
+}

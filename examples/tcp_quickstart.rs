@@ -1,7 +1,7 @@
 //! The smallest complete remote deployment: materialize a dataset, start
 //! the service with an overload policy, expose it over TCP, and render
-//! three frames from a remote client — with the retry helper absorbing
-//! any transient `Overloaded` verdicts. This is the README's TCP
+//! three frames from a remote client — with `ClientOptions` retries
+//! absorbing any transient `Overloaded` verdicts. This is the README's TCP
 //! quickstart, compiled and run by the CI docs job.
 //!
 //! ```text
@@ -12,7 +12,8 @@ use std::sync::Arc;
 use vizsched_core::ids::{ActionId, DatasetId, UserId};
 use vizsched_core::job::FrameParams;
 use vizsched_service::{
-    ChunkStore, OverloadPolicy, RemoteClient, ServiceConfig, StoreDataset, TcpServer, VizService,
+    ChunkStore, ClientOptions, OverloadPolicy, RemoteClient, ServiceConfig, StoreDataset,
+    TcpServer, VizService,
 };
 use vizsched_volume::Field;
 
@@ -48,15 +49,18 @@ fn main() {
     let server = TcpServer::start("127.0.0.1:0", service.request_sender()).expect("bind");
     println!("vizsched listening on {}", server.addr());
 
-    // 4. A remote user orbits the camera; retries ride out overload.
-    let client = RemoteClient::connect(server.addr(), UserId(0)).expect("connect");
+    // 4. A remote user orbits the camera; client-side retries (configured
+    //    once, on the connection) ride out transient overload.
+    let client =
+        RemoteClient::connect_with(server.addr(), UserId(0), ClientOptions::new().retries(10))
+            .expect("connect");
     for i in 0..3 {
         let frame = FrameParams {
             azimuth: i as f32 * 0.4,
             ..FrameParams::default()
         };
         let resp = client
-            .render_interactive_with_retry(ActionId(0), DatasetId(0), frame, 10)
+            .render_interactive_blocking(ActionId(0), DatasetId(0), frame)
             .expect("submit");
         let frame = resp.into_frame().expect("a rendered frame");
         println!(

@@ -6,10 +6,12 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// An immutable, cheaply-cloneable byte buffer with a read cursor.
+/// Slicing ([`Bytes::slice`]) shares the underlying allocation — no copy.
 #[derive(Clone, Debug)]
 pub struct Bytes {
     data: Arc<Vec<u8>>,
     start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -18,6 +20,7 @@ impl Bytes {
         Bytes {
             data: Arc::new(Vec::new()),
             start: 0,
+            end: 0,
         }
     }
 
@@ -28,17 +31,55 @@ impl Bytes {
 
     /// The unread remainder.
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..]
+        &self.data[self.start..self.end]
     }
 
     /// Remaining length.
     pub fn len(&self) -> usize {
-        self.data.len() - self.start
+        self.end - self.start
     }
 
     /// True when fully consumed.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A view of `range` (relative to the unread remainder) sharing the
+    /// same allocation — the zero-copy primitive the wire codec's decode
+    /// path builds on.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds for {} bytes",
+            self.len()
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Split off and return the first `at` bytes of the remainder; `self`
+    /// keeps the rest. Both halves share the allocation.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(0..at);
+        self.start += at;
+        head
+    }
+
+    /// Recover the underlying `Vec` for reuse if this handle is the last
+    /// one referring to the allocation (buffer pooling); otherwise hand
+    /// the `Bytes` back. The returned `Vec` is the *full* allocation, not
+    /// just the remainder.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { data, start, end } = self;
+        Arc::try_unwrap(data).map_err(|data| Bytes { data, start, end })
+    }
+
+    /// How many handles (including this one) share the allocation.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.data)
     }
 }
 
@@ -50,9 +91,11 @@ impl Default for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
         Bytes {
             data: Arc::new(v),
             start: 0,
+            end,
         }
     }
 }
@@ -95,6 +138,17 @@ impl BytesMut {
         BytesMut {
             data: Vec::with_capacity(cap),
         }
+    }
+
+    /// Wrap an existing `Vec`, keeping its contents and capacity — lets a
+    /// buffer pool hand its recycled allocations to the builder API.
+    pub fn with_vec(data: Vec<u8>) -> Self {
+        BytesMut { data }
+    }
+
+    /// Recover the underlying `Vec` (contents and capacity intact).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
     }
 
     /// Append raw bytes.
@@ -173,6 +227,19 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "buffer underrun");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
 /// Little-endian write surface.
 pub trait BufMut {
     /// Append raw bytes.
@@ -222,6 +289,44 @@ mod tests {
         assert_eq!(frozen.get_u64_le(), 42);
         assert_eq!(frozen.get_f32_le(), 1.5);
         assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn slices_share_the_allocation() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let mid = b.slice(1..4);
+        assert_eq!(&*mid, &[2, 3, 4]);
+        assert_eq!(mid.as_ref().as_ptr(), unsafe { b.as_ref().as_ptr().add(1) });
+        let inner = mid.slice(1..2);
+        assert_eq!(&*inner, &[3]);
+        assert_eq!(b.handle_count(), 3);
+    }
+
+    #[test]
+    fn split_to_advances_the_remainder() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let head = b.split_to(3);
+        assert_eq!(&*head, &[1, 2, 3]);
+        assert_eq!(&*b, &[4]);
+    }
+
+    #[test]
+    fn reclaim_succeeds_only_for_the_last_handle() {
+        let b = Bytes::from(vec![7, 8, 9]);
+        let s = b.slice(0..1);
+        let b = b.try_reclaim().expect_err("slice still alive");
+        drop(s);
+        let v = b.try_reclaim().expect("sole handle");
+        assert_eq!(v, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn slice_buf_reads_advance() {
+        let data = [1u8, 0, 0, 0, 9];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.get_u32_le(), 1);
+        assert_eq!(cursor.get_u8(), 9);
+        assert_eq!(cursor.remaining(), 0);
     }
 
     #[test]

@@ -12,8 +12,8 @@ use std::time::Duration;
 use vizsched_core::prelude::*;
 use vizsched_metrics::{DropReason, RejectReason};
 use vizsched_service::{
-    ChunkStore, OverloadPolicy, RemoteClient, RenderOutcome, RenderReply, ServiceClient,
-    ServiceConfig, StoreDataset, TcpServer, VizService, WireResponse,
+    ChunkStore, ClientOptions, OverloadPolicy, RemoteClient, RenderOutcome, RenderReply,
+    ServiceClient, ServiceConfig, StoreDataset, TcpServer, VizService, WireResponse,
 };
 use vizsched_volume::Field;
 
@@ -193,7 +193,9 @@ fn per_user_cap_rejects_the_flooder_not_the_neighbor() {
 fn tcp_boundary_answers_queue_full_when_admission_queue_is_full() {
     let (tx, rx) = crossbeam::channel::bounded(1);
     let server = TcpServer::start("127.0.0.1:0", tx).expect("bind");
-    let client = RemoteClient::connect(server.addr(), UserId(0)).expect("connect");
+    let client =
+        RemoteClient::connect_with(server.addr(), UserId(0), ClientOptions::new().retries(2))
+            .expect("connect");
 
     // The first request occupies the single queue slot (nobody serves
     // it); the second must be refused at the boundary.
@@ -216,10 +218,11 @@ fn tcp_boundary_answers_queue_full_when_admission_queue_is_full() {
         "expected QueueFull, got {refused:?}"
     );
 
-    // The retry helper backs off and resubmits; with the queue still
-    // full it must hand back the final Overloaded verdict, not hang.
+    // The blocking call backs off and resubmits per the client's options;
+    // with the queue still full it must hand back the final Overloaded
+    // verdict, not hang.
     let exhausted = client
-        .render_interactive_with_retry(ActionId(0), DatasetId(0), frame(0.3), 2)
+        .render_interactive_blocking(ActionId(0), DatasetId(0), frame(0.3))
         .expect("submit");
     assert!(
         matches!(
@@ -249,7 +252,9 @@ fn tcp_retry_recovers_once_the_cap_drains() {
     };
     let (service, root) = overload_service("tcpretry", policy);
     let server = TcpServer::start("127.0.0.1:0", service.request_sender()).expect("bind");
-    let client = RemoteClient::connect(server.addr(), UserId(0)).expect("connect");
+    let client =
+        RemoteClient::connect_with(server.addr(), UserId(0), ClientOptions::new().retries(50))
+            .expect("connect");
 
     let receivers: Vec<_> = (0..8)
         .map(|i| {
@@ -275,7 +280,7 @@ fn tcp_retry_recovers_once_the_cap_drains() {
 
     // A patient client retries past the transient rejections and renders.
     let recovered = client
-        .render_interactive_with_retry(ActionId(99), DatasetId(1), frame(0.7), 50)
+        .render_interactive_blocking(ActionId(99), DatasetId(1), frame(0.7))
         .expect("submit");
     assert!(
         recovered.into_frame().is_some(),
