@@ -2,9 +2,10 @@
 //! collect per-scheduler reports, plus the overload experiment (burst
 //! overlays at increasing saturation factors under an admission policy).
 
+use std::sync::Arc;
 use vizsched_core::sched::SchedulerKind;
 use vizsched_core::time::SimDuration;
-use vizsched_metrics::SchedulerReport;
+use vizsched_metrics::{node_activity, CollectingProbe, SchedulerReport, TraceEvent};
 use vizsched_sim::{OverloadPolicy, OverloadStats, RunOptions, SimConfig, Simulation};
 use vizsched_workload::{BurstSpec, Scenario};
 
@@ -70,8 +71,40 @@ pub fn overload_scenario() -> Scenario {
     )
 }
 
+/// Per-shard load view of one overload cell, from a sharded twin run of
+/// the same offered jobs. The starvation indicator is the longest
+/// contiguous idle gap of any node inside the shard (a shard the router
+/// under-feeds shows up here long before utilization averages move); the
+/// fragmentation indicator is the within-shard task imbalance (hottest
+/// node over the shard mean — 1.0 is perfectly level, large values mean
+/// the shard's capacity is fragmented across nodes the placement cannot
+/// use).
+#[derive(Clone, Debug)]
+pub struct ShardLoad {
+    /// The shard index.
+    pub shard: u32,
+    /// Nodes in the shard's slice.
+    pub nodes: u32,
+    /// Jobs the routing tier assigned to this shard.
+    pub assigned: u64,
+    /// Batch jobs stolen by this shard from saturated peers.
+    pub migrated_in: u64,
+    /// Batch jobs stolen from this shard while saturated.
+    pub migrated_out: u64,
+    /// Cycle boundaries at which this shard was saturated.
+    pub saturations: u64,
+    /// Jobs this shard's admission control shed.
+    pub shed: u64,
+    /// Tasks executed across the shard's nodes.
+    pub tasks: u64,
+    /// Longest contiguous idle gap of any node in the shard, ms.
+    pub longest_idle_ms: f64,
+    /// Hottest node's task count over the shard's per-node mean.
+    pub imbalance: f64,
+}
+
 /// One load level of the overload experiment.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct OverloadCell {
     /// Saturation factor (interactive request rate during the burst
     /// window as a multiple of the base rate).
@@ -94,6 +127,11 @@ pub struct OverloadCell {
     /// Largest issue-to-start delay over admitted batch jobs, ms — the
     /// anti-starvation bound caps this.
     pub max_batch_start_delay_ms: f64,
+    /// Per-shard starvation/fragmentation view from a sharded twin run of
+    /// the same offered jobs (empty when the sweep runs single-head). The
+    /// cell's own counters above always come from the single-head run, so
+    /// adding shards never perturbs the headline numbers.
+    pub per_shard: Vec<ShardLoad>,
 }
 
 /// The full overload sweep for one scenario.
@@ -154,11 +192,15 @@ pub fn burst_for(scenario: &Scenario, factor: u32) -> Option<BurstSpec> {
 
 /// Run the overload sweep: OURS over `scenario` plus a burst overlay at
 /// each factor, under `policy`. The first factor should be 1 (the
-/// unloaded p99 reference comes from the first cell).
+/// unloaded p99 reference comes from the first cell). With `shards > 1`
+/// every cell also gets a [`ShardLoad`] breakdown from a sharded twin run
+/// of the same offered jobs — the headline counters stay single-head, so
+/// the sweep's committed numbers are independent of the shard count.
 pub fn run_overload(
     scenario: &Scenario,
     factors: &[u32],
     policy: OverloadPolicy,
+    shards: usize,
 ) -> OverloadReport {
     let sim = simulation_for(scenario);
     let base = scenario.jobs();
@@ -170,6 +212,11 @@ pub fn run_overload(
         };
         let offered = jobs.len();
         let label = format!("{}-overload-{factor}x", scenario.label);
+        let per_shard = if shards > 1 {
+            shard_loads(&sim, jobs.clone(), &label, policy, shards)
+        } else {
+            Vec::new()
+        };
         let outcome = sim.run_opts(
             jobs,
             RunOptions::new(SchedulerKind::Ours)
@@ -205,6 +252,7 @@ pub fn run_overload(
             batch_admitted,
             batch_completed,
             max_batch_start_delay_ms,
+            per_shard,
         });
     }
     let unloaded_p99_ms = cells.first().map(|c| c.interactive_p99_ms).unwrap_or(0.0);
@@ -213,6 +261,60 @@ pub fn run_overload(
         unloaded_p99_ms,
         cells,
     }
+}
+
+/// Run one cell's jobs sharded and reduce the trace to per-shard
+/// starvation (longest idle gap of any node in the shard) and
+/// fragmentation (hottest node over the shard's per-node mean) stats.
+fn shard_loads(
+    sim: &Simulation,
+    jobs: Vec<vizsched_core::job::Job>,
+    label: &str,
+    policy: OverloadPolicy,
+    shards: usize,
+) -> Vec<ShardLoad> {
+    let probe = Arc::new(CollectingProbe::new());
+    let outcome = sim.run_opts(
+        jobs,
+        RunOptions::new(SchedulerKind::Ours)
+            .label(&format!("{label}-{shards}shards"))
+            .overload(policy)
+            .shards(shards)
+            .probe(probe.clone()),
+    );
+    let events = probe.take();
+    let horizon = events.last().map(TraceEvent::time).unwrap_or_default();
+    let nodes: usize = outcome.per_shard.iter().map(|s| s.nodes as usize).sum();
+    let activity = node_activity(&events, nodes, horizon);
+    outcome
+        .per_shard
+        .iter()
+        .map(|s| {
+            let span = &activity[s.base as usize..(s.base + s.nodes) as usize];
+            let tasks: u64 = span.iter().map(|a| a.tasks).sum();
+            let hottest = span.iter().map(|a| a.tasks).max().unwrap_or(0);
+            let mean = tasks as f64 / span.len().max(1) as f64;
+            ShardLoad {
+                shard: s.shard.0,
+                nodes: s.nodes,
+                assigned: s.assigned,
+                migrated_in: s.migrated_in,
+                migrated_out: s.migrated_out,
+                saturations: s.saturations,
+                shed: s.overload.shed(),
+                tasks,
+                longest_idle_ms: span
+                    .iter()
+                    .map(|a| a.longest_idle.as_millis_f64())
+                    .fold(0.0, f64::max),
+                imbalance: if tasks == 0 {
+                    0.0
+                } else {
+                    hottest as f64 / mean
+                },
+            }
+        })
+        .collect()
 }
 
 /// The 99th-percentile of `values` (sorted in place); 0 when empty.
@@ -279,9 +381,29 @@ mod tests {
     fn four_x_saturation_is_survivable() {
         let s = small_scenario();
         let policy = overload_policy_for(&s);
-        let report = run_overload(&s, &[1, 4], policy);
+        let report = run_overload(&s, &[1, 4], policy, 2);
         let unloaded = &report.cells[0];
         let loaded = &report.cells[1];
+
+        // The sharded twin run yields a per-shard breakdown that covers
+        // the whole cluster and accounts for every routed job.
+        for cell in &report.cells {
+            assert_eq!(cell.per_shard.len(), 2);
+            assert_eq!(
+                cell.per_shard.iter().map(|sh| sh.nodes).sum::<u32>() as usize,
+                s.cluster.len()
+            );
+            let assigned: u64 = cell.per_shard.iter().map(|sh| sh.assigned).sum();
+            assert!(
+                assigned >= cell.offered_jobs as u64,
+                "routing saw every job"
+            );
+            for sh in &cell.per_shard {
+                assert!(sh.tasks > 0, "shard {} never executed a task", sh.shard);
+                assert!(sh.imbalance >= 1.0, "imbalance is hottest/mean");
+                assert!(sh.longest_idle_ms >= 0.0);
+            }
+        }
 
         // The reference cell is genuinely unloaded...
         assert_eq!(unloaded.overload.shed(), 0, "1x must not shed");

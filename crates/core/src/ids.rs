@@ -65,6 +65,11 @@ id_type!(
     /// into many batch jobs.
     BatchId, u64, "B"
 );
+id_type!(
+    /// A shard: one partition of the cluster running its own head-node
+    /// cycle loop behind the consistent-hash routing tier.
+    ShardId, u32, "S"
+);
 
 /// A data chunk `c`: one piece of a decomposed dataset. Tasks are associated
 /// with exactly one chunk, and the head node's `Cache` and `Estimate` tables

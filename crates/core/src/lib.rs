@@ -83,7 +83,7 @@ pub mod prelude {
     pub use crate::cluster::{ClusterSpec, NodeSpec};
     pub use crate::cost::{framerate, CostParams, JobTiming};
     pub use crate::data::{uniform_datasets, Catalog, ChunkDesc, DatasetDesc, DecompositionPolicy};
-    pub use crate::ids::{ActionId, BatchId, ChunkId, DatasetId, JobId, NodeId, UserId};
+    pub use crate::ids::{ActionId, BatchId, ChunkId, DatasetId, JobId, NodeId, ShardId, UserId};
     pub use crate::job::{FrameParams, Job, JobKind, JobQueue, Task};
     pub use crate::memory::{EvictionPolicy, NodeMemory};
     pub use crate::sched::{

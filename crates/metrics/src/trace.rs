@@ -20,7 +20,7 @@
 use std::fmt::Write as _;
 use std::io::Write;
 use std::sync::Mutex;
-use vizsched_core::ids::{ChunkId, JobId, NodeId};
+use vizsched_core::ids::{ChunkId, JobId, NodeId, ShardId};
 use vizsched_core::time::{SimDuration, SimTime};
 
 /// Why an arriving job was refused admission (the overload-control layer's
@@ -292,13 +292,48 @@ pub enum TraceEvent {
         /// How long its oldest task had been deferred.
         waited: SimDuration,
     },
+    /// The routing tier pinned an arriving job to a shard
+    /// (`t = "shard_assigned"`). Emitted only on sharded runs, before the
+    /// shard's own admission events.
+    ShardAssigned {
+        /// Arrival time.
+        now: SimTime,
+        /// The routed job.
+        job: JobId,
+        /// The shard whose cycle loop now owns it.
+        shard: ShardId,
+    },
+    /// A buffered batch job was migrated off a saturated shard
+    /// (`t = "shard_migrated"`). Interactive jobs never migrate — their
+    /// users stay pinned for `Cache[c]` locality.
+    ShardMigrated {
+        /// Migration time (a cycle boundary on the saturated shard).
+        now: SimTime,
+        /// The migrated batch job.
+        job: JobId,
+        /// The shard it left.
+        from: ShardId,
+        /// The shard that stole it.
+        to: ShardId,
+    },
+    /// A shard's buffered backlog crossed the saturation threshold
+    /// (`t = "shard_saturated"`), making its batch jobs eligible for
+    /// migration at the next routing decision.
+    ShardSaturated {
+        /// Detection time (a cycle boundary on the shard).
+        now: SimTime,
+        /// The saturated shard.
+        shard: ShardId,
+        /// Jobs buffered on the shard at detection.
+        queued: usize,
+    },
 }
 
 impl TraceEvent {
     /// Every `t` tag a [`TraceEvent`] can serialize to, in declaration
     /// order. The docs-consistency test checks each of these appears in
     /// DESIGN.md's trace-schema table.
-    pub const TAGS: [&'static str; 16] = [
+    pub const TAGS: [&'static str; 19] = [
         "cycle_start",
         "cycle_end",
         "assign",
@@ -315,6 +350,9 @@ impl TraceEvent {
         "coalesced",
         "expired",
         "batch_escalated",
+        "shard_assigned",
+        "shard_migrated",
+        "shard_saturated",
     ];
 
     /// The event's timestamp.
@@ -335,7 +373,10 @@ impl TraceEvent {
             | TraceEvent::Rejected { now, .. }
             | TraceEvent::Coalesced { now, .. }
             | TraceEvent::Expired { now, .. }
-            | TraceEvent::BatchEscalated { now, .. } => now,
+            | TraceEvent::BatchEscalated { now, .. }
+            | TraceEvent::ShardAssigned { now, .. }
+            | TraceEvent::ShardMigrated { now, .. }
+            | TraceEvent::ShardSaturated { now, .. } => now,
         }
     }
 
@@ -358,6 +399,9 @@ impl TraceEvent {
             TraceEvent::Coalesced { .. } => "coalesced",
             TraceEvent::Expired { .. } => "expired",
             TraceEvent::BatchEscalated { .. } => "batch_escalated",
+            TraceEvent::ShardAssigned { .. } => "shard_assigned",
+            TraceEvent::ShardMigrated { .. } => "shard_migrated",
+            TraceEvent::ShardSaturated { .. } => "shard_saturated",
         }
     }
 
@@ -583,6 +627,33 @@ impl TraceEvent {
                     now.as_micros(),
                     job.0,
                     waited.as_micros()
+                );
+            }
+            TraceEvent::ShardAssigned { now, job, shard } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"shard_assigned\",\"now_us\":{},\"job\":{},\"shard\":{}}}",
+                    now.as_micros(),
+                    job.0,
+                    shard.0
+                );
+            }
+            TraceEvent::ShardMigrated { now, job, from, to } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"shard_migrated\",\"now_us\":{},\"job\":{},\"from\":{},\"to\":{}}}",
+                    now.as_micros(),
+                    job.0,
+                    from.0,
+                    to.0
+                );
+            }
+            TraceEvent::ShardSaturated { now, shard, queued } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"shard_saturated\",\"now_us\":{},\"shard\":{},\"queued\":{queued}}}",
+                    now.as_micros(),
+                    shard.0
                 );
             }
         }
@@ -1173,6 +1244,22 @@ mod tests {
                 now: SimTime::ZERO,
                 job: JobId(15),
                 waited: SimDuration::from_secs(2),
+            },
+            TraceEvent::ShardAssigned {
+                now: SimTime::ZERO,
+                job: JobId(16),
+                shard: ShardId(3),
+            },
+            TraceEvent::ShardMigrated {
+                now: SimTime::ZERO,
+                job: JobId(17),
+                from: ShardId(3),
+                to: ShardId(0),
+            },
+            TraceEvent::ShardSaturated {
+                now: SimTime::ZERO,
+                shard: ShardId(3),
+                queued: 12,
             },
         ];
         assert_eq!(events.len(), TraceEvent::TAGS.len());

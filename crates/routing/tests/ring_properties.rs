@@ -1,0 +1,113 @@
+//! Property tests for the consistent-hash ring: load balance within a
+//! bound, monotone remap on shard addition, and deterministic placement
+//! under a fixed seed.
+
+use proptest::prelude::*;
+use vizsched_core::ids::ShardId;
+use vizsched_routing::{HashRing, DEFAULT_REPLICAS};
+
+proptest! {
+    /// Balance: with the default virtual-point count, no shard's share
+    /// of a large key population strays past 4x the fair share (nor
+    /// below a quarter of it). The bound is deliberately loose — the
+    /// point is that every shard takes real load and none hoards it.
+    #[test]
+    fn keys_balance_across_shards(shards in 2usize..=16, seed in 0u64..64) {
+        let mut ring = HashRing::new(DEFAULT_REPLICAS, seed);
+        for s in 0..shards {
+            ring.add_shard(ShardId(s as u32));
+        }
+        const KEYS: u64 = 8192;
+        let mut counts = vec![0u64; shards];
+        for k in 0..KEYS {
+            counts[ring.shard_for(k).index()] += 1;
+        }
+        let fair = KEYS as f64 / shards as f64;
+        for (s, &n) in counts.iter().enumerate() {
+            prop_assert!(
+                (n as f64) < 4.0 * fair && (n as f64) > fair / 4.0,
+                "shard {s} owns {n} of {KEYS} keys (fair share {fair:.0})"
+            );
+        }
+    }
+
+    /// Monotone remap: adding a shard moves a key only if the new shard
+    /// now owns it — no key migrates between pre-existing shards.
+    #[test]
+    fn adding_a_shard_remaps_monotonically(shards in 1usize..=15, seed in 0u64..64) {
+        let mut ring = HashRing::new(DEFAULT_REPLICAS, seed);
+        for s in 0..shards {
+            ring.add_shard(ShardId(s as u32));
+        }
+        let before: Vec<ShardId> = (0..4096u64).map(|k| ring.shard_for(k)).collect();
+        let newcomer = ShardId(shards as u32);
+        ring.add_shard(newcomer);
+        for (k, &old) in before.iter().enumerate() {
+            let now = ring.shard_for(k as u64);
+            prop_assert!(
+                now == old || now == newcomer,
+                "key {k} moved {old} -> {now}, not to the new shard"
+            );
+        }
+    }
+
+    /// The expected remap volume is roughly 1/(n+1) of the keys; assert
+    /// it never exceeds half the population (a gross-misbehavior guard
+    /// that still catches a rehash-everything regression).
+    #[test]
+    fn remap_volume_is_minimal(shards in 2usize..=15, seed in 0u64..64) {
+        let mut ring = HashRing::new(DEFAULT_REPLICAS, seed);
+        for s in 0..shards {
+            ring.add_shard(ShardId(s as u32));
+        }
+        const KEYS: u64 = 4096;
+        let before: Vec<ShardId> = (0..KEYS).map(|k| ring.shard_for(k)).collect();
+        ring.add_shard(ShardId(shards as u32));
+        let moved = (0..KEYS)
+            .filter(|&k| ring.shard_for(k) != before[k as usize])
+            .count();
+        prop_assert!(
+            moved as u64 <= KEYS / 2,
+            "{moved} of {KEYS} keys moved on one shard addition"
+        );
+    }
+
+    /// Determinism: two rings built from the same (seed, shard set,
+    /// replicas) place every key identically — even when the shards are
+    /// added in a different order.
+    #[test]
+    fn placement_is_deterministic(shards in 1usize..=16, seed in 0u64..u64::MAX) {
+        let mut a = HashRing::new(DEFAULT_REPLICAS, seed);
+        let mut b = HashRing::new(DEFAULT_REPLICAS, seed);
+        for s in 0..shards {
+            a.add_shard(ShardId(s as u32));
+        }
+        for s in (0..shards).rev() {
+            b.add_shard(ShardId(s as u32));
+        }
+        for k in 0..2048u64 {
+            prop_assert_eq!(a.shard_for(k), b.shard_for(k));
+        }
+    }
+
+    /// Removing a shard sends its keys elsewhere and leaves every other
+    /// key in place (the inverse of the monotone-add property).
+    #[test]
+    fn removing_a_shard_remaps_only_its_keys(shards in 2usize..=16, seed in 0u64..64) {
+        let mut ring = HashRing::new(DEFAULT_REPLICAS, seed);
+        for s in 0..shards {
+            ring.add_shard(ShardId(s as u32));
+        }
+        let victim = ShardId((shards as u32) / 2);
+        let before: Vec<ShardId> = (0..4096u64).map(|k| ring.shard_for(k)).collect();
+        ring.remove_shard(victim);
+        for (k, &old) in before.iter().enumerate() {
+            let now = ring.shard_for(k as u64);
+            if old == victim {
+                prop_assert_ne!(now, victim);
+            } else {
+                prop_assert_eq!(now, old, "key {} fled a surviving shard", k);
+            }
+        }
+    }
+}

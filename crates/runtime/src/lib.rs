@@ -54,6 +54,9 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod shard;
+pub use shard::{Head, ShardOutcome, ShardedOutcome, ShardedRuntime};
+
 use std::sync::Arc;
 use std::time::Instant;
 use vizsched_core::cost::{CostParams, JobTiming};
@@ -598,6 +601,27 @@ impl HeadRuntime {
         if let Some(n) = self.in_flight_by_user.get_mut(&user) {
             *n = n.saturating_sub(1);
         }
+    }
+
+    /// Remove every buffered (admitted but not yet scheduled) *batch* job
+    /// so the sharded control plane can migrate it to a less-loaded
+    /// shard's runtime. Interactive frames stay put — their users are
+    /// pinned to this shard for `Cache[c]` locality.
+    ///
+    /// Each taken job's bookkeeping is unwound as if it had never arrived
+    /// here (batch holds no in-flight slots, so only the job record is
+    /// removed); re-arrival on the destination runtime re-admits it
+    /// there, which also means a migrated job counts toward `admitted` on
+    /// every shard it visits.
+    pub fn take_buffered_batch(&mut self) -> Vec<Job> {
+        let (batch, kept): (Vec<Job>, Vec<Job>) = std::mem::take(&mut self.buffer)
+            .into_iter()
+            .partition(|job| !job.kind.is_interactive());
+        self.buffer = kept;
+        for job in &batch {
+            self.drop_admitted(job.id);
+        }
+        batch
     }
 
     /// Run one scheduling cycle: expire buffered jobs past the policy

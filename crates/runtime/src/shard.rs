@@ -1,0 +1,1013 @@
+//! Sharded multi-head scheduling: N head-node cycle loops behind a
+//! consistent-hash routing tier.
+//!
+//! One [`HeadRuntime`] is the paper's single head node — and the hard
+//! ceiling on users and cluster size. [`ShardedRuntime`] breaks it by
+//! partitioning the cluster into shards, each owning a slice of the
+//! physical nodes (a [`ShardMap`] of whole leaf/spine groups) and running
+//! its *own, unmodified* `HeadRuntime` over that slice. A thin routing
+//! tier in front hashes each arriving job's dataset onto the
+//! [`HashRing`], so every job of a dataset — and therefore every chunk
+//! its shard ends up caching — lands on one shard: `Cache[c]` locality
+//! survives the routing hop.
+//!
+//! Node numbering is the seam. Each shard's runtime schedules over
+//! *local* node indices `0..n_s`; this module translates at every
+//! boundary crossing — assignments local→global on dispatch (via a
+//! wrapping [`Substrate`]), completions and faults global→local on the
+//! way in, and probe events local→global (via a wrapping [`Probe`]) so
+//! one trace stream describes the whole cluster. Because each shard's
+//! placement is a deterministic function of its own slice and its own
+//! arrivals, a sharded run places identically on the simulator and the
+//! live service — the same parity argument as the single head, applied
+//! per shard.
+//!
+//! Saturation and migration: at each cycle boundary a shard whose
+//! admission buffer exceeds the saturation threshold emits
+//! [`TraceEvent::ShardSaturated`] and its buffered *batch* jobs are
+//! stolen by the least-loaded shard ([`TraceEvent::ShardMigrated`]).
+//! Interactive users never migrate — a moved user would cold-miss every
+//! chunk on the new shard, which is exactly the cost the ring routing
+//! exists to avoid. Batch frames are latency-tolerant bulk work; moving
+//! them trades one cold load per chunk against an interactive queue that
+//! stops growing.
+
+use std::sync::Arc;
+use vizsched_core::cluster::ClusterSpec;
+use vizsched_core::data::Catalog;
+use vizsched_core::ids::{ChunkId, DatasetId, NodeId, ShardId};
+use vizsched_core::job::Job;
+use vizsched_core::sched::{Assignment, Trigger};
+use vizsched_core::time::{SimDuration, SimTime};
+use vizsched_metrics::{Probe, TraceEvent};
+pub use vizsched_routing::{HashRing, ShardMap, ShardNodes};
+
+use crate::{
+    Admission, Completion, CycleOutcome, HeadRuntime, JobFinish, NodeCounters, OverloadPolicy,
+    OverloadStats, RuntimeOutcome, Substrate,
+};
+
+/// A substrate adapter translating one shard's local node indices to the
+/// cluster-global numbering of the wrapped substrate. Shard spans are
+/// contiguous, so the translation is a base offset.
+struct ShardSub<'a, S: Substrate> {
+    inner: &'a mut S,
+    base: u32,
+}
+
+impl<S: Substrate> Substrate for ShardSub<'_, S> {
+    fn dispatch(&mut self, assignment: &Assignment) -> bool {
+        let mut global = *assignment;
+        global.node = NodeId(global.node.0 + self.base);
+        self.inner.dispatch(&global)
+    }
+}
+
+/// A probe adapter rewriting the node ids in one shard's events from
+/// shard-local to cluster-global, so the merged trace stream reads as one
+/// cluster. Events without a node field pass through untouched.
+struct ShardProbe {
+    inner: Arc<dyn Probe>,
+    base: u32,
+}
+
+impl Probe for ShardProbe {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn on_event(&self, event: &TraceEvent) {
+        let mut global = *event;
+        match &mut global {
+            TraceEvent::Assignment { node, .. }
+            | TraceEvent::TaskDone { node, .. }
+            | TraceEvent::AvailableCorrection { node, .. }
+            | TraceEvent::CacheLoad { node, .. }
+            | TraceEvent::CacheEvict { node, .. }
+            | TraceEvent::NodeFault { node, .. }
+            | TraceEvent::NodeUp { node, .. } => node.0 += self.base,
+            _ => {}
+        }
+        self.inner.on_event(&global);
+    }
+}
+
+/// Per-shard routing-tier counters (the shard's own scheduling counters
+/// live in its [`HeadRuntime`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct ShardCounters {
+    assigned: u64,
+    migrated_in: u64,
+    migrated_out: u64,
+    saturations: u64,
+}
+
+/// End-of-run summary for one shard.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardOutcome {
+    /// The shard.
+    pub shard: ShardId,
+    /// First global node index of the shard's slice.
+    pub base: u32,
+    /// Nodes in the shard's slice.
+    pub nodes: u32,
+    /// Jobs the routing tier assigned to this shard (including stolen
+    /// ones).
+    pub assigned: u64,
+    /// Jobs this shard completed.
+    pub jobs_completed: u64,
+    /// Jobs still unfinished at the end of the run.
+    pub incomplete_jobs: usize,
+    /// The shard's own overload-control counters.
+    pub overload: OverloadStats,
+    /// Batch jobs stolen *by* this shard from saturated peers.
+    pub migrated_in: u64,
+    /// Batch jobs stolen *from* this shard while saturated.
+    pub migrated_out: u64,
+    /// Cycle boundaries at which this shard was saturated.
+    pub saturations: u64,
+}
+
+/// Everything a sharded run can aggregate at the end: the merged
+/// cluster-global outcome plus the per-shard breakdown.
+#[derive(Clone, Debug)]
+pub struct ShardedOutcome {
+    /// The merged outcome, node counters in cluster-global numbering —
+    /// shaped exactly like a single-head [`RuntimeOutcome`] so existing
+    /// reporting keeps working.
+    pub merged: RuntimeOutcome,
+    /// Per-shard breakdown, in shard order.
+    pub per_shard: Vec<ShardOutcome>,
+}
+
+/// N head-node cycle loops behind a consistent-hash routing tier; see the
+/// module docs for the design.
+///
+/// The driving contract is [`HeadRuntime`]'s, verbatim — arrivals,
+/// cycles, completions, faults — with all node ids cluster-global; the
+/// sharded runtime routes each call to the owning shard and translates
+/// numbering both ways.
+pub struct ShardedRuntime {
+    shards: Vec<HeadRuntime>,
+    map: ShardMap,
+    ring: HashRing,
+    probe: Arc<dyn Probe>,
+    /// Per-shard saturation thresholds (buffered jobs at a cycle
+    /// boundary).
+    saturation: Vec<usize>,
+    counters: Vec<ShardCounters>,
+}
+
+impl ShardedRuntime {
+    /// Buffered jobs per shard node above which a shard counts as
+    /// saturated, when no explicit threshold is given: the shard's nodes
+    /// are all busy this cycle and the next several cycles are already
+    /// spoken for.
+    pub const DEFAULT_SATURATION_PER_NODE: usize = 4;
+
+    /// Build a sharded runtime over `cluster`, partitioned into `shards`
+    /// topology-aware slices.
+    ///
+    /// `build` constructs one shard's [`HeadRuntime`] from its slice of
+    /// the cluster and its (node-translating) probe — the caller picks
+    /// the scheduler, catalog, cost model, and table setup there, exactly
+    /// as it would for a single head. Schedulers are stateful, so each
+    /// shard must get a fresh instance.
+    ///
+    /// `saturation_queue` overrides the per-shard saturation threshold
+    /// (buffered jobs at a cycle boundary); the default scales with the
+    /// shard's node count.
+    ///
+    /// # Panics
+    /// If a built runtime's table width does not match its slice.
+    pub fn new<F>(
+        cluster: &ClusterSpec,
+        shards: usize,
+        probe: Arc<dyn Probe>,
+        saturation_queue: Option<usize>,
+        mut build: F,
+    ) -> Self
+    where
+        F: FnMut(ShardId, &ClusterSpec, Arc<dyn Probe>) -> HeadRuntime,
+    {
+        let map = ShardMap::new(cluster.len(), shards);
+        let ring = HashRing::with_shards(shards);
+        let mut runtimes = Vec::with_capacity(shards);
+        let mut saturation = Vec::with_capacity(shards);
+        for span in map.spans() {
+            let slice = ClusterSpec {
+                nodes: cluster.nodes[span.base as usize..(span.base + span.nodes) as usize]
+                    .to_vec(),
+            };
+            let shard_probe: Arc<dyn Probe> = Arc::new(ShardProbe {
+                inner: probe.clone(),
+                base: span.base,
+            });
+            let runtime = build(span.shard, &slice, shard_probe);
+            assert_eq!(
+                runtime.tables().node_count(),
+                span.nodes as usize,
+                "{}: runtime built over the wrong slice",
+                span.shard
+            );
+            saturation.push(
+                saturation_queue.unwrap_or(Self::DEFAULT_SATURATION_PER_NODE * span.nodes as usize),
+            );
+            runtimes.push(runtime);
+        }
+        let counters = vec![ShardCounters::default(); shards];
+        ShardedRuntime {
+            shards: runtimes,
+            map,
+            ring,
+            probe,
+            saturation,
+            counters,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The node partition.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The routing ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The shard a dataset's jobs route to.
+    pub fn shard_of_dataset(&self, dataset: DatasetId) -> ShardId {
+        self.ring.shard_for_dataset(dataset)
+    }
+
+    /// Install an overload policy on every shard.
+    pub fn set_overload_policy(&mut self, policy: OverloadPolicy) {
+        for shard in &mut self.shards {
+            shard.set_overload_policy(policy);
+        }
+    }
+
+    /// Aggregate overload counters across shards.
+    pub fn overload_stats(&self) -> OverloadStats {
+        let mut total = OverloadStats::default();
+        for shard in &self.shards {
+            let s = shard.overload_stats();
+            total.admitted += s.admitted;
+            total.rejected += s.rejected;
+            total.coalesced += s.coalesced;
+            total.expired += s.expired;
+            total.escalated += s.escalated;
+        }
+        total
+    }
+
+    /// The shared invocation trigger (every shard runs the same policy).
+    pub fn trigger(&self) -> Trigger {
+        self.shards[0].trigger()
+    }
+
+    /// Whether any shard holds deferred work.
+    pub fn has_deferred(&self) -> bool {
+        self.shards.iter().any(HeadRuntime::has_deferred)
+    }
+
+    /// The policy's display name.
+    pub fn scheduler_name(&self) -> &str {
+        self.shards[0].scheduler_name()
+    }
+
+    /// Jobs buffered across all shards.
+    pub fn queued_jobs(&self) -> usize {
+        self.shards.iter().map(HeadRuntime::queued_jobs).sum()
+    }
+
+    /// Jobs fully completed across all shards.
+    pub fn jobs_completed(&self) -> u64 {
+        self.shards.iter().map(HeadRuntime::jobs_completed).sum()
+    }
+
+    /// Whether a (global) node is currently marked down.
+    pub fn is_node_down(&self, node: NodeId) -> bool {
+        let (shard, local) = self.map.local(node);
+        self.shards[shard.index()].is_node_down(local)
+    }
+
+    /// The decomposition catalog (every shard holds the same one).
+    pub fn catalog(&self) -> &Catalog {
+        self.shards[0].catalog()
+    }
+
+    /// Seed one `Estimate[c]` prior on every shard (the sharded image of
+    /// `tables_mut().estimate` seeding — only the chunk's home shard will
+    /// ever read it, but a stale prior elsewhere is harmless).
+    pub fn seed_estimate(&mut self, chunk: ChunkId, estimate: SimDuration) {
+        for shard in &mut self.shards {
+            shard.tables_mut().estimate.record(chunk, estimate);
+        }
+    }
+
+    /// Mirror a pre-run cache placement on the owning shard (global node
+    /// numbering).
+    pub fn record_warm_load(&mut self, node: NodeId, chunk: ChunkId, bytes: u64) {
+        let (shard, local) = self.map.local(node);
+        self.shards[shard.index()].record_warm_load(local, chunk, bytes);
+    }
+
+    /// Route one arriving job to its shard and hand it to that shard's
+    /// runtime. Returns the owning shard alongside the shard's admission
+    /// verdict. Emits [`TraceEvent::ShardAssigned`] for every admitted
+    /// arrival.
+    pub fn on_job_arrival<S: Substrate>(
+        &mut self,
+        sub: &mut S,
+        now: SimTime,
+        job: Job,
+    ) -> (ShardId, Admission) {
+        let shard = self.ring.shard_for_dataset(job.dataset);
+        let base = self.map.span(shard).base;
+        self.counters[shard.index()].assigned += 1;
+        if self.probe.enabled() {
+            self.probe.on_event(&TraceEvent::ShardAssigned {
+                now,
+                job: job.id,
+                shard,
+            });
+        }
+        let admission =
+            self.shards[shard.index()].on_job_arrival(&mut ShardSub { inner: sub, base }, now, job);
+        (shard, admission)
+    }
+
+    /// Run one cycle boundary across every shard: first the saturation
+    /// scan (stealing buffered batch off saturated shards onto the
+    /// least-loaded peer, so the stolen work is scheduled *this* cycle on
+    /// its new shard), then each shard's own cycle. Expired jobs from all
+    /// shards are merged into one [`CycleOutcome`].
+    pub fn on_cycle<S: Substrate>(&mut self, sub: &mut S, now: SimTime) -> CycleOutcome {
+        if self.shards.len() > 1 {
+            self.steal_from_saturated(sub, now);
+        }
+        let mut outcome = CycleOutcome::default();
+        for i in 0..self.shards.len() {
+            let base = self.map.spans()[i].base;
+            let shard_outcome = self.shards[i].on_cycle(&mut ShardSub { inner: sub, base }, now);
+            outcome.invoked |= shard_outcome.invoked;
+            outcome.expired.extend(shard_outcome.expired);
+        }
+        outcome
+    }
+
+    /// The migration pass. The saturated set is snapshotted *before* any
+    /// job moves, and only shards unsaturated at the snapshot receive —
+    /// otherwise two overfull shards would steal the same jobs back and
+    /// forth within one pass. The receiving shard is the least-loaded
+    /// eligible one, recomputed per job so a large steal spreads.
+    /// Deterministic: queue depths at a cycle boundary are
+    /// substrate-independent, and ties break by shard index.
+    fn steal_from_saturated<S: Substrate>(&mut self, sub: &mut S, now: SimTime) {
+        let tracing = self.probe.enabled();
+        let saturated: Vec<bool> = self
+            .shards
+            .iter()
+            .zip(&self.saturation)
+            .map(|(shard, &cap)| shard.queued_jobs() > cap)
+            .collect();
+        let any_target = saturated.iter().any(|&s| !s);
+        for from in 0..self.shards.len() {
+            if !saturated[from] {
+                continue;
+            }
+            self.counters[from].saturations += 1;
+            if tracing {
+                self.probe.on_event(&TraceEvent::ShardSaturated {
+                    now,
+                    shard: ShardId(from as u32),
+                    queued: self.shards[from].queued_jobs(),
+                });
+            }
+            if !any_target {
+                // Every shard is overfull: migration would only shuffle
+                // the backlog around. Leave it where its locality is.
+                continue;
+            }
+            for job in self.shards[from].take_buffered_batch() {
+                let to = self.least_loaded_unsaturated(&saturated);
+                let id = job.id;
+                self.counters[from].migrated_out += 1;
+                self.counters[to].migrated_in += 1;
+                self.counters[to].assigned += 1;
+                if tracing {
+                    self.probe.on_event(&TraceEvent::ShardMigrated {
+                        now,
+                        job: id,
+                        from: ShardId(from as u32),
+                        to: ShardId(to as u32),
+                    });
+                }
+                let base = self.map.spans()[to].base;
+                // Batch is admitted unconditionally and never coalesced,
+                // so re-arrival cannot bounce.
+                let admission =
+                    self.shards[to].on_job_arrival(&mut ShardSub { inner: sub, base }, now, job);
+                debug_assert!(admission.is_admitted(), "migrated batch bounced");
+            }
+        }
+    }
+
+    /// The shard with the shallowest admission buffer among those that
+    /// were unsaturated at the snapshot; ties break toward the lowest
+    /// shard index.
+    fn least_loaded_unsaturated(&self, saturated: &[bool]) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !saturated[i])
+            .min_by_key(|&(i, shard)| (shard.queued_jobs(), i))
+            .map(|(i, _)| i)
+            .expect("at least one unsaturated shard")
+    }
+
+    /// Apply one completion (global node numbering) on the owning shard.
+    pub fn on_task_done(&mut self, now: SimTime, mut done: Completion) -> Option<JobFinish> {
+        let (shard, local) = self.map.local(done.node);
+        done.node = local;
+        self.shards[shard.index()].on_task_done(now, done)
+    }
+
+    /// Handle a (global) node fault on its owning shard. Rerouting stays
+    /// inside the shard: its surviving nodes are the ones with the dead
+    /// node's data locality, and the shard map never changes mid-run.
+    pub fn on_node_fault<S: Substrate>(
+        &mut self,
+        sub: &mut S,
+        now: SimTime,
+        node: NodeId,
+    ) -> usize {
+        let (shard, local) = self.map.local(node);
+        let base = self.map.span(shard).base;
+        self.shards[shard.index()].on_node_fault(&mut ShardSub { inner: sub, base }, now, local)
+    }
+
+    /// Handle a (global) node rejoining, cold-cached.
+    pub fn on_node_recover(&mut self, now: SimTime, node: NodeId) {
+        let (shard, local) = self.map.local(node);
+        self.shards[shard.index()].on_node_recover(now, local);
+    }
+
+    /// Consume the runtime into the merged cluster-global outcome plus
+    /// the per-shard breakdown.
+    pub fn into_outcome(self) -> ShardedOutcome {
+        let ShardedRuntime {
+            shards,
+            map,
+            counters,
+            ..
+        } = self;
+        let mut per_node = vec![NodeCounters::default(); map.total_nodes()];
+        let mut per_shard = Vec::with_capacity(shards.len());
+        let mut merged: Option<RuntimeOutcome> = None;
+        let mut latency_weighted = 0.0;
+        for ((runtime, span), counters) in shards.into_iter().zip(map.spans()).zip(counters) {
+            let outcome = runtime.into_outcome();
+            for (local, c) in outcome.per_node.iter().enumerate() {
+                per_node[span.base as usize + local] = *c;
+            }
+            per_shard.push(ShardOutcome {
+                shard: span.shard,
+                base: span.base,
+                nodes: span.nodes,
+                assigned: counters.assigned,
+                jobs_completed: outcome.jobs_completed,
+                incomplete_jobs: outcome.incomplete_jobs,
+                overload: outcome.overload,
+                migrated_in: counters.migrated_in,
+                migrated_out: counters.migrated_out,
+                saturations: counters.saturations,
+            });
+            latency_weighted += outcome.mean_latency_secs * outcome.jobs_completed as f64;
+            merged = Some(match merged {
+                None => outcome,
+                Some(mut acc) => {
+                    acc.record.jobs.extend(outcome.record.jobs);
+                    acc.record.cache_hits += outcome.record.cache_hits;
+                    acc.record.cache_misses += outcome.record.cache_misses;
+                    acc.record.gpu_hits += outcome.record.gpu_hits;
+                    acc.record.evictions += outcome.record.evictions;
+                    acc.record.sched_wall_micros += outcome.record.sched_wall_micros;
+                    acc.record.sched_invocations += outcome.record.sched_invocations;
+                    acc.record.jobs_scheduled += outcome.record.jobs_scheduled;
+                    acc.record.makespan = acc.record.makespan.max(outcome.record.makespan);
+                    acc.incomplete_jobs += outcome.incomplete_jobs;
+                    acc.jobs_completed += outcome.jobs_completed;
+                    acc.overload.admitted += outcome.overload.admitted;
+                    acc.overload.rejected += outcome.overload.rejected;
+                    acc.overload.coalesced += outcome.overload.coalesced;
+                    acc.overload.expired += outcome.overload.expired;
+                    acc.overload.escalated += outcome.overload.escalated;
+                    acc
+                }
+            });
+        }
+        let mut merged = merged.expect("at least one shard");
+        // Shards retire jobs independently; restore one cluster-wide
+        // arrival order (ids are assigned in arrival order).
+        merged.record.jobs.sort_unstable_by_key(|j| j.id);
+        merged.per_node = per_node;
+        merged.mean_latency_secs = if merged.jobs_completed > 0 {
+            latency_weighted / merged.jobs_completed as f64
+        } else {
+            0.0
+        };
+        ShardedOutcome { merged, per_shard }
+    }
+}
+
+/// The head of a run: either the paper's single head node or the sharded
+/// control plane, behind one driving contract so the simulator's engine
+/// and the live service hold a single field and stay oblivious to which
+/// they got. `shards <= 1` stays [`Head::Single`] — an unsharded run is
+/// the unmodified [`HeadRuntime`], bit for bit (no routing events, no
+/// translation layer).
+#[allow(clippy::large_enum_variant)]
+pub enum Head {
+    /// The unmodified single head node.
+    Single(HeadRuntime),
+    /// The sharded control plane.
+    Sharded(ShardedRuntime),
+}
+
+impl Head {
+    /// Install an overload policy (on every shard, when sharded).
+    pub fn set_overload_policy(&mut self, policy: OverloadPolicy) {
+        match self {
+            Head::Single(rt) => rt.set_overload_policy(policy),
+            Head::Sharded(rt) => rt.set_overload_policy(policy),
+        }
+    }
+
+    /// Aggregate overload counters.
+    pub fn overload_stats(&self) -> OverloadStats {
+        match self {
+            Head::Single(rt) => rt.overload_stats(),
+            Head::Sharded(rt) => rt.overload_stats(),
+        }
+    }
+
+    /// The policy's invocation trigger.
+    pub fn trigger(&self) -> Trigger {
+        match self {
+            Head::Single(rt) => rt.trigger(),
+            Head::Sharded(rt) => rt.trigger(),
+        }
+    }
+
+    /// Whether any head holds deferred work.
+    pub fn has_deferred(&self) -> bool {
+        match self {
+            Head::Single(rt) => rt.has_deferred(),
+            Head::Sharded(rt) => rt.has_deferred(),
+        }
+    }
+
+    /// The policy's display name.
+    pub fn scheduler_name(&self) -> &str {
+        match self {
+            Head::Single(rt) => rt.scheduler_name(),
+            Head::Sharded(rt) => rt.scheduler_name(),
+        }
+    }
+
+    /// The decomposition catalog.
+    pub fn catalog(&self) -> &Catalog {
+        match self {
+            Head::Single(rt) => rt.catalog(),
+            Head::Sharded(rt) => rt.catalog(),
+        }
+    }
+
+    /// Jobs buffered for the next cycle, cluster-wide.
+    pub fn queued_jobs(&self) -> usize {
+        match self {
+            Head::Single(rt) => rt.queued_jobs(),
+            Head::Sharded(rt) => rt.queued_jobs(),
+        }
+    }
+
+    /// Jobs fully completed, cluster-wide.
+    pub fn jobs_completed(&self) -> u64 {
+        match self {
+            Head::Single(rt) => rt.jobs_completed(),
+            Head::Sharded(rt) => rt.jobs_completed(),
+        }
+    }
+
+    /// Whether a (global) node is currently marked down.
+    pub fn is_node_down(&self, node: NodeId) -> bool {
+        match self {
+            Head::Single(rt) => rt.is_node_down(node),
+            Head::Sharded(rt) => rt.is_node_down(node),
+        }
+    }
+
+    /// The shard a dataset routes to; `None` for a single head.
+    pub fn shard_of_dataset(&self, dataset: DatasetId) -> Option<ShardId> {
+        match self {
+            Head::Single(_) => None,
+            Head::Sharded(rt) => Some(rt.shard_of_dataset(dataset)),
+        }
+    }
+
+    /// Seed one `Estimate[c]` prior.
+    pub fn seed_estimate(&mut self, chunk: ChunkId, estimate: SimDuration) {
+        match self {
+            Head::Single(rt) => rt.tables_mut().estimate.record(chunk, estimate),
+            Head::Sharded(rt) => rt.seed_estimate(chunk, estimate),
+        }
+    }
+
+    /// Mirror a pre-run cache placement (global node numbering).
+    pub fn record_warm_load(&mut self, node: NodeId, chunk: ChunkId, bytes: u64) {
+        match self {
+            Head::Single(rt) => rt.record_warm_load(node, chunk, bytes),
+            Head::Sharded(rt) => rt.record_warm_load(node, chunk, bytes),
+        }
+    }
+
+    /// Accept one job (routing it to its shard first, when sharded).
+    pub fn on_job_arrival<S: Substrate>(
+        &mut self,
+        sub: &mut S,
+        now: SimTime,
+        job: Job,
+    ) -> Admission {
+        match self {
+            Head::Single(rt) => rt.on_job_arrival(sub, now, job),
+            Head::Sharded(rt) => rt.on_job_arrival(sub, now, job).1,
+        }
+    }
+
+    /// Run one cycle boundary (on every shard, when sharded).
+    pub fn on_cycle<S: Substrate>(&mut self, sub: &mut S, now: SimTime) -> CycleOutcome {
+        match self {
+            Head::Single(rt) => rt.on_cycle(sub, now),
+            Head::Sharded(rt) => rt.on_cycle(sub, now),
+        }
+    }
+
+    /// Apply one completion (global node numbering).
+    pub fn on_task_done(&mut self, now: SimTime, done: Completion) -> Option<JobFinish> {
+        match self {
+            Head::Single(rt) => rt.on_task_done(now, done),
+            Head::Sharded(rt) => rt.on_task_done(now, done),
+        }
+    }
+
+    /// Handle a (global) node fault.
+    pub fn on_node_fault<S: Substrate>(
+        &mut self,
+        sub: &mut S,
+        now: SimTime,
+        node: NodeId,
+    ) -> usize {
+        match self {
+            Head::Single(rt) => rt.on_node_fault(sub, now, node),
+            Head::Sharded(rt) => rt.on_node_fault(sub, now, node),
+        }
+    }
+
+    /// Handle a (global) node rejoining.
+    pub fn on_node_recover(&mut self, now: SimTime, node: NodeId) {
+        match self {
+            Head::Single(rt) => rt.on_node_recover(now, node),
+            Head::Sharded(rt) => rt.on_node_recover(now, node),
+        }
+    }
+
+    /// Consume the head into its outcome. A single head reports an empty
+    /// per-shard list.
+    pub fn into_outcome(self) -> ShardedOutcome {
+        match self {
+            Head::Single(rt) => ShardedOutcome {
+                merged: rt.into_outcome(),
+                per_shard: Vec::new(),
+            },
+            Head::Sharded(rt) => rt.into_outcome(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OverloadPolicy;
+    use vizsched_core::cost::CostParams;
+    use vizsched_core::data::{uniform_datasets, Catalog, DecompositionPolicy};
+    use vizsched_core::ids::{ActionId, BatchId, JobId, UserId};
+    use vizsched_core::job::{FrameParams, JobKind};
+    use vizsched_core::sched::SchedulerKind;
+    use vizsched_core::tables::HeadTables;
+    use vizsched_core::time::SimDuration;
+    use vizsched_metrics::CollectingProbe;
+
+    const GIB: u64 = 1 << 30;
+
+    #[derive(Default)]
+    struct StubSubstrate {
+        dispatched: Vec<Assignment>,
+    }
+
+    impl Substrate for StubSubstrate {
+        fn dispatch(&mut self, assignment: &Assignment) -> bool {
+            self.dispatched.push(*assignment);
+            true
+        }
+    }
+
+    fn sharded(
+        nodes: usize,
+        shards: usize,
+        kind: SchedulerKind,
+        datasets: u32,
+        probe: Arc<dyn Probe>,
+        saturation: Option<usize>,
+    ) -> ShardedRuntime {
+        let cluster = ClusterSpec::homogeneous(nodes, 2 * GIB);
+        let catalog = Catalog::new(
+            uniform_datasets(datasets, 2 * GIB),
+            DecompositionPolicy::MaxChunkSize { max_bytes: GIB },
+        );
+        ShardedRuntime::new(&cluster, shards, probe, saturation, |_, slice, probe| {
+            HeadRuntime::new(
+                kind.build(SimDuration::from_millis(30)),
+                HeadTables::new(slice),
+                catalog.clone(),
+                CostParams::default(),
+                probe,
+                "shard-unit",
+            )
+        })
+    }
+
+    fn interactive(id: u64, dataset: u32, at: SimTime) -> Job {
+        Job {
+            id: JobId(id),
+            kind: JobKind::Interactive {
+                user: UserId(dataset),
+                action: ActionId(id),
+            },
+            dataset: DatasetId(dataset),
+            issue_time: at,
+            frame: FrameParams::default(),
+        }
+    }
+
+    fn batch(id: u64, dataset: u32, at: SimTime) -> Job {
+        Job {
+            id: JobId(id),
+            kind: JobKind::Batch {
+                user: UserId(99),
+                request: BatchId(0),
+                frame: id as u32,
+            },
+            dataset: DatasetId(dataset),
+            issue_time: at,
+            frame: FrameParams::default(),
+        }
+    }
+
+    fn completion_for(a: &Assignment, now: SimTime) -> Completion {
+        Completion {
+            node: a.node,
+            job: a.task.job,
+            task: a.task.index,
+            chunk: a.task.chunk,
+            started: now,
+            finish: now + SimDuration::from_millis(5),
+            io: SimDuration::from_millis(2),
+            miss: true,
+            evicted: Vec::new(),
+            gpu_resident: false,
+            gpu_evicted: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn jobs_dispatch_only_inside_their_shard() {
+        let probe = Arc::new(CollectingProbe::new());
+        let mut rt = sharded(8, 4, SchedulerKind::Fcfsl, 16, probe.clone(), None);
+        let mut sub = StubSubstrate::default();
+        for d in 0..16u32 {
+            let (shard, admission) = rt.on_job_arrival(
+                &mut sub,
+                SimTime::ZERO,
+                interactive(d as u64, d, SimTime::ZERO),
+            );
+            assert_eq!(shard, rt.shard_of_dataset(DatasetId(d)));
+            assert_eq!(admission, Admission::Scheduled);
+        }
+        // Every dispatched task landed on a node of its job's shard.
+        assert!(!sub.dispatched.is_empty());
+        for a in &sub.dispatched {
+            let dataset = a.task.chunk.dataset;
+            let home = rt.shard_of_dataset(dataset);
+            let span = rt.map().span(home);
+            assert!(
+                (span.base..span.base + span.nodes).contains(&a.node.0),
+                "task of {dataset} on node {} outside {home}",
+                a.node
+            );
+        }
+        // And the probe saw one global ShardAssigned per job, with
+        // globally-numbered assignments.
+        let events = probe.take();
+        let assigned = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ShardAssigned { .. }))
+            .count();
+        assert_eq!(assigned, 16);
+        for e in &events {
+            if let TraceEvent::Assignment { node, chunk, .. } = e {
+                let span = rt.map().span(rt.shard_of_dataset(chunk.dataset));
+                assert!((span.base..span.base + span.nodes).contains(&node.0));
+            }
+        }
+    }
+
+    #[test]
+    fn completions_route_back_and_merge_into_one_outcome() {
+        let mut rt = sharded(
+            8,
+            4,
+            SchedulerKind::Fcfsl,
+            8,
+            Arc::new(vizsched_metrics::NoopProbe),
+            None,
+        );
+        let mut sub = StubSubstrate::default();
+        for d in 0..8u32 {
+            rt.on_job_arrival(
+                &mut sub,
+                SimTime::ZERO,
+                interactive(d as u64, d, SimTime::ZERO),
+            );
+        }
+        let now = SimTime::from_millis(10);
+        for a in sub.dispatched.clone() {
+            rt.on_task_done(now, completion_for(&a, now));
+        }
+        assert_eq!(rt.jobs_completed(), 8);
+        let outcome = rt.into_outcome();
+        assert_eq!(outcome.merged.jobs_completed, 8);
+        assert_eq!(outcome.merged.incomplete_jobs, 0);
+        assert_eq!(outcome.merged.record.jobs.len(), 8);
+        // Record order restored to arrival order.
+        let ids: Vec<u64> = outcome.merged.record.jobs.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+        // Per-node counters are globally indexed and complete.
+        let tasks: u64 = outcome.merged.per_node.iter().map(|c| c.tasks).sum();
+        assert_eq!(tasks, outcome.merged.record.cache_misses);
+        assert_eq!(outcome.per_shard.len(), 4);
+        let completed: u64 = outcome.per_shard.iter().map(|s| s.jobs_completed).sum();
+        assert_eq!(completed, 8);
+    }
+
+    #[test]
+    fn saturation_migrates_batch_but_pins_interactive() {
+        let probe = Arc::new(CollectingProbe::new());
+        // Saturation threshold 1: two buffered jobs saturate a shard.
+        let mut rt = sharded(8, 2, SchedulerKind::Ours, 4, probe.clone(), Some(1));
+        rt.set_overload_policy(OverloadPolicy {
+            coalesce_interactive: true,
+            ..OverloadPolicy::default()
+        });
+        let mut sub = StubSubstrate::default();
+        // Find a dataset on shard 0 to overload.
+        let dataset = (0..16u32)
+            .find(|&d| rt.shard_of_dataset(DatasetId(d)) == ShardId(0))
+            .expect("some dataset routes to shard 0");
+        let t0 = SimTime::from_millis(1);
+        rt.on_job_arrival(&mut sub, t0, interactive(0, dataset, t0));
+        rt.on_job_arrival(&mut sub, t0, batch(1, dataset, t0));
+        rt.on_job_arrival(&mut sub, t0, batch(2, dataset, t0));
+        assert_eq!(rt.queued_jobs(), 3);
+        let cycle = rt.on_cycle(&mut sub, SimTime::from_millis(30));
+        assert!(cycle.invoked);
+        let events = probe.take();
+        let saturated = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::ShardSaturated {
+                        shard: ShardId(0),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(saturated, 1);
+        let migrated: Vec<(u64, u32, u32)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ShardMigrated { job, from, to, .. } => Some((job.0, from.0, to.0)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            migrated,
+            vec![(1, 0, 1), (2, 0, 1)],
+            "batch moved to shard 1"
+        );
+        // The interactive job stayed home: its tasks run on shard 0 nodes.
+        let span0 = rt.map().span(ShardId(0));
+        for a in sub.dispatched.iter().filter(|a| a.task.job == JobId(0)) {
+            assert!((span0.base..span0.base + span0.nodes).contains(&a.node.0));
+        }
+        let outcome = rt.into_outcome();
+        assert_eq!(outcome.per_shard[0].migrated_out, 2);
+        assert_eq!(outcome.per_shard[1].migrated_in, 2);
+        assert_eq!(outcome.per_shard[0].saturations, 1);
+    }
+
+    #[test]
+    fn faults_reroute_within_the_owning_shard() {
+        let mut rt = sharded(
+            8,
+            4,
+            SchedulerKind::Fcfsl,
+            8,
+            Arc::new(vizsched_metrics::NoopProbe),
+            None,
+        );
+        let mut sub = StubSubstrate::default();
+        for d in 0..8u32 {
+            rt.on_job_arrival(
+                &mut sub,
+                SimTime::ZERO,
+                interactive(d as u64, d, SimTime::ZERO),
+            );
+        }
+        let placed = sub.dispatched.clone();
+        let victim = placed[0].node;
+        let (victim_shard, _) = rt.map().local(victim);
+        let span = rt.map().span(victim_shard);
+        let lost = rt.on_node_fault(&mut sub, SimTime::from_millis(1), victim);
+        assert!(rt.is_node_down(victim));
+        // Everything rerouted landed on the same shard's surviving node.
+        for a in &sub.dispatched[placed.len()..] {
+            assert_ne!(a.node, victim);
+            assert!((span.base..span.base + span.nodes).contains(&a.node.0));
+        }
+        assert_eq!(sub.dispatched.len() - placed.len(), lost);
+        rt.on_node_recover(SimTime::from_millis(2), victim);
+        assert!(!rt.is_node_down(victim));
+    }
+
+    #[test]
+    fn single_shard_matches_single_head_placements() {
+        // With one shard the routing tier must be a pass-through: same
+        // placements as a bare HeadRuntime over the same cluster.
+        let cluster = ClusterSpec::homogeneous(4, 2 * GIB);
+        let catalog = Catalog::new(
+            uniform_datasets(4, 2 * GIB),
+            DecompositionPolicy::MaxChunkSize { max_bytes: GIB },
+        );
+        let mut single = HeadRuntime::new(
+            SchedulerKind::Fcfsl.build(SimDuration::from_millis(30)),
+            HeadTables::new(&cluster),
+            catalog.clone(),
+            CostParams::default(),
+            Arc::new(vizsched_metrics::NoopProbe),
+            "single",
+        );
+        let mut sharded = sharded(
+            4,
+            1,
+            SchedulerKind::Fcfsl,
+            4,
+            Arc::new(vizsched_metrics::NoopProbe),
+            None,
+        );
+        let mut sub_a = StubSubstrate::default();
+        let mut sub_b = StubSubstrate::default();
+        for d in 0..4u32 {
+            single.on_job_arrival(
+                &mut sub_a,
+                SimTime::ZERO,
+                interactive(d as u64, d, SimTime::ZERO),
+            );
+            sharded.on_job_arrival(
+                &mut sub_b,
+                SimTime::ZERO,
+                interactive(d as u64, d, SimTime::ZERO),
+            );
+        }
+        assert_eq!(sub_a.dispatched, sub_b.dispatched);
+    }
+}

@@ -1,8 +1,8 @@
 //! The wire codec: one type owning every buffer the framing layer needs.
 //!
-//! [`Codec`] replaces the free functions `wire::encode` /
-//! `wire::write_message` / `wire::read_message` (kept as deprecated
-//! wrappers for one release). Both transport paths go through it:
+//! [`Codec`] replaced the free functions `wire::encode` /
+//! `wire::write_message` / `wire::read_message` (deprecated for one
+//! release, now removed). Both transport paths go through it:
 //!
 //! - **Sync** (blocking sockets, the threaded baseline server and the
 //!   remote client): [`Codec::read`] / [`Codec::write`].
@@ -51,8 +51,7 @@ pub struct CodecStats {
     pub encoded: u64,
     /// Times a decoded payload was copied into a fresh `Vec<u8>`. Zero by
     /// construction on the `Codec` hot path — pixels are always borrowed
-    /// from the pooled read buffer; only the deprecated free-function
-    /// wrappers copy.
+    /// from the pooled read buffer.
     pub payload_copies: u64,
 }
 
@@ -144,8 +143,8 @@ impl Encoded {
         self.len() == 0
     }
 
-    /// Concatenate into one contiguous buffer (copies; the deprecated
-    /// `wire::encode` compatibility path).
+    /// Concatenate into one contiguous buffer (copies; for callers that
+    /// need a single owned frame rather than vectored segments).
     pub fn to_bytes(&self) -> Bytes {
         match &self.tail {
             None => self.head.clone(),

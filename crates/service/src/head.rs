@@ -34,7 +34,8 @@ use vizsched_core::time::{SimDuration, SimTime};
 use vizsched_metrics::{DropReason, NoopProbe, Probe, RunRecord};
 use vizsched_render::Layer;
 use vizsched_runtime::{
-    Admission, Completion, HeadRuntime, OverloadPolicy, OverloadStats, Substrate,
+    Admission, Completion, Head, HeadRuntime, OverloadPolicy, OverloadStats, ShardOutcome,
+    ShardedRuntime, Substrate,
 };
 
 /// Service configuration, built up fluently:
@@ -77,6 +78,12 @@ pub struct ServiceConfig {
     /// caps, per-job deadlines, stale-frame coalescing, batch
     /// anti-starvation. Inactive by default (everything is admitted).
     pub overload: OverloadPolicy,
+    /// Number of shards behind the consistent-hash routing tier. `1` (the
+    /// default) runs the paper's single head node, bit-identical to an
+    /// unsharded build; above 1, each shard runs its own cycle loop over
+    /// a leaf-aligned slice of the render nodes and every request routes
+    /// by dataset.
+    pub shards: usize,
 }
 
 impl std::fmt::Debug for ServiceConfig {
@@ -93,6 +100,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("restart_nodes", &self.restart_nodes)
             .field("queue_capacity", &self.queue_capacity)
             .field("overload", &self.overload)
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -111,6 +119,7 @@ impl Default for ServiceConfig {
             restart_nodes: false,
             queue_capacity: 1024,
             overload: OverloadPolicy::default(),
+            shards: 1,
         }
     }
 }
@@ -182,6 +191,13 @@ impl ServiceConfig {
         self.overload = policy;
         self
     }
+
+    /// Split the render nodes into `n` shards behind the consistent-hash
+    /// routing tier (`n <= 1` keeps the single head node).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
 }
 
 /// Aggregate statistics returned at shutdown.
@@ -204,6 +220,9 @@ pub struct ServiceStats {
     /// Admission-control counters (all zero unless
     /// [`ServiceConfig::overload`] set an active policy).
     pub overload: OverloadStats,
+    /// Per-shard routing and completion counters (empty unless
+    /// [`ServiceConfig::shards`] is above 1).
+    pub per_shard: Vec<ShardOutcome>,
 }
 
 /// Control-plane commands.
@@ -414,14 +433,33 @@ fn head_loop(
     let now = || SimTime::from_micros(start.elapsed().as_micros() as u64);
 
     let cluster = ClusterSpec::homogeneous(config.nodes, config.mem_quota);
-    let mut runtime = HeadRuntime::new(
-        config.scheduler.build(config.cycle),
-        HeadTables::new(&cluster),
-        store.catalog().clone(),
-        config.cost,
-        config.probe.clone(),
-        "live-service",
-    );
+    let mut runtime = if config.shards <= 1 {
+        Head::Single(HeadRuntime::new(
+            config.scheduler.build(config.cycle),
+            HeadTables::new(&cluster),
+            store.catalog().clone(),
+            config.cost,
+            config.probe.clone(),
+            "live-service",
+        ))
+    } else {
+        Head::Sharded(ShardedRuntime::new(
+            &cluster,
+            config.shards,
+            config.probe.clone(),
+            None,
+            |_, slice, shard_probe| {
+                HeadRuntime::new(
+                    config.scheduler.build(config.cycle),
+                    HeadTables::new(slice),
+                    store.catalog().clone(),
+                    config.cost,
+                    shard_probe,
+                    "live-service",
+                )
+            },
+        ))
+    };
     runtime.set_overload_policy(config.overload);
     let (to_head_tx, from_nodes) = unbounded::<ToHead>();
     let mut sub = LiveSubstrate::spawn(config, store.clone(), to_head_tx);
@@ -512,7 +550,8 @@ fn head_loop(
     }
 
     sub.shutdown();
-    let outcome = runtime.into_outcome();
+    let sharded = runtime.into_outcome();
+    let outcome = sharded.merged;
     ServiceStats {
         jobs_completed: outcome.jobs_completed,
         cache_hits: outcome.record.cache_hits,
@@ -525,6 +564,7 @@ fn head_loop(
             .collect(),
         record: outcome.record,
         overload: outcome.overload,
+        per_shard: sharded.per_shard,
     }
 }
 
@@ -545,7 +585,7 @@ fn shed(sub: &mut LiveSubstrate, job: JobId, outcome: RenderOutcome) {
 /// when configured, respawn the worker and rejoin it cold-cached.
 fn node_fault(
     config: &ServiceConfig,
-    runtime: &mut HeadRuntime,
+    runtime: &mut Head,
     sub: &mut LiveSubstrate,
     now: SimTime,
     node: NodeId,
@@ -559,7 +599,7 @@ fn node_fault(
 
 fn handle_task_done(
     done: TaskDone,
-    runtime: &mut HeadRuntime,
+    runtime: &mut Head,
     sub: &mut LiveSubstrate,
     config: &ServiceConfig,
     now: SimTime,

@@ -37,7 +37,7 @@ pub use protocol::{
 };
 pub use storage::{ChunkStore, StoreDataset};
 pub use tcp::{ClientOptions, RemoteClient, TcpServer};
-pub use vizsched_runtime::{OverloadPolicy, OverloadStats};
+pub use vizsched_runtime::{OverloadPolicy, OverloadStats, ShardOutcome};
 pub use wire::{WireFrame, WireMessage, WireRequest, WireResponse};
 
 /// The one-line import for service experiments: assembly, client, storage,

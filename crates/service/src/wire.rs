@@ -9,7 +9,6 @@
 //! alpha preserved), a 4× saving over raw floats before any compression.
 
 use bytes::{BufMut, Bytes, BytesMut};
-use std::io::{self, Read, Write};
 use vizsched_core::ids::{DatasetId, JobId, UserId};
 use vizsched_core::job::{FrameParams, JobKind};
 use vizsched_core::time::SimDuration;
@@ -149,35 +148,6 @@ pub enum WireMessage {
     Response(WireResponse),
 }
 
-/// Serialize a message into a framed byte buffer.
-///
-/// Copies frame pixels into a fresh contiguous buffer. Use
-/// [`Codec::encode`](crate::codec::Codec::encode) instead: it returns the
-/// pixels as a shared segment for vectored writes, with no copy.
-#[deprecated(since = "0.1.0", note = "use `codec::Codec::encode`")]
-pub fn encode(msg: &WireMessage) -> Bytes {
-    crate::codec::Codec::new().encode(msg).to_bytes()
-}
-
-/// Write one framed message to a stream.
-///
-/// Allocates per call. Use a long-lived
-/// [`Codec`](crate::codec::Codec) so encode buffers are pooled.
-#[deprecated(since = "0.1.0", note = "use `codec::Codec::write`")]
-pub fn write_message(w: &mut impl Write, msg: &WireMessage) -> io::Result<()> {
-    crate::codec::Codec::new().write(w, msg)
-}
-
-/// Read one framed message from a stream. Returns `Ok(None)` on a clean
-/// EOF at a frame boundary.
-///
-/// Allocates a fresh payload buffer per call. Use a long-lived
-/// [`Codec`](crate::codec::Codec) so decode buffers are pooled.
-#[deprecated(since = "0.1.0", note = "use `codec::Codec::read`")]
-pub fn read_message(r: &mut impl Read) -> io::Result<Option<WireMessage>> {
-    crate::codec::Codec::new().read(r)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,19 +282,5 @@ mod tests {
         assert_eq!(codec.read(&mut cursor).unwrap().unwrap(), a);
         assert_eq!(codec.read(&mut cursor).unwrap().unwrap(), b);
         assert!(codec.read(&mut cursor).unwrap().is_none());
-    }
-
-    /// The deprecated free functions stay byte-compatible with the codec.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_codec() {
-        let msg = WireMessage::Request(sample_request());
-        let legacy = encode(&msg);
-        assert_eq!(legacy, Codec::new().encode(&msg).to_bytes());
-        let mut written = Vec::new();
-        write_message(&mut written, &msg).unwrap();
-        assert_eq!(&written[..], &legacy[..]);
-        let mut cursor = std::io::Cursor::new(written);
-        assert_eq!(read_message(&mut cursor).unwrap().unwrap(), msg);
     }
 }

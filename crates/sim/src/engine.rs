@@ -34,7 +34,10 @@ use vizsched_core::memory::EvictionPolicy;
 use vizsched_core::sched::{Assignment, Trigger};
 use vizsched_core::time::{SimDuration, SimTime};
 use vizsched_metrics::RunRecord;
-use vizsched_runtime::{Admission, Completion, HeadRuntime, OverloadStats, Substrate};
+use vizsched_runtime::{
+    Admission, Completion, Head, HeadRuntime, OverloadStats, ShardOutcome, ShardedRuntime,
+    Substrate,
+};
 
 /// A fault-injection event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -159,6 +162,9 @@ pub struct SimOutcome {
     /// Admission-control counters (all zero unless the run sets an
     /// [`OverloadPolicy`](vizsched_runtime::OverloadPolicy)).
     pub overload: OverloadStats,
+    /// Per-shard routing and completion counters (empty unless the run
+    /// set [`RunOptions::shards`](crate::RunOptions::shards) above 1).
+    pub per_shard: Vec<ShardOutcome>,
 }
 
 /// A workload replayer for one configuration.
@@ -213,21 +219,31 @@ impl Simulation {
                 };
             }
         }
-        let scheduler = match opts.scheduler {
-            SchedulerChoice::Kind(kind) => kind.build(config.cycle),
-            SchedulerChoice::Instance(instance) => instance,
-        };
         let catalog = match opts.catalog {
             Some(catalog) => catalog,
             None => {
-                let policy = scheduler.decomposition(config.chunk_max, config.cluster.len() as u32);
+                let policy = match &opts.scheduler {
+                    SchedulerChoice::Kind(kind) => kind
+                        .build(config.cycle)
+                        .decomposition(config.chunk_max, config.cluster.len() as u32),
+                    SchedulerChoice::Instance(s) => {
+                        s.decomposition(config.chunk_max, config.cluster.len() as u32)
+                    }
+                };
                 Catalog::new(self.datasets.clone(), policy)
             }
         };
-        let mut engine = Engine::new(&config, catalog, scheduler, &opts.label, opts.probe);
+        let mut engine = Engine::new(
+            &config,
+            catalog,
+            opts.scheduler,
+            opts.shards,
+            &opts.label,
+            opts.probe,
+        );
         engine.runtime.set_overload_policy(opts.overload);
         for (chunk, estimate) in opts.initial_estimates {
-            engine.runtime.tables_mut().estimate.record(chunk, estimate);
+            engine.runtime.seed_estimate(chunk, estimate);
         }
         engine.run(jobs)
     }
@@ -317,7 +333,7 @@ impl SimSubstrate<'_> {
 }
 
 struct Engine<'a> {
-    runtime: HeadRuntime,
+    runtime: Head,
     sub: SimSubstrate<'a>,
 }
 
@@ -325,19 +341,58 @@ impl<'a> Engine<'a> {
     fn new(
         config: &'a SimConfig,
         catalog: Catalog,
-        scheduler: Box<dyn vizsched_core::sched::Scheduler>,
+        scheduler: SchedulerChoice,
+        shards: usize,
         scenario: &str,
         probe: std::sync::Arc<dyn vizsched_metrics::Probe>,
     ) -> Self {
-        let tables = match config.gpu_quota {
-            Some(gpu) => vizsched_core::tables::HeadTables::with_gpu_tier(
-                &config.cluster,
-                gpu,
-                config.eviction,
-            ),
-            None => {
-                vizsched_core::tables::HeadTables::with_eviction(&config.cluster, config.eviction)
+        let tables_for = |cluster: &ClusterSpec| match config.gpu_quota {
+            Some(gpu) => {
+                vizsched_core::tables::HeadTables::with_gpu_tier(cluster, gpu, config.eviction)
             }
+            None => vizsched_core::tables::HeadTables::with_eviction(cluster, config.eviction),
+        };
+        let runtime = if shards <= 1 {
+            let scheduler = match scheduler {
+                SchedulerChoice::Kind(kind) => kind.build(config.cycle),
+                SchedulerChoice::Instance(instance) => instance,
+            };
+            Head::Single(HeadRuntime::new(
+                scheduler,
+                tables_for(&config.cluster),
+                catalog,
+                config.cost,
+                probe,
+                scenario,
+            ))
+        } else {
+            // Schedulers are stateful, so a sharded run builds one fresh
+            // instance per shard — which needs a buildable kind, not a
+            // single pre-built instance.
+            let kind = match scheduler {
+                SchedulerChoice::Kind(kind) => kind,
+                SchedulerChoice::Instance(s) => panic!(
+                    "sharded runs build one scheduler per shard; pass SchedulerKind, \
+                     not a pre-built {} instance",
+                    s.name()
+                ),
+            };
+            Head::Sharded(ShardedRuntime::new(
+                &config.cluster,
+                shards,
+                probe,
+                None,
+                |_, slice, shard_probe| {
+                    HeadRuntime::new(
+                        kind.build(config.cycle),
+                        tables_for(slice),
+                        catalog.clone(),
+                        config.cost,
+                        shard_probe,
+                        scenario,
+                    )
+                },
+            ))
         };
         let nodes = config
             .cluster
@@ -357,7 +412,7 @@ impl<'a> Engine<'a> {
             })
             .collect();
         Engine {
-            runtime: HeadRuntime::new(scheduler, tables, catalog, config.cost, probe, scenario),
+            runtime,
             sub: SimSubstrate {
                 config,
                 nodes,
@@ -515,7 +570,8 @@ impl<'a> Engine<'a> {
     }
 
     fn finish(self) -> SimOutcome {
-        let outcome = self.runtime.into_outcome();
+        let sharded = self.runtime.into_outcome();
+        let outcome = sharded.merged;
         let mut record = outcome.record;
         // The node model's counters are authoritative (they include work
         // started but lost to crashes, and real eviction totals).
@@ -549,6 +605,7 @@ impl<'a> Engine<'a> {
             node_stats,
             incomplete_jobs: outcome.incomplete_jobs,
             overload: outcome.overload,
+            per_shard: sharded.per_shard,
         }
     }
 }

@@ -48,7 +48,7 @@ pub use event::{Event, EventKind, EventQueue};
 pub use node::{RunningTask, SimNode};
 pub use options::{RunOptions, SchedulerChoice};
 pub use trace::{ascii_gantt, node_utilization, trace_to_csv, NodeUtilization};
-pub use vizsched_runtime::{OverloadPolicy, OverloadStats};
+pub use vizsched_runtime::{OverloadPolicy, OverloadStats, ShardOutcome};
 
 /// The one-line import for simulation experiments: the simulation types,
 /// run configuration, and the probe machinery they plug into.

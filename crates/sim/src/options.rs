@@ -70,6 +70,7 @@ pub struct RunOptions {
     pub(crate) initial_estimates: Vec<(ChunkId, SimDuration)>,
     pub(crate) catalog: Option<Catalog>,
     pub(crate) overload: OverloadPolicy,
+    pub(crate) shards: usize,
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -89,6 +90,7 @@ impl std::fmt::Debug for RunOptions {
             .field("initial_estimates", &self.initial_estimates.len())
             .field("catalog_override", &self.catalog.is_some())
             .field("overload", &self.overload)
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -121,6 +123,7 @@ impl RunOptions {
             initial_estimates: Vec::new(),
             catalog: None,
             overload: OverloadPolicy::default(),
+            shards: 1,
         }
     }
 
@@ -211,6 +214,18 @@ impl RunOptions {
     /// everything, preserving historical behavior bit-for-bit.
     pub fn overload(mut self, policy: OverloadPolicy) -> Self {
         self.overload = policy;
+        self
+    }
+
+    /// Split the cluster into `n` shards behind the consistent-hash
+    /// routing tier: each shard runs its own head-node cycle loop over a
+    /// leaf-aligned slice of the nodes, and jobs route by dataset.
+    /// `n <= 1` (the default) runs the paper's single head node,
+    /// bit-identical to an unsharded build. Sharded runs build one
+    /// scheduler per shard, so they require a named policy
+    /// ([`RunOptions::new`]), not a pre-built instance.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
         self
     }
 

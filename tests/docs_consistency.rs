@@ -31,6 +31,56 @@ fn design_md_documents_every_trace_event_variant() {
     );
 }
 
+/// The body of one `## N.`-numbered DESIGN.md section: from its heading
+/// to the next `## ` heading (or end of file).
+fn design_section(design: &str, number: u32) -> &str {
+    let heading = format!("## {number}");
+    let start = design
+        .find(&heading)
+        .unwrap_or_else(|| panic!("DESIGN.md has no section '{heading}'"));
+    let body = &design[start..];
+    match body[heading.len()..].find("\n## ") {
+        Some(end) => &body[..heading.len() + end],
+        None => body,
+    }
+}
+
+/// Stricter than the whole-document check above: every tag must appear in
+/// the §8 *schema table itself* — a row of the `| variant | tag | ... |`
+/// table — so a new variant can't satisfy the docs test by being
+/// name-dropped in prose elsewhere.
+#[test]
+fn design_md_schema_table_has_a_row_per_trace_event() {
+    let design = read("DESIGN.md");
+    let section = design_section(&design, 8);
+    let rows: Vec<&str> = section
+        .lines()
+        .filter(|l| l.trim_start().starts_with('|'))
+        .collect();
+    let missing: Vec<&str> = TraceEvent::TAGS
+        .iter()
+        .copied()
+        .filter(|tag| {
+            let cell = format!("`{tag}`");
+            !rows.iter().any(|row| row.contains(&cell))
+        })
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "DESIGN.md section 8 schema table is missing rows for: {missing:?}"
+    );
+    // The worked JSONL example block must also show each tag once.
+    let missing_examples: Vec<&str> = TraceEvent::TAGS
+        .iter()
+        .copied()
+        .filter(|tag| !section.contains(&format!("{{\"t\":\"{tag}\"")))
+        .collect();
+    assert!(
+        missing_examples.is_empty(),
+        "DESIGN.md section 8 worked-example block is missing lines for: {missing_examples:?}"
+    );
+}
+
 /// The overload-policy section must name every policy knob and every
 /// admission counter, so renaming a field orphans the docs loudly.
 #[test]
