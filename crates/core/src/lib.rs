@@ -78,6 +78,13 @@ pub mod tables;
 pub mod tiered;
 pub mod time;
 
+/// Doctest anchor for `docs/POLICY_GUIDE.md`: every Rust block in the
+/// policy-author's guide compiles and runs against this crate as part of
+/// `cargo test --doc`, so the guide cannot drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/POLICY_GUIDE.md")]
+pub struct PolicyGuide;
+
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
     pub use crate::cluster::{ClusterSpec, NodeSpec};

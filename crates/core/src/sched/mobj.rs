@@ -1,0 +1,729 @@
+//! MOBJ / MOBJ-A — weighted multi-objective placement scoring (after
+//! Mamirov, "Multi-Objective GPU Cluster Scheduling", arXiv:2512.10980).
+//!
+//! Where OURS picks nodes by a single scalar (predicted completion,
+//! Algorithm 1 line 11), MOBJ scores every live candidate node `k` with a
+//! weighted objective vector and places on the minimum:
+//!
+//! ```text
+//! score(k) = w_loc · move_us(k)          (cache locality)
+//!          + w_bal · wait_us(k)          (load balance)
+//!          + w_frag · frag_us(k)         (fragmentation pressure)
+//!          − w_starv · idle_us(k)        (starvation age; batch only)
+//! ```
+//!
+//! * `move_us` — the predicted data-movement cost: zero on a predicted
+//!   cache hit, else `Estimate[c]`;
+//! * `wait_us` — how much later than the cluster's earliest node this one
+//!   frees up (`ready_at(k) − min_k ready_at`);
+//! * `frag_us` — eviction pressure: the fraction of the chunk that would
+//!   not fit in the node's remaining memory quota, scaled by
+//!   `Estimate[c]` (placing data on a full node forces future reloads);
+//! * `idle_us` — how long the node has gone without interactive work,
+//!   capped at [`MobjParams::starvation_cap`]. Subtracted, and only for
+//!   batch placements: it routes deferred batch onto the nodes the
+//!   interactive tide left dry, which is what shrinks the longest batch
+//!   starvation gap in the overload sweep.
+//!
+//! Batch candidates additionally pass the cold-placement protection gate
+//! ([`cold_batch_protected`](super::cold_batch_protected), fraction
+//! [`MobjParams::protect_pm`]): a load-incurring batch placement needs an
+//! interactive idle age covering `protect_pm`/1000 of the load estimate,
+//! exactly OURS's ε-idle rule in integer form. The scorer alone cannot
+//! provide this safety — a modest `w_loc` penalty still loses to a large
+//! queue-wait difference, and one cold placement on a busy node evicts
+//! that node's interactive working set and starts a churn cascade.
+//!
+//! All weights are integer per-mille and every term is integer
+//! microseconds accumulated in `i128` — zero floats in the decision path,
+//! so [`reference::ReferenceMobjScheduler`](super::reference) can be held
+//! bit-identical by the placement-equivalence suite. The optimized path
+//! exploits that the balance anchor (`min_k ready_at`) shifts every
+//! candidate's score equally: it anchors at `now` instead and skips the
+//! extra minimum scan (see [`objective_score`]); the reference twin keeps
+//! the textbook anchor, and the equivalence suite is the proof the shift
+//! really is invariant.
+//!
+//! **MOBJ-A** is the same scorer with the weights retuned online from the
+//! completion stream ([`Scheduler::observe_completion`]): the miss-rate
+//! EMA shifts weight from balance to locality (misses mean the placements
+//! chase queue slack into cold nodes), and the start-time prediction-error
+//! EMA shifts weight from fragmentation to starvation age (noisy
+//! `Available` predictions mean deferred work waits longer than the
+//! tables claim). Every retune emits a
+//! [`PolicyEvent::WeightsUpdated`], surfaced as a `weights_updated`
+//! trace event.
+
+use super::{Assignment, CompletionFeedback, PolicyEvent, ScheduleCtx, Scheduler, Trigger};
+use crate::ids::{ChunkId, JobId, NodeId};
+use crate::job::{Job, Task};
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// The objective weights, per-mille. They need not sum to 1000 — only
+/// their ratios matter — but the defaults do, and the adaptive retune
+/// preserves the sum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MobjWeights {
+    /// Cache-locality weight `w_loc`.
+    pub locality_pm: u32,
+    /// Load-balance weight `w_bal`.
+    pub balance_pm: u32,
+    /// Fragmentation weight `w_frag`.
+    pub fragmentation_pm: u32,
+    /// Starvation-age weight `w_starv` (batch placements only).
+    pub starvation_pm: u32,
+}
+
+impl Default for MobjWeights {
+    fn default() -> Self {
+        MobjWeights {
+            locality_pm: 400,
+            balance_pm: 300,
+            fragmentation_pm: 200,
+            starvation_pm: 100,
+        }
+    }
+}
+
+/// Tuning knobs for MOBJ / MOBJ-A.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MobjParams {
+    /// The scheduling cycle `ω`.
+    pub cycle: SimDuration,
+    /// Initial objective weights (the fixed weights when not adaptive;
+    /// the zero-signal anchor when adaptive).
+    pub weights: MobjWeights,
+    /// Retune the weights online from completion feedback (MOBJ-A).
+    pub adaptive: bool,
+    /// Completions between adaptive retunes.
+    pub retune_every: u32,
+    /// Cap on the starvation-age term, so a node idle since boot does not
+    /// drown every other objective.
+    pub starvation_cap: SimDuration,
+    /// Cold-placement protection, per-mille: a batch placement that incurs
+    /// a load is only admitted on a node whose interactive idle age covers
+    /// this fraction of the load's estimate (see
+    /// [`cold_batch_protected`](super::cold_batch_protected)). 500 mirrors
+    /// OURS's default `epsilon_frac` of 0.5.
+    pub protect_pm: u32,
+}
+
+impl Default for MobjParams {
+    fn default() -> Self {
+        MobjParams {
+            cycle: SimDuration::from_millis(30),
+            weights: MobjWeights::default(),
+            adaptive: false,
+            retune_every: 32,
+            starvation_cap: SimDuration::from_secs(2),
+            protect_pm: 500,
+        }
+    }
+}
+
+/// EMA divisor: each sample carries 1/8 of the state.
+const EMA_OLD: u64 = 7;
+const EMA_DIV: u64 = 8;
+/// Scale of the start-time-error signal in the retune rule: an error EMA
+/// of this size moves half of the maximum fragmentation→starvation shift.
+const RETUNE_ERR_SCALE_US: u64 = 50_000;
+
+/// The age-widened admission window of one deferred batch task: the
+/// starvation objective acting on *feasibility*. A fresh task may only
+/// queue within the cycle window `λ`; a task deferred since `since` may
+/// queue `starvation_pm`/1000 of its age past it, so aged work wedges
+/// into a busy-but-eligible node's queue instead of waiting forever for a
+/// perfectly free cycle slot. This is what bounds the longest batch start
+/// delay below OURS's in the overload sweep, and it is why MOBJ-A's
+/// retune shifting weight *into* `starvation_pm` visibly strengthens the
+/// anti-starvation behavior. Shared with the reference twin.
+pub(super) fn batch_gate(
+    now: SimTime,
+    lambda: SimTime,
+    since: SimTime,
+    starvation_pm: u32,
+) -> SimTime {
+    let age_us = now.saturating_since(since).as_micros();
+    lambda + SimDuration::from_micros(age_us.saturating_mul(starvation_pm as u64) / 1000)
+}
+
+/// Score one candidate placement. `anchor` is the balance-term origin:
+/// the optimized scheduler passes `now` (a per-group constant shift that
+/// cannot change the argmin or its ties), the reference twin passes the
+/// textbook `min_k ready_at(k)`.
+#[allow(clippy::too_many_arguments)] // twin-shared scorer: explicit inputs beat a one-use struct
+pub(super) fn objective_score(
+    ctx: &ScheduleCtx<'_>,
+    w: &MobjWeights,
+    starvation_cap: SimDuration,
+    anchor: SimTime,
+    node: NodeId,
+    chunk: ChunkId,
+    bytes: u64,
+    batch: bool,
+) -> i128 {
+    let ready = ctx.tables.available.ready_at(node, ctx.now);
+    let wait_us = ready.saturating_since(anchor).as_micros();
+    let (move_us, frag_us) = if ctx.tables.cache.contains(node, chunk) {
+        (0u64, 0u64)
+    } else {
+        let est_us = ctx.tables.estimate.get(chunk, bytes, ctx.cost).as_micros();
+        let mem = ctx.tables.cache.node_memory(node);
+        let over = (mem.used() + bytes).saturating_sub(mem.quota()).min(bytes);
+        (est_us, est_us.saturating_mul(over) / bytes.max(1))
+    };
+    let mut score = w.locality_pm as i128 * move_us as i128
+        + w.balance_pm as i128 * wait_us as i128
+        + w.fragmentation_pm as i128 * frag_us as i128;
+    if batch {
+        let idle_us = ctx
+            .tables
+            .interactive_idle(node, ctx.now)
+            .min(starvation_cap)
+            .as_micros();
+        score -= w.starvation_pm as i128 * idle_us as i128;
+    }
+    score
+}
+
+/// One adaptive EMA step over a completion report. Shared with the
+/// reference twin so the learning rule cannot drift between the two.
+pub(super) fn feedback_step(
+    miss_ema_pm: &mut u32,
+    start_err_ema_us: &mut u64,
+    fb: &CompletionFeedback,
+) {
+    let miss = if fb.miss { 1000u64 } else { 0 };
+    *miss_ema_pm = ((EMA_OLD * *miss_ema_pm as u64 + miss) / EMA_DIV) as u32;
+    let err_us = if fb.started >= fb.predicted_start {
+        fb.started.saturating_since(fb.predicted_start)
+    } else {
+        fb.predicted_start.saturating_since(fb.started)
+    }
+    .as_micros();
+    *start_err_ema_us = (EMA_OLD * *start_err_ema_us + err_us) / EMA_DIV;
+}
+
+/// The deterministic retune rule: shift balance→locality by the miss-rate
+/// EMA and fragmentation→starvation by the start-error EMA, preserving
+/// the weight sum and keeping every donor weight ≥ 50 per-mille.
+pub(super) fn retuned_weights(
+    base: &MobjWeights,
+    miss_ema_pm: u32,
+    start_err_ema_us: u64,
+) -> MobjWeights {
+    let d1 = miss_ema_pm.min(1000) * base.balance_pm.saturating_sub(50) / 1000;
+    let room = base.fragmentation_pm.saturating_sub(50) as u64;
+    let d2 = (room * start_err_ema_us / (start_err_ema_us + RETUNE_ERR_SCALE_US)) as u32;
+    MobjWeights {
+        locality_pm: base.locality_pm + d1,
+        balance_pm: base.balance_pm - d1,
+        fragmentation_pm: base.fragmentation_pm - d2,
+        starvation_pm: base.starvation_pm + d2,
+    }
+}
+
+/// The multi-objective scheduler (MOBJ, and MOBJ-A when
+/// [`MobjParams::adaptive`] is set).
+#[derive(Debug)]
+pub struct MobjScheduler {
+    params: MobjParams,
+    /// The weights currently steering placement (= `params.weights` until
+    /// the first adaptive retune).
+    weights: MobjWeights,
+    /// `H_B`: deferred batch tasks in global FIFO order, each tagged with
+    /// its deferral time. Timestamps are monotone, so the escalation scan
+    /// is a front-prefix pop.
+    pending_batch: VecDeque<(SimTime, Task)>,
+    /// Batch tasks promoted by [`Scheduler::escalate_deferred`].
+    escalated: Vec<Task>,
+    /// Control moves since the last drain.
+    events: Vec<PolicyEvent>,
+    /// Miss-rate EMA, per-mille (adaptive mode).
+    miss_ema_pm: u32,
+    /// Start-time |predicted − measured| EMA, µs (adaptive mode).
+    start_err_ema_us: u64,
+    /// Completions observed (adaptive mode).
+    seen: u32,
+    /// Reused per-cycle buffers (see [`ours`](super::ours) for the
+    /// pattern).
+    scratch: CycleScratch,
+}
+
+#[derive(Debug, Default)]
+struct CycleScratch {
+    tasks: Vec<(u32, Task)>,
+    groups: Vec<(ChunkId, u32, u32)>,
+    cached: Vec<u32>,
+    non_cached: Vec<(SimDuration, ChunkId, u32)>,
+}
+
+impl MobjScheduler {
+    /// Build the scheduler.
+    pub fn new(params: MobjParams) -> Self {
+        assert!(!params.cycle.is_zero(), "scheduling cycle must be positive");
+        assert!(params.retune_every > 0, "retune interval must be positive");
+        MobjScheduler {
+            weights: params.weights,
+            params,
+            pending_batch: VecDeque::new(),
+            escalated: Vec::new(),
+            events: Vec::new(),
+            miss_ema_pm: 0,
+            start_err_ema_us: 0,
+            seen: 0,
+            scratch: CycleScratch::default(),
+        }
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> MobjParams {
+        self.params
+    }
+
+    /// The weights currently steering placement.
+    pub fn weights(&self) -> MobjWeights {
+        self.weights
+    }
+
+    /// Number of batch tasks currently held back.
+    pub fn pending_batch_tasks(&self) -> usize {
+        self.pending_batch.len()
+    }
+
+    /// Argmin of the objective over live nodes, ties to the lowest id.
+    fn best_node(
+        &self,
+        ctx: &ScheduleCtx<'_>,
+        chunk: ChunkId,
+        bytes: u64,
+        batch: bool,
+        gate: Option<SimTime>,
+    ) -> Option<NodeId> {
+        let mut best: Option<(i128, NodeId)> = None;
+        for k in ctx.tables.live_nodes() {
+            if let Some(lambda) = gate {
+                if ctx.tables.available.get(k) >= lambda {
+                    continue;
+                }
+            }
+            if batch && super::cold_batch_protected(ctx, k, chunk, bytes, self.params.protect_pm) {
+                continue;
+            }
+            let s = objective_score(
+                ctx,
+                &self.weights,
+                self.params.starvation_cap,
+                ctx.now,
+                k,
+                chunk,
+                bytes,
+                batch,
+            );
+            if best.is_none_or(|b| (s, k) < b) {
+                best = Some((s, k));
+            }
+        }
+        best.map(|(_, k)| k)
+    }
+
+    /// The interactive pass: OURS's chunk grouping and ordering
+    /// (heuristics 1–3), with the per-group node choice swapped from the
+    /// completion-time greedy to the objective argmin.
+    fn schedule_interactive(
+        &mut self,
+        ctx: &mut ScheduleCtx<'_>,
+        s: &mut CycleScratch,
+        out: &mut Vec<Assignment>,
+    ) {
+        s.tasks.sort_unstable_by_key(|&(seq, t)| (t.chunk, seq));
+        s.groups.clear();
+        s.cached.clear();
+        s.non_cached.clear();
+        let mut i = 0usize;
+        while i < s.tasks.len() {
+            let chunk = s.tasks[i].1.chunk;
+            let start = i as u32;
+            while i < s.tasks.len() && s.tasks[i].1.chunk == chunk {
+                i += 1;
+            }
+            let g = s.groups.len() as u32;
+            s.groups.push((chunk, start, i as u32));
+            if ctx.tables.cache.is_cached_anywhere(chunk) {
+                s.cached.push(g);
+            } else {
+                let bytes = ctx.catalog.chunk_bytes(chunk);
+                s.non_cached
+                    .push((ctx.tables.estimate.get(chunk, bytes, ctx.cost), chunk, g));
+            }
+        }
+        s.non_cached
+            .sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let live = ctx.tables.live_nodes().count().max(1) as u32;
+        let ordered = s
+            .cached
+            .iter()
+            .chain(s.non_cached.iter().map(|(_, _, g)| g));
+        for &g in ordered {
+            let (chunk, start, end) = s.groups[g as usize];
+            let bytes = s.tasks[start as usize].1.bytes;
+            let node = self
+                .best_node(ctx, chunk, bytes, false, None)
+                .expect("at least one live node");
+            for idx in start..end {
+                let task = s.tasks[idx as usize].1;
+                let group = ctx.catalog.task_count(task.chunk.dataset).min(live);
+                out.push(ctx.commit(task, node, group));
+            }
+        }
+    }
+
+    /// Drain deferred batch oldest-first: each task goes to the objective
+    /// argmin (starvation term active) among nodes whose queue start is
+    /// still inside the cycle; stop at the first task with no candidate.
+    /// There is no ε gate — the starvation term *attracts* batch to
+    /// interactive-idle nodes instead of merely permitting them.
+    /// Drain the deferred queue oldest-first, *scanning past* tasks no
+    /// node can currently take (their caching nodes are saturated or
+    /// protected): a blocked head must not starve placeable work behind
+    /// it, and giving the oldest tasks first pick of the scarce window
+    /// slots is what bounds the longest batch start delay. Unplaced tasks
+    /// keep their position and deferral timestamps, so the queue stays
+    /// age-sorted for [`Scheduler::escalate_deferred`].
+    fn schedule_batch(
+        &mut self,
+        ctx: &mut ScheduleCtx<'_>,
+        lambda: SimTime,
+        out: &mut Vec<Assignment>,
+    ) {
+        let mut i = 0usize;
+        while i < self.pending_batch.len() {
+            let (since, task) = self.pending_batch[i];
+            let gate = batch_gate(ctx.now, lambda, since, self.weights.starvation_pm);
+            match self.best_node(ctx, task.chunk, task.bytes, true, Some(gate)) {
+                Some(node) => {
+                    self.pending_batch.remove(i);
+                    let group = ctx.group_size(task.chunk.dataset);
+                    out.push(ctx.commit(task, node, group));
+                }
+                None => i += 1,
+            }
+        }
+    }
+
+    fn retune(&mut self) {
+        let new = retuned_weights(
+            &self.params.weights,
+            self.miss_ema_pm,
+            self.start_err_ema_us,
+        );
+        if new != self.weights {
+            self.weights = new;
+            self.events.push(PolicyEvent::WeightsUpdated {
+                locality_pm: new.locality_pm,
+                balance_pm: new.balance_pm,
+                fragmentation_pm: new.fragmentation_pm,
+                starvation_pm: new.starvation_pm,
+            });
+        }
+    }
+}
+
+impl Scheduler for MobjScheduler {
+    fn name(&self) -> &'static str {
+        if self.params.adaptive {
+            "MOBJ-A"
+        } else {
+            "MOBJ"
+        }
+    }
+
+    fn trigger(&self) -> Trigger {
+        Trigger::Cycle(self.params.cycle)
+    }
+
+    fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment> {
+        let lambda = ctx.now + self.params.cycle;
+        let mut s = std::mem::take(&mut self.scratch);
+
+        s.tasks.clear();
+        let mut seq = 0u32;
+        for task in self.escalated.drain(..) {
+            s.tasks.push((seq, task));
+            seq += 1;
+        }
+        for job in incoming {
+            for task in job.decompose(ctx.catalog) {
+                if task.interactive {
+                    s.tasks.push((seq, task));
+                    seq += 1;
+                } else {
+                    self.pending_batch.push_back((ctx.now, task));
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        self.schedule_interactive(ctx, &mut s, &mut out);
+        self.schedule_batch(ctx, lambda, &mut out);
+        self.scratch = s;
+        out
+    }
+
+    fn has_deferred(&self) -> bool {
+        !self.pending_batch.is_empty() || !self.escalated.is_empty()
+    }
+
+    /// Deferral timestamps are monotone in the FIFO, so escalation pops
+    /// the aged front prefix; reporting mirrors OURS (per-job, oldest
+    /// task's age, sorted by job then task index).
+    fn escalate_deferred(&mut self, now: SimTime, age: SimDuration) -> Vec<(JobId, SimDuration)> {
+        let mut moved: Vec<(SimTime, Task)> = Vec::new();
+        while let Some(&(since, _)) = self.pending_batch.front() {
+            if now.saturating_since(since) < age {
+                break;
+            }
+            let (since, task) = self.pending_batch.pop_front().expect("front exists");
+            moved.push((since, task));
+        }
+        if moved.is_empty() {
+            return Vec::new();
+        }
+        moved.sort_unstable_by_key(|&(_, t)| (t.job.0, t.index));
+        let mut per_job: Vec<(JobId, SimDuration)> = Vec::new();
+        for &(since, task) in &moved {
+            let waited = now.saturating_since(since);
+            match per_job.last_mut() {
+                Some((job, max)) if *job == task.job => *max = (*max).max(waited),
+                _ => per_job.push((task.job, waited)),
+            }
+        }
+        self.escalated.extend(moved.into_iter().map(|(_, t)| t));
+        per_job
+    }
+
+    fn observe_completion(&mut self, feedback: &CompletionFeedback) {
+        if !self.params.adaptive {
+            return;
+        }
+        feedback_step(&mut self.miss_ema_pm, &mut self.start_err_ema_us, feedback);
+        self.seen += 1;
+        if self.seen % self.params.retune_every == 0 {
+            self.retune();
+        }
+    }
+
+    fn drain_policy_events(&mut self) -> Vec<PolicyEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::{assert_complete_assignment, Fixture};
+
+    fn mobj() -> MobjScheduler {
+        MobjScheduler::new(MobjParams::default())
+    }
+
+    fn mobj_a() -> MobjScheduler {
+        MobjScheduler::new(MobjParams {
+            adaptive: true,
+            ..MobjParams::default()
+        })
+    }
+
+    fn feedback(miss: bool, err_ms: u64) -> CompletionFeedback {
+        CompletionFeedback {
+            node: NodeId(0),
+            chunk: ChunkId::new(crate::ids::DatasetId(0), 0),
+            predicted_start: SimTime::ZERO,
+            predicted_exec: SimDuration::from_millis(10),
+            started: SimTime::from_millis(err_ms),
+            exec: SimDuration::from_millis(10),
+            miss,
+        }
+    }
+
+    #[test]
+    fn interactive_jobs_fully_scheduled_in_cycle() {
+        let mut fx = Fixture::standard(8, 6);
+        let jobs: Vec<_> = (0..6)
+            .map(|d| fx.interactive_job(d, d as u64, SimTime::ZERO))
+            .collect();
+        let mut sched = mobj();
+        let mut ctx = fx.ctx(SimTime::ZERO);
+        let out = sched.schedule(&mut ctx, jobs.clone());
+        assert_complete_assignment(&jobs, &fx.catalog, &out);
+        assert!(!sched.has_deferred());
+    }
+
+    #[test]
+    fn locality_wins_on_idle_ties() {
+        let mut fx = Fixture::standard(4, 1);
+        let mut sched = mobj();
+        // Warm chunk 0 of dataset 0 onto node 3, then free everything.
+        let job = fx.interactive_job(0, 0, SimTime::ZERO);
+        let task = job.decompose(&fx.catalog)[0];
+        fx.ctx(SimTime::ZERO).commit(task, NodeId(3), 4);
+        let t = SimTime::from_secs(30);
+        for k in 0..4 {
+            fx.tables.available.correct(NodeId(k), t);
+        }
+        let warm = fx.interactive_job(0, 1, t);
+        let out = sched.schedule(&mut fx.ctx(t), vec![warm]);
+        let placed = out.iter().find(|a| a.task.chunk == task.chunk).unwrap();
+        assert_eq!(placed.node, NodeId(3), "cached holder must win the tie");
+    }
+
+    #[test]
+    fn balance_spreads_a_cold_job() {
+        let mut fx = Fixture::standard(4, 1);
+        let mut sched = mobj();
+        // A cold 4-chunk job on 4 idle nodes: after each commit, the
+        // loaded node's balance term grows, so the chunks spread 1/node.
+        let job = fx.interactive_job(0, 0, SimTime::ZERO);
+        let out = sched.schedule(&mut fx.ctx(SimTime::ZERO), vec![job]);
+        let nodes: std::collections::HashSet<NodeId> = out.iter().map(|a| a.node).collect();
+        assert_eq!(nodes.len(), 4, "cold chunks must spread across the cluster");
+    }
+
+    #[test]
+    fn fragmentation_steers_away_from_full_nodes() {
+        let mut fx = Fixture::standard(2, 2);
+        let mut sched = mobj();
+        // Fill node 0's 2 GiB quota with dataset 0 (4 × 512 MiB).
+        let filler = fx.interactive_job(0, 0, SimTime::ZERO);
+        for task in filler.decompose(&fx.catalog) {
+            fx.ctx(SimTime::ZERO).commit(task, NodeId(0), 2);
+        }
+        let t = SimTime::from_secs(30);
+        fx.tables.available.correct(NodeId(0), t);
+        fx.tables.available.correct(NodeId(1), t);
+        // A cold dataset-1 chunk: both nodes tie on locality and balance,
+        // but placing on the full node would evict — node 1 must win.
+        // (Later chunks may fall back to node 0 once node 1's queue grows —
+        // the balance term takes over — so only the first pick is pinned.)
+        let job = fx.interactive_job(1, 1, t);
+        let out = sched.schedule(&mut fx.ctx(t), vec![job]);
+        assert_eq!(
+            out[0].node,
+            NodeId(1),
+            "fragmentation term must steer cold data off the full node"
+        );
+    }
+
+    #[test]
+    fn starvation_age_routes_batch_to_idle_nodes() {
+        let mut fx = Fixture::standard(2, 2);
+        let mut sched = mobj();
+        // Node 0 just served interactive work; node 1 never has.
+        fx.tables.note_interactive(NodeId(0), SimTime::ZERO);
+        let t = SimTime::from_millis(10);
+        // Each node admits one cold load per cycle (its queue crosses the
+        // gate after the first commit), so only the first pick is pinned.
+        let bj = fx.batch_job(1, 0, t);
+        let out = sched.schedule(&mut fx.ctx(t), vec![bj]);
+        assert!(!out.is_empty());
+        assert_eq!(
+            out[0].node,
+            NodeId(1),
+            "batch must chase the starvation-aged node"
+        );
+    }
+
+    #[test]
+    fn batch_is_deferred_when_no_node_has_cycle_headroom() {
+        let mut fx = Fixture::standard(2, 2);
+        let mut sched = mobj();
+        let interactive: Vec<_> = (0..2)
+            .map(|d| fx.interactive_job(d, d as u64, SimTime::ZERO))
+            .collect();
+        let batch = fx.batch_job(1, 0, SimTime::ZERO);
+        let mut jobs = interactive;
+        jobs.push(batch);
+        let out = sched.schedule(&mut fx.ctx(SimTime::ZERO), jobs);
+        // Cold interactive loads push every queue past λ: batch waits.
+        assert_eq!(out.iter().filter(|a| !a.task.interactive).count(), 0);
+        assert!(sched.has_deferred());
+        assert_eq!(sched.pending_batch_tasks(), 4);
+    }
+
+    #[test]
+    fn escalation_promotes_aged_batch() {
+        let mut fx = Fixture::standard(2, 2);
+        let mut sched = mobj();
+        let interactive: Vec<_> = (0..2)
+            .map(|d| fx.interactive_job(d, d as u64, SimTime::ZERO))
+            .collect();
+        let batch = fx.batch_job(1, 0, SimTime::ZERO);
+        let mut jobs = interactive;
+        jobs.push(batch);
+        sched.schedule(&mut fx.ctx(SimTime::ZERO), jobs);
+        assert_eq!(sched.pending_batch_tasks(), 4);
+        // Too young: no-op.
+        let young = sched.escalate_deferred(SimTime::from_millis(30), SimDuration::from_secs(5));
+        assert!(young.is_empty());
+        // Old enough: all four tasks of the one batch job move.
+        let t = SimTime::from_millis(500);
+        let escalated = sched.escalate_deferred(t, SimDuration::from_millis(100));
+        assert_eq!(escalated.len(), 1);
+        assert_eq!(sched.pending_batch_tasks(), 0);
+        assert!(sched.has_deferred());
+        for k in 0..2 {
+            fx.tables.available.correct(NodeId(k), t);
+        }
+        let out = sched.schedule(&mut fx.ctx(t), vec![]);
+        assert_eq!(out.len(), 4, "escalated tasks ride the interactive pass");
+    }
+
+    #[test]
+    fn adaptive_retunes_and_emits_weights_updated() {
+        let mut sched = mobj_a();
+        // 32 missing completions with large start errors: both EMAs rise.
+        for _ in 0..MobjParams::default().retune_every {
+            sched.observe_completion(&feedback(true, 500));
+        }
+        let w = sched.weights();
+        let base = MobjWeights::default();
+        assert!(w.locality_pm > base.locality_pm, "misses boost locality");
+        assert!(w.balance_pm < base.balance_pm);
+        assert!(
+            w.starvation_pm > base.starvation_pm,
+            "errors boost starvation"
+        );
+        assert!(w.fragmentation_pm < base.fragmentation_pm);
+        assert_eq!(
+            w.locality_pm + w.balance_pm + w.fragmentation_pm + w.starvation_pm,
+            1000,
+            "retune preserves the weight sum"
+        );
+        let events = sched.drain_policy_events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], PolicyEvent::WeightsUpdated { .. }));
+        assert!(sched.drain_policy_events().is_empty());
+    }
+
+    #[test]
+    fn non_adaptive_ignores_feedback() {
+        let mut sched = mobj();
+        for _ in 0..100 {
+            sched.observe_completion(&feedback(true, 500));
+        }
+        assert_eq!(sched.weights(), MobjWeights::default());
+        assert!(sched.drain_policy_events().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_retune_interval_rejected() {
+        MobjScheduler::new(MobjParams {
+            adaptive: true,
+            retune_every: 0,
+            ..MobjParams::default()
+        });
+    }
+}

@@ -1,5 +1,6 @@
 //! The scheduling framework: the [`Scheduler`] trait, its invocation
-//! context, and the six policies evaluated in the paper.
+//! context, the six policies evaluated in the paper, and the post-paper
+//! policy family (FRAC / MOBJ / MOBJ-A) built on the same surface.
 //!
 //! | Policy | Module | Locality | Trigger | Decomposition |
 //! |--------|--------|----------|---------|---------------|
@@ -10,17 +11,26 @@
 //! | FS     | [`fs`]    | no  | cycle | `Chk_max` |
 //! | OURS   | [`ours`]  | yes + batch deferral | cycle | `Chk_max` |
 //! | FSD    | [`fsd`]   | delay scheduling (extension) | cycle | `Chk_max` |
+//! | FRAC   | [`frac`]  | yes + per-node shares | cycle | `Chk_max` |
+//! | MOBJ   | [`mobj`]  | weighted objective vector | cycle | `Chk_max` |
+//! | MOBJ-A | [`mobj`]  | as MOBJ, weights retuned online | cycle | `Chk_max` |
 //!
 //! A scheduler maps queued jobs to per-node task assignments, updating the
 //! head tables optimistically as it goes; the execution substrate (the
 //! discrete-event simulator or the live service) later corrects the tables
-//! with observed reality.
+//! with observed reality. Adaptive policies additionally receive the
+//! observed reality themselves through
+//! [`Scheduler::observe_completion`] and report their internal control
+//! moves through [`Scheduler::drain_policy_events`]; see
+//! `docs/POLICY_GUIDE.md` for the end-to-end recipe for adding a policy.
 
 pub mod fcfs;
 pub mod fcfsl;
 pub mod fcfsu;
+pub mod frac;
 pub mod fs;
 pub mod fsd;
+pub mod mobj;
 pub mod ours;
 pub mod reference;
 pub mod sf;
@@ -36,10 +46,14 @@ use serde::{Deserialize, Serialize};
 pub use fcfs::FcfsScheduler;
 pub use fcfsl::FcfslScheduler;
 pub use fcfsu::FcfsuScheduler;
+pub use frac::{FracParams, FracScheduler};
 pub use fs::FsScheduler;
 pub use fsd::FsdScheduler;
+pub use mobj::{MobjParams, MobjScheduler, MobjWeights};
 pub use ours::{OursParams, OursScheduler};
-pub use reference::{ReferenceFcfslScheduler, ReferenceOursScheduler};
+pub use reference::{
+    ReferenceFcfslScheduler, ReferenceFracScheduler, ReferenceMobjScheduler, ReferenceOursScheduler,
+};
 pub use sf::SfScheduler;
 
 /// When the dispatching thread invokes a scheduler.
@@ -342,6 +356,89 @@ fn idle_tie_hash(now: SimTime, node: NodeId) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The cold-placement protection gate shared by the policy family's batch
+/// passes (and their reference twins): a node may take a batch placement
+/// that *incurs a load* only if it has been free of interactive work for
+/// at least `protect_pm` per-mille of the load's estimated cost. This is
+/// OURS's ε-idle rule recast as an integer knob — FRAC passes its learned
+/// per-node interactive share `φ_k` (the share plays ε's role), MOBJ a
+/// fixed [`MobjParams::protect_pm`](super::sched::MobjParams). Placements
+/// of chunks the node already caches are exempt: they displace nothing,
+/// so the cycle-window gate alone bounds them. Without this gate a
+/// leftover batch chunk cached on node A gets placed cold on busy node B,
+/// whose eviction un-caches B's own interactive working set and sets off
+/// a cluster-wide churn storm (measured: 36x unloaded interactive p99).
+///
+/// Returns `true` when the node is protected — the caller must skip it.
+pub(crate) fn cold_batch_protected(
+    ctx: &ScheduleCtx<'_>,
+    node: NodeId,
+    chunk: ChunkId,
+    bytes: u64,
+    protect_pm: u32,
+) -> bool {
+    if ctx.tables.cache.contains(node, chunk) {
+        return false;
+    }
+    let est_us = ctx.tables.estimate.get(chunk, bytes, ctx.cost).as_micros();
+    let idle_us = ctx.tables.interactive_idle(node, ctx.now).as_micros();
+    idle_us.saturating_mul(1000) < (protect_pm as u64).saturating_mul(est_us)
+}
+
+/// One completed task's measured reality, fed back to the policy that
+/// placed it (§V-B closes the loop for the *tables*; this closes it for
+/// the *policy*). The predicted fields are the optimistic bookkeeping the
+/// policy committed in its [`Assignment`]; the measured fields are what
+/// the substrate actually observed. Adaptive policies (MOBJ-A) retune
+/// their weights from the gap between the two.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompletionFeedback {
+    /// The node the task ran on.
+    pub node: NodeId,
+    /// The chunk it rendered.
+    pub chunk: ChunkId,
+    /// Start time predicted at commit (`Available[R_k]` then).
+    pub predicted_start: SimTime,
+    /// Execution span predicted at commit (`Estimate[c]` + α then).
+    pub predicted_exec: SimDuration,
+    /// Measured start time.
+    pub started: SimTime,
+    /// Measured execution span.
+    pub exec: SimDuration,
+    /// Whether the chunk had to be loaded from disk (a cache miss).
+    pub miss: bool,
+}
+
+/// An internal control move a policy wants surfaced on the probe stream.
+/// The head runtime drains these after every invocation
+/// ([`Scheduler::drain_policy_events`]) and stamps them with the cycle
+/// time; `vizsched-core` cannot depend on the metrics crate, so the
+/// variants mirror the `share_adjusted` / `weights_updated` trace events
+/// structurally. All quantities are integer per-mille — policy control
+/// state is integer end to end, which is what lets the reference twins be
+/// bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyEvent {
+    /// FRAC adjusted a node's interactive share `φ_k`.
+    ShareAdjusted {
+        /// The node whose share moved.
+        node: NodeId,
+        /// The new interactive share, in per-mille of the cycle.
+        interactive_pm: u32,
+    },
+    /// MOBJ-A retuned its objective weights.
+    WeightsUpdated {
+        /// Cache-locality weight (per-mille).
+        locality_pm: u32,
+        /// Load-balance weight (per-mille).
+        balance_pm: u32,
+        /// Fragmentation weight (per-mille).
+        fragmentation_pm: u32,
+        /// Starvation-age weight (per-mille).
+        starvation_pm: u32,
+    },
+}
+
 /// A job-scheduling policy. Implementations must be deterministic: the same
 /// context and job sequence must produce the same assignments.
 pub trait Scheduler: Send {
@@ -382,6 +479,23 @@ pub trait Scheduler: Send {
         let _ = (now, age);
         Vec::new()
     }
+
+    /// Feedback hook: one completed task's measured reality against the
+    /// prediction this policy committed. The head runtime calls this once
+    /// per completion, in completion order, on both substrates. Policies
+    /// that do not learn online keep this default no-op; MOBJ-A retunes
+    /// its objective weights from the stream.
+    fn observe_completion(&mut self, feedback: &CompletionFeedback) {
+        let _ = feedback;
+    }
+
+    /// Drain the control moves this policy made since the last drain, in
+    /// the order it made them. The head runtime converts them to trace
+    /// events after every invocation; policies with no internal control
+    /// state keep this default empty.
+    fn drain_policy_events(&mut self) -> Vec<PolicyEvent> {
+        Vec::new()
+    }
 }
 
 /// Which policy to run — the x-axis of every comparison figure.
@@ -403,6 +517,14 @@ pub enum SchedulerKind {
     FsDelay,
     /// The paper's proposed scheduler.
     Ours,
+    /// Fractional time-slicing: per-node interactive/batch shares replace
+    /// the ε-idle rule (post-paper extension, see [`frac`]).
+    Frac,
+    /// Weighted multi-objective placement scoring (post-paper extension,
+    /// see [`mobj`]).
+    Mobj,
+    /// MOBJ with the weights retuned online from completion feedback.
+    MobjAdaptive,
 }
 
 impl SchedulerKind {
@@ -424,6 +546,15 @@ impl SchedulerKind {
         SchedulerKind::Ours,
     ];
 
+    /// The post-paper policy family (ROADMAP item 2): fractional
+    /// time-slicing and the multi-objective scorers. Not part of
+    /// [`SchedulerKind::ALL`] — the paper's figures stay the paper's.
+    pub const EXTENDED: [SchedulerKind; 3] = [
+        SchedulerKind::Frac,
+        SchedulerKind::Mobj,
+        SchedulerKind::MobjAdaptive,
+    ];
+
     /// Display name matching the paper.
     pub fn name(&self) -> &'static str {
         match self {
@@ -434,6 +565,9 @@ impl SchedulerKind {
             SchedulerKind::Fs => "FS",
             SchedulerKind::FsDelay => "FSD",
             SchedulerKind::Ours => "OURS",
+            SchedulerKind::Frac => "FRAC",
+            SchedulerKind::Mobj => "MOBJ",
+            SchedulerKind::MobjAdaptive => "MOBJ-A",
         }
     }
 
@@ -451,6 +585,19 @@ impl SchedulerKind {
                 cycle,
                 ..OursParams::default()
             })),
+            SchedulerKind::Frac => Box::new(FracScheduler::new(FracParams {
+                cycle,
+                ..FracParams::default()
+            })),
+            SchedulerKind::Mobj => Box::new(MobjScheduler::new(MobjParams {
+                cycle,
+                ..MobjParams::default()
+            })),
+            SchedulerKind::MobjAdaptive => Box::new(MobjScheduler::new(MobjParams {
+                cycle,
+                adaptive: true,
+                ..MobjParams::default()
+            })),
         }
     }
 }
@@ -467,6 +614,9 @@ impl std::str::FromStr for SchedulerKind {
             "FS" => Ok(SchedulerKind::Fs),
             "FSD" => Ok(SchedulerKind::FsDelay),
             "OURS" => Ok(SchedulerKind::Ours),
+            "FRAC" => Ok(SchedulerKind::Frac),
+            "MOBJ" => Ok(SchedulerKind::Mobj),
+            "MOBJ-A" => Ok(SchedulerKind::MobjAdaptive),
             other => Err(format!("unknown scheduler '{other}'")),
         }
     }
@@ -580,7 +730,10 @@ mod tests {
 
     #[test]
     fn kind_round_trips_from_str() {
-        for kind in SchedulerKind::ALL {
+        for kind in SchedulerKind::ALL
+            .into_iter()
+            .chain(SchedulerKind::EXTENDED)
+        {
             let parsed: SchedulerKind = kind.name().parse().unwrap();
             assert_eq!(parsed, kind);
         }
@@ -589,7 +742,10 @@ mod tests {
 
     #[test]
     fn build_produces_matching_names() {
-        for kind in SchedulerKind::ALL {
+        for kind in SchedulerKind::ALL
+            .into_iter()
+            .chain(SchedulerKind::EXTENDED)
+        {
             let s = kind.build(SimDuration::from_millis(30));
             assert_eq!(s.name(), kind.name());
         }

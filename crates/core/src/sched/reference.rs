@@ -1,11 +1,17 @@
-//! Straight-line reference implementations of OURS and FCFSL.
+//! Straight-line reference implementations of OURS, FCFSL, FRAC and MOBJ.
 //!
-//! These are the pre-optimization hot paths, retained verbatim as the
-//! executable specification of what the optimized schedulers in [`ours`]
-//! and [`fcfsl`] must compute: every node selection is a full O(p) scan
-//! via [`ScheduleCtx::earliest_node_with_locality`], every cycle
-//! reallocates its bucket maps and sort vectors, and nothing is cached
-//! across invocations. Two things depend on them staying put:
+//! For OURS and FCFSL these are the pre-optimization hot paths, retained
+//! verbatim as the executable specification of what the optimized
+//! schedulers in [`ours`] and [`fcfsl`] must compute: every node
+//! selection is a full O(p) scan via
+//! [`ScheduleCtx::earliest_node_with_locality`], every cycle reallocates
+//! its bucket maps and sort vectors, and nothing is cached across
+//! invocations. [`ReferenceFracScheduler`] and [`ReferenceMobjScheduler`]
+//! were written *as* the spec for the policy-family PR: fresh allocations
+//! each cycle, full scans, and — for MOBJ — the textbook balance anchor
+//! (`min_k ready_at`) that the optimized path replaces with a constant
+//! shift (see [`mobj`](super::mobj) for the invariance argument). Two
+//! things depend on them staying put:
 //!
 //! * the **placement-equivalence suite** (`tests/placement_equivalence.rs`)
 //!   drives the optimized and reference schedulers through identical
@@ -24,11 +30,16 @@
 //! [`fcfsl`]: super::fcfsl
 //! [`ScheduleCtx::earliest_node_with_locality`]: super::ScheduleCtx::earliest_node_with_locality
 
-use super::{Assignment, OursParams, ScheduleCtx, Scheduler, Trigger};
+use super::frac::{batch_lambda, share_step};
+use super::mobj::{batch_gate, feedback_step, objective_score, retuned_weights};
+use super::{
+    Assignment, CompletionFeedback, FracParams, MobjParams, MobjWeights, OursParams, PolicyEvent,
+    ScheduleCtx, Scheduler, Trigger,
+};
 use crate::fxhash::FxHashMap;
-use crate::ids::ChunkId;
+use crate::ids::{ChunkId, JobId, NodeId};
 use crate::job::{Job, Task};
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
 /// The straight-line Algorithm 1: identical decisions to
@@ -266,5 +277,444 @@ impl Scheduler for ReferenceFcfslScheduler {
             }
         }
         out
+    }
+}
+
+/// Straight-line FRAC: the same per-node share controller and batch
+/// windows as [`FracScheduler`](super::FracScheduler) (the share
+/// arithmetic is literally shared — [`share_step`] / [`batch_lambda`]),
+/// but with OURS-reference interactive placement (full O(p) scans, fresh
+/// bucket maps each cycle) and no reused scratch.
+#[derive(Debug)]
+pub struct ReferenceFracScheduler {
+    params: FracParams,
+    shares_pm: Vec<u32>,
+    pending_batch: FxHashMap<ChunkId, VecDeque<(SimTime, Task)>>,
+    pending_count: usize,
+    escalated: Vec<Task>,
+    events: Vec<PolicyEvent>,
+}
+
+impl ReferenceFracScheduler {
+    /// Build the reference scheduler.
+    pub fn new(params: FracParams) -> Self {
+        ReferenceFracScheduler {
+            params,
+            shares_pm: Vec::new(),
+            pending_batch: FxHashMap::default(),
+            pending_count: 0,
+            escalated: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    fn push_batch(&mut self, now: SimTime, task: Task) {
+        self.pending_batch
+            .entry(task.chunk)
+            .or_default()
+            .push_back((now, task));
+        self.pending_count += 1;
+    }
+}
+
+impl Scheduler for ReferenceFracScheduler {
+    fn name(&self) -> &'static str {
+        "FRAC-REF"
+    }
+
+    fn trigger(&self) -> Trigger {
+        Trigger::Cycle(self.params.cycle)
+    }
+
+    fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment> {
+        let nodes = ctx.tables.node_count();
+        self.shares_pm.resize(nodes, self.params.initial_share_pm);
+        let mut committed_us = vec![0u64; nodes];
+
+        // Decompose: escalated tasks first (they ride the interactive
+        // pass), then this cycle's arrivals.
+        let mut hi: FxHashMap<ChunkId, Vec<Task>> = FxHashMap::default();
+        for task in std::mem::take(&mut self.escalated) {
+            hi.entry(task.chunk).or_default().push(task);
+        }
+        for job in incoming {
+            for task in job.decompose(ctx.catalog) {
+                if task.interactive {
+                    hi.entry(task.chunk).or_default().push(task);
+                } else {
+                    self.push_batch(ctx.now, task);
+                }
+            }
+        }
+
+        // Interactive pass: identical ordering to reference OURS.
+        let mut out = Vec::new();
+        let mut cached: Vec<ChunkId> = Vec::new();
+        let mut non_cached: Vec<(SimDuration, ChunkId)> = Vec::new();
+        for &chunk in hi.keys() {
+            if ctx.tables.cache.is_cached_anywhere(chunk) {
+                cached.push(chunk);
+            } else {
+                let bytes = ctx.catalog.chunk_bytes(chunk);
+                non_cached.push((ctx.tables.estimate.get(chunk, bytes, ctx.cost), chunk));
+            }
+        }
+        cached.sort_unstable();
+        non_cached.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let ordered = cached
+            .into_iter()
+            .chain(non_cached.into_iter().map(|(_, c)| c));
+        for chunk in ordered {
+            let tasks = hi.remove(&chunk).expect("chunk key came from the map");
+            let bytes = tasks[0].bytes;
+            let node = ctx.earliest_node_with_locality(chunk, bytes);
+            for task in tasks {
+                let group = ctx.group_size(task.chunk.dataset);
+                let a = ctx.commit(task, node, group);
+                if task.interactive {
+                    committed_us[node.index()] += a.predicted_exec.as_micros();
+                }
+                out.push(a);
+            }
+        }
+
+        // Share EMA step, then the window-bounded batch fills.
+        let cycle_us = self.params.cycle.as_micros();
+        for node in ctx.tables.live_nodes() {
+            let demand_pm =
+                (committed_us[node.index()].saturating_mul(1000) / cycle_us).min(1000) as u32;
+            let old = self.shares_pm[node.index()];
+            let new = share_step(&self.params, old, demand_pm);
+            if new != old {
+                self.shares_pm[node.index()] = new;
+                self.events.push(PolicyEvent::ShareAdjusted {
+                    node,
+                    interactive_pm: new,
+                });
+            }
+        }
+
+        let nodes: Vec<NodeId> = ctx.tables.live_nodes().collect();
+        for &node in &nodes {
+            let lambda_b = batch_lambda(ctx.now, self.params.cycle, self.shares_pm[node.index()]);
+            while ctx.tables.available.get(node) < lambda_b {
+                let candidate = ctx
+                    .tables
+                    .cache
+                    .node_memory(node)
+                    .chunks()
+                    .filter(|c| self.pending_batch.contains_key(c))
+                    .min();
+                let Some(chunk) = candidate else { break };
+                let queue = self
+                    .pending_batch
+                    .get_mut(&chunk)
+                    .expect("candidate has work");
+                let (_, task) = queue.pop_front().expect("queues are never left empty");
+                if queue.is_empty() {
+                    self.pending_batch.remove(&chunk);
+                }
+                self.pending_count -= 1;
+                let group = ctx.group_size(task.chunk.dataset);
+                out.push(ctx.commit(task, node, group));
+            }
+        }
+
+        let mut order: Vec<ChunkId> = self.pending_batch.keys().copied().collect();
+        order.sort_unstable_by_key(|&c| (ctx.tables.cache.replica_count(c), c));
+        let mut cursor = 0usize;
+        'nodes: for &node in &nodes {
+            let lambda_b = batch_lambda(ctx.now, self.params.cycle, self.shares_pm[node.index()]);
+            while ctx.tables.available.get(node) < lambda_b {
+                while cursor < order.len() && !self.pending_batch.contains_key(&order[cursor]) {
+                    cursor += 1;
+                }
+                if cursor >= order.len() {
+                    break 'nodes;
+                }
+                let chunk = order[cursor];
+                let bytes = ctx.catalog.chunk_bytes(chunk);
+                if super::cold_batch_protected(
+                    ctx,
+                    node,
+                    chunk,
+                    bytes,
+                    self.shares_pm[node.index()],
+                ) {
+                    break;
+                }
+                let queue = self
+                    .pending_batch
+                    .get_mut(&chunk)
+                    .expect("cursor points at work");
+                let (_, task) = queue.pop_front().expect("queues are never left empty");
+                if queue.is_empty() {
+                    self.pending_batch.remove(&chunk);
+                }
+                self.pending_count -= 1;
+                let group = ctx.group_size(task.chunk.dataset);
+                out.push(ctx.commit(task, node, group));
+            }
+        }
+        out
+    }
+
+    fn has_deferred(&self) -> bool {
+        self.pending_count > 0 || !self.escalated.is_empty()
+    }
+
+    fn escalate_deferred(&mut self, now: SimTime, age: SimDuration) -> Vec<(JobId, SimDuration)> {
+        if self.pending_count == 0 {
+            return Vec::new();
+        }
+        let mut moved: Vec<(SimTime, Task)> = Vec::new();
+        self.pending_batch.retain(|_, queue| {
+            let mut kept = VecDeque::with_capacity(queue.len());
+            while let Some((since, task)) = queue.pop_front() {
+                if now.saturating_since(since) >= age {
+                    moved.push((since, task));
+                } else {
+                    kept.push_back((since, task));
+                }
+            }
+            std::mem::swap(queue, &mut kept);
+            !queue.is_empty()
+        });
+        if moved.is_empty() {
+            return Vec::new();
+        }
+        self.pending_count -= moved.len();
+        moved.sort_unstable_by_key(|&(_, t)| (t.job.0, t.index));
+        let mut per_job: Vec<(JobId, SimDuration)> = Vec::new();
+        for &(since, task) in &moved {
+            let waited = now.saturating_since(since);
+            match per_job.last_mut() {
+                Some((job, max)) if *job == task.job => *max = (*max).max(waited),
+                _ => per_job.push((task.job, waited)),
+            }
+        }
+        self.escalated.extend(moved.into_iter().map(|(_, t)| t));
+        per_job
+    }
+
+    fn drain_policy_events(&mut self) -> Vec<PolicyEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Straight-line MOBJ / MOBJ-A: the textbook form of the objective —
+/// balance anchored at `min_k ready_at(k)`, computed by a dedicated full
+/// scan before every placement — with fresh allocations each cycle. The
+/// scoring kernel and adaptive rule are shared with the optimized
+/// scheduler ([`objective_score`] / [`feedback_step`] /
+/// [`retuned_weights`]); what the equivalence suite proves is that the
+/// optimized path's constant-shift anchor (`now`) and scratch reuse
+/// change nothing.
+#[derive(Debug)]
+pub struct ReferenceMobjScheduler {
+    params: MobjParams,
+    weights: MobjWeights,
+    pending_batch: VecDeque<(SimTime, Task)>,
+    escalated: Vec<Task>,
+    events: Vec<PolicyEvent>,
+    miss_ema_pm: u32,
+    start_err_ema_us: u64,
+    seen: u32,
+}
+
+impl ReferenceMobjScheduler {
+    /// Build the reference scheduler.
+    pub fn new(params: MobjParams) -> Self {
+        ReferenceMobjScheduler {
+            weights: params.weights,
+            params,
+            pending_batch: VecDeque::new(),
+            escalated: Vec::new(),
+            events: Vec::new(),
+            miss_ema_pm: 0,
+            start_err_ema_us: 0,
+            seen: 0,
+        }
+    }
+
+    /// The textbook balance anchor: a full scan for the earliest-ready
+    /// live node.
+    fn min_ready(&self, ctx: &ScheduleCtx<'_>) -> SimTime {
+        ctx.tables
+            .live_nodes()
+            .map(|k| ctx.tables.available.ready_at(k, ctx.now))
+            .min()
+            .unwrap_or(ctx.now)
+    }
+
+    fn best_node(
+        &self,
+        ctx: &ScheduleCtx<'_>,
+        chunk: ChunkId,
+        bytes: u64,
+        batch: bool,
+        gate: Option<SimTime>,
+    ) -> Option<NodeId> {
+        let anchor = self.min_ready(ctx);
+        let mut best: Option<(i128, NodeId)> = None;
+        for k in ctx.tables.live_nodes() {
+            if let Some(lambda) = gate {
+                if ctx.tables.available.get(k) >= lambda {
+                    continue;
+                }
+            }
+            if batch && super::cold_batch_protected(ctx, k, chunk, bytes, self.params.protect_pm) {
+                continue;
+            }
+            let s = objective_score(
+                ctx,
+                &self.weights,
+                self.params.starvation_cap,
+                anchor,
+                k,
+                chunk,
+                bytes,
+                batch,
+            );
+            if best.is_none_or(|b| (s, k) < b) {
+                best = Some((s, k));
+            }
+        }
+        best.map(|(_, k)| k)
+    }
+}
+
+impl Scheduler for ReferenceMobjScheduler {
+    fn name(&self) -> &'static str {
+        if self.params.adaptive {
+            "MOBJ-A-REF"
+        } else {
+            "MOBJ-REF"
+        }
+    }
+
+    fn trigger(&self) -> Trigger {
+        Trigger::Cycle(self.params.cycle)
+    }
+
+    fn schedule(&mut self, ctx: &mut ScheduleCtx<'_>, incoming: Vec<Job>) -> Vec<Assignment> {
+        let lambda = ctx.now + self.params.cycle;
+
+        let mut hi: FxHashMap<ChunkId, Vec<Task>> = FxHashMap::default();
+        for task in std::mem::take(&mut self.escalated) {
+            hi.entry(task.chunk).or_default().push(task);
+        }
+        for job in incoming {
+            for task in job.decompose(ctx.catalog) {
+                if task.interactive {
+                    hi.entry(task.chunk).or_default().push(task);
+                } else {
+                    self.pending_batch.push_back((ctx.now, task));
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        let mut cached: Vec<ChunkId> = Vec::new();
+        let mut non_cached: Vec<(SimDuration, ChunkId)> = Vec::new();
+        for &chunk in hi.keys() {
+            if ctx.tables.cache.is_cached_anywhere(chunk) {
+                cached.push(chunk);
+            } else {
+                let bytes = ctx.catalog.chunk_bytes(chunk);
+                non_cached.push((ctx.tables.estimate.get(chunk, bytes, ctx.cost), chunk));
+            }
+        }
+        cached.sort_unstable();
+        non_cached.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let ordered = cached
+            .into_iter()
+            .chain(non_cached.into_iter().map(|(_, c)| c));
+        for chunk in ordered {
+            let tasks = hi.remove(&chunk).expect("chunk key came from the map");
+            let bytes = tasks[0].bytes;
+            let node = self
+                .best_node(ctx, chunk, bytes, false, None)
+                .expect("at least one live node");
+            for task in tasks {
+                let group = ctx.group_size(task.chunk.dataset);
+                out.push(ctx.commit(task, node, group));
+            }
+        }
+
+        // Oldest-first scan of the whole deferred queue: a blocked head
+        // must not starve placeable work behind it (mirrors the optimized
+        // scheduler's drain).
+        let mut i = 0usize;
+        while i < self.pending_batch.len() {
+            let (since, task) = self.pending_batch[i];
+            let gate = batch_gate(ctx.now, lambda, since, self.weights.starvation_pm);
+            match self.best_node(ctx, task.chunk, task.bytes, true, Some(gate)) {
+                Some(node) => {
+                    self.pending_batch.remove(i);
+                    let group = ctx.group_size(task.chunk.dataset);
+                    out.push(ctx.commit(task, node, group));
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+
+    fn has_deferred(&self) -> bool {
+        !self.pending_batch.is_empty() || !self.escalated.is_empty()
+    }
+
+    fn escalate_deferred(&mut self, now: SimTime, age: SimDuration) -> Vec<(JobId, SimDuration)> {
+        let mut moved: Vec<(SimTime, Task)> = Vec::new();
+        while let Some(&(since, _)) = self.pending_batch.front() {
+            if now.saturating_since(since) < age {
+                break;
+            }
+            let (since, task) = self.pending_batch.pop_front().expect("front exists");
+            moved.push((since, task));
+        }
+        if moved.is_empty() {
+            return Vec::new();
+        }
+        moved.sort_unstable_by_key(|&(_, t)| (t.job.0, t.index));
+        let mut per_job: Vec<(JobId, SimDuration)> = Vec::new();
+        for &(since, task) in &moved {
+            let waited = now.saturating_since(since);
+            match per_job.last_mut() {
+                Some((job, max)) if *job == task.job => *max = (*max).max(waited),
+                _ => per_job.push((task.job, waited)),
+            }
+        }
+        self.escalated.extend(moved.into_iter().map(|(_, t)| t));
+        per_job
+    }
+
+    fn observe_completion(&mut self, feedback: &CompletionFeedback) {
+        if !self.params.adaptive {
+            return;
+        }
+        feedback_step(&mut self.miss_ema_pm, &mut self.start_err_ema_us, feedback);
+        self.seen += 1;
+        if self.seen % self.params.retune_every == 0 {
+            let new = retuned_weights(
+                &self.params.weights,
+                self.miss_ema_pm,
+                self.start_err_ema_us,
+            );
+            if new != self.weights {
+                self.weights = new;
+                self.events.push(PolicyEvent::WeightsUpdated {
+                    locality_pm: new.locality_pm,
+                    balance_pm: new.balance_pm,
+                    fragmentation_pm: new.fragmentation_pm,
+                    starvation_pm: new.starvation_pm,
+                });
+            }
+        }
+    }
+
+    fn drain_policy_events(&mut self) -> Vec<PolicyEvent> {
+        std::mem::take(&mut self.events)
     }
 }

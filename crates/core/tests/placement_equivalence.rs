@@ -18,8 +18,9 @@ use vizsched_core::data::{uniform_datasets, Catalog, DecompositionPolicy};
 use vizsched_core::ids::{ActionId, BatchId, ChunkId, DatasetId, JobId, NodeId, UserId};
 use vizsched_core::job::{FrameParams, Job, JobKind};
 use vizsched_core::sched::{
-    FcfslScheduler, OursParams, OursScheduler, ReferenceFcfslScheduler, ReferenceOursScheduler,
-    ScheduleCtx, Scheduler,
+    CompletionFeedback, FcfslScheduler, FracParams, FracScheduler, MobjParams, MobjScheduler,
+    OursParams, OursScheduler, ReferenceFcfslScheduler, ReferenceFracScheduler,
+    ReferenceMobjScheduler, ReferenceOursScheduler, ScheduleCtx, Scheduler,
 };
 use vizsched_core::tables::HeadTables;
 use vizsched_core::time::{SimDuration, SimTime};
@@ -189,6 +190,101 @@ impl Case {
             };
         }
     }
+
+    /// The policy-family driver: on top of [`Case::run`]'s assignment and
+    /// deferral equality it also demands identical
+    /// [`Scheduler::drain_policy_events`] streams and identical
+    /// [`Scheduler::escalate_deferred`] promotions, and (when
+    /// `feed_completions` is set) pushes the same synthesized
+    /// [`CompletionFeedback`] reports — jittered starts, random misses —
+    /// into both schedulers so the adaptive retune rule is exercised.
+    fn run_policy(
+        &self,
+        cycle: SimDuration,
+        opt: &mut dyn Scheduler,
+        reference: &mut dyn Scheduler,
+        feed_completions: bool,
+    ) {
+        let mut rng = Rng(self.seed ^ 0xdead_beef);
+        let mut tables_opt = HeadTables::new(&self.cluster);
+        let mut tables_ref = HeadTables::new(&self.cluster);
+        let mut next_id = 0u64;
+        let mut now = SimTime::ZERO;
+
+        for cycle_no in 0..self.cycles {
+            let jobs = self.random_jobs(&mut rng, now, &mut next_id);
+            let out_opt = opt.schedule(
+                &mut ScheduleCtx {
+                    now,
+                    tables: &mut tables_opt,
+                    catalog: &self.catalog,
+                    cost: &self.cost,
+                },
+                jobs.clone(),
+            );
+            let out_ref = reference.schedule(
+                &mut ScheduleCtx {
+                    now,
+                    tables: &mut tables_ref,
+                    catalog: &self.catalog,
+                    cost: &self.cost,
+                },
+                jobs,
+            );
+            assert_eq!(
+                out_opt,
+                out_ref,
+                "placement divergence: case seed {} ({} vs {}), cycle {cycle_no}",
+                self.seed,
+                opt.name(),
+                reference.name(),
+            );
+            assert_eq!(
+                opt.has_deferred(),
+                reference.has_deferred(),
+                "deferral divergence: case seed {}, cycle {cycle_no}",
+                self.seed
+            );
+            assert_eq!(
+                opt.drain_policy_events(),
+                reference.drain_policy_events(),
+                "policy-event divergence: case seed {}, cycle {cycle_no}",
+                self.seed
+            );
+
+            if feed_completions {
+                for a in &out_opt {
+                    let fb = CompletionFeedback {
+                        node: a.node,
+                        chunk: a.task.chunk,
+                        predicted_start: a.predicted_start,
+                        predicted_exec: a.predicted_exec,
+                        started: a.predicted_start + SimDuration::from_millis(rng.below(80)),
+                        exec: a.predicted_exec,
+                        miss: rng.chance(40),
+                    };
+                    opt.observe_completion(&fb);
+                    reference.observe_completion(&fb);
+                }
+            }
+            if rng.chance(30) {
+                let age = SimDuration::from_millis(rng.below(500));
+                assert_eq!(
+                    opt.escalate_deferred(now, age),
+                    reference.escalate_deferred(now, age),
+                    "escalation divergence: case seed {}, cycle {cycle_no}",
+                    self.seed
+                );
+            }
+
+            self.perturb_tables(&mut rng, now, &mut tables_opt, &mut tables_ref);
+            now += if rng.chance(15) {
+                SimDuration::from_secs(30 + rng.below(60))
+            } else {
+                cycle
+            };
+        }
+    }
 }
 
 #[test]
@@ -296,5 +392,55 @@ fn ours_matches_reference_under_node_faults() {
             case.perturb_tables(&mut rng, now, &mut tables_opt, &mut tables_ref);
             now += cycle;
         }
+    }
+}
+
+/// FRAC's optimized scheduler (persistent per-chunk backlog maps, scratch
+/// reuse, heap-assisted interactive pass) must be bit-identical to the
+/// textbook reference twin — shares, batch windows, and escalations
+/// included.
+#[test]
+fn frac_matches_reference_across_random_cases() {
+    for n in 0..40u64 {
+        let case = Case::generate(0xf4ac_0000 + n);
+        let cycle = SimDuration::from_millis(30);
+        let mut opt = FracScheduler::new(FracParams::default());
+        let mut reference = ReferenceFracScheduler::new(FracParams::default());
+        case.run_policy(cycle, &mut opt, &mut reference, false);
+    }
+}
+
+/// MOBJ anchors its balance term at `now` while the reference twin uses
+/// the textbook `min_k ready_at(k)` anchor; the shift must never change
+/// an argmin or a tie, so the two must emit identical assignments,
+/// deferrals, and escalations.
+#[test]
+fn mobj_matches_reference_across_random_cases() {
+    for n in 0..40u64 {
+        let case = Case::generate(0x0b1e_0000 + n);
+        let cycle = SimDuration::from_millis(30);
+        let mut opt = MobjScheduler::new(MobjParams::default());
+        let mut reference = ReferenceMobjScheduler::new(MobjParams::default());
+        case.run_policy(cycle, &mut opt, &mut reference, false);
+    }
+}
+
+/// MOBJ-A under a live feedback stream: identical synthesized completion
+/// reports (jittered starts, random cache misses) drive both twins'
+/// EMAs and periodic retunes, so the weight trajectories — observable
+/// through `weights_updated` policy events — must stay in lockstep and
+/// every placement made under the retuned weights must match.
+#[test]
+fn mobj_adaptive_matches_reference_with_feedback() {
+    for n in 0..30u64 {
+        let case = Case::generate(0xada7_0000 + n);
+        let cycle = SimDuration::from_millis(30);
+        let params = MobjParams {
+            adaptive: true,
+            ..MobjParams::default()
+        };
+        let mut opt = MobjScheduler::new(params);
+        let mut reference = ReferenceMobjScheduler::new(params);
+        case.run_policy(cycle, &mut opt, &mut reference, true);
     }
 }

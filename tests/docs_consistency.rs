@@ -1,6 +1,8 @@
 //! Docs-vs-code consistency: the DESIGN.md trace-schema table must cover
-//! every `TraceEvent` variant, and the top-level markdown documents must
-//! not carry dead intra-repo links. Run by the CI docs job.
+//! every `TraceEvent` variant, the README's policy table must stay in
+//! sync with `SchedulerKind`, and the top-level markdown documents
+//! (including docs/POLICY_GUIDE.md) must not carry dead intra-repo
+//! links. Run by the CI docs job.
 
 use std::path::{Path, PathBuf};
 use vizsched_metrics::TraceEvent;
@@ -81,6 +83,66 @@ fn design_md_schema_table_has_a_row_per_trace_event() {
     );
 }
 
+/// Every policy name in the README's "Scheduling policies" table must
+/// parse via `SchedulerKind::from_str` — the table is the user-facing
+/// registry, so a renamed or removed variant orphans it loudly. The
+/// reverse also holds: every buildable kind must have a row.
+#[test]
+fn readme_policy_table_names_parse() {
+    use vizsched_core::sched::SchedulerKind;
+
+    let readme = read("README.md");
+    let start = readme
+        .find("| Policy | Trigger | Rule |")
+        .expect("README has the scheduling-policies table header");
+    // Rows: consecutive `| `-prefixed lines after the header separator.
+    let names: Vec<&str> = readme[start..]
+        .lines()
+        .skip(2)
+        .take_while(|l| l.starts_with('|'))
+        .map(|row| {
+            row.trim_start_matches('|')
+                .split('|')
+                .next()
+                .expect("row has a first cell")
+                .trim()
+                .trim_matches('`')
+        })
+        .collect();
+    assert!(
+        names.len() >= 9,
+        "README policy table looks truncated: {names:?}"
+    );
+    for name in &names {
+        assert!(
+            name.parse::<SchedulerKind>().is_ok(),
+            "README policy table row `{name}` does not parse as a SchedulerKind"
+        );
+    }
+    for kind in SchedulerKind::ALL
+        .iter()
+        .chain(SchedulerKind::EXTENDED.iter())
+    {
+        assert!(
+            names.contains(&kind.name()),
+            "SchedulerKind::{kind:?} ({}) has no row in the README policy table",
+            kind.name()
+        );
+    }
+}
+
+/// The policy-family trace tags are part of the documented schema; pin
+/// them so a rename breaks the docs tests, not just downstream parsers.
+#[test]
+fn policy_trace_tags_are_pinned() {
+    for tag in ["weights_updated", "share_adjusted"] {
+        assert!(
+            TraceEvent::TAGS.contains(&tag),
+            "TraceEvent::TAGS lost the `{tag}` tag the docs promise"
+        );
+    }
+}
+
 /// The overload-policy section must name every policy knob and every
 /// admission counter, so renaming a field orphans the docs loudly.
 #[test]
@@ -144,7 +206,13 @@ fn markdown_links(body: &str) -> Vec<String> {
 fn top_level_docs_have_no_dead_intra_repo_links() {
     let root = repo_root();
     let mut dead = Vec::new();
-    for doc in ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"] {
+    for doc in [
+        "README.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "ROADMAP.md",
+        "docs/POLICY_GUIDE.md",
+    ] {
         for link in markdown_links(&read(doc)) {
             let target = link.split_whitespace().next().unwrap_or("");
             if target.is_empty()

@@ -112,9 +112,14 @@ proptest! {
     fn all_tasks_assigned_exactly_once(
         specs in job_specs(),
         nodes in 1usize..9,
-        kind_pick in 0usize..6,
+        kind_pick in 0usize..9,
     ) {
-        let kind = SchedulerKind::ALL[kind_pick];
+        // The paper's six plus the post-paper family (FRAC/MOBJ/MOBJ-A).
+        let kind = *SchedulerKind::ALL
+            .iter()
+            .chain(SchedulerKind::EXTENDED.iter())
+            .nth(kind_pick)
+            .unwrap();
         let jobs = build_jobs(&specs);
         let sched = kind.build(SimDuration::from_millis(30));
         let catalog = Catalog::new(
@@ -140,9 +145,13 @@ proptest! {
     fn scheduling_is_deterministic(
         specs in job_specs(),
         nodes in 1usize..9,
-        kind_pick in 0usize..6,
+        kind_pick in 0usize..9,
     ) {
-        let kind = SchedulerKind::ALL[kind_pick];
+        let kind = *SchedulerKind::ALL
+            .iter()
+            .chain(SchedulerKind::EXTENDED.iter())
+            .nth(kind_pick)
+            .unwrap();
         let a = drain(kind, nodes, build_jobs(&specs));
         let b = drain(kind, nodes, build_jobs(&specs));
         prop_assert_eq!(a, b);

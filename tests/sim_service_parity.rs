@@ -328,6 +328,31 @@ fn fcfsl_places_identically_on_both_substrates() {
 }
 
 #[test]
+fn frac_places_identically_on_both_substrates() {
+    // FRAC's interactive pass is OURS verbatim and its share EMA depends
+    // only on the committed interactive stream, so placement is fully
+    // substrate independent.
+    assert_strict_parity(SchedulerKind::Frac);
+}
+
+#[test]
+fn mobj_places_identically_on_both_substrates() {
+    // MOBJ's objective terms (move, wait, fragmentation, starvation age)
+    // are all derived from the shared head tables — no wall clock, no
+    // substrate-visible tie-breaks.
+    assert_strict_parity(SchedulerKind::Mobj);
+}
+
+#[test]
+fn mobj_adaptive_places_identically_on_both_substrates() {
+    // The serialized workload finishes well under retune_every
+    // completions, so MOBJ-A never retunes here; this pins down that the
+    // feedback plumbing itself (observe_completion on both substrates)
+    // does not perturb placement.
+    assert_strict_parity(SchedulerKind::MobjAdaptive);
+}
+
+#[test]
 fn fcfs_work_items_match_across_substrates() {
     // FCFS breaks idle ties with a time-salted hash, so *placement* is
     // substrate-dependent by design; the scheduler-visible work stream
