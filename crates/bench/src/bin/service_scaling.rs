@@ -271,6 +271,9 @@ fn run_cell(plane: Plane, conns: usize, fps: u32, warmup: Duration, measure: Dur
                         // compress the following interval.
                         c.next_send = (c.next_send + period).max(now);
                     }
+                    // The epoch greeting the plane sends on accept; the
+                    // bench never reconnects, so it has no use for it.
+                    Ok(TryRead::Message(WireMessage::Hello { .. })) => {}
                     Ok(TryRead::Message(WireMessage::Request(_))) => {}
                     Ok(TryRead::Pending) => break,
                     Ok(TryRead::Closed) | Err(_) => {

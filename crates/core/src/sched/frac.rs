@@ -399,6 +399,12 @@ impl Scheduler for FracScheduler {
         self.pending_count > 0 || !self.escalated.is_empty()
     }
 
+    fn retract_deferred(&mut self) {
+        self.pending_batch.clear();
+        self.pending_count = 0;
+        self.escalated.clear();
+    }
+
     /// Identical promotion semantics to OURS: deferred tasks whose age
     /// reached `age` ride the next interactive pass, bypassing the batch
     /// window entirely.

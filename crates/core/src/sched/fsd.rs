@@ -132,6 +132,10 @@ impl Scheduler for FsdScheduler {
     fn has_deferred(&self) -> bool {
         !self.waiting.is_empty()
     }
+
+    fn retract_deferred(&mut self) {
+        self.waiting.clear();
+    }
 }
 
 #[cfg(test)]

@@ -476,6 +476,11 @@ impl Scheduler for MobjScheduler {
         !self.pending_batch.is_empty() || !self.escalated.is_empty()
     }
 
+    fn retract_deferred(&mut self) {
+        self.pending_batch.clear();
+        self.escalated.clear();
+    }
+
     /// Deferral timestamps are monotone in the FIFO, so escalation pops
     /// the aged front prefix; reporting mirrors OURS (per-job, oldest
     /// task's age, sorted by job then task index).

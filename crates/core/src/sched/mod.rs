@@ -469,6 +469,14 @@ pub trait Scheduler: Send {
         false
     }
 
+    /// Drop every deferred task without placing it — the failover drain:
+    /// when this policy's head dies, its orphaned jobs are re-admitted
+    /// whole on surviving heads, so tasks still parked here would be
+    /// duplicates (and would keep [`Scheduler::has_deferred`] latched
+    /// forever on a head no cycle will ever drive again). Policies that
+    /// never defer keep this default no-op.
+    fn retract_deferred(&mut self) {}
+
     /// Anti-starvation hook: promote deferred work whose deferral age (time
     /// since the policy first held it back) is `>= age` at `now`, so the
     /// next [`Scheduler::schedule`] call places it with interactive

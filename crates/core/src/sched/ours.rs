@@ -390,6 +390,12 @@ impl Scheduler for OursScheduler {
         self.pending_count > 0 || !self.escalated.is_empty()
     }
 
+    fn retract_deferred(&mut self) {
+        self.pending_batch.clear();
+        self.pending_count = 0;
+        self.escalated.clear();
+    }
+
     /// Promote deferred batch tasks whose deferral age reached `age` into
     /// the next cycle's interactive pass. The promotion order is made
     /// deterministic by sorting on `(job, task index)`, so it is identical

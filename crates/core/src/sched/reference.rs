@@ -241,6 +241,11 @@ impl Scheduler for ReferenceOursScheduler {
     fn has_deferred(&self) -> bool {
         self.pending_count > 0
     }
+
+    fn retract_deferred(&mut self) {
+        self.pending_batch.clear();
+        self.pending_count = 0;
+    }
 }
 
 /// The straight-line FCFSL: per-task full O(p) locality scan, exactly what
@@ -463,6 +468,12 @@ impl Scheduler for ReferenceFracScheduler {
         self.pending_count > 0 || !self.escalated.is_empty()
     }
 
+    fn retract_deferred(&mut self) {
+        self.pending_batch.clear();
+        self.pending_count = 0;
+        self.escalated.clear();
+    }
+
     fn escalate_deferred(&mut self, now: SimTime, age: SimDuration) -> Vec<(JobId, SimDuration)> {
         if self.pending_count == 0 {
             return Vec::new();
@@ -663,6 +674,11 @@ impl Scheduler for ReferenceMobjScheduler {
 
     fn has_deferred(&self) -> bool {
         !self.pending_batch.is_empty() || !self.escalated.is_empty()
+    }
+
+    fn retract_deferred(&mut self) {
+        self.pending_batch.clear();
+        self.escalated.clear();
     }
 
     fn escalate_deferred(&mut self, now: SimTime, age: SimDuration) -> Vec<(JobId, SimDuration)> {

@@ -62,6 +62,12 @@ impl AvailableTable {
         self.times[node.index()] = t;
     }
 
+    /// Grow the table by one freshly adopted node, available at `t`.
+    pub fn adopt(&mut self, t: SimTime) -> NodeId {
+        self.times.push(t);
+        NodeId((self.times.len() - 1) as u32)
+    }
+
     /// The node with the smallest predicted available time (ties broken by
     /// lowest index, so runs are deterministic).
     pub fn min_node(&self) -> NodeId {
@@ -169,6 +175,9 @@ pub struct CacheTable {
     chunk_nodes: FxHashMap<ChunkId, Vec<NodeId>>,
     /// Per-node predicted memory contents.
     node_mem: Vec<NodeMemory>,
+    /// The base eviction policy the mirrors were built with (per-node
+    /// seed offsets are re-derived when a node is adopted).
+    eviction: EvictionPolicy,
 }
 
 impl CacheTable {
@@ -198,7 +207,28 @@ impl CacheTable {
         CacheTable {
             chunk_nodes: FxHashMap::default(),
             node_mem,
+            eviction,
         }
+    }
+
+    /// Grow the table by one freshly adopted node with `quota` bytes of
+    /// (empty) cache; returns the new node's id. Used by shard-head
+    /// failover when a surviving head takes over a dead shard's node.
+    pub fn adopt_node(&mut self, quota: u64) -> NodeId {
+        let k = self.node_mem.len();
+        let policy = match self.eviction {
+            EvictionPolicy::Random { seed } => EvictionPolicy::Random {
+                seed: seed.wrapping_add(k as u64),
+            },
+            other => other,
+        };
+        self.node_mem.push(NodeMemory::with_policy(quota, policy));
+        NodeId(k as u32)
+    }
+
+    /// The byte quota of one node's mirror.
+    pub fn node_quota(&self, node: NodeId) -> u64 {
+        self.node_mem[node.index()].quota()
     }
 
     /// Nodes predicted to hold `chunk` (`Cache[c]`); empty slice if none.
@@ -418,6 +448,25 @@ impl HeadTables {
         self.available.correct(node, now);
     }
 
+    /// Grow every table by one freshly adopted node — empty-cached,
+    /// available at `now`, live. Returns the new node's (local) id. This
+    /// is the shard-head failover primitive: a surviving head adopts a
+    /// dead shard's node and the §V-B correction machinery rebuilds
+    /// `Available`/`Estimate` for it from completions, exactly as it does
+    /// after an ordinary crash/recover cycle.
+    pub fn adopt_node(&mut self, now: SimTime, mem_quota: u64) -> NodeId {
+        let node = self.cache.adopt_node(mem_quota);
+        let from_avail = self.available.adopt(now);
+        debug_assert_eq!(node, from_avail);
+        self.last_interactive.push(None);
+        self.down.push(false);
+        if let Some(gpu) = &mut self.gpu_cache {
+            let quota = gpu.node_quota(NodeId(0));
+            gpu.adopt_node(quota);
+        }
+        node
+    }
+
     /// How long `node` has gone without an interactive assignment, as of
     /// `now`; [`SimDuration::MAX`] if it never had one.
     pub fn interactive_idle(&self, node: NodeId, now: SimTime) -> SimDuration {
@@ -588,6 +637,23 @@ mod tests {
         let mut heap = AvailHeap::new();
         heap.rebuild(&t, SimTime::ZERO);
         assert_eq!(heap.best(&t).1, NodeId(1));
+    }
+
+    #[test]
+    fn adopt_node_grows_every_table() {
+        let mut t = tables();
+        let node = t.adopt_node(SimTime::from_secs(3), 2 * GIB);
+        assert_eq!(node, NodeId(4));
+        assert_eq!(t.node_count(), 5);
+        assert!(t.is_live(node));
+        assert_eq!(t.available.get(node), SimTime::from_secs(3));
+        assert_eq!(t.cache.node_quota(node), 2 * GIB);
+        t.cache.record_load(node, chunk(7), GIB);
+        assert_eq!(t.cache.nodes_with(chunk(7)), &[node]);
+        assert_eq!(
+            t.interactive_idle(node, SimTime::from_secs(9)),
+            SimDuration::MAX
+        );
     }
 
     #[test]

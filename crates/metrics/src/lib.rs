@@ -30,6 +30,7 @@ pub use stats::Summary;
 pub use timeline::{Timeline, TimelinePoint};
 pub use trace::{
     estimate_trajectory, events_to_jsonl, format_node_activity, format_prediction_report,
-    node_activity, prediction_by_cycle, CollectingProbe, CyclePrediction, DropReason,
-    EstimatePoint, JsonlProbe, NodeActivity, NoopProbe, Probe, RejectReason, TraceEvent,
+    node_activity, prediction_by_cycle, recovery_report, CollectingProbe, CyclePrediction,
+    DropReason, EstimatePoint, FaultRecovery, InjectedFault, JsonlProbe, NodeActivity, NoopProbe,
+    Probe, RecoveryReport, RejectReason, TraceEvent,
 };

@@ -34,6 +34,9 @@ pub enum RejectReason {
     /// The bounded admission queue in front of the head node was full
     /// (emitted by transport fronts, never by the head runtime itself).
     QueueFull,
+    /// The control plane is in degraded mode under sustained fault
+    /// pressure: new batch work is shed to protect interactive latency.
+    Degraded,
 }
 
 impl RejectReason {
@@ -43,6 +46,7 @@ impl RejectReason {
             RejectReason::GlobalCap => "global_cap",
             RejectReason::UserCap => "user_cap",
             RejectReason::QueueFull => "queue_full",
+            RejectReason::Degraded => "degraded",
         }
     }
 
@@ -52,6 +56,7 @@ impl RejectReason {
             RejectReason::GlobalCap => 0,
             RejectReason::UserCap => 1,
             RejectReason::QueueFull => 2,
+            RejectReason::Degraded => 3,
         }
     }
 
@@ -61,7 +66,44 @@ impl RejectReason {
             0 => Some(RejectReason::GlobalCap),
             1 => Some(RejectReason::UserCap),
             2 => Some(RejectReason::QueueFull),
+            3 => Some(RejectReason::Degraded),
             _ => None,
+        }
+    }
+}
+
+/// The kind of a deterministically injected fault (the `FaultPlan`
+/// taxonomy in `vizsched-runtime::fault`), as recorded by
+/// [`TraceEvent::FaultInjected`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InjectedFault {
+    /// A node crashed (queue and cache lost).
+    NodeCrash,
+    /// A crashed node rejoined, cold-cached.
+    NodeRespawn,
+    /// A node entered a slow/degraded state (execution multiplier).
+    NodeDegrade,
+    /// A degraded node returned to full speed.
+    NodeRestore,
+    /// A correlated outage took down a whole leaf group of nodes.
+    LeafOutage,
+    /// A leaf group's nodes all rejoined.
+    LeafRecover,
+    /// A shard head's cycle loop died.
+    ShardCrash,
+}
+
+impl InjectedFault {
+    /// Stable lowercase label, as written to JSONL traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InjectedFault::NodeCrash => "node_crash",
+            InjectedFault::NodeRespawn => "node_respawn",
+            InjectedFault::NodeDegrade => "node_degrade",
+            InjectedFault::NodeRestore => "node_restore",
+            InjectedFault::LeafOutage => "leaf_outage",
+            InjectedFault::LeafRecover => "leaf_recover",
+            InjectedFault::ShardCrash => "shard_crash",
         }
     }
 }
@@ -353,13 +395,71 @@ pub enum TraceEvent {
         /// The new interactive share, per-mille of the cycle.
         interactive_pm: u32,
     },
+    /// A scheduled fault from the deterministic `FaultPlan` fired
+    /// (`t = "fault_injected"`). Emitted by the executing substrate at the
+    /// moment the fault takes effect, before the recovery events it
+    /// triggers.
+    FaultInjected {
+        /// Injection time (the plan's scheduled time, substrate clock).
+        now: SimTime,
+        /// The fault's taxonomy kind.
+        kind: InjectedFault,
+        /// The target id: a global node id, the base node of a leaf
+        /// group, or a shard id, per `kind`.
+        target: u32,
+        /// The kind-specific parameter: leaf-group node count for
+        /// `leaf_outage`/`leaf_recover`, slowdown per-mille for
+        /// `node_degrade`, zero otherwise.
+        param: u32,
+    },
+    /// A shard head's cycle loop died (`t = "shard_failed"`). Its node
+    /// slice, buffered jobs, and in-flight work are orphaned until the
+    /// routing tier rebalances them onto survivors.
+    ShardFailed {
+        /// Detection time.
+        now: SimTime,
+        /// The dead shard.
+        shard: ShardId,
+        /// Admitted jobs orphaned on the dead head (buffered plus
+        /// in-flight), all of which must be re-admitted exactly once.
+        orphaned: usize,
+    },
+    /// Failover completed for a dead shard (`t = "shard_recovered"`):
+    /// its node slice was adopted by survivors via the minimal-disruption
+    /// ring rebalance and every orphaned job was re-admitted.
+    ShardRecovered {
+        /// Completion time of the failover.
+        now: SimTime,
+        /// The shard whose slice was rebalanced away.
+        shard: ShardId,
+        /// Nodes adopted by surviving shards.
+        adopted: usize,
+    },
+    /// Sustained fault pressure crossed the degraded-mode enter threshold
+    /// (`t = "degraded_entered"`): new batch arrivals are shed with
+    /// `reason = "degraded"` until pressure decays below the exit
+    /// threshold (hysteresis).
+    DegradedEntered {
+        /// Entry time.
+        now: SimTime,
+        /// The fault-pressure score at entry.
+        pressure: u32,
+    },
+    /// Fault pressure decayed below the exit threshold
+    /// (`t = "degraded_exited"`): batch admission resumes.
+    DegradedExited {
+        /// Exit time.
+        now: SimTime,
+        /// The fault-pressure score at exit.
+        pressure: u32,
+    },
 }
 
 impl TraceEvent {
     /// Every `t` tag a [`TraceEvent`] can serialize to, in declaration
     /// order. The docs-consistency test checks each of these appears in
     /// DESIGN.md's trace-schema table.
-    pub const TAGS: [&'static str; 21] = [
+    pub const TAGS: [&'static str; 26] = [
         "cycle_start",
         "cycle_end",
         "assign",
@@ -381,6 +481,11 @@ impl TraceEvent {
         "shard_saturated",
         "weights_updated",
         "share_adjusted",
+        "fault_injected",
+        "shard_failed",
+        "shard_recovered",
+        "degraded_entered",
+        "degraded_exited",
     ];
 
     /// The event's timestamp.
@@ -406,7 +511,12 @@ impl TraceEvent {
             | TraceEvent::ShardMigrated { now, .. }
             | TraceEvent::ShardSaturated { now, .. }
             | TraceEvent::WeightsUpdated { now, .. }
-            | TraceEvent::ShareAdjusted { now, .. } => now,
+            | TraceEvent::ShareAdjusted { now, .. }
+            | TraceEvent::FaultInjected { now, .. }
+            | TraceEvent::ShardFailed { now, .. }
+            | TraceEvent::ShardRecovered { now, .. }
+            | TraceEvent::DegradedEntered { now, .. }
+            | TraceEvent::DegradedExited { now, .. } => now,
         }
     }
 
@@ -434,6 +544,11 @@ impl TraceEvent {
             TraceEvent::ShardSaturated { .. } => "shard_saturated",
             TraceEvent::WeightsUpdated { .. } => "weights_updated",
             TraceEvent::ShareAdjusted { .. } => "share_adjusted",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::ShardFailed { .. } => "shard_failed",
+            TraceEvent::ShardRecovered { .. } => "shard_recovered",
+            TraceEvent::DegradedEntered { .. } => "degraded_entered",
+            TraceEvent::DegradedExited { .. } => "degraded_exited",
         }
     }
 
@@ -714,6 +829,60 @@ impl TraceEvent {
                      \"interactive_pm\":{interactive_pm}}}",
                     now.as_micros(),
                     node.0
+                );
+            }
+            TraceEvent::FaultInjected {
+                now,
+                kind,
+                target,
+                param,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"fault_injected\",\"now_us\":{},\"kind\":\"{}\",\
+                     \"target\":{target},\"param\":{param}}}",
+                    now.as_micros(),
+                    kind.as_str()
+                );
+            }
+            TraceEvent::ShardFailed {
+                now,
+                shard,
+                orphaned,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"shard_failed\",\"now_us\":{},\"shard\":{},\
+                     \"orphaned\":{orphaned}}}",
+                    now.as_micros(),
+                    shard.0
+                );
+            }
+            TraceEvent::ShardRecovered {
+                now,
+                shard,
+                adopted,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"shard_recovered\",\"now_us\":{},\"shard\":{},\
+                     \"adopted\":{adopted}}}",
+                    now.as_micros(),
+                    shard.0
+                );
+            }
+            TraceEvent::DegradedEntered { now, pressure } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"degraded_entered\",\"now_us\":{},\"pressure\":{pressure}}}",
+                    now.as_micros()
+                );
+            }
+            TraceEvent::DegradedExited { now, pressure } => {
+                let _ = write!(
+                    s,
+                    "{{\"t\":\"degraded_exited\",\"now_us\":{},\"pressure\":{pressure}}}",
+                    now.as_micros()
                 );
             }
         }
@@ -1070,6 +1239,126 @@ pub fn node_activity(events: &[TraceEvent], nodes: usize, horizon: SimTime) -> V
         .collect()
 }
 
+/// One injected fault with its observed recovery latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRecovery {
+    /// When the fault fired.
+    pub at: SimTime,
+    /// The fault's taxonomy kind.
+    pub kind: InjectedFault,
+    /// The fault's target id (node, leaf base, or shard, per `kind`).
+    pub target: u32,
+    /// Time from injection to the first subsequent [`TraceEvent::JobDone`]
+    /// — the service's observable time-to-recovery. `None` if no job ever
+    /// completed after the fault.
+    pub mttr: Option<SimDuration>,
+    /// For `shard_crash` faults: time from injection to the first
+    /// *interactive* job completion after it (the latency a pinned user
+    /// observed). `None` otherwise or if none completed.
+    pub interactive_mttr: Option<SimDuration>,
+}
+
+/// Aggregate recovery metrics derived from a chaos trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Every injected fault, in trace order, with per-fault recovery.
+    pub faults: Vec<FaultRecovery>,
+    /// Frames lost to the fault response: rejected plus expired jobs.
+    pub frames_lost: u64,
+    /// Work rerouted by recovery: tasks lost to node faults plus jobs
+    /// orphaned by shard failures (each re-placed elsewhere).
+    pub jobs_rerouted: u64,
+    /// Largest per-fault `mttr` observed.
+    pub max_mttr: SimDuration,
+    /// Mean per-fault `mttr` over faults that recovered.
+    pub mean_mttr: SimDuration,
+    /// Largest `interactive_mttr` over shard-crash faults.
+    pub max_interactive_mttr: SimDuration,
+}
+
+/// Derive a [`RecoveryReport`] from a traced chaos run: MTTR per injected
+/// fault (first job completion after it), frames lost to shedding and
+/// deadline expiry, and the volume of rerouted work.
+///
+/// Interactivity of completed jobs is learned from the trace's
+/// [`TraceEvent::Assignment`] events, so the report needs no side
+/// channel beyond the event stream itself.
+pub fn recovery_report(events: &[TraceEvent]) -> RecoveryReport {
+    use std::collections::HashSet;
+    let mut interactive_jobs: HashSet<u64> = HashSet::new();
+    for e in events {
+        if let TraceEvent::Assignment {
+            job, interactive, ..
+        } = e
+        {
+            if *interactive {
+                interactive_jobs.insert(job.0);
+            }
+        }
+    }
+    let mut report = RecoveryReport::default();
+    // Indexes into `report.faults` still waiting for a completion.
+    let mut open: Vec<usize> = Vec::new();
+    let mut open_interactive: Vec<usize> = Vec::new();
+    for e in events {
+        match *e {
+            TraceEvent::FaultInjected {
+                now, kind, target, ..
+            } => {
+                let idx = report.faults.len();
+                report.faults.push(FaultRecovery {
+                    at: now,
+                    kind,
+                    target,
+                    mttr: None,
+                    interactive_mttr: None,
+                });
+                open.push(idx);
+                if kind == InjectedFault::ShardCrash {
+                    open_interactive.push(idx);
+                }
+            }
+            TraceEvent::JobDone { now, job, .. } => {
+                for &idx in &open {
+                    let f = &mut report.faults[idx];
+                    f.mttr = Some(now.saturating_since(f.at));
+                }
+                open.clear();
+                if interactive_jobs.contains(&job.0) {
+                    for &idx in &open_interactive {
+                        let f = &mut report.faults[idx];
+                        f.interactive_mttr = Some(now.saturating_since(f.at));
+                    }
+                    open_interactive.clear();
+                }
+            }
+            TraceEvent::Rejected { .. } | TraceEvent::Expired { .. } => {
+                report.frames_lost += 1;
+            }
+            TraceEvent::NodeFault { lost_tasks, .. } => {
+                report.jobs_rerouted += lost_tasks as u64;
+            }
+            TraceEvent::ShardFailed { orphaned, .. } => {
+                report.jobs_rerouted += orphaned as u64;
+            }
+            _ => {}
+        }
+    }
+    let recovered: Vec<SimDuration> = report.faults.iter().filter_map(|f| f.mttr).collect();
+    if !recovered.is_empty() {
+        report.max_mttr = recovered.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        let total: u64 = recovered.iter().map(|d| d.as_micros()).sum();
+        report.mean_mttr = SimDuration::from_micros(total / recovered.len() as u64);
+    }
+    report.max_interactive_mttr = report
+        .faults
+        .iter()
+        .filter_map(|f| f.interactive_mttr)
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    report
+}
+
 /// Render per-cycle prediction errors as a small table. To keep long runs
 /// readable the cycles are folded into at most `max_rows` row groups, each
 /// averaging its cycles.
@@ -1333,6 +1622,30 @@ mod tests {
                 node: NodeId(2),
                 interactive_pm: 625,
             },
+            TraceEvent::FaultInjected {
+                now: SimTime::ZERO,
+                kind: InjectedFault::NodeDegrade,
+                target: 3,
+                param: 2000,
+            },
+            TraceEvent::ShardFailed {
+                now: SimTime::ZERO,
+                shard: ShardId(1),
+                orphaned: 5,
+            },
+            TraceEvent::ShardRecovered {
+                now: SimTime::ZERO,
+                shard: ShardId(1),
+                adopted: 2,
+            },
+            TraceEvent::DegradedEntered {
+                now: SimTime::ZERO,
+                pressure: 6,
+            },
+            TraceEvent::DegradedExited {
+                now: SimTime::ZERO,
+                pressure: 1,
+            },
         ];
         assert_eq!(events.len(), TraceEvent::TAGS.len());
         let jsonl = events_to_jsonl(&events);
@@ -1358,6 +1671,7 @@ mod tests {
             RejectReason::GlobalCap,
             RejectReason::UserCap,
             RejectReason::QueueFull,
+            RejectReason::Degraded,
         ] {
             assert_eq!(RejectReason::from_code(reason.code()), Some(reason));
         }
@@ -1444,6 +1758,71 @@ mod tests {
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].error, SimDuration::from_millis(60));
         assert_eq!(points[1].error, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn recovery_report_measures_mttr_and_reroutes() {
+        let events = vec![
+            // Job 1 is interactive (flagged on its assignment); job 2 is not.
+            assign(1, 0, 0, 0, 5),
+            TraceEvent::FaultInjected {
+                now: SimTime::from_millis(10),
+                kind: InjectedFault::NodeCrash,
+                target: 0,
+                param: 0,
+            },
+            TraceEvent::NodeFault {
+                now: SimTime::from_millis(10),
+                node: NodeId(0),
+                lost_tasks: 2,
+            },
+            TraceEvent::JobDone {
+                now: SimTime::from_millis(40),
+                job: JobId(2),
+                latency: SimDuration::from_millis(40),
+            },
+            TraceEvent::FaultInjected {
+                now: SimTime::from_millis(50),
+                kind: InjectedFault::ShardCrash,
+                target: 1,
+                param: 0,
+            },
+            TraceEvent::ShardFailed {
+                now: SimTime::from_millis(50),
+                shard: ShardId(1),
+                orphaned: 3,
+            },
+            // A batch completion first: closes plain MTTR, not interactive.
+            TraceEvent::JobDone {
+                now: SimTime::from_millis(60),
+                job: JobId(2),
+                latency: SimDuration::from_millis(10),
+            },
+            TraceEvent::JobDone {
+                now: SimTime::from_millis(75),
+                job: JobId(1),
+                latency: SimDuration::from_millis(25),
+            },
+            TraceEvent::Expired {
+                now: SimTime::from_millis(80),
+                job: JobId(3),
+                waited: SimDuration::from_millis(80),
+            },
+        ];
+        let report = recovery_report(&events);
+        assert_eq!(report.faults.len(), 2);
+        assert_eq!(report.faults[0].mttr, Some(SimDuration::from_millis(30)));
+        assert_eq!(report.faults[0].interactive_mttr, None);
+        assert_eq!(report.faults[1].mttr, Some(SimDuration::from_millis(10)));
+        assert_eq!(
+            report.faults[1].interactive_mttr,
+            Some(SimDuration::from_millis(25))
+        );
+        assert_eq!(report.max_mttr, SimDuration::from_millis(30));
+        assert_eq!(report.mean_mttr, SimDuration::from_millis(20));
+        assert_eq!(report.max_interactive_mttr, SimDuration::from_millis(25));
+        assert_eq!(report.jobs_rerouted, 5);
+        assert_eq!(report.frames_lost, 1);
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Deterministic fault injection: a seedable [`FaultPlan`] schedule of
+//! node crashes, respawns, slow-node degradations, correlated leaf-group
+//! outages, and shard-head crashes, executed identically by both
+//! substrates.
+//!
+//! A plan is nothing but a time-sorted list of [`FaultEvent`]s; the
+//! executing substrate (the discrete-event simulator or the live service
+//! head loop) walks the list against its own clock, applies each fault
+//! through the same runtime entry points (`on_node_fault`,
+//! `on_node_recover`, `on_shard_fail`, degrade hooks), and emits a
+//! `fault_injected` trace event at the moment the fault takes effect —
+//! so any chaos run replays bit-identically in the sim.
+//!
+//! [`FaultPlan::random`] generates *recoverable* schedules (splitmix64,
+//! the repo's standard deterministic generator): at any instant every
+//! shard keeps at least one live node, so a correct control plane can
+//! always re-place lost work and the property tests may assert zero
+//! admitted-job loss.
+
+use vizsched_core::ids::{NodeId, ShardId};
+use vizsched_core::time::{SimDuration, SimTime};
+use vizsched_metrics::InjectedFault;
+use vizsched_routing::ShardMap;
+
+/// One kind of injectable fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A node crashes: queue, running task, and cache are lost.
+    NodeCrash(NodeId),
+    /// A crashed node rejoins, cold-cached.
+    NodeRespawn(NodeId),
+    /// A node degrades: every execution is stretched by
+    /// `factor_pm / 1000` (per-mille; `2000` = half speed).
+    NodeDegrade {
+        /// The degraded node (global id).
+        node: NodeId,
+        /// Execution-time multiplier, per-mille (≥ 1000).
+        factor_pm: u32,
+    },
+    /// A degraded node returns to full speed.
+    NodeRestore(NodeId),
+    /// A correlated outage crashes the `count` nodes `[base, base+count)`
+    /// at once (one leaf switch dying).
+    LeafOutage {
+        /// First node of the group (global id).
+        base: NodeId,
+        /// Nodes in the group.
+        count: u32,
+    },
+    /// The leaf group `[base, base+count)` rejoins, cold-cached.
+    LeafRecover {
+        /// First node of the group (global id).
+        base: NodeId,
+        /// Nodes in the group.
+        count: u32,
+    },
+    /// A shard head's cycle loop dies; its node slice and backlog must
+    /// fail over to the surviving shards.
+    ShardCrash(ShardId),
+}
+
+impl FaultKind {
+    /// The `(kind, target, param)` triple recorded in the
+    /// `fault_injected` trace event.
+    pub fn injected(self) -> (InjectedFault, u32, u32) {
+        match self {
+            FaultKind::NodeCrash(n) => (InjectedFault::NodeCrash, n.0, 0),
+            FaultKind::NodeRespawn(n) => (InjectedFault::NodeRespawn, n.0, 0),
+            FaultKind::NodeDegrade { node, factor_pm } => {
+                (InjectedFault::NodeDegrade, node.0, factor_pm)
+            }
+            FaultKind::NodeRestore(n) => (InjectedFault::NodeRestore, n.0, 0),
+            FaultKind::LeafOutage { base, count } => (InjectedFault::LeafOutage, base.0, count),
+            FaultKind::LeafRecover { base, count } => (InjectedFault::LeafRecover, base.0, count),
+            FaultKind::ShardCrash(s) => (InjectedFault::ShardCrash, s.0, 0),
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires: virtual time in the simulator, elapsed time
+    /// since service start in the live plane.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, time-sorted fault schedule.
+///
+/// Build one with the `*_at` convenience methods (chainable) or generate
+/// a recoverable random plan with [`FaultPlan::random`]. Events with
+/// equal timestamps keep their insertion order, so a plan is a total
+/// order and both substrates execute it identically.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at `at`, keeping the plan time-sorted (stable for
+    /// equal timestamps).
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, kind });
+    }
+
+    /// Chainable [`FaultPlan::push`].
+    pub fn with(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// Schedule a node crash.
+    pub fn crash_at(self, at: SimTime, node: NodeId) -> Self {
+        self.with(at, FaultKind::NodeCrash(node))
+    }
+
+    /// Schedule a node respawn.
+    pub fn respawn_at(self, at: SimTime, node: NodeId) -> Self {
+        self.with(at, FaultKind::NodeRespawn(node))
+    }
+
+    /// Schedule a slow-node degradation (`factor_pm` per-mille, ≥ 1000).
+    pub fn degrade_at(self, at: SimTime, node: NodeId, factor_pm: u32) -> Self {
+        assert!(factor_pm >= 1000, "degrade factor must be >= 1000 pm");
+        self.with(at, FaultKind::NodeDegrade { node, factor_pm })
+    }
+
+    /// Schedule a degraded node's return to full speed.
+    pub fn restore_at(self, at: SimTime, node: NodeId) -> Self {
+        self.with(at, FaultKind::NodeRestore(node))
+    }
+
+    /// Schedule a correlated leaf-group outage.
+    pub fn leaf_outage_at(self, at: SimTime, base: NodeId, count: u32) -> Self {
+        self.with(at, FaultKind::LeafOutage { base, count })
+    }
+
+    /// Schedule a leaf group's recovery.
+    pub fn leaf_recover_at(self, at: SimTime, base: NodeId, count: u32) -> Self {
+        self.with(at, FaultKind::LeafRecover { base, count })
+    }
+
+    /// Schedule a shard-head crash.
+    pub fn shard_crash_at(self, at: SimTime, shard: ShardId) -> Self {
+        self.with(at, FaultKind::ShardCrash(shard))
+    }
+
+    /// The schedule, time-sorted.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A random *recoverable* plan over a `nodes`-node cluster split into
+    /// `shards` shards (the standard [`ShardMap`] partition), with every
+    /// fault inside `[0, horizon]`.
+    ///
+    /// Recoverable means: per shard at most one crash window is open at a
+    /// time, a crash window always closes with the matching respawn
+    /// before the horizon, single-node shards are never crashed, and at
+    /// most one shard-head crash fires (only when at least two shards
+    /// exist). Degradations are unconstrained — a slow node is still a
+    /// correct node.
+    pub fn random(seed: u64, nodes: usize, shards: usize, horizon: SimDuration) -> Self {
+        let mut state = seed ^ 0xa076_1d64_78bd_642f;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let span_us = horizon.as_micros().max(2);
+        let mut plan = FaultPlan::new();
+        let shards = shards.max(1).min(nodes.max(1));
+        let map = ShardMap::new(nodes, shards);
+
+        // Per-shard crash windows: [start, end) intervals during which
+        // one of the shard's nodes is down. Non-overlapping per shard.
+        let mut windows: Vec<Vec<(u64, u64)>> = vec![Vec::new(); shards];
+        let pairs = 1 + (next() % 3) as usize;
+        for _ in 0..pairs {
+            let span = map.span(ShardId((next() % shards as u64) as u32));
+            if span.nodes < 2 {
+                continue; // never crash a single-node shard
+            }
+            let node = NodeId(span.base + (next() % span.nodes as u64) as u32);
+            let a = next() % span_us;
+            let b = next() % span_us;
+            let (start, end) = (a.min(b), a.max(b).max(a.min(b) + 1));
+            let overlaps = windows[span.shard.index()]
+                .iter()
+                .any(|&(s, e)| start < e && s < end);
+            if overlaps {
+                continue;
+            }
+            windows[span.shard.index()].push((start, end));
+            plan = plan
+                .crash_at(SimTime::from_micros(start), node)
+                .respawn_at(SimTime::from_micros(end), node);
+        }
+
+        // Degradations: free, any node, any interval.
+        for _ in 0..(next() % 3) {
+            let node = NodeId((next() % nodes.max(1) as u64) as u32);
+            let factor_pm = 1500 + (next() % 2500) as u32;
+            let a = next() % span_us;
+            let b = next() % span_us;
+            let (start, end) = (a.min(b), a.max(b).max(a.min(b) + 1));
+            plan = plan
+                .degrade_at(SimTime::from_micros(start), node, factor_pm)
+                .restore_at(SimTime::from_micros(end), node);
+        }
+
+        // At most one shard-head crash, mid-plan, only with survivors.
+        if shards >= 2 && next() % 2 == 0 {
+            let shard = ShardId((next() % shards as u64) as u32);
+            let at = span_us / 4 + next() % (span_us / 2).max(1);
+            plan = plan.shard_crash_at(SimTime::from_micros(at), shard);
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_stays_time_sorted() {
+        let plan = FaultPlan::new()
+            .respawn_at(SimTime::from_secs(5), NodeId(0))
+            .crash_at(SimTime::from_secs(1), NodeId(0))
+            .degrade_at(SimTime::from_secs(3), NodeId(1), 2000);
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_micros()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.events()[0].kind, FaultKind::NodeCrash(NodeId(0)));
+    }
+
+    #[test]
+    fn equal_timestamps_keep_insertion_order() {
+        let t = SimTime::from_secs(2);
+        let plan = FaultPlan::new()
+            .crash_at(t, NodeId(3))
+            .respawn_at(t, NodeId(3));
+        assert_eq!(plan.events()[0].kind, FaultKind::NodeCrash(NodeId(3)));
+        assert_eq!(plan.events()[1].kind, FaultKind::NodeRespawn(NodeId(3)));
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_recoverable() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::random(seed, 8, 2, SimDuration::from_secs(10));
+            let b = FaultPlan::random(seed, 8, 2, SimDuration::from_secs(10));
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            let map = ShardMap::new(8, 2);
+            // Replay: per shard, count nodes down; never the whole slice.
+            let mut down: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); 2];
+            let mut shard_crashes = 0;
+            for e in a.events() {
+                match e.kind {
+                    FaultKind::NodeCrash(n) => {
+                        let s = map.shard_of_node(n).index();
+                        down[s].insert(n.0);
+                        assert!(
+                            (down[s].len() as u32) < map.span(ShardId(s as u32)).nodes,
+                            "seed {seed}: shard {s} fully down"
+                        );
+                    }
+                    FaultKind::NodeRespawn(n) => {
+                        let s = map.shard_of_node(n).index();
+                        assert!(down[s].remove(&n.0), "seed {seed}: respawn without crash");
+                    }
+                    FaultKind::ShardCrash(_) => shard_crashes += 1,
+                    _ => {}
+                }
+            }
+            assert!(
+                down.iter().all(|d| d.is_empty()),
+                "seed {seed}: crash window left open"
+            );
+            assert!(shard_crashes <= 1, "seed {seed}: too many shard crashes");
+        }
+    }
+
+    #[test]
+    fn single_shard_random_plans_never_crash_heads() {
+        for seed in 0..20u64 {
+            let plan = FaultPlan::random(seed, 4, 1, SimDuration::from_secs(5));
+            assert!(plan
+                .events()
+                .iter()
+                .all(|e| !matches!(e.kind, FaultKind::ShardCrash(_))));
+        }
+    }
+}

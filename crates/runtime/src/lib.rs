@@ -54,7 +54,9 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fault;
 pub mod shard;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use shard::{Head, ShardOutcome, ShardedOutcome, ShardedRuntime};
 
 use std::sync::Arc;
@@ -63,7 +65,7 @@ use vizsched_core::cost::{CostParams, JobTiming};
 use vizsched_core::data::Catalog;
 use vizsched_core::fxhash::FxHashMap;
 use vizsched_core::ids::{ChunkId, JobId, NodeId, UserId};
-use vizsched_core::job::Job;
+use vizsched_core::job::{FrameParams, Job};
 use vizsched_core::sched::{
     Assignment, CompletionFeedback, PolicyEvent, ScheduleCtx, Scheduler, Trigger,
 };
@@ -278,6 +280,9 @@ struct JobState {
     record: JobRecord,
     remaining: u32,
     max_finish: SimTime,
+    /// The job's frame parameters, kept so shard-head failover can
+    /// reconstruct and re-admit an in-flight job elsewhere.
+    frame: FrameParams,
 }
 
 /// The shared head-node runtime: one instance per run, driven by a
@@ -517,6 +522,7 @@ impl HeadRuntime {
                 },
                 remaining: tasks,
                 max_finish: SimTime::ZERO,
+                frame: job.frame,
             },
         );
         self.job_order.push(job.id);
@@ -624,6 +630,61 @@ impl HeadRuntime {
             self.drop_admitted(job.id);
         }
         batch
+    }
+
+    /// Drain every admitted-but-incomplete job out of this runtime so the
+    /// sharded control plane can re-admit it elsewhere after this head
+    /// dies. Buffered jobs come back verbatim; in-flight jobs are
+    /// reconstructed from their records (original issue time, so latency
+    /// keeps measuring from first submission), in arrival order.
+    /// Outstanding dispatch bookkeeping is cleared — the dead head's
+    /// nodes are power-cycled by the caller, so none of it will ever
+    /// complete here. Completed-job records stay for the final merge.
+    pub fn drain_for_failover(&mut self) -> Vec<Job> {
+        let mut buffered: FxHashMap<JobId, Job> = std::mem::take(&mut self.buffer)
+            .into_iter()
+            .map(|j| (j.id, j))
+            .collect();
+        let mut drained = Vec::new();
+        let order = std::mem::take(&mut self.job_order);
+        for id in order {
+            let incomplete = self.jobs.get(&id).is_some_and(|s| s.remaining > 0);
+            if !incomplete {
+                self.job_order.push(id);
+                continue;
+            }
+            let state = self.jobs.remove(&id).expect("incomplete job is tracked");
+            if state.record.kind.is_interactive() {
+                self.release_in_flight(state.record.kind.user());
+            }
+            drained.push(buffered.remove(&id).unwrap_or(Job {
+                id,
+                kind: state.record.kind,
+                dataset: state.record.dataset,
+                issue_time: state.record.timing.issue,
+                frame: state.frame,
+            }));
+        }
+        debug_assert!(buffered.is_empty(), "buffered jobs are tracked jobs");
+        for queue in &mut self.outstanding {
+            queue.clear();
+        }
+        // Tasks still parked inside the policy belong to the jobs just
+        // drained; retract them so this dead head's `has_deferred` can
+        // never keep a dispatcher ticking against it.
+        self.scheduler.retract_deferred();
+        drained
+    }
+
+    /// Adopt one extra node into this head's control plane, empty-cached
+    /// and available at `now` — the shard-head failover primitive. The
+    /// new node takes the next local index; the caller owns the
+    /// local-to-global translation.
+    pub fn adopt_node(&mut self, now: SimTime, mem_quota: u64) -> NodeId {
+        let node = self.tables.adopt_node(now, mem_quota);
+        self.outstanding.push(Vec::new());
+        self.per_node.push(NodeCounters::default());
+        node
     }
 
     /// Run one scheduling cycle: expire buffered jobs past the policy
@@ -1197,6 +1258,70 @@ mod tests {
         assert_eq!(faults, 1);
         rt.on_node_recover(SimTime::from_millis(3), victim);
         assert!(!rt.is_node_down(victim));
+    }
+
+    #[test]
+    fn drain_for_failover_returns_each_incomplete_job_once() {
+        let mut rt = runtime(SchedulerKind::Ours, Arc::new(vizsched_metrics::NoopProbe));
+        let mut sub = StubSubstrate::default();
+        // Job 0 gets dispatched (in flight); job 1 stays buffered; job 2
+        // completes fully before the failover.
+        rt.on_job_arrival(&mut sub, SimTime::ZERO, job(0, SimTime::ZERO));
+        rt.on_cycle(&mut sub, SimTime::from_millis(30));
+        rt.on_job_arrival(&mut sub, SimTime::ZERO, job(2, SimTime::ZERO));
+        rt.on_cycle(&mut sub, SimTime::from_millis(60));
+        let now = SimTime::from_millis(70);
+        for a in sub
+            .dispatched
+            .clone()
+            .iter()
+            .filter(|a| a.task.job == JobId(2))
+        {
+            rt.on_task_done(now, completion_for(a, now));
+        }
+        assert_eq!(rt.jobs_completed(), 1);
+        rt.on_job_arrival(&mut sub, now, job(1, now));
+        assert_eq!(rt.queued_jobs(), 1);
+
+        let drained = rt.drain_for_failover();
+        let ids: Vec<u64> = drained.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![0, 1], "in-flight then buffered, arrival order");
+        assert_eq!(drained[0].issue_time, SimTime::ZERO, "issue time survives");
+        assert_eq!(rt.queued_jobs(), 0);
+        // A straggler completion for a drained job is ignored harmlessly.
+        let stray = sub
+            .dispatched
+            .iter()
+            .find(|a| a.task.job == JobId(0))
+            .copied()
+            .unwrap();
+        assert!(rt.on_task_done(now, completion_for(&stray, now)).is_none());
+        // The completed job's record survives; drained jobs leave none.
+        let outcome = rt.into_outcome();
+        assert_eq!(outcome.record.jobs.len(), 1);
+        assert_eq!(outcome.record.jobs[0].id, JobId(2));
+        assert_eq!(outcome.incomplete_jobs, 0);
+    }
+
+    #[test]
+    fn adopt_node_extends_the_control_plane() {
+        let mut rt = runtime(SchedulerKind::Fcfsl, Arc::new(vizsched_metrics::NoopProbe));
+        let adopted = rt.adopt_node(SimTime::from_millis(5), 2 * GIB);
+        assert_eq!(adopted, NodeId(2));
+        assert_eq!(rt.tables().node_count(), 3);
+        assert!(!rt.is_node_down(adopted));
+        let mut sub = StubSubstrate::default();
+        rt.on_job_arrival(
+            &mut sub,
+            SimTime::from_millis(5),
+            job(0, SimTime::from_millis(5)),
+        );
+        // Completions on the adopted node correct its tables normally.
+        if let Some(a) = sub.dispatched.iter().find(|a| a.node == adopted) {
+            let now = SimTime::from_millis(9);
+            rt.on_task_done(now, completion_for(a, now));
+            assert!(rt.tables().cache.contains(adopted, a.task.chunk));
+        }
     }
 
     fn job_for_user(id: u64, user: u32, action: u64, at: SimTime) -> Job {

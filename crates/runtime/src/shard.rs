@@ -31,15 +31,30 @@
 //! exists to avoid. Batch frames are latency-tolerant bulk work; moving
 //! them trades one cold load per chunk against an interactive queue that
 //! stops growing.
+//!
+//! Shard-head failover: [`ShardedRuntime::on_shard_fail`] survives the
+//! loss of one head's cycle loop. The dead shard leaves the ring (the
+//! minimal-disruption rebalance: only its datasets re-home), its node
+//! slice is adopted round-robin by the surviving heads
+//! ([`TraceEvent::ShardFailed`] / [`TraceEvent::ShardRecovered`]), and
+//! every admitted-but-unfinished job drained off the dead head is
+//! re-admitted exactly once on its dataset's new home shard. Because the
+//! caller power-cycles the dead slice's render nodes first, no stale
+//! completion can race the rebuilt control state. Sustained fault
+//! pressure (node faults, shard loss) drives an explicit *degraded mode*
+//! with hysteresis: while degraded, new batch arrivals are shed
+//! ([`RejectReason::Degraded`]) so surviving capacity protects
+//! interactive sessions; pressure decays at cycle boundaries and batch
+//! admission resumes below the exit threshold.
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use vizsched_core::cluster::ClusterSpec;
 use vizsched_core::data::Catalog;
 use vizsched_core::ids::{ChunkId, DatasetId, NodeId, ShardId};
 use vizsched_core::job::Job;
 use vizsched_core::sched::{Assignment, Trigger};
 use vizsched_core::time::{SimDuration, SimTime};
-use vizsched_metrics::{Probe, TraceEvent};
+use vizsched_metrics::{Probe, RejectReason, TraceEvent};
 pub use vizsched_routing::{HashRing, ShardMap, ShardNodes};
 
 use crate::{
@@ -47,18 +62,24 @@ use crate::{
     OverloadStats, RuntimeOutcome, Substrate,
 };
 
+/// One shard's view of the cluster: local node index → global node id.
+/// Starts as the shard's contiguous [`ShardMap`] span and grows when the
+/// shard adopts nodes from a failed peer, so the translation is a lookup,
+/// not a base offset. Shared between the routing tier and the shard's
+/// probe adapter (reads vastly outnumber the rare failover write).
+type LocalView = Arc<RwLock<Vec<u32>>>;
+
 /// A substrate adapter translating one shard's local node indices to the
-/// cluster-global numbering of the wrapped substrate. Shard spans are
-/// contiguous, so the translation is a base offset.
+/// cluster-global numbering of the wrapped substrate.
 struct ShardSub<'a, S: Substrate> {
     inner: &'a mut S,
-    base: u32,
+    locals: LocalView,
 }
 
 impl<S: Substrate> Substrate for ShardSub<'_, S> {
     fn dispatch(&mut self, assignment: &Assignment) -> bool {
         let mut global = *assignment;
-        global.node = NodeId(global.node.0 + self.base);
+        global.node = NodeId(self.locals.read().expect("locals lock")[global.node.0 as usize]);
         self.inner.dispatch(&global)
     }
 }
@@ -68,7 +89,7 @@ impl<S: Substrate> Substrate for ShardSub<'_, S> {
 /// cluster. Events without a node field pass through untouched.
 struct ShardProbe {
     inner: Arc<dyn Probe>,
-    base: u32,
+    locals: LocalView,
 }
 
 impl Probe for ShardProbe {
@@ -85,7 +106,9 @@ impl Probe for ShardProbe {
             | TraceEvent::CacheLoad { node, .. }
             | TraceEvent::CacheEvict { node, .. }
             | TraceEvent::NodeFault { node, .. }
-            | TraceEvent::NodeUp { node, .. } => node.0 += self.base,
+            | TraceEvent::NodeUp { node, .. } => {
+                node.0 = self.locals.read().expect("locals lock")[node.0 as usize];
+            }
             _ => {}
         }
         self.inner.on_event(&global);
@@ -138,6 +161,10 @@ pub struct ShardedOutcome {
     pub merged: RuntimeOutcome,
     /// Per-shard breakdown, in shard order.
     pub per_shard: Vec<ShardOutcome>,
+    /// Batch arrivals shed by the routing tier while in degraded mode
+    /// (they never reached a shard, so they are not in any shard's
+    /// overload counters).
+    pub degraded_shed: u64,
 }
 
 /// N head-node cycle loops behind a consistent-hash routing tier; see the
@@ -156,6 +183,24 @@ pub struct ShardedRuntime {
     /// boundary).
     saturation: Vec<usize>,
     counters: Vec<ShardCounters>,
+    /// Per-shard local→global node translation; grows on adoption.
+    locals: Vec<LocalView>,
+    /// Snapshot of a dead shard's final local view, kept so its per-node
+    /// counters still merge under the right global ids at the end.
+    retired: Vec<Vec<u32>>,
+    /// Global node id → (owning shard index, local index there). Updated
+    /// when survivors adopt a dead shard's slice.
+    owner_of: Vec<(u32, u32)>,
+    /// Shards whose head has died; their runtimes stay inert.
+    dead: Vec<bool>,
+    /// Per global node: cache-memory quota, needed to rebuild table rows
+    /// when a survivor adopts the node.
+    quotas: Vec<u64>,
+    /// Fault-pressure score driving degraded mode; decays at cycle
+    /// boundaries.
+    pressure: u32,
+    degraded: bool,
+    degraded_shed: u64,
 }
 
 impl ShardedRuntime {
@@ -164,6 +209,18 @@ impl ShardedRuntime {
     /// are all busy this cycle and the next several cycles are already
     /// spoken for.
     pub const DEFAULT_SATURATION_PER_NODE: usize = 4;
+
+    /// Fault-pressure added by one fresh node fault.
+    pub const NODE_FAULT_PRESSURE: u32 = 2;
+    /// Fault-pressure added by one shard-head loss.
+    pub const SHARD_FAIL_PRESSURE: u32 = 4;
+    /// Pressure at or above which degraded mode is entered.
+    pub const DEGRADED_ENTER: u32 = 4;
+    /// Pressure at or below which degraded mode is exited. Strictly
+    /// below [`Self::DEGRADED_ENTER`] so isolated faults near the
+    /// boundary cannot flap the mode (hysteresis); pressure decays by
+    /// one per cycle boundary.
+    pub const DEGRADED_EXIT: u32 = 1;
 
     /// Build a sharded runtime over `cluster`, partitioned into `shards`
     /// topology-aware slices.
@@ -194,15 +251,19 @@ impl ShardedRuntime {
         let ring = HashRing::with_shards(shards);
         let mut runtimes = Vec::with_capacity(shards);
         let mut saturation = Vec::with_capacity(shards);
+        let mut locals: Vec<LocalView> = Vec::with_capacity(shards);
         for span in map.spans() {
             let slice = ClusterSpec {
                 nodes: cluster.nodes[span.base as usize..(span.base + span.nodes) as usize]
                     .to_vec(),
             };
+            let view: LocalView =
+                Arc::new(RwLock::new((span.base..span.base + span.nodes).collect()));
             let shard_probe: Arc<dyn Probe> = Arc::new(ShardProbe {
                 inner: probe.clone(),
-                base: span.base,
+                locals: view.clone(),
             });
+            locals.push(view);
             let runtime = build(span.shard, &slice, shard_probe);
             assert_eq!(
                 runtime.tables().node_count(),
@@ -216,6 +277,13 @@ impl ShardedRuntime {
             runtimes.push(runtime);
         }
         let counters = vec![ShardCounters::default(); shards];
+        let owner_of = (0..cluster.len())
+            .map(|g| {
+                let (shard, local) = map.local(NodeId(g as u32));
+                (shard.0, local.0)
+            })
+            .collect();
+        let quotas = cluster.nodes.iter().map(|n| n.mem_quota).collect();
         ShardedRuntime {
             shards: runtimes,
             map,
@@ -223,7 +291,72 @@ impl ShardedRuntime {
             probe,
             saturation,
             counters,
+            locals,
+            retired: vec![Vec::new(); shards],
+            owner_of,
+            dead: vec![false; shards],
+            quotas,
+            pressure: 0,
+            degraded: false,
+            degraded_shed: 0,
         }
+    }
+
+    /// The owning shard and local index of a global node, tracking
+    /// post-failover adoptions (unlike the static [`ShardMap`]).
+    fn locate(&self, node: NodeId) -> (usize, NodeId) {
+        let (shard, local) = self.owner_of[node.0 as usize];
+        (shard as usize, NodeId(local))
+    }
+
+    /// Raise fault pressure, entering degraded mode at the threshold.
+    fn bump_pressure(&mut self, now: SimTime, amount: u32) {
+        self.pressure = self.pressure.saturating_add(amount);
+        if !self.degraded && self.pressure >= Self::DEGRADED_ENTER {
+            self.degraded = true;
+            if self.probe.enabled() {
+                self.probe.on_event(&TraceEvent::DegradedEntered {
+                    now,
+                    pressure: self.pressure,
+                });
+            }
+        }
+    }
+
+    /// Decay fault pressure by one, leaving degraded mode below the exit
+    /// threshold. Called once per cycle boundary.
+    fn decay_pressure(&mut self, now: SimTime) {
+        self.pressure = self.pressure.saturating_sub(1);
+        if self.degraded && self.pressure <= Self::DEGRADED_EXIT {
+            self.degraded = false;
+            if self.probe.enabled() {
+                self.probe.on_event(&TraceEvent::DegradedExited {
+                    now,
+                    pressure: self.pressure,
+                });
+            }
+        }
+    }
+
+    /// Whether the routing tier is currently shedding batch arrivals.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The global node ids a shard currently owns (its original slice
+    /// plus adoptions, minus anything it was itself — empty once dead).
+    pub fn shard_nodes(&self, shard: ShardId) -> Vec<NodeId> {
+        self.locals[shard.index()]
+            .read()
+            .expect("locals lock")
+            .iter()
+            .map(|&g| NodeId(g))
+            .collect()
+    }
+
+    /// Whether a shard's head has died.
+    pub fn is_shard_dead(&self, shard: ShardId) -> bool {
+        self.dead[shard.index()]
     }
 
     /// Number of shards.
@@ -294,8 +427,8 @@ impl ShardedRuntime {
 
     /// Whether a (global) node is currently marked down.
     pub fn is_node_down(&self, node: NodeId) -> bool {
-        let (shard, local) = self.map.local(node);
-        self.shards[shard.index()].is_node_down(local)
+        let (shard, local) = self.locate(node);
+        self.shards[shard].is_node_down(local)
     }
 
     /// The decomposition catalog (every shard holds the same one).
@@ -315,14 +448,16 @@ impl ShardedRuntime {
     /// Mirror a pre-run cache placement on the owning shard (global node
     /// numbering).
     pub fn record_warm_load(&mut self, node: NodeId, chunk: ChunkId, bytes: u64) {
-        let (shard, local) = self.map.local(node);
-        self.shards[shard.index()].record_warm_load(local, chunk, bytes);
+        let (shard, local) = self.locate(node);
+        self.shards[shard].record_warm_load(local, chunk, bytes);
     }
 
     /// Route one arriving job to its shard and hand it to that shard's
     /// runtime. Returns the owning shard alongside the shard's admission
     /// verdict. Emits [`TraceEvent::ShardAssigned`] for every admitted
-    /// arrival.
+    /// arrival. While degraded, new *batch* arrivals are shed with
+    /// [`RejectReason::Degraded`] before they reach a shard — surviving
+    /// capacity is reserved for interactive sessions.
     pub fn on_job_arrival<S: Substrate>(
         &mut self,
         sub: &mut S,
@@ -330,7 +465,17 @@ impl ShardedRuntime {
         job: Job,
     ) -> (ShardId, Admission) {
         let shard = self.ring.shard_for_dataset(job.dataset);
-        let base = self.map.span(shard).base;
+        if self.degraded && !job.kind.is_interactive() {
+            self.degraded_shed += 1;
+            if self.probe.enabled() {
+                self.probe.on_event(&TraceEvent::Rejected {
+                    now,
+                    job: job.id,
+                    reason: RejectReason::Degraded,
+                });
+            }
+            return (shard, Admission::Rejected(RejectReason::Degraded));
+        }
         self.counters[shard.index()].assigned += 1;
         if self.probe.enabled() {
             self.probe.on_event(&TraceEvent::ShardAssigned {
@@ -339,8 +484,12 @@ impl ShardedRuntime {
                 shard,
             });
         }
-        let admission =
-            self.shards[shard.index()].on_job_arrival(&mut ShardSub { inner: sub, base }, now, job);
+        let locals = self.locals[shard.index()].clone();
+        let admission = self.shards[shard.index()].on_job_arrival(
+            &mut ShardSub { inner: sub, locals },
+            now,
+            job,
+        );
         (shard, admission)
     }
 
@@ -350,13 +499,17 @@ impl ShardedRuntime {
     /// its new shard), then each shard's own cycle. Expired jobs from all
     /// shards are merged into one [`CycleOutcome`].
     pub fn on_cycle<S: Substrate>(&mut self, sub: &mut S, now: SimTime) -> CycleOutcome {
+        self.decay_pressure(now);
         if self.shards.len() > 1 {
             self.steal_from_saturated(sub, now);
         }
         let mut outcome = CycleOutcome::default();
         for i in 0..self.shards.len() {
-            let base = self.map.spans()[i].base;
-            let shard_outcome = self.shards[i].on_cycle(&mut ShardSub { inner: sub, base }, now);
+            if self.dead[i] {
+                continue;
+            }
+            let locals = self.locals[i].clone();
+            let shard_outcome = self.shards[i].on_cycle(&mut ShardSub { inner: sub, locals }, now);
             outcome.invoked |= shard_outcome.invoked;
             outcome.expired.extend(shard_outcome.expired);
         }
@@ -372,15 +525,18 @@ impl ShardedRuntime {
     /// substrate-independent, and ties break by shard index.
     fn steal_from_saturated<S: Substrate>(&mut self, sub: &mut S, now: SimTime) {
         let tracing = self.probe.enabled();
+        // A dead shard is never saturated (it holds no work) and never a
+        // target, so fold it into the saturated mask.
         let saturated: Vec<bool> = self
             .shards
             .iter()
             .zip(&self.saturation)
-            .map(|(shard, &cap)| shard.queued_jobs() > cap)
+            .zip(&self.dead)
+            .map(|((shard, &cap), &dead)| dead || shard.queued_jobs() > cap)
             .collect();
         let any_target = saturated.iter().any(|&s| !s);
         for from in 0..self.shards.len() {
-            if !saturated[from] {
+            if !saturated[from] || self.dead[from] {
                 continue;
             }
             self.counters[from].saturations += 1;
@@ -410,11 +566,11 @@ impl ShardedRuntime {
                         to: ShardId(to as u32),
                     });
                 }
-                let base = self.map.spans()[to].base;
+                let locals = self.locals[to].clone();
                 // Batch is admitted unconditionally and never coalesced,
                 // so re-arrival cannot bounce.
                 let admission =
-                    self.shards[to].on_job_arrival(&mut ShardSub { inner: sub, base }, now, job);
+                    self.shards[to].on_job_arrival(&mut ShardSub { inner: sub, locals }, now, job);
                 debug_assert!(admission.is_admitted(), "migrated batch bounced");
             }
         }
@@ -435,29 +591,127 @@ impl ShardedRuntime {
 
     /// Apply one completion (global node numbering) on the owning shard.
     pub fn on_task_done(&mut self, now: SimTime, mut done: Completion) -> Option<JobFinish> {
-        let (shard, local) = self.map.local(done.node);
+        let (shard, local) = self.locate(done.node);
         done.node = local;
-        self.shards[shard.index()].on_task_done(now, done)
+        self.shards[shard].on_task_done(now, done)
     }
 
     /// Handle a (global) node fault on its owning shard. Rerouting stays
     /// inside the shard: its surviving nodes are the ones with the dead
-    /// node's data locality, and the shard map never changes mid-run.
+    /// node's data locality, and node ownership only changes at shard
+    /// failover. A fresh fault raises degraded-mode pressure.
     pub fn on_node_fault<S: Substrate>(
         &mut self,
         sub: &mut S,
         now: SimTime,
         node: NodeId,
     ) -> usize {
-        let (shard, local) = self.map.local(node);
-        let base = self.map.span(shard).base;
-        self.shards[shard.index()].on_node_fault(&mut ShardSub { inner: sub, base }, now, local)
+        let (shard, local) = self.locate(node);
+        let fresh = !self.shards[shard].is_node_down(local);
+        let locals = self.locals[shard].clone();
+        let lost =
+            self.shards[shard].on_node_fault(&mut ShardSub { inner: sub, locals }, now, local);
+        if fresh {
+            self.bump_pressure(now, Self::NODE_FAULT_PRESSURE);
+        }
+        lost
     }
 
-    /// Handle a (global) node rejoining, cold-cached.
+    /// Handle a (global) node rejoining, cold-cached. The node rejoins
+    /// whichever shard currently owns it — its original slice, or the
+    /// adopter after a failover.
     pub fn on_node_recover(&mut self, now: SimTime, node: NodeId) {
-        let (shard, local) = self.map.local(node);
-        self.shards[shard.index()].on_node_recover(now, local);
+        let (shard, local) = self.locate(node);
+        self.shards[shard].on_node_recover(now, local);
+    }
+
+    /// Survive the loss of one shard head's cycle loop.
+    ///
+    /// The dead shard leaves the ring (only its datasets re-home — the
+    /// minimal-disruption rebalance), its node slice is adopted
+    /// round-robin by the surviving heads in shard order, and every
+    /// admitted-but-unfinished job drained off the dead head is
+    /// re-admitted *exactly once* on its dataset's new home shard
+    /// (bypassing degraded-mode shedding: these jobs were already
+    /// admitted). Interactive sessions re-pin to the new home — the ring
+    /// gives every surviving client of a dataset the same answer.
+    ///
+    /// The caller must power-cycle the dead slice's render nodes *before*
+    /// calling this, so completions dispatched by the dead head can never
+    /// race the rebuilt control state; adopted nodes therefore join
+    /// cold-cached and idle, which is exactly what [`HeadRuntime::adopt_node`]
+    /// records.
+    ///
+    /// Returns the number of orphaned jobs re-admitted. A second failure
+    /// of the same shard and the loss of the last live shard are no-ops
+    /// (there is nothing left to fail over to).
+    pub fn on_shard_fail<S: Substrate>(
+        &mut self,
+        sub: &mut S,
+        now: SimTime,
+        shard: ShardId,
+    ) -> usize {
+        let s = shard.index();
+        if self.dead[s] || self.dead.iter().filter(|&&d| !d).count() <= 1 {
+            return 0;
+        }
+        self.dead[s] = true;
+        self.ring.remove_shard(shard);
+        let drained = self.shards[s].drain_for_failover();
+        let slice = std::mem::take(&mut *self.locals[s].write().expect("locals lock"));
+        let tracing = self.probe.enabled();
+        if tracing {
+            self.probe.on_event(&TraceEvent::ShardFailed {
+                now,
+                shard,
+                orphaned: drained.len(),
+            });
+        }
+        // Adopt the dead slice round-robin over survivors in shard order:
+        // the slice spreads evenly, and the assignment is a deterministic
+        // function of the shard states alone.
+        let survivors: Vec<usize> = (0..self.shards.len()).filter(|&i| !self.dead[i]).collect();
+        let mut adopted = vec![0usize; self.shards.len()];
+        for (k, &g) in slice.iter().enumerate() {
+            let tgt = survivors[k % survivors.len()];
+            let local = self.shards[tgt].adopt_node(now, self.quotas[g as usize]);
+            self.locals[tgt].write().expect("locals lock").push(g);
+            self.owner_of[g as usize] = (tgt as u32, local.0);
+            adopted[tgt] += 1;
+        }
+        self.retired[s] = slice;
+        if tracing {
+            for (i, &n) in adopted.iter().enumerate() {
+                if n > 0 {
+                    self.probe.on_event(&TraceEvent::ShardRecovered {
+                        now,
+                        shard: ShardId(i as u32),
+                        adopted: n,
+                    });
+                }
+            }
+        }
+        self.bump_pressure(now, Self::SHARD_FAIL_PRESSURE);
+        // Re-admit the orphans on their datasets' new home shards. These
+        // are re-pins, not migrations: no ShardMigrated is emitted, so
+        // "interactive sessions never migrate" stays an invariant of the
+        // saturation path alone.
+        let orphaned = drained.len();
+        for job in drained {
+            let to = self.ring.shard_for_dataset(job.dataset);
+            let t = to.index();
+            self.counters[t].assigned += 1;
+            if tracing {
+                self.probe.on_event(&TraceEvent::ShardAssigned {
+                    now,
+                    job: job.id,
+                    shard: to,
+                });
+            }
+            let locals = self.locals[t].clone();
+            self.shards[t].on_job_arrival(&mut ShardSub { inner: sub, locals }, now, job);
+        }
+        orphaned
     }
 
     /// Consume the runtime into the merged cluster-global outcome plus
@@ -467,16 +721,40 @@ impl ShardedRuntime {
             shards,
             map,
             counters,
+            locals,
+            retired,
+            dead,
+            degraded_shed,
             ..
         } = self;
         let mut per_node = vec![NodeCounters::default(); map.total_nodes()];
         let mut per_shard = Vec::with_capacity(shards.len());
         let mut merged: Option<RuntimeOutcome> = None;
         let mut latency_weighted = 0.0;
-        for ((runtime, span), counters) in shards.into_iter().zip(map.spans()).zip(counters) {
+        for ((((runtime, span), counters), view), retired_view) in shards
+            .into_iter()
+            .zip(map.spans())
+            .zip(counters)
+            .zip(locals)
+            .zip(retired)
+        {
             let outcome = runtime.into_outcome();
+            // A dead shard's final view was snapshotted at failover; a
+            // live shard's view may have grown past its span by adopting
+            // nodes. Either way the merge is additive: after a failover,
+            // work on one physical node is split between its original
+            // owner's counters and its adopter's.
+            let view = if dead[span.shard.index()] {
+                retired_view
+            } else {
+                std::mem::take(&mut *view.write().expect("locals lock"))
+            };
+            debug_assert_eq!(view.len(), outcome.per_node.len());
             for (local, c) in outcome.per_node.iter().enumerate() {
-                per_node[span.base as usize + local] = *c;
+                let g = view[local] as usize;
+                per_node[g].tasks += c.tasks;
+                per_node[g].hits += c.hits;
+                per_node[g].misses += c.misses;
             }
             per_shard.push(ShardOutcome {
                 shard: span.shard,
@@ -524,7 +802,11 @@ impl ShardedRuntime {
         } else {
             0.0
         };
-        ShardedOutcome { merged, per_shard }
+        ShardedOutcome {
+            merged,
+            per_shard,
+            degraded_shed,
+        }
     }
 }
 
@@ -689,6 +971,39 @@ impl Head {
         }
     }
 
+    /// Survive one shard head's loss; see
+    /// [`ShardedRuntime::on_shard_fail`]. A single head has no failover
+    /// target, so the call is a no-op returning zero.
+    pub fn on_shard_fail<S: Substrate>(
+        &mut self,
+        sub: &mut S,
+        now: SimTime,
+        shard: ShardId,
+    ) -> usize {
+        match self {
+            Head::Single(_) => 0,
+            Head::Sharded(rt) => rt.on_shard_fail(sub, now, shard),
+        }
+    }
+
+    /// The global node ids a shard currently owns; empty for a single
+    /// head (which has no shard slices).
+    pub fn shard_nodes(&self, shard: ShardId) -> Vec<NodeId> {
+        match self {
+            Head::Single(_) => Vec::new(),
+            Head::Sharded(rt) => rt.shard_nodes(shard),
+        }
+    }
+
+    /// Whether the routing tier is shedding batch arrivals; a single
+    /// head has no degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        match self {
+            Head::Single(_) => false,
+            Head::Sharded(rt) => rt.is_degraded(),
+        }
+    }
+
     /// Consume the head into its outcome. A single head reports an empty
     /// per-shard list.
     pub fn into_outcome(self) -> ShardedOutcome {
@@ -696,6 +1011,7 @@ impl Head {
             Head::Single(rt) => ShardedOutcome {
                 merged: rt.into_outcome(),
                 per_shard: Vec::new(),
+                degraded_shed: 0,
             },
             Head::Sharded(rt) => rt.into_outcome(),
         }
@@ -1009,5 +1325,225 @@ mod tests {
             );
         }
         assert_eq!(sub_a.dispatched, sub_b.dispatched);
+    }
+
+    /// Satellite regression: a batch job work-stolen onto a shard whose
+    /// target node faults before the work executes must be rerouted
+    /// exactly once — no loss, no duplicate — and the reroute stays on
+    /// the stealing shard.
+    #[test]
+    fn stolen_batch_surviving_target_fault_is_rerouted_exactly_once() {
+        let probe = Arc::new(CollectingProbe::new());
+        let mut rt = sharded(8, 2, SchedulerKind::Ours, 4, probe.clone(), Some(1));
+        let mut sub = StubSubstrate::default();
+        let dataset = (0..16u32)
+            .find(|&d| rt.shard_of_dataset(DatasetId(d)) == ShardId(0))
+            .expect("some dataset routes to shard 0");
+        let t0 = SimTime::from_millis(1);
+        // Three buffered jobs saturate shard 0 (threshold 1); the batch
+        // pair migrates to shard 1 at the cycle boundary.
+        rt.on_job_arrival(&mut sub, t0, interactive(0, dataset, t0));
+        rt.on_job_arrival(&mut sub, t0, batch(1, dataset, t0));
+        rt.on_job_arrival(&mut sub, t0, batch(2, dataset, t0));
+        rt.on_cycle(&mut sub, SimTime::from_millis(30));
+        let placed = sub.dispatched.clone();
+        let target = placed
+            .iter()
+            .find(|a| a.task.job == JobId(1))
+            .expect("stolen batch was dispatched")
+            .node;
+        let span1 = rt.map().span(ShardId(1));
+        assert!(
+            (span1.base..span1.base + span1.nodes).contains(&target.0),
+            "stolen batch runs on the stealing shard"
+        );
+        // The target node faults before the work executes.
+        let lost = rt.on_node_fault(&mut sub, SimTime::from_millis(31), target);
+        assert!(lost > 0, "the fault orphaned the dispatched work");
+        let rerouted: Vec<&Assignment> = sub.dispatched[placed.len()..]
+            .iter()
+            .filter(|a| a.task.job == JobId(1))
+            .collect();
+        assert!(!rerouted.is_empty(), "job 1's lost tasks were re-placed");
+        for a in &rerouted {
+            assert_ne!(a.node, target);
+            assert!(
+                (span1.base..span1.base + span1.nodes).contains(&a.node.0),
+                "reroute stays inside the stealing shard"
+            );
+        }
+        // Exactly one migration and one fault in the trace; the job was
+        // dispatched at most twice per task (original + one reroute).
+        let events = probe.take();
+        let migrations = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ShardMigrated { job: JobId(1), .. }))
+            .count();
+        assert_eq!(migrations, 1, "stolen exactly once");
+        let faults = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::NodeFault { .. }))
+            .count();
+        assert_eq!(faults, 1);
+        // Complete everything; job 1 finishes exactly once.
+        let now = SimTime::from_millis(40);
+        let mut finished = 0;
+        for a in sub.dispatched.clone() {
+            if a.node == target {
+                continue; // lost with the node
+            }
+            if rt.on_task_done(now, completion_for(&a, now)).is_some() {
+                finished += 1;
+            }
+        }
+        assert_eq!(finished as u64, rt.jobs_completed());
+        let outcome = rt.into_outcome();
+        assert_eq!(outcome.merged.incomplete_jobs, 0);
+        let ones = outcome
+            .merged
+            .record
+            .jobs
+            .iter()
+            .filter(|j| j.id == JobId(1))
+            .count();
+        assert_eq!(ones, 1, "no duplicate record for the rerouted job");
+    }
+
+    #[test]
+    fn shard_failover_readmits_orphans_and_adopts_nodes() {
+        let probe = Arc::new(CollectingProbe::new());
+        let mut rt = sharded(8, 2, SchedulerKind::Fcfsl, 8, probe.clone(), None);
+        let mut sub = StubSubstrate::default();
+        // Give shard 0 some admitted work, then kill its head.
+        let victims: Vec<u32> = (0..8u32)
+            .filter(|&d| rt.shard_of_dataset(DatasetId(d)) == ShardId(0))
+            .collect();
+        assert!(!victims.is_empty(), "shard 0 owns some dataset");
+        let t0 = SimTime::from_millis(1);
+        for (i, &d) in victims.iter().enumerate() {
+            let (_, admission) = rt.on_job_arrival(&mut sub, t0, interactive(i as u64, d, t0));
+            assert!(admission.is_admitted());
+        }
+        let before = sub.dispatched.len();
+        let lost_nodes = rt.shard_nodes(ShardId(0));
+        let orphaned = rt.on_shard_fail(&mut sub, SimTime::from_millis(2), ShardId(0));
+        assert_eq!(orphaned, victims.len(), "every admitted job re-admitted");
+        assert!(rt.is_shard_dead(ShardId(0)));
+        assert!(rt.shard_nodes(ShardId(0)).is_empty());
+        // Shard 1 adopted the whole slice and the ring re-homed the
+        // datasets there.
+        let adopted = rt.shard_nodes(ShardId(1));
+        for n in &lost_nodes {
+            assert!(adopted.contains(n), "{n} adopted by the survivor");
+            assert!(!rt.is_node_down(*n), "adopted nodes join live");
+        }
+        for &d in &victims {
+            assert_eq!(rt.shard_of_dataset(DatasetId(d)), ShardId(1));
+        }
+        // Re-admitted interactive work dispatched again, somewhere live.
+        assert!(sub.dispatched.len() > before);
+        let events = probe.take();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::ShardFailed {
+                shard: ShardId(0),
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::ShardRecovered {
+                shard: ShardId(1),
+                adopted: 4,
+                ..
+            }
+        )));
+        // No migration events: failover re-pins, it does not migrate.
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ShardMigrated { .. })));
+        // Completing the re-dispatched work finishes every job once.
+        let now = SimTime::from_millis(10);
+        for a in sub.dispatched.clone()[before..].to_vec() {
+            rt.on_task_done(now, completion_for(&a, now));
+        }
+        assert_eq!(rt.jobs_completed(), victims.len() as u64);
+        let outcome = rt.into_outcome();
+        assert_eq!(outcome.merged.incomplete_jobs, 0);
+        assert_eq!(outcome.merged.record.jobs.len(), victims.len());
+        // Per-node counters land under global ids, additively.
+        let tasks: u64 = outcome.merged.per_node.iter().map(|c| c.tasks).sum();
+        assert_eq!(tasks, outcome.merged.record.cache_misses);
+        // A second failure of the same shard, or of the last survivor,
+        // is a no-op.
+        // (rt consumed; covered by on_shard_fail's guards in the next test.)
+    }
+
+    #[test]
+    fn losing_the_last_live_shard_is_a_no_op() {
+        let mut rt = sharded(
+            8,
+            2,
+            SchedulerKind::Fcfsl,
+            4,
+            Arc::new(vizsched_metrics::NoopProbe),
+            None,
+        );
+        let mut sub = StubSubstrate::default();
+        rt.on_shard_fail(&mut sub, SimTime::ZERO, ShardId(0));
+        // Shard 0 is now dead; killing it again is a no-op...
+        assert_eq!(rt.on_shard_fail(&mut sub, SimTime::ZERO, ShardId(0)), 0);
+        assert!(rt.is_shard_dead(ShardId(0)));
+        // ...and the last survivor refuses to die.
+        assert_eq!(rt.on_shard_fail(&mut sub, SimTime::ZERO, ShardId(1)), 0);
+        assert!(!rt.is_shard_dead(ShardId(1)));
+    }
+
+    #[test]
+    fn degraded_mode_sheds_batch_protects_interactive_with_hysteresis() {
+        let probe = Arc::new(CollectingProbe::new());
+        let mut rt = sharded(8, 4, SchedulerKind::Fcfsl, 8, probe.clone(), None);
+        let mut sub = StubSubstrate::default();
+        assert!(!rt.is_degraded());
+        // Two fresh node faults push pressure to DEGRADED_ENTER.
+        rt.on_node_fault(&mut sub, SimTime::from_millis(1), NodeId(0));
+        assert!(!rt.is_degraded());
+        rt.on_node_fault(&mut sub, SimTime::from_millis(2), NodeId(2));
+        assert!(rt.is_degraded());
+        // Re-faulting a down node adds no pressure (not fresh).
+        rt.on_node_fault(&mut sub, SimTime::from_millis(3), NodeId(0));
+        // Batch is shed; interactive is admitted.
+        let t = SimTime::from_millis(4);
+        let (_, shed) = rt.on_job_arrival(&mut sub, t, batch(0, 1, t));
+        assert_eq!(shed, Admission::Rejected(RejectReason::Degraded));
+        let (_, ok) = rt.on_job_arrival(&mut sub, t, interactive(1, 1, t));
+        assert!(ok.is_admitted());
+        // Pressure 4 decays by one per cycle; exit at <= 1.
+        rt.on_cycle(&mut sub, SimTime::from_millis(30));
+        assert!(rt.is_degraded());
+        rt.on_cycle(&mut sub, SimTime::from_millis(60));
+        assert!(rt.is_degraded());
+        rt.on_cycle(&mut sub, SimTime::from_millis(90));
+        assert!(!rt.is_degraded(), "pressure 1 exits degraded mode");
+        let t2 = SimTime::from_millis(91);
+        let (_, readmitted) = rt.on_job_arrival(&mut sub, t2, batch(2, 1, t2));
+        assert!(readmitted.is_admitted(), "batch admission resumed");
+        let events = probe.take();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::DegradedEntered { pressure: 4, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::DegradedExited { pressure: 1, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Rejected {
+                job: JobId(0),
+                reason: RejectReason::Degraded,
+                ..
+            }
+        )));
+        let outcome = rt.into_outcome();
+        assert_eq!(outcome.degraded_shed, 1);
     }
 }

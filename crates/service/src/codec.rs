@@ -23,8 +23,8 @@
 //!   path, and a regression test pins it there.
 
 use crate::wire::{
-    WireFrame, WireMessage, WireRequest, WireResponse, MAX_PAYLOAD, TAG_EXPIRED, TAG_OVERLOADED,
-    TAG_REQUEST, TAG_RESPONSE,
+    WireFrame, WireMessage, WireRequest, WireResponse, MAX_PAYLOAD, TAG_EXPIRED, TAG_HELLO,
+    TAG_OVERLOADED, TAG_REQUEST, TAG_RESPONSE,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{self, Read, Write};
@@ -261,6 +261,11 @@ impl Codec {
                 head.put_u64_le(*request_id);
                 head.put_u8(reason.code());
                 (TAG_EXPIRED, None)
+            }
+            WireMessage::Hello { epoch } => {
+                head.put_u8(0);
+                head.put_u64_le(*epoch);
+                (TAG_HELLO, None)
             }
         };
         let mut buf = head.into_vec();
@@ -548,6 +553,10 @@ fn parse_message(tag: u8, payload: Bytes) -> io::Result<WireMessage> {
                 request_id,
                 reason,
             }))
+        }
+        TAG_HELLO => {
+            let epoch = r.u64()?;
+            Ok(WireMessage::Hello { epoch })
         }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,

@@ -31,11 +31,11 @@ use vizsched_core::job::{FrameParams, Job};
 use vizsched_core::sched::{Assignment, SchedulerKind};
 use vizsched_core::tables::HeadTables;
 use vizsched_core::time::{SimDuration, SimTime};
-use vizsched_metrics::{DropReason, NoopProbe, Probe, RunRecord};
+use vizsched_metrics::{DropReason, NoopProbe, Probe, RunRecord, TraceEvent};
 use vizsched_render::Layer;
 use vizsched_runtime::{
-    Admission, Completion, Head, HeadRuntime, OverloadPolicy, OverloadStats, ShardOutcome,
-    ShardedRuntime, Substrate,
+    Admission, Completion, FaultKind, FaultPlan, Head, HeadRuntime, OverloadPolicy, OverloadStats,
+    ShardOutcome, ShardedRuntime, Substrate,
 };
 
 /// Service configuration, built up fluently:
@@ -84,6 +84,12 @@ pub struct ServiceConfig {
     /// a leaf-aligned slice of the render nodes and every request routes
     /// by dataset.
     pub shards: usize,
+    /// Seedable fault schedule, executed on the service clock with the
+    /// same semantics as the simulator's plan execution: node
+    /// crash/respawn (a plan crash stays down until its planned respawn,
+    /// even with [`ServiceConfig::restart_nodes`]), degrade/restore,
+    /// correlated leaf outage, and shard-head crash with failover.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for ServiceConfig {
@@ -101,6 +107,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("queue_capacity", &self.queue_capacity)
             .field("overload", &self.overload)
             .field("shards", &self.shards)
+            .field("fault_plan", &self.fault_plan)
             .finish()
     }
 }
@@ -120,6 +127,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             overload: OverloadPolicy::default(),
             shards: 1,
+            fault_plan: None,
         }
     }
 }
@@ -198,6 +206,14 @@ impl ServiceConfig {
         self.shards = n.max(1);
         self
     }
+
+    /// Install a seedable [`FaultPlan`], executed on the service clock
+    /// with the same semantics as the simulator — so any chaos run
+    /// replays bit-identically in the sim.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 /// Aggregate statistics returned at shutdown.
@@ -223,6 +239,9 @@ pub struct ServiceStats {
     /// Per-shard routing and completion counters (empty unless
     /// [`ServiceConfig::shards`] is above 1).
     pub per_shard: Vec<ShardOutcome>,
+    /// Batch arrivals shed by the routing tier's degraded mode (always
+    /// zero on a single-head service).
+    pub degraded_shed: u64,
 }
 
 /// Control-plane commands.
@@ -248,6 +267,9 @@ impl VizService {
     pub fn start(config: ServiceConfig, store: Arc<ChunkStore>) -> VizService {
         assert!(config.nodes > 0, "service needs at least one render node");
         assert!(config.queue_capacity > 0, "queue capacity must be nonzero");
+        // A fresh incarnation: TCP fronts greet clients with this epoch so
+        // reconnecting clients can tell a respawned head from a live one.
+        crate::tcp::bump_service_epoch();
         let (req_tx, req_rx) = bounded::<RenderRequest>(config.queue_capacity);
         let (ctl_tx, ctl_rx) = unbounded::<Control>();
         let head = std::thread::spawn(move || head_loop(&config, &store, req_rx, ctl_rx));
@@ -465,6 +487,19 @@ fn head_loop(
     let mut sub = LiveSubstrate::spawn(config, store.clone(), to_head_tx);
     let mut next_job = 0u64;
 
+    // The fault plan, executed in time order on the service clock (each
+    // entry fires at the first loop iteration at or after its time — the
+    // ticker bounds the delay to one cycle). `plan_down` marks nodes a
+    // plan crash took out: they stay down until their planned respawn,
+    // even under `restart_nodes`.
+    let plan: Vec<vizsched_runtime::FaultEvent> = config
+        .fault_plan
+        .as_ref()
+        .map(|p| p.events().to_vec())
+        .unwrap_or_default();
+    let mut plan_cursor = 0usize;
+    let mut plan_down = vec![false; config.nodes];
+
     let ticker = crossbeam::channel::tick(std::time::Duration::from_micros(
         config.cycle.as_micros().max(1),
     ));
@@ -472,7 +507,12 @@ fn head_loop(
     loop {
         // Dispatches that bounced off a dead channel surface as faults.
         while let Some(node) = sub.send_failures.pop() {
-            node_fault(config, &mut runtime, &mut sub, now(), node);
+            node_fault(config, &mut runtime, &mut sub, now(), node, &plan_down);
+        }
+        while plan_cursor < plan.len() && plan[plan_cursor].at <= now() {
+            let kind = plan[plan_cursor].kind;
+            plan_cursor += 1;
+            plan_fault(config, &mut runtime, &mut sub, now(), kind, &mut plan_down);
         }
         if draining
             && sub.pending.is_empty()
@@ -533,7 +573,8 @@ fn head_loop(
                     // current incarnation's means the node just died.
                     let k = node as usize;
                     if k < sub.epochs.len() && sub.epochs[k] == epoch {
-                        node_fault(config, &mut runtime, &mut sub, now(), NodeId(node));
+                        node_fault(config, &mut runtime, &mut sub, now(), NodeId(node),
+                            &plan_down);
                     }
                 }
                 Err(_) => {}
@@ -565,6 +606,7 @@ fn head_loop(
         record: outcome.record,
         overload: outcome.overload,
         per_shard: sharded.per_shard,
+        degraded_shed: sharded.degraded_shed,
     }
 }
 
@@ -582,18 +624,89 @@ fn shed(sub: &mut LiveSubstrate, job: JobId, outcome: RenderOutcome) {
 }
 
 /// One node fault: reroute its outstanding work through the runtime and,
-/// when configured, respawn the worker and rejoin it cold-cached.
+/// when configured, respawn the worker and rejoin it cold-cached. A node
+/// the fault plan crashed stays down until its planned respawn even under
+/// `restart_nodes` — otherwise the chaos schedule would be un-replayable.
 fn node_fault(
     config: &ServiceConfig,
     runtime: &mut Head,
     sub: &mut LiveSubstrate,
     now: SimTime,
     node: NodeId,
+    plan_down: &[bool],
 ) {
     runtime.on_node_fault(sub, now, node);
-    if config.restart_nodes {
+    if config.restart_nodes && !plan_down[node.index()] {
         sub.respawn(node.index());
         runtime.on_node_recover(now, node);
+    }
+}
+
+/// Execute one fault-plan entry on the live service, mirroring the
+/// simulator's semantics (same trace event, same recovery path).
+fn plan_fault(
+    config: &ServiceConfig,
+    runtime: &mut Head,
+    sub: &mut LiveSubstrate,
+    now: SimTime,
+    kind: FaultKind,
+    plan_down: &mut [bool],
+) {
+    if config.probe.enabled() {
+        let (injected, target, param) = kind.injected();
+        config.probe.on_event(&TraceEvent::FaultInjected {
+            now,
+            kind: injected,
+            target,
+            param,
+        });
+    }
+    match kind {
+        FaultKind::NodeCrash(node) => {
+            // Mark before killing: the worker's Stopped report routes
+            // through node_fault, which must not auto-respawn it.
+            plan_down[node.index()] = true;
+            sub.kill(node.index());
+        }
+        FaultKind::NodeRespawn(node) => {
+            if plan_down[node.index()] {
+                plan_down[node.index()] = false;
+                sub.respawn(node.index());
+                runtime.on_node_recover(now, node);
+            }
+        }
+        FaultKind::NodeDegrade { node, factor_pm } => {
+            let _ = sub.txs[node.index()].send(ToNode::Degrade(factor_pm));
+        }
+        FaultKind::NodeRestore(node) => {
+            let _ = sub.txs[node.index()].send(ToNode::Degrade(1000));
+        }
+        FaultKind::LeafOutage { base, count } => {
+            for k in 0..count {
+                plan_down[(base.0 + k) as usize] = true;
+                sub.kill((base.0 + k) as usize);
+            }
+        }
+        FaultKind::LeafRecover { base, count } => {
+            for k in 0..count {
+                let node = NodeId(base.0 + k);
+                if plan_down[node.index()] {
+                    plan_down[node.index()] = false;
+                    sub.respawn(node.index());
+                    runtime.on_node_recover(now, node);
+                }
+            }
+        }
+        FaultKind::ShardCrash(shard) => {
+            // Power-cycle the dead head's slice first: each worker's
+            // epoch bump makes in-flight reports stale, so nothing the
+            // dead head dispatched can race the rebuilt control state.
+            for node in runtime.shard_nodes(shard) {
+                sub.kill(node.index());
+                sub.respawn(node.index());
+            }
+            runtime.on_shard_fail(sub, now, shard);
+        }
     }
 }
 

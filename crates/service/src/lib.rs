@@ -37,7 +37,9 @@ pub use protocol::{
 };
 pub use storage::{ChunkStore, StoreDataset};
 pub use tcp::{ClientOptions, RemoteClient, TcpServer};
-pub use vizsched_runtime::{OverloadPolicy, OverloadStats, ShardOutcome};
+pub use vizsched_runtime::{
+    FaultEvent, FaultKind, FaultPlan, OverloadPolicy, OverloadStats, ShardOutcome,
+};
 pub use wire::{WireFrame, WireMessage, WireRequest, WireResponse};
 
 /// The one-line import for service experiments: assembly, client, storage,
@@ -56,5 +58,5 @@ pub mod prelude {
     pub use vizsched_metrics::{
         CollectingProbe, DropReason, JsonlProbe, NoopProbe, Probe, RejectReason, TraceEvent,
     };
-    pub use vizsched_runtime::{OverloadPolicy, OverloadStats};
+    pub use vizsched_runtime::{FaultEvent, FaultKind, FaultPlan, OverloadPolicy, OverloadStats};
 }

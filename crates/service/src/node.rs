@@ -44,14 +44,23 @@ pub fn run_node(
 ) {
     let mut cache = NodeMemory::new(config.mem_quota);
     let mut bricks: HashMap<ChunkId, Arc<Brick<f32>>> = HashMap::new();
+    let mut slow_pm: u32 = 1000;
     while let Ok(msg) = tasks.recv() {
         if kill.load(Ordering::Relaxed) {
             break;
         }
         match msg {
             ToNode::Shutdown => break,
+            ToNode::Degrade(pm) => slow_pm = pm.max(1000),
             ToNode::Render(task) => {
-                let done = execute(&config, &store, &mut cache, &mut bricks, task);
+                let mut done = execute(&config, &store, &mut cache, &mut bricks, task);
+                if slow_pm > 1000 {
+                    // Degraded: pad the task to elapsed × slow_pm/1000,
+                    // mirroring the simulator's cost multiplier.
+                    let extra = done.elapsed.as_micros() * (slow_pm as u64 - 1000) / 1000;
+                    std::thread::sleep(std::time::Duration::from_micros(extra));
+                    done.elapsed += SimDuration::from_micros(extra);
+                }
                 if to_head.send(ToHead::TaskDone(done)).is_err() {
                     break; // head gone; shut down quietly
                 }

@@ -95,6 +95,11 @@ pub struct FrameResult {
 pub enum ToNode {
     /// Render one chunk of one job.
     Render(RenderTask),
+    /// Set the node's degraded-mode slowdown in per-mille (1000 =
+    /// nominal): every subsequent render is padded to `elapsed × pm/1000`.
+    /// The fault plan's `node_degrade`/`node_restore` hook — models a
+    /// throttled GPU or failing disk without taking the node down.
+    Degrade(u32),
     /// Drain and exit.
     Shutdown,
 }

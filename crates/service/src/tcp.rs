@@ -67,6 +67,24 @@ pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
 /// closed (slow-consumer shedding).
 pub const MAX_OUTBOX_BYTES: usize = 16 * 1024 * 1024;
 
+/// The process-wide service incarnation counter behind
+/// [`WireMessage::Hello`]. Bumped on every `VizService::start`, so a head
+/// that died and respawned greets reconnecting clients with a larger
+/// epoch — the signal that makes a mid-frame resubmit safe (the old
+/// incarnation, and any request it was holding, is gone).
+static SERVICE_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Advance to a fresh service incarnation (called by `VizService::start`).
+pub(crate) fn bump_service_epoch() -> u64 {
+    SERVICE_EPOCH.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// The current incarnation, as captured by a starting server. Never zero —
+/// clients use zero for "no hello seen yet".
+pub(crate) fn service_epoch() -> u64 {
+    SERVICE_EPOCH.load(Ordering::Relaxed).max(1)
+}
+
 const TOKEN_LISTENER: Token = Token(0);
 const TOKEN_WAKER: Token = Token(1);
 /// Connection slot `s` registers under `Token(s + TOKEN_BASE)`.
@@ -142,6 +160,9 @@ impl TcpServer {
             next_internal: 1,
             next_gen: 1,
             max_connections,
+            // Captured once: this server front speaks for one service
+            // incarnation for its whole lifetime.
+            epoch: service_epoch(),
         };
         let thread = std::thread::spawn(move || event_loop.run());
         Ok(TcpServer {
@@ -166,6 +187,7 @@ impl TcpServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
+        let epoch = service_epoch();
         let thread = std::thread::spawn(move || {
             // One slot per allowed connection; a worker thread is spawned
             // per accepted connection and returns its slot on exit, so at
@@ -188,7 +210,7 @@ impl TcpServer {
                 let requests = requests.clone();
                 let active2 = active.clone();
                 std::thread::spawn(move || {
-                    let _ = serve_connection(stream, requests);
+                    let _ = serve_connection(stream, requests, epoch);
                     active2.fetch_sub(1, Ordering::Relaxed);
                 });
             }
@@ -328,6 +350,8 @@ struct EventLoop {
     next_internal: u64,
     next_gen: u64,
     max_connections: usize,
+    /// The service incarnation announced to every accepted connection.
+    epoch: u64,
 }
 
 impl EventLoop {
@@ -408,6 +432,8 @@ impl EventLoop {
                 gen,
             });
             self.active += 1;
+            // Greet with this head's incarnation before any response.
+            self.send_message(slot, &WireMessage::Hello { epoch: self.epoch });
         }
     }
 
@@ -425,6 +451,7 @@ impl EventLoop {
                     self.submit(slot, req)
                 }
                 Ok(crate::codec::TryRead::Message(WireMessage::Response(_)))
+                | Ok(crate::codec::TryRead::Message(WireMessage::Hello { .. }))
                 | Ok(crate::codec::TryRead::Closed)
                 | Err(_) => {
                     self.close(slot);
@@ -504,10 +531,14 @@ impl EventLoop {
     }
 
     fn send_response(&mut self, slot: usize, response: WireResponse) {
+        self.send_message(slot, &WireMessage::Response(response));
+    }
+
+    fn send_message(&mut self, slot: usize, message: &WireMessage) {
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
             return;
         };
-        let encoded = conn.codec.encode(&WireMessage::Response(response));
+        let encoded = conn.codec.encode(message);
         conn.outbox_bytes += encoded.len();
         conn.outbox.push_back(Segment {
             bytes: encoded.head,
@@ -571,7 +602,11 @@ impl EventLoop {
 // Threaded baseline plane
 // ---------------------------------------------------------------------------
 
-fn serve_connection(stream: TcpStream, requests: Sender<RenderRequest>) -> io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    requests: Sender<RenderRequest>,
+    epoch: u64,
+) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = stream.try_clone()?;
 
@@ -580,8 +615,11 @@ fn serve_connection(stream: TcpStream, requests: Sender<RenderRequest>) -> io::R
     // the socket's send side and no per-request forwarder is needed.
     let (reply_tx, reply_rx) = unbounded::<RenderReply>();
     let mut write_side = stream;
+    let mut write_codec = Codec::new();
+    // Greet with this head's incarnation before any response.
+    write_codec.write(&mut write_side, &WireMessage::Hello { epoch })?;
     let write_thread = std::thread::spawn(move || {
-        let mut codec = Codec::new();
+        let mut codec = write_codec;
         while let Ok(reply) = reply_rx.recv() {
             let response = to_wire_response(reply.correlation, reply.outcome);
             if codec
@@ -597,10 +635,10 @@ fn serve_connection(stream: TcpStream, requests: Sender<RenderRequest>) -> io::R
     loop {
         match codec.read(&mut reader)? {
             None => break, // clean disconnect
-            Some(WireMessage::Response(_)) => {
+            Some(WireMessage::Response(_)) | Some(WireMessage::Hello { .. }) => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    "client sent a response frame",
+                    "client sent a server-side frame",
                 ));
             }
             Some(WireMessage::Request(req)) => {
@@ -658,11 +696,13 @@ pub struct ClientOptions {
     backoff_max: Duration,
     deadline: Option<Duration>,
     max_in_flight: Option<usize>,
+    retry_disconnects: bool,
 }
 
 impl ClientOptions {
     /// Defaults: no retries, 2 ms → 200 ms exponential backoff when
-    /// retries are enabled, no deadline, unlimited in-flight requests.
+    /// retries are enabled, no deadline, unlimited in-flight requests,
+    /// no reconnect on a dropped connection.
     pub fn new() -> ClientOptions {
         ClientOptions {
             retries: 0,
@@ -670,6 +710,7 @@ impl ClientOptions {
             backoff_max: Duration::from_millis(200),
             deadline: None,
             max_in_flight: None,
+            retry_disconnects: false,
         }
     }
 
@@ -677,6 +718,19 @@ impl ClientOptions {
     /// `Overloaded` (blocking calls only).
     pub fn retries(mut self, retries: u32) -> ClientOptions {
         self.retries = retries;
+        self
+    }
+
+    /// Reconnect and resubmit when the connection resets or hits EOF
+    /// mid-frame (blocking calls only) — but only if the server's
+    /// [`WireMessage::Hello`] on the fresh connection announces a *new*
+    /// incarnation epoch. A changed epoch means the head that was holding
+    /// the request died, so the frame was lost and resubmitting renders it
+    /// exactly once; an unchanged epoch means the same head may still
+    /// render the original, and the call surfaces the connection error
+    /// rather than risk rendering the frame twice.
+    pub fn retry_disconnects(mut self, on: bool) -> ClientOptions {
+        self.retry_disconnects = on;
         self
     }
 
@@ -720,6 +774,7 @@ struct ClientIo {
 /// A remote client: connects over TCP and renders frames.
 pub struct RemoteClient {
     user: UserId,
+    addr: SocketAddr,
     io: Mutex<ClientIo>,
     next_id: AtomicU64,
     pending: Arc<Mutex<HashMap<u64, Sender<WireResponse>>>>,
@@ -729,6 +784,51 @@ pub struct RemoteClient {
     permits: Option<(Sender<()>, Receiver<()>)>,
     options: ClientOptions,
     closed: Arc<AtomicBool>,
+    /// The serving head's incarnation, from the connection's
+    /// [`WireMessage::Hello`]; zero until the hello arrives.
+    epoch: Arc<AtomicU64>,
+    /// Set only by [`RemoteClient::close`]: a deliberate shutdown must
+    /// never be undone by a disconnect-retry reconnect.
+    shutdown: AtomicBool,
+}
+
+/// The reader thread: routes responses to their waiters, records the
+/// hello's epoch, and on EOF marks the connection dead and wakes every
+/// blocked caller.
+fn spawn_reader(
+    mut read_side: TcpStream,
+    pending: Arc<Mutex<HashMap<u64, Sender<WireResponse>>>>,
+    closed: Arc<AtomicBool>,
+    epoch: Arc<AtomicU64>,
+    release: Option<Receiver<()>>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut codec = Codec::new();
+        while let Ok(Some(msg)) = codec.read(&mut read_side) {
+            match msg {
+                WireMessage::Response(resp) => {
+                    let waiter = pending.lock().remove(&resp.request_id());
+                    if let Some(tx) = waiter {
+                        let _ = tx.send(resp);
+                    }
+                    if let Some(rx) = &release {
+                        let _ = rx.try_recv();
+                    }
+                }
+                WireMessage::Hello { epoch: e } => epoch.store(e, Ordering::Release),
+                WireMessage::Request(_) => {} // servers never send requests
+            }
+        }
+        // Socket closed: mark the client dead, free any submitter
+        // stuck on the in-flight cap, and wake every waiter by
+        // dropping their senders — pending calls surface a connection
+        // error instead of hanging.
+        closed.store(true, Ordering::Release);
+        if let Some(rx) = &release {
+            while rx.try_recv().is_ok() {}
+        }
+        pending.lock().clear();
+    })
 }
 
 impl RemoteClient {
@@ -745,41 +845,24 @@ impl RemoteClient {
     ) -> io::Result<RemoteClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        let mut read_side = stream.try_clone()?;
+        let read_side = stream.try_clone()?;
         let pending: Arc<Mutex<HashMap<u64, Sender<WireResponse>>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let closed = Arc::new(AtomicBool::new(false));
+        let epoch = Arc::new(AtomicU64::new(0));
         let permits = options.max_in_flight.map(crossbeam::channel::bounded::<()>);
         let release = permits.as_ref().map(|(_, rx)| rx.clone());
-
-        let pending2 = pending.clone();
-        let closed2 = closed.clone();
-        let reader = std::thread::spawn(move || {
-            let mut codec = Codec::new();
-            while let Ok(Some(msg)) = codec.read(&mut read_side) {
-                if let WireMessage::Response(resp) = msg {
-                    let waiter = pending2.lock().remove(&resp.request_id());
-                    if let Some(tx) = waiter {
-                        let _ = tx.send(resp);
-                    }
-                    if let Some(rx) = &release {
-                        let _ = rx.try_recv();
-                    }
-                }
-            }
-            // Socket closed: mark the client dead, free any submitter
-            // stuck on the in-flight cap, and wake every waiter by
-            // dropping their senders — pending calls surface a connection
-            // error instead of hanging.
-            closed2.store(true, Ordering::Release);
-            if let Some(rx) = &release {
-                while rx.try_recv().is_ok() {}
-            }
-            pending2.lock().clear();
-        });
+        let reader = spawn_reader(
+            read_side,
+            pending.clone(),
+            closed.clone(),
+            epoch.clone(),
+            release,
+        );
 
         Ok(RemoteClient {
             user,
+            addr,
             io: Mutex::new(ClientIo {
                 stream,
                 codec: Codec::new(),
@@ -790,7 +873,63 @@ impl RemoteClient {
             permits,
             options,
             closed,
+            epoch,
+            shutdown: AtomicBool::new(false),
         })
+    }
+
+    /// Block (bounded) until the connection's hello announces the server's
+    /// incarnation. Zero means no hello arrived — an epoch-unaware peer or
+    /// a connection that died first — and disables disconnect retries.
+    fn wait_for_epoch(&self) -> u64 {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let epoch = self.epoch.load(Ordering::Acquire);
+            if epoch != 0 || self.closed.load(Ordering::Acquire) || Instant::now() >= deadline {
+                return epoch;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Replace a dead connection with a fresh socket, codec, and reader
+    /// thread, then return the new incarnation's epoch (zero if the new
+    /// server sent no hello). No-op returning the current epoch when
+    /// another caller already reconnected.
+    fn reconnect(&self) -> io::Result<u64> {
+        {
+            let mut io = self.io.lock();
+            if self.shutdown.load(Ordering::Acquire) {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "client was closed",
+                ));
+            }
+            if self.closed.load(Ordering::Acquire) {
+                // Tear down: the old reader exits on the shutdown, clearing
+                // pending waiters and draining stale in-flight permits.
+                let _ = io.stream.shutdown(Shutdown::Both);
+                if let Some(handle) = self.reader.lock().take() {
+                    let _ = handle.join();
+                }
+                let stream = TcpStream::connect(self.addr)?;
+                stream.set_nodelay(true).ok();
+                let read_side = stream.try_clone()?;
+                self.epoch.store(0, Ordering::Release);
+                self.closed.store(false, Ordering::Release);
+                let release = self.permits.as_ref().map(|(_, rx)| rx.clone());
+                *self.reader.lock() = Some(spawn_reader(
+                    read_side,
+                    self.pending.clone(),
+                    self.closed.clone(),
+                    self.epoch.clone(),
+                    release,
+                ));
+                io.stream = stream;
+                io.codec = Codec::new();
+            }
+        }
+        Ok(self.wait_for_epoch())
     }
 
     /// Wait for an in-flight slot (when capped), checking for a dead
@@ -929,40 +1068,80 @@ impl RemoteClient {
             )
         };
         let mut backoff = options.backoff_initial;
-        let mut last = None;
-        for attempt in 0..=options.retries {
-            let rx = self.submit_as(user, kind, dataset, frame)?;
-            let response = match deadline {
-                None => rx.recv().map_err(|_| dropped())?,
-                Some(at) => {
-                    let left = at
-                        .checked_duration_since(Instant::now())
-                        .ok_or_else(timed_out)?;
-                    rx.recv_timeout(left).map_err(|e| match e {
-                        RecvTimeoutError::Timeout => timed_out(),
-                        RecvTimeoutError::Disconnected => dropped(),
-                    })?
+        let mut overloads_left = options.retries;
+        let mut reconnects_left = if options.retry_disconnects {
+            1 + options.retries
+        } else {
+            0
+        };
+        loop {
+            // The incarnation this attempt is submitted against. A
+            // disconnect is only retried when the reconnected server
+            // announces a *different* one (see
+            // [`ClientOptions::retry_disconnects`]).
+            let observed = if options.retry_disconnects {
+                self.wait_for_epoch()
+            } else {
+                0
+            };
+            // A submit that fails never reached the wire intact, but the
+            // request bytes may already sit in the kernel's send buffer —
+            // apply the same epoch rule as a mid-frame drop.
+            let retry_disconnect =
+                |err: io::Error, reconnects_left: &mut u32| -> io::Result<bool> {
+                    if *reconnects_left == 0 {
+                        return Err(err);
+                    }
+                    *reconnects_left -= 1;
+                    let fresh = self.reconnect()?;
+                    if fresh != 0 && observed != 0 && fresh != observed {
+                        return Ok(true); // the old head died with the request
+                    }
+                    // Same incarnation: the original may still render — do not
+                    // resubmit (it would double-render the frame).
+                    Err(err)
+                };
+            let rx = match self.submit_as(user, kind, dataset, frame) {
+                Ok(rx) => rx,
+                Err(err) => {
+                    retry_disconnect(err, &mut reconnects_left)?;
+                    continue;
                 }
             };
+            let received: io::Result<WireResponse> = match deadline {
+                None => rx.recv().map_err(|_| dropped()),
+                Some(at) => match at.checked_duration_since(Instant::now()) {
+                    None => Err(timed_out()),
+                    Some(left) => rx.recv_timeout(left).map_err(|e| match e {
+                        RecvTimeoutError::Timeout => timed_out(),
+                        RecvTimeoutError::Disconnected => dropped(),
+                    }),
+                },
+            };
+            let response = match received {
+                Ok(response) => response,
+                Err(err) if err.kind() == io::ErrorKind::ConnectionAborted => {
+                    retry_disconnect(err, &mut reconnects_left)?;
+                    continue;
+                }
+                Err(err) => return Err(err),
+            };
             match response {
-                WireResponse::Overloaded { .. } => {
-                    last = Some(response);
-                    if attempt < options.retries {
-                        let mut pause = backoff;
-                        if let Some(at) = deadline {
-                            let left = at
-                                .checked_duration_since(Instant::now())
-                                .ok_or_else(timed_out)?;
-                            pause = pause.min(left);
-                        }
-                        std::thread::sleep(pause);
-                        backoff = (backoff * 2).min(options.backoff_max);
+                WireResponse::Overloaded { .. } if overloads_left > 0 => {
+                    overloads_left -= 1;
+                    let mut pause = backoff;
+                    if let Some(at) = deadline {
+                        let left = at
+                            .checked_duration_since(Instant::now())
+                            .ok_or_else(timed_out)?;
+                        pause = pause.min(left);
                     }
+                    std::thread::sleep(pause);
+                    backoff = (backoff * 2).min(options.backoff_max);
                 }
                 other => return Ok(other),
             }
         }
-        Ok(last.expect("at least one attempt was made"))
     }
 
     /// Render one interactive frame, resubmitting with exponential backoff
@@ -1015,6 +1194,7 @@ impl RemoteClient {
     /// Shut the connection down and join the reader thread. Pending
     /// requests observe a connection error. Idempotent; also runs on drop.
     pub fn close(&self) {
+        self.shutdown.store(true, Ordering::Release);
         self.closed.store(true, Ordering::Release);
         let _ = self.io.lock().stream.shutdown(Shutdown::Both);
         if let Some(handle) = self.reader.lock().take() {

@@ -20,6 +20,7 @@ pub(crate) const TAG_REQUEST: u8 = 1;
 pub(crate) const TAG_RESPONSE: u8 = 2;
 pub(crate) const TAG_OVERLOADED: u8 = 3;
 pub(crate) const TAG_EXPIRED: u8 = 4;
+pub(crate) const TAG_HELLO: u8 = 5;
 
 /// Upper bound on accepted payloads (a 4096² RGBA8 frame plus headers).
 pub const MAX_PAYLOAD: usize = 4096 * 4096 * 4 + 1024;
@@ -146,6 +147,16 @@ pub enum WireMessage {
     Request(WireRequest),
     /// Server → client.
     Response(WireResponse),
+    /// Server → client, first frame on every connection: the serving
+    /// head's incarnation. A client that reconnects after a mid-frame
+    /// disconnect compares epochs to decide whether resubmitting is safe —
+    /// a changed epoch means the old head (and any request it was holding)
+    /// is gone, an unchanged one means the original request may still
+    /// render and a resubmit would double-render it.
+    Hello {
+        /// The serving head's incarnation, bumped on every service start.
+        epoch: u64,
+    },
 }
 
 #[cfg(test)]

@@ -1,0 +1,137 @@
+//! Disconnect-retry behavior of [`RemoteClient`] against a scripted
+//! server. The contract under test: a frame lost to a *respawned* head
+//! (the reconnect hello announces a new epoch) is resubmitted exactly
+//! once, while a connection drop on a *live* head (same epoch) surfaces a
+//! connection error rather than resubmitting — the original request may
+//! still render, and a resubmit would double-render the frame.
+
+use std::io::{self, Read};
+use std::net::TcpListener;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vizsched_core::ids::{ActionId, DatasetId, JobId, UserId};
+use vizsched_core::job::FrameParams;
+use vizsched_core::time::SimDuration;
+use vizsched_render::RgbaImage;
+use vizsched_service::{ClientOptions, Codec, RemoteClient, WireFrame, WireMessage, WireResponse};
+
+fn read_request(codec: &mut Codec, stream: &mut impl Read) -> io::Result<u64> {
+    match codec.read(stream)? {
+        Some(WireMessage::Request(req)) => Ok(req.request_id),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected a request, got {other:?}"),
+        )),
+    }
+}
+
+#[test]
+fn disconnect_against_a_respawned_head_is_retried_exactly_once() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    // The scripted "service": incarnation 10 greets, swallows one request,
+    // and dies mid-frame; incarnation 11 greets and answers.
+    let server: JoinHandle<Vec<u64>> = std::thread::spawn(move || {
+        let mut seen = Vec::new();
+
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut codec = Codec::new();
+        codec
+            .write(&mut conn, &WireMessage::Hello { epoch: 10 })
+            .unwrap();
+        seen.push(read_request(&mut codec, &mut conn).unwrap());
+        drop(conn); // the head crashes holding the request
+
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut codec = Codec::new();
+        codec
+            .write(&mut conn, &WireMessage::Hello { epoch: 11 })
+            .unwrap();
+        let request_id = read_request(&mut codec, &mut conn).unwrap();
+        seen.push(request_id);
+        let frame = WireFrame::from_image(
+            request_id,
+            JobId(1),
+            SimDuration::from_millis(3),
+            0,
+            &RgbaImage::transparent(2, 2),
+        );
+        codec
+            .write(
+                &mut conn,
+                &WireMessage::Response(WireResponse::Frame(Box::new(frame))),
+            )
+            .unwrap();
+        // Hold the connection until the client hangs up.
+        let mut scratch = [0u8; 64];
+        let _ = conn.read(&mut scratch);
+        seen
+    });
+
+    let client = RemoteClient::connect_with(
+        addr,
+        UserId(0),
+        ClientOptions::new().retry_disconnects(true),
+    )
+    .unwrap();
+    let response = client
+        .render_interactive_blocking(ActionId(0), DatasetId(0), FrameParams::default())
+        .unwrap();
+    let frame = response.into_frame().expect("the retried frame completes");
+    assert_eq!(frame.width, 2);
+    client.close();
+
+    let seen = server.join().unwrap();
+    // One submission per incarnation — the lost frame was rendered by
+    // exactly one head, with no duplicate on the second.
+    assert_eq!(seen.len(), 2, "one submission per incarnation: {seen:?}");
+    assert_ne!(seen[0], seen[1], "the resubmit is a fresh request id");
+}
+
+#[test]
+fn disconnect_on_the_same_incarnation_is_not_resubmitted() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    // Same epoch on both connections: the first swallows a request and
+    // drops; the second must see *no* request at all — the original might
+    // still render, so resubmitting would double-render the frame.
+    let server: JoinHandle<usize> = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut codec = Codec::new();
+        codec
+            .write(&mut conn, &WireMessage::Hello { epoch: 7 })
+            .unwrap();
+        let _ = read_request(&mut codec, &mut conn).unwrap();
+        drop(conn);
+
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut codec = Codec::new();
+        codec
+            .write(&mut conn, &WireMessage::Hello { epoch: 7 })
+            .unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        // A request arriving here is the double-render bug; only a read
+        // timeout (client went quiet) or EOF (client closed) may follow.
+        match codec.read(&mut conn) {
+            Ok(Some(msg)) => panic!("client resubmitted on an unchanged epoch: {msg:?}"),
+            Ok(None) => 0,
+            Err(_) => 0,
+        }
+    });
+
+    let client = RemoteClient::connect_with(
+        addr,
+        UserId(0),
+        ClientOptions::new().retry_disconnects(true),
+    )
+    .unwrap();
+    let err = client
+        .render_interactive_blocking(ActionId(0), DatasetId(0), FrameParams::default())
+        .expect_err("an unchanged epoch must surface the connection error");
+    assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted, "{err}");
+    client.close();
+    server.join().unwrap();
+}

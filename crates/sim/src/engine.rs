@@ -33,10 +33,10 @@ use vizsched_core::job::Job;
 use vizsched_core::memory::EvictionPolicy;
 use vizsched_core::sched::{Assignment, Trigger};
 use vizsched_core::time::{SimDuration, SimTime};
-use vizsched_metrics::RunRecord;
+use vizsched_metrics::{Probe, RunRecord, TraceEvent};
 use vizsched_runtime::{
-    Admission, Completion, Head, HeadRuntime, OverloadStats, ShardOutcome, ShardedRuntime,
-    Substrate,
+    Admission, Completion, FaultKind, FaultPlan, Head, HeadRuntime, OverloadStats, ShardOutcome,
+    ShardedRuntime, Substrate,
 };
 
 /// A fault-injection event.
@@ -65,6 +65,11 @@ pub struct SimConfig {
     pub eviction: EvictionPolicy,
     /// Fault injections, if any.
     pub faults: Vec<Fault>,
+    /// Seedable fault schedule covering the full taxonomy (crash,
+    /// respawn, degrade, restore, leaf outage, shard-head crash).
+    /// Executed alongside (and identically to) the live service's plan
+    /// execution, so a chaos run replays bit-identically in the sim.
+    pub fault_plan: Option<FaultPlan>,
     /// Record a per-task trace (memory-hungry; tests only).
     pub record_trace: bool,
     /// Amplitude of the deterministic per-task execution-time perturbation
@@ -104,6 +109,7 @@ impl SimConfig {
             cycle: SimDuration::from_millis(30),
             eviction: EvictionPolicy::Lru,
             faults: Vec::new(),
+            fault_plan: None,
             record_trace: false,
             exec_jitter: 0.0,
             warm_start: false,
@@ -201,6 +207,9 @@ impl Simulation {
         }
         if let Some(faults) = opts.faults {
             config.faults = faults;
+        }
+        if let Some(plan) = opts.fault_plan {
+            config.fault_plan = Some(plan);
         }
         if let Some(jitter) = opts.exec_jitter {
             config.exec_jitter = jitter;
@@ -335,6 +344,9 @@ impl SimSubstrate<'_> {
 struct Engine<'a> {
     runtime: Head,
     sub: SimSubstrate<'a>,
+    /// The run's probe, kept for engine-level events (`fault_injected`)
+    /// that no single shard's runtime owns.
+    probe: std::sync::Arc<dyn Probe>,
 }
 
 impl<'a> Engine<'a> {
@@ -344,8 +356,9 @@ impl<'a> Engine<'a> {
         scheduler: SchedulerChoice,
         shards: usize,
         scenario: &str,
-        probe: std::sync::Arc<dyn vizsched_metrics::Probe>,
+        probe: std::sync::Arc<dyn Probe>,
     ) -> Self {
+        let engine_probe = probe.clone();
         let tables_for = |cluster: &ClusterSpec| match config.gpu_quota {
             Some(gpu) => {
                 vizsched_core::tables::HeadTables::with_gpu_tier(cluster, gpu, config.eviction)
@@ -422,6 +435,7 @@ impl<'a> Engine<'a> {
                 trace: Vec::new(),
                 loads_in_flight: 0,
             },
+            probe: engine_probe,
         }
     }
 
@@ -446,6 +460,13 @@ impl<'a> Engine<'a> {
             };
             self.sub.events.push(fault.time, kind);
         }
+        if let Some(plan) = &self.sub.config.fault_plan {
+            for event in plan.events() {
+                self.sub
+                    .events
+                    .push(event.at, EventKind::PlanFault(event.kind));
+            }
+        }
 
         while let Some(event) = self.sub.events.pop() {
             self.sub.now = event.time;
@@ -455,6 +476,7 @@ impl<'a> Engine<'a> {
                 EventKind::TaskDone { node, generation } => self.on_task_done(node, generation),
                 EventKind::NodeCrash(node) => self.on_crash(node),
                 EventKind::NodeRecover(node) => self.on_recover(node),
+                EventKind::PlanFault(kind) => self.on_plan_fault(kind),
             }
         }
 
@@ -567,6 +589,59 @@ impl<'a> Engine<'a> {
     fn on_recover(&mut self, node: NodeId) {
         self.sub.nodes[node.index()].recover();
         self.runtime.on_node_recover(self.sub.now, node);
+    }
+
+    /// Execute one [`FaultPlan`] entry. The live service runs the same
+    /// plan with the same semantics, so a chaos run replays bit-identically
+    /// here. Every entry is traced as `fault_injected` before it acts.
+    fn on_plan_fault(&mut self, kind: FaultKind) {
+        let now = self.sub.now;
+        if self.probe.enabled() {
+            let (injected, target, param) = kind.injected();
+            self.probe.on_event(&TraceEvent::FaultInjected {
+                now,
+                kind: injected,
+                target,
+                param,
+            });
+        }
+        match kind {
+            FaultKind::NodeCrash(node) => self.on_crash(node),
+            FaultKind::NodeRespawn(node) => self.on_recover(node),
+            FaultKind::NodeDegrade { node, factor_pm } => {
+                self.sub.nodes[node.index()].slow_pm = factor_pm;
+            }
+            FaultKind::NodeRestore(node) => {
+                self.sub.nodes[node.index()].slow_pm = 1000;
+            }
+            FaultKind::LeafOutage { base, count } => {
+                for k in 0..count {
+                    self.on_crash(NodeId(base.0 + k));
+                }
+            }
+            FaultKind::LeafRecover { base, count } => {
+                for k in 0..count {
+                    self.on_recover(NodeId(base.0 + k));
+                }
+            }
+            FaultKind::ShardCrash(shard) => {
+                // Power-cycle the dead head's current slice first: its
+                // in-flight dispatches become stale (generation bump) and
+                // the nodes rejoin cold, so nothing the dead head started
+                // can race the rebuilt control state on the adopters.
+                for node in self.runtime.shard_nodes(shard) {
+                    let _ = self.sub.nodes[node.index()].crash();
+                    self.sub.nodes[node.index()].recover();
+                }
+                let now = self.sub.now;
+                self.runtime.on_shard_fail(&mut self.sub, now, shard);
+                // Re-admitted orphans may be buffered for the next cycle.
+                let trigger = self.runtime.trigger();
+                if self.runtime.queued_jobs() > 0 {
+                    self.sub.arm_tick(trigger);
+                }
+            }
+        }
     }
 
     fn finish(self) -> SimOutcome {

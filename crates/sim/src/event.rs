@@ -7,6 +7,7 @@ use std::collections::BinaryHeap;
 use vizsched_core::ids::NodeId;
 use vizsched_core::job::Job;
 use vizsched_core::time::SimTime;
+use vizsched_runtime::FaultKind;
 
 /// What happens when an event fires.
 #[derive(Clone, Debug)]
@@ -27,6 +28,11 @@ pub enum EventKind {
     NodeCrash(NodeId),
     /// Fault injection: the node rejoins with a cold cache.
     NodeRecover(NodeId),
+    /// A scheduled [`FaultPlan`](vizsched_runtime::FaultPlan) entry fires:
+    /// the full taxonomy (crash, respawn, degrade, restore, leaf outage,
+    /// shard-head crash), traced as `fault_injected` so a chaos run can be
+    /// replayed and audited.
+    PlanFault(FaultKind),
 }
 
 /// A scheduled event.

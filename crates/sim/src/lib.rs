@@ -48,7 +48,9 @@ pub use event::{Event, EventKind, EventQueue};
 pub use node::{RunningTask, SimNode};
 pub use options::{RunOptions, SchedulerChoice};
 pub use trace::{ascii_gantt, node_utilization, trace_to_csv, NodeUtilization};
-pub use vizsched_runtime::{OverloadPolicy, OverloadStats, ShardOutcome};
+pub use vizsched_runtime::{
+    FaultEvent, FaultKind, FaultPlan, OverloadPolicy, OverloadStats, ShardOutcome,
+};
 
 /// The one-line import for simulation experiments: the simulation types,
 /// run configuration, and the probe machinery they plug into.
@@ -56,4 +58,5 @@ pub mod prelude {
     pub use crate::engine::{Fault, SimConfig, SimOutcome, Simulation};
     pub use crate::options::{RunOptions, SchedulerChoice};
     pub use vizsched_metrics::{CollectingProbe, JsonlProbe, NoopProbe, Probe, TraceEvent};
+    pub use vizsched_runtime::{FaultKind, FaultPlan};
 }

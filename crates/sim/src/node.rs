@@ -72,6 +72,12 @@ pub struct SimNode {
     /// [`SimConfig::jitter_seed`](crate::SimConfig)); zero reproduces the
     /// unseeded stream.
     pub jitter_seed: u64,
+    /// Degraded-node slowdown in per-mille (1000 = nominal): every task's
+    /// execution time is multiplied by `slow_pm / 1000`. Set by the
+    /// fault plan's `NodeDegrade`, reset by `NodeRestore`; models a
+    /// thermally-throttled GPU or a failing disk without taking the node
+    /// out of the schedulable set.
+    pub slow_pm: u32,
 }
 
 impl SimNode {
@@ -110,6 +116,7 @@ impl SimNode {
             gpu_hits: 0,
             busy: SimDuration::ZERO,
             jitter_seed: 0,
+            slow_pm: 1000,
         }
     }
 
@@ -201,9 +208,12 @@ impl SimNode {
                 (io, upload, true)
             }
         };
-        let exec = io
+        let mut exec = io
             + upload
             + (cost.render_time(bytes) + cost.composite_time(assignment.group)).mul_f64(factor);
+        if self.slow_pm != 1000 {
+            exec = exec.mul_f64(self.slow_pm as f64 / 1000.0);
+        }
         self.busy += exec;
         let finish = now + exec;
         self.running = Some(RunningTask {
@@ -395,6 +405,34 @@ mod tests {
         assert_eq!(r.tier, vizsched_core::tiered::Tier::Gpu);
         assert_eq!(r.upload, SimDuration::ZERO);
         assert_eq!(n.gpu_hits, 1);
+    }
+
+    #[test]
+    fn degraded_node_runs_slower_until_restored() {
+        let cost = CostParams::default();
+        let mut nominal = node();
+        let mut degraded = node();
+        degraded.slow_pm = 2000;
+        nominal.enqueue(assignment(1, 0, 512 * MIB));
+        degraded.enqueue(assignment(1, 0, 512 * MIB));
+        let f = nominal
+            .start_next(SimTime::ZERO, &cost, 0.0)
+            .unwrap()
+            .finish;
+        let s = degraded
+            .start_next(SimTime::ZERO, &cost, 0.0)
+            .unwrap()
+            .finish;
+        assert_eq!(s.as_micros(), f.as_micros() * 2);
+        degraded.complete();
+        // Restored: back to the nominal cost model (warm hit now).
+        degraded.slow_pm = 1000;
+        nominal.complete();
+        nominal.enqueue(assignment(2, 0, 512 * MIB));
+        degraded.enqueue(assignment(2, 0, 512 * MIB));
+        let f2 = nominal.start_next(f, &cost, 0.0).unwrap().finish - f;
+        let s2 = degraded.start_next(s, &cost, 0.0).unwrap().finish - s;
+        assert_eq!(f2, s2);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use vizsched_core::memory::EvictionPolicy;
 use vizsched_core::sched::{Scheduler, SchedulerKind};
 use vizsched_core::time::{SimDuration, SimTime};
 use vizsched_metrics::{NoopProbe, Probe};
-use vizsched_runtime::OverloadPolicy;
+use vizsched_runtime::{FaultPlan, OverloadPolicy};
 
 /// The policy a run executes: a named kind (built against the effective
 /// cycle `ω`) or a pre-built instance (parameter ablations).
@@ -63,6 +63,7 @@ pub struct RunOptions {
     pub(crate) cycle: Option<SimDuration>,
     pub(crate) eviction: Option<EvictionPolicy>,
     pub(crate) faults: Option<Vec<Fault>>,
+    pub(crate) fault_plan: Option<FaultPlan>,
     pub(crate) exec_jitter: Option<f64>,
     pub(crate) warm_start: Option<bool>,
     pub(crate) record_trace: Option<bool>,
@@ -83,6 +84,7 @@ impl std::fmt::Debug for RunOptions {
             .field("cycle", &self.cycle)
             .field("eviction", &self.eviction)
             .field("faults", &self.faults)
+            .field("fault_plan", &self.fault_plan)
             .field("exec_jitter", &self.exec_jitter)
             .field("warm_start", &self.warm_start)
             .field("record_trace", &self.record_trace)
@@ -116,6 +118,7 @@ impl RunOptions {
             cycle: None,
             eviction: None,
             faults: None,
+            fault_plan: None,
             exec_jitter: None,
             warm_start: None,
             record_trace: None,
@@ -162,6 +165,16 @@ impl RunOptions {
     /// Replace the fault-injection plan for this run.
     pub fn faults(mut self, faults: Vec<Fault>) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Install a seedable [`FaultPlan`] covering the full taxonomy —
+    /// node crash/respawn, slow-node degrade/restore, correlated leaf
+    /// outage, shard-head crash. The live service executes the same plan
+    /// with the same semantics, so any chaos run replays bit-identically
+    /// in the sim.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
