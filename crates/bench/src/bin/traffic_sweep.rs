@@ -1,0 +1,398 @@
+//! Race OURS against the policy family (FRAC, MOBJ, MOBJ-A) across the
+//! five non-Poisson traffic shapes of `vizsched_workload::traffic`:
+//! diurnal load curves, a flash crowd on one hot dataset, camera-path
+//! locality tours, mixed GPU tiers, and a time-varying streamed dataset
+//! with heterogeneous bricking.
+//!
+//! Every shape's stream is first serialized onto the scenario-record
+//! format and replayed *from the record* (`Scenario::from_record`), so
+//! the sweep exercises the same record/replay pipeline operators use for
+//! captured production traffic (see `docs/SCENARIO_FORMAT.md`).
+//!
+//! ```text
+//! cargo run --release -p vizsched-bench --bin traffic_sweep
+//! cargo run --release -p vizsched-bench --bin traffic_sweep -- \
+//!     --json results/traffic_report.json                        # regenerate
+//! cargo run --release -p vizsched-bench --bin traffic_sweep -- \
+//!     --check results/traffic_report.json                       # CI gate
+//! ```
+//!
+//! The flash-crowd cell carries the sweep's headline SLO: under the sized
+//! admission policy, OURS' interactive p99 with the crowd piling on must
+//! stay within 2x the unloaded (background-only) p99 — the same bound the
+//! overload experiment pins at 4x saturation (see `EXPERIMENTS.md`).
+//! `--check` re-runs the sweep (deterministic) and fails if the SLO
+//! breaks or any shape's OURS p99 regresses beyond tolerance against the
+//! committed report.
+
+use vizsched_bench::experiments::p99;
+use vizsched_bench::json::{obj, parse, Json};
+use vizsched_core::cluster::ClusterSpec;
+use vizsched_core::cost::CostParams;
+use vizsched_core::data::{uniform_datasets, Catalog, DecompositionPolicy};
+use vizsched_core::sched::SchedulerKind;
+use vizsched_core::time::SimDuration;
+use vizsched_metrics::SchedulerReport;
+use vizsched_sim::{OverloadPolicy, RunOptions, SimConfig, Simulation};
+use vizsched_workload::{
+    heterogeneous_catalog, FlashCrowdSpec, RecordHeader, Scenario, TrafficShape,
+};
+
+/// The policies every shape is raced under, in report order.
+const POLICIES: [SchedulerKind; 4] = [
+    SchedulerKind::Ours,
+    SchedulerKind::Frac,
+    SchedulerKind::Mobj,
+    SchedulerKind::MobjAdaptive,
+];
+
+/// Workload seed of the committed report.
+const SEED: u64 = 2012;
+
+/// The flash-crowd SLO: crowd p99 must stay within this factor of the
+/// unloaded (background-only) p99, matching the overload experiment's
+/// bound at 4x saturation.
+const SLO_FACTOR: f64 = 2.0;
+
+/// `--check` tolerance on per-shape OURS p99 against the committed
+/// report: the sweep is deterministic, but leave headroom for cost-model
+/// retunes so only real regressions trip CI.
+const TOLERANCE: f64 = 1.25;
+
+/// The admission policy of the flash-crowd cells. Tighter than the
+/// overload experiment's sizing: a crowd on one hot dataset queues much
+/// faster than a spread burst (every job contends for the same chunk
+/// residency), so in-flight frames are capped at one scheduling cycle
+/// of cluster work, one frame per user, and anything buffered past one
+/// cycle is stale and expires. The crowd sheds hard; whoever gets a
+/// frame gets it at interactive latency.
+fn flash_policy(cluster: &ClusterSpec, cycle: SimDuration) -> OverloadPolicy {
+    OverloadPolicy {
+        max_in_flight: Some(cluster.len()),
+        max_per_user: Some(1),
+        deadline: Some(cycle),
+        coalesce_interactive: true,
+        batch_escalation_age: None,
+    }
+}
+
+/// The fixed harness of one shape: cluster, decomposition and cost
+/// model. Shapes stress different axes, so the harness varies with the
+/// shape — mixed tiers brings its own heterogeneous-disk cluster, the
+/// time-varying stream gets heterogeneous bricking and a cache half the
+/// size of the full timestep history (the invalidation storm needs
+/// churn; a cache that fits everything would hide it).
+struct Harness {
+    cluster: ClusterSpec,
+    catalog: Catalog,
+    cost: CostParams,
+    chunk_max: u64,
+}
+
+fn harness_for(shape: &TrafficShape) -> Harness {
+    const GIB: u64 = 1 << 30;
+    let chunk_max = 256 << 20;
+    let uniform = |count: u32, bytes: u64| {
+        Catalog::new(
+            uniform_datasets(count, bytes),
+            DecompositionPolicy::MaxChunkSize {
+                max_bytes: chunk_max,
+            },
+        )
+    };
+    let (cluster, catalog) = match shape {
+        TrafficShape::MixedTiers(spec) => (
+            spec.cluster(8, 2 * GIB),
+            uniform(spec.workload.dataset_count, GIB),
+        ),
+        TrafficShape::TimeVarying(spec) => (
+            ClusterSpec::homogeneous(8, GIB),
+            heterogeneous_catalog(spec.timesteps, 2 * GIB, chunk_max, spec.seed),
+        ),
+        TrafficShape::Diurnal(s) => (
+            ClusterSpec::homogeneous(8, 2 * GIB),
+            uniform(s.dataset_count, GIB),
+        ),
+        TrafficShape::FlashCrowd(s) => (
+            ClusterSpec::homogeneous(8, 2 * GIB),
+            uniform(s.dataset_count, GIB),
+        ),
+        TrafficShape::CameraPath(s) => (
+            ClusterSpec::homogeneous(8, 2 * GIB),
+            uniform(s.dataset_count, GIB),
+        ),
+    };
+    Harness {
+        cluster,
+        catalog,
+        cost: CostParams::eight_node_cluster(),
+        chunk_max,
+    }
+}
+
+/// One policy's run over one shape.
+struct Cell {
+    scheduler: SchedulerKind,
+    offered: usize,
+    completed: usize,
+    interactive_p99_ms: f64,
+    interactive_mean_ms: f64,
+    hit_rate: f64,
+    shed: u64,
+}
+
+/// Serialize the shape onto the record format, replay it from the
+/// record, and run it under `kind`. `policed` attaches the sized
+/// admission policy (the flash-crowd regime); the other shapes run
+/// unpoliced like the Table II comparisons.
+fn run_shape(shape: &TrafficShape, harness: &Harness, kind: SchedulerKind, policed: bool) -> Cell {
+    let header = RecordHeader::new(
+        shape.name(),
+        SEED,
+        kind.name(),
+        SimDuration::from_millis(30),
+        harness.cost,
+        harness.cluster.clone(),
+        &harness.catalog,
+    );
+    let record = shape.to_record(header);
+    let scenario = Scenario::from_record(&record);
+    let cycle = SimDuration::from_millis(30);
+    let mut config = SimConfig::new(harness.cluster.clone(), harness.cost, harness.chunk_max);
+    config.cycle = cycle;
+    config.exec_jitter = 0.05;
+    config.warm_start = true;
+    let sim = Simulation::new(config, scenario.datasets());
+    let mut opts = RunOptions::new(kind)
+        .label(&scenario.label)
+        .catalog(scenario.catalog());
+    if policed {
+        opts = opts.overload(flash_policy(&harness.cluster, cycle));
+    }
+    let jobs = scenario.jobs();
+    let offered = jobs.len();
+    let outcome = sim.run_opts(jobs, opts);
+    let report = SchedulerReport::from_run(&outcome.record);
+    let mut latencies: Vec<f64> = outcome
+        .record
+        .interactive_jobs()
+        .filter_map(|j| j.timing.latency())
+        .map(|l| l.as_millis_f64())
+        .collect();
+    Cell {
+        scheduler: kind,
+        offered,
+        completed: latencies.len(),
+        interactive_p99_ms: p99(&mut latencies),
+        interactive_mean_ms: report.interactive_latency.mean * 1_000.0,
+        hit_rate: report.hit_rate,
+        shed: outcome.overload.shed(),
+    }
+}
+
+/// The sweep for one shape: all policies over identical offered jobs.
+struct ShapeReport {
+    name: &'static str,
+    offered: usize,
+    cells: Vec<Cell>,
+}
+
+fn run_sweep(shapes: &[TrafficShape]) -> Vec<ShapeReport> {
+    shapes
+        .iter()
+        .map(|shape| {
+            let harness = harness_for(shape);
+            let policed = matches!(shape, TrafficShape::FlashCrowd(_));
+            let cells: Vec<Cell> = POLICIES
+                .iter()
+                .map(|&kind| run_shape(shape, &harness, kind, policed))
+                .collect();
+            ShapeReport {
+                name: shape.name(),
+                offered: cells.first().map(|c| c.offered).unwrap_or(0),
+                cells,
+            }
+        })
+        .collect()
+}
+
+/// The flash-crowd SLO reference: the same shape with the crowd removed
+/// (background population only), run under OURS with the same admission
+/// policy. Both runs are policed, so the comparison isolates what the
+/// crowd itself costs.
+fn unloaded_flash_p99(shapes: &[TrafficShape]) -> f64 {
+    let Some(TrafficShape::FlashCrowd(spec)) = shapes
+        .iter()
+        .find(|s| matches!(s, TrafficShape::FlashCrowd(_)))
+    else {
+        panic!("suite has no flash-crowd shape");
+    };
+    let unloaded = TrafficShape::FlashCrowd(FlashCrowdSpec {
+        crowd_users: 0,
+        ..*spec
+    });
+    let harness = harness_for(&unloaded);
+    run_shape(&unloaded, &harness, SchedulerKind::Ours, true).interactive_p99_ms
+}
+
+fn print_table(reports: &[ShapeReport]) {
+    println!(
+        "{:>13} {:>8} {:>8} {:>9} {:>5} {:>11} {:>12} {:>7}",
+        "shape", "policy", "offered", "completed", "shed", "int-p99 ms", "int-mean ms", "hit%"
+    );
+    for r in reports {
+        for c in &r.cells {
+            println!(
+                "{:>13} {:>8} {:>8} {:>9} {:>5} {:>11.1} {:>12.1} {:>6.1}%",
+                r.name,
+                c.scheduler.name(),
+                c.offered,
+                c.completed,
+                c.shed,
+                c.interactive_p99_ms,
+                c.interactive_mean_ms,
+                100.0 * c.hit_rate,
+            );
+        }
+    }
+}
+
+fn to_json(reports: &[ShapeReport], unloaded_p99: f64) -> Json {
+    let ours_flash = reports
+        .iter()
+        .find(|r| r.name == "flash_crowd")
+        .and_then(|r| r.cells.iter().find(|c| c.scheduler == SchedulerKind::Ours))
+        .map(|c| c.interactive_p99_ms)
+        .unwrap_or(f64::INFINITY);
+    let shapes: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            let cells: Vec<Json> = r
+                .cells
+                .iter()
+                .map(|c| {
+                    obj([
+                        ("scheduler", Json::Str(c.scheduler.name().into())),
+                        ("offered_jobs", Json::Num(c.offered as f64)),
+                        ("interactive_completed", Json::Num(c.completed as f64)),
+                        ("shed", Json::Num(c.shed as f64)),
+                        ("interactive_p99_ms", Json::Num(c.interactive_p99_ms)),
+                        ("interactive_mean_ms", Json::Num(c.interactive_mean_ms)),
+                        ("hit_rate", Json::Num(c.hit_rate)),
+                    ])
+                })
+                .collect();
+            obj([
+                ("shape", Json::Str(r.name.into())),
+                ("offered_jobs", Json::Num(r.offered as f64)),
+                ("cells", Json::Arr(cells)),
+            ])
+        })
+        .collect();
+    obj([
+        ("schema", Json::Str("vizsched-bench/traffic/v1".into())),
+        ("seed", Json::Num(SEED as f64)),
+        ("shapes", Json::Arr(shapes)),
+        (
+            "summary",
+            obj([
+                ("flash_crowd_unloaded_p99_ms", Json::Num(unloaded_p99)),
+                ("flash_crowd_p99_ms", Json::Num(ours_flash)),
+                (
+                    "flash_crowd_slo_factor",
+                    Json::Num(ours_flash / unloaded_p99.max(f64::EPSILON)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// OURS' p99 for `shape` out of a report document.
+fn doc_ours_p99(doc: &Json, shape: &str) -> Option<f64> {
+    doc.get("shapes")?
+        .as_arr()?
+        .iter()
+        .find(|s| s.get("shape").and_then(Json::as_str) == Some(shape))?
+        .get("cells")?
+        .as_arr()?
+        .iter()
+        .find(|c| c.get("scheduler").and_then(Json::as_str) == Some("OURS"))?
+        .get("interactive_p99_ms")?
+        .as_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_path = arg_value("--json");
+    let check_path = arg_value("--check");
+
+    let shapes = TrafficShape::demo_suite(SEED);
+    eprintln!(
+        "traffic_sweep: {:?} x {:?}",
+        TrafficShape::NAMES,
+        POLICIES.map(|p| p.name()),
+    );
+    let reports = run_sweep(&shapes);
+    let unloaded_p99 = unloaded_flash_p99(&shapes);
+    print_table(&reports);
+    let doc = to_json(&reports, unloaded_p99);
+    let slo = doc
+        .get("summary")
+        .and_then(|s| s.get("flash_crowd_slo_factor"))
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::INFINITY);
+    println!(
+        "\nflash-crowd SLO: p99 {:.1} ms vs unloaded {:.1} ms -> {:.2}x (bound {SLO_FACTOR}x)",
+        doc.get("summary")
+            .and_then(|s| s.get("flash_crowd_p99_ms"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::INFINITY),
+        unloaded_p99,
+        slo,
+    );
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, doc.pretty()).expect("write json output");
+        println!("(wrote {path})");
+    }
+
+    let mut ok = true;
+    if slo > SLO_FACTOR {
+        eprintln!("traffic_sweep: flash-crowd p99 breaks the {SLO_FACTOR}x unloaded SLO");
+        ok = false;
+    }
+
+    if let Some(path) = check_path {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let base = parse(&committed).expect("baseline parses as JSON");
+        println!("\n== regression check vs {path} (tolerance {TOLERANCE}x committed + 1 ms) ==");
+        for name in TrafficShape::NAMES {
+            let fresh = doc_ours_p99(&doc, name).expect("fresh document has every shape");
+            let Some(committed) = doc_ours_p99(&base, name) else {
+                eprintln!("  {name}: missing from baseline");
+                ok = false;
+                continue;
+            };
+            let bound = committed * TOLERANCE + 1.0;
+            let pass = fresh <= bound;
+            ok &= pass;
+            println!(
+                "  {name}: OURS p99 fresh {fresh:.1} ms vs committed {committed:.1} ms \
+                 (bound {bound:.1}) -> {}",
+                if pass { "OK" } else { "REGRESSED" }
+            );
+        }
+    }
+    if !ok {
+        eprintln!("traffic_sweep: regression or SLO violation");
+        std::process::exit(1);
+    }
+    println!("traffic_sweep: all checks passed");
+}

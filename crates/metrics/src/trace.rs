@@ -21,6 +21,7 @@ use std::fmt::Write as _;
 use std::io::Write;
 use std::sync::Mutex;
 use vizsched_core::ids::{ChunkId, JobId, NodeId, ShardId};
+use vizsched_core::job::Job;
 use vizsched_core::time::{SimDuration, SimTime};
 
 /// Why an arriving job was refused admission (the overload-control layer's
@@ -904,6 +905,15 @@ pub trait Probe: Send + Sync {
 
     /// Receive one event. Called on hot paths; keep it cheap.
     fn on_event(&self, event: &TraceEvent);
+
+    /// Observe one job at the instant the head node first sees it —
+    /// before admission control, so rejected and coalesced jobs are
+    /// observed too. Both substrates call this exactly once per offered
+    /// job (internal re-admissions during shard migration or failover do
+    /// *not* re-fire it), which is what lets a recording probe capture a
+    /// replayable request stream. The default does nothing, so only
+    /// recorders pay for it.
+    fn on_job_offered(&self, _now: SimTime, _job: &Job) {}
 }
 
 /// The default probe: receives nothing, reports disabled.

@@ -922,6 +922,12 @@ impl Head {
     }
 
     /// Accept one job (routing it to its shard first, when sharded).
+    ///
+    /// This is the one entry point shared by both substrates, so it is
+    /// where [`Probe::on_job_offered`] fires — exactly once per offered
+    /// job. The sharded runtime re-admits jobs internally during batch
+    /// migration and shard failover through the per-shard runtimes,
+    /// which bypass this method and therefore never double-record.
     pub fn on_job_arrival<S: Substrate>(
         &mut self,
         sub: &mut S,
@@ -929,8 +935,18 @@ impl Head {
         job: Job,
     ) -> Admission {
         match self {
-            Head::Single(rt) => rt.on_job_arrival(sub, now, job),
-            Head::Sharded(rt) => rt.on_job_arrival(sub, now, job).1,
+            Head::Single(rt) => {
+                if rt.probe.enabled() {
+                    rt.probe.on_job_offered(now, &job);
+                }
+                rt.on_job_arrival(sub, now, job)
+            }
+            Head::Sharded(rt) => {
+                if rt.probe.enabled() {
+                    rt.probe.on_job_offered(now, &job);
+                }
+                rt.on_job_arrival(sub, now, job).1
+            }
         }
     }
 

@@ -1,0 +1,1225 @@
+//! The versioned JSONL scenario record: capture any live or simulated run
+//! as a replayable request stream.
+//!
+//! A [`ScenarioRecord`] is one header line followed by timestamped
+//! `session` / `request` / `fault` lines, one JSON object per line (the
+//! full schema lives in `docs/SCENARIO_FORMAT.md`). The header pins
+//! everything placement depends on — seed, scheduling policy, cycle
+//! period, cost-model constants, cluster shape, and the exact chunk
+//! decomposition — plus a fingerprint over those fields, so a record is a
+//! self-contained experiment: feed it to `Scenario::from_record` and the
+//! simulator re-places every task identically.
+//!
+//! Records are written by the [`RecordingProbe`], which observes jobs at
+//! the head node's single admission entry point (`Probe::on_job_offered`,
+//! fired exactly once per offered job by both the live service and the
+//! simulator) and faults from the `fault_injected` trace event. Parsing is
+//! total: [`ScenarioRecord::parse`] never panics and reports errors with
+//! the 1-based line number, so a truncated or hand-mangled record fails
+//! loud and early.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use vizsched_core::cluster::{ClusterSpec, NodeSpec};
+use vizsched_core::cost::CostParams;
+use vizsched_core::data::{Catalog, ChunkDesc, DatasetDesc};
+use vizsched_core::ids::{ActionId, BatchId, ChunkId, DatasetId, JobId, UserId};
+use vizsched_core::job::{FrameParams, Job, JobKind};
+use vizsched_core::time::{SimDuration, SimTime};
+use vizsched_metrics::{InjectedFault, Probe, TraceEvent};
+
+/// The record-format version this crate writes (and the only one it
+/// reads; see `docs/SCENARIO_FORMAT.md` for the compatibility rules).
+pub const RECORD_VERSION: u32 = 1;
+
+/// The `"t"` tags of every line kind a record may contain, in canonical
+/// order. `docs/SCENARIO_FORMAT.md` documents one table row and one
+/// worked line per kind; `tests/docs_consistency.rs` enforces that.
+pub const RECORD_KINDS: [&str; 4] = ["header", "session", "request", "fault"];
+
+/// Everything placement depends on, pinned at record time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecordHeader {
+    /// Format version ([`RECORD_VERSION`]).
+    pub version: u32,
+    /// Display label of the recorded run.
+    pub label: String,
+    /// Workload seed of the recorded run (zero for live traffic, which
+    /// has no generator seed).
+    pub seed: u64,
+    /// Scheduling-policy name (`SchedulerKind` display form, e.g.
+    /// "OURS").
+    pub policy: String,
+    /// The head node's cycle period ω.
+    pub cycle: SimDuration,
+    /// Cost-model constants of the recorded cluster.
+    pub cost: CostParams,
+    /// The recorded cluster (per-node quotas, GPU memory, disk-speed
+    /// factors — heterogeneous tiers survive the round trip).
+    pub cluster: ClusterSpec,
+    /// The dataset descriptors, dense by id.
+    pub datasets: Vec<DatasetDesc>,
+    /// Per-dataset chunk sizes in bytes, parallel to `datasets` — the
+    /// exact decomposition, so heterogeneous bricking replays as-is.
+    pub chunks: Vec<Vec<u64>>,
+}
+
+impl RecordHeader {
+    /// Pin a header from a run's configuration and its decomposition
+    /// catalog.
+    pub fn new(
+        label: &str,
+        seed: u64,
+        policy: &str,
+        cycle: SimDuration,
+        cost: CostParams,
+        cluster: ClusterSpec,
+        catalog: &Catalog,
+    ) -> Self {
+        let datasets = catalog.datasets().to_vec();
+        let chunks = datasets
+            .iter()
+            .map(|d| catalog.chunks_of(d.id).iter().map(|c| c.bytes).collect())
+            .collect();
+        RecordHeader {
+            version: RECORD_VERSION,
+            label: label.to_string(),
+            seed,
+            policy: policy.to_string(),
+            cycle,
+            cost,
+            cluster,
+            datasets,
+            chunks,
+        }
+    }
+
+    /// FNV-1a 64 over every placement-relevant header field. Written into
+    /// the header line and re-checked on parse, so silent corruption of
+    /// the configuration (as opposed to the request stream, which is
+    /// checked structurally) cannot masquerade as a faithful replay.
+    pub fn fingerprint(&self) -> u64 {
+        let mut canon = String::new();
+        let _ = write!(
+            canon,
+            "v{}|{}|{}|{}|{}",
+            self.version,
+            self.seed,
+            self.policy,
+            self.cycle.as_micros(),
+            cost_canon(&self.cost),
+        );
+        for n in &self.cluster.nodes {
+            let _ = write!(canon, "|n{},{},{}", n.mem_quota, n.gpu_mem, n.disk_scale);
+        }
+        for (d, chunks) in self.datasets.iter().zip(&self.chunks) {
+            let _ = write!(canon, "|d{},{}", d.id.0, d.bytes);
+            for b in chunks {
+                let _ = write!(canon, ",{b}");
+            }
+        }
+        fnv1a(canon.as_bytes())
+    }
+
+    /// Rebuild the exact decomposition catalog the run used.
+    pub fn catalog(&self) -> Catalog {
+        let chunks = self
+            .chunks
+            .iter()
+            .enumerate()
+            .map(|(d, sizes)| {
+                sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &bytes)| ChunkDesc {
+                        id: ChunkId {
+                            dataset: DatasetId(d as u32),
+                            index: j as u32,
+                        },
+                        bytes,
+                    })
+                    .collect()
+            })
+            .collect();
+        Catalog::from_chunks(self.datasets.clone(), chunks)
+    }
+}
+
+fn cost_canon(c: &CostParams) -> String {
+    format!(
+        "c{},{},{},{},{},{}",
+        c.disk_bw,
+        c.render_fixed.as_micros(),
+        c.render_per_gib.as_micros(),
+        c.composite_fixed.as_micros(),
+        c.composite_per_node.as_micros(),
+        c.upload_bw,
+    )
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A `session` line: the first sighting of an interactive action or a
+/// batch submission, derived by the recorder (one per distinct
+/// user/action or user/request pair).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionLine {
+    /// When the session's first job was offered.
+    pub at: SimTime,
+    /// The user behind it.
+    pub user: UserId,
+    /// Interactive action or batch submission.
+    pub kind: SessionKind,
+    /// The dataset the session opened on.
+    pub dataset: DatasetId,
+}
+
+/// What a [`SessionLine`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionKind {
+    /// A continuous camera action.
+    Interactive {
+        /// The action id.
+        action: ActionId,
+    },
+    /// A batch submission.
+    Batch {
+        /// The submission id.
+        request: BatchId,
+    },
+}
+
+/// A `fault` line: one `fault_injected` trace event, re-playable through
+/// a `FaultPlan` built from the same `(kind, target, param)` triple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultLine {
+    /// When the fault took effect.
+    pub at: SimTime,
+    /// The fault taxonomy kind.
+    pub kind: InjectedFault,
+    /// Global node id, leaf-group base, or shard id, per `kind`.
+    pub target: u32,
+    /// Leaf-group size, degrade per-mille, or zero, per `kind`.
+    pub param: u32,
+}
+
+/// A parsed or captured scenario record: header plus the three line
+/// streams, each in record order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioRecord {
+    /// The pinned run configuration.
+    pub header: RecordHeader,
+    /// Derived session-open lines.
+    pub sessions: Vec<SessionLine>,
+    /// The offered jobs, exactly as the head saw them (ids, issue times,
+    /// camera parameters).
+    pub requests: Vec<Job>,
+    /// Injected faults, in injection order.
+    pub faults: Vec<FaultLine>,
+}
+
+/// A parse failure, pointing at the offending line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordError {
+    /// 1-based line number in the JSONL text.
+    pub line: usize,
+    /// What went wrong there.
+    pub msg: String,
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl ScenarioRecord {
+    /// Build a record for a synthetic job stream (the workload
+    /// generators' path onto the wire format): sessions are derived from
+    /// the jobs, and there are no faults.
+    pub fn from_jobs(header: RecordHeader, jobs: &[Job]) -> Self {
+        let mut sessions = Vec::new();
+        let mut seen = BTreeSet::new();
+        for job in jobs {
+            note_session(&mut sessions, &mut seen, job);
+        }
+        ScenarioRecord {
+            header,
+            sessions,
+            requests: jobs.to_vec(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// The captured request stream.
+    pub fn jobs(&self) -> &[Job] {
+        &self.requests
+    }
+
+    /// The exact decomposition catalog of the recorded run.
+    pub fn catalog(&self) -> Catalog {
+        self.header.catalog()
+    }
+
+    /// Serialize to canonical JSONL: the header line, then all
+    /// session/request/fault lines merged in time order (ties break
+    /// session &lt; request &lt; fault, each stream keeping its own
+    /// order). Serialization is deterministic: the same record always
+    /// yields the same bytes.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(256 + self.requests.len() * 160);
+        write_header(&mut out, &self.header);
+        let (mut s, mut r, mut f) = (0, 0, 0);
+        loop {
+            let ts = self.sessions.get(s).map(|l| l.at.as_micros());
+            let tr = self.requests.get(r).map(|j| j.issue_time.as_micros());
+            let tf = self.faults.get(f).map(|l| l.at.as_micros());
+            let next = [ts, tr, tf].into_iter().flatten().min();
+            let Some(t) = next else { break };
+            if ts == Some(t) {
+                write_session(&mut out, &self.sessions[s]);
+                s += 1;
+            } else if tr == Some(t) {
+                write_request(&mut out, &self.requests[r]);
+                r += 1;
+            } else {
+                write_fault(&mut out, &self.faults[f]);
+                f += 1;
+            }
+        }
+        out
+    }
+
+    /// Parse a JSONL record. Total: every failure — bad JSON, an unknown
+    /// line kind, a missing field, a version or fingerprint mismatch,
+    /// time going backwards, a duplicate job id — comes back as a
+    /// [`RecordError`] carrying the 1-based line number. Unknown *keys*
+    /// inside a known line kind are ignored (the forward-compatibility
+    /// rule of `docs/SCENARIO_FORMAT.md`).
+    pub fn parse(text: &str) -> Result<ScenarioRecord, RecordError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (first_no, first) = lines
+            .next()
+            .ok_or_else(|| err(1, "empty record: expected a header line"))?;
+        let val = json::parse(first).map_err(|m| err(first_no + 1, &m))?;
+        let header = parse_header(&val).map_err(|m| err(first_no + 1, &m))?;
+
+        let mut record = ScenarioRecord {
+            header,
+            sessions: Vec::new(),
+            requests: Vec::new(),
+            faults: Vec::new(),
+        };
+        let mut last_us = 0u64;
+        let mut last_job: Option<u64> = None;
+        for (idx, line) in lines {
+            let no = idx + 1;
+            let val = json::parse(line).map_err(|m| err(no, &m))?;
+            let tag = val.str_field("t").map_err(|m| err(no, &m))?;
+            let at = val.u64_field("at_us").map_err(|m| err(no, &m))?;
+            if at < last_us {
+                return Err(err(
+                    no,
+                    &format!("time goes backwards: at_us {at} after {last_us}"),
+                ));
+            }
+            last_us = at;
+            match tag.as_str() {
+                "session" => {
+                    let l = parse_session(&val, at).map_err(|m| err(no, &m))?;
+                    record.sessions.push(l);
+                }
+                "request" => {
+                    let job = parse_request(&val, at).map_err(|m| err(no, &m))?;
+                    if let Some(prev) = last_job {
+                        if job.id.0 <= prev {
+                            return Err(err(
+                                no,
+                                &format!("job ids must increase: {} after {prev}", job.id.0),
+                            ));
+                        }
+                    }
+                    last_job = Some(job.id.0);
+                    record.requests.push(job);
+                }
+                "fault" => {
+                    let l = parse_fault(&val, at).map_err(|m| err(no, &m))?;
+                    record.faults.push(l);
+                }
+                "header" => {
+                    return Err(err(no, "duplicate header line"));
+                }
+                other => {
+                    return Err(err(no, &format!("unknown line kind {other:?}")));
+                }
+            }
+        }
+        Ok(record)
+    }
+}
+
+fn err(line: usize, msg: &str) -> RecordError {
+    RecordError {
+        line,
+        msg: msg.to_string(),
+    }
+}
+
+fn note_session(sessions: &mut Vec<SessionLine>, seen: &mut BTreeSet<(bool, u32, u64)>, job: &Job) {
+    let (key, kind) = match job.kind {
+        JobKind::Interactive { user, action } => (
+            (true, user.0, action.0),
+            SessionKind::Interactive { action },
+        ),
+        JobKind::Batch { user, request, .. } => {
+            ((false, user.0, request.0), SessionKind::Batch { request })
+        }
+    };
+    if seen.insert(key) {
+        sessions.push(SessionLine {
+            at: job.issue_time,
+            user: job.kind.user(),
+            kind,
+            dataset: job.dataset,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_header(out: &mut String, h: &RecordHeader) {
+    let _ = write!(
+        out,
+        "{{\"t\":\"header\",\"v\":{},\"label\":\"{}\",\"seed\":{},\"policy\":\"{}\",\"cycle_us\":{},\"fingerprint\":\"{:016x}\"",
+        h.version,
+        escape(&h.label),
+        h.seed,
+        escape(&h.policy),
+        h.cycle.as_micros(),
+        h.fingerprint(),
+    );
+    let c = &h.cost;
+    let _ = write!(
+        out,
+        ",\"cost\":{{\"disk_bw\":{},\"render_fixed_us\":{},\"render_per_gib_us\":{},\"composite_fixed_us\":{},\"composite_per_node_us\":{},\"upload_bw\":{}}}",
+        c.disk_bw,
+        c.render_fixed.as_micros(),
+        c.render_per_gib.as_micros(),
+        c.composite_fixed.as_micros(),
+        c.composite_per_node.as_micros(),
+        c.upload_bw,
+    );
+    out.push_str(",\"cluster\":[");
+    for (i, n) in h.cluster.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"mem_quota\":{},\"gpu_mem\":{},\"disk_scale\":{}}}",
+            n.mem_quota, n.gpu_mem, n.disk_scale
+        );
+    }
+    out.push_str("],\"datasets\":[");
+    for (i, (d, chunks)) in h.datasets.iter().zip(&h.chunks).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"name\":\"{}\",\"bytes\":{}",
+            d.id.0,
+            escape(&d.name),
+            d.bytes
+        );
+        if let Some([x, y, z]) = d.dims {
+            let _ = write!(out, ",\"dims\":[{x},{y},{z}]");
+        }
+        out.push_str(",\"chunks\":[");
+        for (j, b) in chunks.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out.push('\n');
+}
+
+fn write_session(out: &mut String, l: &SessionLine) {
+    match l.kind {
+        SessionKind::Interactive { action } => {
+            let _ = write!(
+                out,
+                "{{\"t\":\"session\",\"at_us\":{},\"kind\":\"interactive\",\"user\":{},\"action\":{},\"dataset\":{}}}",
+                l.at.as_micros(),
+                l.user.0,
+                action.0,
+                l.dataset.0
+            );
+        }
+        SessionKind::Batch { request } => {
+            let _ = write!(
+                out,
+                "{{\"t\":\"session\",\"at_us\":{},\"kind\":\"batch\",\"user\":{},\"request\":{},\"dataset\":{}}}",
+                l.at.as_micros(),
+                l.user.0,
+                request.0,
+                l.dataset.0
+            );
+        }
+    }
+    out.push('\n');
+}
+
+fn write_request(out: &mut String, job: &Job) {
+    let _ = write!(
+        out,
+        "{{\"t\":\"request\",\"at_us\":{},\"job\":{}",
+        job.issue_time.as_micros(),
+        job.id.0
+    );
+    match job.kind {
+        JobKind::Interactive { user, action } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"interactive\",\"user\":{},\"action\":{}",
+                user.0, action.0
+            );
+        }
+        JobKind::Batch {
+            user,
+            request,
+            frame,
+        } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"batch\",\"user\":{},\"request\":{},\"frame\":{frame}",
+                user.0, request.0
+            );
+        }
+    }
+    let f = &job.frame;
+    let _ = write!(
+        out,
+        ",\"dataset\":{},\"azimuth\":{},\"elevation\":{},\"distance\":{},\"transfer_fn\":{}}}",
+        job.dataset.0, f.azimuth, f.elevation, f.distance, f.transfer_fn
+    );
+    out.push('\n');
+}
+
+fn write_fault(out: &mut String, l: &FaultLine) {
+    let _ = write!(
+        out,
+        "{{\"t\":\"fault\",\"at_us\":{},\"kind\":\"{}\",\"target\":{},\"param\":{}}}",
+        l.at.as_micros(),
+        l.kind.as_str(),
+        l.target,
+        l.param
+    );
+    out.push('\n');
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_header(val: &json::Val) -> Result<RecordHeader, String> {
+    let tag = val.str_field("t")?;
+    if tag != "header" {
+        return Err(format!("expected a header line first, got {tag:?}"));
+    }
+    let version = val.u64_field("v")? as u32;
+    if version != RECORD_VERSION {
+        return Err(format!(
+            "unsupported record version {version} (this build reads v{RECORD_VERSION})"
+        ));
+    }
+    let cost_val = val.field("cost")?;
+    let cost = CostParams {
+        disk_bw: cost_val.u64_field("disk_bw")?,
+        render_fixed: SimDuration::from_micros(cost_val.u64_field("render_fixed_us")?),
+        render_per_gib: SimDuration::from_micros(cost_val.u64_field("render_per_gib_us")?),
+        composite_fixed: SimDuration::from_micros(cost_val.u64_field("composite_fixed_us")?),
+        composite_per_node: SimDuration::from_micros(cost_val.u64_field("composite_per_node_us")?),
+        upload_bw: cost_val.u64_field("upload_bw")?,
+    };
+    let mut nodes = Vec::new();
+    for n in val.field("cluster")?.elements()? {
+        nodes.push(NodeSpec {
+            mem_quota: n.u64_field("mem_quota")?,
+            gpu_mem: n.u64_field("gpu_mem")?,
+            disk_scale: n.f64_field("disk_scale")?,
+        });
+    }
+    if nodes.is_empty() {
+        return Err("header cluster has no nodes".to_string());
+    }
+    let mut datasets = Vec::new();
+    let mut chunks = Vec::new();
+    for (i, d) in val.field("datasets")?.elements()?.iter().enumerate() {
+        let id = d.u64_field("id")? as u32;
+        if id as usize != i {
+            return Err(format!(
+                "dataset ids must be dense: got {id} at position {i}"
+            ));
+        }
+        let sizes: Result<Vec<u64>, String> = d
+            .field("chunks")?
+            .elements()?
+            .iter()
+            .map(|c| c.num::<u64>())
+            .collect();
+        let sizes = sizes?;
+        if sizes.is_empty() {
+            return Err(format!("dataset {id} has no chunks"));
+        }
+        let dims = match d.field("dims") {
+            Ok(v) => {
+                let els = v.elements()?;
+                if els.len() != 3 {
+                    return Err(format!("dataset {id} dims must have 3 entries"));
+                }
+                Some([
+                    els[0].num::<u32>()?,
+                    els[1].num::<u32>()?,
+                    els[2].num::<u32>()?,
+                ])
+            }
+            Err(_) => None,
+        };
+        datasets.push(DatasetDesc {
+            id: DatasetId(id),
+            name: d.str_field("name")?,
+            bytes: d.u64_field("bytes")?,
+            dims,
+        });
+        chunks.push(sizes);
+    }
+    if datasets.is_empty() {
+        return Err("header has no datasets".to_string());
+    }
+    let header = RecordHeader {
+        version,
+        label: val.str_field("label")?,
+        seed: val.u64_field("seed")?,
+        policy: val.str_field("policy")?,
+        cycle: SimDuration::from_micros(val.u64_field("cycle_us")?),
+        cost,
+        cluster: ClusterSpec { nodes },
+        datasets,
+        chunks,
+    };
+    let claimed = val.str_field("fingerprint")?;
+    let actual = format!("{:016x}", header.fingerprint());
+    if claimed != actual {
+        return Err(format!(
+            "fingerprint mismatch: header claims {claimed}, fields hash to {actual}"
+        ));
+    }
+    Ok(header)
+}
+
+fn parse_session(val: &json::Val, at_us: u64) -> Result<SessionLine, String> {
+    let at = SimTime::from_micros(at_us);
+    let user = UserId(val.u64_field("user")? as u32);
+    let dataset = DatasetId(val.u64_field("dataset")? as u32);
+    let kind = match val.str_field("kind")?.as_str() {
+        "interactive" => SessionKind::Interactive {
+            action: ActionId(val.u64_field("action")?),
+        },
+        "batch" => SessionKind::Batch {
+            request: BatchId(val.u64_field("request")?),
+        },
+        other => return Err(format!("unknown session kind {other:?}")),
+    };
+    Ok(SessionLine {
+        at,
+        user,
+        kind,
+        dataset,
+    })
+}
+
+fn parse_request(val: &json::Val, at_us: u64) -> Result<Job, String> {
+    let user = UserId(val.u64_field("user")? as u32);
+    let kind = match val.str_field("kind")?.as_str() {
+        "interactive" => JobKind::Interactive {
+            user,
+            action: ActionId(val.u64_field("action")?),
+        },
+        "batch" => JobKind::Batch {
+            user,
+            request: BatchId(val.u64_field("request")?),
+            frame: val.u64_field("frame")? as u32,
+        },
+        other => return Err(format!("unknown request kind {other:?}")),
+    };
+    Ok(Job {
+        id: JobId(val.u64_field("job")?),
+        kind,
+        dataset: DatasetId(val.u64_field("dataset")? as u32),
+        issue_time: SimTime::from_micros(at_us),
+        frame: FrameParams {
+            azimuth: val.f32_field("azimuth")?,
+            elevation: val.f32_field("elevation")?,
+            distance: val.f32_field("distance")?,
+            transfer_fn: val.u64_field("transfer_fn")? as u32,
+        },
+    })
+}
+
+fn parse_fault(val: &json::Val, at_us: u64) -> Result<FaultLine, String> {
+    let name = val.str_field("kind")?;
+    let kind = [
+        InjectedFault::NodeCrash,
+        InjectedFault::NodeRespawn,
+        InjectedFault::NodeDegrade,
+        InjectedFault::NodeRestore,
+        InjectedFault::LeafOutage,
+        InjectedFault::LeafRecover,
+        InjectedFault::ShardCrash,
+    ]
+    .into_iter()
+    .find(|k| k.as_str() == name)
+    .ok_or_else(|| format!("unknown fault kind {name:?}"))?;
+    Ok(FaultLine {
+        at: SimTime::from_micros(at_us),
+        kind,
+        target: val.u64_field("target")? as u32,
+        param: val.u64_field("param")? as u32,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The recording probe
+// ---------------------------------------------------------------------
+
+/// A [`Probe`] that captures a run as a [`ScenarioRecord`] while also
+/// buffering the full trace-event stream (so one probe serves both the
+/// recorder and any parity comparison).
+///
+/// Attach it like any other probe — `RunOptions::probe` on the simulator,
+/// `ServiceConfig::probe` on the live service — and call
+/// [`RecordingProbe::finish`] when the run is done.
+#[derive(Debug)]
+pub struct RecordingProbe {
+    header: RecordHeader,
+    state: Mutex<RecState>,
+}
+
+#[derive(Debug, Default)]
+struct RecState {
+    sessions: Vec<SessionLine>,
+    seen: BTreeSet<(bool, u32, u64)>,
+    requests: Vec<Job>,
+    faults: Vec<FaultLine>,
+    events: Vec<TraceEvent>,
+}
+
+impl RecordingProbe {
+    /// A recorder whose header pins the given run configuration.
+    pub fn new(header: RecordHeader) -> Self {
+        RecordingProbe {
+            header,
+            state: Mutex::new(RecState::default()),
+        }
+    }
+
+    /// Snapshot the capture as a [`ScenarioRecord`].
+    pub fn finish(&self) -> ScenarioRecord {
+        let st = self.state.lock().expect("recorder lock");
+        ScenarioRecord {
+            header: self.header.clone(),
+            sessions: st.sessions.clone(),
+            requests: st.requests.clone(),
+            faults: st.faults.clone(),
+        }
+    }
+
+    /// Copy out every trace event seen so far (the recorder doubles as a
+    /// `CollectingProbe`).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.state.lock().expect("recorder lock").events.clone()
+    }
+
+    /// Number of requests captured so far.
+    pub fn request_count(&self) -> usize {
+        self.state.lock().expect("recorder lock").requests.len()
+    }
+
+    /// Serialize the capture and write it to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.finish().to_jsonl())
+    }
+}
+
+impl Probe for RecordingProbe {
+    fn on_event(&self, event: &TraceEvent) {
+        let mut st = self.state.lock().expect("recorder lock");
+        if let TraceEvent::FaultInjected {
+            now,
+            kind,
+            target,
+            param,
+        } = event
+        {
+            st.faults.push(FaultLine {
+                at: *now,
+                kind: *kind,
+                target: *target,
+                param: *param,
+            });
+        }
+        st.events.push(*event);
+    }
+
+    fn on_job_offered(&self, _now: SimTime, job: &Job) {
+        let mut st = self.state.lock().expect("recorder lock");
+        let RecState {
+            sessions,
+            seen,
+            requests,
+            ..
+        } = &mut *st;
+        note_session(sessions, seen, job);
+        requests.push(job.clone());
+    }
+}
+
+// ---------------------------------------------------------------------
+// A minimal single-line JSON reader. `vizsched-bench` has a fuller JSON
+// module, but bench depends on this crate, so the record parser carries
+// its own. Numbers keep their raw text until the caller names a type —
+// u64 seeds stay exact, f32 camera angles re-parse to the identical bits.
+// ---------------------------------------------------------------------
+
+mod json {
+    /// One parsed JSON value; numbers stay as raw text.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Val {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number, kept as its raw token.
+        Num(String),
+        /// A string (escapes decoded).
+        Str(String),
+        /// An array.
+        Arr(Vec<Val>),
+        /// An object, insertion-ordered.
+        Obj(Vec<(String, Val)>),
+    }
+
+    impl Val {
+        /// Look up a required object field.
+        pub fn field(&self, key: &str) -> Result<&Val, String> {
+            match self {
+                Val::Obj(fields) => fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| format!("missing field {key:?}")),
+                _ => Err(format!("expected an object with field {key:?}")),
+            }
+        }
+
+        /// The elements of an array value.
+        pub fn elements(&self) -> Result<&[Val], String> {
+            match self {
+                Val::Arr(items) => Ok(items),
+                _ => Err("expected an array".to_string()),
+            }
+        }
+
+        /// Parse this value's raw number token as `T`.
+        pub fn num<T: std::str::FromStr>(&self) -> Result<T, String> {
+            match self {
+                Val::Num(raw) => raw.parse::<T>().map_err(|_| format!("bad number {raw:?}")),
+                _ => Err("expected a number".to_string()),
+            }
+        }
+
+        /// A required string field.
+        pub fn str_field(&self, key: &str) -> Result<String, String> {
+            match self.field(key)? {
+                Val::Str(s) => Ok(s.clone()),
+                _ => Err(format!("field {key:?} must be a string")),
+            }
+        }
+
+        /// A required unsigned-integer field.
+        pub fn u64_field(&self, key: &str) -> Result<u64, String> {
+            self.field(key)?
+                .num::<u64>()
+                .map_err(|_| format!("field {key:?} must be an unsigned integer"))
+        }
+
+        /// A required f64 field.
+        pub fn f64_field(&self, key: &str) -> Result<f64, String> {
+            self.field(key)?
+                .num::<f64>()
+                .map_err(|_| format!("field {key:?} must be a number"))
+        }
+
+        /// A required f32 field (parsed straight from the raw token, so
+        /// the writer's shortest-round-trip formatting is exact).
+        pub fn f32_field(&self, key: &str) -> Result<f32, String> {
+            self.field(key)?
+                .num::<f32>()
+                .map_err(|_| format!("field {key:?} must be a number"))
+        }
+    }
+
+    /// Parse one line of JSON.
+    pub fn parse(line: &str) -> Result<Val, String> {
+        let bytes = line.as_bytes();
+        let mut pos = 0;
+        let val = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at column {}", pos + 1));
+        }
+        Ok(val)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t') {
+            *pos += 1;
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Val, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Val::Str(string(b, pos)?)),
+            Some(b't') => lit(b, pos, "true", Val::Bool(true)),
+            Some(b'f') => lit(b, pos, "false", Val::Bool(false)),
+            Some(b'n') => lit(b, pos, "null", Val::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+            Some(c) => Err(format!(
+                "unexpected byte {:?} at column {}",
+                *c as char,
+                *pos + 1
+            )),
+            None => Err("unexpected end of line".to_string()),
+        }
+    }
+
+    fn lit(b: &[u8], pos: &mut usize, word: &str, val: Val) -> Result<Val, String> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(val)
+        } else {
+            Err(format!("bad literal at column {}", *pos + 1))
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Val, String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+            *pos += 1;
+        }
+        let raw = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad utf8".to_string())?;
+        if raw.is_empty() || raw == "-" {
+            return Err(format!("bad number at column {}", start + 1));
+        }
+        Ok(Val::Num(raw.to_string()))
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        *pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            *pos += 4;
+                        }
+                        _ => return Err("bad escape".to_string()),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&b[*pos..])
+                        .map_err(|_| "bad utf8 in string".to_string())?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    *pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Val, String> {
+        *pos += 1; // '{'
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Val::Obj(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b'"') {
+                return Err(format!("expected a key at column {}", *pos + 1));
+            }
+            let key = string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(format!("expected ':' at column {}", *pos + 1));
+            }
+            *pos += 1;
+            let val = value(b, pos)?;
+            fields.push((key, val));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Val::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at column {}", *pos + 1)),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Val, String> {
+        *pos += 1; // '['
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Val::Arr(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Val::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at column {}", *pos + 1)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizsched_core::data::{uniform_datasets, DecompositionPolicy};
+
+    fn small_header() -> RecordHeader {
+        let catalog = Catalog::new(
+            uniform_datasets(2, 4 << 20),
+            DecompositionPolicy::MaxChunkSize { max_bytes: 1 << 20 },
+        );
+        RecordHeader::new(
+            "unit",
+            7,
+            "OURS",
+            SimDuration::from_millis(30),
+            CostParams::default(),
+            ClusterSpec::homogeneous(2, 64 << 20),
+            &catalog,
+        )
+    }
+
+    fn small_jobs() -> Vec<Job> {
+        vec![
+            Job {
+                id: JobId(0),
+                kind: JobKind::Interactive {
+                    user: UserId(0),
+                    action: ActionId(5),
+                },
+                dataset: DatasetId(1),
+                issue_time: SimTime::from_millis(1),
+                frame: FrameParams {
+                    azimuth: 0.02,
+                    ..FrameParams::default()
+                },
+            },
+            Job {
+                id: JobId(1),
+                kind: JobKind::Batch {
+                    user: UserId(1000),
+                    request: BatchId(0),
+                    frame: 3,
+                },
+                dataset: DatasetId(0),
+                issue_time: SimTime::from_millis(2),
+                frame: FrameParams::default(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let record = ScenarioRecord::from_jobs(small_header(), &small_jobs());
+        let text = record.to_jsonl();
+        let back = ScenarioRecord::parse(&text).expect("parse");
+        assert_eq!(back, record);
+        assert_eq!(back.to_jsonl(), text, "serialization must be canonical");
+    }
+
+    #[test]
+    fn header_catalog_round_trips() {
+        let h = small_header();
+        let catalog = h.catalog();
+        assert_eq!(catalog.datasets().len(), 2);
+        assert_eq!(catalog.task_count(DatasetId(0)), 4);
+        assert_eq!(
+            RecordHeader::new(
+                "unit",
+                7,
+                "OURS",
+                SimDuration::from_millis(30),
+                CostParams::default(),
+                ClusterSpec::homogeneous(2, 64 << 20),
+                &catalog,
+            ),
+            h
+        );
+    }
+
+    #[test]
+    fn truncated_record_reports_line_number() {
+        let record = ScenarioRecord::from_jobs(small_header(), &small_jobs());
+        let text = record.to_jsonl();
+        // Cut the final line mid-object.
+        let cut = &text[..text.len() - 10];
+        let e = ScenarioRecord::parse(cut).expect_err("must fail");
+        // Header, two sessions, two requests: the cut lands on line 5.
+        assert_eq!(e.line, 5, "{e}");
+    }
+
+    #[test]
+    fn empty_record_fails_gracefully() {
+        let e = ScenarioRecord::parse("").expect_err("must fail");
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("header"), "{e}");
+    }
+
+    #[test]
+    fn fingerprint_mismatch_detected() {
+        let record = ScenarioRecord::from_jobs(small_header(), &small_jobs());
+        let text = record.to_jsonl().replace("\"seed\":7", "\"seed\":8");
+        let e = ScenarioRecord::parse(&text).expect_err("must fail");
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("fingerprint"), "{e}");
+    }
+
+    #[test]
+    fn out_of_order_times_rejected() {
+        let record = ScenarioRecord::from_jobs(small_header(), &small_jobs());
+        let text = record.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        // Move the last (latest) line right after the header.
+        let swapped = [lines[0], lines[4], lines[1], lines[2], lines[3]].join("\n");
+        let e = ScenarioRecord::parse(&swapped).expect_err("must fail");
+        assert!(e.to_string().contains("backwards"), "{e}");
+    }
+
+    #[test]
+    fn unknown_line_kind_rejected() {
+        let record = ScenarioRecord::from_jobs(small_header(), &[]);
+        let mut text = record.to_jsonl();
+        text.push_str("{\"t\":\"mystery\",\"at_us\":5}\n");
+        let e = ScenarioRecord::parse(&text).expect_err("must fail");
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("mystery"), "{e}");
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let record = ScenarioRecord::from_jobs(small_header(), &small_jobs());
+        let text = record
+            .to_jsonl()
+            .replace("\"t\":\"request\"", "\"t\":\"request\",\"note\":\"extra\"");
+        let back = ScenarioRecord::parse(&text).expect("forward-compatible parse");
+        assert_eq!(back.requests, record.requests);
+    }
+
+    #[test]
+    fn recording_probe_derives_sessions_once() {
+        let probe = RecordingProbe::new(small_header());
+        for job in small_jobs() {
+            probe.on_job_offered(job.issue_time, &job);
+        }
+        // A second frame of the same action adds a request, not a session.
+        let mut again = small_jobs().remove(0);
+        again.id = JobId(2);
+        again.issue_time = SimTime::from_millis(3);
+        probe.on_job_offered(again.issue_time, &again);
+        let record = probe.finish();
+        assert_eq!(record.sessions.len(), 2);
+        assert_eq!(record.requests.len(), 3);
+    }
+}

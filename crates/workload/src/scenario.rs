@@ -14,10 +14,11 @@
 //! realization); `EXPERIMENTS.md` records the counts actually generated.
 
 use crate::generator::{ActionBehavior, BatchModel, DatasetChoice, InteractiveModel, WorkloadSpec};
+use crate::record::ScenarioRecord;
 use serde::{Deserialize, Serialize};
 use vizsched_core::cluster::ClusterSpec;
 use vizsched_core::cost::CostParams;
-use vizsched_core::data::{uniform_datasets, DatasetDesc};
+use vizsched_core::data::{uniform_datasets, Catalog, DatasetDesc, DecompositionPolicy};
 use vizsched_core::job::Job;
 use vizsched_core::time::SimDuration;
 
@@ -43,6 +44,22 @@ pub struct Scenario {
     pub workload: WorkloadSpec,
     /// The interactive frame-rate target (33.33 fps).
     pub target_fps: f64,
+    /// When set, this scenario replays a captured [`ScenarioRecord`]
+    /// instead of generating jobs: [`Scenario::jobs`] returns the
+    /// recorded stream verbatim and [`Scenario::catalog`] rebuilds the
+    /// recorded decomposition (which may be heterogeneous).
+    pub replay: Option<ReplayPlan>,
+}
+
+/// The captured side of a replay scenario (see [`Scenario::from_record`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplayPlan {
+    /// The recorded request stream, ids and issue times included.
+    pub jobs: Vec<Job>,
+    /// The recorded dataset descriptors, dense by id.
+    pub datasets: Vec<DatasetDesc>,
+    /// Per-dataset chunk sizes in bytes (the exact recorded bricking).
+    pub chunks: Vec<Vec<u64>>,
 }
 
 impl Scenario {
@@ -175,17 +192,112 @@ impl Scenario {
                 seed,
             },
             target_fps: 1.0e6 / 30_000.0,
+            replay: None,
         }
     }
 
-    /// The dataset catalog input.
-    pub fn datasets(&self) -> Vec<DatasetDesc> {
-        uniform_datasets(self.dataset_count, self.dataset_bytes)
+    /// A replay scenario wrapping a captured [`ScenarioRecord`]: the
+    /// cluster, cost constants, and decomposition come from the record's
+    /// header, and [`Scenario::jobs`] returns the recorded request
+    /// stream verbatim — same ids, issue times, and camera parameters —
+    /// so the simulator re-places every task exactly as the recorded run
+    /// did.
+    pub fn from_record(record: &ScenarioRecord) -> Scenario {
+        let h = &record.header;
+        let length = record
+            .requests
+            .last()
+            .map(|j| SimDuration::from_micros(j.issue_time.as_micros()))
+            .unwrap_or_else(|| SimDuration::from_micros(0));
+        let chunk_max = h
+            .chunks
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(512 * MIB);
+        Scenario {
+            label: format!("{}-replay", h.label),
+            cluster: h.cluster.clone(),
+            cost: h.cost,
+            chunk_max,
+            dataset_count: h.datasets.len() as u32,
+            dataset_bytes: h.datasets.first().map(|d| d.bytes).unwrap_or(0),
+            workload: WorkloadSpec {
+                length,
+                interactive: InteractiveModel {
+                    slots: 0,
+                    period: SimDuration::from_millis(30),
+                    behavior: ActionBehavior::FullLength,
+                },
+                batch: BatchModel::none(),
+                dataset_count: h.datasets.len() as u32,
+                dataset_choice: DatasetChoice::Uniform,
+                seed: h.seed,
+            },
+            target_fps: 1.0e6 / 30_000.0,
+            replay: Some(ReplayPlan {
+                jobs: record.requests.clone(),
+                datasets: h.datasets.clone(),
+                chunks: h.chunks.clone(),
+            }),
+        }
     }
 
-    /// Generate the job list.
+    /// The dataset catalog input (the recorded descriptors when
+    /// replaying).
+    pub fn datasets(&self) -> Vec<DatasetDesc> {
+        match &self.replay {
+            Some(r) => r.datasets.clone(),
+            None => uniform_datasets(self.dataset_count, self.dataset_bytes),
+        }
+    }
+
+    /// The decomposition catalog this scenario runs over. Generated
+    /// scenarios decompose uniformly under `Chk_max`; replay scenarios
+    /// rebuild the recorded (possibly heterogeneous) bricking, so pass
+    /// this to the run's catalog override when replaying.
+    pub fn catalog(&self) -> Catalog {
+        use vizsched_core::data::ChunkDesc;
+        use vizsched_core::ids::{ChunkId, DatasetId};
+        match &self.replay {
+            Some(r) => {
+                let chunks = r
+                    .chunks
+                    .iter()
+                    .enumerate()
+                    .map(|(d, sizes)| {
+                        sizes
+                            .iter()
+                            .enumerate()
+                            .map(|(j, &bytes)| ChunkDesc {
+                                id: ChunkId {
+                                    dataset: DatasetId(d as u32),
+                                    index: j as u32,
+                                },
+                                bytes,
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Catalog::from_chunks(r.datasets.clone(), chunks)
+            }
+            None => Catalog::new(
+                self.datasets(),
+                DecompositionPolicy::MaxChunkSize {
+                    max_bytes: self.chunk_max,
+                },
+            ),
+        }
+    }
+
+    /// Generate the job list (or return the recorded stream when
+    /// replaying).
     pub fn jobs(&self) -> Vec<Job> {
-        self.workload.generate()
+        match &self.replay {
+            Some(r) => r.jobs.clone(),
+            None => self.workload.generate(),
+        }
     }
 
     /// A proportionally shortened copy (for quick tests): the arrival
@@ -275,6 +387,7 @@ impl Scenario {
                 seed,
             },
             target_fps: 1.0e6 / 30_000.0,
+            replay: None,
         }
     }
 }

@@ -1,8 +1,9 @@
 //! Docs-vs-code consistency: the DESIGN.md trace-schema table must cover
 //! every `TraceEvent` variant, the README's policy table must stay in
-//! sync with `SchedulerKind`, and the top-level markdown documents
-//! (including docs/POLICY_GUIDE.md) must not carry dead intra-repo
-//! links. Run by the CI docs job.
+//! sync with `SchedulerKind`, docs/SCENARIO_FORMAT.md must cover every
+//! record line kind, docs/OPERATORS_GUIDE.md must name every traffic
+//! shape, and the top-level markdown documents (including the guides in
+//! docs/) must not carry dead intra-repo links. Run by the CI docs job.
 
 use std::path::{Path, PathBuf};
 use vizsched_metrics::TraceEvent;
@@ -202,6 +203,8 @@ fn markdown_links(body: &str) -> Vec<String> {
 
 /// Intra-repo links in the top-level documents must resolve to files that
 /// exist; external links and pure fragments are out of scope (offline CI).
+/// Links are resolved relative to the document's own directory, the way
+/// a markdown renderer resolves them (`../DESIGN.md` from docs/).
 #[test]
 fn top_level_docs_have_no_dead_intra_repo_links() {
     let root = repo_root();
@@ -212,7 +215,11 @@ fn top_level_docs_have_no_dead_intra_repo_links() {
         "EXPERIMENTS.md",
         "ROADMAP.md",
         "docs/POLICY_GUIDE.md",
+        "docs/OPERATORS_GUIDE.md",
+        "docs/SCENARIO_FORMAT.md",
+        "docs/ARCHITECTURE.md",
     ] {
+        let base = root.join(Path::new(doc).parent().expect("doc has a parent"));
         for link in markdown_links(&read(doc)) {
             let target = link.split_whitespace().next().unwrap_or("");
             if target.is_empty()
@@ -224,10 +231,71 @@ fn top_level_docs_have_no_dead_intra_repo_links() {
                 continue;
             }
             let path = target.split('#').next().unwrap_or(target);
-            if !root.join(path).exists() {
+            if !base.join(path).exists() {
                 dead.push(format!("{doc}: ({link})"));
             }
         }
     }
     assert!(dead.is_empty(), "dead intra-repo links: {dead:?}");
+}
+
+/// docs/SCENARIO_FORMAT.md is documented as complete: every record line
+/// kind must keep both a `kind` row in the line-kinds table and a worked
+/// `{"t":"kind"...}` example line, so adding a kind to `RECORD_KINDS`
+/// without specifying it fails here.
+#[test]
+fn scenario_format_documents_every_record_kind() {
+    use vizsched_workload::{RECORD_KINDS, RECORD_VERSION};
+
+    let spec = read("docs/SCENARIO_FORMAT.md");
+    let rows: Vec<&str> = spec
+        .lines()
+        .filter(|l| l.trim_start().starts_with('|'))
+        .collect();
+    for kind in RECORD_KINDS {
+        let cell = format!("`{kind}`");
+        assert!(
+            rows.iter().any(|row| row.contains(&cell)),
+            "docs/SCENARIO_FORMAT.md has no table row for record kind `{kind}`"
+        );
+        assert!(
+            spec.contains(&format!("{{\"t\":\"{kind}\"")),
+            "docs/SCENARIO_FORMAT.md has no worked example line for record kind `{kind}`"
+        );
+    }
+    // The spec names the version it documents.
+    assert!(
+        spec.contains(&format!("`RECORD_VERSION = {RECORD_VERSION}`")),
+        "docs/SCENARIO_FORMAT.md does not pin RECORD_VERSION = {RECORD_VERSION}"
+    );
+}
+
+/// The operator's guide documents the traffic-shape catalogue as
+/// complete: every `TrafficShape` name must appear (in backticks), so a
+/// new generator can't ship undocumented.
+#[test]
+fn operators_guide_names_every_traffic_shape() {
+    use vizsched_workload::TrafficShape;
+
+    let guide = read("docs/OPERATORS_GUIDE.md");
+    for name in TrafficShape::NAMES {
+        assert!(
+            guide.contains(&format!("`{name}`")),
+            "docs/OPERATORS_GUIDE.md does not name traffic shape `{name}`"
+        );
+    }
+}
+
+/// The README is the entry point; it must link every guide under docs/.
+#[test]
+fn readme_links_the_guides() {
+    let readme = read("README.md");
+    for guide in [
+        "docs/POLICY_GUIDE.md",
+        "docs/OPERATORS_GUIDE.md",
+        "docs/SCENARIO_FORMAT.md",
+        "docs/ARCHITECTURE.md",
+    ] {
+        assert!(readme.contains(guide), "README.md does not link {guide}");
+    }
 }

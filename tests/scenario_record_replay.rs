@@ -1,0 +1,392 @@
+//! The scenario record/replay plane, end to end: a run captured by the
+//! [`RecordingProbe`] — simulated or live — must replay bit-identically
+//! in the simulator after a round trip through the versioned JSONL
+//! format. The live half reuses the `sim_service_parity` recipe: a
+//! serialized client over a small physical store, with placement made
+//! substrate-independent by bricking every dataset into exactly `NODES`
+//! chunks (cold jobs spread one chunk per node, warm jobs map to their
+//! unique cache holders).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+use vizsched_core::data::{uniform_datasets, Catalog, DecompositionPolicy};
+use vizsched_core::prelude::*;
+use vizsched_metrics::{events_to_jsonl, CollectingProbe, TraceEvent};
+use vizsched_service::{ChunkStore, ServiceClient, ServiceConfig, StoreDataset, VizService};
+use vizsched_sim::{RunOptions, SimConfig, Simulation};
+use vizsched_volume::Field;
+use vizsched_workload::{
+    CameraPathSpec, RecordHeader, RecordingProbe, Scenario, ScenarioRecord, TrafficShape,
+};
+
+const NODES: usize = 4;
+const MEM_QUOTA: u64 = 1 << 20;
+const CYCLE: SimDuration = SimDuration::from_millis(30);
+
+// -------------------------------------------------------------------
+// Substrate-independent placement keys (the sim_service_parity normal
+// form): sorted, so dispatch interleaving across cycles doesn't matter.
+// -------------------------------------------------------------------
+
+type AssignKey = (u64, u32, u64, u32, bool);
+
+fn assignments(events: &[TraceEvent]) -> Vec<AssignKey> {
+    let mut keys: Vec<AssignKey> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Assignment {
+                job,
+                task,
+                chunk,
+                node,
+                interactive,
+                ..
+            } => Some((job.0, *task, chunk.as_u64(), node.0, *interactive)),
+            _ => None,
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn dones(events: &[TraceEvent]) -> Vec<AssignKey> {
+    let mut keys: Vec<AssignKey> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::TaskDone {
+                job,
+                task,
+                chunk,
+                node,
+                miss,
+                ..
+            } => Some((job.0, *task, chunk.as_u64(), node.0, *miss)),
+            _ => None,
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn cache_loads(events: &[TraceEvent]) -> BTreeSet<(u32, u64)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::CacheLoad { node, chunk, .. } => Some((node.0, chunk.as_u64())),
+            _ => None,
+        })
+        .collect()
+}
+
+fn job_done_order(events: &[TraceEvent]) -> Vec<u64> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::JobDone { job, .. } => Some(job.0),
+            _ => None,
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------------
+// Sim-record -> sim-replay: the strongest possible claim, bit-identical
+// event streams.
+// -------------------------------------------------------------------
+
+fn small_catalog() -> Catalog {
+    Catalog::new(
+        uniform_datasets(4, 64 << 20),
+        DecompositionPolicy::MaxChunkSize {
+            max_bytes: 16 << 20,
+        },
+    )
+}
+
+fn small_sim() -> Simulation {
+    let cluster = ClusterSpec::homogeneous(NODES, 128 << 20);
+    let mut config = SimConfig::new(cluster, CostParams::default(), 16 << 20);
+    config.cycle = CYCLE;
+    Simulation::new(config, Vec::new())
+}
+
+/// A short locality-heavy stream (two users walking adjacent datasets).
+fn small_shape() -> TrafficShape {
+    TrafficShape::CameraPath(CameraPathSpec {
+        groups: 1,
+        users_per_group: 2,
+        path_len: 2,
+        dwell: SimDuration::from_secs(1),
+        stagger: SimDuration::from_millis(100),
+        period: SimDuration::from_millis(30),
+        dataset_count: 4,
+        seed: 9,
+    })
+}
+
+fn small_header(policy: &str) -> RecordHeader {
+    RecordHeader::new(
+        "record-replay",
+        9,
+        policy,
+        CYCLE,
+        CostParams::default(),
+        ClusterSpec::homogeneous(NODES, 128 << 20),
+        &small_catalog(),
+    )
+}
+
+/// Zero out `wall_us` in a serialized event stream: `CycleEnd` carries
+/// the *measured* wall-clock cost of the scheduling pass (the one field
+/// observed from the host clock); every other field is virtual time and
+/// must reproduce exactly.
+fn scrub_wall_clock(jsonl: &str) -> String {
+    let mut out = String::new();
+    for line in jsonl.lines() {
+        if let Some(i) = line.find("\"wall_us\":") {
+            let tail = &line[i + 10..];
+            let digits = tail
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(tail.len());
+            out.push_str(&line[..i + 10]);
+            out.push('0');
+            out.push_str(&tail[digits..]);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn sim_run_recorded_then_replayed_is_bit_identical() {
+    let jobs = small_shape().generate();
+
+    // Pass 1: run and record.
+    let recorder = Arc::new(RecordingProbe::new(small_header("OURS")));
+    let outcome = small_sim().run_opts(
+        jobs.clone(),
+        RunOptions::new(SchedulerKind::Ours)
+            .label("record-replay")
+            .catalog(small_catalog())
+            .probe(recorder.clone()),
+    );
+    assert_eq!(outcome.incomplete_jobs, 0);
+    let record = recorder.finish();
+    assert_eq!(
+        record.jobs(),
+        &jobs[..],
+        "recorder must capture the offered stream verbatim"
+    );
+
+    // Round trip the capture through the serialized format.
+    let jsonl = record.to_jsonl();
+    let parsed = ScenarioRecord::parse(&jsonl).expect("own serialization parses");
+    assert_eq!(parsed, record);
+    assert_eq!(parsed.to_jsonl(), jsonl, "serialization is canonical");
+
+    // Pass 2: replay the parsed record in a fresh simulator.
+    let scenario = Scenario::from_record(&parsed);
+    let twin = Arc::new(CollectingProbe::new());
+    let replay = small_sim().run_opts(
+        scenario.jobs(),
+        RunOptions::new(SchedulerKind::Ours)
+            .label("record-replay")
+            .catalog(scenario.catalog())
+            .probe(twin.clone()),
+    );
+    assert_eq!(replay.incomplete_jobs, 0);
+    assert_eq!(
+        scrub_wall_clock(&events_to_jsonl(&twin.take())),
+        scrub_wall_clock(&events_to_jsonl(&recorder.events())),
+        "replayed event stream must be bit-identical to the recorded run \
+         (modulo the measured wall-clock cost of each scheduling pass)"
+    );
+}
+
+// -------------------------------------------------------------------
+// Record on the live service -> replay in the sim.
+// -------------------------------------------------------------------
+
+/// The serialized live workload: `(dataset, azimuth)` per frame, one in
+/// flight at a time. Dataset 0 runs cold then warm, dataset 1
+/// interleaves — the parity harness's cache-coexistence pattern.
+fn live_workload() -> Vec<(u32, f32)> {
+    vec![
+        (0, 0.10),
+        (0, 0.20),
+        (1, 0.30),
+        (0, 0.40),
+        (1, 0.50),
+        (1, 0.60),
+    ]
+}
+
+#[test]
+fn live_recording_replays_in_sim_with_identical_placements() {
+    let root = std::env::temp_dir().join(format!("vizsched-recrep-{}", std::process::id()));
+    let mut store = ChunkStore::create(
+        &root,
+        &[
+            StoreDataset {
+                field: Field::Shells,
+                dims: [16, 16, 32],
+                bricks: NODES,
+            },
+            StoreDataset {
+                field: Field::Plume,
+                dims: [16, 16, 32],
+                bricks: NODES,
+            },
+        ],
+    )
+    .unwrap();
+    // Nonzero measured loads, as in the parity harness: a zero estimate
+    // would erase the locality advantage deterministic placement needs.
+    store.set_throttle(Some(4 << 20));
+    let catalog = store.catalog().clone();
+
+    let header = RecordHeader::new(
+        "live-capture",
+        0,
+        "OURS",
+        CYCLE,
+        CostParams::default(),
+        ClusterSpec::homogeneous(NODES, MEM_QUOTA),
+        &catalog,
+    );
+    let recorder = Arc::new(RecordingProbe::new(header));
+    let config = ServiceConfig::default()
+        .nodes(NODES)
+        .mem_quota(MEM_QUOTA)
+        .image_size(32, 32)
+        .scheduler(SchedulerKind::Ours)
+        .probe(recorder.clone());
+    let service = VizService::start(config, Arc::new(store));
+    let client = ServiceClient::new(UserId(0), service.request_sender());
+    for (i, &(dataset, azimuth)) in live_workload().iter().enumerate() {
+        let frame = FrameParams {
+            azimuth,
+            ..FrameParams::default()
+        };
+        let rx = client.render_interactive(ActionId(i as u64), DatasetId(dataset), frame);
+        rx.recv_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|e| panic!("frame {i} never arrived: {e}"));
+        // Space the recorded arrivals out beyond anything the simulated
+        // executions can take (a couple of cycles plus virtual render
+        // time), so the replay keeps the live run's one-job-in-flight
+        // serialization and the placement argument carries over.
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    service.drain_and_shutdown();
+    std::fs::remove_dir_all(root).ok();
+    let live_events = recorder.events();
+    let record = recorder.finish();
+    assert_eq!(record.jobs().len(), live_workload().len());
+
+    // Round trip through the on-disk format, exactly as an operator would.
+    let jsonl = record.to_jsonl();
+    let parsed = ScenarioRecord::parse(&jsonl).expect("live capture parses");
+    assert_eq!(parsed, record);
+
+    // Replay in the simulator over the recorded (physical) catalog.
+    let scenario = Scenario::from_record(&parsed);
+    let cluster = ClusterSpec::homogeneous(NODES, MEM_QUOTA);
+    let mut config = SimConfig::new(cluster, CostParams::default(), 1 << 30);
+    config.cycle = CYCLE;
+    let twin = Arc::new(CollectingProbe::new());
+    let outcome = Simulation::new(config, Vec::new()).run_opts(
+        scenario.jobs(),
+        RunOptions::new(SchedulerKind::Ours)
+            .label("live-capture-replay")
+            .catalog(scenario.catalog())
+            .probe(twin.clone()),
+    );
+    assert_eq!(outcome.incomplete_jobs, 0, "replay stalled");
+    let sim_events = twin.take();
+
+    assert_eq!(
+        assignments(&sim_events),
+        assignments(&live_events),
+        "replayed placement diverged from the recorded live run"
+    );
+    assert_eq!(
+        dones(&sim_events),
+        dones(&live_events),
+        "replayed (node, miss) realization diverged"
+    );
+    assert_eq!(
+        cache_loads(&sim_events),
+        cache_loads(&live_events),
+        "replayed per-node cache contents diverged"
+    );
+    assert_eq!(
+        job_done_order(&sim_events),
+        job_done_order(&live_events),
+        "replayed job completion order diverged"
+    );
+}
+
+// -------------------------------------------------------------------
+// Generator determinism and replay failure modes.
+// -------------------------------------------------------------------
+
+#[test]
+fn every_traffic_shape_records_byte_identically_per_seed() {
+    for (a, b) in TrafficShape::demo_suite(2012)
+        .into_iter()
+        .zip(TrafficShape::demo_suite(2012))
+    {
+        let left = a.to_record(small_header("OURS")).to_jsonl();
+        let right = b.to_record(small_header("OURS")).to_jsonl();
+        assert_eq!(
+            left,
+            right,
+            "{}: same seed must give identical bytes",
+            a.name()
+        );
+        // And the bytes survive a parse round trip unchanged.
+        let reparsed = ScenarioRecord::parse(&left).expect("shape record parses");
+        assert_eq!(reparsed.to_jsonl(), left, "{}", a.name());
+    }
+}
+
+#[test]
+fn truncated_record_fails_with_the_cut_line_number() {
+    let record = small_shape().to_record(small_header("OURS"));
+    let jsonl = record.to_jsonl();
+    // Cut mid-way through the byte stream: the parser must name the
+    // (partial) line it died on instead of panicking.
+    let cut = &jsonl[..jsonl.len() / 2];
+    let err = ScenarioRecord::parse(cut).expect_err("truncated record must not parse");
+    assert_eq!(err.line, cut.lines().count(), "error names the cut line");
+    assert!(err.to_string().starts_with(&format!("line {}", err.line)));
+}
+
+#[test]
+fn corrupt_fingerprint_is_rejected_with_line_one() {
+    let jsonl = small_shape().to_record(small_header("OURS")).to_jsonl();
+    // Flip the recorded seed without updating the fingerprint: the header
+    // no longer matches the configuration it claims to pin.
+    let corrupt = jsonl.replacen("\"seed\":9", "\"seed\":8", 1);
+    assert_ne!(corrupt, jsonl);
+    let err = ScenarioRecord::parse(&corrupt).expect_err("fingerprint mismatch must fail");
+    assert_eq!(err.line, 1);
+    assert!(
+        err.to_string().contains("fingerprint"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn garbage_and_empty_inputs_fail_gracefully() {
+    for (input, want_line) in [
+        ("", 1),
+        ("not json at all", 1),
+        ("{\"t\":\"session\"}", 1), // no header first
+    ] {
+        let err = ScenarioRecord::parse(input).expect_err("must not parse");
+        assert_eq!(err.line, want_line, "input {input:?}");
+    }
+}
